@@ -1,0 +1,51 @@
+// Ablation A2 - load-capacitance sweep.  The paper asserts that "as the
+// load capacitance increases the effect of internal RC parasitic reduces
+// significantly on overall power and delay estimation"; this bench sweeps
+// C_load over 0.5/1/2/4 fF on a representative cell subset and reports the
+// per-implementation deltas.
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/ppa.h"
+
+using namespace mivtx;
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Ablation A2: output load sweep (paper nominal: 1 fF)",
+      "internal-parasitic influence shrinks as the load grows; deltas "
+      "between implementations stay ordered");
+
+  const core::ModelLibrary lib = bench::load_library(argc, argv);
+  set_log_level(LogLevel::kError);
+  const std::vector<cells::CellType> subset = {
+      cells::CellType::kInv1, cells::CellType::kNand2, cells::CellType::kNor2,
+      cells::CellType::kXor2};
+  std::printf("[cells: INV1X1 NAND2X1 NOR2X1 XOR2X1]\n\n");
+
+  TextTable t({"C_load", "2D delay (ps)", "1-ch", "2-ch", "4-ch",
+               "2D power (uW)", "1-ch", "2-ch", "4-ch"});
+  for (double cload : {0.5e-15, 1e-15, 2e-15, 4e-15}) {
+    core::PpaOptions opts;
+    opts.parasitics.c_load = cload;
+    core::PpaEngine engine(lib, opts);
+    double d[4] = {0, 0, 0, 0}, p[4] = {0, 0, 0, 0};
+    for (cells::CellType type : subset) {
+      for (cells::Implementation impl : cells::all_implementations()) {
+        const core::CellPpa c = engine.measure(type, impl);
+        if (!c.ok) continue;
+        d[static_cast<int>(impl)] += c.delay;
+        p[static_cast<int>(impl)] += c.power;
+      }
+    }
+    t.add_row({eng_format(cload, "F", 1),
+               format("%.2f", d[0] / subset.size() * 1e12),
+               bench::pct(d[0], d[1]), bench::pct(d[0], d[2]),
+               bench::pct(d[0], d[3]),
+               format("%.3f", p[0] / subset.size() * 1e6),
+               bench::pct(p[0], p[1]), bench::pct(p[0], p[2]),
+               bench::pct(p[0], p[3])});
+  }
+  t.print();
+  return 0;
+}

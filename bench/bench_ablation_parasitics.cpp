@@ -1,0 +1,74 @@
+// Ablation A3 - sensitivity to the paper's parasitic resistance
+// assumptions (MIV 7 ohm, wire 3 ohm, rails 5 ohm).  Scales all three
+// together and also zeroes the 2D external-via stray capacitance, showing
+// which assumption carries the delay/power deltas.
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/ppa.h"
+
+using namespace mivtx;
+
+namespace {
+
+struct Row {
+  const char* label;
+  double r_scale;
+  double c_miv;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Ablation A3: parasitic assumption sensitivity",
+      "PPA deltas are robust against the 7/3/5-ohm assumptions; the 2D "
+      "external-via stray capacitance carries part of the delay gap");
+
+  const core::ModelLibrary lib = bench::load_library(argc, argv);
+  set_log_level(LogLevel::kError);
+  const std::vector<cells::CellType> subset = {
+      cells::CellType::kInv1, cells::CellType::kNand2,
+      cells::CellType::kAnd2};
+  std::printf("[cells: INV1X1 NAND2X1 AND2X1]\n\n");
+
+  const Row rows[] = {
+      {"nominal (7/3/5 ohm, 40 aF)", 1.0, 40e-18},
+      {"R x0 (ideal vias/wires)", 0.0, 40e-18},
+      {"R x4", 4.0, 40e-18},
+      {"R x16", 16.0, 40e-18},
+      {"no 2D via stray cap", 1.0, 0.0},
+  };
+
+  TextTable t({"configuration", "2D delay (ps)", "1-ch", "2-ch", "4-ch",
+               "2D power (uW)", "1-ch", "2-ch", "4-ch"});
+  for (const Row& row : rows) {
+    core::PpaOptions opts;
+    opts.parasitics.r_miv *= row.r_scale;
+    opts.parasitics.r_wire *= row.r_scale;
+    opts.parasitics.r_rail *= row.r_scale;
+    opts.parasitics.c_miv_external = row.c_miv;
+    // Zero resistances are not representable as resistors; floor at 1 mOhm.
+    opts.parasitics.r_miv = std::max(opts.parasitics.r_miv, 1e-3);
+    opts.parasitics.r_wire = std::max(opts.parasitics.r_wire, 1e-3);
+    opts.parasitics.r_rail = std::max(opts.parasitics.r_rail, 1e-3);
+    core::PpaEngine engine(lib, opts);
+    double d[4] = {0, 0, 0, 0}, p[4] = {0, 0, 0, 0};
+    for (cells::CellType type : subset) {
+      for (cells::Implementation impl : cells::all_implementations()) {
+        const core::CellPpa c = engine.measure(type, impl);
+        if (!c.ok) continue;
+        d[static_cast<int>(impl)] += c.delay;
+        p[static_cast<int>(impl)] += c.power;
+      }
+    }
+    t.add_row({row.label, format("%.2f", d[0] / subset.size() * 1e12),
+               bench::pct(d[0], d[1]), bench::pct(d[0], d[2]),
+               bench::pct(d[0], d[3]),
+               format("%.3f", p[0] / subset.size() * 1e6),
+               bench::pct(p[0], p[1]), bench::pct(p[0], p[2]),
+               bench::pct(p[0], p[3])});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Extension E2 - Monte-Carlo process variation: do the few-percent
+// MIV-transistor delay advantages survive local Vth/mobility variation?
+// Reports mean/sigma/worst delay per implementation for representative
+// cells under correlated sampling (sigma_Vth = 15 mV, sigma_u0 = 3%).
+#include <cmath>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/variability.h"
+
+using namespace mivtx;
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Extension E2: Monte-Carlo variability of the PPA deltas",
+      "the -2..-3% MIV delay advantage must be compared against the "
+      "variation-induced sigma");
+
+  const core::ModelLibrary lib = bench::load_library(argc, argv);
+  set_log_level(LogLevel::kError);
+  core::VariationSpec spec;
+  if (bench::has_flag(argc, argv, "--quick")) spec.samples = 11;
+  std::printf("[%zu samples per (cell, implementation); sigma_Vth=%.0f mV, "
+              "sigma_u0=%.0f%%]\n\n",
+              spec.samples, spec.sigma_vth * 1e3, spec.sigma_u0_rel * 100);
+
+  const cells::CellType subset[] = {cells::CellType::kInv1,
+                                    cells::CellType::kNand2};
+  for (cells::CellType type : subset) {
+    std::printf("%s:\n", cells::cell_name(type));
+    TextTable t({"impl", "mean delay (ps)", "sigma (ps)", "worst (ps)",
+                 "mean vs 2D", "sigma/mean"});
+    double base = 0.0;
+    for (cells::Implementation impl : cells::all_implementations()) {
+      const core::VariabilityStats s =
+          core::run_variability(lib, type, impl, spec);
+      if (impl == cells::Implementation::k2D) base = s.mean_delay;
+      t.add_row({cells::impl_name(impl), format("%.2f", s.mean_delay * 1e12),
+                 format("%.3f", s.sigma_delay * 1e12),
+                 format("%.2f", s.worst_delay * 1e12),
+                 bench::pct(base, s.mean_delay),
+                 format("%.1f%%", 100.0 * s.sigma_delay / s.mean_delay)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  std::printf("(reading: where |mean shift| is comparable to sigma, the "
+              "implementation choice is\na second-order effect under "
+              "variation - consistent with the paper presenting the\narea "
+              "saving, not the speed, as the headline)\n");
+  return 0;
+}

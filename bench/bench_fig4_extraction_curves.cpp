@@ -1,0 +1,89 @@
+// Fig. 4 - Level 70 extraction result for the 4-channel MIV-transistor:
+// TCAD-simulated characteristics against the fitted Spice model, as data
+// series (Id-Vg at low/high drain, the Id-Vd family, and Cgg-Vg).
+//
+// Default: n-type (as in the paper's figure).  --pmos switches polarity.
+#include <cmath>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "extract/pipeline.h"
+
+using namespace mivtx;
+
+int main(int argc, char** argv) {
+  const bool pmos = bench::has_flag(argc, argv, "--pmos");
+  const core::Polarity pol =
+      pmos ? core::Polarity::kPmos : core::Polarity::kNmos;
+
+  bench::print_header(
+      "Fig. 4: Level 70 extraction result, 4-channel MIV-transistor",
+      "fitted model tracks TCAD in all regions; overall error < 10%");
+
+  set_log_level(LogLevel::kError);
+  std::printf("[characterizing the 4-channel %s device in TCAD ...]\n\n",
+              pmos ? "PMOS" : "NMOS");
+  const core::ProcessParams proc;
+  const extract::SweepGrid grid;
+  const extract::CharacteristicSet data = core::characterize_device(
+      proc, core::Variant::kMiv4Channel, pol, grid);
+  const extract::ExtractionReport rep = extract::extract_card(
+      data, core::initial_card(proc, core::Variant::kMiv4Channel, pol));
+
+  // (a) Transfer curves, both drain biases.
+  std::printf("Id-Vg (A), TCAD vs fitted model:\n");
+  TextTable t({"Vg (V)", "TCAD @50mV", "fit @50mV", "TCAD @1V", "fit @1V"});
+  const Curve fit_low =
+      extract::model_idvg(rep.card, data.idvg_low, data.vds_low);
+  const Curve fit_high =
+      extract::model_idvg(rep.card, data.idvg_high, data.vds_high);
+  for (std::size_t i = 0; i < data.idvg_low.size(); i += 2) {
+    t.add_row({format("%.2f", data.idvg_low[i].x),
+               format("%.3e", data.idvg_low[i].y),
+               format("%.3e", fit_low[i].y),
+               format("%.3e", data.idvg_high[i].y),
+               format("%.3e", fit_high[i].y)});
+  }
+  t.print();
+
+  // (b) Output curve family.
+  std::printf("\nId-Vd (A), TCAD vs fitted model:\n");
+  std::vector<std::string> hdr{"Vd (V)"};
+  for (const auto& oc : data.idvd) {
+    hdr.push_back(format("TCAD Vg=%.1f", oc.vgs));
+    hdr.push_back(format("fit Vg=%.1f", oc.vgs));
+  }
+  TextTable o(hdr);
+  std::vector<Curve> fits;
+  for (const auto& oc : data.idvd)
+    fits.push_back(extract::model_idvd(rep.card, oc.curve, oc.vgs));
+  for (std::size_t i = 0; i < data.idvd[0].curve.size(); i += 2) {
+    std::vector<std::string> cells{format("%.2f", data.idvd[0].curve[i].x)};
+    for (std::size_t k = 0; k < data.idvd.size(); ++k) {
+      cells.push_back(format("%.3e", data.idvd[k].curve[i].y));
+      cells.push_back(format("%.3e", fits[k][i].y));
+    }
+    o.add_row(cells);
+  }
+  o.print();
+
+  // (c) Gate capacitance.
+  std::printf("\nCgg-Vg (aF), TCAD vs fitted model:\n");
+  TextTable c({"Vg (V)", "TCAD", "fit", "error"});
+  const Curve fit_cv = extract::model_cv(rep.card, data.cv);
+  for (std::size_t i = 0; i < data.cv.size(); i += 2) {
+    c.add_row({format("%.2f", data.cv[i].x),
+               format("%.1f", data.cv[i].y * 1e18),
+               format("%.1f", fit_cv[i].y * 1e18),
+               format("%+.1f%%",
+                      100.0 * (fit_cv[i].y - data.cv[i].y) / data.cv[i].y)});
+  }
+  c.print();
+
+  std::printf("\nregion errors: IDVG=%.1f%% IDVD=%.1f%% CV=%.1f%% "
+              "(paper 4-ch %s: 7.2/3.5/7.0%%)\n",
+              100 * rep.errors.idvg, 100 * rep.errors.idvd,
+              100 * rep.errors.cv, pmos ? "p" : "n");
+  return 0;
+}

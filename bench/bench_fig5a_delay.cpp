@@ -1,0 +1,49 @@
+// Fig. 5(a) - average propagation delay of every standard cell in the four
+// top-tier implementations (2D baseline vs 1/2/4-channel MIV-transistors).
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/ppa.h"
+
+using namespace mivtx;
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Fig. 5(a): average propagation delay per standard cell",
+      "average delay -3% (1-ch), -2% (2-ch), +2% (4-ch) vs 2D; "
+      "INV1X1 2-ch up to -11%, AND2X1 4-ch +6%");
+
+  const core::ModelLibrary lib = bench::load_library(argc, argv);
+  set_log_level(LogLevel::kError);
+  core::PpaEngine engine(lib);
+  std::printf("[transient-simulating 14 cells x 4 implementations ...]\n\n");
+  const std::vector<core::CellPpa> all = engine.measure_all();
+
+  TextTable t({"cell", "2D (ps)", "1-ch (ps)", "2-ch (ps)", "4-ch (ps)",
+               "1-ch", "2-ch", "4-ch"});
+  double sum[4] = {0, 0, 0, 0};
+  for (cells::CellType type : cells::all_cells()) {
+    double d[4] = {0, 0, 0, 0};
+    for (const core::CellPpa& c : all) {
+      if (c.type == type && c.ok) d[static_cast<int>(c.impl)] = c.delay;
+    }
+    for (int k = 0; k < 4; ++k) sum[k] += d[k];
+    t.add_row({cells::cell_name(type), format("%.2f", d[0] * 1e12),
+               format("%.2f", d[1] * 1e12), format("%.2f", d[2] * 1e12),
+               format("%.2f", d[3] * 1e12), bench::pct(d[0], d[1]),
+               bench::pct(d[0], d[2]), bench::pct(d[0], d[3])});
+  }
+  t.add_separator();
+  t.add_row({"AVERAGE", format("%.2f", sum[0] / 14 * 1e12),
+             format("%.2f", sum[1] / 14 * 1e12),
+             format("%.2f", sum[2] / 14 * 1e12),
+             format("%.2f", sum[3] / 14 * 1e12), bench::pct(sum[0], sum[1]),
+             bench::pct(sum[0], sum[2]), bench::pct(sum[0], sum[3])});
+  t.print();
+
+  std::printf("\nmeasured averages: 1-ch %s, 2-ch %s, 4-ch %s "
+              "(paper: -3%%, -2%%, +2%%)\n",
+              bench::pct(sum[0], sum[1]).c_str(), bench::pct(sum[0], sum[2]).c_str(),
+              bench::pct(sum[0], sum[3]).c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 5(b) - average power consumption of every standard cell in the four
+// top-tier implementations.
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/ppa.h"
+
+using namespace mivtx;
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Fig. 5(b): average power per standard cell",
+      "average power -0.5% (1-ch), -1% (2-ch), -2% (4-ch) vs 2D; "
+      "INV1X1 2-ch +3% worst case, OR3X1 4-ch -3% best case");
+
+  const core::ModelLibrary lib = bench::load_library(argc, argv);
+  set_log_level(LogLevel::kError);
+  core::PpaEngine engine(lib);
+  std::printf("[transient-simulating 14 cells x 4 implementations ...]\n\n");
+  const std::vector<core::CellPpa> all = engine.measure_all();
+
+  TextTable t({"cell", "2D (uW)", "1-ch (uW)", "2-ch (uW)", "4-ch (uW)",
+               "1-ch", "2-ch", "4-ch"});
+  double sum[4] = {0, 0, 0, 0};
+  for (cells::CellType type : cells::all_cells()) {
+    double p[4] = {0, 0, 0, 0};
+    for (const core::CellPpa& c : all) {
+      if (c.type == type && c.ok) p[static_cast<int>(c.impl)] = c.power;
+    }
+    for (int k = 0; k < 4; ++k) sum[k] += p[k];
+    t.add_row({cells::cell_name(type), format("%.3f", p[0] * 1e6),
+               format("%.3f", p[1] * 1e6), format("%.3f", p[2] * 1e6),
+               format("%.3f", p[3] * 1e6), bench::pct(p[0], p[1]),
+               bench::pct(p[0], p[2]), bench::pct(p[0], p[3])});
+  }
+  t.add_separator();
+  t.add_row({"AVERAGE", format("%.3f", sum[0] / 14 * 1e6),
+             format("%.3f", sum[1] / 14 * 1e6),
+             format("%.3f", sum[2] / 14 * 1e6),
+             format("%.3f", sum[3] / 14 * 1e6), bench::pct(sum[0], sum[1]),
+             bench::pct(sum[0], sum[2]), bench::pct(sum[0], sum[3])});
+  t.print();
+
+  std::printf("\nmeasured averages: 1-ch %s, 2-ch %s, 4-ch %s "
+              "(paper: -0.5%%, -1%%, -2%%)\n",
+              bench::pct(sum[0], sum[1]).c_str(), bench::pct(sum[0], sum[2]).c_str(),
+              bench::pct(sum[0], sum[3]).c_str());
+  return 0;
+}

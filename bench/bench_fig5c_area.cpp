@@ -1,0 +1,75 @@
+// Fig. 5(c) - layout area of every standard cell in the four top-tier
+// implementations, plus the per-tier substrate-area discussion of SOCC'23
+// section IV ("up to 31%" with separate per-tier placement).
+#include "bench_util.h"
+#include "cells/celltypes.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "layout/cell_layout.h"
+
+using namespace mivtx;
+
+int main(int, char**) {
+  bench::print_header(
+      "Fig. 5(c): layout area per standard cell",
+      "average layout area -9% (1-ch), -18% (2-ch), -12% (4-ch) vs 2D; "
+      "4-ch best case about -25%");
+
+  const layout::LayoutModel model;
+  TextTable t({"cell", "2D (um^2)", "1-ch", "2-ch", "4-ch", "ext. MIVs"});
+  double sum[4] = {0, 0, 0, 0};
+  double top_sum[4] = {0, 0, 0, 0};
+  double best4_top = 0.0, best_substrate = 0.0;
+  for (cells::CellType type : cells::all_cells()) {
+    double a[4];
+    int ext = 0;
+    int k = 0;
+    for (cells::Implementation impl : cells::all_implementations()) {
+      const layout::CellLayout l = model.layout_cell(type, impl);
+      a[k] = l.cell_area();
+      sum[k] += l.cell_area();
+      top_sum[k] += l.top.area();
+      if (impl == cells::Implementation::k2D) ext = l.external_mivs;
+      ++k;
+    }
+    {
+      const auto l2d = model.layout_cell(type, cells::Implementation::k2D);
+      const auto l4 =
+          model.layout_cell(type, cells::Implementation::kMiv4Channel);
+      best4_top =
+          std::min(best4_top, (l4.top.area() - l2d.top.area()) / l2d.top.area());
+      best_substrate = std::min(
+          best_substrate,
+          (l4.substrate_area() - l2d.substrate_area()) / l2d.substrate_area());
+    }
+    t.add_row({cells::cell_name(type), format("%.4f", a[0] * 1e12),
+               bench::pct(a[0], a[1]), bench::pct(a[0], a[2]),
+               bench::pct(a[0], a[3]), format("%d", ext)});
+  }
+  t.add_separator();
+  t.add_row({"AVERAGE", format("%.4f", sum[0] / 14 * 1e12),
+             bench::pct(sum[0], sum[1]), bench::pct(sum[0], sum[2]),
+             bench::pct(sum[0], sum[3]), ""});
+  t.print();
+
+  std::printf("\nmeasured averages: 1-ch %s, 2-ch %s, 4-ch %s "
+              "(paper: -9%%, -18%%, -12%%)\n",
+              bench::pct(sum[0], sum[1]).c_str(), bench::pct(sum[0], sum[2]).c_str(),
+              bench::pct(sum[0], sum[3]).c_str());
+  std::printf("4-ch best-case top-tier area: %.1f%% (paper: \"4-channel can "
+              "reduce the area consumption by 25%%\")\n",
+              100.0 * best4_top);
+
+  std::printf(
+      "\nPer-tier substrate area (separate per-tier placement, the 'up to "
+      "31%%' argument):\n");
+  TextTable s({"tier metric", "1-ch", "2-ch", "4-ch"});
+  s.add_row({"top-tier (n-type) area saving", bench::pct(top_sum[0], top_sum[1]),
+             bench::pct(top_sum[0], top_sum[2]),
+             bench::pct(top_sum[0], top_sum[3])});
+  s.print();
+  std::printf("4-ch best-case total substrate saving: %.1f%% (paper: \"up to "
+              "31%%\" with separate placement)\n",
+              100.0 * best_substrate);
+  return 0;
+}

@@ -1,0 +1,136 @@
+// P1 - micro-benchmarks of the numerical kernels (google-benchmark):
+// dense/banded LU, compact-model evaluation, MNA assembly + Newton,
+// transient stepping, and a TCAD Gummel bias step.
+#include <benchmark/benchmark.h>
+
+#include "bsimsoi/model.h"
+#include "common/rng.h"
+#include "core/reference_cards.h"
+#include "linalg/banded.h"
+#include "linalg/dense.h"
+#include "spice/dcop.h"
+#include "spice/transient.h"
+#include "tcad/characterize.h"
+
+using namespace mivtx;
+
+namespace {
+
+linalg::DenseMatrix random_dense(std::size_t n, Rng& rng) {
+  linalg::DenseMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1, 1);
+    a(r, r) += 4.0;
+  }
+  return a;
+}
+
+void BM_DenseLU(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const linalg::DenseMatrix a = random_dense(n, rng);
+  linalg::Vector b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::DenseLU(a).solve(b));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DenseLU)->Arg(10)->Arg(30)->Arg(100)->Complexity();
+
+void BM_BandedLU(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t bw = 15;
+  Rng rng(2);
+  linalg::BandedMatrix a(n, bw, bw);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t c0 = r > bw ? r - bw : 0;
+    const std::size_t c1 = std::min(n - 1, r + bw);
+    for (std::size_t c = c0; c <= c1; ++c)
+      a.set(r, c, rng.uniform(-1, 1) + (r == c ? 4.0 : 0.0));
+  }
+  linalg::Vector b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::BandedLU(a).solve(b));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BandedLU)->Arg(100)->Arg(500)->Arg(2000)->Complexity();
+
+void BM_CompactModelEval(benchmark::State& state) {
+  const auto& card = core::reference_model_library().card(
+      core::Variant::kMiv2Channel, core::Polarity::kNmos);
+  double vg = 0.0;
+  for (auto _ : state) {
+    vg += 1e-6;
+    benchmark::DoNotOptimize(bsimsoi::eval(card, 0.5 + vg, 0.8, 0.0));
+  }
+}
+BENCHMARK(BM_CompactModelEval);
+
+spice::Circuit make_inverter_chain(int stages) {
+  const auto& lib = core::reference_model_library();
+  const auto nch = lib.card(core::Variant::kTraditional, core::Polarity::kNmos);
+  const auto pch = lib.card(core::Variant::kTraditional, core::Polarity::kPmos);
+  spice::Circuit ckt;
+  const spice::NodeId vdd = ckt.node("vdd");
+  ckt.add_vsource("VDD", vdd, spice::kGround, spice::SourceSpec::DC(1.0));
+  spice::PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 1;
+  p.delay = 100e-12;
+  p.rise = 20e-12;
+  p.fall = 20e-12;
+  p.width = 300e-12;
+  spice::NodeId prev = ckt.node("in");
+  ckt.add_vsource("VIN", prev, spice::kGround, spice::SourceSpec::Pulse(p));
+  for (int i = 0; i < stages; ++i) {
+    const spice::NodeId out = ckt.node("n" + std::to_string(i));
+    ckt.add_mosfet("MN" + std::to_string(i), out, prev, spice::kGround, nch);
+    ckt.add_mosfet("MP" + std::to_string(i), out, prev, vdd, pch);
+    prev = out;
+  }
+  ckt.add_capacitor("CL", prev, spice::kGround, 1e-15);
+  return ckt;
+}
+
+void BM_DcOperatingPoint(benchmark::State& state) {
+  const spice::Circuit ckt =
+      make_inverter_chain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spice::dc_operating_point(ckt));
+  }
+}
+BENCHMARK(BM_DcOperatingPoint)->Arg(1)->Arg(5)->Arg(15);
+
+void BM_TransientInverterChain(benchmark::State& state) {
+  const spice::Circuit ckt =
+      make_inverter_chain(static_cast<int>(state.range(0)));
+  spice::TransientOptions opts;
+  opts.t_stop = 6e-10;
+  for (auto _ : state) {
+    const spice::TransientResult tr = spice::transient(ckt, opts);
+    benchmark::DoNotOptimize(tr.accepted_steps);
+  }
+}
+BENCHMARK(BM_TransientInverterChain)->Arg(1)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_TcadGummelBiasStep(benchmark::State& state) {
+  tcad::DeviceSpec spec = tcad::DeviceSpec::for_variant(
+      tcad::Variant::kTraditional, tcad::Polarity::kNmos);
+  tcad::DeviceSimulator sim(spec);
+  sim.solve(tcad::BiasPoint{0.5, 0.5});  // warm start
+  double vg = 0.5;
+  bool up = true;
+  for (auto _ : state) {
+    vg += up ? 0.05 : -0.05;
+    if (vg > 0.95 || vg < 0.15) up = !up;
+    benchmark::DoNotOptimize(sim.solve(tcad::BiasPoint{vg, 0.5}));
+  }
+  state.counters["nodes"] =
+      static_cast<double>(sim.structure().mesh.num_nodes());
+}
+BENCHMARK(BM_TcadGummelBiasStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Section IV summary - power-delay product and the paper's design-choice
+// conclusions (2-channel wins overall: -3% PDP and -18% area).
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/ppa.h"
+
+using namespace mivtx;
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Section IV summary: power-delay product and overall ranking",
+      "2-channel: -3% average PDP and -18% area (overall winner); "
+      "4-channel trades delay for the densest layout");
+
+  const core::ModelLibrary lib = bench::load_library(argc, argv);
+  set_log_level(LogLevel::kError);
+  core::PpaEngine engine(lib);
+  std::printf("[transient-simulating 14 cells x 4 implementations ...]\n\n");
+  const std::vector<core::CellPpa> all = engine.measure_all();
+  const std::vector<core::ImplementationSummary> sums = core::summarize(all);
+
+  TextTable t({"implementation", "mean delay (ps)", "mean power (uW)",
+               "mean PDP (aJ)", "mean area (um^2)", "delta PDP",
+               "delta area"});
+  const core::ImplementationSummary& base = sums[0];
+  for (const core::ImplementationSummary& s : sums) {
+    t.add_row({cells::impl_name(s.impl), format("%.2f", s.mean_delay * 1e12),
+               format("%.3f", s.mean_power * 1e6),
+               format("%.2f", s.mean_pdp * 1e18),
+               format("%.4f", s.mean_area * 1e12),
+               bench::pct(base.mean_pdp, s.mean_pdp),
+               bench::pct(base.mean_area, s.mean_area)});
+  }
+  t.print();
+
+  std::printf("\npaper's conclusions vs this reproduction:\n");
+  std::printf("  * 2-ch PDP delta:   paper -3%%, measured %s\n",
+              bench::pct(base.mean_pdp, sums[2].mean_pdp).c_str());
+  std::printf("  * 2-ch area delta:  paper -18%%, measured %s\n",
+              bench::pct(base.mean_area, sums[2].mean_area).c_str());
+  std::printf("  * 4-ch area delta:  paper -12%%, measured %s (delay-traded "
+              "density option)\n",
+              bench::pct(base.mean_area, sums[3].mean_area).c_str());
+  const bool two_ch_wins =
+      sums[2].mean_pdp < base.mean_pdp && sums[2].mean_area < base.mean_area;
+  std::printf("  * 2-ch overall winner (PDP and area both improve): %s "
+              "(paper: yes)\n",
+              two_ch_wins ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table I - process and design parameters, plus the nominal device metrics
+// the assumed process yields for each transistor flavor (from the cached
+// extracted cards; pass --tcad to re-simulate the devices instead).
+#include <cmath>
+
+#include "bench_util.h"
+#include "bsimsoi/model.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "linalg/vector_ops.h"
+#include "tcad/characterize.h"
+
+using namespace mivtx;
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Table I: process and design parameters",
+      "nominal FDSOI M3D process of the study (values reproduced exactly)");
+
+  core::ProcessParams p;
+  TextTable t({"group", "parameter", "description", "value"});
+  t.add_row({"Process", "t_Si", "Silicon thickness", eng_format(p.t_si, "m")});
+  t.add_row({"", "h_src", "Height of source/drain region",
+             eng_format(p.h_src, "m")});
+  t.add_row({"", "t_ox", "Thickness of oxide liner", eng_format(p.t_ox, "m")});
+  t.add_row({"", "n_src", "Source/Drain doping",
+             format("%.0e cm^-3", p.n_src / 1e6)});
+  t.add_row({"", "t_spacer", "Spacer thickness", eng_format(p.t_spacer, "m")});
+  t.add_row({"", "t_BOX", "Buried oxide thickness", eng_format(p.t_box, "m")});
+  t.add_row({"Design", "t_miv", "MIV thickness", eng_format(p.t_miv, "m")});
+  t.add_row({"", "l_src", "Length of source/drain region",
+             eng_format(p.l_src, "m")});
+  t.add_row({"", "w_src", "Width of source/drain region",
+             eng_format(p.w_src, "m")});
+  t.add_row({"", "L_G", "Length of gate", eng_format(p.l_gate, "m")});
+  t.print();
+
+  std::printf("\nNominal device metrics under this process (Vdd = %.1f V):\n",
+              p.vdd);
+  TextTable d({"device", "|Vth| (V)", "Ion (uA)", "Ioff (pA)", "Ion/Ioff"});
+
+  const bool run_tcad = bench::has_flag(argc, argv, "--tcad");
+  for (core::Polarity pol : {core::Polarity::kNmos, core::Polarity::kPmos}) {
+    for (core::Variant v : core::all_variants()) {
+      double vth = 0.0, ion = 0.0, ioff = 0.0;
+      if (run_tcad) {
+        tcad::DeviceSimulator sim(core::device_spec(p, v, pol));
+        tcad::Characterizer ch(sim);
+        vth = ch.vth_cc(p.vdd);
+        ion = ch.ion(p.vdd);
+        ioff = ch.ioff(p.vdd);
+      } else {
+        const auto& card = core::reference_model_library().card(v, pol);
+        const double s = pol == core::Polarity::kNmos ? 1.0 : -1.0;
+        vth = std::fabs(card.vth0);
+        ion = std::fabs(bsimsoi::eval(card, s * p.vdd, s * p.vdd, 0.0).ids);
+        ioff = std::fabs(bsimsoi::eval(card, 0.0, s * p.vdd, 0.0).ids);
+      }
+      d.add_row({core::device_key(v, pol), format("%.3f", vth),
+                 format("%.2f", ion * 1e6), format("%.2f", ioff * 1e12),
+                 format("%.1e", ion / std::max(ioff, 1e-30))});
+    }
+  }
+  d.print();
+  std::printf("(metrics from %s; pass --tcad for fresh device simulation)\n",
+              run_tcad ? "TCAD simulation" : "cached extracted cards");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench regenerates one table or figure of the paper (see DESIGN.md's
+// experiment index) and prints the paper's reported numbers next to the
+// measured ones.  PPA benches default to the cached reference model cards
+// (core/reference_cards.h); pass --extract to re-run the full TCAD +
+// extraction flow first (tens of seconds).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/log.h"
+#include "core/flow.h"
+#include "core/reference_cards.h"
+
+namespace mivtx::bench {
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+inline void print_header(const char* experiment, const char* paper_claim) {
+  std::printf("\n=== %s ===\n", experiment);
+  std::printf("paper: %s\n\n", paper_claim);
+}
+
+// Model library for PPA benches: cached cards, or a fresh extraction run
+// when --extract is passed.
+inline core::ModelLibrary load_library(int argc, char** argv) {
+  if (has_flag(argc, argv, "--extract")) {
+    std::printf("[re-running TCAD characterization + extraction ...]\n");
+    set_log_level(LogLevel::kError);
+    return core::run_full_flow(core::ProcessParams{}).library;
+  }
+  return core::reference_model_library();
+}
+
+inline std::string pct(double baseline, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%",
+                100.0 * (value - baseline) / baseline);
+  return buf;
+}
+
+}  // namespace mivtx::bench

@@ -1,0 +1,93 @@
+// Library-level PPA survey: rank the 14 cells by how much each gains from
+// the MIV-transistor implementations, and print the per-arc timing detail
+// the averaged Fig. 5 numbers hide.
+//
+// Usage: cell_ppa_survey [CELLNAME]
+//   without arguments: survey of all 14 cells (runs ~1 min of transients)
+//   with a cell name (e.g. XOR2X1): per-arc report for that cell
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/log.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/ppa.h"
+#include "core/reference_cards.h"
+
+using namespace mivtx;
+
+namespace {
+
+int per_cell_report(const char* name) {
+  const cells::CellType* found = nullptr;
+  for (const cells::CellType& t : cells::all_cells()) {
+    if (equals_ci(cells::cell_name(t), name)) found = &t;
+  }
+  if (!found) {
+    std::printf("unknown cell '%s'; choose one of:", name);
+    for (cells::CellType t : cells::all_cells())
+      std::printf(" %s", cells::cell_name(t));
+    std::printf("\n");
+    return 1;
+  }
+  core::PpaEngine engine(core::reference_model_library());
+  std::printf("Per-arc timing for %s:\n\n", cells::cell_name(*found));
+  for (cells::Implementation impl : cells::all_implementations()) {
+    const core::CellPpa ppa = engine.measure(*found, impl);
+    std::printf("%s implementation (avg %.2f ps, %.3f uW, %.4f um^2):\n",
+                cells::impl_name(impl), ppa.delay * 1e12, ppa.power * 1e6,
+                ppa.area * 1e12);
+    TextTable t({"pin", "input edge", "delay (ps)"});
+    for (const core::ArcMeasurement& arc : ppa.arcs) {
+      t.add_row({arc.pin, arc.input_rising ? "rise" : "fall",
+                 format("%.2f", arc.delay * 1e12)});
+    }
+    t.print();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kError);
+  if (argc > 1) return per_cell_report(argv[1]);
+
+  core::PpaEngine engine(core::reference_model_library());
+  std::printf("[measuring 14 cells x 4 implementations ...]\n\n");
+  const std::vector<core::CellPpa> all = engine.measure_all();
+
+  struct Gain {
+    cells::CellType type;
+    double pdp_gain;   // 2-ch PDP vs 2D
+    double area_gain;  // 2-ch area vs 2D
+  };
+  std::vector<Gain> gains;
+  for (cells::CellType type : cells::all_cells()) {
+    double pdp[4] = {0, 0, 0, 0}, area[4] = {0, 0, 0, 0};
+    for (const core::CellPpa& c : all) {
+      if (c.type != type || !c.ok) continue;
+      pdp[static_cast<int>(c.impl)] = c.pdp;
+      area[static_cast<int>(c.impl)] = c.area;
+    }
+    gains.push_back({type, (pdp[2] - pdp[0]) / pdp[0],
+                     (area[2] - area[0]) / area[0]});
+  }
+  std::sort(gains.begin(), gains.end(), [](const Gain& a, const Gain& b) {
+    return a.pdp_gain < b.pdp_gain;
+  });
+
+  std::printf("Cells ranked by 2-channel PDP improvement over 2D:\n");
+  TextTable t({"rank", "cell", "2-ch PDP delta", "2-ch area delta"});
+  int rank = 1;
+  for (const Gain& g : gains) {
+    t.add_row({format("%d", rank++), cells::cell_name(g.type),
+               format("%+.1f%%", 100 * g.pdp_gain),
+               format("%+.1f%%", 100 * g.area_gain)});
+  }
+  t.print();
+  std::printf("\n(run `cell_ppa_survey XOR2X1` for a per-arc breakdown)\n");
+  return 0;
+}

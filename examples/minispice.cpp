@@ -1,0 +1,203 @@
+// minispice - a small command-line circuit simulator over the mivtx SPICE
+// engine.  Reads a netlist file, executes its dot-directives, and prints
+// result tables.
+//
+// Supported directives:
+//   .op                                  DC operating point
+//   .dc <vsrc> <start> <stop> <step>     DC sweep of a voltage source
+//   .tran <print_step> <t_stop>          transient (BDF2), sampled table
+//   .ac dec <pts/decade> <f1> <f2> [src] AC sweep (default: first V source)
+//
+// Usage: minispice <netlist.sp>
+// Example netlists live in examples/netlists/.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "spice/ac.h"
+#include "spice/parser.h"
+#include "spice/transient.h"
+
+using namespace mivtx;
+using namespace mivtx::spice;
+
+namespace {
+
+std::vector<std::string> sorted_signal_nodes(const Circuit& ckt) {
+  std::vector<std::string> nodes;
+  for (NodeId n = 1; n < ckt.num_nodes(); ++n)
+    nodes.push_back(ckt.node_name(n));
+  return nodes;
+}
+
+void run_op(const Circuit& ckt) {
+  const DcResult r = dc_operating_point(ckt);
+  if (!r.converged) {
+    std::printf(".op: FAILED to converge\n");
+    return;
+  }
+  std::printf(".op (strategy: %s)\n", r.strategy.c_str());
+  TextTable t({"node", "voltage (V)"});
+  for (const std::string& n : sorted_signal_nodes(ckt)) {
+    t.add_row({n, format("%.6g", solution_voltage(ckt, r.x, ckt.find_node(n)))});
+  }
+  for (const Element& e : ckt.elements()) {
+    if (e.kind == ElementKind::kVoltageSource) {
+      t.add_row({"I(" + e.name + ")",
+                 format("%.6g A", r.x[ckt.branch_unknown(e)])});
+    }
+  }
+  t.print();
+}
+
+void run_dc(Circuit ckt, const std::vector<std::string>& arg) {
+  MIVTX_EXPECT(arg.size() >= 5, ".dc needs: src start stop step");
+  const std::string src = arg[1];
+  const double start = parse_spice_number(arg[2]);
+  const double stop = parse_spice_number(arg[3]);
+  const double step = parse_spice_number(arg[4]);
+  MIVTX_EXPECT(step > 0.0 && stop >= start, ".dc: bad sweep range");
+  std::vector<double> values;
+  for (double v = start; v <= stop + 0.5 * step; v += step)
+    values.push_back(v);
+  const DcSweepResult sweep = dc_sweep(ckt, src, values);
+  if (!sweep.converged) {
+    std::printf(".dc: FAILED to converge\n");
+    return;
+  }
+  std::printf(".dc %s %g -> %g\n", src.c_str(), start, stop);
+  const auto nodes = sorted_signal_nodes(ckt);
+  std::vector<std::string> hdr{src};
+  for (const auto& n : nodes) hdr.push_back("V(" + n + ")");
+  TextTable t(hdr);
+  for (std::size_t k = 0; k < sweep.sweep_values.size(); ++k) {
+    std::vector<std::string> row{format("%.4g", sweep.sweep_values[k])};
+    for (const auto& n : nodes) {
+      row.push_back(format(
+          "%.5g", solution_voltage(ckt, sweep.solutions[k], ckt.find_node(n))));
+    }
+    t.add_row(row);
+  }
+  t.print();
+}
+
+void run_tran(const Circuit& ckt, const std::vector<std::string>& arg) {
+  MIVTX_EXPECT(arg.size() >= 3, ".tran needs: print_step t_stop");
+  const double print_step = parse_spice_number(arg[1]);
+  const double t_stop = parse_spice_number(arg[2]);
+  TransientOptions opts;
+  opts.t_stop = t_stop;
+  const TransientResult tr = transient(ckt, opts);
+  if (!tr.ok) {
+    std::printf(".tran: FAILED (%s)\n", tr.error.c_str());
+    return;
+  }
+  std::printf(".tran to %s (%zu accepted steps)\n",
+              eng_format(t_stop, "s").c_str(), tr.accepted_steps);
+  const auto nodes = sorted_signal_nodes(ckt);
+  std::vector<std::string> hdr{"t"};
+  for (const auto& n : nodes) hdr.push_back("V(" + n + ")");
+  TextTable t(hdr);
+  for (double time = 0.0; time <= t_stop * (1 + 1e-12); time += print_step) {
+    std::vector<std::string> row{eng_format(time, "s", 2)};
+    for (const auto& n : nodes)
+      row.push_back(format("%.5g", tr.v(n).sample(time)));
+    t.add_row(row);
+  }
+  t.print();
+}
+
+void run_ac(const Circuit& ckt, const std::vector<std::string>& arg) {
+  MIVTX_EXPECT(arg.size() >= 5 && equals_ci(arg[1], "dec"),
+               ".ac needs: dec pts f_start f_stop [src]");
+  const std::size_t pts = static_cast<std::size_t>(parse_spice_number(arg[2]));
+  const double f1 = parse_spice_number(arg[3]);
+  const double f2 = parse_spice_number(arg[4]);
+  std::string src;
+  if (arg.size() > 5) {
+    src = arg[5];
+  } else {
+    for (const Element& e : ckt.elements()) {
+      if (e.kind == ElementKind::kVoltageSource) {
+        src = e.name;
+        break;
+      }
+    }
+  }
+  MIVTX_EXPECT(!src.empty(), ".ac: no voltage source to drive");
+  const auto freqs = log_frequency_grid(f1, f2, pts);
+  const AcResult ac = ac_analysis(ckt, src, freqs);
+  if (!ac.ok) {
+    std::printf(".ac: FAILED (%s)\n", ac.error.c_str());
+    return;
+  }
+  std::printf(".ac dec %zu %s -> %s (stimulus: %s)\n", pts,
+              eng_format(f1, "Hz").c_str(), eng_format(f2, "Hz").c_str(),
+              src.c_str());
+  const auto nodes = sorted_signal_nodes(ckt);
+  std::vector<std::string> hdr{"f"};
+  for (const auto& n : nodes) {
+    hdr.push_back("|V(" + n + ")|");
+    hdr.push_back("ph(" + n + ") deg");
+  }
+  TextTable t(hdr);
+  for (std::size_t k = 0; k < freqs.size(); ++k) {
+    std::vector<std::string> row{eng_format(freqs[k], "Hz", 2)};
+    for (const auto& n : nodes) {
+      row.push_back(format("%.4g", ac.magnitude(n, k)));
+      row.push_back(format("%.1f", ac.phase(n, k) * 180.0 / M_PI));
+    }
+    t.add_row(row);
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: minispice <netlist.sp>\n"
+                 "see examples/netlists/ for samples\n");
+    return 2;
+  }
+  std::ifstream file(argv[1]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  try {
+    const ParsedNetlist parsed = parse_netlist(buffer.str());
+    std::printf("* %s\n", parsed.title.c_str());
+    if (parsed.directives.empty()) {
+      std::printf("(no directives; running .op)\n");
+      run_op(parsed.circuit);
+      return 0;
+    }
+    for (const std::string& d : parsed.directives) {
+      const auto arg = split(d, " \t");
+      std::printf("\n");
+      if (equals_ci(arg[0], ".op")) {
+        run_op(parsed.circuit);
+      } else if (equals_ci(arg[0], ".dc")) {
+        run_dc(parsed.circuit, arg);
+      } else if (equals_ci(arg[0], ".tran")) {
+        run_tran(parsed.circuit, arg);
+      } else if (equals_ci(arg[0], ".ac")) {
+        run_ac(parsed.circuit, arg);
+      } else {
+        std::printf("(ignoring directive: %s)\n", d.c_str());
+      }
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

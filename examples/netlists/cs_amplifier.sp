@@ -1,0 +1,13 @@
+common-source amplifier with ideal buffer
+.model nch nmos LEVEL=70 VTH0=0.35 L=24n W=192n U0=0.03
+VDD vdd 0 DC 1.0
+VIN in 0 DC 0.45
+RL vdd out 20k
+CL out 0 2f
+M1 out in 0 nch
+* ideal unity buffer to a 50-ohm world
+E1 buf 0 out 0 1.0
+Rbuf buf 0 50
+.op
+.ac dec 3 1e6 1e11
+.end

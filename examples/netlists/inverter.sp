@@ -1,0 +1,14 @@
+MIV-transistor inverter (2-channel implementation flavor)
+* Models are illustrative; the production cards live in
+* src/core/reference_cards.cpp.
+.model nch nmos LEVEL=70 VTH0=0.35 L=24n W=192n U0=0.03
+.model pch pmos LEVEL=70 VTH0=-0.35 L=24n W=192n U0=0.012
+VDD vdd 0 DC 1.0
+VIN in 0 PULSE(0 1 200p 20p 20p 400p)
+M1 out in 0 nch
+M2 out in vdd pch
+C1 out 0 1f
+.op
+.dc VIN 0 1.0 0.1
+.tran 100p 1.2n
+.end

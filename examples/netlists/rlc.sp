@@ -1,0 +1,7 @@
+series RLC resonator
+VIN in 0 DC 0
+R1 in mid 50
+L1 mid cap 1u
+C1 cap 0 1p
+.ac dec 4 1e6 1e10
+.end

@@ -1,0 +1,50 @@
+#include "bsimsoi/curves.h"
+
+#include <cmath>
+
+namespace mivtx::bsimsoi {
+
+namespace {
+double sign_of(const SoiModelCard& card) {
+  return card.polarity == Polarity::kNmos ? 1.0 : -1.0;
+}
+}  // namespace
+
+Curve id_vg(const SoiModelCard& card, double vds_mag,
+            const std::vector<double>& vg_mags) {
+  const double s = sign_of(card);
+  Curve out;
+  out.reserve(vg_mags.size());
+  for (double vg : vg_mags) {
+    const ModelOutput m = eval(card, s * vg, s * vds_mag, 0.0);
+    out.push_back(CurvePoint{vg, std::fabs(m.ids)});
+  }
+  return out;
+}
+
+Curve id_vd(const SoiModelCard& card, double vgs_mag,
+            const std::vector<double>& vd_mags) {
+  const double s = sign_of(card);
+  Curve out;
+  out.reserve(vd_mags.size());
+  for (double vd : vd_mags) {
+    const ModelOutput m = eval(card, s * vgs_mag, s * vd, 0.0);
+    out.push_back(CurvePoint{vd, std::fabs(m.ids)});
+  }
+  return out;
+}
+
+Curve cgg_vg(const SoiModelCard& card, double vds_mag,
+             const std::vector<double>& vg_mags) {
+  const double s = sign_of(card);
+  Curve out;
+  out.reserve(vg_mags.size());
+  for (double vg : vg_mags) {
+    const ModelOutput m = eval(card, s * vg, s * vds_mag, 0.0);
+    // dQg/dVg is polarity-invariant (both charge and voltage mirror).
+    out.push_back(CurvePoint{vg, m.dqg[kDvG]});
+  }
+  return out;
+}
+
+}  // namespace mivtx::bsimsoi

@@ -1,0 +1,30 @@
+// Characteristic-curve sweeps evaluated on a model card.  These mirror the
+// TCAD-side sweeps in tcad/characterize.h so the extraction engine can
+// compare like against like.
+#pragma once
+
+#include <vector>
+
+#include "bsimsoi/model.h"
+#include "bsimsoi/params.h"
+#include "common/curve.h"
+
+namespace mivtx::bsimsoi {
+
+using mivtx::Curve;
+using mivtx::CurvePoint;
+
+// |Id| vs Vg at fixed |Vds|, source grounded.  Voltages are magnitudes;
+// the polarity of the card decides actual signs.
+Curve id_vg(const SoiModelCard& card, double vds_mag,
+            const std::vector<double>& vg_mags);
+
+// |Id| vs Vd at fixed |Vgs|.
+Curve id_vd(const SoiModelCard& card, double vgs_mag,
+            const std::vector<double>& vd_mags);
+
+// Cgg vs Vg at fixed |Vds| (quasi-static gate capacitance).
+Curve cgg_vg(const SoiModelCard& card, double vds_mag,
+             const std::vector<double>& vg_mags);
+
+}  // namespace mivtx::bsimsoi

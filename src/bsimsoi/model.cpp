@@ -1,0 +1,255 @@
+#include "bsimsoi/model.h"
+
+#include <cmath>
+
+#include "common/dual.h"
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mivtx::bsimsoi {
+
+namespace {
+
+using D = Dual<2>;  // independent variables: (vgs', vds') in mirrored space
+
+// softplus with a bias-dependent width k (k itself carries derivatives).
+D softplus_d(const D& x, const D& k) {
+  const double z = x.v / k.v;
+  if (z > 40.0) return x;
+  if (z < -40.0) return k * exp(x / k);
+  return k * log1p(exp(x / k));
+}
+
+// BSIM-style smooth min(vds, vdsat) with transition width delta.
+D smooth_min_vds(const D& vds, const D& vdsat, double delta) {
+  const D t = vdsat - vds - D(delta);
+  return vdsat - (t + sqrt(t * t + D(4.0 * delta) * vdsat)) * D(0.5);
+}
+
+struct CoreResult {
+  D ids;  // internal drain->source current, >= 0
+  D qg, qd, qs;
+};
+
+// Physics core in mirrored (NMOS-normalized) coordinates; requires
+// vds.v >= 0 (the wrapper swaps terminals to guarantee this).
+CoreResult core(const SoiModelCard& c, const D& vgs, const D& vds) {
+  // BSIM-style temperature scaling around the extraction temperature TNOM:
+  // vt follows the operating temperature, mobility follows (T/Tnom)^UTE,
+  // threshold shifts by KT1*(T/Tnom - 1), vsat by -AT*(T/Tnom - 1).
+  const double t_kelvin = 273.15 + c.temp;
+  const double tnom_kelvin = 273.15 + c.tnom;
+  const double t_ratio = t_kelvin / tnom_kelvin;
+  const double vt = thermal_voltage(t_kelvin);
+  const double u0_t = c.u0 * std::pow(t_ratio, c.ute);
+  const double vsat_t = std::max(c.vsat - c.at * (t_ratio - 1.0), 1e3);
+  const double cox = kEpsRelSiO2 * kVacuumPermittivity / c.tox;
+  const double vth0 = std::fabs(c.vth0) + c.kt1 * (t_ratio - 1.0);
+
+  // Short-channel roll-off: exponential in L over the FD-SOI natural length
+  // lambda = sqrt((eps_si/eps_ox) * tox * tsi).
+  const double lambda =
+      std::sqrt((kEpsRelSilicon / kEpsRelSiO2) * c.tox * c.tsi);
+  const double kVbiScale = 0.9;  // built-in-potential scale of the roll-off
+  const double dv_sce =
+      c.dvt0 * kVbiScale * std::exp(-c.dvt1 * c.l / (2.0 * lambda));
+
+  const D vth = D(vth0 - dv_sce) - D(c.etab) * vds;
+
+  // Subthreshold ideality; smoothly clamped to >= 0.5 so pathological
+  // optimizer steps can't produce a negative swing.
+  const D n_raw = D(c.nfactor) + (D(c.cdsc) + D(c.cdscd) * vds) / D(cox);
+  const D n = D(0.5) + softplus_d(n_raw - D(0.5), D(0.05));
+  const D nvt = n * D(vt);
+
+  const D vgsteff = softplus_d(vgs - vth, nvt);
+
+  // Mobility degradation (MOBMOD=4-style roles).
+  const D eeff = (vgsteff + D(2.0 * vth0)) / D(6.0 * c.tox);
+  const D coulomb = D(c.ud) / (D(1.0) + (vgsteff / D(c.ucs)) * (vgsteff / D(c.ucs)));
+  const D mob_denom = D(1.0) + D(c.ua) * eeff + D(c.ub) * eeff * eeff + coulomb;
+  const D ueff = D(u0_t) / mob_denom;
+
+  // Velocity saturation.  The 2*vt term keeps vdsat finite in weak
+  // inversion, which preserves the classic exp(vgst/(n*vt)) subthreshold
+  // current (without it the quadratic core would halve the swing).
+  const D esatl = D(2.0 * vsat_t * c.l) / ueff;
+  const D vgst2 = vgsteff + D(2.0 * vt);
+  const D vdsat = vgst2 * esatl / (vgst2 + esatl);
+  const D vdseff = smooth_min_vds(vds, vdsat, 0.01);
+
+  // Channel conductance form (BSIM-style): gch = Ids0 / Vdseff stays
+  // well-defined through Vds = 0, which keeps both the series-resistance
+  // fold-in and the AD derivatives smooth there.  The (Vgsteff + 2vt)
+  // bulk-charge denominator keeps the triode factor positive in weak
+  // inversion, preserving the exponential subthreshold slope.
+  const D beta = ueff * D(cox * c.w / c.l);
+  const D gch = beta * vgsteff *
+                (D(1.0) - vdseff / (D(2.0) * vgst2)) /
+                (D(1.0) + vdseff / esatl);
+  const D ids_lin = gch * vdseff;
+
+  // Channel-length modulation / Early voltage with PVAG gate dependence.
+  const D va = (esatl + vdsat) / D(c.pclm) *
+               (D(1.0) + D(c.pvag) * vgsteff / esatl);
+  D ids = ids_lin * (D(1.0) + (vds - vdseff) / va);
+
+  // Width-normalized source/drain series resistance, folded in BSIM-style.
+  const double rds = c.rdsw * 1e-6 / c.w;
+  ids = ids / (D(1.0) + D(rds) * gch);
+
+  // ---- Charge model (CAPMOD=3-style single-piece) -----------------------
+  const D vth_cv = vth + D(c.delvt);
+  const D ncv = n * D(std::max(c.moin, 1.0) / 15.0);
+  const D vgsteff_cv = softplus_d(vgs - vth_cv, ncv * D(vt));
+  const D vdseff_cv = smooth_min_vds(vds, vgsteff_cv, 0.02);
+
+  const D a = vgsteff_cv;
+  const D b = vgsteff_cv - vdseff_cv;
+  const double clw = c.w * c.l * cox;
+  const D ab = a + b + D(1e-12);
+  // Square-law channel charge and Ward-Dutton 40/60 drain partition.
+  const D qc = D(-clw * 2.0 / 3.0) * (a * a + a * b + b * b) / ab;
+  const D qd_i = D(-clw * 2.0 / 15.0) *
+                 (D(2.0) * a * a * a + D(4.0) * a * a * b +
+                  D(6.0) * a * b * b + D(3.0) * b * b * b) /
+                 (ab * ab);
+  const D qs_i = qc - qd_i;
+  const D qg_i = -qc;
+
+  // Back-interface (MIV side-gate) channel charge: a second inversion
+  // branch with threshold raised by DVTB and area K1B * W*L*Cox.  Pure
+  // charge contribution - the I-V core already absorbs the MIV's drive
+  // effect through its fitted mobility/VSAT/RDSW.
+  D qg_b(0.0), qd_b(0.0), qs_b(0.0);
+  if (c.k1b > 0.0) {
+    const D ab = softplus_d(vgs - vth_cv - D(c.dvtb), ncv * D(vt));
+    const D vdseff_b = smooth_min_vds(vds, ab, 0.02);
+    const D bb = ab - vdseff_b;
+    const double clwb = c.k1b * clw;
+    const D abb = ab + bb + D(1e-12);
+    const D qc_b = D(-clwb * 2.0 / 3.0) * (ab * ab + ab * bb + bb * bb) / abb;
+    qd_b = D(-clwb * 2.0 / 15.0) *
+           (D(2.0) * ab * ab * ab + D(4.0) * ab * ab * bb +
+            D(6.0) * ab * bb * bb + D(3.0) * bb * bb * bb) /
+           (abb * abb);
+    qs_b = qc_b - qd_b;
+    qg_b = -qc_b;
+  }
+
+  // Overlap/fringe charges are handled in eval() on the *physical*
+  // terminals: the internal drain/source swap must not exchange CGSO and
+  // CGDO, or the terminal charge would be discontinuous at vds = 0 for
+  // asymmetric overlaps (which extraction routinely produces).
+  CoreResult out;
+  out.ids = ids;
+  out.qg = qg_i + qg_b;
+  out.qd = qd_i + qd_b;
+  out.qs = qs_i + qs_b;
+  return out;
+}
+
+}  // namespace
+
+ModelOutput eval(const SoiModelCard& card, double vg, double vd, double vs) {
+  const double s = (card.polarity == Polarity::kNmos) ? 1.0 : -1.0;
+  const double vds_m = s * (vd - vs);  // mirrored drain bias
+  const bool swapped = vds_m < 0.0;
+
+  // Mirrored-space biases with internal drain = the higher-potential
+  // terminal, so the core always sees vds' >= 0.
+  const double vgs_p = swapped ? s * (vg - vd) : s * (vg - vs);
+  const double vds_p = swapped ? -vds_m : vds_m;
+
+  const D vgs = D::variable(vgs_p, 0);
+  const D vds = D::variable(vds_p, 1);
+  const CoreResult r = core(card, vgs, vds);
+
+  ModelOutput out;
+  // Map current: positive core current flows internal-drain -> internal
+  // -source.  ids is reported as current into the *external* drain terminal.
+  // Chain rule through vgs' = s*(vg - vX), vds' = s*(vY - vX) collapses the
+  // polarity sign (s*s = 1); only terminal assignment changes under swap.
+  if (!swapped) {
+    out.ids = s * r.ids.v;
+    out.dids[kDvG] = r.ids.d[0];
+    out.dids[kDvD] = r.ids.d[1];
+    out.dids[kDvS] = -(r.ids.d[0] + r.ids.d[1]);
+  } else {
+    out.ids = -s * r.ids.v;
+    out.dids[kDvG] = -r.ids.d[0];
+    out.dids[kDvS] = -r.ids.d[1];
+    out.dids[kDvD] = r.ids.d[0] + r.ids.d[1];
+  }
+
+  // Map charges: mirrored-space charge flips sign with polarity; under swap
+  // the internal drain charge belongs to the external source terminal.
+  auto map_charge = [&](const D& q, double& qv, std::array<double, 3>& dq,
+                        bool terminal_swaps) {
+    qv = s * q.v;
+    if (!swapped) {
+      dq[kDvG] = q.d[0];
+      dq[kDvD] = q.d[1];
+      dq[kDvS] = -(q.d[0] + q.d[1]);
+    } else {
+      dq[kDvG] = q.d[0];
+      dq[kDvS] = q.d[1];
+      dq[kDvD] = -(q.d[0] + q.d[1]);
+    }
+    (void)terminal_swaps;
+  };
+
+  map_charge(r.qg, out.qg, out.dqg, false);
+  if (!swapped) {
+    map_charge(r.qd, out.qd, out.dqd, false);
+    map_charge(r.qs, out.qs, out.dqs, false);
+  } else {
+    map_charge(r.qs, out.qd, out.dqd, true);
+    map_charge(r.qd, out.qs, out.dqs, true);
+  }
+
+  // Overlap + fringe charges on the physical terminals (never swapped):
+  // evaluated in mirrored-but-unswapped coordinates u0 = s*(vg - vs),
+  // u1 = s*(vd - vs); charge mirrors with polarity, Q = s * q'(u0, u1),
+  // and the s factors cancel in the derivatives.
+  {
+    const D u0 = D::variable(s * (vg - vs), 0);
+    const D u1 = D::variable(s * (vd - vs), 1);
+    const D vgs_m = u0;
+    const D vgd_m = u0 - u1;
+    const D kappa = D(std::max(card.ckappa, 1e-3));
+    const D qov_s = D(card.w) * (D(card.cgso + card.cf) * vgs_m +
+                                 D(card.cgsl) * softplus_d(vgs_m, kappa));
+    const D qov_d = D(card.w) * (D(card.cgdo + card.cf) * vgd_m +
+                                 D(card.cgdl) * softplus_d(vgd_m, kappa));
+    auto add_physical = [&](const D& q, double sign_q, double& qv,
+                            std::array<double, 3>& dq) {
+      qv += sign_q * s * q.v;
+      dq[kDvG] += sign_q * q.d[0];
+      dq[kDvD] += sign_q * q.d[1];
+      dq[kDvS] += sign_q * (-(q.d[0] + q.d[1]));
+    };
+    add_physical(qov_s + qov_d, +1.0, out.qg, out.dqg);
+    add_physical(qov_d, -1.0, out.qd, out.dqd);
+    add_physical(qov_s, -1.0, out.qs, out.dqs);
+  }
+  return out;
+}
+
+double drain_current(const SoiModelCard& card, double vgs, double vds) {
+  return eval(card, vgs, vds, 0.0).ids;
+}
+
+double gate_capacitance(const SoiModelCard& card, double vgs, double vds) {
+  return eval(card, vgs, vds, 0.0).dqg[kDvG];
+}
+
+double effective_vth(const SoiModelCard& card, double vds) {
+  const double lambda =
+      std::sqrt((kEpsRelSilicon / kEpsRelSiO2) * card.tox * card.tsi);
+  const double dv_sce =
+      card.dvt0 * 0.9 * std::exp(-card.dvt1 * card.l / (2.0 * lambda));
+  return std::fabs(card.vth0) - dv_sce - card.etab * std::fabs(vds);
+}
+
+}  // namespace mivtx::bsimsoi

@@ -1,0 +1,62 @@
+// Compact-model evaluation: terminal current, charges, and their exact
+// derivatives for MNA stamping.
+//
+// Formulation (single-piece, C-infinity in the terminal voltages):
+//   * threshold:    vth = VTH0 - dV_SCE(L; DVT0, DVT1) - ETAB * vds'
+//   * subthreshold: n   = NFACTOR + (CDSC + CDSCD*vds') / cox
+//                   vgsteff = n*vt * ln(1 + exp((vgs' - vth)/(n*vt)))
+//   * mobility:     ueff = U0 / (1 + UA*Eeff + UB*Eeff^2
+//                               + UD / (1 + (vgsteff/UCS)^2))
+//   * velocity sat: vdsat = vgsteff*EsatL/(vgsteff + EsatL),
+//                   vdseff = smooth-min(vds', vdsat)
+//   * current:      ids = ueff*cox*(W/L)*(vgsteff - vdseff/2)*vdseff
+//                         / (1 + vdseff/EsatL) * (1 + (vds'-vdseff)/VA),
+//                   VA = (EsatL + vdsat)/PCLM * (1 + PVAG*vgsteff/EsatL)
+//   * series R:     ids /= 1 + Rds*ids0/(vdseff + eps), Rds = RDSW*1u/W
+//   * charges:      square-law channel charge with Ward-Dutton 40/60
+//                   partition on vgsteff_cv (MOIN smoothing, DELVT shift),
+//                   plus constant (CGSO/CGDO/CF) and bias-dependent
+//                   (CGSL/CGDL with CKAPPA width) overlap charges.
+//
+// PMOS is evaluated in mirrored coordinates; drain/source are swapped
+// internally when the applied bias is negative so the model is symmetric.
+#pragma once
+
+#include <array>
+
+#include "bsimsoi/params.h"
+
+namespace mivtx::bsimsoi {
+
+// Indices into derivative arrays: with respect to (vg, vd, vs).
+inline constexpr int kDvG = 0;
+inline constexpr int kDvD = 1;
+inline constexpr int kDvS = 2;
+
+struct ModelOutput {
+  // Current flowing into the drain terminal and out of the source terminal.
+  double ids = 0.0;
+  std::array<double, 3> dids{};  // d(ids)/d(vg, vd, vs)
+
+  // Terminal charges (gate, drain, source) and their derivative rows.
+  double qg = 0.0, qd = 0.0, qs = 0.0;
+  std::array<double, 3> dqg{}, dqd{}, dqs{};
+};
+
+// Full evaluation at terminal voltages (vg, vd, vs) against an arbitrary
+// reference.  Temperature fixed at the card's TNOM.
+ModelOutput eval(const SoiModelCard& card, double vg, double vd, double vs);
+
+// Convenience views used by characterization and extraction ---------------
+
+// Drain current with source grounded: ids(vgs, vds).
+double drain_current(const SoiModelCard& card, double vgs, double vds);
+
+// Small-signal gate capacitance Cgg = dQg/dVg at (vgs, vds).
+double gate_capacitance(const SoiModelCard& card, double vgs, double vds);
+
+// Threshold voltage actually used by the I-V core at a given vds (useful in
+// tests; includes SCE roll-off and DIBL, excludes DELVT).
+double effective_vth(const SoiModelCard& card, double vds);
+
+}  // namespace mivtx::bsimsoi

@@ -1,0 +1,114 @@
+#include "bsimsoi/params.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mivtx::bsimsoi {
+
+namespace {
+
+struct FieldRef {
+  double SoiModelCard::* member;
+};
+
+const std::map<std::string, FieldRef>& field_map() {
+  static const std::map<std::string, FieldRef> kMap = {
+      {"TSI", {&SoiModelCard::tsi}},       {"TOX", {&SoiModelCard::tox}},
+      {"TBOX", {&SoiModelCard::tbox}},     {"L", {&SoiModelCard::l}},
+      {"W", {&SoiModelCard::w}},           {"TNOM", {&SoiModelCard::tnom}},
+      {"VTH0", {&SoiModelCard::vth0}},     {"DVT0", {&SoiModelCard::dvt0}},
+      {"DVT1", {&SoiModelCard::dvt1}},     {"DELVT", {&SoiModelCard::delvt}},
+      {"NFACTOR", {&SoiModelCard::nfactor}},
+      {"CDSC", {&SoiModelCard::cdsc}},     {"CDSCD", {&SoiModelCard::cdscd}},
+      {"ETAB", {&SoiModelCard::etab}},     {"U0", {&SoiModelCard::u0}},
+      {"UA", {&SoiModelCard::ua}},         {"UB", {&SoiModelCard::ub}},
+      {"UD", {&SoiModelCard::ud}},         {"UCS", {&SoiModelCard::ucs}},
+      {"VSAT", {&SoiModelCard::vsat}},     {"PCLM", {&SoiModelCard::pclm}},
+      {"PVAG", {&SoiModelCard::pvag}},     {"RDSW", {&SoiModelCard::rdsw}},
+      {"CKAPPA", {&SoiModelCard::ckappa}}, {"CGSO", {&SoiModelCard::cgso}},
+      {"CGDO", {&SoiModelCard::cgdo}},     {"CGSL", {&SoiModelCard::cgsl}},
+      {"CGDL", {&SoiModelCard::cgdl}},     {"CF", {&SoiModelCard::cf}},
+      {"MOIN", {&SoiModelCard::moin}},     {"K1B", {&SoiModelCard::k1b}},
+      {"DVTB", {&SoiModelCard::dvtb}},     {"TEMP", {&SoiModelCard::temp}},
+      {"UTE", {&SoiModelCard::ute}},       {"KT1", {&SoiModelCard::kt1}},
+      {"AT", {&SoiModelCard::at}},
+  };
+  return kMap;
+}
+
+}  // namespace
+
+double SoiModelCard::get(const std::string& upper_name) const {
+  const std::string key = to_upper(upper_name);
+  if (key == "LEVEL") return level;
+  if (key == "MOBMOD") return mobmod;
+  if (key == "CAPMOD") return capmod;
+  if (key == "IGCMOD") return igcmod;
+  if (key == "SOIMOD") return soimod;
+  if (key == "NF") return nf;
+  const auto it = field_map().find(key);
+  MIVTX_EXPECT(it != field_map().end(), "unknown model parameter: " + key);
+  return this->*(it->second.member);
+}
+
+void SoiModelCard::set(const std::string& upper_name, double value) {
+  const std::string key = to_upper(upper_name);
+  if (key == "LEVEL") { level = static_cast<int>(value); return; }
+  if (key == "MOBMOD") { mobmod = static_cast<int>(value); return; }
+  if (key == "CAPMOD") { capmod = static_cast<int>(value); return; }
+  if (key == "IGCMOD") { igcmod = static_cast<int>(value); return; }
+  if (key == "SOIMOD") { soimod = static_cast<int>(value); return; }
+  if (key == "NF") { nf = static_cast<int>(value); return; }
+  const auto it = field_map().find(key);
+  MIVTX_EXPECT(it != field_map().end(), "unknown model parameter: " + key);
+  this->*(it->second.member) = value;
+}
+
+const std::vector<std::string>& SoiModelCard::tunable_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const auto& [k, v] : field_map()) names.push_back(k);
+    return names;
+  }();
+  return kNames;
+}
+
+std::string SoiModelCard::to_model_line() const {
+  std::ostringstream os;
+  os << ".model " << name << ' '
+     << (polarity == Polarity::kNmos ? "nmos" : "pmos");
+  os << format(" LEVEL=%d MOBMOD=%d CAPMOD=%d IGCMOD=%d SOIMOD=%d NF=%d",
+               level, mobmod, capmod, igcmod, soimod, nf);
+  for (const auto& [k, ref] : field_map()) {
+    os << ' ' << k << '=' << format("%.9g", this->*(ref.member));
+  }
+  return os.str();
+}
+
+SoiModelCard SoiModelCard::from_model_line(const std::string& line) {
+  const auto tokens = split(line, " \t");
+  MIVTX_EXPECT(tokens.size() >= 3, "malformed model card: " + line);
+  MIVTX_EXPECT(equals_ci(tokens[0], ".model"),
+               "model card must start with .model");
+  SoiModelCard card;
+  card.name = tokens[1];
+  if (equals_ci(tokens[2], "nmos")) {
+    card.polarity = Polarity::kNmos;
+  } else if (equals_ci(tokens[2], "pmos")) {
+    card.polarity = Polarity::kPmos;
+  } else {
+    MIVTX_FAIL("model type must be nmos or pmos, got " + tokens[2]);
+  }
+  for (std::size_t i = 3; i < tokens.size(); ++i) {
+    const auto kv = split(tokens[i], "=");
+    MIVTX_EXPECT(kv.size() == 2, "malformed parameter token: " + tokens[i]);
+    card.set(kv[0], parse_spice_number(kv[1]));
+  }
+  return card;
+}
+
+}  // namespace mivtx::bsimsoi

@@ -1,0 +1,104 @@
+// Level-70 (BSIMSOI4)-flavored model card.
+//
+// The card exposes exactly the parameter surface the paper's extraction flow
+// tunes (SOCC'23 §III, Tables II/III): threshold (VTH0, DVT0/DVT1, DELVT),
+// subthreshold (CDSC, CDSCD, NFACTOR, ETAB), mobility (U0, UA, UB, UD, UCS),
+// saturation/output (VSAT, PVAG, PCLM), capacitance (CKAPPA, CF, CGSO, CGDO,
+// CGSL, CGDL, MOIN) plus the process constants of Table II (TSI, TOX, TBOX,
+// L, W, TNOM) and the flag fields (LEVEL, MOBMOD, CAPMOD, IGCMOD, SOIMOD).
+//
+// The underlying I-V/C-V equations are a compact single-piece formulation —
+// see bsimsoi/model.h — not the literal BSIMSOI4 source; parameter names
+// keep their BSIMSOI roles so the staged extraction stages own the same
+// knobs the paper describes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mivtx::bsimsoi {
+
+enum class Polarity { kNmos, kPmos };
+
+struct SoiModelCard {
+  std::string name = "mivtx_soi";
+  Polarity polarity = Polarity::kNmos;
+
+  // --- Flags / selectors (Table II; informational, fixed by the flow) ----
+  int level = 70;
+  int mobmod = 4;
+  int capmod = 3;
+  int igcmod = 0;
+  int soimod = 2;  // ideal fully-depleted SOI
+
+  // --- Process constants (Table II) --------------------------------------
+  double tsi = 7e-9;     // silicon film thickness (m)
+  double tox = 1e-9;     // gate oxide thickness (m)
+  double tbox = 100e-9;  // buried oxide thickness (m)
+  double l = 48e-9;      // channel length (m)
+  double w = 192e-9;     // total channel width (m), all channels combined
+  double tnom = 25.0;    // nominal temperature (C)
+  int nf = 1;            // number of parallel channels (MIV variants: 1/2/4)
+
+  // --- Threshold-voltage group -------------------------------------------
+  double vth0 = 0.35;   // long-channel threshold (V); negative for PMOS
+  double dvt0 = 0.5;    // SCE roll-off magnitude coefficient
+  double dvt1 = 1.0;    // SCE roll-off length-decay coefficient
+  double delvt = 0.0;   // threshold adjust, applied in the charge model (V)
+
+  // --- Subthreshold group -------------------------------------------------
+  double nfactor = 1.0;   // base swing ideality
+  double cdsc = 1e-4;     // coupling cap to channel (F/m^2)
+  double cdscd = 0.0;     // drain-bias dependence of cdsc (F/V/m^2)
+  double etab = 0.02;     // DIBL coefficient (V/V); BSIMSOI's eta-group knob
+
+  // --- Mobility group (MOBMOD=4-style roles) ------------------------------
+  double u0 = 0.03;    // low-field mobility (m^2/Vs)
+  double ua = 1e-9;    // first-order field degradation (m/V)
+  double ub = 1e-18;   // second-order field degradation (m^2/V^2)
+  double ud = 0.0;     // Coulomb-scattering degradation magnitude
+  double ucs = 1.0;    // Coulomb-scattering gate-overdrive scale (V)
+
+  // --- Saturation / output-conductance group -------------------------------
+  double vsat = 8.5e4;  // saturation velocity (m/s)
+  double pclm = 1.3;    // channel-length-modulation coefficient
+  double pvag = 0.0;    // gate-bias dependence of Early voltage
+
+  // --- Series resistance ----------------------------------------------------
+  double rdsw = 100.0;  // source+drain resistance, width-normalized (ohm*um)
+
+  // --- Capacitance group -----------------------------------------------------
+  double ckappa = 0.6;   // bias-dependent overlap transition width (V)
+  double cgso = 1.5e-10;  // gate-source constant overlap (F/m)
+  double cgdo = 1.5e-10;  // gate-drain constant overlap (F/m)
+  double cgsl = 0.0;     // gate-source bias-dependent overlap (F/m)
+  double cgdl = 0.0;     // gate-drain bias-dependent overlap (F/m)
+  double cf = 0.0;       // fringe capacitance, both sides (F/m)
+  double moin = 15.0;    // moderate-inversion CV smoothing coefficient
+  // Back-interface (MIV side-gate) charge branch: BSIMSOI4 models the
+  // buried-oxide back channel (SOIMOD group); the equivalent here is a
+  // second inversion-charge branch with its own area ratio and threshold
+  // offset.  Zero for devices without an MIV stem.
+  double k1b = 0.0;    // back-channel area ratio (fraction of W*L*Cox)
+  double dvtb = 0.3;   // back-channel threshold offset (V)
+
+  // --- Temperature (BSIM-style scaling around TNOM) -----------------------
+  double temp = 25.0;   // operating temperature (C); TNOM = extraction temp
+  double ute = -1.5;    // mobility temperature exponent
+  double kt1 = -0.11;   // Vth temperature coefficient (V)
+  double at = 3.3e4;    // saturation-velocity temperature coefficient (m/s)
+
+  // Per-name access used by the extraction optimizer and the card parser.
+  // Names are upper-case SPICE spellings ("VTH0", "U0", ...).
+  double get(const std::string& upper_name) const;
+  void set(const std::string& upper_name, double value);
+  static const std::vector<std::string>& tunable_names();
+
+  // Serialize as a ".model <name> nmos|pmos LEVEL=70 ..." card.
+  std::string to_model_line() const;
+  // Parse the output of to_model_line (tolerant of case/whitespace).
+  static SoiModelCard from_model_line(const std::string& line);
+};
+
+}  // namespace mivtx::bsimsoi

@@ -1,0 +1,111 @@
+#include "cells/celltypes.h"
+
+#include "common/error.h"
+
+namespace mivtx::cells {
+
+const std::vector<CellType>& all_cells() {
+  static const std::vector<CellType> kAll = {
+      CellType::kAnd2,  CellType::kAnd3,  CellType::kAoi2, CellType::kInv1,
+      CellType::kMux2,  CellType::kNand2, CellType::kNand3,
+      CellType::kNor2,  CellType::kNor3,  CellType::kOai2, CellType::kOr2,
+      CellType::kOr3,   CellType::kXnor2, CellType::kXor2,
+  };
+  return kAll;
+}
+
+const char* cell_name(CellType type) {
+  switch (type) {
+    case CellType::kAnd2: return "AND2X1";
+    case CellType::kAnd3: return "AND3X1";
+    case CellType::kAoi2: return "AOI2X1";
+    case CellType::kInv1: return "INV1X1";
+    case CellType::kMux2: return "MUX2X1";
+    case CellType::kNand2: return "NAND2X1";
+    case CellType::kNand3: return "NAND3X1";
+    case CellType::kNor2: return "NOR2X1";
+    case CellType::kNor3: return "NOR3X1";
+    case CellType::kOai2: return "OAI2X1";
+    case CellType::kOr2: return "OR2X1";
+    case CellType::kOr3: return "OR3X1";
+    case CellType::kXnor2: return "XNOR2X1";
+    case CellType::kXor2: return "XOR2X1";
+  }
+  return "?";
+}
+
+std::size_t cell_num_inputs(CellType type) {
+  switch (type) {
+    case CellType::kInv1:
+      return 1;
+    case CellType::kAnd2:
+    case CellType::kNand2:
+    case CellType::kNor2:
+    case CellType::kOr2:
+    case CellType::kXnor2:
+    case CellType::kXor2:
+      return 2;
+    case CellType::kAnd3:
+    case CellType::kAoi2:
+    case CellType::kMux2:
+    case CellType::kNand3:
+    case CellType::kNor3:
+    case CellType::kOai2:
+    case CellType::kOr3:
+      return 3;
+  }
+  return 0;
+}
+
+bool cell_logic(CellType type, const std::vector<bool>& in) {
+  MIVTX_EXPECT(in.size() == cell_num_inputs(type),
+               std::string("wrong input arity for ") + cell_name(type));
+  switch (type) {
+    case CellType::kInv1: return !in[0];
+    case CellType::kAnd2: return in[0] && in[1];
+    case CellType::kNand2: return !(in[0] && in[1]);
+    case CellType::kNor2: return !(in[0] || in[1]);
+    case CellType::kOr2: return in[0] || in[1];
+    case CellType::kXor2: return in[0] != in[1];
+    case CellType::kXnor2: return in[0] == in[1];
+    case CellType::kAnd3: return in[0] && in[1] && in[2];
+    case CellType::kNand3: return !(in[0] && in[1] && in[2]);
+    case CellType::kNor3: return !(in[0] || in[1] || in[2]);
+    case CellType::kOr3: return in[0] || in[1] || in[2];
+    case CellType::kAoi2: return !((in[0] && in[1]) || in[2]);
+    case CellType::kOai2: return !((in[0] || in[1]) && in[2]);
+    case CellType::kMux2: return in[2] ? in[1] : in[0];  // in[2] = S
+  }
+  return false;
+}
+
+const char* cell_function_string(CellType type) {
+  switch (type) {
+    case CellType::kInv1: return "!A";
+    case CellType::kAnd2: return "(A*B)";
+    case CellType::kNand2: return "!(A*B)";
+    case CellType::kNor2: return "!(A+B)";
+    case CellType::kOr2: return "(A+B)";
+    case CellType::kXor2: return "(A^B)";
+    case CellType::kXnor2: return "!(A^B)";
+    case CellType::kAnd3: return "(A*B*C)";
+    case CellType::kNand3: return "!(A*B*C)";
+    case CellType::kNor3: return "!(A+B+C)";
+    case CellType::kOr3: return "(A+B+C)";
+    case CellType::kAoi2: return "!((A*B)+C)";
+    case CellType::kOai2: return "!((A+B)*C)";
+    case CellType::kMux2: return "((A*!S)+(B*S))";
+  }
+  return "?";
+}
+
+std::vector<std::string> cell_input_names(CellType type) {
+  const std::size_t n = cell_num_inputs(type);
+  if (type == CellType::kMux2) return {"A", "B", "S"};
+  std::vector<std::string> names;
+  const char* letters[] = {"A", "B", "C"};
+  for (std::size_t i = 0; i < n; ++i) names.push_back(letters[i]);
+  return names;
+}
+
+}  // namespace mivtx::cells

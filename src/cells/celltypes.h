@@ -1,0 +1,41 @@
+// The 14 standard cells of the paper's PPA study (SOCC'23 §IV) and their
+// logic functions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mivtx::cells {
+
+enum class CellType {
+  kAnd2,
+  kAnd3,
+  kAoi2,   // AOI21: Y = !((A & B) | C)
+  kInv1,
+  kMux2,   // Y = S ? B : A
+  kNand2,
+  kNand3,
+  kNor2,
+  kNor3,
+  kOai2,   // OAI21: Y = !((A | B) & C)
+  kOr2,
+  kOr3,
+  kXnor2,
+  kXor2,
+};
+
+// All 14 cells in the paper's listing order.
+const std::vector<CellType>& all_cells();
+
+// Library name, e.g. "AND2X1".
+const char* cell_name(CellType type);
+std::size_t cell_num_inputs(CellType type);
+// Logic function; inputs.size() must equal cell_num_inputs.
+bool cell_logic(CellType type, const std::vector<bool>& inputs);
+// Input pin names ("A", "B", "C" / "S" for the mux select).
+std::vector<std::string> cell_input_names(CellType type);
+// Boolean function in Liberty syntax, e.g. "!(A*B)" for NAND2.
+const char* cell_function_string(CellType type);
+
+}  // namespace mivtx::cells

@@ -1,0 +1,246 @@
+#include "cells/netgen.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mivtx::cells {
+
+const char* impl_name(Implementation impl) {
+  switch (impl) {
+    case Implementation::k2D: return "2D";
+    case Implementation::kMiv1Channel: return "1-ch";
+    case Implementation::kMiv2Channel: return "2-ch";
+    case Implementation::kMiv4Channel: return "4-ch";
+  }
+  return "?";
+}
+
+const std::vector<Implementation>& all_implementations() {
+  static const std::vector<Implementation> kAll = {
+      Implementation::k2D, Implementation::kMiv1Channel,
+      Implementation::kMiv2Channel, Implementation::kMiv4Channel};
+  return kAll;
+}
+
+namespace {
+
+struct NetUse {
+  bool nmos_gate = false;
+  bool nmos_sd = false;
+  bool pmos_gate = false;
+  bool pmos_sd = false;
+
+  bool top() const { return nmos_gate || nmos_sd; }
+  bool bottom() const { return pmos_gate || pmos_sd; }
+  bool spans() const { return top() && bottom(); }
+};
+
+}  // namespace
+
+CellNetlist build_cell(CellType type, Implementation impl,
+                       const ModelSet& models,
+                       const ParasiticSpec& parasitics, double vdd) {
+  const CellTopology& topo = cell_topology(type);
+  CellNetlist cell;
+  cell.type = type;
+  cell.impl = impl;
+  cell.vdd = vdd;
+  spice::Circuit& ckt = cell.circuit;
+
+  // --- Net usage analysis -------------------------------------------------
+  std::map<std::string, NetUse> use;
+  for (const MosInstance& m : topo.fets) {
+    auto touch_sd = [&](const std::string& net) {
+      if (net == "vdd" || net == "gnd") return;
+      (m.pmos ? use[net].pmos_sd : use[net].nmos_sd) = true;
+    };
+    touch_sd(m.drain);
+    touch_sd(m.source);
+    if (m.gate != "vdd" && m.gate != "gnd")
+      (m.pmos ? use[m.gate].pmos_gate : use[m.gate].nmos_gate) = true;
+  }
+  // Inputs are driven from bottom-tier routing even if no pmos uses them.
+  for (const std::string& in : topo.inputs) use[in].pmos_sd |= false;
+
+  const bool per_gate_vias = impl != Implementation::k2D;
+
+  // --- Rails ---------------------------------------------------------------
+  const spice::NodeId vdd_ext = ckt.node("vdd_ext");
+  const spice::NodeId vddi = ckt.node("vddi");
+  const spice::NodeId gndi = ckt.node("gndi");
+  ckt.add_vsource("VDD", vdd_ext, spice::kGround,
+                  spice::SourceSpec::DC(vdd));
+  ckt.add_resistor("Rvdd", vdd_ext, vddi, parasitics.r_rail);
+  ckt.add_resistor("Rgnd", gndi, spice::kGround, parasitics.r_rail);
+
+  // --- Signal net nodes ----------------------------------------------------
+  auto bot_node = [&](const std::string& net) -> spice::NodeId {
+    if (net == "vdd") return vddi;
+    MIVTX_EXPECT(net != "gnd", "pmos tied to gnd rail is unsupported");
+    return ckt.node(use[net].spans() ? net + "_bot" : net);
+  };
+  auto top_node = [&](const std::string& net) -> spice::NodeId {
+    if (net == "gnd") return gndi;
+    MIVTX_EXPECT(net != "vdd", "nmos tied to vdd rail is unsupported");
+    return ckt.node(use[net].spans() ? net + "_top" : net);
+  };
+
+  // --- Inputs: V source -> wire R -> bottom-tier routing -------------------
+  for (const std::string& in : topo.inputs) {
+    const spice::NodeId n_in = ckt.node(in + "_in");
+    ckt.add_vsource("V" + in, n_in, spice::kGround,
+                    spice::SourceSpec::DC(0.0));
+    // Input gate nets always have bottom-tier presence (pmos gates).
+    MIVTX_EXPECT(use[in].pmos_gate, "input " + in + " missing pmos gate");
+    ckt.add_resistor("Rw_" + in, n_in, bot_node(in), parasitics.r_wire);
+    cell.input_sources.push_back("V" + in);
+  }
+
+  // --- Inter-tier vias ------------------------------------------------------
+  // In the 2D implementation each spanning net gets one MIV joining the
+  // tiers.  In MIV-transistor implementations each n-type gate consumes its
+  // own via (it *is* the transistor); a net that additionally joins S/D
+  // regions across tiers keeps one internal via for that purpose.
+  std::map<const MosInstance*, spice::NodeId> private_gate;
+  int serial = 0;
+  for (const auto& [net, u] : use) {
+    if (!u.spans()) continue;
+    const bool sd_span = u.nmos_sd;  // needs a via for the S/D side too
+    if (!per_gate_vias) {
+      ckt.add_resistor("Rmiv_" + net, bot_node(net), top_node(net),
+                       parasitics.r_miv);
+      cell.mivs.total += 1;
+      if (u.nmos_gate) {
+        cell.mivs.gate_external += 1;
+        // The external-contact via couples into the top-tier substrate it
+        // penetrates (hence the keep-out); stray MIS capacitance to the
+        // grounded film.
+        if (parasitics.c_miv_external > 0.0) {
+          ckt.add_capacitor("Cmiv_" + net, top_node(net), spice::kGround,
+                            parasitics.c_miv_external);
+        }
+      } else {
+        cell.mivs.internal += 1;
+      }
+      continue;
+    }
+    // MIV-transistor implementation.
+    if (u.nmos_gate) {
+      for (const MosInstance& m : topo.fets) {
+        if (m.pmos || m.gate != net) continue;
+        const spice::NodeId g =
+            ckt.node(net + "_g" + std::to_string(serial));
+        ckt.add_resistor("Rmivg_" + net + std::to_string(serial),
+                         bot_node(net), g, parasitics.r_miv);
+        private_gate[&m] = g;
+        cell.mivs.total += 1;
+        ++serial;
+      }
+    }
+    if (sd_span) {
+      ckt.add_resistor("Rmiv_" + net, bot_node(net), top_node(net),
+                       parasitics.r_miv);
+      cell.mivs.total += 1;
+      cell.mivs.internal += 1;
+    }
+  }
+
+  // --- Devices ---------------------------------------------------------------
+  const bool extra_sd = impl == Implementation::kMiv4Channel &&
+                        parasitics.r_extra_sd_4ch > 0.0;
+  int idx = 0;
+  for (const MosInstance& m : topo.fets) {
+    const std::string name =
+        std::string(m.pmos ? "MP" : "MN") + std::to_string(idx++);
+    if (m.pmos) {
+      ckt.add_mosfet(name, bot_node(m.drain), bot_node(m.gate),
+                     bot_node(m.source), models.pmos);
+      continue;
+    }
+    spice::NodeId g;
+    const auto pg = private_gate.find(&m);
+    if (pg != private_gate.end()) {
+      g = pg->second;
+    } else if (use.count(m.gate) && use[m.gate].spans()) {
+      g = top_node(m.gate);
+    } else {
+      g = top_node(m.gate);
+    }
+    spice::NodeId d = top_node(m.drain);
+    spice::NodeId s = top_node(m.source);
+    if (extra_sd) {
+      // The 4-channel layout needs extra wiring to join its split S/D
+      // regions; model it as series resistance on both diffusion pins.
+      const spice::NodeId d2 = ckt.node(name + "_d");
+      const spice::NodeId s2 = ckt.node(name + "_s");
+      ckt.add_resistor("Rxd_" + name, d, d2, parasitics.r_extra_sd_4ch);
+      ckt.add_resistor("Rxs_" + name, s, s2, parasitics.r_extra_sd_4ch);
+      d = d2;
+      s = s2;
+    }
+    ckt.add_mosfet(name, d, g, s, models.nmos);
+  }
+
+  // --- Output load -----------------------------------------------------------
+  const std::string& out = topo.output;
+  MIVTX_EXPECT(use.count(out) && use[out].bottom(),
+               "output net must reach the bottom tier");
+  const spice::NodeId y_load = ckt.node("y_load");
+  ckt.add_resistor("Rw_out", bot_node(out), y_load, parasitics.r_wire);
+  ckt.add_capacitor("Cload", y_load, spice::kGround, parasitics.c_load);
+  cell.output_node = "y_load";
+  return cell;
+}
+
+std::string to_netlist_text(const CellNetlist& cell) {
+  const spice::Circuit& ckt = cell.circuit;
+  std::ostringstream os;
+  os << cell_name(cell.type) << " [" << impl_name(cell.impl)
+     << " implementation]\n";
+  // Model cards first (deduplicated by name).
+  std::set<std::string> emitted;
+  for (const spice::Element& e : ckt.elements()) {
+    if (e.kind != spice::ElementKind::kMosfet) continue;
+    if (emitted.insert(e.model.name).second)
+      os << e.model.to_model_line() << '\n';
+  }
+  for (const spice::Element& e : ckt.elements()) {
+    switch (e.kind) {
+      case spice::ElementKind::kResistor:
+        os << e.name << ' ' << ckt.node_name(e.nodes[0]) << ' '
+           << ckt.node_name(e.nodes[1]) << ' ' << format("%.9g", e.value)
+           << '\n';
+        break;
+      case spice::ElementKind::kCapacitor:
+        os << e.name << ' ' << ckt.node_name(e.nodes[0]) << ' '
+           << ckt.node_name(e.nodes[1]) << ' ' << format("%.9g", e.value)
+           << '\n';
+        break;
+      case spice::ElementKind::kVoltageSource:
+        os << e.name << ' ' << ckt.node_name(e.nodes[0]) << ' '
+           << ckt.node_name(e.nodes[1]) << " DC "
+           << format("%.9g", e.source.dc_value()) << '\n';
+        break;
+      case spice::ElementKind::kCurrentSource:
+        os << e.name << ' ' << ckt.node_name(e.nodes[0]) << ' '
+           << ckt.node_name(e.nodes[1]) << " DC "
+           << format("%.9g", e.source.dc_value()) << '\n';
+        break;
+      case spice::ElementKind::kMosfet:
+        os << e.name << ' ' << ckt.node_name(e.nodes[0]) << ' '
+           << ckt.node_name(e.nodes[1]) << ' ' << ckt.node_name(e.nodes[2])
+           << ' ' << e.model.name << '\n';
+        break;
+      default:
+        MIVTX_FAIL("cell netlists only contain R/C/V/I/M elements");
+    }
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace mivtx::cells

@@ -1,0 +1,80 @@
+// Netlist generation: turn a cell topology into a simulatable circuit for
+// one of the four top-tier implementations, with the paper's parasitic
+// assumptions (§IV):
+//   MIV 7 ohm, signal interconnect 3 ohm, VDD/GND rails 5 ohm, 1 fF load.
+//
+// Two-tier wiring model: p-type devices live on the bottom tier, n-type on
+// the top tier.  Every signal net that spans both tiers is split into a
+// _bot and _top node joined by an MIV resistance.  In the 2D implementation
+// one MIV serves all gate contacts of a net (external contact + top-tier M1
+// fanout); in the MIV-transistor implementations each n-type gate is its
+// own MIV-transistor stem, so each gets a private via path.  The 4-channel
+// variant additionally pays extra source/drain routing resistance, per the
+// paper's note that its active regions need additional interconnects.
+#pragma once
+
+#include <string>
+
+#include "bsimsoi/params.h"
+#include "cells/celltypes.h"
+#include "cells/topology.h"
+#include "spice/circuit.h"
+
+namespace mivtx::cells {
+
+enum class Implementation { k2D, kMiv1Channel, kMiv2Channel, kMiv4Channel };
+
+const char* impl_name(Implementation impl);
+const std::vector<Implementation>& all_implementations();
+
+struct ParasiticSpec {
+  double r_miv = 7.0;        // ohm per MIV
+  double r_wire = 3.0;       // ohm per signal interconnect segment
+  double r_rail = 5.0;       // ohm per supply rail
+  double c_load = 1e-15;     // output load (F)
+  double r_extra_sd_4ch = 3.0;  // extra S/D routing, 4-channel only (ohm)
+  // Stray MIS capacitance of an external-contact MIV to the top-tier
+  // substrate it passes through (2D implementation only): sidewall
+  // perimeter x film height x Cox(liner) = 4*25nm x 7nm x 34.5 mF/m^2
+  // = ~24 aF.  In the MIV-transistor implementations this coupling *is*
+  // the transistor and is already inside the extracted device model.
+  double c_miv_external = 40e-18;
+};
+
+struct ModelSet {
+  // Extracted card for the top-tier n-type device of this implementation.
+  bsimsoi::SoiModelCard nmos;
+  // Bottom-tier p-type device (always the traditional FDSOI card).
+  bsimsoi::SoiModelCard pmos;
+};
+
+struct MivStats {
+  int total = 0;          // electrical inter-tier vias
+  int gate_external = 0;  // vias landing on an n-type gate (2D: keep-out)
+  int internal = 0;       // vias joining only S/D active regions
+};
+
+struct CellNetlist {
+  CellType type = CellType::kInv1;
+  Implementation impl = Implementation::k2D;
+  spice::Circuit circuit;
+  double vdd = 1.0;
+  // Voltage-source element names driving each input, e.g. "VA" for pin A.
+  std::vector<std::string> input_sources;
+  // Node to observe as the cell output (after the output interconnect).
+  std::string output_node;
+  std::string vdd_source = "VDD";
+  MivStats mivs;
+};
+
+// Build the circuit.  Input sources are created as DC 0 sources; the PPA
+// harness reassigns their SourceSpec before simulating.
+CellNetlist build_cell(CellType type, Implementation impl,
+                       const ModelSet& models, const ParasiticSpec& parasitics,
+                       double vdd);
+
+// Emit the equivalent SPICE netlist text (round-trips through the parser;
+// used by examples and golden tests).
+std::string to_netlist_text(const CellNetlist& cell);
+
+}  // namespace mivtx::cells

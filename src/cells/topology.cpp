@@ -1,0 +1,247 @@
+#include "cells/topology.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/error.h"
+
+namespace mivtx::cells {
+
+std::size_t CellTopology::num_nmos() const {
+  std::size_t n = 0;
+  for (const MosInstance& m : fets) n += m.pmos ? 0 : 1;
+  return n;
+}
+
+std::size_t CellTopology::num_pmos() const {
+  return fets.size() - num_nmos();
+}
+
+std::vector<std::string> CellTopology::signal_nets() const {
+  std::set<std::string> nets;
+  for (const MosInstance& m : fets) {
+    for (const std::string& n : {m.drain, m.gate, m.source}) {
+      if (n != "vdd" && n != "gnd") nets.insert(n);
+    }
+  }
+  return {nets.begin(), nets.end()};
+}
+
+bool CellTopology::evaluate(const std::vector<bool>& in) const {
+  MIVTX_EXPECT(in.size() == inputs.size(), "evaluate: wrong input arity");
+  std::map<std::string, bool> known;
+  known["vdd"] = true;
+  known["gnd"] = false;
+  for (std::size_t i = 0; i < inputs.size(); ++i) known[inputs[i]] = in[i];
+
+  // Relax until stable: nets reachable from a rail through transistors with
+  // known conducting gates take the rail's value.
+  for (int round = 0; round < 16; ++round) {
+    // Union-find over nets joined by conducting transistors.
+    std::map<std::string, std::string> parent;
+    std::function<std::string(const std::string&)> find =
+        [&](const std::string& x) -> std::string {
+      auto it = parent.find(x);
+      if (it == parent.end() || it->second == x) {
+        parent[x] = x;
+        return x;
+      }
+      const std::string root = find(it->second);
+      parent[x] = root;
+      return root;
+    };
+    auto unite = [&](const std::string& a, const std::string& b) {
+      parent[find(a)] = find(b);
+    };
+    // Rails must never merge through the channel graph in a valid state.
+    for (const MosInstance& m : fets) {
+      const auto g = known.find(m.gate);
+      if (g == known.end()) continue;  // unknown gate: treat as off
+      const bool on = m.pmos ? !g->second : g->second;
+      if (on) unite(m.drain, m.source);
+    }
+    MIVTX_EXPECT(find("vdd") != find("gnd"),
+                 std::string("rail short in ") + cell_name(type));
+
+    bool changed = false;
+    const std::string vdd_root = find("vdd");
+    const std::string gnd_root = find("gnd");
+    for (const std::string& net : signal_nets()) {
+      const std::string r = find(net);
+      std::optional<bool> v;
+      if (r == vdd_root) v = true;
+      if (r == gnd_root) v = false;
+      if (v && (!known.count(net) || known[net] != *v)) {
+        known[net] = *v;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  const auto it = known.find(output);
+  MIVTX_EXPECT(it != known.end(),
+               std::string("floating output in ") + cell_name(type));
+  return it->second;
+}
+
+namespace {
+
+class Builder {
+ public:
+  explicit Builder(CellType type) {
+    topo_.type = type;
+    topo_.inputs = cell_input_names(type);
+  }
+  void n(const std::string& d, const std::string& g, const std::string& s) {
+    topo_.fets.push_back(MosInstance{false, d, g, s});
+  }
+  void p(const std::string& d, const std::string& g, const std::string& s) {
+    topo_.fets.push_back(MosInstance{true, d, g, s});
+  }
+  void inverter(const std::string& out, const std::string& in) {
+    n(out, in, "gnd");
+    p(out, in, "vdd");
+  }
+  // NAND of `ins` into node `out`.
+  void nand_gate(const std::string& out, const std::vector<std::string>& ins,
+                 const std::string& stem) {
+    std::string node = out;
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      const std::string next =
+          (i + 1 == ins.size()) ? "gnd" : stem + std::to_string(i + 1);
+      n(node, ins[i], next);
+      node = next;
+    }
+    for (const std::string& in : ins) p(out, in, "vdd");
+  }
+  // NOR of `ins` into node `out`.
+  void nor_gate(const std::string& out, const std::vector<std::string>& ins,
+                const std::string& stem) {
+    for (const std::string& in : ins) n(out, in, "gnd");
+    std::string node = out;
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      const std::string next =
+          (i + 1 == ins.size()) ? "vdd" : stem + std::to_string(i + 1);
+      p(node, ins[i], next);
+      node = next;
+    }
+  }
+  CellTopology take() { return std::move(topo_); }
+
+ private:
+  CellTopology topo_;
+};
+
+CellTopology make_topology(CellType type) {
+  Builder b(type);
+  switch (type) {
+    case CellType::kInv1:
+      b.inverter("Y", "A");
+      break;
+    case CellType::kNand2:
+      b.nand_gate("Y", {"A", "B"}, "x");
+      break;
+    case CellType::kNand3:
+      b.nand_gate("Y", {"A", "B", "C"}, "x");
+      break;
+    case CellType::kNor2:
+      b.nor_gate("Y", {"A", "B"}, "x");
+      break;
+    case CellType::kNor3:
+      b.nor_gate("Y", {"A", "B", "C"}, "x");
+      break;
+    case CellType::kAnd2:
+      b.nand_gate("Yb", {"A", "B"}, "x");
+      b.inverter("Y", "Yb");
+      break;
+    case CellType::kAnd3:
+      b.nand_gate("Yb", {"A", "B", "C"}, "x");
+      b.inverter("Y", "Yb");
+      break;
+    case CellType::kOr2:
+      b.nor_gate("Yb", {"A", "B"}, "x");
+      b.inverter("Y", "Yb");
+      break;
+    case CellType::kOr3:
+      b.nor_gate("Yb", {"A", "B", "C"}, "x");
+      b.inverter("Y", "Yb");
+      break;
+    case CellType::kAoi2:
+      // Y = !((A & B) | C)
+      b.n("Y", "A", "x1");
+      b.n("x1", "B", "gnd");
+      b.n("Y", "C", "gnd");
+      b.p("Y", "C", "x2");
+      b.p("x2", "A", "vdd");
+      b.p("x2", "B", "vdd");
+      break;
+    case CellType::kOai2:
+      // Y = !((A | B) & C)
+      b.n("Y", "C", "x1");
+      b.n("x1", "A", "gnd");
+      b.n("x1", "B", "gnd");
+      b.p("Y", "A", "x2");
+      b.p("x2", "B", "vdd");
+      b.p("Y", "C", "vdd");
+      break;
+    case CellType::kXor2:
+      b.inverter("A_n", "A");
+      b.inverter("B_n", "B");
+      // PDN conducts when A == B.
+      b.n("Y", "A", "x1");
+      b.n("x1", "B", "gnd");
+      b.n("Y", "A_n", "x2");
+      b.n("x2", "B_n", "gnd");
+      // PUN conducts when A != B.
+      b.p("Y", "A", "x3");
+      b.p("x3", "B_n", "vdd");
+      b.p("Y", "A_n", "x4");
+      b.p("x4", "B", "vdd");
+      break;
+    case CellType::kXnor2:
+      b.inverter("A_n", "A");
+      b.inverter("B_n", "B");
+      // PDN conducts when A != B.
+      b.n("Y", "A", "x1");
+      b.n("x1", "B_n", "gnd");
+      b.n("Y", "A_n", "x2");
+      b.n("x2", "B", "gnd");
+      // PUN conducts when A == B.
+      b.p("Y", "A", "x3");
+      b.p("x3", "B", "vdd");
+      b.p("Y", "A_n", "x4");
+      b.p("x4", "B_n", "vdd");
+      break;
+    case CellType::kMux2: {
+      b.inverter("S_n", "S");
+      // Yb = !((A & Sn) | (B & S)); Y = !Yb.
+      b.n("Yb", "A", "x1");
+      b.n("x1", "S_n", "gnd");
+      b.n("Yb", "B", "x2");
+      b.n("x2", "S", "gnd");
+      b.p("Yb", "A", "x3");
+      b.p("Yb", "S_n", "x3");
+      b.p("x3", "B", "vdd");
+      b.p("x3", "S", "vdd");
+      b.inverter("Y", "Yb");
+      break;
+    }
+  }
+  return b.take();
+}
+
+}  // namespace
+
+const CellTopology& cell_topology(CellType type) {
+  static const std::map<CellType, CellTopology>* kTopologies = [] {
+    auto* m = new std::map<CellType, CellTopology>();
+    for (CellType t : all_cells()) (*m)[t] = make_topology(t);
+    return m;
+  }();
+  return kTopologies->at(type);
+}
+
+}  // namespace mivtx::cells

@@ -1,0 +1,41 @@
+// Transistor-level schematics of the standard cells.
+//
+// Topologies are static CMOS (complementary pull-up / pull-down networks);
+// XOR/XNOR use the 12-transistor complementary form with internal input
+// inverters, MUX2 the AOI22-style complex gate plus output inverter.
+// Node names: rails "vdd"/"gnd", inputs "A"/"B"/"C"/"S", output "Y",
+// internal nodes "x1..", inverted inputs "A_n" etc.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cells/celltypes.h"
+
+namespace mivtx::cells {
+
+struct MosInstance {
+  bool pmos = false;
+  std::string drain, gate, source;
+};
+
+struct CellTopology {
+  CellType type = CellType::kInv1;
+  std::vector<std::string> inputs;
+  std::string output = "Y";
+  std::vector<MosInstance> fets;
+
+  std::size_t num_nmos() const;
+  std::size_t num_pmos() const;
+  // All distinct non-rail nets (inputs, output, internal).
+  std::vector<std::string> signal_nets() const;
+  // Evaluate the switch-level network: given input values, compute the
+  // logic value at the output by path analysis.  Used by tests to verify
+  // every topology implements its truth table.  Throws on a net that is
+  // floating or driven both high and low.
+  bool evaluate(const std::vector<bool>& inputs) const;
+};
+
+const CellTopology& cell_topology(CellType type);
+
+}  // namespace mivtx::cells

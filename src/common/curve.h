@@ -1,0 +1,16 @@
+// Characteristic-curve sample type shared by the TCAD simulator (measured
+// side) and the compact model (fitted side).
+#pragma once
+
+#include <vector>
+
+namespace mivtx {
+
+struct CurvePoint {
+  double x = 0.0;  // swept bias (V)
+  double y = 0.0;  // response: current (A) or capacitance (F)
+};
+
+using Curve = std::vector<CurvePoint>;
+
+}  // namespace mivtx

@@ -1,0 +1,139 @@
+// Forward-mode automatic differentiation with a fixed number of independent
+// variables.
+//
+// The compact model (src/bsimsoi) is evaluated on Dual<2> over (vgs, vds) so
+// that the transconductances and capacitance matrices stamped into MNA are
+// exactly consistent with the currents/charges — a classic source of Newton
+// divergence when hand-derived derivatives drift from the equations.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace mivtx {
+
+template <std::size_t N>
+struct Dual {
+  double v = 0.0;
+  std::array<double, N> d{};  // partial derivatives
+
+  constexpr Dual() = default;
+  constexpr Dual(double value) : v(value) {}  // NOLINT: implicit by design
+  static constexpr Dual variable(double value, std::size_t index) {
+    Dual out(value);
+    out.d[index] = 1.0;
+    return out;
+  }
+
+  constexpr Dual& operator+=(const Dual& o) {
+    v += o.v;
+    for (std::size_t i = 0; i < N; ++i) d[i] += o.d[i];
+    return *this;
+  }
+  constexpr Dual& operator-=(const Dual& o) {
+    v -= o.v;
+    for (std::size_t i = 0; i < N; ++i) d[i] -= o.d[i];
+    return *this;
+  }
+  constexpr Dual& operator*=(const Dual& o) {
+    for (std::size_t i = 0; i < N; ++i) d[i] = d[i] * o.v + v * o.d[i];
+    v *= o.v;
+    return *this;
+  }
+  constexpr Dual& operator/=(const Dual& o) {
+    const double inv = 1.0 / o.v;
+    for (std::size_t i = 0; i < N; ++i)
+      d[i] = (d[i] - v * inv * o.d[i]) * inv;
+    v *= inv;
+    return *this;
+  }
+};
+
+template <std::size_t N>
+constexpr Dual<N> operator+(Dual<N> a, const Dual<N>& b) { return a += b; }
+template <std::size_t N>
+constexpr Dual<N> operator-(Dual<N> a, const Dual<N>& b) { return a -= b; }
+template <std::size_t N>
+constexpr Dual<N> operator*(Dual<N> a, const Dual<N>& b) { return a *= b; }
+template <std::size_t N>
+constexpr Dual<N> operator/(Dual<N> a, const Dual<N>& b) { return a /= b; }
+template <std::size_t N>
+constexpr Dual<N> operator-(Dual<N> a) {
+  a.v = -a.v;
+  for (auto& x : a.d) x = -x;
+  return a;
+}
+template <std::size_t N>
+constexpr Dual<N> operator+(Dual<N> a) { return a; }
+
+template <std::size_t N>
+constexpr bool operator<(const Dual<N>& a, const Dual<N>& b) { return a.v < b.v; }
+template <std::size_t N>
+constexpr bool operator>(const Dual<N>& a, const Dual<N>& b) { return a.v > b.v; }
+
+template <std::size_t N>
+inline Dual<N> chain(const Dual<N>& x, double f, double dfdx) {
+  Dual<N> out;
+  out.v = f;
+  for (std::size_t i = 0; i < N; ++i) out.d[i] = dfdx * x.d[i];
+  return out;
+}
+
+template <std::size_t N>
+inline Dual<N> sqrt(const Dual<N>& x) {
+  const double s = std::sqrt(x.v);
+  return chain(x, s, s > 0.0 ? 0.5 / s : 0.0);
+}
+template <std::size_t N>
+inline Dual<N> exp(const Dual<N>& x) {
+  const double e = std::exp(x.v);
+  return chain(x, e, e);
+}
+template <std::size_t N>
+inline Dual<N> log(const Dual<N>& x) {
+  return chain(x, std::log(x.v), 1.0 / x.v);
+}
+template <std::size_t N>
+inline Dual<N> log1p(const Dual<N>& x) {
+  return chain(x, std::log1p(x.v), 1.0 / (1.0 + x.v));
+}
+template <std::size_t N>
+inline Dual<N> tanh(const Dual<N>& x) {
+  const double t = std::tanh(x.v);
+  return chain(x, t, 1.0 - t * t);
+}
+template <std::size_t N>
+inline Dual<N> pow(const Dual<N>& x, double p) {
+  const double f = std::pow(x.v, p);
+  return chain(x, f, p * std::pow(x.v, p - 1.0));
+}
+
+// Numerically-safe softplus: k * log(1 + exp(x / k)).  Smoothly clamps x to
+// positive values with transition width k; the workhorse of the single-piece
+// compact-model formulation.
+template <std::size_t N>
+inline Dual<N> softplus(const Dual<N>& x, double k) {
+  const double z = x.v / k;
+  if (z > 40.0) return x;  // derivative 1 in both branches
+  if (z < -40.0) {
+    Dual<N> out;
+    out.v = k * std::exp(z);
+    for (std::size_t i = 0; i < N; ++i) out.d[i] = std::exp(z) * x.d[i];
+    return out;
+  }
+  const double e = std::exp(z);
+  return chain(x, k * std::log1p(e), e / (1.0 + e));
+}
+
+// Smooth maximum of x and 0 approaching |x| quadratically near 0 — used
+// where softplus' residual offset at x >> 0 is unwanted.
+template <std::size_t N>
+inline Dual<N> smooth_relu(const Dual<N>& x, double eps) {
+  // 0.5 * (x + sqrt(x^2 + 4 eps^2)) : equals ~x for x >> eps, ~eps^2/|x| for
+  // x << -eps.
+  const Dual<N> s = sqrt(x * x + Dual<N>(4.0 * eps * eps));
+  return (x + s) * Dual<N>(0.5);
+}
+
+}  // namespace mivtx

@@ -1,0 +1,15 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace mivtx::detail {
+
+void raise_expect_failure(const char* cond, const char* file, int line,
+                          const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check `" << cond << "` failed";
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace mivtx::detail

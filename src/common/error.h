@@ -1,0 +1,39 @@
+// Error handling for the mivtx toolkit.
+//
+// Policy (per C++ Core Guidelines E.*): programming errors and violated
+// invariants throw mivtx::Error with a formatted location-carrying message.
+// Numerical non-convergence is reported through status structs on the solver
+// APIs, not exceptions, because callers routinely retry with different
+// continuation strategies.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mivtx {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+namespace detail {
+[[noreturn]] void raise_expect_failure(const char* cond, const char* file,
+                                       int line, const std::string& msg);
+}  // namespace detail
+
+// Precondition / invariant check that is always on (cheap checks only).
+#define MIVTX_EXPECT(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::mivtx::detail::raise_expect_failure(#cond, __FILE__, __LINE__,   \
+                                            (msg));                      \
+    }                                                                    \
+  } while (false)
+
+// Unconditional failure (unreachable code paths, exhaustive switches).
+#define MIVTX_FAIL(msg)                                                  \
+  ::mivtx::detail::raise_expect_failure("unreachable", __FILE__, __LINE__, \
+                                        (msg))
+
+}  // namespace mivtx

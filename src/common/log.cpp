@@ -1,0 +1,36 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mivtx {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < g_level.load() || level == LogLevel::kOff) return;
+  std::fprintf(stderr, "[mivtx %s] %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace mivtx

@@ -1,0 +1,45 @@
+// Minimal leveled logger.  Defaults to warnings-only so tests and benches
+// stay quiet; flows flip to Info to narrate long characterization runs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mivtx {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define MIVTX_LOG(level)                                      \
+  if (::mivtx::log_level() <= ::mivtx::LogLevel::level)       \
+  ::mivtx::detail::LogLine(::mivtx::LogLevel::level)
+
+#define MIVTX_DEBUG MIVTX_LOG(kDebug)
+#define MIVTX_INFO MIVTX_LOG(kInfo)
+#define MIVTX_WARN MIVTX_LOG(kWarn)
+#define MIVTX_ERROR MIVTX_LOG(kError)
+
+}  // namespace mivtx

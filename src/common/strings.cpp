@@ -1,0 +1,132 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace mivtx {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with_ci(std::string_view s, std::string_view prefix) {
+  if (s.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[i])) !=
+        std::tolower(static_cast<unsigned char>(prefix[i])))
+      return false;
+  }
+  return true;
+}
+
+bool equals_ci(std::string_view a, std::string_view b) {
+  return a.size() == b.size() && starts_with_ci(a, b);
+}
+
+std::vector<std::string> split(std::string_view s, std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && delims.find(s[i]) != std::string_view::npos) ++i;
+    std::size_t j = i;
+    while (j < s.size() && delims.find(s[j]) == std::string_view::npos) ++j;
+    if (j > i) out.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+double parse_spice_number(std::string_view token) {
+  const std::string t = to_lower(std::string(trim(token)));
+  MIVTX_EXPECT(!t.empty(), "empty numeric token");
+  const char* begin = t.c_str();
+  char* end = nullptr;
+  double v = std::strtod(begin, &end);
+  MIVTX_EXPECT(end != begin, "not a number: '" + t + "'");
+  std::string_view suffix(end);
+  // Strip trailing unit letters after a recognized scale ("2.5pf" -> pico).
+  double scale = 1.0;
+  if (!suffix.empty()) {
+    if (starts_with_ci(suffix, "meg")) {
+      scale = 1e6;
+    } else {
+      switch (suffix[0]) {
+        case 't': scale = 1e12; break;
+        case 'g': scale = 1e9; break;
+        case 'k': scale = 1e3; break;
+        case 'm': scale = 1e-3; break;
+        case 'u': scale = 1e-6; break;
+        case 'n': scale = 1e-9; break;
+        case 'p': scale = 1e-12; break;
+        case 'f': scale = 1e-15; break;
+        case 'a': scale = 1e-18; break;
+        default:
+          // Unknown suffix letters (e.g. plain unit like "v") are ignored,
+          // matching SPICE semantics where "1.0v" parses as 1.0.
+          scale = 1.0;
+      }
+    }
+  }
+  return v * scale;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  MIVTX_EXPECT(n >= 0, "vsnprintf failed");
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  va_end(ap2);
+  return out;
+}
+
+std::string eng_format(double value, std::string_view unit, int digits) {
+  if (value == 0.0 || !std::isfinite(value)) {
+    return format("%.*g %.*s", digits, value, static_cast<int>(unit.size()),
+                  unit.data());
+  }
+  static constexpr struct {
+    double scale;
+    const char* prefix;
+  } kScales[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},  {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+      {1e-18, "a"},
+  };
+  const double mag = std::fabs(value);
+  for (const auto& s : kScales) {
+    if (mag >= s.scale * 0.9995) {
+      return format("%.*f %s%.*s", digits, value / s.scale, s.prefix,
+                    static_cast<int>(unit.size()), unit.data());
+    }
+  }
+  return format("%.*e %.*s", digits, value, static_cast<int>(unit.size()),
+                unit.data());
+}
+
+}  // namespace mivtx

@@ -1,0 +1,31 @@
+// Small string utilities shared by the netlist parser, model-card I/O and
+// report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mivtx {
+
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+std::string_view trim(std::string_view s);
+bool starts_with_ci(std::string_view s, std::string_view prefix);
+bool equals_ci(std::string_view a, std::string_view b);
+
+// Split on any character in `delims`; empty tokens are dropped.
+std::vector<std::string> split(std::string_view s, std::string_view delims);
+
+// Parse a SPICE-style number with optional engineering suffix:
+// 1k, 2.5meg, 10u, 3n, 1.5p, 7f, 1e-9, 0.5 ... Throws mivtx::Error on junk.
+double parse_spice_number(std::string_view token);
+
+// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Engineering notation ("3.50e-10" style is hard to scan in reports):
+// value 3.5e-10 with unit "s" -> "350.0 ps".
+std::string eng_format(double value, std::string_view unit, int digits = 3);
+
+}  // namespace mivtx

@@ -1,0 +1,95 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mivtx {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  MIVTX_EXPECT(!headers_.empty(), "table needs at least one column");
+  aligns_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MIVTX_EXPECT(cells.size() == headers_.size(),
+               "row arity mismatch: got " + std::to_string(cells.size()) +
+                   ", want " + std::to_string(headers_.size()));
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+void TextTable::set_align(std::size_t column, Align align) {
+  MIVTX_EXPECT(column < aligns_.size(), "column out of range");
+  aligns_[column] = align;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  auto emit_cell = [&](std::ostringstream& os, const std::string& text,
+                       std::size_t c) {
+    const std::size_t pad = widths[c] - text.size();
+    if (aligns_[c] == Align::kLeft) {
+      os << text << std::string(pad, ' ');
+    } else {
+      os << std::string(pad, ' ') << text;
+    }
+  };
+  auto emit_rule = [&](std::ostringstream& os) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+
+  std::ostringstream os;
+  emit_rule(os);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ';
+    emit_cell(os, headers_[c], c);
+    os << " |";
+  }
+  os << '\n';
+  emit_rule(os);
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      emit_rule(os);
+      continue;
+    }
+    os << "|";
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      os << ' ';
+      emit_cell(os, row.cells[c], c);
+      os << " |";
+    }
+    os << '\n';
+  }
+  emit_rule(os);
+  return os.str();
+}
+
+void TextTable::print() const {
+  const std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+}
+
+std::string percent_delta(double baseline, double value, int digits) {
+  if (baseline == 0.0) return "n/a";
+  const double pct = 100.0 * (value - baseline) / baseline;
+  return format("%+.*f%%", digits, pct);
+}
+
+}  // namespace mivtx

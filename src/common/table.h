@@ -1,0 +1,43 @@
+// ASCII table formatter used by every bench binary to print the paper's
+// tables and figure series in aligned, diffable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mivtx {
+
+class TextTable {
+ public:
+  enum class Align { kLeft, kRight };
+
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+  // Insert a horizontal separator before the next row.
+  void add_separator();
+
+  void set_align(std::size_t column, Align align);
+
+  std::string to_string() const;
+  // Print to stdout.
+  void print() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return headers_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  std::vector<Align> aligns_;
+};
+
+// Convenience formatting for percent deltas: +3.1%, -18.0%.
+std::string percent_delta(double baseline, double value, int digits = 1);
+
+}  // namespace mivtx

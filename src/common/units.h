@@ -1,0 +1,46 @@
+// Physical constants and unit helpers used across the mivtx toolkit.
+//
+// All internal quantities are SI (meters, seconds, volts, amperes, farads)
+// unless a name says otherwise.  Helpers exist so that code touching process
+// dimensions reads in the same units the paper's Table I uses (nm, cm^-3).
+#pragma once
+
+namespace mivtx {
+
+// --- Fundamental constants (CODATA 2018) ---------------------------------
+inline constexpr double kElementaryCharge = 1.602176634e-19;  // C
+inline constexpr double kBoltzmann = 1.380649e-23;            // J/K
+inline constexpr double kVacuumPermittivity = 8.8541878128e-12;  // F/m
+
+// --- Material permittivities (relative) -----------------------------------
+inline constexpr double kEpsRelSilicon = 11.7;
+inline constexpr double kEpsRelSiO2 = 3.9;
+inline constexpr double kEpsRelSi3N4 = 7.5;
+
+// --- Silicon band/transport parameters at 300 K ---------------------------
+inline constexpr double kSiIntrinsicDensity = 1.08e16;  // m^-3 (≈1.08e10 cm^-3)
+inline constexpr double kSiBandgap = 1.12;              // eV
+// Low-field lattice mobilities (m^2/Vs); bulk values, degraded per-device by
+// the mobility models in tcad/ and bsimsoi/.
+inline constexpr double kSiElectronMobility = 0.1417;  // 1417 cm^2/Vs
+inline constexpr double kSiHoleMobility = 0.0470;      // 470 cm^2/Vs
+
+// --- Unit helpers ----------------------------------------------------------
+constexpr double nm(double v) { return v * 1e-9; }
+constexpr double um(double v) { return v * 1e-6; }
+constexpr double per_cm3(double v) { return v * 1e6; }  // cm^-3 -> m^-3
+constexpr double fF(double v) { return v * 1e-15; }
+constexpr double pF(double v) { return v * 1e-12; }
+constexpr double ns(double v) { return v * 1e-9; }
+constexpr double ps(double v) { return v * 1e-12; }
+constexpr double uW(double v) { return v * 1e-6; }
+
+// Thermal voltage kT/q at temperature `t_kelvin`.
+constexpr double thermal_voltage(double t_kelvin) {
+  return kBoltzmann * t_kelvin / kElementaryCharge;
+}
+
+inline constexpr double kRoomTemperature = 300.0;  // K
+inline constexpr double kVtRoom = thermal_voltage(kRoomTemperature);
+
+}  // namespace mivtx

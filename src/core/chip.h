@@ -1,0 +1,53 @@
+// Chip-level extension: lift the cell-level PPA study to small benchmark
+// circuits via static timing analysis and two-tier placement.  This
+// implements the paper's future-work direction (separate per-tier
+// placement) end to end.
+#pragma once
+
+#include <vector>
+
+#include "core/ppa.h"
+#include "gatelevel/netlist.h"
+#include "gatelevel/sta.h"
+#include "place/placer.h"
+
+namespace mivtx::core {
+
+struct TimingModelOptions {
+  // Cell used to measure the per-implementation load-sensitivity slope.
+  cells::CellType slope_cell = cells::CellType::kInv1;
+  // Second load point for the slope measurement (first is the PPA
+  // reference, 1 fF).
+  double c_load_alt = 2e-15;
+};
+
+// Measure a gate-level timing model from transient simulation: per-cell
+// reference delays via PpaEngine, per-implementation load slope from a
+// two-point load sweep on `slope_cell`, and per-pin input capacitance from
+// the compact model's gate capacitance at mid rail.
+// Runs the full 14-cell PPA matrix (~1 min).
+gatelevel::TimingModel build_timing_model(const ModelLibrary& library,
+                                          const PpaOptions& ppa_opts = {},
+                                          const TimingModelOptions& opts = {});
+
+struct ChipPpa {
+  std::string circuit;
+  cells::Implementation impl = cells::Implementation::k2D;
+  std::size_t num_cells = 0;
+  double critical_delay = 0.0;       // s (STA)
+  double coupled_area = 0.0;         // m^2 (coupled placement outline)
+  double per_tier_area = 0.0;        // m^2 (independent tier placement)
+  double per_tier_top_area = 0.0;    // m^2
+  double per_tier_bottom_area = 0.0; // m^2
+};
+
+// STA + both placement modes for one circuit under one implementation.
+ChipPpa evaluate_chip(const gatelevel::GateNetlist& netlist,
+                      const gatelevel::TimingModel& timing,
+                      cells::Implementation impl,
+                      const layout::DesignRules& rules = {});
+
+// The benchmark circuit suite used by the chip-level benches.
+std::vector<gatelevel::GateNetlist> benchmark_circuits();
+
+}  // namespace mivtx::core

@@ -1,0 +1,87 @@
+#include "core/flow.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/strings.h"
+#include "tcad/characterize.h"
+
+namespace mivtx::core {
+
+void ModelLibrary::put(Variant v, Polarity pol, bsimsoi::SoiModelCard card) {
+  card.name = device_key(v, pol);
+  cards_[card.name] = std::move(card);
+}
+
+const bsimsoi::SoiModelCard& ModelLibrary::card(Variant v,
+                                                Polarity pol) const {
+  const auto it = cards_.find(device_key(v, pol));
+  MIVTX_EXPECT(it != cards_.end(),
+               "model library missing " + device_key(v, pol));
+  return it->second;
+}
+
+bool ModelLibrary::has(Variant v, Polarity pol) const {
+  return cards_.count(device_key(v, pol)) > 0;
+}
+
+std::string ModelLibrary::to_text() const {
+  std::ostringstream os;
+  for (const auto& [name, card] : cards_) os << card.to_model_line() << '\n';
+  return os.str();
+}
+
+ModelLibrary ModelLibrary::from_text(const std::string& text) {
+  ModelLibrary lib;
+  for (const std::string& raw : split(text, "\n")) {
+    const std::string line(trim(raw));
+    if (line.empty()) continue;
+    bsimsoi::SoiModelCard card = bsimsoi::SoiModelCard::from_model_line(line);
+    lib.cards_[card.name] = std::move(card);
+  }
+  return lib;
+}
+
+extract::CharacteristicSet characterize_device(
+    const ProcessParams& process, Variant v, Polarity pol,
+    const extract::SweepGrid& grid) {
+  tcad::DeviceSimulator sim(device_spec(process, v, pol));
+  tcad::Characterizer ch(sim);
+
+  extract::CharacteristicSet data;
+  data.device_name = device_key(v, pol);
+  data.vds_low = 0.05;
+  data.vds_high = grid.vdd;
+  data.idvg_low = ch.id_vg(data.vds_low, grid.vg_points());
+  data.idvg_high = ch.id_vg(data.vds_high, grid.vg_points());
+  for (double vgs : grid.idvd_vgs) {
+    data.idvd.push_back(extract::OutputCurve{
+        vgs, ch.id_vd(vgs, grid.vd_points())});
+  }
+  data.cv = ch.cgg_vg(0.0, grid.cv_points());
+  data.validate();
+  return data;
+}
+
+FlowResult run_full_flow(const ProcessParams& process,
+                         const extract::SweepGrid& grid,
+                         const extract::ExtractionOptions& opts) {
+  FlowResult result;
+  for (Polarity pol : {Polarity::kNmos, Polarity::kPmos}) {
+    for (Variant v : all_variants()) {
+      MIVTX_INFO << "characterizing " << device_key(v, pol);
+      DeviceExtraction dev;
+      dev.variant = v;
+      dev.polarity = pol;
+      dev.data = characterize_device(process, v, pol, grid);
+      dev.report =
+          extract::extract_card(dev.data, initial_card(process, v, pol), opts);
+      result.library.put(v, pol, dev.report.card);
+      result.devices.push_back(std::move(dev));
+    }
+  }
+  return result;
+}
+
+}  // namespace mivtx::core

@@ -1,0 +1,57 @@
+// End-to-end characterization + extraction flow:
+//   TCAD device simulation  ->  characteristic curves  ->  Level-70 card.
+//
+// This is the reproduction of the paper's Fig. 3 toolchain (Sentaurus +
+// TCAD2SPICE in the original).  Running the full flow for all 8 devices
+// takes tens of seconds; the PPA benches default to the cached cards in
+// core/reference_cards.h, which this flow regenerates.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/technology.h"
+#include "extract/dataset.h"
+#include "extract/pipeline.h"
+
+namespace mivtx::core {
+
+// Extracted model cards for every (variant, polarity).
+class ModelLibrary {
+ public:
+  void put(Variant v, Polarity pol, bsimsoi::SoiModelCard card);
+  const bsimsoi::SoiModelCard& card(Variant v, Polarity pol) const;
+  bool has(Variant v, Polarity pol) const;
+  std::size_t size() const { return cards_.size(); }
+
+  // Serialize as one .model line per card / parse back.
+  std::string to_text() const;
+  static ModelLibrary from_text(const std::string& text);
+
+ private:
+  std::map<std::string, bsimsoi::SoiModelCard> cards_;
+};
+
+// TCAD characterization of one device under the grid.
+extract::CharacteristicSet characterize_device(const ProcessParams& process,
+                                               Variant v, Polarity pol,
+                                               const extract::SweepGrid& grid);
+
+struct DeviceExtraction {
+  Variant variant = Variant::kTraditional;
+  Polarity polarity = Polarity::kNmos;
+  extract::CharacteristicSet data;
+  extract::ExtractionReport report;
+};
+
+struct FlowResult {
+  ModelLibrary library;
+  std::vector<DeviceExtraction> devices;  // all 8, trad/1/2/4 x n/p
+};
+
+// Run TCAD + extraction for every variant and polarity (Table III).
+FlowResult run_full_flow(const ProcessParams& process,
+                         const extract::SweepGrid& grid = {},
+                         const extract::ExtractionOptions& opts = {});
+
+}  // namespace mivtx::core

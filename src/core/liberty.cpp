@@ -1,0 +1,77 @@
+#include "core/liberty.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+#include "layout/cell_layout.h"
+
+namespace mivtx::core {
+
+std::string export_liberty(const gatelevel::TimingModel& timing,
+                           cells::Implementation impl,
+                           const layout::DesignRules& rules,
+                           const LibertyOptions& opts) {
+  const layout::LayoutModel layout_model(rules);
+  std::ostringstream os;
+  std::string impl_tag = cells::impl_name(impl);
+  for (char& c : impl_tag) {
+    if (c == '-') c = '_';
+  }
+
+  os << "library (" << opts.library_prefix << "_" << impl_tag << ") {\n";
+  os << "  comment : \"measured by the mivtx PPA engine; see EXPERIMENTS.md\";\n";
+  os << "  time_unit : \"1ps\";\n";
+  os << "  capacitive_load_unit (1, ff);\n";
+  os << "  voltage_unit : \"1V\";\n";
+  os << "  current_unit : \"1uA\";\n";
+  os << "  nom_voltage : " << format("%.2f", opts.vdd) << ";\n";
+  os << "  nom_temperature : " << format("%.1f", opts.temp_c) << ";\n";
+  os << "  default_max_transition : 100;\n\n";
+
+  const double slope_ps_per_ff = timing.slope(impl) * 1e12 * 1e-15;
+  const double c_ref_ff = timing.c_ref * 1e15;
+
+  for (cells::CellType type : cells::all_cells()) {
+    const gatelevel::CellTiming& t = timing.timing(impl, type);
+    const layout::CellLayout l = layout_model.layout_cell(type, impl);
+    const double d_ref_ps = t.delay_ref * 1e12;
+    const double cin_ff = t.input_cap * 1e15;
+
+    os << "  cell (" << cells::cell_name(type) << ") {\n";
+    os << "    area : " << format("%.6f", l.cell_area() * 1e12) << ";\n";
+    for (const std::string& pin : cells::cell_input_names(type)) {
+      os << "    pin (" << pin << ") {\n";
+      os << "      direction : input;\n";
+      os << "      capacitance : " << format("%.4f", cin_ff) << ";\n";
+      os << "    }\n";
+    }
+    os << "    pin (Y) {\n";
+    os << "      direction : output;\n";
+    os << "      function : \"" << cells::cell_function_string(type)
+       << "\";\n";
+    for (const std::string& pin : cells::cell_input_names(type)) {
+      os << "      timing () {\n";
+      os << "        related_pin : \"" << pin << "\";\n";
+      // Two-point linear load table anchored at the measured reference
+      // load; delays at 1x and 4x the reference.
+      const double d1 = d_ref_ps;
+      const double d4 = d_ref_ps + slope_ps_per_ff * 3.0 * c_ref_ff;
+      os << "        cell_rise (scalar) {\n";
+      os << "          values (\"" << format("%.3f, %.3f", d1, d4)
+         << "\"); /* at " << format("%.1f, %.1f", c_ref_ff, 4.0 * c_ref_ff)
+         << " fF */\n";
+      os << "        }\n";
+      os << "        cell_fall (scalar) {\n";
+      os << "          values (\"" << format("%.3f, %.3f", d1, d4)
+         << "\");\n";
+      os << "        }\n";
+      os << "      }\n";
+    }
+    os << "    }\n";
+    os << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mivtx::core

@@ -1,0 +1,29 @@
+// Simplified Liberty (.lib) export of the measured cell library.
+//
+// Produces one library per implementation with per-cell area (um^2), pin
+// capacitances, the Liberty boolean function, and scalar timing (the PPA
+// reference delay plus the measured load-sensitivity slope as a
+// two-point linear table).  The output is a small but syntactically
+// conventional subset of Liberty - enough for downstream scripts and for
+// eyeballing the library, not a sign-off model.
+#pragma once
+
+#include <string>
+
+#include "core/chip.h"
+
+namespace mivtx::core {
+
+struct LibertyOptions {
+  std::string library_prefix = "mivtx";
+  double vdd = 1.0;
+  double temp_c = 25.0;
+};
+
+// One Liberty library for one implementation, from a measured timing model.
+std::string export_liberty(const gatelevel::TimingModel& timing,
+                           cells::Implementation impl,
+                           const layout::DesignRules& rules = {},
+                           const LibertyOptions& opts = {});
+
+}  // namespace mivtx::core

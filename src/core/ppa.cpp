@@ -1,0 +1,203 @@
+#include "core/ppa.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/strings.h"
+#include "spice/transient.h"
+#include "waveform/measure.h"
+
+namespace mivtx::core {
+
+namespace {
+
+Variant variant_of(cells::Implementation impl) {
+  switch (impl) {
+    case cells::Implementation::k2D: return Variant::kTraditional;
+    case cells::Implementation::kMiv1Channel: return Variant::kMiv1Channel;
+    case cells::Implementation::kMiv2Channel: return Variant::kMiv2Channel;
+    case cells::Implementation::kMiv4Channel: return Variant::kMiv4Channel;
+  }
+  return Variant::kTraditional;
+}
+
+}  // namespace
+
+PpaEngine::PpaEngine(const ModelLibrary& library, PpaOptions opts,
+                     layout::DesignRules rules)
+    : library_(library), opts_(opts), layout_(rules) {}
+
+cells::ModelSet PpaEngine::model_set(cells::Implementation impl) const {
+  cells::ModelSet set;
+  set.nmos = library_.card(variant_of(impl), Polarity::kNmos);
+  // The bottom tier is always the traditional 2D FDSOI p-type device.
+  set.pmos = library_.card(Variant::kTraditional, Polarity::kPmos);
+  return set;
+}
+
+std::optional<std::vector<bool>> PpaEngine::sensitize(cells::CellType type,
+                                                      std::size_t pin_index) {
+  const std::size_t n = cells::cell_num_inputs(type);
+  MIVTX_EXPECT(pin_index < n, "pin index out of range");
+  const std::size_t combos = std::size_t{1} << (n - 1);
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    std::vector<bool> in(n, false);
+    std::size_t bit = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == pin_index) continue;
+      in[i] = (mask >> bit) & 1u;
+      ++bit;
+    }
+    in[pin_index] = false;
+    const bool f0 = cells::cell_logic(type, in);
+    in[pin_index] = true;
+    const bool f1 = cells::cell_logic(type, in);
+    if (f0 != f1) {
+      in[pin_index] = false;  // return the side values; pin value unused
+      return in;
+    }
+  }
+  return std::nullopt;
+}
+
+CellPpa PpaEngine::measure(cells::CellType type,
+                           cells::Implementation impl) const {
+  CellPpa result;
+  result.type = type;
+  result.impl = impl;
+  {
+    const layout::CellLayout l = layout_.layout_cell(type, impl);
+    result.area = l.cell_area();
+  }
+
+  const cells::ModelSet models = model_set(impl);
+  const auto input_names = cells::cell_input_names(type);
+  const double vdd = opts_.vdd;
+  const double t_stop =
+      opts_.t_delay + opts_.t_width + opts_.t_delay + opts_.t_width;
+
+  double delay_sum = 0.0;
+  std::size_t delay_count = 0;
+  double power_sum = 0.0;
+  std::size_t power_count = 0;
+
+  for (std::size_t pin = 0; pin < input_names.size(); ++pin) {
+    const auto side = sensitize(type, pin);
+    if (!side) {
+      MIVTX_WARN << cells::cell_name(type) << ": pin " << input_names[pin]
+                 << " cannot be sensitized";
+      continue;
+    }
+
+    cells::CellNetlist cell =
+        cells::build_cell(type, impl, models, opts_.parasitics, vdd);
+    result.mivs = cell.mivs;
+
+    // Side inputs at their sensitizing DC levels; the probed pin pulses
+    // low -> high -> low.
+    for (std::size_t i = 0; i < input_names.size(); ++i) {
+      spice::Element& src = cell.circuit.element("V" + input_names[i]);
+      if (i == pin) {
+        spice::PulseSpec p;
+        p.v1 = 0.0;
+        p.v2 = vdd;
+        p.delay = opts_.t_delay;
+        p.rise = opts_.t_edge;
+        p.fall = opts_.t_edge;
+        p.width = opts_.t_width;
+        src.source = spice::SourceSpec::Pulse(p);
+      } else {
+        src.source = spice::SourceSpec::DC((*side)[i] ? vdd : 0.0);
+      }
+    }
+
+    spice::TransientOptions topt;
+    topt.t_stop = t_stop;
+    topt.h_max = opts_.h_max;
+    const spice::TransientResult tr = spice::transient(cell.circuit, topt);
+    if (!tr.ok) {
+      MIVTX_WARN << cells::cell_name(type) << "/" << cells::impl_name(impl)
+                 << " pin " << input_names[pin]
+                 << ": transient failed: " << tr.error;
+      continue;
+    }
+
+    // Circuit node names are case-normalized to lower case.
+    const auto& v_in = tr.v(to_lower(input_names[pin]) + "_in");
+    const auto& v_out = tr.v(cell.output_node);
+    const double half = 0.5 * vdd;
+
+    const auto d_rise = waveform::propagation_delay(
+        v_in, v_out, half, half, 0.0, waveform::EdgeKind::kRise,
+        waveform::EdgeKind::kAny);
+    const auto d_fall = waveform::propagation_delay(
+        v_in, v_out, half, half, opts_.t_delay + opts_.t_width,
+        waveform::EdgeKind::kFall, waveform::EdgeKind::kAny);
+    if (d_rise) {
+      delay_sum += *d_rise;
+      ++delay_count;
+      result.arcs.push_back(
+          ArcMeasurement{input_names[pin], true, *d_rise});
+    }
+    if (d_fall) {
+      delay_sum += *d_fall;
+      ++delay_count;
+      result.arcs.push_back(
+          ArcMeasurement{input_names[pin], false, *d_fall});
+    }
+
+    // Supply power: current delivered by the VDD source (branch current is
+    // + -> - through the source, so delivering current reads negative).
+    const double p =
+        -vdd * tr.i(cell.vdd_source).average(0.0, t_stop);
+    power_sum += p;
+    ++power_count;
+  }
+
+  if (delay_count > 0 && power_count > 0) {
+    result.ok = true;
+    result.delay = delay_sum / static_cast<double>(delay_count);
+    result.power = power_sum / static_cast<double>(power_count);
+    result.pdp = result.delay * result.power;
+  }
+  return result;
+}
+
+std::vector<CellPpa> PpaEngine::measure_all() const {
+  std::vector<CellPpa> out;
+  for (cells::CellType type : cells::all_cells()) {
+    for (cells::Implementation impl : cells::all_implementations()) {
+      out.push_back(measure(type, impl));
+    }
+  }
+  return out;
+}
+
+std::vector<ImplementationSummary> summarize(const std::vector<CellPpa>& all) {
+  std::vector<ImplementationSummary> out;
+  for (cells::Implementation impl : cells::all_implementations()) {
+    ImplementationSummary s;
+    s.impl = impl;
+    std::size_t n = 0;
+    for (const CellPpa& c : all) {
+      if (c.impl != impl || !c.ok) continue;
+      s.mean_delay += c.delay;
+      s.mean_power += c.power;
+      s.mean_area += c.area;
+      s.mean_pdp += c.pdp;
+      ++n;
+    }
+    if (n > 0) {
+      const double inv = 1.0 / static_cast<double>(n);
+      s.mean_delay *= inv;
+      s.mean_power *= inv;
+      s.mean_area *= inv;
+      s.mean_pdp *= inv;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace mivtx::core

@@ -1,0 +1,88 @@
+// PPA measurement engine (paper §IV / Fig. 5).
+//
+// For every (cell, implementation) it builds the parasitic-annotated
+// netlist, then for each input pin finds a side-input assignment that makes
+// the output sensitive to that pin, applies a full-swing pulse and runs a
+// transient.  Reported metrics:
+//   delay  - mean 50%-to-50% propagation delay over all pin arcs and both
+//            edges (the paper's "average propagation delay of the outputs")
+//   power  - mean VDD-rail power over the switching window, averaged over
+//            the pin simulations
+//   area   - cell layout area from layout/cell_layout.h
+//   pdp    - power * delay
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cells/netgen.h"
+#include "core/flow.h"
+#include "layout/cell_layout.h"
+
+namespace mivtx::core {
+
+struct ArcMeasurement {
+  std::string pin;
+  bool input_rising = false;
+  double delay = 0.0;  // s
+};
+
+struct CellPpa {
+  cells::CellType type = cells::CellType::kInv1;
+  cells::Implementation impl = cells::Implementation::k2D;
+  bool ok = false;
+  double delay = 0.0;  // s (average over arcs)
+  double power = 0.0;  // W (average)
+  double area = 0.0;   // m^2
+  double pdp = 0.0;    // J
+  cells::MivStats mivs;
+  std::vector<ArcMeasurement> arcs;
+};
+
+struct PpaOptions {
+  double vdd = 1.0;
+  double t_edge = 20e-12;    // input rise/fall
+  double t_delay = 200e-12;  // time before the first edge
+  double t_width = 500e-12;  // pulse width
+  double h_max = 10e-12;     // transient step cap
+  cells::ParasiticSpec parasitics;
+};
+
+class PpaEngine {
+ public:
+  PpaEngine(const ModelLibrary& library, PpaOptions opts = {},
+            layout::DesignRules rules = {});
+
+  // Model set used for an implementation (n-type per variant, p-type
+  // always traditional).
+  cells::ModelSet model_set(cells::Implementation impl) const;
+
+  CellPpa measure(cells::CellType type, cells::Implementation impl) const;
+  // All 14 cells x 4 implementations.
+  std::vector<CellPpa> measure_all() const;
+
+  // Pin sensitization: values for the other inputs so the output follows
+  // (or inverts) pin `pin_index`.  nullopt if the pin cannot toggle the
+  // output (never the case for these cells).
+  static std::optional<std::vector<bool>> sensitize(cells::CellType type,
+                                                    std::size_t pin_index);
+
+ private:
+  const ModelLibrary& library_;
+  PpaOptions opts_;
+  layout::LayoutModel layout_;
+};
+
+// Per-implementation averages across all cells (the summary numbers the
+// paper quotes: delay -3 %/-2 %/+2 %, power -0.5 %/-1 %/-2 %, ...).
+struct ImplementationSummary {
+  cells::Implementation impl = cells::Implementation::k2D;
+  double mean_delay = 0.0;
+  double mean_power = 0.0;
+  double mean_area = 0.0;
+  double mean_pdp = 0.0;
+};
+
+std::vector<ImplementationSummary> summarize(const std::vector<CellPpa>& all);
+
+}  // namespace mivtx::core

@@ -1,0 +1,21 @@
+// Cached extracted model cards for the nominal process.
+//
+// These are the verbatim output of core::run_full_flow() under the default
+// ProcessParams / SweepGrid / ExtractionOptions (see tools in bench/ and
+// tests/test_flow.cpp which re-derive and cross-check them).  The PPA
+// benches default to this library so they start in milliseconds instead of
+// re-running the TCAD characterization; pass --extract to any PPA bench to
+// regenerate from scratch.
+#pragma once
+
+#include "core/flow.h"
+
+namespace mivtx::core {
+
+// The cached library (8 cards: {trad,1ch,2ch,4ch} x {n,p}).
+const ModelLibrary& reference_model_library();
+
+// The raw .model lines backing the cache.
+const char* reference_model_text();
+
+}  // namespace mivtx::core

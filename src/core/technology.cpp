@@ -1,0 +1,60 @@
+#include "core/technology.h"
+
+namespace mivtx::core {
+
+const std::vector<Variant>& all_variants() {
+  static const std::vector<Variant> kAll = {
+      Variant::kTraditional, Variant::kMiv1Channel, Variant::kMiv2Channel,
+      Variant::kMiv4Channel};
+  return kAll;
+}
+
+tcad::DeviceSpec device_spec(const ProcessParams& p, Variant v,
+                             Polarity pol) {
+  tcad::DeviceSpec spec = tcad::DeviceSpec::for_variant(v, pol);
+  spec.tsi = p.t_si;
+  spec.tox = p.t_ox;
+  // spec.t_liner is NOT tied to p.t_ox: for MIV variants for_variant()
+  // already scaled the effective liner dielectric by the pillar/width
+  // fraction (see tcad/device.cpp); overriding it with the physical 1 nm
+  // liner would over-couple the extruded 2-D side gate.
+  spec.l_src = p.l_src;
+  spec.l_gate = p.l_gate;
+  spec.l_spacer = p.t_spacer;
+  spec.w_total = p.w_src;
+  spec.n_src = p.n_src;
+  return spec;
+}
+
+bsimsoi::SoiModelCard initial_card(const ProcessParams& p, Variant v,
+                                   Polarity pol) {
+  bsimsoi::SoiModelCard card;
+  card.name = device_key(v, pol);
+  card.polarity = pol == Polarity::kNmos ? bsimsoi::Polarity::kNmos
+                                         : bsimsoi::Polarity::kPmos;
+  card.tsi = p.t_si;
+  card.tox = p.t_ox;
+  card.tbox = p.t_box;
+  card.l = p.l_gate;
+  card.w = p.w_src;
+  card.tnom = p.tnom_c;
+  card.nf = tcad::variant_channels(v);
+  if (card.polarity == bsimsoi::Polarity::kPmos) {
+    card.vth0 = -0.35;
+    card.u0 = 0.012;  // hole mobility seed
+  }
+  return card;
+}
+
+std::string device_key(Variant v, Polarity pol) {
+  std::string name = pol == Polarity::kNmos ? "nmos_" : "pmos_";
+  switch (v) {
+    case Variant::kTraditional: name += "trad"; break;
+    case Variant::kMiv1Channel: name += "1ch"; break;
+    case Variant::kMiv2Channel: name += "2ch"; break;
+    case Variant::kMiv4Channel: name += "4ch"; break;
+  }
+  return name;
+}
+
+}  // namespace mivtx::core

@@ -1,0 +1,49 @@
+// Top-level technology description (paper Table I) and the derived
+// per-variant device specs / initial model cards.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bsimsoi/params.h"
+#include "tcad/device.h"
+
+namespace mivtx::core {
+
+using tcad::Polarity;
+using tcad::Variant;
+
+struct ProcessParams {
+  // Process group.
+  double t_si = 7e-9;       // silicon thickness
+  double h_src = 7e-9;      // source/drain region height (== t_si, raised S/D
+                            // is not modelled separately)
+  double t_ox = 1e-9;       // oxide liner / gate oxide thickness
+  double n_src = 1e25;      // source/drain doping (m^-3; 1e19 cm^-3)
+  double t_spacer = 10e-9;  // spacer thickness
+  double t_box = 100e-9;    // buried oxide thickness
+  // Design group.
+  double t_miv = 25e-9;   // MIV thickness
+  double l_src = 48e-9;   // source/drain region length
+  double w_src = 192e-9;  // source/drain region width (equivalent W)
+  double l_gate = 24e-9;  // gate length
+  // Operating point.
+  double vdd = 1.0;
+  double tnom_c = 25.0;
+};
+
+// All four variants in paper order (Table III column order is 4/2/1/trad;
+// this list is trad/1/2/4 — benches order their own columns).
+const std::vector<Variant>& all_variants();
+
+// TCAD device spec for a (variant, polarity) under this process.
+tcad::DeviceSpec device_spec(const ProcessParams& p, Variant v, Polarity pol);
+
+// Initial (pre-extraction) model card: geometry and flags per Table II.
+bsimsoi::SoiModelCard initial_card(const ProcessParams& p, Variant v,
+                                   Polarity pol);
+
+// Canonical card/device name, e.g. "nmos_2ch", "pmos_trad".
+std::string device_key(Variant v, Polarity pol);
+
+}  // namespace mivtx::core

@@ -1,0 +1,71 @@
+#include "core/variability.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mivtx::core {
+
+bsimsoi::SoiModelCard perturb_card(const bsimsoi::SoiModelCard& card,
+                                   double dvth, double u0_scale) {
+  bsimsoi::SoiModelCard out = card;
+  // VTH0 carries the polarity sign; shift its magnitude.
+  const double sign = out.vth0 < 0.0 ? -1.0 : 1.0;
+  out.vth0 = sign * std::max(0.01, std::fabs(out.vth0) + dvth);
+  out.u0 = std::max(1e-4, out.u0 * u0_scale);
+  return out;
+}
+
+VariabilityStats run_variability(const ModelLibrary& library,
+                                 cells::CellType type,
+                                 cells::Implementation impl,
+                                 const VariationSpec& spec,
+                                 const PpaOptions& ppa_opts) {
+  MIVTX_EXPECT(spec.samples >= 2, "need at least 2 Monte-Carlo samples");
+  VariabilityStats stats;
+  stats.type = type;
+  stats.impl = impl;
+
+  PpaEngine nominal_engine(library, ppa_opts);
+  const cells::ModelSet nominal = nominal_engine.model_set(impl);
+
+  Rng rng(spec.seed + static_cast<std::uint64_t>(type) * 131 +
+          static_cast<std::uint64_t>(impl));
+
+  double sum = 0.0, sum_sq = 0.0, sum_p = 0.0;
+  std::size_t ok = 0;
+  for (std::size_t s = 0; s < spec.samples; ++s) {
+    // Correlated sample: both device types shift together (worst case for
+    // delay spread; uncorrelated per-device variation partially averages
+    // out inside a cell).
+    const double dvth = rng.normal(0.0, spec.sigma_vth);
+    const double u0s = std::exp(rng.normal(0.0, spec.sigma_u0_rel));
+
+    ModelLibrary sampled;
+    for (Polarity pol : {Polarity::kNmos, Polarity::kPmos}) {
+      for (Variant v : all_variants()) {
+        if (!library.has(v, pol)) continue;
+        sampled.put(v, pol, perturb_card(library.card(v, pol), dvth, u0s));
+      }
+    }
+    PpaEngine engine(sampled, ppa_opts);
+    const CellPpa ppa = engine.measure(type, impl);
+    if (!ppa.ok) continue;
+    ++ok;
+    sum += ppa.delay;
+    sum_sq += ppa.delay * ppa.delay;
+    sum_p += ppa.power;
+    stats.worst_delay = std::max(stats.worst_delay, ppa.delay);
+  }
+  MIVTX_EXPECT(ok >= 2, "too few converged Monte-Carlo samples");
+  stats.samples = ok;
+  const double n = static_cast<double>(ok);
+  stats.mean_delay = sum / n;
+  stats.mean_power = sum_p / n;
+  const double var = std::max(0.0, sum_sq / n - stats.mean_delay * stats.mean_delay);
+  stats.sigma_delay = std::sqrt(var * n / (n - 1.0));
+  return stats;
+}
+
+}  // namespace mivtx::core

@@ -1,0 +1,37 @@
+#include "extract/dataset.h"
+
+#include "common/error.h"
+#include "linalg/vector_ops.h"
+
+namespace mivtx::extract {
+
+namespace {
+void check_curve(const Curve& c, const char* what) {
+  MIVTX_EXPECT(!c.empty(), std::string(what) + ": empty curve");
+  for (std::size_t i = 1; i < c.size(); ++i)
+    MIVTX_EXPECT(c[i].x > c[i - 1].x,
+                 std::string(what) + ": x must be increasing");
+}
+}  // namespace
+
+void CharacteristicSet::validate() const {
+  check_curve(idvg_low, "idvg_low");
+  check_curve(idvg_high, "idvg_high");
+  MIVTX_EXPECT(!idvd.empty(), "no output curves");
+  for (const OutputCurve& oc : idvd) check_curve(oc.curve, "idvd");
+  check_curve(cv, "cv");
+}
+
+std::vector<double> SweepGrid::vg_points() const {
+  return linalg::linspace(0.0, vdd, n_vg);
+}
+
+std::vector<double> SweepGrid::vd_points() const {
+  return linalg::linspace(0.0, vdd, n_vd);
+}
+
+std::vector<double> SweepGrid::cv_points() const {
+  return linalg::linspace(0.0, vdd, n_cv);
+}
+
+}  // namespace mivtx::extract

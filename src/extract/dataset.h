@@ -1,0 +1,51 @@
+// Characterization dataset: the "measured" curves one extraction run fits.
+//
+// Mirrors the paper's Fig. 3 inputs:
+//   - low-drain transfer curve  (Id-Vg at |Vds| = 0.05 V)
+//   - high-drain transfer curve (Id-Vg at |Vds| = 1.0 V)
+//   - output curves             (Id-Vd at |Vgs| = 0.4 ... 1.0 V)
+//   - gate capacitance          (Cgg-Vg at |Vds| = 0)
+// All sweeps are in magnitude space (see tcad/characterize.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/curve.h"
+
+namespace mivtx::extract {
+
+struct OutputCurve {
+  double vgs = 0.0;  // magnitude
+  Curve curve;       // |Id| vs |Vd|
+};
+
+struct CharacteristicSet {
+  std::string device_name;
+
+  double vds_low = 0.05;
+  double vds_high = 1.0;
+  Curve idvg_low;   // |Id| vs |Vg| at vds_low
+  Curve idvg_high;  // |Id| vs |Vg| at vds_high
+  std::vector<OutputCurve> idvd;
+  Curve cv;         // Cgg vs |Vg| at |Vds| = 0
+
+  // Sanity: every curve non-empty and x-sorted.
+  void validate() const;
+};
+
+// Sweep grids used by both the TCAD characterization and the model replay,
+// so compared curves share x-axes exactly.
+struct SweepGrid {
+  double vdd = 1.0;
+  std::size_t n_vg = 21;
+  std::size_t n_vd = 21;
+  std::size_t n_cv = 21;
+  std::vector<double> idvd_vgs = {0.4, 0.6, 0.8, 1.0};
+
+  std::vector<double> vg_points() const;
+  std::vector<double> vd_points() const;
+  std::vector<double> cv_points() const;
+};
+
+}  // namespace mivtx::extract

@@ -1,0 +1,40 @@
+#include "extract/errors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mivtx::extract {
+
+std::vector<double> curve_residuals(const Curve& measured, const Curve& fit,
+                                    double floor_frac) {
+  MIVTX_EXPECT(measured.size() == fit.size(),
+               "curve_residuals: size mismatch");
+  double peak = 0.0;
+  for (const CurvePoint& pt : measured) peak = std::max(peak, std::fabs(pt.y));
+  MIVTX_EXPECT(peak > 0.0, "curve_residuals: all-zero measured curve");
+  const double floor = floor_frac * peak;
+  std::vector<double> r(measured.size());
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    MIVTX_EXPECT(std::fabs(measured[i].x - fit[i].x) < 1e-12,
+                 "curve_residuals: x grids differ");
+    const double denom = std::max(std::fabs(measured[i].y), floor);
+    r[i] = (fit[i].y - measured[i].y) / denom;
+  }
+  return r;
+}
+
+double rms(const std::vector<double>& residuals) {
+  MIVTX_EXPECT(!residuals.empty(), "rms of empty vector");
+  double s = 0.0;
+  for (double v : residuals) s += v * v;
+  return std::sqrt(s / static_cast<double>(residuals.size()));
+}
+
+double curve_error(const Curve& measured, const Curve& fit,
+                   double floor_frac) {
+  return rms(curve_residuals(measured, fit, floor_frac));
+}
+
+}  // namespace mivtx::extract

@@ -1,0 +1,28 @@
+// Region error metrics (the quantities Table III reports).
+//
+// Per-point residual: (fit - measured) / max(|measured|, floor_frac * peak),
+// i.e. relative error with a floor that keeps deep-subthreshold points from
+// dominating while still constraining the exponential region.  Region error
+// is the RMS of these residuals, reported as a fraction (0.07 = 7 %).
+#pragma once
+
+#include <vector>
+
+#include "common/curve.h"
+
+namespace mivtx::extract {
+
+inline constexpr double kErrorFloorFraction = 0.02;
+
+// Residuals between two curves sampled on the same x grid.
+std::vector<double> curve_residuals(const Curve& measured, const Curve& fit,
+                                    double floor_frac = kErrorFloorFraction);
+
+// RMS of a residual vector.
+double rms(const std::vector<double>& residuals);
+
+// RMS error between curves (fraction).
+double curve_error(const Curve& measured, const Curve& fit,
+                   double floor_frac = kErrorFloorFraction);
+
+}  // namespace mivtx::extract

@@ -1,0 +1,263 @@
+#include "extract/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/dense.h"
+
+namespace mivtx::extract {
+
+double ParamBounds::to_unit(double value) const {
+  MIVTX_EXPECT(hi > lo, "bounds inverted for " + name);
+  double u;
+  if (log_scale) {
+    MIVTX_EXPECT(lo > 0.0, "log-scale bounds must be positive for " + name);
+    u = (std::log(value) - std::log(lo)) / (std::log(hi) - std::log(lo));
+  } else {
+    u = (value - lo) / (hi - lo);
+  }
+  return std::clamp(u, 0.0, 1.0);
+}
+
+double ParamBounds::from_unit(double unit) const {
+  const double u = std::clamp(unit, 0.0, 1.0);
+  if (log_scale) {
+    return std::exp(std::log(lo) + u * (std::log(hi) - std::log(lo)));
+  }
+  return lo + u * (hi - lo);
+}
+
+namespace {
+
+std::vector<double> to_physical(const std::vector<ParamBounds>& bounds,
+                                const std::vector<double>& unit) {
+  std::vector<double> out(unit.size());
+  for (std::size_t i = 0; i < unit.size(); ++i)
+    out[i] = bounds[i].from_unit(unit[i]);
+  return out;
+}
+
+}  // namespace
+
+OptResult nelder_mead(const Objective& f,
+                      const std::vector<ParamBounds>& bounds,
+                      const std::vector<double>& x0,
+                      const NelderMeadOptions& opts) {
+  const std::size_t n = bounds.size();
+  MIVTX_EXPECT(n > 0 && x0.size() == n, "nelder_mead: bad dimensions");
+
+  std::size_t evals = 0;
+  auto eval_unit = [&](const std::vector<double>& u) {
+    ++evals;
+    return f(to_physical(bounds, u));
+  };
+
+  std::vector<double> best_u(n);
+  for (std::size_t i = 0; i < n; ++i) best_u[i] = bounds[i].to_unit(x0[i]);
+  double best_f = eval_unit(best_u);
+  const double initial_f = best_f;
+
+  for (std::size_t restart = 0; restart <= opts.restarts; ++restart) {
+    // Build the simplex around the current best point.
+    std::vector<std::vector<double>> simplex(n + 1, best_u);
+    std::vector<double> fv(n + 1);
+    fv[0] = best_f;
+    const double step = opts.initial_step / (1.0 + restart);
+    for (std::size_t i = 0; i < n; ++i) {
+      simplex[i + 1][i] = std::clamp(
+          best_u[i] + (best_u[i] > 0.5 ? -step : step), 0.0, 1.0);
+      fv[i + 1] = eval_unit(simplex[i + 1]);
+    }
+
+    while (evals < opts.max_evaluations) {
+      // Order simplex.
+      std::vector<std::size_t> idx(n + 1);
+      for (std::size_t i = 0; i <= n; ++i) idx[i] = i;
+      std::sort(idx.begin(), idx.end(),
+                [&](std::size_t a, std::size_t b) { return fv[a] < fv[b]; });
+      {
+        std::vector<std::vector<double>> s2(n + 1);
+        std::vector<double> f2(n + 1);
+        for (std::size_t i = 0; i <= n; ++i) {
+          s2[i] = simplex[idx[i]];
+          f2[i] = fv[idx[i]];
+        }
+        simplex = std::move(s2);
+        fv = std::move(f2);
+      }
+
+      // Convergence: simplex extent and value spread.
+      double extent = 0.0;
+      for (std::size_t i = 1; i <= n; ++i)
+        for (std::size_t k = 0; k < n; ++k)
+          extent = std::max(extent, std::fabs(simplex[i][k] - simplex[0][k]));
+      if (extent < opts.x_tol || std::fabs(fv[n] - fv[0]) < opts.f_tol) break;
+
+      // Centroid of the n best vertices.
+      std::vector<double> centroid(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t k = 0; k < n; ++k) centroid[k] += simplex[i][k] / n;
+
+      auto blend = [&](double alpha) {
+        std::vector<double> u(n);
+        for (std::size_t k = 0; k < n; ++k) {
+          u[k] = std::clamp(centroid[k] + alpha * (centroid[k] - simplex[n][k]),
+                            0.0, 1.0);
+        }
+        return u;
+      };
+
+      const std::vector<double> xr = blend(1.0);  // reflection
+      const double fr = eval_unit(xr);
+      if (fr < fv[0]) {
+        const std::vector<double> xe = blend(2.0);  // expansion
+        const double fe = eval_unit(xe);
+        if (fe < fr) {
+          simplex[n] = xe;
+          fv[n] = fe;
+        } else {
+          simplex[n] = xr;
+          fv[n] = fr;
+        }
+      } else if (fr < fv[n - 1]) {
+        simplex[n] = xr;
+        fv[n] = fr;
+      } else {
+        const std::vector<double> xc = blend(fr < fv[n] ? 0.5 : -0.5);
+        const double fc = eval_unit(xc);
+        if (fc < std::min(fr, fv[n])) {
+          simplex[n] = xc;
+          fv[n] = fc;
+        } else {
+          // Shrink toward the best vertex.
+          for (std::size_t i = 1; i <= n; ++i) {
+            for (std::size_t k = 0; k < n; ++k)
+              simplex[i][k] =
+                  simplex[0][k] + 0.5 * (simplex[i][k] - simplex[0][k]);
+            fv[i] = eval_unit(simplex[i]);
+            if (evals >= opts.max_evaluations) break;
+          }
+        }
+      }
+      if (fv[0] < best_f) {
+        best_f = fv[0];
+        best_u = simplex[0];
+      }
+    }
+    // Track best vertex found in this round.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (fv[i] < best_f) {
+        best_f = fv[i];
+        best_u = simplex[i];
+      }
+    }
+    if (evals >= opts.max_evaluations) break;
+  }
+
+  OptResult out;
+  out.x = to_physical(bounds, best_u);
+  out.value = best_f;
+  out.evaluations = evals;
+  out.improved = best_f < initial_f;
+  return out;
+}
+
+OptResult levenberg_marquardt(const ResidualFn& residuals,
+                              const std::vector<ParamBounds>& bounds,
+                              const std::vector<double>& x0,
+                              const LevenbergMarquardtOptions& opts) {
+  const std::size_t n = bounds.size();
+  MIVTX_EXPECT(n > 0 && x0.size() == n, "lm: bad dimensions");
+
+  std::size_t evals = 0;
+  auto eval_unit = [&](const std::vector<double>& u) {
+    ++evals;
+    return residuals(to_physical(bounds, u));
+  };
+  auto ssq = [](const std::vector<double>& r) {
+    double s = 0.0;
+    for (double v : r) s += v * v;
+    return s;
+  };
+
+  std::vector<double> u(n);
+  for (std::size_t i = 0; i < n; ++i) u[i] = bounds[i].to_unit(x0[i]);
+  std::vector<double> r = eval_unit(u);
+  double f = ssq(r);
+  const double initial_f = f;
+  const std::size_t m = r.size();
+  MIVTX_EXPECT(m > 0, "lm: no residuals");
+
+  double lambda = opts.initial_lambda;
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    // Numeric Jacobian in unit space.
+    linalg::DenseMatrix jac(m, n);
+    for (std::size_t k = 0; k < n; ++k) {
+      std::vector<double> up = u;
+      const double h =
+          (up[k] + opts.step_rel <= 1.0) ? opts.step_rel : -opts.step_rel;
+      up[k] += h;
+      const std::vector<double> rp = eval_unit(up);
+      for (std::size_t i = 0; i < m; ++i)
+        jac(i, k) = (rp[i] - r[i]) / h;
+    }
+    // Normal equations (J^T J + lambda diag) d = -J^T r.
+    linalg::DenseMatrix jtj(n, n);
+    linalg::Vector jtr(n, 0.0);
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a; b < n; ++b) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < m; ++i) s += jac(i, a) * jac(i, b);
+        jtj(a, b) = s;
+        jtj(b, a) = s;
+      }
+      double s = 0.0;
+      for (std::size_t i = 0; i < m; ++i) s += jac(i, a) * r[i];
+      jtr[a] = s;
+    }
+    double gmax = 0.0;
+    for (double g : jtr) gmax = std::max(gmax, std::fabs(g));
+    if (gmax < opts.g_tol) break;
+
+    bool stepped = false;
+    for (int tries = 0; tries < 10 && !stepped; ++tries) {
+      linalg::DenseMatrix a = jtj;
+      for (std::size_t k = 0; k < n; ++k)
+        a(k, k) += lambda * std::max(jtj(k, k), 1e-12);
+      linalg::Vector rhs(n);
+      for (std::size_t k = 0; k < n; ++k) rhs[k] = -jtr[k];
+      linalg::Vector d;
+      try {
+        d = linalg::solve_dense(std::move(a), rhs);
+      } catch (const Error&) {
+        lambda *= 10.0;
+        continue;
+      }
+      std::vector<double> u_new(n);
+      for (std::size_t k = 0; k < n; ++k)
+        u_new[k] = std::clamp(u[k] + d[k], 0.0, 1.0);
+      const std::vector<double> r_new = eval_unit(u_new);
+      const double f_new = ssq(r_new);
+      if (f_new < f) {
+        u = std::move(u_new);
+        r = r_new;
+        f = f_new;
+        lambda = std::max(lambda * 0.3, 1e-12);
+        stepped = true;
+      } else {
+        lambda *= 10.0;
+      }
+    }
+    if (!stepped) break;
+  }
+
+  OptResult out;
+  out.x = to_physical(bounds, u);
+  out.value = f;
+  out.evaluations = evals;
+  out.improved = f < initial_f;
+  return out;
+}
+
+}  // namespace mivtx::extract

@@ -1,0 +1,61 @@
+// Derivative-free and least-squares optimizers used by the extraction
+// pipeline.  Both operate in a normalized box: each parameter is mapped to
+// [0, 1] (linearly or logarithmically per its ParamBounds), which equalizes
+// scales across parameters spanning 10+ decades (UB ~ 1e-18 vs VSAT ~ 1e5).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mivtx::extract {
+
+struct ParamBounds {
+  std::string name;
+  double lo = 0.0;
+  double hi = 1.0;
+  bool log_scale = false;
+
+  double to_unit(double value) const;    // physical -> [0,1]
+  double from_unit(double unit) const;   // [0,1] -> physical
+};
+
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct OptResult {
+  std::vector<double> x;  // physical parameter values
+  double value = 0.0;     // objective at x
+  std::size_t evaluations = 0;
+  bool improved = false;  // beat the initial point
+};
+
+struct NelderMeadOptions {
+  std::size_t max_evaluations = 4000;
+  double initial_step = 0.15;   // simplex edge in unit space
+  double x_tol = 1e-5;          // simplex size stop
+  double f_tol = 1e-12;         // spread stop
+  std::size_t restarts = 1;     // re-seeded restarts around the best point
+};
+
+// Minimize `f` (called with physical values) within bounds, starting at x0.
+OptResult nelder_mead(const Objective& f, const std::vector<ParamBounds>& bounds,
+                      const std::vector<double>& x0,
+                      const NelderMeadOptions& opts = {});
+
+struct LevenbergMarquardtOptions {
+  std::size_t max_iterations = 60;
+  double initial_lambda = 1e-3;
+  double g_tol = 1e-12;
+  double step_rel = 1e-4;  // forward-difference step in unit space
+};
+
+// Residual vector version: minimize sum r_i(x)^2.
+using ResidualFn =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+OptResult levenberg_marquardt(const ResidualFn& residuals,
+                              const std::vector<ParamBounds>& bounds,
+                              const std::vector<double>& x0,
+                              const LevenbergMarquardtOptions& opts = {});
+
+}  // namespace mivtx::extract

@@ -1,0 +1,301 @@
+#include "extract/pipeline.h"
+
+#include <cmath>
+#include <functional>
+#include <map>
+
+#include "bsimsoi/curves.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "extract/errors.h"
+
+namespace mivtx::extract {
+
+namespace {
+
+std::vector<double> xs_of(const Curve& c) {
+  std::vector<double> xs(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) xs[i] = c[i].x;
+  return xs;
+}
+
+}  // namespace
+
+ParamBounds param_bounds(const std::string& name) {
+  static const std::map<std::string, ParamBounds> kBounds = {
+      {"VTH0", {"VTH0", 0.05, 0.70, false}},
+      {"DVT0", {"DVT0", 0.0, 2.0, false}},
+      {"DVT1", {"DVT1", 0.2, 3.0, false}},
+      {"DELVT", {"DELVT", -0.25, 0.25, false}},
+      {"NFACTOR", {"NFACTOR", 0.6, 3.0, false}},
+      {"CDSC", {"CDSC", 1e-7, 3e-2, true}},
+      {"CDSCD", {"CDSCD", 0.0, 3e-2, false}},
+      {"ETAB", {"ETAB", 0.0, 0.25, false}},
+      {"U0", {"U0", 2e-3, 0.30, true}},
+      {"UA", {"UA", 1e-12, 3e-8, true}},
+      {"UB", {"UB", 1e-22, 1e-15, true}},
+      {"UD", {"UD", 0.0, 20.0, false}},
+      {"UCS", {"UCS", 0.03, 8.0, true}},
+      {"VSAT", {"VSAT", 1e4, 1e6, true}},
+      {"PCLM", {"PCLM", 0.3, 8.0, false}},
+      {"PVAG", {"PVAG", 0.0, 8.0, false}},
+      {"RDSW", {"RDSW", 1e-2, 3e3, true}},
+      {"CKAPPA", {"CKAPPA", 0.02, 3.0, true}},
+      {"CGSO", {"CGSO", 1e-13, 2e-9, true}},
+      {"CGDO", {"CGDO", 1e-13, 2e-9, true}},
+      {"CGSL", {"CGSL", 1e-13, 2e-9, true}},
+      {"CGDL", {"CGDL", 1e-13, 2e-9, true}},
+      {"CF", {"CF", 1e-14, 2e-9, true}},
+      {"MOIN", {"MOIN", 1.0, 40.0, false}},
+      {"K1B", {"K1B", 0.0, 2.0, false}},
+      {"DVTB", {"DVTB", 0.0, 0.8, false}},
+  };
+  const auto it = kBounds.find(name);
+  MIVTX_EXPECT(it != kBounds.end(), "no bounds registered for " + name);
+  return it->second;
+}
+
+Curve model_idvg(const bsimsoi::SoiModelCard& card, const Curve& measured,
+                 double vds) {
+  return bsimsoi::id_vg(card, vds, xs_of(measured));
+}
+
+Curve model_idvd(const bsimsoi::SoiModelCard& card, const Curve& measured,
+                 double vgs) {
+  return bsimsoi::id_vd(card, vgs, xs_of(measured));
+}
+
+Curve model_cv(const bsimsoi::SoiModelCard& card, const Curve& measured) {
+  return bsimsoi::cgg_vg(card, 0.0, xs_of(measured));
+}
+
+RegionErrors region_errors(const bsimsoi::SoiModelCard& card,
+                           const CharacteristicSet& data) {
+  RegionErrors e;
+  std::vector<double> r_idvg = curve_residuals(
+      data.idvg_low, model_idvg(card, data.idvg_low, data.vds_low));
+  {
+    const auto r_hi = curve_residuals(
+        data.idvg_high, model_idvg(card, data.idvg_high, data.vds_high));
+    r_idvg.insert(r_idvg.end(), r_hi.begin(), r_hi.end());
+  }
+  e.idvg = rms(r_idvg);
+
+  std::vector<double> r_idvd;
+  for (const OutputCurve& oc : data.idvd) {
+    const auto r = curve_residuals(oc.curve,
+                                   model_idvd(card, oc.curve, oc.vgs));
+    r_idvd.insert(r_idvd.end(), r.begin(), r.end());
+  }
+  e.idvd = rms(r_idvd);
+
+  e.cv = curve_error(data.cv, model_cv(card, data.cv));
+  return e;
+}
+
+namespace {
+
+// Residuals targeted by each stage.
+std::vector<double> stage_residuals(int stage,
+                                    const bsimsoi::SoiModelCard& card,
+                                    const CharacteristicSet& data) {
+  std::vector<double> r;
+  switch (stage) {
+    case 1: {
+      r = curve_residuals(data.idvg_low,
+                          model_idvg(card, data.idvg_low, data.vds_low));
+      break;
+    }
+    case 2: {
+      r = curve_residuals(data.idvg_high,
+                          model_idvg(card, data.idvg_high, data.vds_high));
+      // Keep the low-drain curve lightly weighted so stage 2 does not undo
+      // stage 1 (the paper re-tunes U0/UA/DVT0/DVT1 here too).
+      auto r_low = curve_residuals(
+          data.idvg_low, model_idvg(card, data.idvg_low, data.vds_low));
+      for (double v : r_low) r.push_back(0.5 * v);
+      for (const OutputCurve& oc : data.idvd) {
+        const auto rr =
+            curve_residuals(oc.curve, model_idvd(card, oc.curve, oc.vgs));
+        r.insert(r.end(), rr.begin(), rr.end());
+      }
+      // Heavily weight the effective-current points Id(Vg=Vdd/2, Vd=Vdd)
+      // and Id(Vg=Vdd, Vd=Vdd/2): cell delay is governed by them, so a
+      // few-percent systematic bias here (invisible in the RMS) would
+      // scramble the device ranking the PPA study depends on.
+      const double kIeffWeight = 6.0;
+      auto add_point = [&](const Curve& measured, double x_target,
+                           double response) {
+        for (const CurvePoint& pt : measured) {
+          if (std::fabs(pt.x - x_target) < 1e-9 && pt.y > 0.0) {
+            r.push_back(kIeffWeight * (response - pt.y) / pt.y);
+            return;
+          }
+        }
+      };
+      const double half = 0.5 * data.vds_high;
+      add_point(data.idvg_high, half,
+                bsimsoi::id_vg(card, data.vds_high, {half})[0].y);
+      for (const OutputCurve& oc : data.idvd) {
+        if (std::fabs(oc.vgs - data.vds_high) < 1e-9) {
+          add_point(oc.curve, half, bsimsoi::id_vd(card, oc.vgs, {half})[0].y);
+        }
+      }
+      break;
+    }
+    case 3: {
+      r = curve_residuals(data.cv, model_cv(card, data.cv));
+      break;
+    }
+    case 4: {
+      // Effective-current retarget ("binning" trim): exactly two residuals,
+      // Id(Vdd/2, Vdd) and Id(Vdd, Vdd/2) relative errors, solved with two
+      // degrees of freedom (U0, RDSW).  Removes the per-card systematic
+      // mid-bias error that would otherwise scramble the small PPA deltas
+      // between implementations.
+      const double half = 0.5 * data.vds_high;
+      auto add_point = [&](const Curve& measured, double x_target,
+                           double response) {
+        for (const CurvePoint& pt : measured) {
+          if (std::fabs(pt.x - x_target) < 1e-9 && pt.y > 0.0) {
+            r.push_back((response - pt.y) / pt.y);
+            return;
+          }
+        }
+      };
+      add_point(data.idvg_high, half,
+                bsimsoi::id_vg(card, data.vds_high, {half})[0].y);
+      for (const OutputCurve& oc : data.idvd) {
+        if (std::fabs(oc.vgs - data.vds_high) < 1e-9) {
+          add_point(oc.curve, half, bsimsoi::id_vd(card, oc.vgs, {half})[0].y);
+        }
+      }
+      MIVTX_EXPECT(!r.empty(), "retarget stage found no Ieff points");
+      break;
+    }
+    default:
+      MIVTX_FAIL("unknown stage");
+  }
+  return r;
+}
+
+using CardHook = std::function<void(bsimsoi::SoiModelCard&)>;
+
+StageReport run_stage(int stage, const std::string& name,
+                      const std::vector<std::string>& params,
+                      bsimsoi::SoiModelCard& card,
+                      const CharacteristicSet& data,
+                      const ExtractionOptions& opts,
+                      const CardHook& post_set = nullptr) {
+  StageReport report;
+  report.name = name;
+  report.parameters = params;
+
+  std::vector<ParamBounds> bounds;
+  std::vector<double> x0;
+  for (const std::string& p : params) {
+    ParamBounds b = param_bounds(p);
+    double v = card.get(p);
+    // Clamp the seed into the box (e.g. zero-valued log-scale parameters).
+    v = std::min(std::max(v, b.lo), b.hi);
+    bounds.push_back(std::move(b));
+    x0.push_back(v);
+  }
+
+  auto apply = [&](const std::vector<double>& x) {
+    for (std::size_t i = 0; i < params.size(); ++i) card.set(params[i], x[i]);
+    if (post_set) post_set(card);
+  };
+
+  ResidualFn residuals = [&](const std::vector<double>& x) {
+    bsimsoi::SoiModelCard trial = card;
+    for (std::size_t i = 0; i < params.size(); ++i)
+      trial.set(params[i], x[i]);
+    if (post_set) post_set(trial);
+    return stage_residuals(stage, trial, data);
+  };
+  Objective objective = [&](const std::vector<double>& x) {
+    return rms(residuals(x));
+  };
+
+  report.error_before = objective(x0);
+
+  OptResult best = nelder_mead(objective, bounds, x0, opts.nm);
+  report.evaluations += best.evaluations;
+  if (opts.run_lm_polish) {
+    const OptResult lm =
+        levenberg_marquardt(residuals, bounds, best.x, opts.lm);
+    report.evaluations += lm.evaluations;
+    if (rms(residuals(lm.x)) < rms(residuals(best.x))) best = lm;
+  }
+  apply(best.x);
+  report.error_after = objective(best.x);
+  return report;
+}
+
+// Constant-current threshold estimate used to seed VTH0.
+double seed_vth(const CharacteristicSet& data,
+                const bsimsoi::SoiModelCard& card) {
+  const double i_crit = 100e-9 * card.w / card.l;
+  const Curve& c = data.idvg_low;
+  for (std::size_t k = 1; k < c.size(); ++k) {
+    if (c[k - 1].y < i_crit && c[k].y >= i_crit && c[k - 1].y > 0.0) {
+      const double f = (std::log(i_crit) - std::log(c[k - 1].y)) /
+                       (std::log(c[k].y) - std::log(c[k - 1].y));
+      return c[k - 1].x + f * (c[k].x - c[k - 1].x);
+    }
+  }
+  return 0.35;
+}
+
+}  // namespace
+
+ExtractionReport extract_card(const CharacteristicSet& data,
+                              const bsimsoi::SoiModelCard& initial,
+                              const ExtractionOptions& opts) {
+  data.validate();
+  ExtractionReport report;
+  report.card = initial;
+
+  // Seed the threshold from the measured low-drain curve.  The stages work
+  // on the VTH0 magnitude (the model core mirrors PMOS internally); the
+  // conventional negative sign is restored after the last stage.
+  report.card.vth0 = seed_vth(data, report.card);
+
+  report.stages.push_back(run_stage(
+      1, "low-drain",
+      {"CDSC", "U0", "UA", "UB", "UD", "UCS", "DVT0", "DVT1", "NFACTOR"},
+      report.card, data, opts));
+  report.stages.push_back(run_stage(
+      2, "high-drain",
+      {"CDSC", "CDSCD", "U0", "UA", "VTH0", "PVAG", "DVT0", "DVT1", "ETAB",
+       "VSAT", "RDSW", "PCLM"},
+      report.card, data, opts));
+  // The C-V data is taken at Vds = 0, where gate capacitance cannot
+  // distinguish the source and drain sides; fit one overlap pair and
+  // mirror it so the optimizer cannot dump arbitrary asymmetry onto the
+  // drain (which would scramble Miller loading in the cell simulations).
+  const auto mirror_overlaps = [](bsimsoi::SoiModelCard& c) {
+    c.cgdo = c.cgso;
+    c.cgdl = c.cgsl;
+  };
+  report.stages.push_back(run_stage(
+      3, "capacitance",
+      {"CKAPPA", "DELVT", "CF", "CGSO", "MOIN", "CGSL", "K1B", "DVTB"},
+      report.card, data, opts, mirror_overlaps));
+  if (opts.run_ieff_retarget) {
+    report.stages.push_back(run_stage(4, "ieff-retarget", {"U0", "RDSW"},
+                                      report.card, data, opts));
+  }
+
+  if (report.card.polarity == bsimsoi::Polarity::kPmos)
+    report.card.vth0 = -std::fabs(report.card.vth0);
+
+  report.errors = region_errors(report.card, data);
+  MIVTX_INFO << "extraction " << data.device_name
+             << ": idvg=" << report.errors.idvg
+             << " idvd=" << report.errors.idvd << " cv=" << report.errors.cv;
+  return report;
+}
+
+}  // namespace mivtx::extract

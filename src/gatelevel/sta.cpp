@@ -1,0 +1,90 @@
+#include "gatelevel/sta.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mivtx::gatelevel {
+
+const CellTiming& TimingModel::timing(cells::Implementation impl,
+                                      cells::CellType type) const {
+  const auto impl_it = cells.find(impl);
+  MIVTX_EXPECT(impl_it != cells.end(), "timing model missing implementation");
+  const auto it = impl_it->second.find(type);
+  MIVTX_EXPECT(it != impl_it->second.end(),
+               std::string("timing model missing cell ") +
+                   cells::cell_name(type));
+  return it->second;
+}
+
+double TimingModel::slope(cells::Implementation impl) const {
+  const auto it = load_slope.find(impl);
+  MIVTX_EXPECT(it != load_slope.end(), "timing model missing load slope");
+  return it->second;
+}
+
+StaResult run_sta(const GateNetlist& netlist, const TimingModel& model,
+                  cells::Implementation impl) {
+  MIVTX_EXPECT(netlist.finalized(), "netlist not finalized");
+  StaResult out;
+  for (const std::string& in : netlist.primary_inputs()) {
+    out.arrival[in] = ArrivalInfo{0.0, ""};
+  }
+
+  // Fanout capacitance per net: sum of driven pins' input caps; each primary
+  // output carries the reference load (the 1 fF measurement condition).
+  auto fanout_cap = [&](const std::string& net) {
+    double c = 0.0;
+    for (const Instance& reader : netlist.instances()) {
+      for (const std::string& in : reader.inputs) {
+        if (in == net) c += model.timing(impl, reader.type).input_cap;
+      }
+    }
+    for (const std::string& po : netlist.primary_outputs()) {
+      if (po == net) c += model.c_ref;
+    }
+    return c;
+  };
+
+  std::map<std::string, std::string> critical_driver;  // net -> instance
+  for (const std::size_t idx : netlist.topological_order()) {
+    const Instance& inst = netlist.instances()[idx];
+    double worst = 0.0;
+    std::string worst_net;
+    for (const std::string& in : inst.inputs) {
+      const auto it = out.arrival.find(in);
+      MIVTX_EXPECT(it != out.arrival.end(), "missing arrival for " + in);
+      if (it->second.time >= worst) {
+        worst = it->second.time;
+        worst_net = in;
+      }
+    }
+    const CellTiming& t = model.timing(impl, inst.type);
+    const double extra = fanout_cap(inst.output) - model.c_ref;
+    const double delay =
+        std::max(t.delay_ref + model.slope(impl) * extra, 0.0);
+    out.arrival[inst.output] = ArrivalInfo{worst + delay, worst_net};
+    critical_driver[inst.output] = inst.name;
+  }
+
+  // Worst primary output.
+  for (const std::string& po : netlist.primary_outputs()) {
+    const auto it = out.arrival.find(po);
+    MIVTX_EXPECT(it != out.arrival.end(), "primary output unresolved: " + po);
+    if (it->second.time >= out.critical_delay) {
+      out.critical_delay = it->second.time;
+      out.critical_output = po;
+    }
+  }
+
+  // Trace the critical path back through `critical_from`.
+  std::string net = out.critical_output;
+  while (!net.empty() && critical_driver.count(net)) {
+    out.critical_path.push_back(critical_driver.at(net));
+    net = out.arrival.at(net).critical_from;
+  }
+  std::reverse(out.critical_path.begin(), out.critical_path.end());
+  return out;
+}
+
+}  // namespace mivtx::gatelevel

@@ -1,0 +1,59 @@
+// Static timing analysis over the measured cell delays.
+//
+// The timing model is built from PPA measurements: each (cell, impl) gets
+// its nominal delay at the reference 1 fF load, an implementation-level
+// load-sensitivity slope (s/F), and a per-pin input capacitance estimated
+// from the compact model's gate charge.  Arrival time of an instance is
+//   max(arrival of inputs) + d0 + slope * (C_fanout - C_ref)
+// where C_fanout sums the input capacitances of the driven pins (primary
+// outputs count as one reference load each).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cells/netgen.h"
+#include "gatelevel/netlist.h"
+
+namespace mivtx::gatelevel {
+
+struct CellTiming {
+  double delay_ref = 0.0;  // s, at the reference load
+  double input_cap = 0.0;  // F, per input pin (average)
+};
+
+class TimingModel {
+ public:
+  // Reference load the delays were measured at (the paper's 1 fF).
+  double c_ref = 1e-15;
+  // Delay sensitivity to extra load (s/F), per implementation.
+  std::map<cells::Implementation, double> load_slope;
+  // Per (impl, cell) timing data.
+  std::map<cells::Implementation, std::map<cells::CellType, CellTiming>>
+      cells;
+
+  const CellTiming& timing(cells::Implementation impl,
+                           cells::CellType type) const;
+  double slope(cells::Implementation impl) const;
+};
+
+struct ArrivalInfo {
+  double time = 0.0;          // s
+  std::string critical_from;  // driving net on the critical input
+};
+
+struct StaResult {
+  // Arrival time per net (primary inputs at 0).
+  std::map<std::string, ArrivalInfo> arrival;
+  // Worst primary-output arrival and the critical path to it, as a list of
+  // instance names from input to output.
+  double critical_delay = 0.0;
+  std::string critical_output;
+  std::vector<std::string> critical_path;
+};
+
+StaResult run_sta(const GateNetlist& netlist, const TimingModel& model,
+                  cells::Implementation impl);
+
+}  // namespace mivtx::gatelevel

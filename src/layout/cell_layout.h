@@ -1,0 +1,70 @@
+// Rule-driven layout area model for the two-tier standard cells
+// (paper Fig. 5(c) and the substrate-area discussion in §IV).
+//
+// Geometry model per tier: one diffusion row of transistors with shared
+// source/drain regions (row width = sd + n*(sp + gate + sp + sd)), plus
+// per-implementation extras:
+//   * 2D:   every net feeding an n-type gate needs an external-contact MIV
+//           whose keep-out square (via + liner + M1 separation ring) sits
+//           beside the gate it contacts, costing top-tier width; the via
+//           strip also raises the top row by a contact landing track.
+//   * 1-ch: the via merges with the gate end - no keep-out - but the via
+//           stem extends the row height and the S/D contacts of the wide
+//           single channel need an M1-separation allowance per cell.
+//   * 2-ch: two half-width channels flank the central via row; the row
+//           height is 2*(W/2) + via stem, with no keep-out and no M1
+//           allowance (contacts land on opposite sides).
+//   * 4-ch: quarter-width channels surround the via, giving the most
+//           compact transistor, but S/D regions sit on both sides: no
+//           diffusion sharing (full pitch per device) and one extra M1
+//           routing track per cell to strap the split S/D regions.
+// Cell area uses the paper's rule: max of the two tiers' dimensions (the
+// placer must align both tiers), plus rail tracks and cell margins.
+// Substrate area sums the two tiers independently (the "up to 31 %" claim
+// assumes per-tier placement).
+#pragma once
+
+#include "cells/celltypes.h"
+#include "cells/netgen.h"
+#include "layout/rules.h"
+
+namespace mivtx::layout {
+
+struct TierFootprint {
+  double width = 0.0;   // m
+  double height = 0.0;  // m
+  double area() const { return width * height; }
+};
+
+struct CellLayout {
+  cells::CellType type = cells::CellType::kInv1;
+  cells::Implementation impl = cells::Implementation::k2D;
+  TierFootprint top;     // n-type tier
+  TierFootprint bottom;  // p-type tier
+  double cell_width = 0.0;
+  double cell_height = 0.0;
+  int external_mivs = 0;  // keep-out-paying vias (2D only)
+
+  double cell_area() const { return cell_width * cell_height; }
+  double substrate_area() const { return top.area() + bottom.area(); }
+};
+
+class LayoutModel {
+ public:
+  explicit LayoutModel(DesignRules rules = {}) : rules_(rules) {}
+  const DesignRules& rules() const { return rules_; }
+
+  CellLayout layout_cell(cells::CellType type,
+                         cells::Implementation impl) const;
+
+ private:
+  // Width of a diffusion row of n transistors with shared S/D.
+  double row_width(std::size_t n_fets, bool shared_diffusion) const;
+  DesignRules rules_;
+};
+
+// Count of nets feeding at least one n-type gate (the external-contact MIVs
+// a 2D implementation pays keep-out for).
+int count_gate_nets(cells::CellType type);
+
+}  // namespace mivtx::layout

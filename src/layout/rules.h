@@ -1,0 +1,30 @@
+// Layout design rules for the assumed 2-layer M3D FDSOI process
+// (paper Table I + §IV assumptions, 7nm-PDK-flavored).
+#pragma once
+
+namespace mivtx::layout {
+
+struct DesignRules {
+  // All dimensions in meters.
+  double gate_length = 24e-9;   // L_G
+  double spacer = 10e-9;        // gate spacer, each side
+  double sd_length = 48e-9;     // l_src: contacted source/drain length
+  double device_width = 192e-9; // w_src: drawn equivalent width
+  double m1_width = 24e-9;
+  double m1_space = 24e-9;      // minimum M1 separation (area comparisons)
+  double via_size = 24e-9;
+  double miv_size = 25e-9;      // t_miv
+  double miv_liner = 1e-9;      // oxide liner each side of the via
+  double rail_track = 48e-9;    // per-tier supply rail allocation (height)
+  double cell_margin = 24e-9;   // boundary margin per side (width)
+
+  // Keep-out ring width around an external-contact MIV: the via must stay
+  // an M1 separation away from any device/metal on the top tier.
+  double miv_keepout_ring() const { return m1_space; }
+  // Full keep-out square edge for an external-contact MIV.
+  double miv_keepout_edge() const {
+    return miv_size + 2.0 * miv_liner + 2.0 * miv_keepout_ring();
+  }
+};
+
+}  // namespace mivtx::layout

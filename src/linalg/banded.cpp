@@ -1,0 +1,139 @@
+#include "linalg/banded.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mivtx::linalg {
+
+BandedMatrix::BandedMatrix(std::size_t n, std::size_t kl, std::size_t ku)
+    : n_(n), kl_(kl), ku_(ku), ldab_(2 * kl + ku + 1),
+      store_(ldab_ * n, 0.0) {
+  MIVTX_EXPECT(n > 0, "banded: empty matrix");
+  MIVTX_EXPECT(kl < n && ku < n, "banded: bandwidth >= n");
+}
+
+bool BandedMatrix::in_band(std::size_t r, std::size_t c) const {
+  return (c + kl_ >= r) && (r + ku_ >= c);
+}
+
+std::size_t BandedMatrix::index(std::size_t r, std::size_t c) const {
+  // gbtrf layout: entry (r, c) stored at row (kl + ku + r - c) of column c.
+  const std::size_t band_row = kl_ + ku_ + r - c;
+  return c * ldab_ + band_row;
+}
+
+double BandedMatrix::at(std::size_t r, std::size_t c) const {
+  MIVTX_EXPECT(r < n_ && c < n_, "banded: index out of range");
+  if (!in_band(r, c)) return 0.0;
+  return store_[index(r, c)];
+}
+
+void BandedMatrix::set(std::size_t r, std::size_t c, double v) {
+  MIVTX_EXPECT(r < n_ && c < n_, "banded: index out of range");
+  MIVTX_EXPECT(in_band(r, c), "banded: write outside band");
+  store_[index(r, c)] = v;
+}
+
+void BandedMatrix::add(std::size_t r, std::size_t c, double v) {
+  MIVTX_EXPECT(r < n_ && c < n_, "banded: index out of range");
+  MIVTX_EXPECT(in_band(r, c), "banded: write outside band");
+  store_[index(r, c)] += v;
+}
+
+void BandedMatrix::set_zero() {
+  std::fill(store_.begin(), store_.end(), 0.0);
+}
+
+Vector BandedMatrix::multiply(const Vector& x) const {
+  MIVTX_EXPECT(x.size() == n_, "banded multiply: size mismatch");
+  Vector y(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::size_t c0 = (r > kl_) ? r - kl_ : 0;
+    const std::size_t c1 = std::min(n_ - 1, r + ku_);
+    double s = 0.0;
+    for (std::size_t c = c0; c <= c1; ++c) s += store_[index(r, c)] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+BandedLU::BandedLU(BandedMatrix a) : lu_(std::move(a)) {
+  const std::size_t n = lu_.n_;
+  const std::size_t kl = lu_.kl_;
+  const std::size_t ku = lu_.ku_;
+  pivots_.resize(n);
+
+  // Effective upper bandwidth after pivoting grows to kl + ku.
+  const std::size_t kv = kl + ku;
+  for (std::size_t j = 0; j < n; ++j) {
+    // Find pivot in column j among rows j .. min(j+kl, n-1).
+    const std::size_t rmax = std::min(j + kl, n - 1);
+    std::size_t p = j;
+    double best = std::fabs(lu_.store_[lu_.index(j, j)]);
+    for (std::size_t r = j + 1; r <= rmax; ++r) {
+      const double v = std::fabs(lu_.store_[lu_.index(r, j)]);
+      if (v > best) {
+        best = v;
+        p = r;
+      }
+    }
+    MIVTX_EXPECT(best > 0.0 && std::isfinite(best),
+                 "singular matrix in BandedLU at column " + std::to_string(j));
+    pivots_[j] = p;
+    if (p != j) {
+      // Swap rows j and p across the accessible band columns.
+      const std::size_t cend = std::min(j + kv, n - 1);
+      for (std::size_t c = j; c <= cend; ++c) {
+        std::swap(lu_.store_[lu_.index(j, c)], lu_.store_[lu_.index(p, c)]);
+      }
+    }
+    const double inv = 1.0 / lu_.store_[lu_.index(j, j)];
+    for (std::size_t r = j + 1; r <= rmax; ++r) {
+      const double f = lu_.store_[lu_.index(r, j)] * inv;
+      lu_.store_[lu_.index(r, j)] = f;
+      if (f == 0.0) continue;
+      const std::size_t cend = std::min(j + kv, n - 1);
+      for (std::size_t c = j + 1; c <= cend; ++c) {
+        lu_.store_[lu_.index(r, c)] -= f * lu_.store_[lu_.index(j, c)];
+      }
+    }
+  }
+}
+
+void BandedLU::solve_in_place(Vector& b) const {
+  const std::size_t n = lu_.n_;
+  const std::size_t kl = lu_.kl_;
+  const std::size_t kv = lu_.kl_ + lu_.ku_;
+  MIVTX_EXPECT(b.size() == n, "banded solve: rhs size mismatch");
+  // Apply permutation + forward substitution.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (pivots_[j] != j) std::swap(b[j], b[pivots_[j]]);
+    const double bj = b[j];
+    if (bj == 0.0) continue;
+    const std::size_t rmax = std::min(j + kl, n - 1);
+    for (std::size_t r = j + 1; r <= rmax; ++r)
+      b[r] -= lu_.store_[lu_.index(r, j)] * bj;
+  }
+  // Back substitution.
+  for (std::size_t jj = n; jj-- > 0;) {
+    const std::size_t cend = std::min(jj + kv, n - 1);
+    double s = b[jj];
+    for (std::size_t c = jj + 1; c <= cend; ++c)
+      s -= lu_.store_[lu_.index(jj, c)] * b[c];
+    b[jj] = s / lu_.store_[lu_.index(jj, jj)];
+  }
+}
+
+Vector BandedLU::solve(const Vector& b) const {
+  Vector x = b;
+  solve_in_place(x);
+  return x;
+}
+
+Vector solve_banded(BandedMatrix a, const Vector& b) {
+  return BandedLU(std::move(a)).solve(b);
+}
+
+}  // namespace mivtx::linalg

@@ -1,0 +1,92 @@
+#include "linalg/complex_dense.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mivtx::linalg {
+
+ComplexDenseMatrix::ComplexDenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+ComplexDenseMatrix::ComplexDenseMatrix(const DenseMatrix& real_part,
+                                       const DenseMatrix& imag_part,
+                                       double imag_scale)
+    : ComplexDenseMatrix(real_part.rows(), real_part.cols()) {
+  MIVTX_EXPECT(real_part.rows() == imag_part.rows() &&
+                   real_part.cols() == imag_part.cols(),
+               "complex matrix: shape mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      (*this)(r, c) =
+          Complex(real_part(r, c), imag_scale * imag_part(r, c));
+    }
+  }
+}
+
+ComplexVector ComplexDenseMatrix::multiply(const ComplexVector& x) const {
+  MIVTX_EXPECT(x.size() == cols_, "complex multiply: size mismatch");
+  ComplexVector y(rows_, Complex(0.0, 0.0));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Complex s(0.0, 0.0);
+    for (std::size_t c = 0; c < cols_; ++c) s += (*this)(r, c) * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+ComplexDenseLU::ComplexDenseLU(ComplexDenseMatrix a) : lu_(std::move(a)) {
+  MIVTX_EXPECT(lu_.rows() == lu_.cols(), "complex LU needs a square matrix");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t p = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        p = r;
+      }
+    }
+    MIVTX_EXPECT(best > 0.0 && std::isfinite(best),
+                 "singular matrix in ComplexDenseLU");
+    if (p != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(p, c));
+      std::swap(perm_[k], perm_[p]);
+    }
+    const Complex inv = Complex(1.0, 0.0) / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const Complex f = lu_(r, k) * inv;
+      lu_(r, k) = f;
+      if (f == Complex(0.0, 0.0)) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= f * lu_(k, c);
+    }
+  }
+}
+
+ComplexVector ComplexDenseLU::solve(const ComplexVector& b) const {
+  const std::size_t n = lu_.rows();
+  MIVTX_EXPECT(b.size() == n, "complex solve: rhs size mismatch");
+  ComplexVector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    Complex s = x[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    Complex s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+ComplexVector solve_complex_dense(ComplexDenseMatrix a,
+                                  const ComplexVector& b) {
+  return ComplexDenseLU(std::move(a)).solve(b);
+}
+
+}  // namespace mivtx::linalg

@@ -1,0 +1,55 @@
+// Complex dense matrix and LU solver for small-signal (AC) analysis:
+// systems of the form (G + j*omega*C) x = b.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense.h"
+
+namespace mivtx::linalg {
+
+using Complex = std::complex<double>;
+using ComplexVector = std::vector<Complex>;
+
+class ComplexDenseMatrix {
+ public:
+  ComplexDenseMatrix() = default;
+  ComplexDenseMatrix(std::size_t rows, std::size_t cols);
+  // G + j*scale*C (shapes must match).
+  ComplexDenseMatrix(const DenseMatrix& real_part,
+                     const DenseMatrix& imag_part, double imag_scale);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Complex& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  Complex operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  ComplexVector multiply(const ComplexVector& x) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+// LU with partial pivoting (by magnitude).  Throws on singular pivot.
+class ComplexDenseLU {
+ public:
+  explicit ComplexDenseLU(ComplexDenseMatrix a);
+  ComplexVector solve(const ComplexVector& b) const;
+
+ private:
+  ComplexDenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+ComplexVector solve_complex_dense(ComplexDenseMatrix a,
+                                  const ComplexVector& b);
+
+}  // namespace mivtx::linalg

@@ -1,0 +1,129 @@
+#include "linalg/dense.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mivtx::linalg {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void DenseMatrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void DenseMatrix::add_scaled(const DenseMatrix& other, double alpha) {
+  MIVTX_EXPECT(rows_ == other.rows_ && cols_ == other.cols_,
+               "add_scaled: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+Vector DenseMatrix::multiply(const Vector& x) const {
+  MIVTX_EXPECT(x.size() == cols_, "multiply: size mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  MIVTX_EXPECT(cols_ == other.rows_, "matmul: shape mismatch");
+  DenseMatrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c)
+        out(r, c) += a * other(k, c);
+    }
+  }
+  return out;
+}
+
+double DenseMatrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+DenseLU::DenseLU(DenseMatrix a) : lu_(std::move(a)) {
+  MIVTX_EXPECT(lu_.rows() == lu_.cols(), "LU needs a square matrix");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  double max_pivot = 0.0;
+  double min_pivot = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude entry in column k.
+    std::size_t p = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::fabs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        p = r;
+      }
+    }
+    MIVTX_EXPECT(best > 0.0 && std::isfinite(best),
+                 "singular matrix in DenseLU at column " + std::to_string(k));
+    if (p != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(p, c));
+      std::swap(perm_[k], perm_[p]);
+    }
+    max_pivot = std::max(max_pivot, best);
+    min_pivot = std::min(min_pivot, best);
+    const double inv = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double f = lu_(r, k) * inv;
+      lu_(r, k) = f;
+      if (f == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= f * lu_(k, c);
+    }
+  }
+  pivot_ratio_ = (max_pivot > 0.0) ? min_pivot / max_pivot : 0.0;
+}
+
+void DenseLU::solve_in_place(Vector& b) const {
+  const std::size_t n = lu_.rows();
+  MIVTX_EXPECT(b.size() == n, "solve: rhs size mismatch");
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution (L has implicit unit diagonal).
+  for (std::size_t i = 1; i < n; ++i) {
+    double s = x[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  b = std::move(x);
+}
+
+Vector DenseLU::solve(const Vector& b) const {
+  Vector x = b;
+  solve_in_place(x);
+  return x;
+}
+
+Vector solve_dense(DenseMatrix a, const Vector& b) {
+  return DenseLU(std::move(a)).solve(b);
+}
+
+}  // namespace mivtx::linalg

@@ -1,0 +1,67 @@
+// Dense matrix and LU factorization with partial pivoting.
+//
+// The MNA systems produced by standard cells are small (tens of unknowns),
+// so a dense solver is both simplest and fastest there.  Larger structured
+// systems (TCAD) use linalg/banded.h instead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace mivtx::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  void set_zero();
+  // this += alpha * other (same shape).
+  void add_scaled(const DenseMatrix& other, double alpha);
+
+  Vector multiply(const Vector& x) const;
+  DenseMatrix transpose() const;
+  DenseMatrix multiply(const DenseMatrix& other) const;
+
+  double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// LU factorization (PA = LU) of a square matrix.  Throws mivtx::Error on a
+// numerically singular pivot.
+class DenseLU {
+ public:
+  explicit DenseLU(DenseMatrix a);
+
+  Vector solve(const Vector& b) const;
+  void solve_in_place(Vector& b) const;
+  // Estimate of the smallest pivot magnitude relative to the largest —
+  // a cheap conditioning indicator used by the MNA solver diagnostics.
+  double pivot_ratio() const { return pivot_ratio_; }
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+  double pivot_ratio_ = 0.0;
+};
+
+// One-shot helper: solve A x = b.
+Vector solve_dense(DenseMatrix a, const Vector& b);
+
+}  // namespace mivtx::linalg

@@ -1,0 +1,85 @@
+// Compressed-sparse-row matrix with a COO-style builder, Jacobi/ILU(0)
+// preconditioners and a BiCGSTAB solver.
+//
+// Used for experimentation and cross-checking the banded TCAD solves; the
+// production paths prefer DenseLU (circuits) and BandedLU (device grids).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace mivtx::linalg {
+
+class SparseBuilder {
+ public:
+  explicit SparseBuilder(std::size_t rows, std::size_t cols);
+
+  // Accumulates duplicates.
+  void add(std::size_t r, std::size_t c, double v);
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t num_entries() const { return entries_.size(); }
+
+  struct Entry {
+    std::size_t row, col;
+    double value;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<Entry> entries_;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  // Compresses (sorts rows, merges duplicates).
+  explicit SparseMatrix(const SparseBuilder& builder);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t num_nonzeros() const { return values_.size(); }
+
+  Vector multiply(const Vector& x) const;
+  double at(std::size_t r, std::size_t c) const;
+
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+struct IterativeResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;
+};
+
+// ILU(0) preconditioner on the sparsity pattern of A (square only).
+class Ilu0 {
+ public:
+  explicit Ilu0(const SparseMatrix& a);
+  // Solve (LU) z = r approximately.
+  Vector apply(const Vector& r) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_, col_idx_;
+  std::vector<double> values_;
+  std::vector<std::size_t> diag_;
+};
+
+// Preconditioned BiCGSTAB; `precond` may be null for unpreconditioned runs.
+IterativeResult bicgstab(const SparseMatrix& a, const Vector& b, Vector& x,
+                         const Ilu0* precond, double tol = 1e-10,
+                         std::size_t max_iter = 1000);
+
+}  // namespace mivtx::linalg

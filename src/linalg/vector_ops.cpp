@@ -1,0 +1,68 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mivtx::linalg {
+
+double dot(const Vector& a, const Vector& b) {
+  MIVTX_EXPECT(a.size() == b.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(const Vector& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  MIVTX_EXPECT(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(Vector& x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+Vector add(const Vector& a, const Vector& b) {
+  MIVTX_EXPECT(a.size() == b.size(), "add: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector sub(const Vector& a, const Vector& b) {
+  MIVTX_EXPECT(a.size() == b.size(), "sub: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+double max_abs_diff(const Vector& a, const Vector& b) {
+  MIVTX_EXPECT(a.size() == b.size(), "max_abs_diff: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+Vector linspace(double lo, double hi, std::size_t n) {
+  MIVTX_EXPECT(n >= 1, "linspace: n must be >= 1");
+  Vector out(n);
+  if (n == 1) {
+    out[0] = lo;
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = lo + step * static_cast<double>(i);
+  out[n - 1] = hi;
+  return out;
+}
+
+}  // namespace mivtx::linalg

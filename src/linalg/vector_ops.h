@@ -1,0 +1,25 @@
+// Free functions over std::vector<double>, the toolkit's vector type.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mivtx::linalg {
+
+using Vector = std::vector<double>;
+
+double dot(const Vector& a, const Vector& b);
+double norm2(const Vector& a);
+double norm_inf(const Vector& a);
+// y += alpha * x
+void axpy(double alpha, const Vector& x, Vector& y);
+// x *= alpha
+void scale(Vector& x, double alpha);
+Vector add(const Vector& a, const Vector& b);
+Vector sub(const Vector& a, const Vector& b);
+// Max |a - b| over all entries.
+double max_abs_diff(const Vector& a, const Vector& b);
+// Evenly spaced values from lo to hi inclusive (n >= 2), or {lo} for n == 1.
+Vector linspace(double lo, double hi, std::size_t n);
+
+}  // namespace mivtx::linalg

@@ -1,0 +1,136 @@
+#include "place/placer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mivtx::place {
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kCoupled: return "coupled";
+    case Mode::kPerTier: return "per-tier";
+  }
+  return "?";
+}
+
+double Placement::chip_area() const {
+  if (mode == Mode::kCoupled) return coupled.area();
+  return std::max(top.area(), bottom.area());
+}
+
+TierPlacement Placer::pack(std::vector<Item> items) const {
+  TierPlacement out;
+  if (items.empty()) return out;
+
+  // Rows have uniform height: the tallest item (cells in one implementation
+  // share their height by construction, but per-tier footprints can vary a
+  // little across cell types).
+  double row_height = 0.0;
+  double total_area = 0.0;
+  double total_width = 0.0;
+  for (const Item& it : items) {
+    row_height = std::max(row_height, it.height);
+    total_area += it.width * it.height;
+    total_width += it.width;
+  }
+
+  // Choose a row capacity so the outline approaches the target aspect
+  // ratio: width ~ aspect * height = aspect * rows * row_height and
+  // rows * width ~ total_width.
+  const double est_rows = std::sqrt(
+      total_width / (opts_.target_aspect * (row_height + opts_.row_gap)));
+  const std::size_t rows = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(est_rows)));
+  double capacity = total_width / static_cast<double>(rows);
+  // Never narrower than the widest single cell.
+  for (const Item& it : items) capacity = std::max(capacity, it.width);
+  capacity *= 1.0 + 1e-12;  // guard exact-fit rounding
+
+  // First-fit-decreasing: sort by width (deterministic tiebreak on name).
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.width != b.width) return a.width > b.width;
+    return a.instance < b.instance;
+  });
+
+  std::vector<double> row_used;
+  std::vector<std::vector<const Item*>> row_items;
+  for (const Item& it : items) {
+    bool placed = false;
+    for (std::size_t r = 0; r < row_used.size(); ++r) {
+      if (row_used[r] + it.width <= capacity) {
+        row_used[r] += it.width;
+        row_items[r].push_back(&it);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      row_used.push_back(it.width);
+      row_items.push_back({&it});
+    }
+  }
+
+  // Materialize coordinates.
+  double max_width = 0.0;
+  for (std::size_t r = 0; r < row_items.size(); ++r) {
+    double x = 0.0;
+    const double y =
+        static_cast<double>(r) * (row_height + opts_.row_gap);
+    for (const Item* it : row_items[r]) {
+      out.cells.push_back(
+          PlacedCell{it->instance, it->type, x, y, it->width, it->height});
+      x += it->width;
+    }
+    max_width = std::max(max_width, x);
+  }
+  out.width = max_width;
+  out.height = static_cast<double>(row_items.size()) * row_height +
+               (row_items.empty()
+                    ? 0.0
+                    : static_cast<double>(row_items.size() - 1) * opts_.row_gap);
+  out.cell_area = total_area;
+  return out;
+}
+
+Placement Placer::place(const gatelevel::GateNetlist& netlist,
+                        cells::Implementation impl, Mode mode) const {
+  MIVTX_EXPECT(netlist.finalized(), "netlist not finalized");
+  Placement out;
+  out.mode = mode;
+  out.impl = impl;
+
+  // Both modes pad tier footprints with the same abutment/rail allowance,
+  // so the coupled-vs-per-tier comparison isolates the max() tier coupling
+  // rather than differences in bookkeeping overhead.
+  const layout::DesignRules& r = model_.rules();
+  const double pad_w = r.cell_margin;
+  const double pad_h = r.rail_track;
+
+  std::vector<Item> coupled, top, bottom;
+  for (const gatelevel::Instance& inst : netlist.instances()) {
+    const layout::CellLayout l = model_.layout_cell(inst.type, impl);
+    if (mode == Mode::kCoupled) {
+      // Coupled footprint: the Fig. 5(c) rule - the max of the tier
+      // dimensions, since the tiers must land on the same site.
+      coupled.push_back(Item{inst.name, inst.type,
+                             std::max(l.top.width, l.bottom.width) + pad_w,
+                             std::max(l.top.height, l.bottom.height) + pad_h});
+    } else {
+      top.push_back(Item{inst.name, inst.type, l.top.width + pad_w,
+                         l.top.height + pad_h});
+      bottom.push_back(Item{inst.name, inst.type, l.bottom.width + pad_w,
+                            l.bottom.height + pad_h});
+    }
+  }
+  if (mode == Mode::kCoupled) {
+    out.coupled = pack(std::move(coupled));
+  } else {
+    out.top = pack(std::move(top));
+    out.bottom = pack(std::move(bottom));
+  }
+  return out;
+}
+
+}  // namespace mivtx::place

@@ -1,0 +1,91 @@
+#include "spice/ac.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/complex_dense.h"
+#include "spice/mna.h"
+
+namespace mivtx::spice {
+
+const std::vector<AcPhasor>& AcResult::v(const std::string& node) const {
+  const auto it = node_v.find(node);
+  MIVTX_EXPECT(it != node_v.end(), "no AC data for node " + node);
+  return it->second;
+}
+
+double AcResult::magnitude(const std::string& node, std::size_t k) const {
+  const auto& ph = v(node);
+  MIVTX_EXPECT(k < ph.size(), "frequency index out of range");
+  return std::abs(ph[k]);
+}
+
+double AcResult::phase(const std::string& node, std::size_t k) const {
+  const auto& ph = v(node);
+  MIVTX_EXPECT(k < ph.size(), "frequency index out of range");
+  return std::arg(ph[k]);
+}
+
+std::vector<double> log_frequency_grid(double f_start, double f_stop,
+                                       std::size_t points_per_decade) {
+  MIVTX_EXPECT(f_start > 0.0 && f_stop > f_start,
+               "bad AC frequency range");
+  MIVTX_EXPECT(points_per_decade >= 1, "need at least 1 point per decade");
+  std::vector<double> out;
+  const double decades = std::log10(f_stop / f_start);
+  const std::size_t n = static_cast<std::size_t>(
+      std::ceil(decades * static_cast<double>(points_per_decade)));
+  for (std::size_t i = 0; i <= n; ++i) {
+    out.push_back(f_start *
+                  std::pow(10.0, decades * static_cast<double>(i) /
+                                     static_cast<double>(n)));
+  }
+  return out;
+}
+
+AcResult ac_analysis(const Circuit& circuit, const std::string& ac_source,
+                     const std::vector<double>& frequencies,
+                     const NewtonOptions& newton) {
+  AcResult out;
+  MIVTX_EXPECT(!frequencies.empty(), "AC analysis needs frequencies");
+  const Element& src = circuit.element(ac_source);
+  MIVTX_EXPECT(src.kind == ElementKind::kVoltageSource,
+               "AC stimulus must be a voltage source");
+
+  const DcResult dc = dc_operating_point(circuit, newton);
+  if (!dc.converged) {
+    out.error = "DC operating point failed";
+    return out;
+  }
+
+  // Linearize: G from the Newton Jacobian, C from the charge derivatives.
+  const std::size_t n = circuit.system_size();
+  linalg::DenseMatrix gmat, cmat;
+  linalg::Vector f;
+  AssemblyContext ctx;  // DC context
+  assemble(circuit, dc.x, ctx, gmat, f, nullptr);
+  assemble_capacitance(circuit, dc.x, cmat);
+
+  linalg::ComplexVector rhs(n, linalg::Complex(0.0, 0.0));
+  rhs[circuit.branch_unknown(src)] = linalg::Complex(1.0, 0.0);
+
+  out.frequencies = frequencies;
+  for (const double freq : frequencies) {
+    const double omega = 2.0 * M_PI * freq;
+    const linalg::ComplexDenseMatrix a(gmat, cmat, omega);
+    const linalg::ComplexVector x = solve_complex_dense(a, rhs);
+    for (NodeId node = 1; node < circuit.num_nodes(); ++node) {
+      out.node_v[circuit.node_name(node)].push_back(
+          x[circuit.node_unknown(node)]);
+    }
+    for (const Element& e : circuit.elements()) {
+      if (e.kind == ElementKind::kVoltageSource) {
+        out.branch_i[e.name].push_back(x[circuit.branch_unknown(e)]);
+      }
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace mivtx::spice

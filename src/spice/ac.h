@@ -1,0 +1,48 @@
+// Small-signal AC analysis.
+//
+// Linearizes the circuit at its DC operating point (conductance matrix G =
+// the Newton Jacobian, capacitance matrix C = dQ/dV stamps) and solves
+// (G + j*2*pi*f*C) x = b per frequency with a unit AC excitation on one
+// voltage source.  Standard SPICE `.ac` semantics.
+#pragma once
+
+#include <complex>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.h"
+#include "spice/dcop.h"
+
+namespace mivtx::spice {
+
+using AcPhasor = std::complex<double>;
+
+struct AcResult {
+  bool ok = false;
+  std::string error;
+  std::vector<double> frequencies;  // Hz
+  // Node voltage phasors per node name, one entry per frequency.
+  std::map<std::string, std::vector<AcPhasor>> node_v;
+  // Branch current phasors per voltage-source name.
+  std::map<std::string, std::vector<AcPhasor>> branch_i;
+
+  const std::vector<AcPhasor>& v(const std::string& node) const;
+  // |V(node)| at frequency index k.
+  double magnitude(const std::string& node, std::size_t k) const;
+  // Phase in radians.
+  double phase(const std::string& node, std::size_t k) const;
+};
+
+// Logarithmically spaced frequency grid (points_per_decade over
+// [f_start, f_stop]).
+std::vector<double> log_frequency_grid(double f_start, double f_stop,
+                                       std::size_t points_per_decade);
+
+// Run AC analysis with a 1 V AC stimulus on `ac_source` (must be a voltage
+// source; its DC value still sets the operating point).
+AcResult ac_analysis(const Circuit& circuit, const std::string& ac_source,
+                     const std::vector<double>& frequencies,
+                     const NewtonOptions& newton = {});
+
+}  // namespace mivtx::spice

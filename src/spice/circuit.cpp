@@ -1,0 +1,173 @@
+#include "spice/circuit.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mivtx::spice {
+
+Circuit::Circuit() {
+  node_names_.push_back("0");
+  node_ids_["0"] = kGround;
+  node_ids_["gnd"] = kGround;
+}
+
+NodeId Circuit::node(const std::string& name) {
+  const std::string key = to_lower(name);
+  const auto it = node_ids_.find(key);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = node_names_.size();
+  node_names_.push_back(key);
+  node_ids_[key] = id;
+  return id;
+}
+
+NodeId Circuit::find_node(const std::string& name) const {
+  const auto it = node_ids_.find(to_lower(name));
+  MIVTX_EXPECT(it != node_ids_.end(), "unknown node: " + name);
+  return it->second;
+}
+
+bool Circuit::has_node(const std::string& name) const {
+  return node_ids_.count(to_lower(name)) > 0;
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  MIVTX_EXPECT(id < node_names_.size(), "node id out of range");
+  return node_names_[id];
+}
+
+void Circuit::add_element(Element e) {
+  MIVTX_EXPECT(!e.name.empty(), "element needs a name");
+  const std::string key = to_lower(e.name);
+  MIVTX_EXPECT(element_ids_.count(key) == 0, "duplicate element: " + e.name);
+  element_ids_[key] = elements_.size();
+  elements_.push_back(std::move(e));
+}
+
+void Circuit::add_resistor(const std::string& name, NodeId a, NodeId b,
+                           double ohms) {
+  MIVTX_EXPECT(ohms > 0.0, "resistor " + name + " must be positive");
+  Element e;
+  e.kind = ElementKind::kResistor;
+  e.name = name;
+  e.nodes[0] = a;
+  e.nodes[1] = b;
+  e.value = ohms;
+  add_element(std::move(e));
+}
+
+void Circuit::add_capacitor(const std::string& name, NodeId a, NodeId b,
+                            double farads) {
+  MIVTX_EXPECT(farads > 0.0, "capacitor " + name + " must be positive");
+  Element e;
+  e.kind = ElementKind::kCapacitor;
+  e.name = name;
+  e.nodes[0] = a;
+  e.nodes[1] = b;
+  e.value = farads;
+  add_element(std::move(e));
+}
+
+void Circuit::add_inductor(const std::string& name, NodeId a, NodeId b,
+                           double henries) {
+  MIVTX_EXPECT(henries > 0.0, "inductor " + name + " must be positive");
+  Element e;
+  e.kind = ElementKind::kInductor;
+  e.name = name;
+  e.nodes[0] = a;
+  e.nodes[1] = b;
+  e.value = henries;
+  e.branch_index = num_branches_++;
+  add_element(std::move(e));
+}
+
+void Circuit::add_vsource(const std::string& name, NodeId plus, NodeId minus,
+                          SourceSpec spec) {
+  Element e;
+  e.kind = ElementKind::kVoltageSource;
+  e.name = name;
+  e.nodes[0] = plus;
+  e.nodes[1] = minus;
+  e.source = std::move(spec);
+  e.branch_index = num_branches_++;
+  add_element(std::move(e));
+}
+
+void Circuit::add_vcvs(const std::string& name, NodeId out_p, NodeId out_m,
+                       NodeId ctrl_p, NodeId ctrl_m, double gain) {
+  Element e;
+  e.kind = ElementKind::kVcvs;
+  e.name = name;
+  e.nodes[0] = out_p;
+  e.nodes[1] = out_m;
+  e.nodes[2] = ctrl_p;
+  e.nodes[3] = ctrl_m;
+  e.value = gain;
+  e.branch_index = num_branches_++;
+  add_element(std::move(e));
+}
+
+void Circuit::add_vccs(const std::string& name, NodeId out_p, NodeId out_m,
+                       NodeId ctrl_p, NodeId ctrl_m,
+                       double transconductance) {
+  Element e;
+  e.kind = ElementKind::kVccs;
+  e.name = name;
+  e.nodes[0] = out_p;
+  e.nodes[1] = out_m;
+  e.nodes[2] = ctrl_p;
+  e.nodes[3] = ctrl_m;
+  e.value = transconductance;
+  add_element(std::move(e));
+}
+
+void Circuit::add_isource(const std::string& name, NodeId plus, NodeId minus,
+                          SourceSpec spec) {
+  Element e;
+  e.kind = ElementKind::kCurrentSource;
+  e.name = name;
+  e.nodes[0] = plus;
+  e.nodes[1] = minus;
+  e.source = std::move(spec);
+  add_element(std::move(e));
+}
+
+void Circuit::add_mosfet(const std::string& name, NodeId drain, NodeId gate,
+                         NodeId source, bsimsoi::SoiModelCard card) {
+  Element e;
+  e.kind = ElementKind::kMosfet;
+  e.name = name;
+  e.nodes[0] = drain;
+  e.nodes[1] = gate;
+  e.nodes[2] = source;
+  e.model = std::move(card);
+  add_element(std::move(e));
+}
+
+const Element& Circuit::element(const std::string& name) const {
+  const auto it = element_ids_.find(to_lower(name));
+  MIVTX_EXPECT(it != element_ids_.end(), "unknown element: " + name);
+  return elements_[it->second];
+}
+
+Element& Circuit::element(const std::string& name) {
+  const auto it = element_ids_.find(to_lower(name));
+  MIVTX_EXPECT(it != element_ids_.end(), "unknown element: " + name);
+  return elements_[it->second];
+}
+
+std::size_t Circuit::node_unknown(NodeId n) const {
+  MIVTX_EXPECT(n != kGround, "ground has no unknown");
+  MIVTX_EXPECT(n < num_nodes(), "node id out of range");
+  return n - 1;
+}
+
+std::size_t Circuit::branch_unknown(const Element& branch_element) const {
+  MIVTX_EXPECT(branch_element.kind == ElementKind::kVoltageSource ||
+                   branch_element.kind == ElementKind::kVcvs ||
+                   branch_element.kind == ElementKind::kInductor,
+               "branch_unknown needs a V, E or L element");
+  return (num_nodes() - 1) + branch_element.branch_index;
+}
+
+}  // namespace mivtx::spice

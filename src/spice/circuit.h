@@ -1,0 +1,110 @@
+// Circuit data model: named nodes plus a flat element list.
+//
+// Elements are plain structs dispatched by kind in the MNA assembler
+// (spice/mna.h); this keeps every stamp in one translation unit instead of
+// spreading numerics across a class hierarchy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bsimsoi/params.h"
+#include "spice/source.h"
+
+namespace mivtx::spice {
+
+// Node 0 is ground.
+using NodeId = std::size_t;
+inline constexpr NodeId kGround = 0;
+
+enum class ElementKind {
+  kResistor,
+  kCapacitor,
+  kInductor,
+  kVoltageSource,
+  kCurrentSource,
+  kVcvs,  // E: voltage-controlled voltage source
+  kVccs,  // G: voltage-controlled current source
+  kMosfet,
+};
+
+struct Element {
+  ElementKind kind = ElementKind::kResistor;
+  std::string name;
+  // Node usage by kind:
+  //   R, C, L:  a, b
+  //   V, I:     plus, minus
+  //   E, G:     out+, out-, ctrl+, ctrl-
+  //   MOSFET:   drain, gate, source
+  NodeId nodes[4] = {kGround, kGround, kGround, kGround};
+  double value = 0.0;            // R (ohm), C (farad), L (henry), or gain
+  SourceSpec source;             // V/I sources
+  bsimsoi::SoiModelCard model;   // MOSFET card (instance-resolved copy)
+  // V, E and L elements carry an extra MNA branch-current unknown.
+  std::size_t branch_index = 0;
+};
+
+class Circuit {
+ public:
+  Circuit();
+
+  // Returns the node id for `name`, creating it on first use.  "0" and
+  // "gnd" are the ground node.
+  NodeId node(const std::string& name);
+  // Lookup without creation; throws if missing.
+  NodeId find_node(const std::string& name) const;
+  bool has_node(const std::string& name) const;
+  const std::string& node_name(NodeId id) const;
+  std::size_t num_nodes() const { return node_names_.size(); }  // incl. ground
+
+  void add_resistor(const std::string& name, NodeId a, NodeId b, double ohms);
+  void add_capacitor(const std::string& name, NodeId a, NodeId b,
+                     double farads);
+  void add_inductor(const std::string& name, NodeId a, NodeId b,
+                    double henries);
+  void add_vsource(const std::string& name, NodeId plus, NodeId minus,
+                   SourceSpec spec);
+  void add_isource(const std::string& name, NodeId plus, NodeId minus,
+                   SourceSpec spec);
+  // E element: v(out+) - v(out-) = gain * (v(ctrl+) - v(ctrl-)).
+  void add_vcvs(const std::string& name, NodeId out_p, NodeId out_m,
+                NodeId ctrl_p, NodeId ctrl_m, double gain);
+  // G element: current gain * (v(ctrl+) - v(ctrl-)) flows out+ -> out-.
+  void add_vccs(const std::string& name, NodeId out_p, NodeId out_m,
+                NodeId ctrl_p, NodeId ctrl_m, double transconductance);
+  void add_mosfet(const std::string& name, NodeId drain, NodeId gate,
+                  NodeId source, bsimsoi::SoiModelCard card);
+
+  const std::vector<Element>& elements() const { return elements_; }
+  std::vector<Element>& elements() { return elements_; }
+  // Number of extra branch-current unknowns (V, E and L elements).
+  std::size_t num_branches() const { return num_branches_; }
+  std::size_t num_vsources() const { return num_branches_; }  // legacy alias
+
+  // Element lookup by name (unique names enforced); throws if missing.
+  const Element& element(const std::string& name) const;
+  Element& element(const std::string& name);
+
+  // Total MNA unknowns: non-ground nodes + branch currents.
+  std::size_t system_size() const {
+    return (num_nodes() - 1) + num_branches_;
+  }
+
+  // Unknown index of a node voltage (node must not be ground).
+  std::size_t node_unknown(NodeId n) const;
+  // Unknown index of a branch current (V, E or L element).
+  std::size_t branch_unknown(const Element& branch_element) const;
+
+ private:
+  void add_element(Element e);
+
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> node_ids_;
+  std::vector<Element> elements_;
+  std::unordered_map<std::string, std::size_t> element_ids_;
+  std::size_t num_branches_ = 0;
+};
+
+}  // namespace mivtx::spice

@@ -1,0 +1,196 @@
+#include "spice/dcop.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "linalg/vector_ops.h"
+
+namespace mivtx::spice {
+
+NewtonResult solve_newton(const Circuit& circuit, const AssemblyContext& ctx,
+                          linalg::Vector& x, const NewtonOptions& opts) {
+  const std::size_t n = circuit.system_size();
+  MIVTX_EXPECT(x.size() == n, "newton: bad initial guess size");
+  const std::size_t num_v = circuit.num_nodes() - 1;
+
+  linalg::DenseMatrix jac;
+  linalg::Vector f;
+  NewtonResult result;
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    assemble(circuit, x, ctx, jac, f, nullptr);
+    result.residual_norm = linalg::norm_inf(f);
+
+    linalg::Vector dx;
+    try {
+      linalg::Vector rhs = f;
+      linalg::scale(rhs, -1.0);
+      dx = linalg::DenseLU(jac).solve(rhs);
+    } catch (const Error&) {
+      return result;  // singular Jacobian: report non-convergence
+    }
+
+    // Damp: clamp voltage updates so the exponential model regions can't
+    // catapult the iterate.
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < num_v; ++i)
+      max_dv = std::max(max_dv, std::fabs(dx[i]));
+    double damp = 1.0;
+    if (max_dv > opts.max_dv) damp = opts.max_dv / max_dv;
+    for (std::size_t i = 0; i < n; ++i) x[i] += damp * dx[i];
+
+    result.iterations = it + 1;
+
+    bool converged = damp == 1.0;
+    if (converged) {
+      for (std::size_t i = 0; i < n && converged; ++i) {
+        const double tol =
+            (i < num_v ? opts.vtol : opts.itol) + opts.reltol * std::fabs(x[i]);
+        if (std::fabs(dx[i]) > tol) converged = false;
+      }
+    }
+    if (converged) {
+      // Re-check the residual at the accepted point.
+      assemble(circuit, x, ctx, jac, f, nullptr);
+      result.residual_norm = linalg::norm_inf(f);
+      if (result.residual_norm < opts.residual_tol) {
+        result.converged = true;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+DcResult dc_operating_point(const Circuit& circuit,
+                            const NewtonOptions& opts) {
+  const std::size_t n = circuit.system_size();
+  DcResult out;
+  out.x.assign(n, 0.0);
+
+  AssemblyContext ctx;
+  ctx.time = 0.0;
+  ctx.integrator = Integrator::kNone;
+
+  // Plain Newton from a zero start.
+  {
+    linalg::Vector x(n, 0.0);
+    ctx.gmin = 1e-12;
+    const NewtonResult r = solve_newton(circuit, ctx, x, opts);
+    out.total_iterations += r.iterations;
+    if (r.converged) {
+      out.converged = true;
+      out.strategy = "newton";
+      out.x = std::move(x);
+      return out;
+    }
+  }
+
+  // Gmin stepping: converge with a large parallel conductance, then ratchet
+  // it down, re-using each solution as the next seed.
+  {
+    linalg::Vector x(n, 0.0);
+    bool ok = true;
+    for (double gmin = 1e-3; gmin >= 0.9e-12; gmin *= 1e-2) {
+      ctx.gmin = gmin;
+      const NewtonResult r = solve_newton(circuit, ctx, x, opts);
+      out.total_iterations += r.iterations;
+      if (!r.converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      ctx.gmin = 1e-12;
+      const NewtonResult r = solve_newton(circuit, ctx, x, opts);
+      out.total_iterations += r.iterations;
+      if (r.converged) {
+        out.converged = true;
+        out.strategy = "gmin";
+        out.x = std::move(x);
+        return out;
+      }
+    }
+  }
+
+  // Source stepping: ramp all independent sources from zero.
+  {
+    linalg::Vector x(n, 0.0);
+    ctx.gmin = 1e-12;
+    bool ok = true;
+    for (double scale = 0.05; scale <= 1.0 + 1e-12; scale += 0.05) {
+      ctx.source_scale = std::min(scale, 1.0);
+      const NewtonResult r = solve_newton(circuit, ctx, x, opts);
+      out.total_iterations += r.iterations;
+      if (!r.converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      out.converged = true;
+      out.strategy = "source";
+      out.x = std::move(x);
+      return out;
+    }
+  }
+
+  MIVTX_WARN << "dc_operating_point failed to converge ("
+             << out.total_iterations << " total Newton iterations)";
+  return out;
+}
+
+double solution_voltage(const Circuit& circuit, const linalg::Vector& x,
+                        NodeId node) {
+  if (node == kGround) return 0.0;
+  return x[circuit.node_unknown(node)];
+}
+
+double solution_current(const Circuit& circuit, const linalg::Vector& x,
+                        const std::string& vsource_name) {
+  const Element& e = circuit.element(vsource_name);
+  return x[circuit.branch_unknown(e)];
+}
+
+DcSweepResult dc_sweep(Circuit circuit, const std::string& source_name,
+                       const std::vector<double>& values,
+                       const NewtonOptions& opts) {
+  DcSweepResult out;
+  Element& src = circuit.element(source_name);
+  MIVTX_EXPECT(src.kind == ElementKind::kVoltageSource,
+               "dc_sweep target must be a voltage source");
+
+  linalg::Vector x;
+  bool have_seed = false;
+  AssemblyContext ctx;
+  for (double v : values) {
+    src.source = SourceSpec::DC(v);
+    bool converged = false;
+    if (have_seed) {
+      linalg::Vector xs = x;
+      const NewtonResult r = solve_newton(circuit, ctx, xs, opts);
+      if (r.converged) {
+        x = std::move(xs);
+        converged = true;
+      }
+    }
+    if (!converged) {
+      const DcResult r = dc_operating_point(circuit, opts);
+      if (!r.converged) {
+        out.converged = false;
+        return out;
+      }
+      x = r.x;
+      converged = true;
+    }
+    have_seed = true;
+    out.sweep_values.push_back(v);
+    out.solutions.push_back(x);
+  }
+  out.converged = true;
+  return out;
+}
+
+}  // namespace mivtx::spice

@@ -1,0 +1,66 @@
+// DC operating point and DC sweep.
+//
+// The Newton loop uses voltage-step damping; when plain Newton fails the
+// driver falls back to gmin stepping and then source stepping, the same
+// continuation ladder production SPICE engines use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/dense.h"
+#include "spice/circuit.h"
+#include "spice/mna.h"
+
+namespace mivtx::spice {
+
+struct NewtonOptions {
+  int max_iterations = 150;
+  double vtol = 1e-9;        // absolute voltage tolerance (V)
+  double reltol = 1e-6;      // relative tolerance on unknowns
+  double itol = 1e-12;       // absolute branch-current tolerance (A)
+  double max_dv = 0.5;       // per-iteration voltage damping clamp (V)
+  double residual_tol = 1e-6;  // KCL residual infinity-norm bound (A)
+};
+
+struct NewtonResult {
+  bool converged = false;
+  int iterations = 0;
+  double residual_norm = 0.0;
+};
+
+// One Newton solve at fixed context; x is the initial guess and receives
+// the solution (best iterate on failure).
+NewtonResult solve_newton(const Circuit& circuit, const AssemblyContext& ctx,
+                          linalg::Vector& x, const NewtonOptions& opts = {});
+
+struct DcResult {
+  bool converged = false;
+  linalg::Vector x;          // solution (node voltages + branch currents)
+  int total_iterations = 0;
+  std::string strategy;      // "newton", "gmin", "source"
+};
+
+DcResult dc_operating_point(const Circuit& circuit,
+                            const NewtonOptions& opts = {});
+
+// Voltage at a node from a DC solution.
+double solution_voltage(const Circuit& circuit, const linalg::Vector& x,
+                        NodeId node);
+// Branch current of a voltage source from a DC solution.
+double solution_current(const Circuit& circuit, const linalg::Vector& x,
+                        const std::string& vsource_name);
+
+struct DcSweepResult {
+  bool converged = false;
+  std::vector<double> sweep_values;
+  std::vector<linalg::Vector> solutions;  // one per converged sweep value
+};
+
+// Sweep the DC value of voltage source `source_name` over `values`,
+// using each solution to seed the next.
+DcSweepResult dc_sweep(Circuit circuit, const std::string& source_name,
+                       const std::vector<double>& values,
+                       const NewtonOptions& opts = {});
+
+}  // namespace mivtx::spice

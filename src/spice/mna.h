@@ -1,0 +1,64 @@
+// Modified-nodal-analysis assembly.
+//
+// Unknown vector layout: x = [v(node 1..N-1), i(branch of each V source)].
+// The assembler produces the Newton residual f(x) and Jacobian J(x) in one
+// pass; dynamic (charge) elements contribute companion currents derived
+// from the integration method of the active transient step.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense.h"
+#include "spice/circuit.h"
+
+namespace mivtx::spice {
+
+// Charge/current history for dynamic elements.  Slot assignment: one slot
+// per capacitor (charge), one per inductor (flux), three (g, d, s) per
+// MOSFET (terminal charges), in element order.
+struct DynamicState {
+  std::vector<double> q;   // charge at the last accepted time point
+  std::vector<double> iq;  // charge-current at the last accepted time point
+};
+
+// kBdf2 (variable-step Gear-2) is the production transient method: the
+// parasitic-annotated cells mix femtosecond RC time constants with
+// nanosecond edges, and trapezoidal's marginal stiff damping rings on
+// them.  Trapezoidal is kept for accuracy cross-checks on non-stiff
+// circuits.
+enum class Integrator { kNone, kBackwardEuler, kTrapezoidal, kBdf2 };
+
+struct AssemblyContext {
+  double time = 0.0;          // source evaluation time
+  double source_scale = 1.0;  // continuation scaling of all sources
+  double gmin = 1e-12;        // conductance across MOSFET channels
+  Integrator integrator = Integrator::kNone;
+  double h = 0.0;                      // time step (transient only)
+  const DynamicState* prev = nullptr;  // state at the previous time point
+  // BDF2 extras: state two points back and the step ratio h / h_prev.
+  const DynamicState* prev2 = nullptr;
+  double step_ratio = 1.0;
+};
+
+// Number of charge slots the circuit needs.
+std::size_t count_charge_slots(const Circuit& circuit);
+
+// Assemble residual f and Jacobian J at solution x.  When `new_state` is
+// non-null it receives the charges q(x) and companion currents for each
+// slot (only meaningful with a transient integrator).
+void assemble(const Circuit& circuit, const linalg::Vector& x,
+              const AssemblyContext& ctx, linalg::DenseMatrix& jac,
+              linalg::Vector& f, DynamicState* new_state);
+
+// Evaluate all element charges at solution x into state.q (iq untouched).
+void evaluate_charges(const Circuit& circuit, const linalg::Vector& x,
+                      DynamicState& state);
+
+// Small-signal capacitance matrix at solution x: dQ/dV stamps of every
+// capacitor and MOSFET terminal charge (node rows/columns only; branch
+// rows stay zero).  Shape matches the MNA system.
+void assemble_capacitance(const Circuit& circuit, const linalg::Vector& x,
+                          linalg::DenseMatrix& cmat);
+
+}  // namespace mivtx::spice

@@ -1,0 +1,34 @@
+// SPICE-style netlist text parser.
+//
+// Supported grammar (case-insensitive, '*' comments, '+' continuations):
+//   R<name> n1 n2 <ohms>
+//   C<name> n1 n2 <farads>
+//   L<name> n1 n2 <henries>
+//   E<name> out+ out- ctrl+ ctrl- <gain>
+//   G<name> out+ out- ctrl+ ctrl- <transconductance>
+//   V<name> n+ n- [DC] <v> | PULSE(v1 v2 td tr tf pw [per]) | PWL(t1 v1 ...)
+//                 | SIN(vo va freq)
+//   I<name> n+ n- ... (same source forms)
+//   M<name> d g s <model> [W=..] [L=..] [NF=..]
+//   .model <name> nmos|pmos LEVEL=70 <param>=<value> ...
+//   .end
+// Any other dot-directive is collected verbatim into `directives`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.h"
+
+namespace mivtx::spice {
+
+struct ParsedNetlist {
+  std::string title;
+  Circuit circuit;
+  std::vector<std::string> directives;
+};
+
+// Throws mivtx::Error with a line-numbered message on malformed input.
+ParsedNetlist parse_netlist(const std::string& text);
+
+}  // namespace mivtx::spice

@@ -1,0 +1,111 @@
+#include "spice/source.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mivtx::spice {
+
+SourceSpec SourceSpec::DC(double v) {
+  SourceSpec s;
+  s.kind = SourceKind::kDc;
+  s.dc = v;
+  return s;
+}
+
+SourceSpec SourceSpec::Pulse(const PulseSpec& p) {
+  SourceSpec s;
+  s.kind = SourceKind::kPulse;
+  s.pulse = p;
+  MIVTX_EXPECT(p.rise > 0.0 && p.fall > 0.0, "pulse edges must be positive");
+  return s;
+}
+
+SourceSpec SourceSpec::Pwl(std::vector<std::pair<double, double>> points) {
+  SourceSpec s;
+  s.kind = SourceKind::kPwl;
+  MIVTX_EXPECT(!points.empty(), "PWL needs at least one point");
+  for (std::size_t i = 1; i < points.size(); ++i)
+    MIVTX_EXPECT(points[i].first > points[i - 1].first,
+                 "PWL times must increase");
+  s.pwl = std::move(points);
+  return s;
+}
+
+SourceSpec SourceSpec::Sin(double offset, double amplitude, double freq) {
+  SourceSpec s;
+  s.kind = SourceKind::kSin;
+  s.sin_offset = offset;
+  s.sin_amplitude = amplitude;
+  s.sin_freq = freq;
+  return s;
+}
+
+namespace {
+double pulse_value(const PulseSpec& p, double t) {
+  if (t < p.delay) return p.v1;
+  double tl = t - p.delay;
+  if (p.period > 0.0) tl = std::fmod(tl, p.period);
+  if (tl < p.rise) return p.v1 + (p.v2 - p.v1) * (tl / p.rise);
+  tl -= p.rise;
+  if (tl < p.width) return p.v2;
+  tl -= p.width;
+  if (tl < p.fall) return p.v2 + (p.v1 - p.v2) * (tl / p.fall);
+  return p.v1;
+}
+}  // namespace
+
+double SourceSpec::value(double t) const {
+  t = std::max(t, 0.0);
+  switch (kind) {
+    case SourceKind::kDc:
+      return dc;
+    case SourceKind::kPulse:
+      return pulse_value(pulse, t);
+    case SourceKind::kPwl: {
+      if (t <= pwl.front().first) return pwl.front().second;
+      if (t >= pwl.back().first) return pwl.back().second;
+      const auto it = std::upper_bound(
+          pwl.begin(), pwl.end(), t,
+          [](double tt, const auto& pt) { return tt < pt.first; });
+      const auto& hi = *it;
+      const auto& lo = *(it - 1);
+      const double f = (t - lo.first) / (hi.first - lo.first);
+      return lo.second + f * (hi.second - lo.second);
+    }
+    case SourceKind::kSin:
+      return sin_offset + sin_amplitude * std::sin(2.0 * M_PI * sin_freq * t);
+  }
+  MIVTX_FAIL("unknown source kind");
+}
+
+void SourceSpec::collect_breakpoints(double t_stop,
+                                     std::vector<double>& out) const {
+  switch (kind) {
+    case SourceKind::kDc:
+      return;
+    case SourceKind::kPulse: {
+      const PulseSpec& p = pulse;
+      const double cycle = p.period > 0.0 ? p.period : t_stop + 1.0;
+      for (double base = p.delay; base <= t_stop; base += cycle) {
+        const double corners[4] = {base, base + p.rise, base + p.rise + p.width,
+                                   base + p.rise + p.width + p.fall};
+        for (double c : corners) {
+          if (c > 0.0 && c <= t_stop) out.push_back(c);
+        }
+        if (p.period <= 0.0) break;
+      }
+      return;
+    }
+    case SourceKind::kPwl:
+      for (const auto& [t, v] : pwl) {
+        if (t > 0.0 && t <= t_stop) out.push_back(t);
+      }
+      return;
+    case SourceKind::kSin:
+      return;  // smooth
+  }
+}
+
+}  // namespace mivtx::spice

@@ -1,0 +1,43 @@
+// Independent-source waveform specifications (DC / PULSE / PWL / SIN),
+// shared by voltage and current sources.
+#pragma once
+
+#include <vector>
+
+namespace mivtx::spice {
+
+enum class SourceKind { kDc, kPulse, kPwl, kSin };
+
+struct PulseSpec {
+  double v1 = 0.0;      // initial value
+  double v2 = 0.0;      // pulsed value
+  double delay = 0.0;   // td
+  double rise = 1e-12;  // tr
+  double fall = 1e-12;  // tf
+  double width = 1e-9;  // pw
+  double period = 0.0;  // per; 0 => single pulse
+};
+
+struct SourceSpec {
+  SourceKind kind = SourceKind::kDc;
+  double dc = 0.0;
+  PulseSpec pulse;
+  std::vector<std::pair<double, double>> pwl;  // (time, value), sorted
+  // SIN(vo va freq)
+  double sin_offset = 0.0, sin_amplitude = 0.0, sin_freq = 0.0;
+
+  static SourceSpec DC(double v);
+  static SourceSpec Pulse(const PulseSpec& p);
+  static SourceSpec Pwl(std::vector<std::pair<double, double>> points);
+  static SourceSpec Sin(double offset, double amplitude, double freq);
+
+  // Instantaneous value at time t (t < 0 treated as t = 0).
+  double value(double t) const;
+  // Value used for the DC operating point (t = 0 semantics).
+  double dc_value() const { return value(0.0); }
+  // Times where the waveform has slope discontinuities; the transient
+  // engine forces steps onto these so edges are never straddled.
+  void collect_breakpoints(double t_stop, std::vector<double>& out) const;
+};
+
+}  // namespace mivtx::spice

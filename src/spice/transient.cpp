@@ -1,0 +1,214 @@
+#include "spice/transient.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/log.h"
+#include "linalg/vector_ops.h"
+
+namespace mivtx::spice {
+
+const waveform::Waveform& TransientResult::v(const std::string& node) const {
+  const auto it = node_voltage.find(node);
+  MIVTX_EXPECT(it != node_voltage.end(), "no waveform for node " + node);
+  return it->second;
+}
+
+const waveform::Waveform& TransientResult::i(
+    const std::string& vsource) const {
+  const auto it = branch_current.find(vsource);
+  MIVTX_EXPECT(it != branch_current.end(),
+               "no waveform for source " + vsource);
+  return it->second;
+}
+
+namespace {
+
+std::vector<double> gather_breakpoints(const Circuit& circuit,
+                                       double t_stop) {
+  std::vector<double> bp;
+  for (const Element& e : circuit.elements()) {
+    if (e.kind == ElementKind::kVoltageSource ||
+        e.kind == ElementKind::kCurrentSource) {
+      e.source.collect_breakpoints(t_stop, bp);
+    }
+  }
+  bp.push_back(t_stop);
+  std::sort(bp.begin(), bp.end());
+  bp.erase(std::unique(bp.begin(), bp.end(),
+                       [](double a, double b) { return std::fabs(a - b) < 1e-18; }),
+           bp.end());
+  return bp;
+}
+
+}  // namespace
+
+TransientResult transient(const Circuit& circuit,
+                          const TransientOptions& opts) {
+  TransientResult out;
+  const std::size_t n = circuit.system_size();
+  const std::size_t num_v = circuit.num_nodes() - 1;
+
+  const double h_max = opts.h_max > 0.0 ? opts.h_max : opts.t_stop / 50.0;
+
+  // --- t = 0 operating point --------------------------------------------
+  const DcResult dc = dc_operating_point(circuit, opts.newton);
+  if (!dc.converged) {
+    out.error = "DC operating point failed";
+    return out;
+  }
+  out.newton_iterations += static_cast<std::size_t>(dc.total_iterations);
+
+  linalg::Vector x = dc.x;       // solution at current time
+  linalg::Vector x_prev = x;     // solution one step back
+  double h_prev = 0.0;
+
+  DynamicState state;            // charges/currents at current time
+  evaluate_charges(circuit, x, state);
+  state.iq.assign(state.q.size(), 0.0);
+  DynamicState state_prev = state;  // one step further back (BDF2 history)
+
+  const std::vector<double> breakpoints =
+      gather_breakpoints(circuit, opts.t_stop);
+  std::size_t next_bp = 0;
+
+  // --- Recording -----------------------------------------------------------
+  auto record = [&](double t, const linalg::Vector& sol) {
+    for (NodeId node = 1; node < circuit.num_nodes(); ++node) {
+      out.node_voltage[circuit.node_name(node)].append(
+          t, sol[circuit.node_unknown(node)]);
+    }
+    for (const Element& e : circuit.elements()) {
+      if (e.kind == ElementKind::kVoltageSource) {
+        out.branch_current[e.name].append(t, sol[circuit.branch_unknown(e)]);
+      }
+    }
+  };
+  record(0.0, x);
+
+  double t = 0.0;
+  double h = std::min(h_max, opts.t_stop) / 100.0;
+  bool first_step = true;
+
+  AssemblyContext ctx;
+  ctx.gmin = 1e-12;
+
+  while (t < opts.t_stop - 1e-18) {
+    if (out.accepted_steps + out.rejected_steps > opts.max_steps) {
+      out.error = "step budget exhausted";
+      return out;
+    }
+    // Land exactly on the next breakpoint.
+    while (next_bp < breakpoints.size() && breakpoints[next_bp] <= t + 1e-18)
+      ++next_bp;
+    double h_eff = std::min(h, h_max);
+    bool hit_bp = false;
+    if (next_bp < breakpoints.size() &&
+        t + h_eff >= breakpoints[next_bp] - 1e-18) {
+      h_eff = breakpoints[next_bp] - t;
+      hit_bp = true;
+    }
+    if (h_eff < opts.h_min) {
+      out.error = format("time step underflow at t=%.6e", t);
+      return out;
+    }
+
+    // Predictor: linear extrapolation from the last two points.
+    linalg::Vector x_pred = x;
+    if (!first_step && h_prev > 0.0) {
+      for (std::size_t i = 0; i < n; ++i)
+        x_pred[i] = x[i] + (x[i] - x_prev[i]) * (h_eff / h_prev);
+    }
+
+    ctx.time = t + h_eff;
+    ctx.h = h_eff;
+    ctx.prev = &state;
+    ctx.prev2 = &state_prev;
+    ctx.step_ratio = h_prev > 0.0 ? h_eff / h_prev : 1.0;
+    // BDF2 needs two valid history points; fall back to backward Euler on
+    // the first step and right after every source corner.
+    ctx.integrator =
+        first_step ? Integrator::kBackwardEuler : Integrator::kBdf2;
+
+    linalg::Vector x_new = x_pred;
+    const NewtonResult nr = solve_newton(circuit, ctx, x_new, opts.newton);
+    out.newton_iterations += static_cast<std::size_t>(nr.iterations);
+
+    if (!nr.converged) {
+      MIVTX_DEBUG << "transient newton failed at t=" << ctx.time
+                  << " h=" << h_eff << " res=" << nr.residual_norm
+                  << " iters=" << nr.iterations;
+      out.rejected_steps += 1;
+      h = h_eff * 0.25;
+      continue;
+    }
+
+    // LTE estimate from the corrector-predictor gap (voltage unknowns only).
+    double err_ratio = 0.0;
+    std::size_t worst = 0;
+    if (!first_step && h_prev > 0.0) {
+      for (std::size_t i = 0; i < num_v; ++i) {
+        const double lte = std::fabs(x_new[i] - x_pred[i]) / 3.0;
+        const double tol = opts.abstol_v + opts.reltol * std::fabs(x_new[i]);
+        if (lte / tol > err_ratio) {
+          err_ratio = lte / tol;
+          worst = i;
+        }
+      }
+    }
+    if (err_ratio > 4.0 && h_eff > 4.0 * opts.h_min) {
+      if (log_level() <= LogLevel::kDebug) {
+        DynamicState check;
+        evaluate_charges(circuit, x, check);
+        double dq = 0.0;
+        for (std::size_t k = 0; k < check.q.size(); ++k)
+          dq = std::max(dq, std::fabs(check.q[k] - state.q[k]));
+        MIVTX_DEBUG << "transient LTE reject at t=" << ctx.time
+                    << " h=" << h_eff << " err_ratio=" << err_ratio
+                    << " worst_node=" << circuit.node_name(worst + 1)
+                    << " pred=" << x_pred[worst] << " new=" << x_new[worst]
+                    << " q_consistency=" << dq;
+      }
+      out.rejected_steps += 1;
+      h = h_eff * 0.5;
+      continue;
+    }
+
+    // Accept the step.
+    DynamicState new_state;
+    linalg::DenseMatrix jac;
+    linalg::Vector f;
+    assemble(circuit, x_new, ctx, jac, f, &new_state);
+
+    MIVTX_DEBUG << "accept t=" << ctx.time << " h=" << h_eff
+                << " err=" << err_ratio << " integ="
+                << (ctx.integrator == Integrator::kBdf2 ? "bdf2" : "be");
+    x_prev = x;
+    x = x_new;
+    h_prev = h_eff;
+    state_prev = std::move(state);
+    state = std::move(new_state);
+    t += h_eff;
+    out.accepted_steps += 1;
+    record(t, x);
+    first_step = false;
+
+    // Step-size controller.
+    double grow = 2.0;
+    if (err_ratio > 1e-12)
+      grow = std::clamp(0.9 / std::cbrt(err_ratio), 0.3, 2.0);
+    h = h_eff * grow;
+    if (hit_bp) {
+      // Restart small after a slope discontinuity.
+      h = std::min(h, h_max / 100.0);
+      first_step = true;  // BE startup after the corner
+    }
+  }
+
+  out.ok = true;
+  return out;
+}
+
+}  // namespace mivtx::spice

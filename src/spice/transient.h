@@ -1,0 +1,47 @@
+// Adaptive transient analysis.
+//
+// Method: DC operating point at t=0, one backward-Euler startup step, then
+// trapezoidal integration with a predictor-based local-truncation-error
+// controller.  Source slope discontinuities (pulse/PWL corners) are
+// breakpoints the stepper always lands on exactly.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "spice/circuit.h"
+#include "spice/dcop.h"
+#include "waveform/waveform.h"
+
+namespace mivtx::spice {
+
+struct TransientOptions {
+  double t_stop = 1e-9;
+  double h_max = 0.0;     // 0 => t_stop / 50
+  double h_min = 1e-18;
+  double reltol = 1e-4;   // LTE control, relative
+  double abstol_v = 1e-6;  // LTE control, absolute (V)
+  NewtonOptions newton;
+  std::size_t max_steps = 2'000'000;
+};
+
+struct TransientResult {
+  bool ok = false;
+  std::string error;
+  std::size_t accepted_steps = 0;
+  std::size_t rejected_steps = 0;
+  std::size_t newton_iterations = 0;
+
+  // Node voltage waveforms keyed by node name; branch current waveforms
+  // keyed by voltage-source element name.
+  std::map<std::string, waveform::Waveform> node_voltage;
+  std::map<std::string, waveform::Waveform> branch_current;
+
+  const waveform::Waveform& v(const std::string& node) const;
+  const waveform::Waveform& i(const std::string& vsource) const;
+};
+
+TransientResult transient(const Circuit& circuit,
+                          const TransientOptions& opts);
+
+}  // namespace mivtx::spice

@@ -1,0 +1,39 @@
+// Characterization sweeps over a TCAD device — the "measured" curves the
+// extraction flow fits compact-model cards against.
+//
+// All voltages here are magnitudes; for PMOS devices the characterizer
+// applies negative biases internally and reports |Id| / Cgg, mirroring how
+// the compact-model sweeps in bsimsoi/curves.h behave.
+#pragma once
+
+#include "common/curve.h"
+#include "tcad/solver.h"
+
+namespace mivtx::tcad {
+
+class Characterizer {
+ public:
+  explicit Characterizer(DeviceSimulator& sim) : sim_(sim) {}
+
+  // |Id| vs Vg at fixed |Vds|.
+  Curve id_vg(double vds_mag, const std::vector<double>& vg_mags);
+  // |Id| vs Vd at fixed |Vgs|.
+  Curve id_vd(double vgs_mag, const std::vector<double>& vd_mags);
+  // Quasi-static Cgg = dQg/dVg vs Vg at fixed |Vds|, centered differences
+  // with step `dv`.
+  Curve cgg_vg(double vds_mag, const std::vector<double>& vg_mags,
+               double dv = 5e-3);
+
+  // Point metrics used in reports.
+  double ion(double vdd);   // |Id| at Vg = Vd = vdd
+  double ioff(double vdd);  // |Id| at Vg = 0, Vd = vdd
+  // Constant-current threshold: Vg where |Id| crosses 100 nA * W/L at
+  // |Vds| = 50 mV (linear interpolation on a fine Vg sweep).
+  double vth_cc(double vdd);
+
+ private:
+  double polarity_sign() const;
+  DeviceSimulator& sim_;
+};
+
+}  // namespace mivtx::tcad

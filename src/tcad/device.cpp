@@ -1,0 +1,167 @@
+#include "tcad/device.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mivtx::tcad {
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kTraditional:
+      return "Traditional";
+    case Variant::kMiv1Channel:
+      return "1-channel";
+    case Variant::kMiv2Channel:
+      return "2-channel";
+    case Variant::kMiv4Channel:
+      return "4-channel";
+  }
+  return "?";
+}
+
+int variant_channels(Variant v) {
+  switch (v) {
+    case Variant::kTraditional:
+    case Variant::kMiv1Channel:
+      return 1;
+    case Variant::kMiv2Channel:
+      return 2;
+    case Variant::kMiv4Channel:
+      return 4;
+  }
+  return 1;
+}
+
+DeviceSpec DeviceSpec::for_variant(Variant v, Polarity p) {
+  DeviceSpec spec;
+  spec.variant = v;
+  spec.polarity = p;
+  // MIV-stem gating: the via couples into the film beside the channel, so
+  // all MIV variants gain a weak second gate (coverage 0.30 of the channel
+  // span).  Narrower per-channel active regions pay an increasing
+  // edge-scattering mobility penalty (192 / 96 / 48 nm channels).
+  switch (v) {
+    case Variant::kTraditional:
+      spec.miv_coverage = 0.0;
+      spec.mobility_factor = 1.0;
+      break;
+    case Variant::kMiv1Channel:
+      spec.miv_coverage = 0.30;
+      spec.mobility_factor = 1.00;
+      break;
+    case Variant::kMiv2Channel:
+      spec.miv_coverage = 0.30;
+      spec.mobility_factor = 0.97;
+      break;
+    case Variant::kMiv4Channel:
+      spec.miv_coverage = 0.30;
+      spec.mobility_factor = 0.74;
+      break;
+  }
+  if (v != Variant::kTraditional) {
+    // The 2-D cross-section extrudes the MIV side-gate across the whole
+    // device width, but the physical pillar is only t_miv (25 nm) wide
+    // against w_src (192 nm).  Thicken the liner dielectric by roughly the
+    // inverse width fraction so the per-device MIS coupling (both charge
+    // and capacitance) matches the pillar geometry.
+    spec.t_liner = 10e-9;
+  }
+  if (p == Polarity::kPmos) {
+    // Workfunction choice differs for the p-device so |Vth| comes out
+    // comparable; calibrated against the equilibrium simulations.
+    spec.gate_offset = -0.06;
+  }
+  return spec;
+}
+
+DeviceStructure build_structure(const DeviceSpec& spec) {
+  MIVTX_EXPECT(spec.tsi > 0 && spec.tox > 0 && spec.t_liner > 0,
+               "bad film stack");
+  MIVTX_EXPECT(spec.miv_coverage >= 0.0 && spec.miv_coverage <= 1.0,
+               "miv_coverage must be in [0, 1]");
+
+  const std::vector<double> x_lines = Mesh::subdivide(
+      0.0, {{spec.l_src, spec.cells_src},
+            {spec.l_spacer, spec.cells_spacer},
+            {spec.l_gate, spec.cells_gate},
+            {spec.l_spacer, spec.cells_spacer},
+            {spec.l_src, spec.cells_src}});
+  const std::vector<double> y_lines = Mesh::subdivide(
+      0.0, {{spec.t_liner, spec.cells_ox_y},
+            {spec.tsi, spec.cells_si_y},
+            {spec.tox, spec.cells_ox_y}});
+
+  DeviceStructure s{spec, Mesh(x_lines, y_lines), {}, {}, 0, 0, {}};
+  Mesh& mesh = s.mesh;
+
+  // Material assignment: bottom cells_ox_y rows = liner oxide, top
+  // cells_ox_y rows = gate oxide, middle = silicon.
+  const std::size_t ncx = mesh.nx() - 1;
+  const std::size_t ncy = mesh.ny() - 1;
+  for (std::size_t ci = 0; ci < ncx; ++ci) {
+    for (std::size_t cj = 0; cj < ncy; ++cj) {
+      const bool in_si =
+          cj >= spec.cells_ox_y && cj < spec.cells_ox_y + spec.cells_si_y;
+      mesh.set_cell_material(ci, cj,
+                             in_si ? Material::kSilicon : Material::kOxide);
+    }
+  }
+  s.j_si_lo = spec.cells_ox_y;
+  s.j_si_hi = spec.cells_ox_y + spec.cells_si_y;  // node row range inclusive
+
+  // Node masks and doping.
+  const double sign = spec.polarity == Polarity::kNmos ? 1.0 : -1.0;
+  const double x_gate_lo = spec.l_src + spec.l_spacer;
+  const double x_gate_hi = x_gate_lo + spec.l_gate;
+  const double x_drain_lo = x_gate_hi + spec.l_spacer;
+
+  s.doping.assign(mesh.num_nodes(), 0.0);
+  s.contact.assign(mesh.num_nodes(), ContactKind::kNone);
+  s.semi_.assign(mesh.num_nodes(), 0);
+
+  for (std::size_t i = 0; i < mesh.nx(); ++i) {
+    for (std::size_t j = 0; j < mesh.ny(); ++j) {
+      const std::size_t nd = mesh.node(i, j);
+      s.semi_[nd] = mesh.node_touches_silicon(i, j) ? 1 : 0;
+      if (!s.semi_[nd]) continue;
+      const double x = mesh.x(i);
+      // Source/drain implants extend to the spacer edge; the channel keeps a
+      // faint opposite-type background.
+      if (x <= spec.l_src + 1e-15 || x >= x_drain_lo - 1e-15) {
+        s.doping[nd] = sign * spec.n_src;
+      } else {
+        s.doping[nd] = -sign * spec.n_channel;
+      }
+    }
+  }
+
+  // Contacts.
+  const std::size_t j_top = mesh.ny() - 1;
+  const double miv_span_half =
+      0.5 * spec.miv_coverage * (spec.l_gate + 2.0 * spec.l_spacer);
+  const double x_mid = 0.5 * (x_gate_lo + x_gate_hi);
+  for (std::size_t j = 0; j < mesh.ny(); ++j) {
+    // Film edges: ohmic source (left) and drain (right), silicon rows only.
+    if (j >= s.j_si_lo && j <= s.j_si_hi) {
+      s.contact[mesh.node(0, j)] = ContactKind::kSource;
+      s.contact[mesh.node(mesh.nx() - 1, j)] = ContactKind::kDrain;
+    }
+  }
+  for (std::size_t i = 0; i < mesh.nx(); ++i) {
+    const double x = mesh.x(i);
+    // Top gate over the channel span.
+    if (x >= x_gate_lo - 1e-15 && x <= x_gate_hi + 1e-15) {
+      if (s.contact[mesh.node(i, j_top)] == ContactKind::kNone)
+        s.contact[mesh.node(i, j_top)] = ContactKind::kGate;
+    }
+    // MIV bottom gate over the coverage span, centered on the channel.
+    if (spec.miv_coverage > 0.0 && std::fabs(x - x_mid) <= miv_span_half + 1e-15) {
+      if (s.contact[mesh.node(i, 0)] == ContactKind::kNone)
+        s.contact[mesh.node(i, 0)] = ContactKind::kMiv;
+    }
+  }
+  return s;
+}
+
+}  // namespace mivtx::tcad

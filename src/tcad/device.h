@@ -1,0 +1,90 @@
+// Device description and structure builder for the Table-I FDSOI stack and
+// the proposed MIV-transistor variants.
+//
+// The simulated domain is a 2-D (x = along channel, y = through film)
+// cross-section:
+//
+//        gate contact (over channel only)
+//   +-------[========]-------+   <- top gate oxide, tox
+//   | src | sp | chan | sp | drn |  <- silicon film, tsi
+//   +-------[========]-------+   <- bottom liner oxide, t_liner
+//        MIV contact (coverage fraction, MIV variants only)
+//
+// Source/drain contacts are the left/right film edges.  The MIV pillar —
+// which in the real structure rises vertically next to the channel with a
+// 1 nm liner and is tied to the gate — is modelled as a bottom gate over a
+// coverage fraction of the channel: electrically it contributes exactly the
+// same extra MIS coupling the paper describes, which is what differentiates
+// the MIV-transistor characteristics from the plain top-gate FDSOI device.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tcad/mesh.h"
+
+namespace mivtx::tcad {
+
+enum class Variant { kTraditional, kMiv1Channel, kMiv2Channel, kMiv4Channel };
+enum class Polarity { kNmos, kPmos };
+
+const char* variant_name(Variant v);
+// Number of parallel channels of a variant (1, 1, 2, 4).
+int variant_channels(Variant v);
+
+struct DeviceSpec {
+  Polarity polarity = Polarity::kNmos;
+  Variant variant = Variant::kTraditional;
+
+  // Process (paper Table I).
+  double tsi = 7e-9;       // silicon film thickness
+  double tox = 1e-9;       // gate oxide thickness
+  double t_liner = 1e-9;   // MIV liner oxide thickness
+  double l_src = 48e-9;    // source/drain region length
+  double l_gate = 24e-9;   // gate length
+  double l_spacer = 10e-9; // spacer length
+  double w_total = 192e-9; // total electrical width (all channels)
+  double n_src = 1e25;     // source/drain doping (m^-3)
+  double n_channel = 1e20; // residual channel doping (m^-3), opposite type
+
+  // Electrostatics / transport.
+  double gate_offset = 0.06;    // gate electrode potential shift (V); sets Vth
+  double miv_coverage = 0.0;    // fraction of (gate+spacers) span with MIV gate
+  double mobility_factor = 1.0; // variant-specific width/edge degradation
+  double tau_srh = 1e-7;        // SRH lifetime (s)
+  double vsat_n = 1.0e5;        // electron saturation velocity (m/s)
+  double vsat_p = 7.0e4;        // hole saturation velocity (m/s)
+
+  // Meshing (cells per region).
+  std::size_t cells_src = 8;
+  std::size_t cells_spacer = 4;
+  std::size_t cells_gate = 12;
+  std::size_t cells_si_y = 10;
+  std::size_t cells_ox_y = 2;
+
+  // Canonical spec for a paper device.  Variant differences: miv_coverage
+  // (how much of the channel the MIV stem gates) and mobility_factor
+  // (narrow per-channel widths degrade carrier mobility slightly).
+  static DeviceSpec for_variant(Variant v, Polarity p);
+};
+
+enum class ContactKind { kNone, kSource, kDrain, kGate, kMiv };
+
+struct DeviceStructure {
+  DeviceSpec spec;
+  Mesh mesh;
+  // Per-node signed net doping Nd - Na (m^-3); zero on pure-oxide nodes.
+  std::vector<double> doping;
+  std::vector<ContactKind> contact;
+  // Node index ranges in y for the film.
+  std::size_t j_si_lo = 0, j_si_hi = 0;  // inclusive silicon rows
+
+  bool is_semiconductor(std::size_t node) const { return semi_[node]; }
+  const std::vector<char>& semi_mask() const { return semi_; }
+
+  std::vector<char> semi_;  // node touches silicon
+};
+
+DeviceStructure build_structure(const DeviceSpec& spec);
+
+}  // namespace mivtx::tcad

@@ -1,0 +1,82 @@
+#include "tcad/edge_table.h"
+
+#include <cmath>
+
+#include "common/units.h"
+
+namespace mivtx::tcad {
+
+namespace {
+double eps_of(Material mat) {
+  return (mat == Material::kSilicon ? kEpsRelSilicon : kEpsRelSiO2) *
+         kVacuumPermittivity;
+}
+}  // namespace
+
+EdgeTable build_edge_table(const DeviceStructure& s) {
+  const Mesh& m = s.mesh;
+  EdgeTable t;
+  t.edges.reserve(2 * m.num_nodes());
+
+  // Horizontal edges (i,j)-(i+1,j): face crosses cells (i, j-1) and (i, j).
+  for (std::size_t i = 0; i + 1 < m.nx(); ++i) {
+    for (std::size_t j = 0; j < m.ny(); ++j) {
+      Edge e;
+      e.a = m.node(i, j);
+      e.b = m.node(i + 1, j);
+      e.d = m.x(i + 1) - m.x(i);
+      double cp = 0.0, si = 0.0;
+      if (j > 0) {
+        const Material mat = m.cell_material(i, j - 1);
+        const double seg = m.dy_minus(j);
+        cp += eps_of(mat) * seg;
+        if (mat == Material::kSilicon) si += seg;
+      }
+      if (j + 1 < m.ny()) {
+        const Material mat = m.cell_material(i, j);
+        const double seg = m.dy_plus(j);
+        cp += eps_of(mat) * seg;
+        if (mat == Material::kSilicon) si += seg;
+      }
+      e.c_poisson = cp / e.d;
+      e.si_face = si;
+      e.abs_doping =
+          0.5 * (std::fabs(s.doping[e.a]) + std::fabs(s.doping[e.b]));
+      t.edges.push_back(e);
+    }
+  }
+  // Vertical edges (i,j)-(i,j+1): face crosses cells (i-1, j) and (i, j).
+  for (std::size_t i = 0; i < m.nx(); ++i) {
+    for (std::size_t j = 0; j + 1 < m.ny(); ++j) {
+      Edge e;
+      e.a = m.node(i, j);
+      e.b = m.node(i, j + 1);
+      e.d = m.y(j + 1) - m.y(j);
+      double cp = 0.0, si = 0.0;
+      if (i > 0) {
+        const Material mat = m.cell_material(i - 1, j);
+        const double seg = m.dx_minus(i);
+        cp += eps_of(mat) * seg;
+        if (mat == Material::kSilicon) si += seg;
+      }
+      if (i + 1 < m.nx()) {
+        const Material mat = m.cell_material(i, j);
+        const double seg = m.dx_plus(i);
+        cp += eps_of(mat) * seg;
+        if (mat == Material::kSilicon) si += seg;
+      }
+      e.c_poisson = cp / e.d;
+      e.si_face = si;
+      e.abs_doping =
+          0.5 * (std::fabs(s.doping[e.a]) + std::fabs(s.doping[e.b]));
+      t.edges.push_back(e);
+    }
+  }
+  t.si_volume.resize(m.num_nodes());
+  for (std::size_t i = 0; i < m.nx(); ++i)
+    for (std::size_t j = 0; j < m.ny(); ++j)
+      t.si_volume[m.node(i, j)] = m.silicon_control_area(i, j);
+  return t;
+}
+
+}  // namespace mivtx::tcad

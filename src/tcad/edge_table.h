@@ -1,0 +1,28 @@
+// Precomputed finite-volume discretization data: one entry per mesh edge
+// with the Poisson coefficient and the silicon face portion, plus per-node
+// silicon control volumes.  Built once per DeviceStructure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tcad/device.h"
+
+namespace mivtx::tcad {
+
+struct Edge {
+  std::size_t a = 0, b = 0;  // node indices (a < b in grid order)
+  double d = 0.0;            // center-to-center distance (m)
+  double c_poisson = 0.0;    // eps-weighted face length / d (F/m per width)
+  double si_face = 0.0;      // silicon portion of the face length (m)
+  double abs_doping = 0.0;   // |doping| average (m^-3), for mobility
+};
+
+struct EdgeTable {
+  std::vector<Edge> edges;
+  std::vector<double> si_volume;  // per node, m^2 per width
+};
+
+EdgeTable build_edge_table(const DeviceStructure& s);
+
+}  // namespace mivtx::tcad

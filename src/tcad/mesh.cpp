@@ -1,0 +1,100 @@
+#include "tcad/mesh.h"
+
+#include "common/error.h"
+
+namespace mivtx::tcad {
+
+Mesh::Mesh(std::vector<double> x_lines, std::vector<double> y_lines)
+    : x_(std::move(x_lines)), y_(std::move(y_lines)) {
+  MIVTX_EXPECT(x_.size() >= 2 && y_.size() >= 2, "mesh needs >= 2x2 lines");
+  for (std::size_t i = 1; i < x_.size(); ++i)
+    MIVTX_EXPECT(x_[i] > x_[i - 1], "x lines must increase");
+  for (std::size_t j = 1; j < y_.size(); ++j)
+    MIVTX_EXPECT(y_[j] > y_[j - 1], "y lines must increase");
+  cell_materials_.assign(num_cells(), Material::kSilicon);
+}
+
+Material Mesh::cell_material(std::size_t ci, std::size_t cj) const {
+  MIVTX_EXPECT(ci + 1 < nx() && cj + 1 < ny(), "cell index out of range");
+  return cell_materials_[cell(ci, cj)];
+}
+
+void Mesh::set_cell_material(std::size_t ci, std::size_t cj, Material m) {
+  MIVTX_EXPECT(ci + 1 < nx() && cj + 1 < ny(), "cell index out of range");
+  cell_materials_[cell(ci, cj)] = m;
+}
+
+bool Mesh::node_touches_silicon(std::size_t i, std::size_t j) const {
+  for (int di = -1; di <= 0; ++di) {
+    for (int dj = -1; dj <= 0; ++dj) {
+      const long ci = static_cast<long>(i) + di;
+      const long cj = static_cast<long>(j) + dj;
+      if (ci < 0 || cj < 0 || ci + 1 >= static_cast<long>(nx()) ||
+          cj + 1 >= static_cast<long>(ny()))
+        continue;
+      if (cell_material(static_cast<std::size_t>(ci),
+                        static_cast<std::size_t>(cj)) == Material::kSilicon)
+        return true;
+    }
+  }
+  return false;
+}
+
+bool Mesh::node_all_silicon(std::size_t i, std::size_t j) const {
+  bool any = false;
+  for (int di = -1; di <= 0; ++di) {
+    for (int dj = -1; dj <= 0; ++dj) {
+      const long ci = static_cast<long>(i) + di;
+      const long cj = static_cast<long>(j) + dj;
+      if (ci < 0 || cj < 0 || ci + 1 >= static_cast<long>(nx()) ||
+          cj + 1 >= static_cast<long>(ny()))
+        continue;
+      any = true;
+      if (cell_material(static_cast<std::size_t>(ci),
+                        static_cast<std::size_t>(cj)) != Material::kSilicon)
+        return false;
+    }
+  }
+  return any;
+}
+
+double Mesh::silicon_control_area(std::size_t i, std::size_t j) const {
+  double area = 0.0;
+  const double dxm = dx_minus(i), dxp = dx_plus(i);
+  const double dym = dy_minus(j), dyp = dy_plus(j);
+  const double quad_dx[4] = {dxm, dxp, dxm, dxp};
+  const double quad_dy[4] = {dym, dym, dyp, dyp};
+  const int quad_ci[4] = {-1, 0, -1, 0};
+  const int quad_cj[4] = {-1, -1, 0, 0};
+  for (int qq = 0; qq < 4; ++qq) {
+    const long ci = static_cast<long>(i) + quad_ci[qq];
+    const long cj = static_cast<long>(j) + quad_cj[qq];
+    if (ci < 0 || cj < 0 || ci + 1 >= static_cast<long>(nx()) ||
+        cj + 1 >= static_cast<long>(ny()))
+      continue;
+    if (cell_material(static_cast<std::size_t>(ci),
+                      static_cast<std::size_t>(cj)) == Material::kSilicon)
+      area += quad_dx[qq] * quad_dy[qq];
+  }
+  return area;
+}
+
+double Mesh::control_area(std::size_t i, std::size_t j) const {
+  return (dx_minus(i) + dx_plus(i)) * (dy_minus(j) + dy_plus(j));
+}
+
+std::vector<double> Mesh::subdivide(
+    double origin,
+    const std::vector<std::pair<double, std::size_t>>& segments) {
+  std::vector<double> lines{origin};
+  double pos = origin;
+  for (const auto& [len, cells] : segments) {
+    MIVTX_EXPECT(len > 0.0 && cells > 0, "bad mesh segment");
+    const double step = len / static_cast<double>(cells);
+    for (std::size_t k = 1; k <= cells; ++k) lines.push_back(pos + step * k);
+    pos += len;
+  }
+  return lines;
+}
+
+}  // namespace mivtx::tcad

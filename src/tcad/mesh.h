@@ -1,0 +1,72 @@
+// Tensor-product finite-volume mesh for the 2-D device cross-section.
+//
+// Nodes sit at the intersections of x-lines and y-lines; each node owns the
+// control volume formed by the half-cells around it.  Materials are assigned
+// per rectangular cell and the assembly routines average material properties
+// over the edge-adjacent cells — the standard box-integration treatment of
+// heterointerfaces (Si / SiO2 here).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mivtx::tcad {
+
+enum class Material { kSilicon, kOxide };
+
+class Mesh {
+ public:
+  // Grid lines in meters, strictly increasing.
+  Mesh(std::vector<double> x_lines, std::vector<double> y_lines);
+
+  std::size_t nx() const { return x_.size(); }
+  std::size_t ny() const { return y_.size(); }
+  std::size_t num_nodes() const { return nx() * ny(); }
+  std::size_t num_cells() const { return (nx() - 1) * (ny() - 1); }
+
+  double x(std::size_t i) const { return x_[i]; }
+  double y(std::size_t j) const { return y_[j]; }
+
+  // Node index with y fastest: node(i, j) = i * ny + j.  This ordering
+  // bounds the matrix bandwidth by ny (the short direction of the film).
+  std::size_t node(std::size_t i, std::size_t j) const {
+    return i * ny() + j;
+  }
+  std::size_t node_i(std::size_t n) const { return n / ny(); }
+  std::size_t node_j(std::size_t n) const { return n % ny(); }
+
+  std::size_t cell(std::size_t ci, std::size_t cj) const {
+    return ci * (ny() - 1) + cj;
+  }
+
+  Material cell_material(std::size_t ci, std::size_t cj) const;
+  void set_cell_material(std::size_t ci, std::size_t cj, Material m);
+
+  // A node is a semiconductor node if any adjacent cell is silicon.
+  bool node_touches_silicon(std::size_t i, std::size_t j) const;
+  // A node is interior-silicon if every adjacent cell is silicon.
+  bool node_all_silicon(std::size_t i, std::size_t j) const;
+
+  // Control-volume area of node (i, j) restricted to silicon cells (m^2,
+  // per meter of width).
+  double silicon_control_area(std::size_t i, std::size_t j) const;
+  // Full control-volume area.
+  double control_area(std::size_t i, std::size_t j) const;
+
+  // Half-widths of the control volume in each direction.
+  double dx_minus(std::size_t i) const { return i == 0 ? 0.0 : 0.5 * (x_[i] - x_[i - 1]); }
+  double dx_plus(std::size_t i) const { return i + 1 == nx() ? 0.0 : 0.5 * (x_[i + 1] - x_[i]); }
+  double dy_minus(std::size_t j) const { return j == 0 ? 0.0 : 0.5 * (y_[j] - y_[j - 1]); }
+  double dy_plus(std::size_t j) const { return j + 1 == ny() ? 0.0 : 0.5 * (y_[j + 1] - y_[j]); }
+
+  // Utility: build a strictly increasing line set by subdividing segments.
+  // segments = {(length, cells), ...}; returns lines starting at `origin`.
+  static std::vector<double> subdivide(
+      double origin, const std::vector<std::pair<double, std::size_t>>& segments);
+
+ private:
+  std::vector<double> x_, y_;
+  std::vector<Material> cell_materials_;  // per cell, silicon by default
+};
+
+}  // namespace mivtx::tcad

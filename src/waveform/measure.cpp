@@ -1,0 +1,83 @@
+#include "waveform/measure.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mivtx::waveform {
+
+std::vector<Crossing> find_crossings(const Waveform& w, double level,
+                                     EdgeKind kind) {
+  std::vector<Crossing> out;
+  for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+    const double v0 = w.value(i), v1 = w.value(i + 1);
+    const bool rise = v0 < level && v1 >= level;
+    const bool fall = v0 > level && v1 <= level;
+    if (!rise && !fall) continue;
+    const EdgeKind edge = rise ? EdgeKind::kRise : EdgeKind::kFall;
+    if (kind != EdgeKind::kAny && kind != edge) continue;
+    const double t0 = w.time(i), t1 = w.time(i + 1);
+    const double f = (level - v0) / (v1 - v0);
+    out.push_back(Crossing{t0 + f * (t1 - t0), edge});
+  }
+  return out;
+}
+
+std::optional<Crossing> next_crossing(const Waveform& w, double level,
+                                      double after, EdgeKind kind) {
+  for (const Crossing& c : find_crossings(w, level, kind)) {
+    if (c.time >= after) return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> propagation_delay(const Waveform& input,
+                                        const Waveform& output,
+                                        double in_level, double out_level,
+                                        double after, EdgeKind in_edge,
+                                        EdgeKind out_edge) {
+  const auto in_c = next_crossing(input, in_level, after, in_edge);
+  if (!in_c) return std::nullopt;
+  const auto out_c = next_crossing(output, out_level, in_c->time, out_edge);
+  if (!out_c) return std::nullopt;
+  return out_c->time - in_c->time;
+}
+
+std::optional<double> transition_time(const Waveform& w, double v_low,
+                                      double v_high, double after,
+                                      EdgeKind kind) {
+  MIVTX_EXPECT(v_high > v_low, "transition_time: rails inverted");
+  const double swing = v_high - v_low;
+  const double lo = v_low + 0.1 * swing;
+  const double hi = v_low + 0.9 * swing;
+  if (kind == EdgeKind::kRise) {
+    const auto t_lo = next_crossing(w, lo, after, EdgeKind::kRise);
+    if (!t_lo) return std::nullopt;
+    const auto t_hi = next_crossing(w, hi, t_lo->time, EdgeKind::kRise);
+    if (!t_hi) return std::nullopt;
+    return t_hi->time - t_lo->time;
+  }
+  if (kind == EdgeKind::kFall) {
+    const auto t_hi = next_crossing(w, hi, after, EdgeKind::kFall);
+    if (!t_hi) return std::nullopt;
+    const auto t_lo = next_crossing(w, lo, t_hi->time, EdgeKind::kFall);
+    if (!t_lo) return std::nullopt;
+    return t_lo->time - t_hi->time;
+  }
+  const auto rise = transition_time(w, v_low, v_high, after, EdgeKind::kRise);
+  const auto fall = transition_time(w, v_low, v_high, after, EdgeKind::kFall);
+  if (rise && fall) return std::min(*rise, *fall);
+  return rise ? rise : fall;
+}
+
+double average_supply_power(const Waveform& supply_current, double v_supply,
+                            double t0, double t1) {
+  return v_supply * supply_current.average(t0, t1);
+}
+
+double supply_energy(const Waveform& supply_current, double v_supply,
+                     double t0, double t1) {
+  return v_supply * supply_current.integral(t0, t1);
+}
+
+}  // namespace mivtx::waveform

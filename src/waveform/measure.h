@@ -1,0 +1,55 @@
+// Measurement routines over waveforms: threshold crossings, propagation
+// delay, rise/fall times, and supply-power accounting — the quantities the
+// paper's Figure 5(a)/(b) report per standard cell.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "waveform/waveform.h"
+
+namespace mivtx::waveform {
+
+enum class EdgeKind { kRise, kFall, kAny };
+
+struct Crossing {
+  double time = 0.0;
+  EdgeKind edge = EdgeKind::kRise;
+};
+
+// All times where the waveform crosses `level` with the requested edge
+// direction, linearly interpolated.
+std::vector<Crossing> find_crossings(const Waveform& w, double level,
+                                     EdgeKind kind = EdgeKind::kAny);
+
+// First crossing at/after `after`; nullopt if none.
+std::optional<Crossing> next_crossing(const Waveform& w, double level,
+                                      double after,
+                                      EdgeKind kind = EdgeKind::kAny);
+
+// Propagation delay from the input's crossing of `in_level` (first edge at or
+// after `after`) to the output's next crossing of `out_level`.
+// Returns nullopt when either crossing is missing.
+std::optional<double> propagation_delay(const Waveform& input,
+                                        const Waveform& output,
+                                        double in_level, double out_level,
+                                        double after = 0.0,
+                                        EdgeKind in_edge = EdgeKind::kAny,
+                                        EdgeKind out_edge = EdgeKind::kAny);
+
+// 10%-90% rise (or 90%-10% fall) time of the first full swing after `after`,
+// with explicit low/high rails.
+std::optional<double> transition_time(const Waveform& w, double v_low,
+                                      double v_high, double after,
+                                      EdgeKind kind);
+
+// Average power drawn from a supply: mean over [t0, t1] of v_supply * i(t),
+// with current measured flowing out of the source into the circuit.
+double average_supply_power(const Waveform& supply_current, double v_supply,
+                            double t0, double t1);
+
+// Energy (J) over the window.
+double supply_energy(const Waveform& supply_current, double v_supply,
+                     double t0, double t1);
+
+}  // namespace mivtx::waveform

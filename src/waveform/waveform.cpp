@@ -1,0 +1,132 @@
+#include "waveform/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mivtx::waveform {
+
+Waveform::Waveform(std::vector<double> times, std::vector<double> values)
+    : times_(std::move(times)), values_(std::move(values)) {
+  MIVTX_EXPECT(times_.size() == values_.size(), "waveform: size mismatch");
+  for (std::size_t i = 1; i < times_.size(); ++i)
+    MIVTX_EXPECT(times_[i] > times_[i - 1], "waveform: time not increasing");
+}
+
+void Waveform::append(double t, double v) {
+  MIVTX_EXPECT(times_.empty() || t > times_.back(),
+               "waveform: appended time must increase");
+  times_.push_back(t);
+  values_.push_back(v);
+}
+
+void Waveform::clear() {
+  times_.clear();
+  values_.clear();
+}
+
+double Waveform::t_begin() const {
+  MIVTX_EXPECT(!empty(), "waveform: empty");
+  return times_.front();
+}
+
+double Waveform::t_end() const {
+  MIVTX_EXPECT(!empty(), "waveform: empty");
+  return times_.back();
+}
+
+std::size_t Waveform::locate(double t) const {
+  // First index with times_[i] > t, minus one.
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) return 0;
+  return static_cast<std::size_t>(it - times_.begin()) - 1;
+}
+
+double Waveform::sample(double t) const {
+  MIVTX_EXPECT(!empty(), "waveform: empty");
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  const std::size_t i = locate(t);
+  const double t0 = times_[i], t1 = times_[i + 1];
+  const double f = (t - t0) / (t1 - t0);
+  return values_[i] + f * (values_[i + 1] - values_[i]);
+}
+
+double Waveform::min_value() const {
+  MIVTX_EXPECT(!empty(), "waveform: empty");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Waveform::max_value() const {
+  MIVTX_EXPECT(!empty(), "waveform: empty");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Waveform::integral(double t0, double t1) const {
+  MIVTX_EXPECT(!empty(), "waveform: empty");
+  MIVTX_EXPECT(t1 >= t0, "waveform: inverted integration window");
+  if (t0 == t1) return 0.0;
+  double acc = 0.0;
+  double prev_t = t0;
+  double prev_v = sample(t0);
+  const std::size_t begin = locate(t0) + 1;
+  for (std::size_t i = begin; i < times_.size() && times_[i] < t1; ++i) {
+    acc += 0.5 * (prev_v + values_[i]) * (times_[i] - prev_t);
+    prev_t = times_[i];
+    prev_v = values_[i];
+  }
+  const double last_v = sample(t1);
+  acc += 0.5 * (prev_v + last_v) * (t1 - prev_t);
+  return acc;
+}
+
+double Waveform::average(double t0, double t1) const {
+  MIVTX_EXPECT(t1 > t0, "waveform: degenerate averaging window");
+  return integral(t0, t1) / (t1 - t0);
+}
+
+double Waveform::rms(double t0, double t1) const {
+  MIVTX_EXPECT(t1 > t0, "waveform: degenerate rms window");
+  // Integrate v^2 with the same trapezoid scheme on squared samples;
+  // linear-in-v segments make this a close upper-accuracy approximation.
+  double acc = 0.0;
+  double prev_t = t0;
+  double prev_v = sample(t0);
+  const std::size_t begin = locate(t0) + 1;
+  for (std::size_t i = begin; i < times_.size() && times_[i] < t1; ++i) {
+    acc += 0.5 * (prev_v * prev_v + values_[i] * values_[i]) *
+           (times_[i] - prev_t);
+    prev_t = times_[i];
+    prev_v = values_[i];
+  }
+  const double last_v = sample(t1);
+  acc += 0.5 * (prev_v * prev_v + last_v * last_v) * (t1 - prev_t);
+  return std::sqrt(acc / (t1 - t0));
+}
+
+Waveform Waveform::window(double t0, double t1) const {
+  MIVTX_EXPECT(t1 > t0, "waveform: degenerate window");
+  Waveform out;
+  out.append(t0, sample(t0));
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] > t0 && times_[i] < t1) out.append(times_[i], values_[i]);
+  }
+  if (t1 > out.times_.back()) out.append(t1, sample(t1));
+  return out;
+}
+
+Waveform Waveform::combine(const Waveform& a, const Waveform& b,
+                           double (*op)(double, double)) {
+  MIVTX_EXPECT(!a.empty() && !b.empty(), "combine: empty operand");
+  std::vector<double> grid;
+  grid.reserve(a.size() + b.size());
+  std::merge(a.times_.begin(), a.times_.end(), b.times_.begin(),
+             b.times_.end(), std::back_inserter(grid));
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  Waveform out;
+  for (double t : grid) out.append(t, op(a.sample(t), b.sample(t)));
+  return out;
+}
+
+}  // namespace mivtx::waveform

@@ -1,0 +1,57 @@
+// Sampled waveform container: a strictly-increasing time axis with one value
+// per sample, linear interpolation between samples.
+//
+// Transient simulation emits one Waveform per observed circuit quantity;
+// the measurement routines in waveform/measure.h consume them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mivtx::waveform {
+
+class Waveform {
+ public:
+  Waveform() = default;
+  Waveform(std::vector<double> times, std::vector<double> values);
+
+  void append(double t, double v);
+  void clear();
+
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+  double time(std::size_t i) const { return times_[i]; }
+  double value(std::size_t i) const { return values_[i]; }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+
+  double t_begin() const;
+  double t_end() const;
+
+  // Linear interpolation; clamps outside the time range.
+  double sample(double t) const;
+
+  double min_value() const;
+  double max_value() const;
+
+  // Time integral over [t0, t1] via trapezoids on the sample grid
+  // (plus partial end segments).
+  double integral(double t0, double t1) const;
+  // integral / (t1 - t0).
+  double average(double t0, double t1) const;
+  double rms(double t0, double t1) const;
+
+  // New waveform restricted to [t0, t1] with boundary samples interpolated.
+  Waveform window(double t0, double t1) const;
+  // Pointwise combination on the union of the two time grids.
+  static Waveform combine(const Waveform& a, const Waveform& b,
+                          double (*op)(double, double));
+
+ private:
+  std::size_t locate(double t) const;  // greatest i with times_[i] <= t
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace mivtx::waveform

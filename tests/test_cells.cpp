@@ -1,0 +1,274 @@
+// Standard-cell library: truth tables, switch-level topology verification,
+// and netlist generation for every (cell x implementation) pair.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cells/celltypes.h"
+#include "cells/netgen.h"
+#include "cells/topology.h"
+#include "common/error.h"
+#include "core/reference_cards.h"
+#include "spice/dcop.h"
+#include "spice/parser.h"
+
+namespace mivtx::cells {
+namespace {
+
+ModelSet test_models() {
+  const auto& lib = core::reference_model_library();
+  ModelSet m;
+  m.nmos = lib.card(core::Variant::kTraditional, core::Polarity::kNmos);
+  m.pmos = lib.card(core::Variant::kTraditional, core::Polarity::kPmos);
+  return m;
+}
+
+TEST(CellTypes, FourteenCells) {
+  EXPECT_EQ(all_cells().size(), 14u);
+  std::set<std::string> names;
+  for (CellType t : all_cells()) names.insert(cell_name(t));
+  EXPECT_EQ(names.size(), 14u);
+  EXPECT_TRUE(names.count("AND2X1"));
+  EXPECT_TRUE(names.count("XNOR2X1"));
+  EXPECT_TRUE(names.count("MUX2X1"));
+}
+
+TEST(CellTypes, InputNames) {
+  EXPECT_EQ(cell_input_names(CellType::kInv1),
+            (std::vector<std::string>{"A"}));
+  EXPECT_EQ(cell_input_names(CellType::kMux2),
+            (std::vector<std::string>{"A", "B", "S"}));
+  EXPECT_EQ(cell_input_names(CellType::kNand3).size(), 3u);
+}
+
+TEST(CellTypes, LogicSpotChecks) {
+  EXPECT_TRUE(cell_logic(CellType::kXor2, {true, false}));
+  EXPECT_FALSE(cell_logic(CellType::kXor2, {true, true}));
+  EXPECT_TRUE(cell_logic(CellType::kMux2, {false, true, true}));   // S=1 -> B
+  EXPECT_FALSE(cell_logic(CellType::kMux2, {false, true, false})); // S=0 -> A
+  EXPECT_FALSE(cell_logic(CellType::kAoi2, {true, true, false}));
+  EXPECT_TRUE(cell_logic(CellType::kOai2, {false, false, true}));
+  EXPECT_THROW(cell_logic(CellType::kInv1, {true, false}), mivtx::Error);
+}
+
+class TopologyTruthTest : public ::testing::TestWithParam<CellType> {};
+
+TEST_P(TopologyTruthTest, SwitchLevelMatchesTruthTable) {
+  const CellType type = GetParam();
+  const CellTopology& topo = cell_topology(type);
+  const std::size_t n = cell_num_inputs(type);
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<bool> in(n);
+    for (std::size_t i = 0; i < n; ++i) in[i] = (mask >> i) & 1u;
+    EXPECT_EQ(topo.evaluate(in), cell_logic(type, in))
+        << cell_name(type) << " mask=" << mask;
+  }
+}
+
+TEST_P(TopologyTruthTest, ComplementaryDeviceCounts) {
+  const CellTopology& topo = cell_topology(GetParam());
+  EXPECT_EQ(topo.num_nmos(), topo.num_pmos());
+  EXPECT_GE(topo.num_nmos(), cell_num_inputs(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, TopologyTruthTest, ::testing::ValuesIn(all_cells()),
+    [](const ::testing::TestParamInfo<CellType>& info) {
+      return cell_name(info.param);
+    });
+
+TEST(CellTypes, FunctionStringsMatchLogic) {
+  // Evaluate each Liberty function string against the truth table via a
+  // tiny recursive-descent evaluator ( !, *, +, ^, parentheses ).
+  struct Eval {
+    const std::string& s;
+    const std::map<char, bool>& env;
+    std::size_t pos = 0;
+    bool parse_or() {
+      bool v = parse_xor();
+      while (pos < s.size() && s[pos] == '+') {
+        ++pos;
+        const bool r = parse_xor();
+        v = v || r;
+      }
+      return v;
+    }
+    bool parse_xor() {
+      bool v = parse_and();
+      while (pos < s.size() && s[pos] == '^') {
+        ++pos;
+        const bool r = parse_and();
+        v = v != r;
+      }
+      return v;
+    }
+    bool parse_and() {
+      bool v = parse_unary();
+      while (pos < s.size() && s[pos] == '*') {
+        ++pos;
+        const bool r = parse_unary();
+        v = v && r;
+      }
+      return v;
+    }
+    bool parse_unary() {
+      if (s[pos] == '!') {
+        ++pos;
+        return !parse_unary();
+      }
+      if (s[pos] == '(') {
+        ++pos;
+        const bool v = parse_or();
+        ++pos;  // ')'
+        return v;
+      }
+      return env.at(s[pos++]);
+    }
+  };
+  for (CellType t : all_cells()) {
+    const std::string fn = cell_function_string(t);
+    const auto pins = cell_input_names(t);
+    const std::size_t n = pins.size();
+    for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+      std::vector<bool> in(n);
+      std::map<char, bool> env;
+      for (std::size_t i = 0; i < n; ++i) {
+        in[i] = (mask >> i) & 1u;
+        env[pins[i][0]] = in[i];
+      }
+      Eval ev{fn, env};
+      EXPECT_EQ(ev.parse_or(), cell_logic(t, in))
+          << cell_name(t) << " fn=" << fn << " mask=" << mask;
+    }
+  }
+}
+
+TEST(Topology, SignalNetsExcludeRails) {
+  const CellTopology& topo = cell_topology(CellType::kNand2);
+  for (const std::string& net : topo.signal_nets()) {
+    EXPECT_NE(net, "vdd");
+    EXPECT_NE(net, "gnd");
+  }
+}
+
+struct BuildCase {
+  CellType type;
+  Implementation impl;
+};
+
+class NetgenTest
+    : public ::testing::TestWithParam<std::tuple<CellType, Implementation>> {};
+
+TEST_P(NetgenTest, BuildsAndSolvesDc) {
+  const auto [type, impl] = GetParam();
+  const CellNetlist cell =
+      build_cell(type, impl, test_models(), ParasiticSpec{}, 1.0);
+  EXPECT_EQ(cell.input_sources.size(), cell_num_inputs(type));
+  EXPECT_GT(cell.mivs.total, 0);
+  // Every generated cell must have a converging DC operating point with
+  // all inputs low.
+  const spice::DcResult r = spice::dc_operating_point(cell.circuit);
+  EXPECT_TRUE(r.converged) << cell_name(type) << "/" << impl_name(impl);
+  // Output node exists and sits at a rail (inputs all 0 -> defined logic).
+  const spice::NodeId out = cell.circuit.find_node(cell.output_node);
+  const double vout = spice::solution_voltage(cell.circuit, r.x, out);
+  std::vector<bool> zeros(cell_num_inputs(type), false);
+  const double expect = cell_logic(type, zeros) ? 1.0 : 0.0;
+  EXPECT_NEAR(vout, expect, 0.05) << cell_name(type) << "/" << impl_name(impl);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, NetgenTest,
+    ::testing::Combine(::testing::ValuesIn(all_cells()),
+                       ::testing::ValuesIn(all_implementations())),
+    [](const ::testing::TestParamInfo<std::tuple<CellType, Implementation>>&
+           info) {
+      std::string name = cell_name(std::get<0>(info.param));
+      name += "_";
+      name += impl_name(std::get<1>(info.param));
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(Netgen, MivAccountingInverter2D) {
+  const CellNetlist cell = build_cell(CellType::kInv1, Implementation::k2D,
+                                      test_models(), ParasiticSpec{}, 1.0);
+  // Input A: external gate MIV; output Y: internal S/D MIV.
+  EXPECT_EQ(cell.mivs.gate_external, 1);
+  EXPECT_EQ(cell.mivs.internal, 1);
+  EXPECT_EQ(cell.mivs.total, 2);
+}
+
+TEST(Netgen, MivTransistorImplUsesPerGateVias) {
+  const CellNetlist cell =
+      build_cell(CellType::kNand2, Implementation::kMiv2Channel,
+                 test_models(), ParasiticSpec{}, 1.0);
+  // NAND2: inputs A and B each feed one n-gate (1 via each) plus the
+  // output's internal S/D via: 3 total, no external keep-out vias.
+  EXPECT_EQ(cell.mivs.gate_external, 0);
+  EXPECT_EQ(cell.mivs.total, 3);
+}
+
+TEST(Netgen, FourChannelAddsSdResistors) {
+  const CellNetlist plain = build_cell(
+      CellType::kInv1, Implementation::kMiv2Channel, test_models(),
+      ParasiticSpec{}, 1.0);
+  const CellNetlist four = build_cell(CellType::kInv1,
+                                      Implementation::kMiv4Channel,
+                                      test_models(), ParasiticSpec{}, 1.0);
+  auto count_r = [](const CellNetlist& c) {
+    int n = 0;
+    for (const auto& e : c.circuit.elements())
+      n += e.kind == spice::ElementKind::kResistor;
+    return n;
+  };
+  // One extra resistor per n-type S/D pin (the INV has one nmos -> +2).
+  EXPECT_EQ(count_r(four), count_r(plain) + 2);
+}
+
+TEST(Netgen, StrayViaCapOnlyIn2D) {
+  auto count_c = [](const CellNetlist& c) {
+    int n = 0;
+    for (const auto& e : c.circuit.elements())
+      n += e.kind == spice::ElementKind::kCapacitor;
+    return n;
+  };
+  const CellNetlist two_d = build_cell(CellType::kNand2, Implementation::k2D,
+                                       test_models(), ParasiticSpec{}, 1.0);
+  const CellNetlist miv =
+      build_cell(CellType::kNand2, Implementation::kMiv1Channel,
+                 test_models(), ParasiticSpec{}, 1.0);
+  // 2D: load cap + one stray cap per external gate via (A, B).
+  EXPECT_EQ(count_c(two_d), 3);
+  EXPECT_EQ(count_c(miv), 1);
+}
+
+TEST(Netgen, NetlistTextRoundTripsThroughParser) {
+  const CellNetlist cell = build_cell(CellType::kAoi2, Implementation::k2D,
+                                      test_models(), ParasiticSpec{}, 1.0);
+  const std::string text = to_netlist_text(cell);
+  const spice::ParsedNetlist parsed = spice::parse_netlist(text);
+  EXPECT_EQ(parsed.circuit.elements().size(), cell.circuit.elements().size());
+  EXPECT_EQ(parsed.circuit.num_nodes(), cell.circuit.num_nodes());
+  // The reparsed circuit solves to the same DC output.
+  const spice::DcResult a = spice::dc_operating_point(cell.circuit);
+  const spice::DcResult b = spice::dc_operating_point(parsed.circuit);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  const double va = spice::solution_voltage(
+      cell.circuit, a.x, cell.circuit.find_node(cell.output_node));
+  const double vb = spice::solution_voltage(
+      parsed.circuit, b.x, parsed.circuit.find_node(cell.output_node));
+  EXPECT_NEAR(va, vb, 1e-6);
+}
+
+TEST(Netgen, ImplMetadata) {
+  EXPECT_EQ(all_implementations().size(), 4u);
+  EXPECT_STREQ(impl_name(Implementation::k2D), "2D");
+  EXPECT_STREQ(impl_name(Implementation::kMiv4Channel), "4-ch");
+}
+
+}  // namespace
+}  // namespace mivtx::cells

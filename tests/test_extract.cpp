@@ -1,0 +1,241 @@
+// Extraction: optimizers, error metrics, and the staged pipeline on
+// synthetic data generated from a known card (self-consistency).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bsimsoi/curves.h"
+#include "common/error.h"
+#include "extract/errors.h"
+#include "extract/optimizer.h"
+#include "extract/pipeline.h"
+
+namespace mivtx::extract {
+namespace {
+
+TEST(ParamBoundsTest, LinearTransformRoundTrip) {
+  const ParamBounds b{"X", -2.0, 6.0, false};
+  EXPECT_DOUBLE_EQ(b.to_unit(-2.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.to_unit(6.0), 1.0);
+  EXPECT_DOUBLE_EQ(b.from_unit(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(b.from_unit(b.to_unit(1.234)), 1.234);
+  // Clamping outside the box.
+  EXPECT_DOUBLE_EQ(b.to_unit(100.0), 1.0);
+}
+
+TEST(ParamBoundsTest, LogTransformRoundTrip) {
+  const ParamBounds b{"X", 1e-12, 1e-6, true};
+  EXPECT_NEAR(b.from_unit(0.5), 1e-9, 1e-12);
+  EXPECT_NEAR(b.to_unit(1e-9), 0.5, 1e-12);
+}
+
+TEST(ParamBoundsTest, RegisteredNamesResolve) {
+  for (const char* name :
+       {"VTH0", "U0", "UA", "UB", "UD", "UCS", "CDSC", "CDSCD", "ETAB",
+        "DVT0", "DVT1", "VSAT", "PVAG", "PCLM", "RDSW", "CKAPPA", "CGSO",
+        "CGDO", "CGSL", "CGDL", "CF", "MOIN", "DELVT", "NFACTOR", "K1B",
+        "DVTB"}) {
+    EXPECT_NO_THROW(param_bounds(name)) << name;
+  }
+  EXPECT_THROW(param_bounds("BOGUS"), mivtx::Error);
+}
+
+TEST(NelderMead, MinimizesQuadraticBowl) {
+  const std::vector<ParamBounds> bounds = {{"a", -10, 10, false},
+                                           {"b", -10, 10, false}};
+  const Objective f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + 2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const OptResult r = nelder_mead(f, bounds, {0.0, 0.0});
+  EXPECT_TRUE(r.improved);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-3);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-3);
+}
+
+TEST(NelderMead, Rosenbrock) {
+  const std::vector<ParamBounds> bounds = {{"a", -2, 2, false},
+                                           {"b", -1, 3, false}};
+  const Objective f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opts;
+  opts.max_evaluations = 8000;
+  opts.restarts = 3;
+  const OptResult r = nelder_mead(f, bounds, {-1.2, 1.0}, opts);
+  EXPECT_LT(r.value, 1e-3);
+}
+
+TEST(NelderMead, RespectsBounds) {
+  const std::vector<ParamBounds> bounds = {{"a", 0.0, 1.0, false}};
+  // Minimum outside the box -> solution pinned at the boundary.
+  const Objective f = [](const std::vector<double>& x) {
+    return (x[0] - 5.0) * (x[0] - 5.0);
+  };
+  const OptResult r = nelder_mead(f, bounds, {0.5});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-6);
+}
+
+TEST(LevenbergMarquardt, FitsExponentialDecay) {
+  // y = A exp(-k t) sampled; recover (A, k).
+  const double a_true = 2.5, k_true = 1.7;
+  std::vector<double> ts, ys;
+  for (double t = 0.0; t <= 3.0; t += 0.25) {
+    ts.push_back(t);
+    ys.push_back(a_true * std::exp(-k_true * t));
+  }
+  const std::vector<ParamBounds> bounds = {{"A", 0.1, 10.0, false},
+                                           {"k", 0.01, 10.0, false}};
+  const ResidualFn fn = [&](const std::vector<double>& x) {
+    std::vector<double> r(ts.size());
+    for (std::size_t i = 0; i < ts.size(); ++i)
+      r[i] = x[0] * std::exp(-x[1] * ts[i]) - ys[i];
+    return r;
+  };
+  const OptResult r = levenberg_marquardt(fn, bounds, {1.0, 0.5});
+  EXPECT_NEAR(r.x[0], a_true, 1e-4);
+  EXPECT_NEAR(r.x[1], k_true, 1e-4);
+}
+
+TEST(Errors, CurveResidualsAndRms) {
+  const Curve meas = {{0.0, 1.0}, {1.0, 2.0}, {2.0, 100.0}};
+  const Curve fit = {{0.0, 1.1}, {1.0, 2.0}, {2.0, 90.0}};
+  const auto r = curve_residuals(meas, fit);
+  ASSERT_EQ(r.size(), 3u);
+  // Small measured values floored at 2% of the peak (2.0).
+  EXPECT_NEAR(r[0], 0.1 / 2.0, 1e-12);
+  EXPECT_NEAR(r[1], 0.0, 1e-12);
+  EXPECT_NEAR(r[2], -10.0 / 100.0, 1e-12);
+  EXPECT_NEAR(rms({0.3, -0.4}), std::sqrt((0.09 + 0.16) / 2.0), 1e-12);
+  EXPECT_THROW(curve_residuals(meas, {{0.0, 1.0}}), mivtx::Error);
+}
+
+TEST(Dataset, ValidationCatchesBadCurves) {
+  CharacteristicSet d;
+  d.idvg_low = {{0.0, 1.0}, {0.5, 2.0}};
+  d.idvg_high = {{0.5, 2.0}, {0.0, 1.0}};  // not increasing
+  d.idvd.push_back({0.5, {{0.0, 1.0}}});
+  d.cv = {{0.0, 1e-16}};
+  EXPECT_THROW(d.validate(), mivtx::Error);
+}
+
+TEST(Dataset, SweepGridShapes) {
+  SweepGrid g;
+  EXPECT_EQ(g.vg_points().size(), g.n_vg);
+  EXPECT_DOUBLE_EQ(g.vg_points().front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.vd_points().back(), g.vdd);
+}
+
+// Build a synthetic dataset directly from a known card; the pipeline must
+// then fit it with small residual error (self-consistency: the model can
+// always represent itself).
+CharacteristicSet synthesize(const bsimsoi::SoiModelCard& truth,
+                             const SweepGrid& grid) {
+  CharacteristicSet d;
+  d.device_name = "synthetic";
+  d.vds_low = 0.05;
+  d.vds_high = grid.vdd;
+  d.idvg_low = bsimsoi::id_vg(truth, d.vds_low, grid.vg_points());
+  d.idvg_high = bsimsoi::id_vg(truth, d.vds_high, grid.vg_points());
+  for (double vgs : grid.idvd_vgs)
+    d.idvd.push_back({vgs, bsimsoi::id_vd(truth, vgs, grid.vd_points())});
+  d.cv = bsimsoi::cgg_vg(truth, 0.0, grid.cv_points());
+  return d;
+}
+
+TEST(Pipeline, RecoversSelfConsistentModel) {
+  bsimsoi::SoiModelCard truth;
+  truth.polarity = bsimsoi::Polarity::kNmos;
+  truth.vth0 = 0.32;
+  truth.l = 24e-9;
+  truth.w = 192e-9;
+  truth.u0 = 0.045;
+  truth.vsat = 1.2e5;
+  truth.rdsw = 200.0;
+  truth.cgso = truth.cgdo = 5e-11;
+  const SweepGrid grid;
+  const CharacteristicSet data = synthesize(truth, grid);
+
+  bsimsoi::SoiModelCard init;
+  init.polarity = bsimsoi::Polarity::kNmos;
+  init.l = truth.l;
+  init.w = truth.w;
+  const ExtractionReport rep = extract_card(data, init);
+  EXPECT_LT(rep.errors.idvg, 0.05);
+  EXPECT_LT(rep.errors.idvd, 0.05);
+  EXPECT_LT(rep.errors.cv, 0.08);
+  // Threshold recovered within tens of millivolts.
+  EXPECT_NEAR(rep.card.vth0, truth.vth0, 0.08);
+  // Four stages ran (three paper stages + retarget).
+  ASSERT_EQ(rep.stages.size(), 4u);
+  EXPECT_EQ(rep.stages[0].name, "low-drain");
+  EXPECT_EQ(rep.stages[3].name, "ieff-retarget");
+  for (const StageReport& st : rep.stages) {
+    EXPECT_LE(st.error_after, st.error_before + 1e-12) << st.name;
+  }
+}
+
+TEST(Pipeline, RetargetNailsEffectiveCurrentPoints) {
+  bsimsoi::SoiModelCard truth;
+  truth.polarity = bsimsoi::Polarity::kNmos;
+  truth.vth0 = 0.36;
+  truth.u0 = 0.03;
+  truth.l = 24e-9;
+  truth.w = 192e-9;
+  const SweepGrid grid;
+  const CharacteristicSet data = synthesize(truth, grid);
+  bsimsoi::SoiModelCard init;
+  init.polarity = bsimsoi::Polarity::kNmos;
+  init.l = truth.l;
+  init.w = truth.w;
+  const ExtractionReport rep = extract_card(data, init);
+  const double half = 0.5 * grid.vdd;
+  const double fit_a = bsimsoi::id_vg(rep.card, grid.vdd, {half})[0].y;
+  const double ref_a = bsimsoi::id_vg(truth, grid.vdd, {half})[0].y;
+  EXPECT_NEAR(fit_a / ref_a, 1.0, 1e-3);
+  const double fit_b = bsimsoi::id_vd(rep.card, grid.vdd, {half})[0].y;
+  const double ref_b = bsimsoi::id_vd(truth, grid.vdd, {half})[0].y;
+  EXPECT_NEAR(fit_b / ref_b, 1.0, 1e-3);
+}
+
+TEST(Pipeline, PmosSignConvention) {
+  bsimsoi::SoiModelCard truth;
+  truth.polarity = bsimsoi::Polarity::kPmos;
+  truth.vth0 = -0.34;
+  truth.u0 = 0.012;
+  truth.l = 24e-9;
+  truth.w = 192e-9;
+  const SweepGrid grid;
+  const CharacteristicSet data = synthesize(truth, grid);
+  bsimsoi::SoiModelCard init;
+  init.polarity = bsimsoi::Polarity::kPmos;
+  init.vth0 = -0.3;
+  init.u0 = 0.012;
+  init.l = truth.l;
+  init.w = truth.w;
+  const ExtractionReport rep = extract_card(data, init);
+  EXPECT_LT(rep.card.vth0, 0.0);  // conventional PMOS sign restored
+  EXPECT_LT(rep.errors.idvg, 0.08);
+}
+
+TEST(Pipeline, SymmetricOverlapsEnforced) {
+  bsimsoi::SoiModelCard truth;
+  truth.polarity = bsimsoi::Polarity::kNmos;
+  truth.l = 24e-9;
+  truth.w = 192e-9;
+  truth.cgso = truth.cgdo = 8e-11;
+  truth.cgsl = truth.cgdl = 3e-11;
+  const SweepGrid grid;
+  const CharacteristicSet data = synthesize(truth, grid);
+  bsimsoi::SoiModelCard init;
+  init.polarity = bsimsoi::Polarity::kNmos;
+  init.l = truth.l;
+  init.w = truth.w;
+  const ExtractionReport rep = extract_card(data, init);
+  EXPECT_DOUBLE_EQ(rep.card.cgso, rep.card.cgdo);
+  EXPECT_DOUBLE_EQ(rep.card.cgsl, rep.card.cgdl);
+}
+
+}  // namespace
+}  // namespace mivtx::extract

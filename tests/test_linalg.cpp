@@ -1,0 +1,239 @@
+// Linear algebra: dense/banded LU, sparse kernels, iterative solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "linalg/banded.h"
+#include "linalg/dense.h"
+#include "linalg/sparse.h"
+#include "linalg/vector_ops.h"
+
+namespace mivtx::linalg {
+namespace {
+
+TEST(VectorOps, Basics) {
+  Vector a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2(Vector{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(Vector{-7, 2}), 7.0);
+  axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  EXPECT_DOUBLE_EQ(sub(a, a)[1], 0.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, Vector{1, 2, 4}), 1.0);
+  EXPECT_THROW(dot(a, Vector{1.0}), Error);
+}
+
+TEST(VectorOps, Linspace) {
+  const Vector v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  EXPECT_DOUBLE_EQ(v[4], 1.0);
+  EXPECT_EQ(linspace(2.0, 9.0, 1).size(), 1u);
+  EXPECT_DOUBLE_EQ(linspace(2.0, 9.0, 1)[0], 2.0);
+}
+
+TEST(Dense, SolveKnownSystem) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const Vector x = solve_dense(a, Vector{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Dense, PivotingHandlesZeroDiagonal) {
+  DenseMatrix a(2, 2);
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  const Vector x = solve_dense(a, Vector{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Dense, DetectsSingular) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(DenseLU{a}, Error);
+}
+
+class DenseRandomTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DenseRandomTest, ResidualSmall) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  DenseMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1, 1);
+    a(r, r) += 3.0;  // diagonally dominant-ish
+  }
+  Vector b(n);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const Vector x = DenseLU(a).solve(b);
+  const Vector r = sub(a.multiply(x), b);
+  EXPECT_LT(norm_inf(r), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DenseRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 60));
+
+TEST(Dense, MultiplyTransposeMatmul) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Vector y = a.multiply(Vector{1, 1, 1});
+  EXPECT_DOUBLE_EQ(y[0], 6);
+  EXPECT_DOUBLE_EQ(y[1], 15);
+  const DenseMatrix at = a.transpose();
+  EXPECT_DOUBLE_EQ(at(2, 1), 6);
+  const DenseMatrix ata = at.multiply(a);
+  EXPECT_EQ(ata.rows(), 3u);
+  EXPECT_DOUBLE_EQ(ata(0, 0), 17.0);
+}
+
+struct BandShape {
+  std::size_t n, kl, ku;
+};
+
+class BandedVsDenseTest : public ::testing::TestWithParam<BandShape> {};
+
+TEST_P(BandedVsDenseTest, MatchesDense) {
+  const auto [n, kl, ku] = GetParam();
+  Rng rng(42 + n * 10 + kl);
+  BandedMatrix bm(n, kl, ku);
+  DenseMatrix dm(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t c0 = r > kl ? r - kl : 0;
+    const std::size_t c1 = std::min(n - 1, r + ku);
+    for (std::size_t c = c0; c <= c1; ++c) {
+      double v = rng.uniform(-1, 1);
+      if (r == c) v += 4.0;
+      bm.set(r, c, v);
+      dm(r, c) = v;
+    }
+  }
+  Vector b(n);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  // Multiply agrees.
+  EXPECT_LT(max_abs_diff(bm.multiply(b), dm.multiply(b)), 1e-12);
+  // Solve agrees.
+  const Vector xb = BandedLU(bm).solve(b);
+  const Vector xd = DenseLU(dm).solve(b);
+  EXPECT_LT(max_abs_diff(xb, xd), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BandedVsDenseTest,
+                         ::testing::Values(BandShape{5, 1, 1},
+                                           BandShape{10, 2, 3},
+                                           BandShape{30, 4, 4},
+                                           BandShape{50, 7, 2},
+                                           BandShape{64, 15, 15}));
+
+TEST(Banded, OutOfBandAccess) {
+  BandedMatrix b(6, 1, 1);
+  EXPECT_DOUBLE_EQ(b.at(0, 5), 0.0);
+  EXPECT_THROW(b.set(0, 5, 1.0), mivtx::Error);
+  EXPECT_THROW(b.at(6, 0), mivtx::Error);
+}
+
+TEST(Banded, DetectsSingular) {
+  BandedMatrix b(3, 1, 1);
+  b.set(0, 0, 1.0);
+  b.set(1, 1, 0.0);
+  b.set(2, 2, 1.0);
+  EXPECT_THROW(BandedLU{b}, mivtx::Error);
+}
+
+TEST(Sparse, BuildAndMultiply) {
+  SparseBuilder sb(3, 3);
+  sb.add(0, 0, 2.0);
+  sb.add(0, 0, 1.0);  // accumulates to 3
+  sb.add(1, 2, -1.0);
+  sb.add(2, 1, 4.0);
+  sb.add(2, 2, 0.0);  // dropped
+  const SparseMatrix m(sb);
+  EXPECT_EQ(m.num_nonzeros(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+  const Vector y = m.multiply(Vector{1, 2, 3});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], -3.0);
+  EXPECT_DOUBLE_EQ(y[2], 8.0);
+}
+
+TEST(Sparse, CancellingDuplicatesDropped) {
+  SparseBuilder sb(2, 2);
+  sb.add(0, 0, 1.0);
+  sb.add(0, 1, 5.0);
+  sb.add(0, 1, -5.0);
+  sb.add(1, 1, 1.0);
+  const SparseMatrix m(sb);
+  EXPECT_EQ(m.num_nonzeros(), 2u);
+}
+
+TEST(Sparse, BicgstabSolvesSpdSystem) {
+  // 1-D Laplacian, n = 50.
+  const std::size_t n = 50;
+  SparseBuilder sb(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sb.add(i, i, 2.0);
+    if (i > 0) sb.add(i, i - 1, -1.0);
+    if (i + 1 < n) sb.add(i, i + 1, -1.0);
+  }
+  const SparseMatrix a(sb);
+  Vector b(n, 1.0);
+  Vector x;
+  const IterativeResult r = bicgstab(a, b, x, nullptr, 1e-12, 500);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(norm_inf(sub(a.multiply(x), b)), 1e-8);
+}
+
+TEST(Sparse, Ilu0PreconditioningReducesIterations) {
+  const std::size_t n = 120;
+  Rng rng(5);
+  SparseBuilder sb(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sb.add(i, i, 4.0 + rng.uniform(0, 1));
+    if (i > 0) sb.add(i, i - 1, -1.0 + 0.1 * rng.uniform(-1, 1));
+    if (i + 1 < n) sb.add(i, i + 1, -1.0 + 0.1 * rng.uniform(-1, 1));
+    if (i + 10 < n) sb.add(i, i + 10, -0.4);
+    if (i >= 10) sb.add(i, i - 10, -0.4);
+  }
+  const SparseMatrix a(sb);
+  Vector b(n);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+
+  Vector x0, x1;
+  const IterativeResult plain = bicgstab(a, b, x0, nullptr, 1e-10, 2000);
+  const Ilu0 precond(a);
+  const IterativeResult pc = bicgstab(a, b, x1, &precond, 1e-10, 2000);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(pc.converged);
+  EXPECT_LT(pc.iterations, plain.iterations);
+  EXPECT_LT(norm_inf(sub(a.multiply(x1), b)), 1e-7);
+}
+
+TEST(Sparse, IndexChecks) {
+  SparseBuilder sb(2, 2);
+  EXPECT_THROW(sb.add(2, 0, 1.0), mivtx::Error);
+  sb.add(0, 0, 1.0);
+  sb.add(1, 1, 1.0);
+  const SparseMatrix m(sb);
+  EXPECT_THROW(m.at(2, 0), mivtx::Error);
+  EXPECT_THROW(m.multiply(Vector{1.0}), mivtx::Error);
+}
+
+}  // namespace
+}  // namespace mivtx::linalg

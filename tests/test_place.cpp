@@ -1,0 +1,140 @@
+// Row placer: packing legality (no overlaps, inside outline), utilization,
+// and the coupled-vs-per-tier area relationship the chip bench relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "gatelevel/netlist.h"
+#include "place/placer.h"
+
+namespace mivtx::place {
+namespace {
+
+bool overlaps(const PlacedCell& a, const PlacedCell& b) {
+  const double eps = 1e-15;
+  return a.x < b.x + b.width - eps && b.x < a.x + a.width - eps &&
+         a.y < b.y + b.height - eps && b.y < a.y + a.height - eps;
+}
+
+void check_legal(const TierPlacement& t) {
+  for (std::size_t i = 0; i < t.cells.size(); ++i) {
+    const PlacedCell& a = t.cells[i];
+    EXPECT_GE(a.x, -1e-15);
+    EXPECT_GE(a.y, -1e-15);
+    EXPECT_LE(a.x + a.width, t.width + 1e-12);
+    EXPECT_LE(a.y + a.height, t.height + 1e-12);
+    for (std::size_t j = i + 1; j < t.cells.size(); ++j) {
+      EXPECT_FALSE(overlaps(a, t.cells[j]))
+          << a.instance << " overlaps " << t.cells[j].instance;
+    }
+  }
+}
+
+TEST(Placer, CoupledPlacementLegalForAllImpls) {
+  const gatelevel::GateNetlist ckt = gatelevel::ripple_carry_adder(4);
+  const Placer placer;
+  for (cells::Implementation impl : cells::all_implementations()) {
+    const Placement p = placer.place(ckt, impl, Mode::kCoupled);
+    EXPECT_EQ(p.coupled.cells.size(), ckt.instances().size());
+    check_legal(p.coupled);
+    EXPECT_GT(p.coupled.utilization(), 0.5);
+    EXPECT_LE(p.coupled.utilization(), 1.0 + 1e-9);
+  }
+}
+
+TEST(Placer, PerTierPlacementLegal) {
+  const gatelevel::GateNetlist ckt = gatelevel::parity_tree(16);
+  const Placer placer;
+  const Placement p = placer.place(ckt, cells::Implementation::kMiv2Channel,
+                                   Mode::kPerTier);
+  EXPECT_EQ(p.top.cells.size(), ckt.instances().size());
+  EXPECT_EQ(p.bottom.cells.size(), ckt.instances().size());
+  check_legal(p.top);
+  check_legal(p.bottom);
+  EXPECT_DOUBLE_EQ(p.chip_area(), std::max(p.top.area(), p.bottom.area()));
+}
+
+TEST(Placer, PerTierNeverWorseThanCoupled) {
+  // Per-tier packing removes the max() coupling, so the stacked outline can
+  // only shrink (same packer, smaller or equal footprints per tier).
+  const Placer placer;
+  for (const auto& ckt : {gatelevel::ripple_carry_adder(8),
+                          gatelevel::decoder(4), gatelevel::mux_tree(8)}) {
+    for (cells::Implementation impl : cells::all_implementations()) {
+      const Placement coupled = placer.place(ckt, impl, Mode::kCoupled);
+      const Placement split = placer.place(ckt, impl, Mode::kPerTier);
+      EXPECT_LT(split.chip_area(), coupled.chip_area() * 1.02)
+          << ckt.name() << " " << cells::impl_name(impl);
+    }
+  }
+}
+
+TEST(Placer, MivImplementationsPlaceSmallerThan2D) {
+  const gatelevel::GateNetlist ckt = gatelevel::ripple_carry_adder(8);
+  const Placer placer;
+  const double a2d =
+      placer.place(ckt, cells::Implementation::k2D, Mode::kCoupled)
+          .chip_area();
+  const double a2ch =
+      placer.place(ckt, cells::Implementation::kMiv2Channel, Mode::kCoupled)
+          .chip_area();
+  EXPECT_LT(a2ch, a2d);
+  // The placed saving should be in the neighborhood of the cell-level -18%.
+  const double saving = (a2d - a2ch) / a2d;
+  EXPECT_GT(saving, 0.10);
+  EXPECT_LT(saving, 0.30);
+}
+
+TEST(Placer, AspectRatioFollowsOption) {
+  const gatelevel::GateNetlist ckt = gatelevel::decoder(4);
+  PlacerOptions wide;
+  wide.target_aspect = 4.0;
+  PlacerOptions tall;
+  tall.target_aspect = 0.25;
+  const Placer pw(layout::DesignRules{}, wide);
+  const Placer pt(layout::DesignRules{}, tall);
+  const Placement a = pw.place(ckt, cells::Implementation::k2D, Mode::kCoupled);
+  const Placement b = pt.place(ckt, cells::Implementation::k2D, Mode::kCoupled);
+  EXPECT_GT(a.coupled.width / a.coupled.height,
+            b.coupled.width / b.coupled.height);
+}
+
+TEST(Placer, SingleCellCircuit) {
+  gatelevel::GateNetlist n("one");
+  n.add_input("a");
+  n.add_instance(cells::CellType::kInv1, "u1", {"a"}, "y");
+  n.add_output("y");
+  n.finalize();
+  const Placer placer;
+  const Placement p =
+      placer.place(n, cells::Implementation::k2D, Mode::kCoupled);
+  ASSERT_EQ(p.coupled.cells.size(), 1u);
+  EXPECT_NEAR(p.coupled.utilization(), 1.0, 1e-9);
+}
+
+TEST(Placer, DeterministicAcrossRuns) {
+  const gatelevel::GateNetlist ckt = gatelevel::mux_tree(8);
+  const Placer placer;
+  const Placement a =
+      placer.place(ckt, cells::Implementation::kMiv1Channel, Mode::kCoupled);
+  const Placement b =
+      placer.place(ckt, cells::Implementation::kMiv1Channel, Mode::kCoupled);
+  ASSERT_EQ(a.coupled.cells.size(), b.coupled.cells.size());
+  for (std::size_t i = 0; i < a.coupled.cells.size(); ++i) {
+    EXPECT_EQ(a.coupled.cells[i].instance, b.coupled.cells[i].instance);
+    EXPECT_DOUBLE_EQ(a.coupled.cells[i].x, b.coupled.cells[i].x);
+    EXPECT_DOUBLE_EQ(a.coupled.cells[i].y, b.coupled.cells[i].y);
+  }
+}
+
+TEST(Placer, RejectsUnfinalizedNetlist) {
+  gatelevel::GateNetlist n("raw");
+  n.add_input("a");
+  const Placer placer;
+  EXPECT_THROW(placer.place(n, cells::Implementation::k2D, Mode::kCoupled),
+               mivtx::Error);
+}
+
+}  // namespace
+}  // namespace mivtx::place

@@ -1,0 +1,191 @@
+// AC small-signal analysis: transfer functions against analytic RC
+// references, operating-point linearization consistency, and the
+// capacitance-matrix assembly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bsimsoi/model.h"
+#include "bsimsoi/params.h"
+#include "common/error.h"
+#include "linalg/complex_dense.h"
+#include "spice/ac.h"
+#include "spice/mna.h"
+
+namespace mivtx::spice {
+namespace {
+
+TEST(ComplexLU, SolvesKnownSystem) {
+  using linalg::Complex;
+  linalg::ComplexDenseMatrix a(2, 2);
+  a(0, 0) = Complex(1, 1);
+  a(0, 1) = Complex(0, -1);
+  a(1, 0) = Complex(2, 0);
+  a(1, 1) = Complex(1, 0);
+  const linalg::ComplexVector x =
+      linalg::solve_complex_dense(a, {Complex(1, 0), Complex(0, 1)});
+  // Verify by substitution.
+  linalg::ComplexDenseMatrix a2(2, 2);
+  a2(0, 0) = Complex(1, 1);
+  a2(0, 1) = Complex(0, -1);
+  a2(1, 0) = Complex(2, 0);
+  a2(1, 1) = Complex(1, 0);
+  const auto r = a2.multiply(x);
+  EXPECT_NEAR(std::abs(r[0] - Complex(1, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(r[1] - Complex(0, 1)), 0.0, 1e-12);
+}
+
+TEST(LogGrid, SpansDecades) {
+  const auto f = log_frequency_grid(1e3, 1e6, 10);
+  EXPECT_NEAR(f.front(), 1e3, 1e-9);
+  EXPECT_NEAR(f.back(), 1e6, 1e-3);
+  EXPECT_EQ(f.size(), 31u);
+  for (std::size_t i = 1; i < f.size(); ++i) EXPECT_GT(f[i], f[i - 1]);
+  EXPECT_THROW(log_frequency_grid(0.0, 1e3, 10), Error);
+}
+
+Circuit rc_lowpass(double r, double c) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in"), out = ckt.node("out");
+  ckt.add_vsource("VIN", in, kGround, SourceSpec::DC(0.0));
+  ckt.add_resistor("R1", in, out, r);
+  ckt.add_capacitor("C1", out, kGround, c);
+  return ckt;
+}
+
+TEST(Ac, RcLowPassMatchesAnalytic) {
+  const double r = 1e3, c = 1e-12;
+  const double fc = 1.0 / (2.0 * M_PI * r * c);
+  const Circuit ckt = rc_lowpass(r, c);
+  const std::vector<double> freqs = {fc / 100.0, fc, fc * 100.0};
+  const AcResult ac = ac_analysis(ckt, "VIN", freqs);
+  ASSERT_TRUE(ac.ok) << ac.error;
+  // |H| = 1/sqrt(1 + (f/fc)^2)
+  EXPECT_NEAR(ac.magnitude("out", 0), 1.0, 1e-3);
+  EXPECT_NEAR(ac.magnitude("out", 1), 1.0 / std::sqrt(2.0), 1e-6);
+  EXPECT_NEAR(ac.magnitude("out", 2), 0.01, 1e-4);
+  // Phase at fc is -45 degrees.
+  EXPECT_NEAR(ac.phase("out", 1), -M_PI / 4.0, 1e-6);
+}
+
+TEST(Ac, RcHighPass) {
+  const double r = 1e3, c = 1e-12;
+  const double fc = 1.0 / (2.0 * M_PI * r * c);
+  Circuit ckt;
+  const NodeId in = ckt.node("in"), out = ckt.node("out");
+  ckt.add_vsource("VIN", in, kGround, SourceSpec::DC(0.0));
+  ckt.add_capacitor("C1", in, out, c);
+  ckt.add_resistor("R1", out, kGround, r);
+  const AcResult ac = ac_analysis(ckt, "VIN", {fc});
+  ASSERT_TRUE(ac.ok);
+  EXPECT_NEAR(ac.magnitude("out", 0), 1.0 / std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(ac.phase("out", 0), M_PI / 4.0, 1e-2);
+}
+
+TEST(Ac, RequiresVoltageSource) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_isource("I1", kGround, a, SourceSpec::DC(1e-6));
+  ckt.add_resistor("R1", a, kGround, 1e3);
+  EXPECT_THROW(ac_analysis(ckt, "I1", {1e6}), Error);
+}
+
+bsimsoi::SoiModelCard nch() {
+  bsimsoi::SoiModelCard c;
+  c.polarity = bsimsoi::Polarity::kNmos;
+  c.vth0 = 0.35;
+  c.l = 24e-9;
+  c.w = 192e-9;
+  c.u0 = 0.03;
+  c.cgso = c.cgdo = 5e-11;
+  return c;
+}
+
+TEST(Ac, CommonSourceDcGainMatchesGmRo) {
+  // |A(f->0)| should equal gm * (RL || ro); with our model gds is finite.
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd"), in = ckt.node("in"),
+               out = ckt.node("out");
+  ckt.add_vsource("VDD", vdd, kGround, SourceSpec::DC(1.0));
+  ckt.add_vsource("VIN", in, kGround, SourceSpec::DC(0.45));
+  ckt.add_resistor("RL", vdd, out, 20e3);
+  ckt.add_mosfet("M1", out, in, kGround, nch());
+  const DcResult dc = dc_operating_point(ckt);
+  ASSERT_TRUE(dc.converged);
+  const double vout = solution_voltage(ckt, dc.x, out);
+  const auto m = bsimsoi::eval(nch(), 0.45, vout, 0.0);
+  const double gm = m.dids[bsimsoi::kDvG];
+  const double go = m.dids[bsimsoi::kDvD];
+  const double expect = gm / (go + 1.0 / 20e3);
+
+  const AcResult ac = ac_analysis(ckt, "VIN", {1e3});
+  ASSERT_TRUE(ac.ok);
+  EXPECT_NEAR(ac.magnitude("out", 0), expect, 0.02 * expect);
+  // Inverting stage: phase ~ 180 degrees at low frequency.
+  EXPECT_NEAR(std::fabs(ac.phase("out", 0)), M_PI, 1e-2);
+}
+
+TEST(Ac, GainRollsOffWithLoadCap) {
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd"), in = ckt.node("in"),
+               out = ckt.node("out");
+  ckt.add_vsource("VDD", vdd, kGround, SourceSpec::DC(1.0));
+  ckt.add_vsource("VIN", in, kGround, SourceSpec::DC(0.45));
+  ckt.add_resistor("RL", vdd, out, 20e3);
+  ckt.add_capacitor("CL", out, kGround, 10e-15);
+  ckt.add_mosfet("M1", out, in, kGround, nch());
+  const auto freqs = log_frequency_grid(1e6, 1e11, 6);
+  const AcResult ac = ac_analysis(ckt, "VIN", freqs);
+  ASSERT_TRUE(ac.ok);
+  const double a0 = ac.magnitude("out", 0);
+  const double a_end = ac.magnitude("out", freqs.size() - 1);
+  EXPECT_GT(a0, 1.0);        // gain stage
+  EXPECT_LT(a_end, 0.5 * a0);  // rolled off
+  // Monotone non-increasing magnitude (single dominant pole + feedthrough
+  // zero far out).
+  for (std::size_t k = 1; k + 1 < freqs.size(); ++k) {
+    EXPECT_LE(ac.magnitude("out", k), ac.magnitude("out", k - 1) * 1.001);
+  }
+}
+
+TEST(CapacitanceMatrix, CapacitorStamps) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a"), b = ckt.node("b");
+  ckt.add_vsource("V1", a, kGround, SourceSpec::DC(1.0));
+  ckt.add_capacitor("C1", a, b, 3e-15);
+  ckt.add_resistor("R1", b, kGround, 1e3);
+  const DcResult dc = dc_operating_point(ckt);
+  ASSERT_TRUE(dc.converged);
+  linalg::DenseMatrix cmat;
+  assemble_capacitance(ckt, dc.x, cmat);
+  const std::size_t ia = ckt.node_unknown(a), ib = ckt.node_unknown(b);
+  EXPECT_DOUBLE_EQ(cmat(ia, ia), 3e-15);
+  EXPECT_DOUBLE_EQ(cmat(ib, ib), 3e-15);
+  EXPECT_DOUBLE_EQ(cmat(ia, ib), -3e-15);
+  EXPECT_DOUBLE_EQ(cmat(ib, ia), -3e-15);
+}
+
+TEST(CapacitanceMatrix, MosfetRowsSumToZero) {
+  // Charge neutrality (qg + qd + qs = 0) means each column of the device's
+  // C-stamp sums to zero over the three terminal rows.
+  Circuit ckt;
+  const NodeId d = ckt.node("d"), g = ckt.node("g"), s = ckt.node("s");
+  ckt.add_vsource("VD", d, kGround, SourceSpec::DC(0.6));
+  ckt.add_vsource("VG", g, kGround, SourceSpec::DC(0.8));
+  ckt.add_vsource("VS", s, kGround, SourceSpec::DC(0.1));
+  ckt.add_mosfet("M1", d, g, s, nch());
+  const DcResult dc = dc_operating_point(ckt);
+  ASSERT_TRUE(dc.converged);
+  linalg::DenseMatrix cmat;
+  assemble_capacitance(ckt, dc.x, cmat);
+  const std::size_t rows[3] = {ckt.node_unknown(g), ckt.node_unknown(d),
+                               ckt.node_unknown(s)};
+  for (const std::size_t col : rows) {
+    double sum = 0.0;
+    for (const std::size_t row : rows) sum += cmat(row, col);
+    EXPECT_NEAR(sum, 0.0, 1e-22);
+  }
+}
+
+}  // namespace
+}  // namespace mivtx::spice

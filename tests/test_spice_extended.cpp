@@ -1,0 +1,168 @@
+// Extended SPICE elements: inductors (DC short, RL/RLC transients, AC
+// resonance) and controlled sources (E/G), including parser coverage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "spice/ac.h"
+#include "spice/parser.h"
+#include "spice/transient.h"
+#include "waveform/measure.h"
+
+namespace mivtx::spice {
+namespace {
+
+TEST(Inductor, DcActsAsShort) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in"), mid = ckt.node("mid");
+  ckt.add_vsource("V1", in, kGround, SourceSpec::DC(2.0));
+  ckt.add_resistor("R1", in, mid, 1000.0);
+  ckt.add_inductor("L1", mid, kGround, 1e-6);
+  const DcResult r = dc_operating_point(ckt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(solution_voltage(ckt, r.x, mid), 0.0, 1e-9);
+  // Branch current through the inductor: 2 V / 1 kOhm.
+  EXPECT_NEAR(r.x[ckt.branch_unknown(ckt.element("L1"))], 2e-3, 1e-9);
+}
+
+TEST(Inductor, RlStepCurrentRise) {
+  // Series R-L driven by a step: i(t) = (V/R)(1 - exp(-t R/L)).
+  const double r = 100.0, l = 1e-6;  // tau = 10 ns
+  Circuit ckt;
+  const NodeId in = ckt.node("in"), mid = ckt.node("mid");
+  ckt.add_vsource("VIN", in, kGround,
+                  SourceSpec::Pwl({{1e-9, 0.0}, {1.0000001e-9, 1.0}}));
+  ckt.add_resistor("R1", in, mid, r);
+  ckt.add_inductor("L1", mid, kGround, l);
+  TransientOptions opts;
+  opts.t_stop = 60e-9;
+  opts.reltol = 1e-5;
+  const TransientResult tr = transient(ckt, opts);
+  ASSERT_TRUE(tr.ok) << tr.error;
+  const double tau = l / r;
+  // v(mid) = V exp(-t/tau) after the step; check at one and three taus.
+  for (double dt : {tau, 3.0 * tau}) {
+    const double expect = std::exp(-dt / tau);
+    EXPECT_NEAR(tr.v("mid").sample(1e-9 + dt), expect, 5e-3) << dt;
+  }
+}
+
+TEST(Inductor, RlcRingingFrequency) {
+  // Underdamped series RLC: ringing frequency ~ 1/(2 pi sqrt(LC)).
+  const double l = 1e-6, c = 1e-12, r = 50.0;  // f0 ~ 159 MHz, Q ~ 20
+  Circuit ckt;
+  const NodeId in = ckt.node("in"), mid = ckt.node("mid"),
+               out = ckt.node("out");
+  ckt.add_vsource("VIN", in, kGround,
+                  SourceSpec::Pwl({{1e-9, 0.0}, {1.0000001e-9, 1.0}}));
+  ckt.add_resistor("R1", in, mid, r);
+  ckt.add_inductor("L1", mid, out, l);
+  ckt.add_capacitor("C1", out, kGround, c);
+  TransientOptions opts;
+  opts.t_stop = 40e-9;
+  opts.reltol = 1e-5;
+  const TransientResult tr = transient(ckt, opts);
+  ASSERT_TRUE(tr.ok) << tr.error;
+  // Measure the period between the first two upward crossings of 1.0 (the
+  // settled value) after the step.
+  const auto crossings =
+      waveform::find_crossings(tr.v("out"), 1.0, waveform::EdgeKind::kRise);
+  ASSERT_GE(crossings.size(), 2u);
+  const double period = crossings[1].time - crossings[0].time;
+  const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(l * c));
+  EXPECT_NEAR(1.0 / period, f0, 0.05 * f0);
+}
+
+TEST(Inductor, AcResonanceOfSeriesRlc) {
+  const double l = 1e-6, c = 1e-12, r = 50.0;
+  const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(l * c));
+  Circuit ckt;
+  const NodeId in = ckt.node("in"), mid = ckt.node("mid");
+  ckt.add_vsource("VIN", in, kGround, SourceSpec::DC(0.0));
+  ckt.add_resistor("R1", in, mid, r);
+  ckt.add_inductor("L1", mid, ckt.node("cap"), l);
+  ckt.add_capacitor("C1", ckt.find_node("cap"), kGround, c);
+  const AcResult ac = ac_analysis(ckt, "VIN", {f0 / 10.0, f0, f0 * 10.0});
+  ASSERT_TRUE(ac.ok);
+  // At resonance the L-C reactances cancel: the full source drop appears
+  // across R, so |V(cap)| = |Z_C| / R = Q.
+  const double q = std::sqrt(l / c) / r;
+  EXPECT_NEAR(ac.magnitude("cap", 1), q, 0.01 * q);
+  // Off resonance the response is much smaller.
+  EXPECT_LT(ac.magnitude("cap", 2), 0.2 * q);
+}
+
+TEST(Vcvs, AmplifiesDifferentialInput) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a"), b = ckt.node("b"), out = ckt.node("out");
+  ckt.add_vsource("VA", a, kGround, SourceSpec::DC(0.30));
+  ckt.add_vsource("VB", b, kGround, SourceSpec::DC(0.10));
+  ckt.add_vcvs("E1", out, kGround, a, b, 5.0);
+  ckt.add_resistor("RL", out, kGround, 1e3);
+  const DcResult r = dc_operating_point(ckt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(solution_voltage(ckt, r.x, out), 1.0, 1e-9);
+}
+
+TEST(Vccs, InjectsProportionalCurrent) {
+  Circuit ckt;
+  const NodeId c = ckt.node("c"), out = ckt.node("out");
+  ckt.add_vsource("VC", c, kGround, SourceSpec::DC(0.5));
+  // gm = 2 mS controlled by v(c): pulls 1 mA out of `out` into ground.
+  ckt.add_vccs("G1", out, kGround, c, kGround, 2e-3);
+  ckt.add_resistor("RB", out, kGround, 500.0);
+  ckt.add_isource("IB", kGround, out, SourceSpec::DC(3e-3));
+  const DcResult r = dc_operating_point(ckt);
+  ASSERT_TRUE(r.converged);
+  // KCL at out: 3 mA in = v/500 + 2e-3 * 0.5  ->  v = (3m - 1m)*500 = 1 V.
+  EXPECT_NEAR(solution_voltage(ckt, r.x, out), 1.0, 1e-9);
+}
+
+TEST(Vcvs, IdealOpAmpFollowerViaLargeGain) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in"), out = ckt.node("out");
+  ckt.add_vsource("VIN", in, kGround, SourceSpec::DC(0.7));
+  // E with huge gain, negative input tied to the output: follower.
+  ckt.add_vcvs("E1", out, kGround, in, out, 1e6);
+  ckt.add_resistor("RL", out, kGround, 1e3);
+  const DcResult r = dc_operating_point(ckt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(solution_voltage(ckt, r.x, out), 0.7, 1e-5);
+}
+
+TEST(Parser, ParsesLegElements) {
+  const std::string net = R"(rlc with deps
+VIN in 0 DC 1.0
+R1 in mid 50
+L1 mid cap 1u
+C1 cap 0 1p
+E1 amp 0 cap 0 3.0
+G1 0 sink amp 0 1m
+Rsink sink 0 100
+.end
+)";
+  const ParsedNetlist p = parse_netlist(net);
+  EXPECT_EQ(p.circuit.element("L1").kind, ElementKind::kInductor);
+  EXPECT_DOUBLE_EQ(p.circuit.element("L1").value, 1e-6);
+  EXPECT_EQ(p.circuit.element("E1").kind, ElementKind::kVcvs);
+  EXPECT_DOUBLE_EQ(p.circuit.element("E1").value, 3.0);
+  EXPECT_EQ(p.circuit.element("G1").kind, ElementKind::kVccs);
+  // Branch unknowns: VIN, L1, E1.
+  EXPECT_EQ(p.circuit.num_branches(), 3u);
+  const DcResult r = dc_operating_point(p.circuit);
+  ASSERT_TRUE(r.converged);
+  // DC: inductor short, cap open -> v(cap) = 1, amp = 3.
+  EXPECT_NEAR(
+      solution_voltage(p.circuit, r.x, p.circuit.find_node("amp")), 3.0,
+      1e-6);
+}
+
+TEST(Parser, LegErrors) {
+  EXPECT_THROW(parse_netlist("t\nL1 a 0\n.end\n"), Error);
+  EXPECT_THROW(parse_netlist("t\nE1 a 0 b\n.end\n"), Error);
+  EXPECT_THROW(parse_netlist("t\nG1 a 0 b 0\n.end\n"), Error);
+}
+
+}  // namespace
+}  // namespace mivtx::spice

@@ -1,0 +1,180 @@
+// Netlist text parser and source specifications.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "spice/parser.h"
+#include "spice/source.h"
+
+namespace mivtx::spice {
+namespace {
+
+TEST(Source, DcValue) {
+  const SourceSpec s = SourceSpec::DC(1.5);
+  EXPECT_DOUBLE_EQ(s.value(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(s.value(1e-9), 1.5);
+}
+
+TEST(Source, PulseShape) {
+  PulseSpec p;
+  p.v1 = 0.0;
+  p.v2 = 1.0;
+  p.delay = 1e-9;
+  p.rise = 1e-10;
+  p.fall = 2e-10;
+  p.width = 5e-10;
+  const SourceSpec s = SourceSpec::Pulse(p);
+  EXPECT_DOUBLE_EQ(s.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(0.9e-9), 0.0);
+  EXPECT_NEAR(s.value(1.05e-9), 0.5, 1e-12);    // mid-rise
+  EXPECT_DOUBLE_EQ(s.value(1.3e-9), 1.0);       // plateau
+  EXPECT_NEAR(s.value(1.7e-9), 0.5, 1e-12);     // mid-fall
+  EXPECT_DOUBLE_EQ(s.value(3e-9), 0.0);
+}
+
+TEST(Source, PulsePeriodic) {
+  PulseSpec p;
+  p.v1 = 0.0;
+  p.v2 = 1.0;
+  p.delay = 0.0;
+  p.rise = 1e-10;
+  p.fall = 1e-10;
+  p.width = 3e-10;
+  p.period = 1e-9;
+  const SourceSpec s = SourceSpec::Pulse(p);
+  EXPECT_NEAR(s.value(0.2e-9), s.value(1.2e-9), 1e-12);
+  EXPECT_NEAR(s.value(0.05e-9), s.value(2.05e-9), 1e-12);
+}
+
+TEST(Source, PwlInterpolatesAndClamps) {
+  const SourceSpec s = SourceSpec::Pwl({{1.0, 0.0}, {2.0, 10.0}, {4.0, 10.0}});
+  EXPECT_DOUBLE_EQ(s.value(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.value(3.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.value(9.0), 10.0);
+  EXPECT_THROW(SourceSpec::Pwl({{1.0, 0.0}, {1.0, 1.0}}), Error);
+  EXPECT_THROW(SourceSpec::Pwl({}), Error);
+}
+
+TEST(Source, SinValue) {
+  const SourceSpec s = SourceSpec::Sin(0.5, 0.25, 1e6);
+  EXPECT_NEAR(s.value(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(s.value(0.25e-6), 0.75, 1e-9);
+}
+
+TEST(Source, Breakpoints) {
+  PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 1;
+  p.delay = 1e-9;
+  p.rise = 1e-10;
+  p.fall = 1e-10;
+  p.width = 5e-10;
+  const SourceSpec s = SourceSpec::Pulse(p);
+  std::vector<double> bp;
+  s.collect_breakpoints(1e-8, bp);
+  ASSERT_EQ(bp.size(), 4u);
+  EXPECT_DOUBLE_EQ(bp[0], 1e-9);
+  EXPECT_DOUBLE_EQ(bp[1], 1.1e-9);
+  EXPECT_DOUBLE_EQ(bp[2], 1.6e-9);
+  EXPECT_DOUBLE_EQ(bp[3], 1.7e-9);
+  bp.clear();
+  SourceSpec::DC(1.0).collect_breakpoints(1e-8, bp);
+  EXPECT_TRUE(bp.empty());
+}
+
+TEST(Parser, FullInverterNetlist) {
+  const std::string net = R"(my inverter
+* a comment line
+.model nch nmos LEVEL=70 VTH0=0.35 L=24n W=192n
+.model pch pmos LEVEL=70 VTH0=-0.35 L=24n W=192n U0=0.012
+VDD vdd 0 DC 1.0
+VIN in 0 PULSE(0 1 100p 10p 10p 400p)
+M1 out in 0 nch
+M2 out in vdd pch
+C1 out 0 1f
+R1 out mid 3
+.tran 1p 1n
+.end
+)";
+  const ParsedNetlist p = parse_netlist(net);
+  EXPECT_EQ(p.title, "my inverter");
+  EXPECT_EQ(p.circuit.elements().size(), 6u);
+  EXPECT_EQ(p.circuit.num_vsources(), 2u);
+  ASSERT_EQ(p.directives.size(), 1u);
+  EXPECT_EQ(p.directives[0], ".tran 1p 1n");
+  const Element& m1 = p.circuit.element("M1");
+  EXPECT_EQ(m1.kind, ElementKind::kMosfet);
+  EXPECT_EQ(m1.model.polarity, bsimsoi::Polarity::kNmos);
+  EXPECT_DOUBLE_EQ(m1.model.l, 24e-9);
+  const Element& vin = p.circuit.element("VIN");
+  EXPECT_EQ(vin.source.kind, SourceKind::kPulse);
+  EXPECT_DOUBLE_EQ(vin.source.pulse.delay, 100e-12);
+  const Element& c1 = p.circuit.element("C1");
+  EXPECT_DOUBLE_EQ(c1.value, 1e-15);
+}
+
+TEST(Parser, ContinuationLines) {
+  const std::string net = R"(title
+VIN in 0
++ PULSE(0 1
++ 100p 10p 10p 400p)
+R1 in 0 50
+.end
+)";
+  const ParsedNetlist p = parse_netlist(net);
+  const Element& vin = p.circuit.element("VIN");
+  EXPECT_EQ(vin.source.kind, SourceKind::kPulse);
+  EXPECT_DOUBLE_EQ(vin.source.pulse.width, 400e-12);
+}
+
+TEST(Parser, InstanceParameterOverride) {
+  const std::string net = R"(title
+.model nch nmos LEVEL=70 VTH0=0.35 W=192n
+V1 d 0 DC 1.0
+M1 d d 0 nch W=96n NF=2
+.end
+)";
+  const ParsedNetlist p = parse_netlist(net);
+  const Element& m1 = p.circuit.element("M1");
+  EXPECT_DOUBLE_EQ(m1.model.w, 96e-9);
+  EXPECT_EQ(m1.model.nf, 2);
+  EXPECT_DOUBLE_EQ(m1.model.vth0, 0.35);  // inherited
+}
+
+TEST(Parser, DollarAndSemicolonComments) {
+  const std::string net = "t\nR1 a 0 10 $ inline\nR2 a 0 20 ; also\n.end\n";
+  const ParsedNetlist p = parse_netlist(net);
+  EXPECT_EQ(p.circuit.elements().size(), 2u);
+}
+
+TEST(Parser, ModelBeforeOrAfterUseBothWork) {
+  const std::string net = R"(title
+M1 d g 0 late
+V1 d 0 1.0
+V2 g 0 1.0
+.model late nmos LEVEL=70 VTH0=0.3
+.end
+)";
+  const ParsedNetlist p = parse_netlist(net);
+  EXPECT_DOUBLE_EQ(p.circuit.element("M1").model.vth0, 0.3);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_netlist("t\nR1 a 0\n.end\n"), Error);       // short R
+  EXPECT_THROW(parse_netlist("t\nM1 d g 0 nope\n.end\n"), Error);  // no model
+  EXPECT_THROW(parse_netlist("t\nX1 a b sub\n.end\n"), Error);   // unsupported
+  EXPECT_THROW(parse_netlist("t\nV1 a 0 PULSE(0 1)\n.end\n"), Error);
+  EXPECT_THROW(parse_netlist(""), Error);
+  EXPECT_THROW(parse_netlist("+cont\n.end\n"), Error);
+}
+
+TEST(Parser, StopsAtEnd) {
+  const std::string net = "t\nR1 a 0 10\n.end\nR2 a 0 20\n";
+  const ParsedNetlist p = parse_netlist(net);
+  EXPECT_EQ(p.circuit.elements().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mivtx::spice

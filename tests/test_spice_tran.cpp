@@ -1,0 +1,180 @@
+// Transient analysis: integrator accuracy against analytic RC solutions,
+// breakpoint handling, stiff-parasitic robustness (BDF2 regression), and
+// cell-level delay sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bsimsoi/params.h"
+#include "common/error.h"
+#include "spice/parser.h"
+#include "spice/transient.h"
+#include "waveform/measure.h"
+
+namespace mivtx::spice {
+namespace {
+
+// RC low-pass driven by a voltage step via PWL.
+Circuit rc_step(double r, double c, double t_step) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in"), out = ckt.node("out");
+  ckt.add_vsource("VIN", in, kGround,
+                  SourceSpec::Pwl({{t_step, 0.0}, {t_step * 1.0000001, 1.0}}));
+  ckt.add_resistor("R1", in, out, r);
+  ckt.add_capacitor("C1", out, kGround, c);
+  return ckt;
+}
+
+TEST(Transient, RcStepMatchesAnalytic) {
+  const double r = 1e3, c = 1e-12, tau = r * c;  // 1 ns
+  const Circuit ckt = rc_step(r, c, 1e-10);
+  TransientOptions opts;
+  opts.t_stop = 5e-9;
+  opts.reltol = 1e-5;
+  const TransientResult tr = transient(ckt, opts);
+  ASSERT_TRUE(tr.ok) << tr.error;
+  const auto& out = tr.v("out");
+  for (double t : {0.5e-9, 1e-9, 2e-9, 4e-9}) {
+    const double exact = 1.0 - std::exp(-(t - 1e-10) / tau);
+    EXPECT_NEAR(out.sample(t), exact, 2e-3) << t;
+  }
+  // Before the step: flat zero.
+  EXPECT_NEAR(out.sample(0.5e-10), 0.0, 1e-9);
+}
+
+TEST(Transient, RcSinSteadyStateAmplitude) {
+  // 1 kOhm / 1 pF driven at f = 1/(2 pi tau): gain 1/sqrt(2).
+  const double r = 1e3, c = 1e-12;
+  const double f = 1.0 / (2.0 * M_PI * r * c);
+  Circuit ckt;
+  const NodeId in = ckt.node("in"), out = ckt.node("out");
+  ckt.add_vsource("VIN", in, kGround, SourceSpec::Sin(0.0, 1.0, f));
+  ckt.add_resistor("R1", in, out, r);
+  ckt.add_capacitor("C1", out, kGround, c);
+  TransientOptions opts;
+  opts.t_stop = 12.0 / f;  // several periods
+  opts.reltol = 1e-5;
+  const TransientResult tr = transient(ckt, opts);
+  ASSERT_TRUE(tr.ok) << tr.error;
+  // Measure amplitude over the last two periods.
+  const auto win = tr.v("out").window(10.0 / f, 12.0 / f);
+  const double amp = 0.5 * (win.max_value() - win.min_value());
+  EXPECT_NEAR(amp, 1.0 / std::sqrt(2.0), 0.02);
+}
+
+TEST(Transient, ChargeConservationCapacitiveDivider) {
+  // Step into two series caps: final voltages split by 1/C ratio.
+  Circuit ckt;
+  const NodeId in = ckt.node("in"), mid = ckt.node("mid");
+  ckt.add_vsource("VIN", in, kGround,
+                  SourceSpec::Pwl({{1e-10, 0.0}, {2e-10, 1.0}}));
+  ckt.add_capacitor("C1", in, mid, 1e-15);
+  ckt.add_capacitor("C2", mid, kGround, 3e-15);
+  TransientOptions opts;
+  opts.t_stop = 1e-9;
+  const TransientResult tr = transient(ckt, opts);
+  ASSERT_TRUE(tr.ok) << tr.error;
+  // V(mid) = C1/(C1+C2) * 1 V = 0.25 V.
+  EXPECT_NEAR(tr.v("mid").sample(1e-9), 0.25, 5e-3);
+}
+
+TEST(Transient, BreakpointsAreHitExactly) {
+  const Circuit ckt = rc_step(1e3, 1e-12, 3.33e-10);
+  TransientOptions opts;
+  opts.t_stop = 1e-9;
+  const TransientResult tr = transient(ckt, opts);
+  ASSERT_TRUE(tr.ok);
+  // A sample must exist exactly at the PWL corner.
+  const auto& times = tr.v("out").times();
+  const bool found = std::any_of(times.begin(), times.end(), [](double t) {
+    return std::fabs(t - 3.33e-10) < 1e-18;
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(Transient, StiffParasiticNetworkDoesNotUnderflow) {
+  // Regression for the trapezoidal-ringing failure: femtosecond RC time
+  // constants (ohm-scale parasitics against fF caps) beside nanosecond
+  // edges must integrate cleanly with BDF2.
+  Circuit ckt;
+  const NodeId in = ckt.node("in"), a = ckt.node("a"), b = ckt.node("b");
+  PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 1;
+  p.delay = 2e-10;
+  p.rise = 2e-11;
+  p.fall = 2e-11;
+  p.width = 4e-10;
+  ckt.add_vsource("VIN", in, kGround, SourceSpec::Pulse(p));
+  ckt.add_resistor("R1", in, a, 3.0);   // tau = 3 fs against 1 fF
+  ckt.add_capacitor("Ca", a, kGround, 1e-15);
+  ckt.add_resistor("R2", a, b, 7.0);
+  ckt.add_capacitor("Cb", b, kGround, 1e-15);
+  TransientOptions opts;
+  opts.t_stop = 1e-9;
+  opts.h_max = 1e-11;
+  const TransientResult tr = transient(ckt, opts);
+  ASSERT_TRUE(tr.ok) << tr.error;
+  // b follows the pulse (fs delays are invisible at this scale).
+  EXPECT_NEAR(tr.v("b").sample(0.5e-9), 1.0, 1e-2);
+  EXPECT_NEAR(tr.v("b").sample(0.1e-9), 0.0, 1e-2);
+}
+
+TEST(Transient, InverterDelayAndSwing) {
+  const std::string net = R"(inv
+.model nch nmos LEVEL=70 VTH0=0.35 L=24n W=192n U0=0.03
+.model pch pmos LEVEL=70 VTH0=-0.35 L=24n W=192n U0=0.012
+VDD vdd 0 DC 1.0
+VIN in 0 PULSE(0 1 200p 20p 20p 400p)
+M1 out in 0 nch
+M2 out in vdd pch
+C1 out 0 1f
+.end
+)";
+  const ParsedNetlist p = parse_netlist(net);
+  TransientOptions opts;
+  opts.t_stop = 1.2e-9;
+  const TransientResult tr = transient(p.circuit, opts);
+  ASSERT_TRUE(tr.ok) << tr.error;
+  const auto d_hl = waveform::propagation_delay(
+      tr.v("in"), tr.v("out"), 0.5, 0.5, 0.0, waveform::EdgeKind::kRise,
+      waveform::EdgeKind::kFall);
+  const auto d_lh = waveform::propagation_delay(
+      tr.v("in"), tr.v("out"), 0.5, 0.5, 6e-10, waveform::EdgeKind::kFall,
+      waveform::EdgeKind::kRise);
+  ASSERT_TRUE(d_hl.has_value());
+  ASSERT_TRUE(d_lh.has_value());
+  EXPECT_GT(*d_hl, 1e-13);
+  EXPECT_LT(*d_hl, 5e-11);
+  // PMOS is weaker: rising output slower than falling output.
+  EXPECT_GT(*d_lh, *d_hl);
+  // Rails respected within overshoot margin.
+  EXPECT_GT(tr.v("out").min_value(), -0.1);
+  EXPECT_LT(tr.v("out").max_value(), 1.1);
+  // Supply delivers net charge (current into circuit -> negative branch).
+  EXPECT_LT(tr.i("VDD").average(0.0, 1.2e-9), 0.0);
+}
+
+TEST(Transient, ResultAccessorsThrowOnUnknownNames) {
+  const Circuit ckt = rc_step(1e3, 1e-12, 1e-10);
+  TransientOptions opts;
+  opts.t_stop = 1e-9;
+  const TransientResult tr = transient(ckt, opts);
+  ASSERT_TRUE(tr.ok);
+  EXPECT_THROW(tr.v("nonexistent"), Error);
+  EXPECT_THROW(tr.i("nonexistent"), Error);
+  EXPECT_NO_THROW(tr.i("VIN"));
+}
+
+TEST(Transient, StepBudgetGuards) {
+  const Circuit ckt = rc_step(1e3, 1e-12, 1e-10);
+  TransientOptions opts;
+  opts.t_stop = 1e-9;
+  opts.max_steps = 3;  // absurdly small
+  const TransientResult tr = transient(ckt, opts);
+  EXPECT_FALSE(tr.ok);
+  EXPECT_NE(tr.error.find("budget"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mivtx::spice

@@ -1,0 +1,151 @@
+// Waveform container and measurement routines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "waveform/measure.h"
+#include "waveform/waveform.h"
+
+namespace mivtx::waveform {
+namespace {
+
+Waveform ramp(double t0, double t1, double v0, double v1, std::size_t n) {
+  Waveform w;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = static_cast<double>(i) / (n - 1);
+    w.append(t0 + f * (t1 - t0), v0 + f * (v1 - v0));
+  }
+  return w;
+}
+
+TEST(Waveform, AppendEnforcesMonotonicTime) {
+  Waveform w;
+  w.append(0.0, 1.0);
+  w.append(1.0, 2.0);
+  EXPECT_THROW(w.append(1.0, 3.0), mivtx::Error);
+  EXPECT_THROW(w.append(0.5, 3.0), mivtx::Error);
+}
+
+TEST(Waveform, CtorValidates) {
+  EXPECT_THROW(Waveform({0.0, 0.0}, {1.0, 2.0}), mivtx::Error);
+  EXPECT_THROW(Waveform({0.0}, {1.0, 2.0}), mivtx::Error);
+}
+
+TEST(Waveform, SampleInterpolatesAndClamps) {
+  const Waveform w({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+  EXPECT_DOUBLE_EQ(w.sample(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(w.sample(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(w.sample(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.sample(99.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(w.max_value(), 10.0);
+}
+
+TEST(Waveform, IntegralOfRampExact) {
+  const Waveform w = ramp(0.0, 2.0, 0.0, 4.0, 21);
+  // Integral of a 0->4 ramp over [0,2] is 4.
+  EXPECT_NEAR(w.integral(0.0, 2.0), 4.0, 1e-12);
+  EXPECT_NEAR(w.average(0.0, 2.0), 2.0, 1e-12);
+  // Partial window [0.5, 1.5]: integral of 2t over that window = 2.
+  EXPECT_NEAR(w.integral(0.5, 1.5), 2.0, 1e-12);
+}
+
+TEST(Waveform, IntegralLinearity) {
+  Rng rng(3);
+  Waveform a, b;
+  double t = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    a.append(t, rng.uniform(-1, 1));
+    b.append(t, rng.uniform(-1, 1));
+    t += rng.uniform(0.01, 0.1);
+  }
+  const Waveform s = Waveform::combine(a, b, [](double x, double y) { return x + y; });
+  EXPECT_NEAR(s.integral(a.t_begin(), a.t_end()),
+              a.integral(a.t_begin(), a.t_end()) +
+                  b.integral(b.t_begin(), b.t_end()),
+              1e-12);
+}
+
+TEST(Waveform, RmsOfConstant) {
+  const Waveform w({0.0, 1.0, 3.0}, {2.0, 2.0, 2.0});
+  EXPECT_NEAR(w.rms(0.0, 3.0), 2.0, 1e-12);
+}
+
+TEST(Waveform, WindowRestricts) {
+  const Waveform w = ramp(0.0, 1.0, 0.0, 1.0, 11);
+  const Waveform win = w.window(0.25, 0.75);
+  EXPECT_DOUBLE_EQ(win.t_begin(), 0.25);
+  EXPECT_DOUBLE_EQ(win.t_end(), 0.75);
+  EXPECT_NEAR(win.sample(0.5), 0.5, 1e-12);
+}
+
+TEST(Measure, FindCrossingsBothEdges) {
+  // Triangle 0 -> 1 -> 0 over [0, 2].
+  const Waveform w({0.0, 1.0, 2.0}, {0.0, 1.0, 0.0});
+  const auto rises = find_crossings(w, 0.5, EdgeKind::kRise);
+  const auto falls = find_crossings(w, 0.5, EdgeKind::kFall);
+  ASSERT_EQ(rises.size(), 1u);
+  ASSERT_EQ(falls.size(), 1u);
+  EXPECT_NEAR(rises[0].time, 0.5, 1e-12);
+  EXPECT_NEAR(falls[0].time, 1.5, 1e-12);
+  EXPECT_EQ(find_crossings(w, 0.5, EdgeKind::kAny).size(), 2u);
+  EXPECT_TRUE(find_crossings(w, 2.0).empty());
+}
+
+TEST(Measure, NextCrossingAfter) {
+  const Waveform w({0.0, 1.0, 2.0, 3.0, 4.0}, {0.0, 1.0, 0.0, 1.0, 0.0});
+  const auto c = next_crossing(w, 0.5, 1.6, EdgeKind::kRise);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(c->time, 2.5, 1e-12);
+  EXPECT_FALSE(next_crossing(w, 0.5, 3.9, EdgeKind::kRise).has_value());
+}
+
+TEST(Measure, PropagationDelay) {
+  const Waveform in({0.0, 1.0, 2.0}, {0.0, 1.0, 1.0});
+  const Waveform out({0.0, 1.2, 2.2, 3.0}, {1.0, 1.0, 0.0, 0.0});
+  const auto d = propagation_delay(in, out, 0.5, 0.5, 0.0, EdgeKind::kRise,
+                                   EdgeKind::kFall);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(*d, 1.2, 1e-12);  // in crosses at 0.5, out falls at 1.7
+  EXPECT_FALSE(propagation_delay(in, out, 0.5, 0.5, 0.0, EdgeKind::kFall,
+                                 EdgeKind::kAny)
+                   .has_value());
+}
+
+TEST(Measure, TransitionTime) {
+  const Waveform w = ramp(0.0, 1.0, 0.0, 1.0, 101);
+  const auto tr = transition_time(w, 0.0, 1.0, 0.0, EdgeKind::kRise);
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_NEAR(*tr, 0.8, 1e-9);  // 10% to 90% of a unit ramp
+  EXPECT_FALSE(transition_time(w, 0.0, 1.0, 0.0, EdgeKind::kFall).has_value());
+}
+
+TEST(Measure, SupplyPowerAndEnergy) {
+  // Constant 2 mA draw at 1 V for 1 us: 2 mW, 2 nJ.
+  const Waveform i({0.0, 1e-6}, {2e-3, 2e-3});
+  EXPECT_NEAR(average_supply_power(i, 1.0, 0.0, 1e-6), 2e-3, 1e-15);
+  EXPECT_NEAR(supply_energy(i, 1.0, 0.0, 1e-6), 2e-9, 1e-20);
+}
+
+TEST(Waveform, CombineUnionGrid) {
+  const Waveform a({0.0, 2.0}, {0.0, 2.0});
+  const Waveform b({0.0, 1.0, 2.0}, {1.0, 1.0, 1.0});
+  const Waveform s =
+      Waveform::combine(a, b, [](double x, double y) { return x * y; });
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_NEAR(s.sample(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(s.sample(2.0), 2.0, 1e-12);
+}
+
+TEST(Waveform, DegenerateWindowsThrow) {
+  const Waveform w({0.0, 1.0}, {0.0, 1.0});
+  EXPECT_THROW(w.average(0.5, 0.5), mivtx::Error);
+  EXPECT_THROW(w.integral(1.0, 0.0), mivtx::Error);
+  Waveform empty;
+  EXPECT_THROW(empty.sample(0.0), mivtx::Error);
+}
+
+}  // namespace
+}  // namespace mivtx::waveform
