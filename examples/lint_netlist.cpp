@@ -1,0 +1,97 @@
+// lint_netlist - static analyzer for SPICE netlists over mivtx::lint.
+//
+// Parses each netlist and runs the full rule set (solvability, connectivity
+// and declaration hygiene; see DESIGN.md for the rule catalog).  Parse
+// failures are reported as `parse-error` diagnostics rather than aborting
+// the run, so a directory sweep sees every bad file.
+//
+// Usage: lint_netlist [options] <netlist.sp>...
+//   --json             machine-readable output (one JSON document per file)
+//   --suppress <rule>  drop findings of a rule id (repeatable)
+//   --no-solve-check   skip the pre-solve singularity rules
+//   --quiet            only print files with findings
+//
+// Exit status: 0 all files clean (warnings allowed), 1 any error-severity
+// finding, 2 usage or I/O problem.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "lint/circuit_rules.h"
+#include "spice/parser.h"
+
+using namespace mivtx;
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quiet = false;
+  lint::CircuitLintOptions opts;
+  std::vector<std::string> suppressed;
+  std::vector<const char*> files;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--no-solve-check") == 0) {
+      opts.solvability = false;
+    } else if (std::strcmp(argv[i], "--suppress") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--suppress needs a rule id\n");
+        return 2;
+      }
+      suppressed.push_back(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: lint_netlist [--json] [--quiet] [--suppress <rule>] "
+                 "[--no-solve-check] <netlist.sp>...\n");
+    return 2;
+  }
+
+  bool any_errors = false;
+  for (const char* path : files) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+
+    lint::DiagnosticSink sink;
+    for (const std::string& rule : suppressed) sink.suppress(rule);
+
+    spice::ParsedNetlist parsed;
+    bool parsed_ok = true;
+    try {
+      parsed = spice::parse_netlist(buffer.str());
+    } catch (const Error& e) {
+      parsed_ok = false;
+      sink.error("parse-error", e.what());
+    }
+    if (parsed_ok) lint::lint_netlist(parsed, sink, opts);
+
+    any_errors = any_errors || sink.has_errors();
+    if (json) {
+      std::printf("{\"file\":\"%s\",\"report\":%s}\n", path,
+                  sink.render_json().c_str());
+    } else if (!quiet || !sink.diagnostics().empty()) {
+      std::printf("%s: %zu error(s), %zu warning(s)\n", path,
+                  sink.num_errors(), sink.num_warnings());
+      std::fputs(sink.render_text().c_str(), stdout);
+    }
+  }
+  return any_errors ? 1 : 0;
+}

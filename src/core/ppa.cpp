@@ -5,6 +5,8 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "common/strings.h"
+#include "lint/cell_rules.h"
+#include "lint/circuit_rules.h"
 #include "spice/transient.h"
 #include "waveform/measure.h"
 
@@ -66,14 +68,30 @@ CellPpa PpaEngine::measure(cells::CellType type,
   CellPpa result;
   result.type = type;
   result.impl = impl;
-  {
-    const layout::CellLayout l = layout_.layout_cell(type, impl);
-    result.area = l.cell_area();
-  }
+  const layout::CellLayout cell_layout = layout_.layout_cell(type, impl);
+  result.area = cell_layout.cell_area();
 
   const cells::ModelSet models = model_set(impl);
   const auto input_names = cells::cell_input_names(type);
   const double vdd = opts_.vdd;
+
+  // Pre-simulation gate: a floating gate, a KOZ violation or a singular
+  // netlist must fail loudly here, not corrupt the Fig. 5 averages with a
+  // quietly-diverged transient.
+  if (opts_.lint) {
+    lint::DiagnosticSink sink;
+    lint::lint_topology(cells::cell_topology(type), sink);
+    lint::lint_layout(cell_layout, layout_.rules(), sink);
+    const cells::CellNetlist probe =
+        cells::build_cell(type, impl, models, opts_.parasitics, vdd);
+    lint::lint_circuit(probe.circuit, sink);
+    if (sink.has_errors()) {
+      MIVTX_WARN << cells::cell_name(type) << "/" << cells::impl_name(impl)
+                 << " rejected by lint gate:\n"
+                 << sink.render_text();
+      return result;  // ok == false
+    }
+  }
   const double t_stop =
       opts_.t_delay + opts_.t_width + opts_.t_delay + opts_.t_width;
 

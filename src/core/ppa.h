@@ -46,6 +46,12 @@ struct PpaOptions {
   double t_width = 500e-12;  // pulse width
   double h_max = 10e-12;     // transient step cap
   cells::ParasiticSpec parasitics;
+  // Mandatory pre-simulation gate: lint the cell topology, the rule-driven
+  // layout (KOZ checks), and the generated netlist before spending any
+  // transient time on it.  A cell failing the gate comes back with
+  // ok == false and no measurements.  Opt out for deliberately ill-formed
+  // experiments.
+  bool lint = true;
 };
 
 class PpaEngine {

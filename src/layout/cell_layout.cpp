@@ -17,8 +17,8 @@ int count_gate_nets(cells::CellType type) {
   return static_cast<int>(nets.size());
 }
 
-double LayoutModel::row_width(std::size_t n_fets, bool shared_diffusion) const {
-  const DesignRules& r = rules_;
+double diffusion_row_width(const DesignRules& r, std::size_t n_fets,
+                           bool shared_diffusion) {
   const double device_pitch = 2.0 * r.spacer + r.gate_length + r.sd_length;
   if (shared_diffusion) {
     return r.sd_length + static_cast<double>(n_fets) * device_pitch;
@@ -28,6 +28,10 @@ double LayoutModel::row_width(std::size_t n_fets, bool shared_diffusion) const {
   const double full = r.sd_length + device_pitch;  // sd | sp g sp | sd
   return static_cast<double>(n_fets) * full +
          static_cast<double>(n_fets > 0 ? n_fets - 1 : 0) * r.m1_space;
+}
+
+double external_miv_width(const DesignRules& r) {
+  return std::max(r.miv_keepout_edge() - r.miv_keepout_overlap, 0.0);
 }
 
 CellLayout LayoutModel::layout_cell(cells::CellType type,
@@ -43,7 +47,7 @@ CellLayout LayoutModel::layout_cell(cells::CellType type,
   out.impl = impl;
 
   // Bottom tier: p-type devices, always traditional FDSOI.
-  out.bottom.width = row_width(n_p, /*shared_diffusion=*/true);
+  out.bottom.width = diffusion_row_width(r, n_p, /*shared_diffusion=*/true);
   out.bottom.height = r.device_width;
 
   const double via_stem = r.miv_size + 2.0 * r.miv_liner;  // 27 nm
@@ -51,13 +55,8 @@ CellLayout LayoutModel::layout_cell(cells::CellType type,
   // Effective width an external-contact MIV adds to the 2D top tier: the
   // keep-out square partially overlaps the contact landing area already
   // present beside the gate (the via lands on the gate strap), so only the
-  // non-overlapped part costs area.  The overlap allowance is a calibration
-  // constant: exact mask geometry is not recoverable from the paper, so it
-  // is set such that the 14-cell average area deltas reproduce the reported
-  // -9 % / -18 % / -12 % (see bench_fig5c_area).
-  const double kKeepoutOverlap = 43e-9;
-  const double ext_miv_width =
-      std::max(r.miv_keepout_edge() - kKeepoutOverlap, 0.0);
+  // non-overlapped part costs area (see DesignRules::miv_keepout_overlap).
+  const double ext_miv_width = external_miv_width(r);
   // M1 allowance per S/D contact strap of the wide 1-channel device (§III:
   // "Source and Drain contacts should have minimum M1 spacing").
   const double kOneChStrap = 16e-9;
@@ -65,7 +64,7 @@ CellLayout LayoutModel::layout_cell(cells::CellType type,
   switch (impl) {
     case Implementation::k2D: {
       out.external_mivs = count_gate_nets(type);
-      out.top.width = row_width(n_n, true) +
+      out.top.width = diffusion_row_width(r, n_n, true) +
                       static_cast<double>(out.external_mivs) * ext_miv_width;
       // Contact landing track above the row for the via strip.
       out.top.height = r.device_width + r.m1_width;
@@ -74,15 +73,15 @@ CellLayout LayoutModel::layout_cell(cells::CellType type,
     case Implementation::kMiv1Channel: {
       // Via fused with the gate end: stem extends the row; the wide single
       // channel needs an M1 allowance per device for the S/D contact strap.
-      out.top.width =
-          row_width(n_n, true) + static_cast<double>(n_n) * kOneChStrap;
+      out.top.width = diffusion_row_width(r, n_n, true) +
+                      static_cast<double>(n_n) * kOneChStrap;
       out.top.height = r.device_width + via_stem;
       break;
     }
     case Implementation::kMiv2Channel: {
       // Two W/2 channels flank the central via row; contacts land on
       // opposite sides so no strap allowance is needed.
-      out.top.width = row_width(n_n, true);
+      out.top.width = diffusion_row_width(r, n_n, true);
       out.top.height = r.device_width + via_stem;
       break;
     }
@@ -91,7 +90,7 @@ CellLayout LayoutModel::layout_cell(cells::CellType type,
       // (two quarter-width channels stacked around the stem), but the
       // split S/D regions need per-device M1 strap separation in the row
       // plus a strap track above it.
-      out.top.width = row_width(n_n, true) +
+      out.top.width = diffusion_row_width(r, n_n, true) +
                       static_cast<double>(n_n) * r.m1_space;
       out.top.height = 2.0 * (r.device_width / 4.0) + via_stem +
                        2.0 * r.spacer + r.m1_width;

@@ -58,10 +58,18 @@ class LayoutModel {
                          cells::Implementation impl) const;
 
  private:
-  // Width of a diffusion row of n transistors with shared S/D.
-  double row_width(std::size_t n_fets, bool shared_diffusion) const;
   DesignRules rules_;
 };
+
+// Width of a diffusion row of n transistors (shared S/D regions, or isolated
+// full-footprint devices with an M1 separation between neighbours).  Shared
+// by the layout model and the lint KOZ checks (lint/cell_rules.h).
+double diffusion_row_width(const DesignRules& rules, std::size_t n_fets,
+                           bool shared_diffusion);
+
+// Effective top-tier width one external-contact MIV adds in the 2D
+// implementation: the keep-out square minus the landing-area overlap.
+double external_miv_width(const DesignRules& rules);
 
 // Count of nets feeding at least one n-type gate (the external-contact MIVs
 // a 2D implementation pays keep-out for).

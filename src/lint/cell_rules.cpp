@@ -1,0 +1,193 @@
+#include "lint/cell_rules.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cells/celltypes.h"
+#include "common/strings.h"
+
+namespace mivtx::lint {
+
+namespace {
+
+// Net adjacency built from the fet list; BFS reachability over it.
+class NetGraph {
+ public:
+  void add_edge(const std::string& a, const std::string& b) {
+    adj_[a].push_back(b);
+    adj_[b].push_back(a);
+  }
+
+  bool reaches(const std::string& from, const std::string& to) const {
+    if (from == to) return true;
+    std::vector<std::string> stack{from};
+    std::map<std::string, bool> seen{{from, true}};
+    while (!stack.empty()) {
+      const std::string net = stack.back();
+      stack.pop_back();
+      const auto it = adj_.find(net);
+      if (it == adj_.end()) continue;
+      for (const std::string& next : it->second) {
+        if (next == to) return true;
+        if (!seen[next]) {
+          seen[next] = true;
+          stack.push_back(next);
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>> adj_;
+};
+
+}  // namespace
+
+std::size_t lint_topology(const cells::CellTopology& topo,
+                          DiagnosticSink& sink) {
+  const std::size_t errors_before = sink.num_errors();
+  const std::string cell = cells::cell_name(topo.type);
+
+  // Channel graphs (per polarity and combined) and the influence graph,
+  // where a gate net additionally connects to the channel it controls.
+  NetGraph pull_up;
+  NetGraph pull_down;
+  NetGraph influence;
+  for (const cells::MosInstance& m : topo.fets) {
+    (m.pmos ? pull_up : pull_down).add_edge(m.drain, m.source);
+    influence.add_edge(m.drain, m.source);
+    influence.add_edge(m.gate, m.drain);
+    influence.add_edge(m.gate, m.source);
+  }
+
+  for (const std::string& input : topo.inputs) {
+    const bool drives_gate =
+        std::any_of(topo.fets.begin(), topo.fets.end(),
+                    [&](const cells::MosInstance& m) {
+                      return m.gate == input;
+                    });
+    if (!drives_gate) {
+      sink.error("cell-floating-input",
+                 "input pin '" + input + "' drives no gate terminal", cell,
+                 input);
+    } else if (!influence.reaches(input, topo.output)) {
+      sink.error("cell-disconnected",
+                 "input pin '" + input +
+                     "' has no gate->channel influence path to output '" +
+                     topo.output + "'",
+                 cell, input);
+    }
+  }
+
+  if (!pull_up.reaches(topo.output, "vdd")) {
+    sink.error("cell-output-unreachable",
+               "output '" + topo.output +
+                   "' has no pull-up path to vdd through PMOS channels",
+               cell, topo.output);
+  }
+  if (!pull_down.reaches(topo.output, "gnd")) {
+    sink.error("cell-output-unreachable",
+               "output '" + topo.output +
+                   "' has no pull-down path to gnd through NMOS channels",
+               cell, topo.output);
+  }
+
+  return sink.num_errors() - errors_before;
+}
+
+std::size_t lint_layout(const layout::CellLayout& cl,
+                        const layout::DesignRules& rules,
+                        DiagnosticSink& sink) {
+  const std::size_t errors_before = sink.num_errors();
+  const std::string cell = std::string(cells::cell_name(cl.type)) + "/" +
+                           cells::impl_name(cl.impl);
+  // Dimensions are tens of nanometers; 1e-15 m absorbs float round-off.
+  constexpr double kEps = 1e-15;
+
+  const struct {
+    const char* what;
+    double value;
+  } dims[] = {
+      {"top tier width", cl.top.width},
+      {"top tier height", cl.top.height},
+      {"bottom tier width", cl.bottom.width},
+      {"bottom tier height", cl.bottom.height},
+      {"cell width", cl.cell_width},
+      {"cell height", cl.cell_height},
+  };
+  bool geometry_ok = true;
+  for (const auto& d : dims) {
+    if (!(d.value > 0.0)) {
+      sink.error("negative-geometry",
+                 format("%s is %g m; all dimensions must be positive",
+                        d.what, d.value),
+                 cell);
+      geometry_ok = false;
+    }
+  }
+  if (!geometry_ok) return sink.num_errors() - errors_before;
+
+  if (cl.impl == cells::Implementation::k2D) {
+    const int expected = layout::count_gate_nets(cl.type);
+    if (cl.external_mivs != expected) {
+      sink.warning("koz-external-miv",
+                   format("2D layout reports %d external-contact MIVs but "
+                          "the topology has %d gate nets",
+                          cl.external_mivs, expected),
+                   cell);
+    }
+    // Every external-contact MIV pays a keep-out square beside the gate it
+    // lands on; the top tier must be wide enough to host the device row
+    // plus all keep-out allowances.
+    const std::size_t n_n = cells::cell_topology(cl.type).num_nmos();
+    const double required =
+        layout::diffusion_row_width(rules, n_n, /*shared_diffusion=*/true) +
+        static_cast<double>(cl.external_mivs) *
+            layout::external_miv_width(rules);
+    if (cl.top.width + kEps < required) {
+      sink.error(
+          "koz-violation",
+          format("top tier width %.4g nm cannot host %d MIV keep-out "
+                 "square(s) beside the device row (needs %.4g nm; keep-out "
+                 "edge %.4g nm)",
+                 cl.top.width * 1e9, cl.external_mivs, required * 1e9,
+                 rules.miv_keepout_edge() * 1e9),
+          cell);
+    }
+  } else if (cl.external_mivs != 0) {
+    sink.error("koz-external-miv",
+               format("MIV-transistor implementation reports %d "
+                      "keep-out-paying external MIVs; the via is the device "
+                      "and pays no keep-out",
+                      cl.external_mivs),
+               cell);
+  }
+
+  const double tier_h = std::max(cl.top.height, cl.bottom.height);
+  if (cl.cell_height + kEps < tier_h + 2.0 * rules.rail_track) {
+    sink.error("rail-overflow",
+               format("cell height %.4g nm leaves less than the %.4g nm "
+                      "supply-rail track on each side of the %.4g nm device "
+                      "row",
+                      cl.cell_height * 1e9, rules.rail_track * 1e9,
+                      tier_h * 1e9),
+               cell);
+  }
+  const double tier_w = std::max(cl.top.width, cl.bottom.width);
+  if (cl.cell_width + kEps < tier_w + 2.0 * rules.cell_margin) {
+    sink.error("margin-overflow",
+               format("cell width %.4g nm leaves less than the %.4g nm "
+                      "boundary margin on each side of the %.4g nm device "
+                      "row",
+                      cl.cell_width * 1e9, rules.cell_margin * 1e9,
+                      tier_w * 1e9),
+               cell);
+  }
+
+  return sink.num_errors() - errors_before;
+}
+
+}  // namespace mivtx::lint

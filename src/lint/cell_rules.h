@@ -1,0 +1,41 @@
+// Static analysis of standard-cell topologies and rule-driven layouts.
+//
+// lint_topology checks the transistor-level schematic (cells/topology.h):
+//   cell-floating-input      (error) an input pin drives no gate terminal
+//   cell-disconnected        (error) an input has no structural influence
+//                            path (gate -> channel hops) to the output
+//   cell-output-unreachable  (error) the output has no pull-up path to vdd
+//                            through PMOS channels, or no pull-down path to
+//                            gnd through NMOS channels
+//
+// lint_layout checks a CellLayout against the process DesignRules
+// (the KOZ rule class of Vemuri & Tida, ISQED'23):
+//   negative-geometry   (error) a tier or cell dimension is negative/zero
+//   koz-violation       (error) the 2D top tier is too narrow to host its
+//                        external-contact MIVs' keep-out squares
+//   koz-external-miv    (error) a MIV-transistor implementation reports
+//                        keep-out-paying external MIVs (it has none: the
+//                        via *is* the device); also warns when a 2D layout's
+//                        external MIV count disagrees with the topology
+//   rail-overflow       (error) devices intrude into the supply-rail tracks
+//   margin-overflow     (error) devices intrude into the cell side margins
+#pragma once
+
+#include <cstddef>
+
+#include "cells/topology.h"
+#include "layout/cell_layout.h"
+#include "layout/rules.h"
+#include "lint/diagnostics.h"
+
+namespace mivtx::lint {
+
+// Both return the number of errors added to `sink`.
+std::size_t lint_topology(const cells::CellTopology& topo,
+                          DiagnosticSink& sink);
+
+std::size_t lint_layout(const layout::CellLayout& cell_layout,
+                        const layout::DesignRules& rules,
+                        DiagnosticSink& sink);
+
+}  // namespace mivtx::lint

@@ -1,0 +1,95 @@
+#include "lint/circuit_rules.h"
+
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mivtx::lint {
+
+namespace {
+
+using spice::Circuit;
+using spice::Element;
+using spice::ElementKind;
+using spice::NodeId;
+
+std::size_t nodes_used(const Element& e) {
+  switch (e.kind) {
+    case ElementKind::kVcvs:
+    case ElementKind::kVccs:
+      return 4;
+    case ElementKind::kMosfet:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+}  // namespace
+
+std::size_t lint_circuit(const Circuit& circuit, DiagnosticSink& sink,
+                         const CircuitLintOptions& opts) {
+  const std::size_t errors_before = sink.num_errors();
+
+  if (opts.solvability) check_solvable(circuit, sink);
+
+  // Terminal incidence per node; a non-ground node touched exactly once is
+  // dangling (a capacitor to an otherwise unused node, a typo'd net, ...).
+  std::vector<std::size_t> degree(circuit.num_nodes(), 0);
+  std::vector<const Element*> last_touch(circuit.num_nodes(), nullptr);
+  for (const Element& e : circuit.elements()) {
+    const std::size_t used = nodes_used(e);
+    for (std::size_t k = 0; k < used; ++k) {
+      ++degree[e.nodes[k]];
+      last_touch[e.nodes[k]] = &e;
+    }
+  }
+  for (NodeId n = 1; n < circuit.num_nodes(); ++n) {
+    if (degree[n] == 1) {
+      sink.warning("dangling-node",
+                   "node is referenced by exactly one element terminal",
+                   last_touch[n]->name, circuit.node_name(n));
+    }
+  }
+
+  for (const Element& e : circuit.elements()) {
+    if (e.kind != ElementKind::kMosfet) continue;
+    const NodeId d = e.nodes[0];
+    const NodeId g = e.nodes[1];
+    const NodeId s = e.nodes[2];
+    if (d == spice::kGround && g == spice::kGround && s == spice::kGround) {
+      sink.warning("mos-all-ground",
+                   "all three MOSFET terminals are grounded; the device "
+                   "contributes nothing",
+                   e.name);
+    } else if (d == s) {
+      sink.warning("mos-shorted",
+                   "drain and source are the same node '" +
+                       circuit.node_name(d) + "'; the channel is shorted",
+                   e.name, circuit.node_name(d));
+    }
+  }
+
+  return sink.num_errors() - errors_before;
+}
+
+std::size_t lint_netlist(const spice::ParsedNetlist& netlist,
+                         DiagnosticSink& sink,
+                         const CircuitLintOptions& opts) {
+  sink.set_source_lines(&netlist.element_lines);
+  const std::size_t errors_before = sink.num_errors();
+
+  lint_circuit(netlist.circuit, sink, opts);
+
+  for (const spice::ModelDecl& m : netlist.models) {
+    if (!m.referenced) {
+      sink.warning("unreferenced-model",
+                   "model card '" + m.name + "' is never instantiated", "",
+                   "", m.line);
+    }
+  }
+
+  return sink.num_errors() - errors_before;
+}
+
+}  // namespace mivtx::lint

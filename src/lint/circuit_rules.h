@@ -1,0 +1,42 @@
+// Full static analysis over a spice::Circuit / parsed netlist.
+//
+// lint_circuit layers connectivity-style rules on top of the pre-solve
+// solvability rules of lint/presolve.h:
+//   dangling-node       (warning) node referenced by exactly one element
+//                       terminal — usually a typo'd net name
+//   mos-shorted         (warning) MOSFET with drain and source on the same
+//                       node (the channel can never do anything)
+//   mos-all-ground      (warning) MOSFET with all three terminals grounded
+//
+// lint_netlist additionally attaches parser line numbers to every finding
+// (via ParsedNetlist::element_lines) and checks declaration hygiene:
+//   unreferenced-model  (warning) .model card no device instantiates
+#pragma once
+
+#include <cstddef>
+
+#include "lint/diagnostics.h"
+#include "lint/presolve.h"
+#include "spice/circuit.h"
+#include "spice/parser.h"
+
+namespace mivtx::lint {
+
+struct CircuitLintOptions {
+  // Include the pre-solve singularity rules (lint/presolve.h).  Off when the
+  // caller has already gated on check_solvable and only wants style rules.
+  bool solvability = true;
+};
+
+// Returns the number of errors added to `sink`.
+std::size_t lint_circuit(const spice::Circuit& circuit, DiagnosticSink& sink,
+                         const CircuitLintOptions& opts = {});
+
+// Circuit rules plus netlist-level declaration checks, with line numbers.
+// Installs netlist.element_lines as the sink's line map (and leaves it
+// installed, so `netlist` must outlive later reports into `sink`).
+std::size_t lint_netlist(const spice::ParsedNetlist& netlist,
+                         DiagnosticSink& sink,
+                         const CircuitLintOptions& opts = {});
+
+}  // namespace mivtx::lint

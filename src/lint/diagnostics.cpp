@@ -1,0 +1,147 @@
+#include "lint/diagnostics.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace mivtx::lint {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void json_escape_into(std::ostringstream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << format("\\u%04x", c);
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string render_text(const std::vector<Diagnostic>& diags) {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags) {
+    os << severity_name(d.severity) << "[" << d.rule << "]";
+    if (!d.element.empty()) os << " " << d.element;
+    if (!d.node.empty()) os << " node '" << d.node << "'";
+    if (d.line > 0) os << " (line " << d.line << ")";
+    os << ": " << d.message << "\n";
+  }
+  return os.str();
+}
+
+std::string render_json(const std::vector<Diagnostic>& diags) {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) ++errors;
+    if (d.severity == Severity::kWarning) ++warnings;
+  }
+  std::ostringstream os;
+  os << "{\"errors\":" << errors << ",\"warnings\":" << warnings
+     << ",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diags) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"severity\":\"" << severity_name(d.severity) << "\",\"rule\":\"";
+    json_escape_into(os, d.rule);
+    os << "\",\"message\":\"";
+    json_escape_into(os, d.message);
+    os << "\"";
+    if (!d.element.empty()) {
+      os << ",\"element\":\"";
+      json_escape_into(os, d.element);
+      os << "\"";
+    }
+    if (!d.node.empty()) {
+      os << ",\"node\":\"";
+      json_escape_into(os, d.node);
+      os << "\"";
+    }
+    if (d.line > 0) os << ",\"line\":" << d.line;
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void DiagnosticSink::report(Diagnostic d) {
+  if (is_suppressed(d.rule)) return;
+  if (d.severity == Severity::kError && downgraded_.count(d.rule) > 0) {
+    d.severity = Severity::kWarning;
+  }
+  if (d.line == 0 && !d.element.empty() && source_lines_ != nullptr) {
+    const auto it = source_lines_->find(to_lower(d.element));
+    if (it != source_lines_->end()) d.line = it->second;
+  }
+  diags_.push_back(std::move(d));
+}
+
+void DiagnosticSink::error(std::string rule, std::string message,
+                           std::string element, std::string node, int line) {
+  report(Diagnostic{Severity::kError, std::move(rule), std::move(message),
+                    std::move(element), std::move(node), line});
+}
+
+void DiagnosticSink::warning(std::string rule, std::string message,
+                             std::string element, std::string node, int line) {
+  report(Diagnostic{Severity::kWarning, std::move(rule), std::move(message),
+                    std::move(element), std::move(node), line});
+}
+
+void DiagnosticSink::info(std::string rule, std::string message,
+                          std::string element, std::string node, int line) {
+  report(Diagnostic{Severity::kInfo, std::move(rule), std::move(message),
+                    std::move(element), std::move(node), line});
+}
+
+std::size_t DiagnosticSink::num_errors() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::size_t DiagnosticSink::num_warnings() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == Severity::kWarning) ++n;
+  }
+  return n;
+}
+
+}  // namespace mivtx::lint

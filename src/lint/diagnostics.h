@@ -1,0 +1,81 @@
+// Structured diagnostics for the static analyzers (lint/*).
+//
+// A Diagnostic is one finding of one rule: severity, a stable kebab-case
+// rule id (the unit of enable/suppress and of test assertions), a
+// human-readable message, and optional anchors (element name, node/net name,
+// 1-based netlist line).  DiagnosticSink collects findings, applies per-rule
+// suppression/downgrading at report time, resolves line numbers through an
+// optional element->line map, and renders either a plain-text listing or a
+// machine-readable JSON document.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mivtx::lint {
+
+enum class Severity { kInfo, kWarning, kError };
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string rule;     // stable rule id, e.g. "no-dc-path"
+  std::string message;  // human-readable explanation
+  std::string element;  // offending element / device / cell ("" if n/a)
+  std::string node;     // offending node or net ("" if n/a)
+  int line = 0;         // 1-based source line (0 = unknown)
+};
+
+// Render `diags` one finding per line:
+//   error[no-dc-path] node 'x' (line 4): no DC path to ground
+std::string render_text(const std::vector<Diagnostic>& diags);
+// Render as {"errors":N,"warnings":N,"diagnostics":[{...},...]}.
+std::string render_json(const std::vector<Diagnostic>& diags);
+
+class DiagnosticSink {
+ public:
+  // Per-rule controls; both apply to findings reported afterwards.
+  void suppress(const std::string& rule) { suppressed_.insert(rule); }
+  // Demote a rule's errors to warnings (keeps the finding visible without
+  // failing a gate).
+  void downgrade(const std::string& rule) { downgraded_.insert(rule); }
+  bool is_suppressed(const std::string& rule) const {
+    return suppressed_.count(rule) > 0;
+  }
+
+  // Resolve line numbers for findings whose `element` is set but whose
+  // `line` is 0.  Keys are lower-cased element names; the map must outlive
+  // the reporting calls (the sink does not copy it).
+  void set_source_lines(const std::unordered_map<std::string, int>* lines) {
+    source_lines_ = lines;
+  }
+
+  void report(Diagnostic d);
+  void error(std::string rule, std::string message, std::string element = "",
+             std::string node = "", int line = 0);
+  void warning(std::string rule, std::string message, std::string element = "",
+               std::string node = "", int line = 0);
+  void info(std::string rule, std::string message, std::string element = "",
+            std::string node = "", int line = 0);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  std::size_t num_errors() const;
+  std::size_t num_warnings() const;
+  bool has_errors() const { return num_errors() > 0; }
+  void clear() { diags_.clear(); }
+
+  std::string render_text() const { return lint::render_text(diags_); }
+  std::string render_json() const { return lint::render_json(diags_); }
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::set<std::string> suppressed_;
+  std::set<std::string> downgraded_;
+  const std::unordered_map<std::string, int>* source_lines_ = nullptr;
+};
+
+}  // namespace mivtx::lint

@@ -1,0 +1,211 @@
+#include "lint/presolve.h"
+
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "common/strings.h"
+#include "spice/circuit.h"
+
+namespace mivtx::lint {
+
+namespace {
+
+using spice::Circuit;
+using spice::Element;
+using spice::ElementKind;
+using spice::NodeId;
+
+// Number of node slots an element actually uses (see Element::nodes).
+std::size_t nodes_used(const Element& e) {
+  switch (e.kind) {
+    case ElementKind::kVcvs:
+    case ElementKind::kVccs:
+      return 4;
+    case ElementKind::kMosfet:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+const char* value_unit(ElementKind kind) {
+  switch (kind) {
+    case ElementKind::kResistor:
+      return "ohm";
+    case ElementKind::kCapacitor:
+      return "farad";
+    default:
+      return "henry";
+  }
+}
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t a) {
+    while (parent_[a] != a) {
+      parent_[a] = parent_[parent_[a]];  // path halving
+      a = parent_[a];
+    }
+    return a;
+  }
+
+  // False if a and b were already in the same set.
+  bool merge(std::size_t a, std::size_t b) {
+    const std::size_t ra = find(a);
+    const std::size_t rb = find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::size_t check_solvable(const Circuit& circuit, DiagnosticSink& sink) {
+  const std::size_t errors_before = sink.num_errors();
+  const std::vector<Element>& elements = circuit.elements();
+
+  // --- nonpositive-value: R/C/L must be finite and positive ---------------
+  for (const Element& e : elements) {
+    if (e.kind != ElementKind::kResistor &&
+        e.kind != ElementKind::kCapacitor && e.kind != ElementKind::kInductor)
+      continue;
+    if (!std::isfinite(e.value) || e.value <= 0.0) {
+      sink.error("nonpositive-value",
+                 format("value %g %s must be positive and finite", e.value,
+                        value_unit(e.kind)),
+                 e.name);
+    }
+  }
+
+  // --- no-ground: nothing references node 0 at all ------------------------
+  bool touches_ground = false;
+  for (const Element& e : elements) {
+    const std::size_t used = nodes_used(e);
+    for (std::size_t k = 0; k < used; ++k) {
+      if (e.nodes[k] == spice::kGround) touches_ground = true;
+    }
+  }
+  if (!touches_ground && circuit.num_nodes() > 1) {
+    sink.error("no-ground",
+               "no element terminal is connected to ground (node 0); every "
+               "node voltage is floating");
+  }
+
+  // --- vsource-shorted / vsource-loop / inductor-loop ----------------------
+  // V, E and L branches each pin the voltage across a node pair (L pins it
+  // to 0 at DC).  Two such branches across the same pair — any cycle in the
+  // V/E/L edge graph — make the MNA matrix singular.
+  {
+    UnionFind uf(circuit.num_nodes());
+    for (const Element& e : elements) {
+      if (e.kind != ElementKind::kVoltageSource &&
+          e.kind != ElementKind::kVcvs && e.kind != ElementKind::kInductor)
+        continue;
+      const bool is_l = e.kind == ElementKind::kInductor;
+      if (e.nodes[0] == e.nodes[1]) {
+        if (is_l) {
+          sink.error("inductor-loop",
+                     "inductor shorted on itself (both terminals on node '" +
+                         circuit.node_name(e.nodes[0]) + "')",
+                     e.name, circuit.node_name(e.nodes[0]));
+        } else {
+          sink.error("vsource-shorted",
+                     "both terminals on node '" +
+                         circuit.node_name(e.nodes[0]) +
+                         "'; the branch equation is unsatisfiable",
+                     e.name, circuit.node_name(e.nodes[0]));
+        }
+        continue;
+      }
+      if (!uf.merge(e.nodes[0], e.nodes[1])) {
+        sink.error(is_l ? "inductor-loop" : "vsource-loop",
+                   std::string(is_l ? "inductor" : "voltage source") +
+                       " closes a loop of V/E/L branches; the node-pair "
+                       "voltage is over-constrained (singular at DC)",
+                   e.name);
+      }
+    }
+  }
+
+  // --- no-dc-path / isource-cutset -----------------------------------------
+  // DC-conducting edges: R, L, V branches; a VCVS output pair; a MOSFET
+  // channel (drain-source).  Capacitors are open at DC; current sources and
+  // VCCS outputs conduct but do not constrain a voltage.  Every node must
+  // reach ground through conducting edges, otherwise its rows of the DC
+  // matrix are rank-deficient (or, with a current source injecting into the
+  // cut component, KCL is unsatisfiable).
+  if (touches_ground) {
+    UnionFind uf(circuit.num_nodes());
+    for (const Element& e : elements) {
+      switch (e.kind) {
+        case ElementKind::kResistor:
+        case ElementKind::kInductor:
+        case ElementKind::kVoltageSource:
+        case ElementKind::kVcvs:
+          uf.merge(e.nodes[0], e.nodes[1]);
+          break;
+        case ElementKind::kMosfet:
+          uf.merge(e.nodes[0], e.nodes[2]);  // drain - source
+          break;
+        case ElementKind::kCapacitor:
+        case ElementKind::kCurrentSource:
+        case ElementKind::kVccs:
+          break;
+      }
+    }
+
+    const std::size_t ground_root = uf.find(spice::kGround);
+    std::map<std::size_t, std::vector<NodeId>> floating;  // root -> nodes
+    for (NodeId n = 1; n < circuit.num_nodes(); ++n) {
+      const std::size_t root = uf.find(n);
+      if (root != ground_root) floating[root].push_back(n);
+    }
+    if (!floating.empty()) {
+      // Components a current source injects into fail KCL outright.
+      std::set<std::size_t> isource_roots;
+      for (const Element& e : elements) {
+        if (e.kind != ElementKind::kCurrentSource &&
+            e.kind != ElementKind::kVccs)
+          continue;
+        isource_roots.insert(uf.find(e.nodes[0]));
+        isource_roots.insert(uf.find(e.nodes[1]));
+      }
+      for (const auto& [root, nodes] : floating) {
+        std::string names = "'" + circuit.node_name(nodes[0]) + "'";
+        for (std::size_t k = 1; k < nodes.size() && k < 4; ++k) {
+          names += ", '" + circuit.node_name(nodes[k]) + "'";
+        }
+        if (nodes.size() > 4) {
+          names += format(" (+%zu more)", nodes.size() - 4);
+        }
+        if (isource_roots.count(root) > 0) {
+          sink.error("isource-cutset",
+                     "current source drives node(s) " + names +
+                         " which have no DC return path to ground; KCL is "
+                         "unsatisfiable there",
+                     "", circuit.node_name(nodes[0]));
+        } else {
+          sink.error("no-dc-path",
+                     "node(s) " + names +
+                         " have no DC path to ground (capacitor-only cut); "
+                         "the DC operating point is singular",
+                     "", circuit.node_name(nodes[0]));
+        }
+      }
+    }
+  }
+
+  return sink.num_errors() - errors_before;
+}
+
+}  // namespace mivtx::lint

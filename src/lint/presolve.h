@@ -1,0 +1,45 @@
+// Pre-solve structural solvability checks over a spice::Circuit.
+//
+// These are the rules whose violation makes the MNA system singular (or its
+// solution gmin-dependent, i.e. arbitrary), so the DC/transient drivers run
+// them before assembling a matrix and fail fast with a diagnostic instead of
+// a numeric solver error.  Detection is union-find over the element graph —
+// O(n alpha(n)), negligible next to one Newton iteration.
+//
+// Rules emitted (all Severity::kError):
+//   no-ground         circuit has nodes but no element touches ground
+//   no-dc-path        component with no DC path to ground (capacitor-only
+//                     cut: at DC every cap is open, so the component's node
+//                     voltages are unconstrained -> singular matrix rows)
+//   isource-cutset    current source drives a component with no DC return
+//                     path (KCL in that component is unsatisfiable)
+//   vsource-shorted   V or E element with both terminals on the same node
+//   vsource-loop      cycle of V/E branches (two branch equations constrain
+//                     the same node-pair voltage)
+//   inductor-loop     cycle of L branches, possibly through V/E branches
+//                     (at DC an inductor is a 0 V branch: same singularity)
+//   nonpositive-value R/C/L with a zero, negative, or non-finite value
+//
+// This file lives in src/lint/ but is compiled into mivtx_spice so the
+// solver entry points can call it without a library cycle; the full
+// analyzer (lint/circuit_rules.h, library mivtx_lint) layers the style
+// rules on top.
+#pragma once
+
+#include <cstddef>
+
+#include "lint/diagnostics.h"
+
+namespace mivtx::spice {
+class Circuit;
+}  // namespace mivtx::spice
+
+namespace mivtx::lint {
+
+// Appends one diagnostic per violation to `sink`; returns the number of
+// *errors* added (suppressed rules do not count, which is also the opt-out
+// mechanism for individual rules).
+std::size_t check_solvable(const spice::Circuit& circuit,
+                           DiagnosticSink& sink);
+
+}  // namespace mivtx::lint

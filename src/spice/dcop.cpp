@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "linalg/vector_ops.h"
+#include "lint/presolve.h"
 
 namespace mivtx::spice {
 
@@ -69,6 +70,20 @@ DcResult dc_operating_point(const Circuit& circuit,
   const std::size_t n = circuit.system_size();
   DcResult out;
   out.x.assign(n, 0.0);
+
+  // Structural singularities (capacitor-only cuts, V-source loops, ...)
+  // make the Newton ladder fail slowly and confusingly; reject them with a
+  // diagnostic before assembling anything.  Opt out via opts.presolve_lint.
+  if (opts.presolve_lint) {
+    lint::DiagnosticSink sink;
+    if (lint::check_solvable(circuit, sink) > 0) {
+      out.strategy = "lint";
+      out.lint = sink.diagnostics();
+      MIVTX_WARN << "dc_operating_point rejected by pre-solve lint:\n"
+                 << sink.render_text();
+      return out;
+    }
+  }
 
   AssemblyContext ctx;
   ctx.time = 0.0;
@@ -162,6 +177,20 @@ DcSweepResult dc_sweep(Circuit circuit, const std::string& source_name,
   MIVTX_EXPECT(src.kind == ElementKind::kVoltageSource,
                "dc_sweep target must be a voltage source");
 
+  // Gate once up front; the per-point operating points skip the re-check
+  // (the circuit topology does not change across sweep values).
+  NewtonOptions point_opts = opts;
+  point_opts.presolve_lint = false;
+  if (opts.presolve_lint) {
+    lint::DiagnosticSink sink;
+    if (lint::check_solvable(circuit, sink) > 0) {
+      out.lint = sink.diagnostics();
+      MIVTX_WARN << "dc_sweep rejected by pre-solve lint:\n"
+                 << sink.render_text();
+      return out;
+    }
+  }
+
   linalg::Vector x;
   bool have_seed = false;
   AssemblyContext ctx;
@@ -170,14 +199,14 @@ DcSweepResult dc_sweep(Circuit circuit, const std::string& source_name,
     bool converged = false;
     if (have_seed) {
       linalg::Vector xs = x;
-      const NewtonResult r = solve_newton(circuit, ctx, xs, opts);
+      const NewtonResult r = solve_newton(circuit, ctx, xs, point_opts);
       if (r.converged) {
         x = std::move(xs);
         converged = true;
       }
     }
     if (!converged) {
-      const DcResult r = dc_operating_point(circuit, opts);
+      const DcResult r = dc_operating_point(circuit, point_opts);
       if (!r.converged) {
         out.converged = false;
         return out;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "linalg/dense.h"
+#include "lint/diagnostics.h"
 #include "spice/circuit.h"
 #include "spice/mna.h"
 
@@ -21,6 +22,10 @@ struct NewtonOptions {
   double itol = 1e-12;       // absolute branch-current tolerance (A)
   double max_dv = 0.5;       // per-iteration voltage damping clamp (V)
   double residual_tol = 1e-6;  // KCL residual infinity-norm bound (A)
+  // Run lint::check_solvable before assembling the MNA system and fail
+  // fast (strategy "lint", diagnostics in DcResult::lint) on structural
+  // singularities instead of grinding through the continuation ladder.
+  bool presolve_lint = true;
 };
 
 struct NewtonResult {
@@ -38,7 +43,9 @@ struct DcResult {
   bool converged = false;
   linalg::Vector x;          // solution (node voltages + branch currents)
   int total_iterations = 0;
-  std::string strategy;      // "newton", "gmin", "source"
+  std::string strategy;      // "newton", "gmin", "source", or "lint"
+  // Pre-solve findings when strategy == "lint" (converged stays false).
+  std::vector<lint::Diagnostic> lint;
 };
 
 DcResult dc_operating_point(const Circuit& circuit,
@@ -55,6 +62,8 @@ struct DcSweepResult {
   bool converged = false;
   std::vector<double> sweep_values;
   std::vector<linalg::Vector> solutions;  // one per converged sweep value
+  // Pre-solve findings when the sweep was rejected by the lint gate.
+  std::vector<lint::Diagnostic> lint;
 };
 
 // Sweep the DC value of voltage source `source_name` over `values`,

@@ -1,6 +1,7 @@
 #include "spice/parser.h"
 
 #include <cctype>
+#include <map>
 
 #include "common/error.h"
 #include "common/strings.h"
@@ -105,6 +106,81 @@ SourceSpec parse_source(const std::vector<std::string>& tok, std::size_t from,
   return SourceSpec::DC(parse_spice_number(tok[from]));
 }
 
+// One element line dispatched by its lead character.
+void parse_element(Circuit& ckt, char lead, const std::string& line,
+                   const std::vector<std::string>& tok, int no,
+                   const std::map<std::string, bsimsoi::SoiModelCard>& models,
+                   ParsedNetlist& out,
+                   const std::map<std::string, std::size_t>& model_decl_index) {
+  switch (lead) {
+    case 'r': {
+      if (tok.size() < 4) parse_fail(no, "R needs: name n1 n2 value");
+      ckt.add_resistor(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
+                       parse_spice_number(tok[3]));
+      break;
+    }
+    case 'c': {
+      if (tok.size() < 4) parse_fail(no, "C needs: name n1 n2 value");
+      ckt.add_capacitor(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
+                        parse_spice_number(tok[3]));
+      break;
+    }
+    case 'l': {
+      if (tok.size() < 4) parse_fail(no, "L needs: name n1 n2 value");
+      ckt.add_inductor(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
+                       parse_spice_number(tok[3]));
+      break;
+    }
+    case 'e': {
+      if (tok.size() < 6)
+        parse_fail(no, "E needs: name out+ out- ctrl+ ctrl- gain");
+      ckt.add_vcvs(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
+                   ckt.node(tok[3]), ckt.node(tok[4]),
+                   parse_spice_number(tok[5]));
+      break;
+    }
+    case 'g': {
+      if (tok.size() < 6)
+        parse_fail(no, "G needs: name out+ out- ctrl+ ctrl- gm");
+      ckt.add_vccs(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
+                   ckt.node(tok[3]), ckt.node(tok[4]),
+                   parse_spice_number(tok[5]));
+      break;
+    }
+    case 'v': {
+      if (tok.size() < 4) parse_fail(no, "V needs: name n+ n- spec");
+      ckt.add_vsource(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
+                      parse_source(tok, 3, no));
+      break;
+    }
+    case 'i': {
+      if (tok.size() < 4) parse_fail(no, "I needs: name n+ n- spec");
+      ckt.add_isource(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
+                      parse_source(tok, 3, no));
+      break;
+    }
+    case 'm': {
+      if (tok.size() < 5) parse_fail(no, "M needs: name d g s model");
+      const std::string model_key = to_lower(tok[4]);
+      const auto model_it = models.find(model_key);
+      if (model_it == models.end())
+        parse_fail(no, "unknown model: " + tok[4]);
+      out.models[model_decl_index.at(model_key)].referenced = true;
+      bsimsoi::SoiModelCard card = model_it->second;
+      for (std::size_t i = 5; i < tok.size(); ++i) {
+        const auto kv = split(tok[i], "=");
+        if (kv.size() != 2) parse_fail(no, "bad instance param " + tok[i]);
+        card.set(kv[0], parse_spice_number(kv[1]));
+      }
+      ckt.add_mosfet(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
+                     ckt.node(tok[3]), std::move(card));
+      break;
+    }
+    default:
+      parse_fail(no, std::string("unsupported element '") + line[0] + "'");
+  }
+}
+
 }  // namespace
 
 ParsedNetlist parse_netlist(const std::string& text) {
@@ -116,6 +192,7 @@ ParsedNetlist parse_netlist(const std::string& text) {
   // order.  SPICE convention: the first line is the title unless it is a
   // dot-directive (programmatic netlists can start with ".model" etc.).
   std::map<std::string, bsimsoi::SoiModelCard> models;
+  std::map<std::string, std::size_t> model_decl_index;  // key -> out.models
   std::size_t first_element_line = 0;
   if (lines[0].second[0] != '.') {
     out.title = lines[0].second;
@@ -130,7 +207,16 @@ ParsedNetlist parse_netlist(const std::string& text) {
       } catch (const Error& e) {
         parse_fail(no, e.what());
       }
-      models[to_lower(card.name)] = card;
+      const std::string key = to_lower(card.name);
+      const auto dup = model_decl_index.find(key);
+      if (dup != model_decl_index.end()) {
+        parse_fail(no, "duplicate model '" + card.name +
+                           "' (first declared at line " +
+                           std::to_string(out.models[dup->second].line) + ")");
+      }
+      model_decl_index[key] = out.models.size();
+      out.models.push_back(ModelDecl{card.name, no, false});
+      models[key] = card;
     }
   }
 
@@ -146,72 +232,24 @@ ParsedNetlist parse_netlist(const std::string& text) {
     }
     const auto tok = source_tokens(line);
     MIVTX_EXPECT(!tok.empty(), "tokenizer produced nothing");
-    Circuit& ckt = out.circuit;
-    switch (lead) {
-      case 'r': {
-        if (tok.size() < 4) parse_fail(no, "R needs: name n1 n2 value");
-        ckt.add_resistor(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
-                         parse_spice_number(tok[3]));
-        break;
-      }
-      case 'c': {
-        if (tok.size() < 4) parse_fail(no, "C needs: name n1 n2 value");
-        ckt.add_capacitor(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
-                          parse_spice_number(tok[3]));
-        break;
-      }
-      case 'l': {
-        if (tok.size() < 4) parse_fail(no, "L needs: name n1 n2 value");
-        ckt.add_inductor(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
-                         parse_spice_number(tok[3]));
-        break;
-      }
-      case 'e': {
-        if (tok.size() < 6)
-          parse_fail(no, "E needs: name out+ out- ctrl+ ctrl- gain");
-        ckt.add_vcvs(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
-                     ckt.node(tok[3]), ckt.node(tok[4]),
-                     parse_spice_number(tok[5]));
-        break;
-      }
-      case 'g': {
-        if (tok.size() < 6)
-          parse_fail(no, "G needs: name out+ out- ctrl+ ctrl- gm");
-        ckt.add_vccs(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
-                     ckt.node(tok[3]), ckt.node(tok[4]),
-                     parse_spice_number(tok[5]));
-        break;
-      }
-      case 'v': {
-        if (tok.size() < 4) parse_fail(no, "V needs: name n+ n- spec");
-        ckt.add_vsource(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
-                        parse_source(tok, 3, no));
-        break;
-      }
-      case 'i': {
-        if (tok.size() < 4) parse_fail(no, "I needs: name n+ n- spec");
-        ckt.add_isource(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
-                        parse_source(tok, 3, no));
-        break;
-      }
-      case 'm': {
-        if (tok.size() < 5) parse_fail(no, "M needs: name d g s model");
-        const auto model_it = models.find(to_lower(tok[4]));
-        if (model_it == models.end())
-          parse_fail(no, "unknown model: " + tok[4]);
-        bsimsoi::SoiModelCard card = model_it->second;
-        for (std::size_t i = 5; i < tok.size(); ++i) {
-          const auto kv = split(tok[i], "=");
-          if (kv.size() != 2) parse_fail(no, "bad instance param " + tok[i]);
-          card.set(kv[0], parse_spice_number(kv[1]));
-        }
-        ckt.add_mosfet(tok[0], ckt.node(tok[1]), ckt.node(tok[2]),
-                       ckt.node(tok[3]), std::move(card));
-        break;
-      }
-      default:
-        parse_fail(no, std::string("unsupported element '") + line[0] + "'");
+    const std::string element_key = to_lower(tok[0]);
+    const auto prev = out.element_lines.find(element_key);
+    if (prev != out.element_lines.end()) {
+      parse_fail(no, "duplicate element '" + tok[0] +
+                         "' (first defined at line " +
+                         std::to_string(prev->second) + ")");
     }
+    try {
+      parse_element(out.circuit, lead, line, tok, no, models, out,
+                    model_decl_index);
+    } catch (const Error& e) {
+      // Re-wrap construction failures (e.g. a nonpositive R/C/L value) with
+      // the netlist line; already line-stamped failures pass through.
+      const std::string what = e.what();
+      if (what.rfind("netlist line ", 0) == 0) throw;
+      parse_fail(no, what);
+    }
+    out.element_lines[element_key] = no;
   }
   return out;
 }

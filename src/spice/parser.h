@@ -16,19 +16,34 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "spice/circuit.h"
 
 namespace mivtx::spice {
 
+// A .model card declaration, for declaration-hygiene lint rules.
+struct ModelDecl {
+  std::string name;  // as written in the netlist
+  int line = 0;      // 1-based declaration line
+  bool referenced = false;  // some M element instantiates it
+};
+
 struct ParsedNetlist {
   std::string title;
   Circuit circuit;
   std::vector<std::string> directives;
+  // Lower-cased element name -> 1-based netlist line, for diagnostics
+  // (lint::DiagnosticSink::set_source_lines).
+  std::unordered_map<std::string, int> element_lines;
+  // Model cards in declaration order.
+  std::vector<ModelDecl> models;
 };
 
-// Throws mivtx::Error with a line-numbered message on malformed input.
+// Throws mivtx::Error with a line-numbered message on malformed input,
+// including duplicate element names and duplicate .model names (both report
+// the offending and the original line).
 ParsedNetlist parse_netlist(const std::string& text);
 
 }  // namespace mivtx::spice

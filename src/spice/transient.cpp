@@ -56,7 +56,18 @@ TransientResult transient(const Circuit& circuit,
   // --- t = 0 operating point --------------------------------------------
   const DcResult dc = dc_operating_point(circuit, opts.newton);
   if (!dc.converged) {
-    out.error = "DC operating point failed";
+    if (!dc.lint.empty()) {
+      out.lint = dc.lint;
+      std::string rules;
+      for (const lint::Diagnostic& d : dc.lint) {
+        if (d.severity != lint::Severity::kError) continue;
+        if (!rules.empty()) rules += ", ";
+        rules += d.rule;
+      }
+      out.error = "pre-solve lint failed: " + rules;
+    } else {
+      out.error = "DC operating point failed";
+    }
     return out;
   }
   out.newton_iterations += static_cast<std::size_t>(dc.total_iterations);

@@ -28,6 +28,9 @@ struct TransientOptions {
 struct TransientResult {
   bool ok = false;
   std::string error;
+  // Pre-solve findings when the run was rejected by the lint gate (the
+  // t=0 operating point runs lint::check_solvable; see NewtonOptions).
+  std::vector<lint::Diagnostic> lint;
   std::size_t accepted_steps = 0;
   std::size_t rejected_steps = 0;
   std::size_t newton_iterations = 0;

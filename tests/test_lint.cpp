@@ -1,0 +1,589 @@
+// mivtx::lint: diagnostics core, circuit/netlist rules, cell/layout rules,
+// and the pre-solve gates in dcop/transient and the PPA engine.
+//
+// Every rule has at least one positive (clean input stays clean) and one
+// negative (violating input fires exactly that rule) case.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cells/netgen.h"
+#include "cells/topology.h"
+#include "common/error.h"
+#include "core/ppa.h"
+#include "core/reference_cards.h"
+#include "layout/cell_layout.h"
+#include "lint/cell_rules.h"
+#include "lint/circuit_rules.h"
+#include "lint/diagnostics.h"
+#include "lint/presolve.h"
+#include "spice/dcop.h"
+#include "spice/parser.h"
+#include "spice/transient.h"
+
+namespace mivtx::lint {
+namespace {
+
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+using spice::SourceSpec;
+
+std::size_t count_rule(const std::vector<Diagnostic>& diags,
+                       const std::string& rule) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule) ++n;
+  }
+  return n;
+}
+
+bool has_rule(const DiagnosticSink& sink, const std::string& rule) {
+  return count_rule(sink.diagnostics(), rule) > 0;
+}
+
+// V1 drives a grounded R divider: structurally clean by every rule.
+Circuit clean_divider() {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId mid = ckt.node("mid");
+  ckt.add_vsource("V1", in, kGround, SourceSpec::DC(1.0));
+  ckt.add_resistor("R1", in, mid, 1e3);
+  ckt.add_resistor("R2", mid, kGround, 1e3);
+  return ckt;
+}
+
+bsimsoi::SoiModelCard test_nmos_card() {
+  return core::reference_model_library().card(core::Variant::kTraditional,
+                                              core::Polarity::kNmos);
+}
+
+cells::ModelSet test_models(cells::Implementation impl) {
+  core::PpaEngine engine(core::reference_model_library());
+  return engine.model_set(impl);
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics core
+
+TEST(Diagnostics, SinkCountsBySeverity) {
+  DiagnosticSink sink;
+  EXPECT_FALSE(sink.has_errors());
+  sink.error("rule-a", "first");
+  sink.warning("rule-b", "second");
+  sink.info("rule-c", "third");
+  EXPECT_EQ(sink.num_errors(), 1u);
+  EXPECT_EQ(sink.num_warnings(), 1u);
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, SuppressDropsAndDowngradeDemotes) {
+  DiagnosticSink sink;
+  sink.suppress("rule-a");
+  sink.downgrade("rule-b");
+  sink.error("rule-a", "dropped entirely");
+  sink.error("rule-b", "demoted to warning");
+  sink.error("rule-c", "stays an error");
+  EXPECT_EQ(sink.diagnostics().size(), 2u);
+  EXPECT_EQ(sink.num_errors(), 1u);
+  EXPECT_EQ(sink.num_warnings(), 1u);
+  EXPECT_FALSE(has_rule(sink, "rule-a"));
+}
+
+TEST(Diagnostics, TextRenderingShowsSeverityRuleAndAnchors) {
+  DiagnosticSink sink;
+  sink.error("no-dc-path", "node floats", "C1", "x", 7);
+  const std::string text = sink.render_text();
+  EXPECT_NE(text.find("error[no-dc-path]"), std::string::npos);
+  EXPECT_NE(text.find("C1"), std::string::npos);
+  EXPECT_NE(text.find("node 'x'"), std::string::npos);
+  EXPECT_NE(text.find("line 7"), std::string::npos);
+}
+
+TEST(Diagnostics, JsonRenderingIsWellFormedAndEscaped) {
+  DiagnosticSink sink;
+  sink.error("rule-a", "quote \" backslash \\ newline \n done", "E1", "n1", 3);
+  sink.warning("rule-b", "plain");
+  const std::string json = sink.render_json();
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"rule-a\""), std::string::npos);
+  EXPECT_NE(json.find("\\\" backslash \\\\ newline \\n"), std::string::npos);
+  EXPECT_NE(json.find("\"line\":3"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single-line document
+}
+
+// ---------------------------------------------------------------------------
+// Pre-solve solvability rules
+
+TEST(PresolveLint, CleanDividerPasses) {
+  DiagnosticSink sink;
+  EXPECT_EQ(check_solvable(clean_divider(), sink), 0u);
+  EXPECT_TRUE(sink.diagnostics().empty());
+}
+
+TEST(PresolveLint, NoGround) {
+  Circuit ckt;
+  ckt.add_vsource("V1", ckt.node("a"), ckt.node("b"), SourceSpec::DC(1.0));
+  ckt.add_resistor("R1", ckt.node("a"), ckt.node("b"), 1e3);
+  DiagnosticSink sink;
+  EXPECT_GT(check_solvable(ckt, sink), 0u);
+  EXPECT_TRUE(has_rule(sink, "no-ground"));
+}
+
+TEST(PresolveLint, NoDcPathOnCapacitorOnlyNode) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId x = ckt.node("x");
+  ckt.add_vsource("V1", in, kGround, SourceSpec::DC(1.0));
+  ckt.add_capacitor("C1", in, x, 1e-15);
+  ckt.add_capacitor("C2", x, kGround, 1e-15);
+  DiagnosticSink sink;
+  EXPECT_EQ(check_solvable(ckt, sink), 1u);
+  EXPECT_TRUE(has_rule(sink, "no-dc-path"));
+  EXPECT_EQ(sink.diagnostics()[0].node, "x");
+
+  // A DC leak resistor across C2 restores solvability.
+  ckt.add_resistor("Rleak", x, kGround, 1e9);
+  DiagnosticSink clean;
+  EXPECT_EQ(check_solvable(ckt, clean), 0u);
+}
+
+TEST(PresolveLint, IsourceCutset) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.add_resistor("R1", a, kGround, 1e3);
+  ckt.add_isource("I1", a, b, SourceSpec::DC(1e-3));
+  DiagnosticSink sink;
+  EXPECT_EQ(check_solvable(ckt, sink), 1u);
+  EXPECT_TRUE(has_rule(sink, "isource-cutset"));
+
+  ckt.add_resistor("R2", b, kGround, 1e3);
+  DiagnosticSink clean;
+  EXPECT_EQ(check_solvable(ckt, clean), 0u);
+}
+
+TEST(PresolveLint, VsourceShorted) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_resistor("R1", a, kGround, 1e3);
+  ckt.add_vsource("V1", a, a, SourceSpec::DC(0.5));
+  DiagnosticSink sink;
+  EXPECT_GT(check_solvable(ckt, sink), 0u);
+  EXPECT_TRUE(has_rule(sink, "vsource-shorted"));
+  EXPECT_EQ(sink.diagnostics()[0].element, "V1");
+}
+
+TEST(PresolveLint, VsourceLoop) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("V1", a, kGround, SourceSpec::DC(1.0));
+  ckt.add_vsource("V2", a, kGround, SourceSpec::DC(2.0));
+  ckt.add_resistor("R1", a, kGround, 1e3);
+  DiagnosticSink sink;
+  EXPECT_EQ(check_solvable(ckt, sink), 1u);
+  EXPECT_TRUE(has_rule(sink, "vsource-loop"));
+}
+
+TEST(PresolveLint, VcvsClosesVsourceLoop) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId c = ckt.node("c");
+  ckt.add_vsource("V1", a, kGround, SourceSpec::DC(1.0));
+  ckt.add_vcvs("E1", a, kGround, c, kGround, 2.0);
+  ckt.add_resistor("R1", c, kGround, 1e3);
+  DiagnosticSink sink;
+  EXPECT_EQ(check_solvable(ckt, sink), 1u);
+  EXPECT_TRUE(has_rule(sink, "vsource-loop"));
+}
+
+TEST(PresolveLint, InductorLoop) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("V1", a, kGround, SourceSpec::DC(1.0));
+  ckt.add_inductor("L1", a, kGround, 1e-6);  // shorts the source at DC
+  DiagnosticSink sink;
+  EXPECT_EQ(check_solvable(ckt, sink), 1u);
+  EXPECT_TRUE(has_rule(sink, "inductor-loop"));
+
+  // Series R-L to ground is the well-posed form.
+  Circuit ok;
+  const NodeId in = ok.node("in");
+  const NodeId mid = ok.node("mid");
+  ok.add_vsource("V1", in, kGround, SourceSpec::DC(1.0));
+  ok.add_resistor("R1", in, mid, 50.0);
+  ok.add_inductor("L1", mid, kGround, 1e-6);
+  DiagnosticSink clean;
+  EXPECT_EQ(check_solvable(ok, clean), 0u);
+}
+
+TEST(PresolveLint, NonpositiveValueAfterMutation) {
+  Circuit ckt = clean_divider();
+  ckt.elements()[1].value = -5.0;  // R1, mutated post-construction
+  DiagnosticSink sink;
+  EXPECT_EQ(check_solvable(ckt, sink), 1u);
+  EXPECT_TRUE(has_rule(sink, "nonpositive-value"));
+  EXPECT_EQ(sink.diagnostics()[0].element, "R1");
+}
+
+// ---------------------------------------------------------------------------
+// Full circuit rules
+
+TEST(CircuitLint, DanglingNode) {
+  Circuit ckt = clean_divider();
+  ckt.add_resistor("R3", ckt.node("mid"), ckt.node("stub"), 1e3);
+  DiagnosticSink sink;
+  EXPECT_EQ(lint_circuit(ckt, sink), 0u);  // warning, not error
+  EXPECT_TRUE(has_rule(sink, "dangling-node"));
+  EXPECT_EQ(sink.num_warnings(), 1u);
+
+  DiagnosticSink clean;
+  lint_circuit(clean_divider(), clean);
+  EXPECT_TRUE(clean.diagnostics().empty());
+}
+
+TEST(CircuitLint, MosShorted) {
+  Circuit ckt = clean_divider();
+  ckt.add_mosfet("M1", ckt.node("mid"), ckt.node("in"), ckt.node("mid"),
+                 test_nmos_card());
+  DiagnosticSink sink;
+  lint_circuit(ckt, sink);
+  EXPECT_TRUE(has_rule(sink, "mos-shorted"));
+}
+
+TEST(CircuitLint, MosAllGround) {
+  Circuit ckt = clean_divider();
+  ckt.add_mosfet("M1", kGround, kGround, kGround, test_nmos_card());
+  DiagnosticSink sink;
+  lint_circuit(ckt, sink);
+  EXPECT_TRUE(has_rule(sink, "mos-all-ground"));
+  EXPECT_FALSE(has_rule(sink, "mos-shorted"));
+}
+
+TEST(CircuitLint, SolvabilityRulesCanBeSkipped) {
+  Circuit ckt;
+  ckt.add_vsource("V1", ckt.node("a"), ckt.node("a"), SourceSpec::DC(1.0));
+  ckt.add_resistor("R1", ckt.node("a"), kGround, 1e3);
+  CircuitLintOptions opts;
+  opts.solvability = false;
+  DiagnosticSink sink;
+  EXPECT_EQ(lint_circuit(ckt, sink, opts), 0u);
+  EXPECT_FALSE(has_rule(sink, "vsource-shorted"));
+}
+
+// ---------------------------------------------------------------------------
+// Netlist-level lint (parser integration)
+
+TEST(NetlistLint, AttachesLineNumbers) {
+  const auto parsed = spice::parse_netlist(
+      "line number demo\n"
+      "V1 a 0 DC 1\n"
+      "R1 a b 1k\n"
+      ".end\n");
+  DiagnosticSink sink;
+  lint_netlist(parsed, sink);
+  ASSERT_TRUE(has_rule(sink, "dangling-node"));
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.rule == "dangling-node") {
+      EXPECT_EQ(d.element, "R1");
+      EXPECT_EQ(d.line, 3);
+    }
+  }
+}
+
+TEST(NetlistLint, UnreferencedModel) {
+  const auto parsed = spice::parse_netlist(
+      "unused model card\n"
+      ".model nch nmos LEVEL=70 VTH0=0.35 L=24n W=192n U0=0.03\n"
+      ".model pch pmos LEVEL=70 VTH0=-0.35 L=24n W=192n U0=0.012\n"
+      "VDD d 0 DC 1\n"
+      "M1 d g 0 nch\n"
+      "Rg g 0 1k\n"
+      ".end\n");
+  DiagnosticSink sink;
+  lint_netlist(parsed, sink);
+  ASSERT_EQ(count_rule(sink.diagnostics(), "unreferenced-model"), 1u);
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.rule == "unreferenced-model") {
+      EXPECT_NE(d.message.find("pch"), std::string::npos);
+      EXPECT_EQ(d.line, 3);
+    }
+  }
+}
+
+TEST(NetlistLint, BrokenNetlistYieldsExactRuleIds) {
+  // Floating MOSFET gate (capacitor-only) + shorted V-source: the two
+  // canonical input corruptions of the ISSUE acceptance criteria.
+  const auto parsed = spice::parse_netlist(
+      "deliberately broken\n"
+      ".model nch nmos LEVEL=70 VTH0=0.35 L=24n W=192n U0=0.03\n"
+      "VDD vdd 0 DC 1.0\n"
+      "VS 0 0 DC 0.5\n"
+      "M1 out g 0 nch\n"
+      "Cg g 0 1f\n"
+      "Rl vdd out 10k\n"
+      ".end\n");
+  DiagnosticSink sink;
+  lint_netlist(parsed, sink);
+  EXPECT_EQ(sink.num_errors(), 2u);
+  EXPECT_EQ(count_rule(sink.diagnostics(), "vsource-shorted"), 1u);
+  EXPECT_EQ(count_rule(sink.diagnostics(), "no-dc-path"), 1u);
+
+  const std::string json = sink.render_json();
+  EXPECT_NE(json.find("\"errors\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"vsource-shorted\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"no-dc-path\""), std::string::npos);
+}
+
+TEST(Parser, RejectsDuplicateElementWithBothLines) {
+  try {
+    spice::parse_netlist("t\nR1 a 0 1k\nR1 a 0 2k\n.end\n");
+    FAIL() << "duplicate element accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("netlist line 3"), std::string::npos);
+    EXPECT_NE(what.find("duplicate element 'R1'"), std::string::npos);
+    EXPECT_NE(what.find("line 2"), std::string::npos);
+  }
+  // Same name with different element type is still a duplicate; case folds.
+  EXPECT_THROW(spice::parse_netlist("t\nV1 a 0 1\nv1 b 0 2\n.end\n"), Error);
+}
+
+TEST(Parser, RejectsDuplicateModelWithBothLines) {
+  try {
+    spice::parse_netlist(
+        "t\n"
+        ".model nch nmos LEVEL=70 VTH0=0.35 L=24n W=192n U0=0.03\n"
+        ".model nch nmos LEVEL=70 VTH0=0.40 L=24n W=192n U0=0.03\n"
+        ".end\n");
+    FAIL() << "duplicate model accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("netlist line 3"), std::string::npos);
+    EXPECT_NE(what.find("duplicate model 'nch'"), std::string::npos);
+    EXPECT_NE(what.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, ValueErrorsCarryNetlistLine) {
+  try {
+    spice::parse_netlist("t\nV1 a 0 1\nR1 a 0 -5\n.end\n");
+    FAIL() << "nonpositive resistor accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("netlist line 3"),
+              std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Solver gates
+
+TEST(SolverGate, DcopFailsFastOnCapacitorOnlyNode) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId x = ckt.node("x");
+  ckt.add_vsource("V1", in, kGround, SourceSpec::DC(1.0));
+  ckt.add_capacitor("C1", in, x, 1e-15);
+  ckt.add_capacitor("C2", x, kGround, 1e-15);
+
+  const spice::DcResult gated = spice::dc_operating_point(ckt);
+  EXPECT_FALSE(gated.converged);
+  EXPECT_EQ(gated.strategy, "lint");
+  ASSERT_FALSE(gated.lint.empty());
+  EXPECT_EQ(gated.lint[0].rule, "no-dc-path");
+  EXPECT_EQ(gated.total_iterations, 0);  // no Newton work was spent
+
+  // Opt-out: the numeric path (capacitor leak stamp) takes over.
+  spice::NewtonOptions opts;
+  opts.presolve_lint = false;
+  const spice::DcResult raw = spice::dc_operating_point(ckt, opts);
+  EXPECT_NE(raw.strategy, "lint");
+  EXPECT_TRUE(raw.lint.empty());
+}
+
+TEST(SolverGate, DcopPassesCleanCircuitsThrough) {
+  const spice::DcResult r = spice::dc_operating_point(clean_divider());
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.strategy, "newton");
+  EXPECT_TRUE(r.lint.empty());
+}
+
+TEST(SolverGate, TransientFailsFastWithDiagnostics) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId x = ckt.node("x");
+  ckt.add_vsource("V1", in, kGround, SourceSpec::DC(1.0));
+  ckt.add_capacitor("C1", in, x, 1e-15);
+  ckt.add_capacitor("C2", x, kGround, 1e-15);
+  spice::TransientOptions opts;
+  opts.t_stop = 1e-10;
+  const spice::TransientResult tr = spice::transient(ckt, opts);
+  EXPECT_FALSE(tr.ok);
+  EXPECT_NE(tr.error.find("pre-solve lint failed"), std::string::npos);
+  EXPECT_NE(tr.error.find("no-dc-path"), std::string::npos);
+  ASSERT_FALSE(tr.lint.empty());
+  EXPECT_EQ(tr.lint[0].rule, "no-dc-path");
+  EXPECT_EQ(tr.accepted_steps, 0u);
+}
+
+TEST(SolverGate, DcSweepRejectsVsourceLoop) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("V1", a, kGround, SourceSpec::DC(1.0));
+  ckt.add_vsource("V2", a, kGround, SourceSpec::DC(1.0));
+  ckt.add_resistor("R1", a, kGround, 1e3);
+  const spice::DcSweepResult sweep =
+      spice::dc_sweep(ckt, "V1", {0.0, 0.5, 1.0});
+  EXPECT_FALSE(sweep.converged);
+  EXPECT_TRUE(sweep.solutions.empty());
+  ASSERT_FALSE(sweep.lint.empty());
+  EXPECT_EQ(sweep.lint[0].rule, "vsource-loop");
+}
+
+// ---------------------------------------------------------------------------
+// Cell topology rules
+
+TEST(CellLint, AllFourteenTopologiesAreClean) {
+  for (cells::CellType type : cells::all_cells()) {
+    DiagnosticSink sink;
+    EXPECT_EQ(lint_topology(cells::cell_topology(type), sink), 0u)
+        << cells::cell_name(type) << "\n"
+        << sink.render_text();
+    EXPECT_TRUE(sink.diagnostics().empty());
+  }
+}
+
+TEST(CellLint, FloatingInput) {
+  cells::CellTopology topo;
+  topo.type = cells::CellType::kInv1;
+  topo.inputs = {"A", "B"};  // B drives nothing
+  topo.output = "Y";
+  topo.fets.push_back({true, "Y", "A", "vdd"});
+  topo.fets.push_back({false, "Y", "A", "gnd"});
+  DiagnosticSink sink;
+  EXPECT_EQ(lint_topology(topo, sink), 1u);
+  EXPECT_TRUE(has_rule(sink, "cell-floating-input"));
+}
+
+TEST(CellLint, DisconnectedInput) {
+  cells::CellTopology topo;
+  topo.type = cells::CellType::kInv1;
+  topo.inputs = {"A", "B"};
+  topo.output = "Y";
+  topo.fets.push_back({true, "Y", "A", "vdd"});
+  topo.fets.push_back({false, "Y", "A", "gnd"});
+  // B gates an island between two internal nets that never reach Y.
+  topo.fets.push_back({false, "x1", "B", "x2"});
+  DiagnosticSink sink;
+  EXPECT_EQ(lint_topology(topo, sink), 1u);
+  EXPECT_TRUE(has_rule(sink, "cell-disconnected"));
+}
+
+TEST(CellLint, OutputUnreachable) {
+  cells::CellTopology topo;
+  topo.type = cells::CellType::kInv1;
+  topo.inputs = {"A"};
+  topo.output = "Y";
+  topo.fets.push_back({false, "Y", "A", "gnd"});  // pull-down only
+  DiagnosticSink sink;
+  EXPECT_EQ(lint_topology(topo, sink), 1u);
+  EXPECT_TRUE(has_rule(sink, "cell-output-unreachable"));
+}
+
+// ---------------------------------------------------------------------------
+// Layout rules (KOZ et al.)
+
+TEST(LayoutLint, AllGeneratedLayoutsAreClean) {
+  const layout::LayoutModel model;
+  for (cells::CellType type : cells::all_cells()) {
+    for (cells::Implementation impl : cells::all_implementations()) {
+      const layout::CellLayout cl = model.layout_cell(type, impl);
+      DiagnosticSink sink;
+      EXPECT_EQ(lint_layout(cl, model.rules(), sink), 0u)
+          << cells::cell_name(type) << "/" << cells::impl_name(impl) << "\n"
+          << sink.render_text();
+    }
+  }
+}
+
+TEST(LayoutLint, KozViolationWhenTopTierShrinks) {
+  const layout::LayoutModel model;
+  layout::CellLayout cl = model.layout_cell(cells::CellType::kNand2,
+                                            cells::Implementation::k2D);
+  ASSERT_GT(cl.external_mivs, 0);
+  // Steal one keep-out square's worth of width: the MIVs no longer fit.
+  cl.top.width -= layout::external_miv_width(model.rules());
+  DiagnosticSink sink;
+  lint_layout(cl, model.rules(), sink);
+  EXPECT_TRUE(has_rule(sink, "koz-violation"));
+}
+
+TEST(LayoutLint, ExternalMivOnMivTransistorImplementation) {
+  const layout::LayoutModel model;
+  layout::CellLayout cl = model.layout_cell(
+      cells::CellType::kInv1, cells::Implementation::kMiv2Channel);
+  cl.external_mivs = 2;  // MIV-transistors pay no keep-out
+  DiagnosticSink sink;
+  EXPECT_EQ(lint_layout(cl, model.rules(), sink), 1u);
+  EXPECT_TRUE(has_rule(sink, "koz-external-miv"));
+}
+
+TEST(LayoutLint, NegativeGeometry) {
+  const layout::LayoutModel model;
+  layout::CellLayout cl = model.layout_cell(cells::CellType::kInv1,
+                                            cells::Implementation::k2D);
+  cl.bottom.height = -1e-9;
+  DiagnosticSink sink;
+  lint_layout(cl, model.rules(), sink);
+  EXPECT_TRUE(has_rule(sink, "negative-geometry"));
+}
+
+TEST(LayoutLint, RailAndMarginOverflow) {
+  const layout::LayoutModel model;
+  layout::CellLayout cl = model.layout_cell(cells::CellType::kInv1,
+                                            cells::Implementation::k2D);
+  cl.cell_height -= model.rules().rail_track;
+  cl.cell_width -= model.rules().cell_margin;
+  DiagnosticSink sink;
+  lint_layout(cl, model.rules(), sink);
+  EXPECT_TRUE(has_rule(sink, "rail-overflow"));
+  EXPECT_TRUE(has_rule(sink, "margin-overflow"));
+}
+
+// ---------------------------------------------------------------------------
+// Generated cell netlists and the PPA gate
+
+TEST(CellLint, AllGeneratedCellNetlistsLintClean) {
+  for (cells::Implementation impl : cells::all_implementations()) {
+    const cells::ModelSet models = test_models(impl);
+    for (cells::CellType type : cells::all_cells()) {
+      const cells::CellNetlist cell =
+          cells::build_cell(type, impl, models, cells::ParasiticSpec{}, 1.0);
+      DiagnosticSink sink;
+      lint_circuit(cell.circuit, sink);
+      EXPECT_FALSE(sink.has_errors())
+          << cells::cell_name(type) << "/" << cells::impl_name(impl) << "\n"
+          << sink.render_text();
+      EXPECT_EQ(sink.num_warnings(), 0u)
+          << cells::cell_name(type) << "/" << cells::impl_name(impl) << "\n"
+          << sink.render_text();
+    }
+  }
+}
+
+TEST(PpaGate, BrokenDesignRulesAreRejectedBeforeSimulation) {
+  layout::DesignRules rules;
+  rules.device_width = -192e-9;  // corrupt: negative drawn width
+  core::PpaOptions opts;
+  core::PpaEngine engine(core::reference_model_library(), opts, rules);
+  const core::CellPpa ppa =
+      engine.measure(cells::CellType::kInv1, cells::Implementation::k2D);
+  EXPECT_FALSE(ppa.ok);
+  EXPECT_TRUE(ppa.arcs.empty());  // no transient was run
+}
+
+}  // namespace
+}  // namespace mivtx::lint
