@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
       "the -2..-3% MIV delay advantage must be compared against the "
       "variation-induced sigma");
 
-  const core::ModelLibrary lib = bench::load_library(argc, argv);
+  const bench::ExecSetup exec = bench::exec_setup(argc, argv);
+  const core::ModelLibrary lib = bench::load_library(argc, argv, &exec);
   set_log_level(LogLevel::kError);
   core::VariationSpec spec;
   if (bench::has_flag(argc, argv, "--quick")) spec.samples = 11;
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
     double base = 0.0;
     for (cells::Implementation impl : cells::all_implementations()) {
       const core::VariabilityStats s =
-          core::run_variability(lib, type, impl, spec);
+          core::run_variability(lib, type, impl, spec, {}, exec.policy());
       if (impl == cells::Implementation::k2D) base = s.mean_delay;
       t.add_row({cells::impl_name(impl), format("%.2f", s.mean_delay * 1e12),
                  format("%.3f", s.sigma_delay * 1e12),
@@ -49,5 +50,6 @@ int main(int argc, char** argv) {
               "implementation choice is\na second-order effect under "
               "variation - consistent with the paper presenting the\narea "
               "saving, not the speed, as the headline)\n");
+  exec.report();
   return 0;
 }

@@ -13,9 +13,10 @@ int main(int argc, char** argv) {
       "average power -0.5% (1-ch), -1% (2-ch), -2% (4-ch) vs 2D; "
       "INV1X1 2-ch +3% worst case, OR3X1 4-ch -3% best case");
 
-  const core::ModelLibrary lib = bench::load_library(argc, argv);
+  const bench::ExecSetup exec = bench::exec_setup(argc, argv);
+  const core::ModelLibrary lib = bench::load_library(argc, argv, &exec);
   set_log_level(LogLevel::kError);
-  core::PpaEngine engine(lib);
+  core::PpaEngine engine(lib, {}, {}, exec.policy());
   std::printf("[transient-simulating 14 cells x 4 implementations ...]\n\n");
   const std::vector<core::CellPpa> all = engine.measure_all();
 
@@ -45,5 +46,6 @@ int main(int argc, char** argv) {
               "(paper: -0.5%%, -1%%, -2%%)\n",
               bench::pct(sum[0], sum[1]).c_str(), bench::pct(sum[0], sum[2]).c_str(),
               bench::pct(sum[0], sum[3]).c_str());
+  exec.report();
   return 0;
 }

@@ -1,13 +1,25 @@
 // P1 - micro-benchmarks of the numerical kernels (google-benchmark):
 // dense/banded LU, compact-model evaluation, MNA assembly + Newton,
-// transient stepping, and a TCAD Gummel bias step.
+// transient stepping, a TCAD Gummel bias step, and the mivtx::runtime
+// primitives (thread-pool dispatch, stable hashing, artifact cache).
+//
+// `--json FILE` is shorthand for --benchmark_out=FILE
+// --benchmark_out_format=json (the form CI consumes).
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bsimsoi/model.h"
+#include "common/hash.h"
 #include "common/rng.h"
 #include "core/reference_cards.h"
 #include "linalg/banded.h"
 #include "linalg/dense.h"
+#include "runtime/artifact_cache.h"
+#include "runtime/thread_pool.h"
 #include "spice/dcop.h"
 #include "spice/transient.h"
 #include "tcad/characterize.h"
@@ -131,6 +143,62 @@ void BM_TcadGummelBiasStep(benchmark::State& state) {
 }
 BENCHMARK(BM_TcadGummelBiasStep)->Unit(benchmark::kMillisecond);
 
+void BM_ParallelForDispatch(benchmark::State& state) {
+  runtime::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  runtime::ThreadPool* p = pool.size() > 1 ? &pool : nullptr;
+  std::vector<double> out(1024);
+  for (auto _ : state) {
+    runtime::parallel_for(p, out.size(), [&](std::size_t i) {
+      out[i] = std::sqrt(static_cast<double>(i) + 1.0);
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_StableHashCard(benchmark::State& state) {
+  const std::string text = core::reference_model_library().to_text();
+  for (auto _ : state) {
+    StableHash h;
+    h.mix(text);
+    benchmark::DoNotOptimize(h.digest());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_StableHashCard);
+
+void BM_ArtifactCacheGet(benchmark::State& state) {
+  runtime::ArtifactCache cache;
+  const runtime::CacheKey key{"ppa", 0x1234abcd5678ef00ULL};
+  cache.put(key, std::string(4096, 'x'));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(key));
+  }
+}
+BENCHMARK(BM_ArtifactCacheGet);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Translate the repo-conventional "--json FILE" before google-benchmark
+  // parses the command line.
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.push_back("--benchmark_out=" + std::string(argv[i + 1]));
+      args.push_back("--benchmark_out_format=json");
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  std::vector<char*> cargs;
+  for (std::string& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

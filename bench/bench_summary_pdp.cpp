@@ -13,9 +13,10 @@ int main(int argc, char** argv) {
       "2-channel: -3% average PDP and -18% area (overall winner); "
       "4-channel trades delay for the densest layout");
 
-  const core::ModelLibrary lib = bench::load_library(argc, argv);
+  const bench::ExecSetup exec = bench::exec_setup(argc, argv);
+  const core::ModelLibrary lib = bench::load_library(argc, argv, &exec);
   set_log_level(LogLevel::kError);
-  core::PpaEngine engine(lib);
+  core::PpaEngine engine(lib, {}, {}, exec.policy());
   std::printf("[transient-simulating 14 cells x 4 implementations ...]\n\n");
   const std::vector<core::CellPpa> all = engine.measure_all();
   const std::vector<core::ImplementationSummary> sums = core::summarize(all);
@@ -47,5 +48,6 @@ int main(int argc, char** argv) {
   std::printf("  * 2-ch overall winner (PDP and area both improve): %s "
               "(paper: yes)\n",
               two_ch_wins ? "yes" : "NO");
+  exec.report();
   return 0;
 }

@@ -6,7 +6,9 @@
 // paper's column order (4-channel, 2-channel, 1-channel, Traditional).
 //
 // Options: --print-cards dumps the extracted .model lines (the source of
-// core/reference_cards.cpp).
+// core/reference_cards.cpp).  --jobs N fans the 8 independent devices out
+// over N threads; --cache-dir D (or $MIVTX_CACHE_DIR) reuses previously
+// computed characteristics and cards; --metrics prints the runtime report.
 #include <map>
 
 #include "bench_util.h"
@@ -20,10 +22,17 @@ int main(int argc, char** argv) {
       "Table III: TCAD to Spice extraction results (RMS error per region)",
       "IDVG 3.2-8.5%, IDVD 3.2-7.5%, CV 4.7-9.6%; all regions < 10%");
 
+  const bench::ExecSetup exec = bench::exec_setup(argc, argv);
   set_log_level(LogLevel::kError);
   std::printf("[running TCAD characterization + extraction for 8 devices; "
-              "this takes ~40 s]\n\n");
-  const core::FlowResult flow = core::run_full_flow(core::ProcessParams{});
+              "this takes ~40 s cold and serial]\n\n");
+  core::FlowOptions fopts;
+  fopts.jobs = exec.jobs;
+  fopts.cache = exec.cache();
+  const double t0 = runtime::wall_seconds();
+  const core::FlowResult flow =
+      core::run_full_flow(core::ProcessParams{}, {}, {}, fopts);
+  const double elapsed = runtime::wall_seconds() - t0;
 
   // Index results by (variant, polarity).
   std::map<std::string, const core::DeviceExtraction*> by_key;
@@ -77,5 +86,9 @@ int main(int argc, char** argv) {
     std::printf("\nExtracted model cards:\n%s",
                 flow.library.to_text().c_str());
   }
+
+  std::printf("\n[flow wall time: %.2f s with --jobs %zu]\n", elapsed,
+              exec.jobs);
+  exec.report();
   return 0;
 }

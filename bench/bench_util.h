@@ -5,15 +5,26 @@
 // measured ones.  PPA benches default to the cached reference model cards
 // (core/reference_cards.h); pass --extract to re-run the full TCAD +
 // extraction flow first (tens of seconds).
+// Execution flags shared by the heavier benches (see DESIGN.md "Runtime"):
+//   --jobs N       worker threads (0 = hardware concurrency, default 1);
+//                  results are bit-identical for any value
+//   --cache-dir D  persistent artifact cache (default: $MIVTX_CACHE_DIR);
+//                  a warm cache skips TCAD/extraction/transients entirely
+//   --metrics      print the counter/timer report on exit
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/log.h"
 #include "core/flow.h"
 #include "core/reference_cards.h"
+#include "runtime/artifact_cache.h"
+#include "runtime/metrics.h"
+#include "runtime/thread_pool.h"
 
 namespace mivtx::bench {
 
@@ -24,18 +35,89 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+// Value of "--flag VALUE"; nullptr when absent.
+inline const char* flag_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
 inline void print_header(const char* experiment, const char* paper_claim) {
   std::printf("\n=== %s ===\n", experiment);
   std::printf("paper: %s\n\n", paper_claim);
 }
 
+// Parsed execution flags plus the objects they configure.  Build one at the
+// top of main(), pass `exec.pool()` / `exec.cache()` down, call
+// `exec.report()` at the end.
+struct ExecSetup {
+  std::size_t jobs = 1;
+  std::unique_ptr<runtime::ThreadPool> pool_storage;
+  std::unique_ptr<runtime::ArtifactCache> cache_storage;
+  bool metrics = false;
+
+  runtime::ThreadPool* pool() const {
+    return pool_storage != nullptr && pool_storage->size() > 1
+               ? pool_storage.get()
+               : nullptr;
+  }
+  runtime::ArtifactCache* cache() const { return cache_storage.get(); }
+  runtime::ExecPolicy policy() const { return {pool(), cache()}; }
+
+  // Cache hit rate + optional metrics dump, printed after the work.
+  void report() const {
+    if (cache_storage != nullptr) {
+      const runtime::CacheStats s = cache_storage->stats();
+      std::printf("\n[cache: %llu hits / %llu misses (%.0f%% hit rate), "
+                  "%llu stored, %llu from disk, %llu corrupt]\n",
+                  static_cast<unsigned long long>(s.hits),
+                  static_cast<unsigned long long>(s.misses),
+                  100.0 * s.hit_rate(),
+                  static_cast<unsigned long long>(s.stores),
+                  static_cast<unsigned long long>(s.disk_hits),
+                  static_cast<unsigned long long>(s.corrupt));
+    }
+    if (metrics) {
+      std::printf("\n%s", runtime::Metrics::global().render_text().c_str());
+    }
+  }
+};
+
+inline ExecSetup exec_setup(int argc, char** argv) {
+  ExecSetup exec;
+  if (const char* jobs = flag_value(argc, argv, "--jobs")) {
+    exec.jobs = static_cast<std::size_t>(std::strtoul(jobs, nullptr, 10));
+  }
+  exec.pool_storage = std::make_unique<runtime::ThreadPool>(exec.jobs);
+  std::string dir = runtime::ArtifactCache::env_disk_dir();
+  if (const char* flag = flag_value(argc, argv, "--cache-dir")) dir = flag;
+  if (!dir.empty()) {
+    runtime::ArtifactCache::Options copts;
+    copts.disk_dir = dir;
+    exec.cache_storage = std::make_unique<runtime::ArtifactCache>(copts);
+    std::printf("[artifact cache: %s]\n", dir.c_str());
+  }
+  exec.metrics = has_flag(argc, argv, "--metrics");
+  if (exec.pool() != nullptr) {
+    std::printf("[%zu worker threads]\n", exec.pool_storage->size());
+  }
+  return exec;
+}
+
 // Model library for PPA benches: cached cards, or a fresh extraction run
 // when --extract is passed.
-inline core::ModelLibrary load_library(int argc, char** argv) {
+inline core::ModelLibrary load_library(int argc, char** argv,
+                                       const ExecSetup* exec = nullptr) {
   if (has_flag(argc, argv, "--extract")) {
     std::printf("[re-running TCAD characterization + extraction ...]\n");
     set_log_level(LogLevel::kError);
-    return core::run_full_flow(core::ProcessParams{}).library;
+    core::FlowOptions fopts;
+    if (exec != nullptr) {
+      fopts.jobs = exec->jobs;
+      fopts.cache = exec->cache();
+    }
+    return core::run_full_flow(core::ProcessParams{}, {}, {}, fopts).library;
   }
   return core::reference_model_library();
 }

@@ -2,11 +2,15 @@
 // the MIV-transistor implementations, and print the per-arc timing detail
 // the averaged Fig. 5 numbers hide.
 //
-// Usage: cell_ppa_survey [CELLNAME]
-//   without arguments: survey of all 14 cells (runs ~1 min of transients)
+// Usage: cell_ppa_survey [CELLNAME] [--jobs N] [--metrics]
+//   without a cell name: survey of all 14 cells (runs ~1 min of transients
+//   serially; --jobs fans the 56 measurements and their pin arcs out over
+//   N worker threads with bit-identical results)
 //   with a cell name (e.g. XOR2X1): per-arc report for that cell
+//   --metrics: print the runtime counter/timer report on exit
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -15,6 +19,8 @@
 #include "common/table.h"
 #include "core/ppa.h"
 #include "core/reference_cards.h"
+#include "runtime/metrics.h"
+#include "runtime/thread_pool.h"
 
 using namespace mivtx;
 
@@ -53,10 +59,28 @@ int per_cell_report(const char* name) {
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kError);
-  if (argc > 1) return per_cell_report(argv[1]);
+  std::size_t jobs = 1;
+  bool metrics = false;
+  const char* cell = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else {
+      cell = argv[i];
+    }
+  }
+  if (cell != nullptr) return per_cell_report(cell);
 
-  core::PpaEngine engine(core::reference_model_library());
-  std::printf("[measuring 14 cells x 4 implementations ...]\n\n");
+  runtime::ThreadPool pool(jobs);
+  runtime::ExecPolicy exec;
+  exec.pool = pool.size() > 1 ? &pool : nullptr;
+  core::PpaEngine engine(core::reference_model_library(), {}, {}, exec);
+  std::printf("[measuring 14 cells x 4 implementations%s ...]\n\n",
+              exec.pool != nullptr
+                  ? format(" on %zu threads", pool.size()).c_str()
+                  : "");
   const std::vector<core::CellPpa> all = engine.measure_all();
 
   struct Gain {
@@ -89,5 +113,8 @@ int main(int argc, char** argv) {
   }
   t.print();
   std::printf("\n(run `cell_ppa_survey XOR2X1` for a per-arc breakdown)\n");
+  if (metrics) {
+    std::printf("\n%s", runtime::Metrics::global().render_text().c_str());
+  }
   return 0;
 }

@@ -83,8 +83,10 @@ std::string SoiModelCard::to_model_line() const {
      << (polarity == Polarity::kNmos ? "nmos" : "pmos");
   os << format(" LEVEL=%d MOBMOD=%d CAPMOD=%d IGCMOD=%d SOIMOD=%d NF=%d",
                level, mobmod, capmod, igcmod, soimod, nf);
+  // Full precision: the artifact cache persists cards through this line, so
+  // every parameter must round-trip bit-exactly (and locale-independently).
   for (const auto& [k, ref] : field_map()) {
-    os << ' ' << k << '=' << format("%.9g", this->*(ref.member));
+    os << ' ' << k << '=' << format_double(this->*(ref.member));
   }
   return os.str();
 }
@@ -106,7 +108,7 @@ SoiModelCard SoiModelCard::from_model_line(const std::string& line) {
   for (std::size_t i = 3; i < tokens.size(); ++i) {
     const auto kv = split(tokens[i], "=");
     MIVTX_EXPECT(kv.size() == 2, "malformed parameter token: " + tokens[i]);
-    card.set(kv[0], parse_spice_number(kv[1]));
+    card.set(kv[0], parse_double(kv[1]));
   }
   return card;
 }

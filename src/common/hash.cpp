@@ -1,0 +1,39 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace mivtx {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}
+
+StableHash& StableHash::mix_bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h_ ^= p[i];
+    h_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+StableHash& StableHash::mix(std::uint64_t v) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  return mix_bytes(bytes, sizeof bytes);
+}
+
+StableHash& StableHash::mix(double v) {
+  if (v == 0.0) v = 0.0;  // canonicalize -0.0
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return mix(bits);
+}
+
+StableHash& StableHash::mix(std::string_view s) {
+  mix(static_cast<std::uint64_t>(s.size()));
+  return mix_bytes(s.data(), s.size());
+}
+
+}  // namespace mivtx

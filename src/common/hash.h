@@ -1,0 +1,44 @@
+// Stable content hashing for cache keys.
+//
+// FNV-1a over an explicit byte serialization: every mix() call feeds bytes
+// in a fixed little-endian order, so digests are identical across platforms,
+// processes and runs — they can be persisted as on-disk cache-file names.
+// This is NOT a cryptographic hash; it only has to make accidental
+// collisions between distinct flow inputs astronomically unlikely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mivtx {
+
+class StableHash {
+ public:
+  StableHash& mix_bytes(const void* data, std::size_t size);
+
+  StableHash& mix(std::uint64_t v);  // little-endian byte order
+  StableHash& mix(std::int64_t v) {
+    return mix(static_cast<std::uint64_t>(v));
+  }
+  StableHash& mix(int v) { return mix(static_cast<std::int64_t>(v)); }
+  // std::size_t and std::uint64_t are the same type on LP64; no separate
+  // overload.
+  StableHash& mix(bool v) { return mix(std::uint64_t{v ? 1u : 0u}); }
+  // Doubles are mixed by IEEE-754 bit pattern with -0.0 canonicalized to
+  // +0.0 (they compare equal, so they must hash equal).
+  StableHash& mix(double v);
+  // Length-prefixed, so consecutive strings are unambiguous:
+  // mix("ab"), mix("c") != mix("a"), mix("bc").
+  StableHash& mix(std::string_view s);
+  // Without this overload a string literal would take the pointer-to-bool
+  // standard conversion over the user-defined one to string_view.
+  StableHash& mix(const char* s) { return mix(std::string_view(s)); }
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis
+};
+
+}  // namespace mivtx

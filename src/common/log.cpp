@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace mivtx {
 
@@ -30,6 +31,10 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (level < g_level.load() || level == LogLevel::kOff) return;
+  // Single mutex-guarded sink: pool workers log concurrently (flow
+  // narration, lint warnings) and lines must not interleave mid-message.
+  static std::mutex sink_mutex;
+  std::lock_guard<std::mutex> lk(sink_mutex);
   std::fprintf(stderr, "[mivtx %s] %s\n", level_tag(level), msg.c_str());
 }
 

@@ -25,6 +25,19 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : s_) s = splitmix64(sm);
 }
 
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Fold the four state words and the stream id through splitmix64; the
+  // child reseeds from the final value, so child streams are as independent
+  // of each other (and of the parent's continuation) as splitmix64 allows.
+  std::uint64_t x = stream_id;
+  std::uint64_t h = splitmix64(x);
+  for (const std::uint64_t s : s_) {
+    x ^= s + 0x9e3779b97f4a7c15ULL;
+    h ^= splitmix64(x);
+  }
+  return Rng(h);
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

@@ -14,6 +14,12 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
   std::uint64_t next_u64();
+  // Derive an independent child stream: the same (parent state, stream_id)
+  // always yields the same child, and distinct stream_ids yield decorrelated
+  // sequences.  Parallel Monte-Carlo tasks each take split(sample_index) so
+  // their draws do not depend on scheduling order or thread count.  Does not
+  // advance this generator.
+  Rng split(std::uint64_t stream_id) const;
   // Uniform double in [0, 1).
   double uniform();
   // Uniform double in [lo, hi).

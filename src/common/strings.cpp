@@ -1,6 +1,7 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
@@ -89,6 +90,26 @@ double parse_spice_number(std::string_view token) {
     }
   }
   return v * scale;
+}
+
+std::string format_double(double value) {
+  // 17 significant digits round-trip any IEEE-754 double through a correct
+  // parser; normalize the decimal separator in case a host locale uses ','.
+  std::string out = format("%.17g", value);
+  for (char& c : out) {
+    if (c == ',') c = '.';
+  }
+  return out;
+}
+
+double parse_double(std::string_view token) {
+  const std::string_view t = trim(token);
+  MIVTX_EXPECT(!t.empty(), "empty numeric token");
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  if (ec == std::errc() && ptr == t.data() + t.size()) return v;
+  // Not a plain number ("2.5meg", "10u", ...): defer to the SPICE parser.
+  return parse_spice_number(t);
 }
 
 std::string format(const char* fmt, ...) {

@@ -21,6 +21,14 @@ std::vector<std::string> split(std::string_view s, std::string_view delims);
 // 1k, 2.5meg, 10u, 3n, 1.5p, 7f, 1e-9, 0.5 ... Throws mivtx::Error on junk.
 double parse_spice_number(std::string_view token);
 
+// Lossless, locale-independent double round-trip (cache files and model
+// cards must survive any process locale):
+//   format_double: shortest-of-%.17g text that parses back bit-identically
+//   parse_double:  std::from_chars; falls back to parse_spice_number for
+//                  tokens with engineering suffixes.
+std::string format_double(double value);
+double parse_double(std::string_view token);
+
 // printf-style formatting into std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

@@ -1,10 +1,15 @@
 #include "core/flow.h"
 
 #include <sstream>
+#include <utility>
 
 #include "common/error.h"
 #include "common/log.h"
 #include "common/strings.h"
+#include "core/artifacts.h"
+#include "runtime/artifact_cache.h"
+#include "runtime/metrics.h"
+#include "runtime/thread_pool.h"
 #include "tcad/characterize.h"
 
 namespace mivtx::core {
@@ -64,22 +69,99 @@ extract::CharacteristicSet characterize_device(
   return data;
 }
 
+namespace {
+
+// One device end-to-end: cached characterization + cached extraction.
+DeviceExtraction run_device(const ProcessParams& process, Variant v,
+                            Polarity pol, const extract::SweepGrid& grid,
+                            const extract::ExtractionOptions& opts,
+                            runtime::ArtifactCache* cache) {
+  runtime::Metrics& metrics = runtime::Metrics::global();
+  DeviceExtraction dev;
+  dev.variant = v;
+  dev.polarity = pol;
+
+  bool have_data = false;
+  if (cache != nullptr) {
+    const runtime::CacheKey key = characterization_key(process, v, pol, grid);
+    if (const auto hit = cache->get(key)) {
+      try {
+        dev.data = parse_characteristics(*hit);
+        have_data = true;
+        metrics.add("flow.char.cache_hit");
+      } catch (const Error& e) {
+        MIVTX_WARN << "discarding unreadable cached characteristics for "
+                   << device_key(v, pol) << ": " << e.what();
+      }
+    }
+  }
+  if (!have_data) {
+    MIVTX_INFO << "characterizing " << device_key(v, pol);
+    runtime::ScopedTimer timer("flow.characterize");
+    dev.data = characterize_device(process, v, pol, grid);
+    metrics.add("flow.char.computed");
+    if (cache != nullptr) {
+      cache->put(characterization_key(process, v, pol, grid),
+                 serialize_characteristics(dev.data));
+    }
+  }
+
+  bool have_report = false;
+  if (cache != nullptr) {
+    const runtime::CacheKey key =
+        extraction_key(process, v, pol, grid, opts);
+    if (const auto hit = cache->get(key)) {
+      try {
+        dev.report = parse_extraction(*hit);
+        have_report = true;
+        metrics.add("flow.card.cache_hit");
+      } catch (const Error& e) {
+        MIVTX_WARN << "discarding unreadable cached extraction for "
+                   << device_key(v, pol) << ": " << e.what();
+      }
+    }
+  }
+  if (!have_report) {
+    MIVTX_INFO << "extracting " << device_key(v, pol);
+    runtime::ScopedTimer timer("flow.extract");
+    dev.report =
+        extract::extract_card(dev.data, initial_card(process, v, pol), opts);
+    metrics.add("flow.card.computed");
+    if (cache != nullptr) {
+      cache->put(extraction_key(process, v, pol, grid, opts),
+                 serialize_extraction(dev.report));
+    }
+  }
+  return dev;
+}
+
+}  // namespace
+
 FlowResult run_full_flow(const ProcessParams& process,
                          const extract::SweepGrid& grid,
-                         const extract::ExtractionOptions& opts) {
-  FlowResult result;
+                         const extract::ExtractionOptions& opts,
+                         const FlowOptions& exec) {
+  runtime::ScopedTimer timer("flow.total");
+  std::vector<std::pair<Variant, Polarity>> order;
   for (Polarity pol : {Polarity::kNmos, Polarity::kPmos}) {
-    for (Variant v : all_variants()) {
-      MIVTX_INFO << "characterizing " << device_key(v, pol);
-      DeviceExtraction dev;
-      dev.variant = v;
-      dev.polarity = pol;
-      dev.data = characterize_device(process, v, pol, grid);
-      dev.report =
-          extract::extract_card(dev.data, initial_card(process, v, pol), opts);
-      result.library.put(v, pol, dev.report.card);
-      result.devices.push_back(std::move(dev));
-    }
+    for (Variant v : all_variants()) order.emplace_back(v, pol);
+  }
+
+  // The 8 devices are fully independent; fan out and reassemble in the
+  // fixed order above, so results match the serial run exactly.
+  runtime::ThreadPool pool(exec.jobs);
+  runtime::ThreadPool* pool_ptr = pool.size() > 1 ? &pool : nullptr;
+  std::vector<DeviceExtraction> devices =
+      runtime::parallel_map<DeviceExtraction>(
+          pool_ptr, order.size(), [&](std::size_t i) {
+            return run_device(process, order[i].first, order[i].second, grid,
+                              opts, exec.cache);
+          });
+
+  FlowResult result;
+  for (DeviceExtraction& dev : devices) {
+    result.library.put(dev.variant, dev.polarity, dev.report.card);
+    result.devices.push_back(std::move(dev));
   }
   return result;
 }

@@ -7,12 +7,14 @@
 // core/reference_cards.h, which this flow regenerates.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
 
 #include "core/technology.h"
 #include "extract/dataset.h"
 #include "extract/pipeline.h"
+#include "runtime/exec_policy.h"
 
 namespace mivtx::core {
 
@@ -49,9 +51,23 @@ struct FlowResult {
   std::vector<DeviceExtraction> devices;  // all 8, trad/1/2/4 x n/p
 };
 
+// Execution knobs for run_full_flow, separate from the physics options so
+// cache keys never depend on scheduling.
+struct FlowOptions {
+  // Worker threads for the 8 independent (variant, polarity) devices.
+  // 1 = serial; 0 = hardware concurrency.  Results are identical for any
+  // value (each device computes independently; assembly is in fixed order).
+  std::size_t jobs = 1;
+  // Optional artifact reuse: characterization sets ("char") and extraction
+  // reports ("card") are looked up / stored by content hash; a warm cache
+  // skips TCAD and extraction entirely.  See core/artifacts.h.
+  runtime::ArtifactCache* cache = nullptr;
+};
+
 // Run TCAD + extraction for every variant and polarity (Table III).
 FlowResult run_full_flow(const ProcessParams& process,
                          const extract::SweepGrid& grid = {},
-                         const extract::ExtractionOptions& opts = {});
+                         const extract::ExtractionOptions& opts = {},
+                         const FlowOptions& exec = {});
 
 }  // namespace mivtx::core

@@ -5,8 +5,12 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "common/strings.h"
+#include "core/artifacts.h"
 #include "lint/cell_rules.h"
 #include "lint/circuit_rules.h"
+#include "runtime/artifact_cache.h"
+#include "runtime/metrics.h"
+#include "runtime/thread_pool.h"
 #include "spice/transient.h"
 #include "waveform/measure.h"
 
@@ -27,8 +31,8 @@ Variant variant_of(cells::Implementation impl) {
 }  // namespace
 
 PpaEngine::PpaEngine(const ModelLibrary& library, PpaOptions opts,
-                     layout::DesignRules rules)
-    : library_(library), opts_(opts), layout_(rules) {}
+                     layout::DesignRules rules, runtime::ExecPolicy exec)
+    : library_(library), opts_(opts), layout_(rules), exec_(exec) {}
 
 cells::ModelSet PpaEngine::model_set(cells::Implementation impl) const {
   cells::ModelSet set;
@@ -63,8 +67,76 @@ std::optional<std::vector<bool>> PpaEngine::sensitize(cells::CellType type,
   return std::nullopt;
 }
 
-CellPpa PpaEngine::measure(cells::CellType type,
-                           cells::Implementation impl) const {
+PpaEngine::PinOutcome PpaEngine::measure_pin(
+    cells::CellType type, cells::Implementation impl,
+    const cells::ModelSet& models, std::size_t pin,
+    const std::vector<bool>& side) const {
+  PinOutcome out;
+  const auto input_names = cells::cell_input_names(type);
+  const double vdd = opts_.vdd;
+  const double t_stop =
+      opts_.t_delay + opts_.t_width + opts_.t_delay + opts_.t_width;
+
+  cells::CellNetlist cell =
+      cells::build_cell(type, impl, models, opts_.parasitics, vdd);
+  out.mivs = cell.mivs;
+
+  // Side inputs at their sensitizing DC levels; the probed pin pulses
+  // low -> high -> low.
+  for (std::size_t i = 0; i < input_names.size(); ++i) {
+    spice::Element& src = cell.circuit.element("V" + input_names[i]);
+    if (i == pin) {
+      spice::PulseSpec p;
+      p.v1 = 0.0;
+      p.v2 = vdd;
+      p.delay = opts_.t_delay;
+      p.rise = opts_.t_edge;
+      p.fall = opts_.t_edge;
+      p.width = opts_.t_width;
+      src.source = spice::SourceSpec::Pulse(p);
+    } else {
+      src.source = spice::SourceSpec::DC(side[i] ? vdd : 0.0);
+    }
+  }
+
+  spice::TransientOptions topt;
+  topt.t_stop = t_stop;
+  topt.h_max = opts_.h_max;
+  runtime::Metrics::global().add("ppa.transients");
+  const spice::TransientResult tr = spice::transient(cell.circuit, topt);
+  if (!tr.ok) {
+    MIVTX_WARN << cells::cell_name(type) << "/" << cells::impl_name(impl)
+               << " pin " << input_names[pin]
+               << ": transient failed: " << tr.error;
+    return out;  // simulated == false
+  }
+  out.simulated = true;
+
+  // Circuit node names are case-normalized to lower case.
+  const auto& v_in = tr.v(to_lower(input_names[pin]) + "_in");
+  const auto& v_out = tr.v(cell.output_node);
+  const double half = 0.5 * vdd;
+
+  const auto d_rise = waveform::propagation_delay(
+      v_in, v_out, half, half, 0.0, waveform::EdgeKind::kRise,
+      waveform::EdgeKind::kAny);
+  const auto d_fall = waveform::propagation_delay(
+      v_in, v_out, half, half, opts_.t_delay + opts_.t_width,
+      waveform::EdgeKind::kFall, waveform::EdgeKind::kAny);
+  if (d_rise)
+    out.arcs.push_back(ArcMeasurement{input_names[pin], true, *d_rise});
+  if (d_fall)
+    out.arcs.push_back(ArcMeasurement{input_names[pin], false, *d_fall});
+
+  // Supply power: current delivered by the VDD source (branch current is
+  // + -> - through the source, so delivering current reads negative).
+  out.power = -vdd * tr.i(cell.vdd_source).average(0.0, t_stop);
+  return out;
+}
+
+CellPpa PpaEngine::measure_uncached(cells::CellType type,
+                                    cells::Implementation impl) const {
+  runtime::ScopedTimer timer("ppa.measure");
   CellPpa result;
   result.type = type;
   result.impl = impl;
@@ -73,7 +145,6 @@ CellPpa PpaEngine::measure(cells::CellType type,
 
   const cells::ModelSet models = model_set(impl);
   const auto input_names = cells::cell_input_names(type);
-  const double vdd = opts_.vdd;
 
   // Pre-simulation gate: a floating gate, a KOZ violation or a singular
   // netlist must fail loudly here, not corrupt the Fig. 5 averages with a
@@ -83,7 +154,7 @@ CellPpa PpaEngine::measure(cells::CellType type,
     lint::lint_topology(cells::cell_topology(type), sink);
     lint::lint_layout(cell_layout, layout_.rules(), sink);
     const cells::CellNetlist probe =
-        cells::build_cell(type, impl, models, opts_.parasitics, vdd);
+        cells::build_cell(type, impl, models, opts_.parasitics, opts_.vdd);
     lint::lint_circuit(probe.circuit, sink);
     if (sink.has_errors()) {
       MIVTX_WARN << cells::cell_name(type) << "/" << cells::impl_name(impl)
@@ -92,84 +163,40 @@ CellPpa PpaEngine::measure(cells::CellType type,
       return result;  // ok == false
     }
   }
-  const double t_stop =
-      opts_.t_delay + opts_.t_width + opts_.t_delay + opts_.t_width;
 
+  // Pin sensitizations (serial: cheap truth-table walk, deterministic
+  // warnings), then the expensive transients fan out per pin.
+  std::vector<std::optional<std::vector<bool>>> sides(input_names.size());
+  for (std::size_t pin = 0; pin < input_names.size(); ++pin) {
+    sides[pin] = sensitize(type, pin);
+    if (!sides[pin]) {
+      MIVTX_WARN << cells::cell_name(type) << ": pin " << input_names[pin]
+                 << " cannot be sensitized";
+    }
+  }
+
+  const std::vector<PinOutcome> outcomes =
+      runtime::parallel_map<PinOutcome>(
+          exec_.pool, input_names.size(), [&](std::size_t pin) {
+            if (!sides[pin]) return PinOutcome{};
+            return measure_pin(type, impl, models, pin, *sides[pin]);
+          });
+
+  // Ordered reduction: accumulate in pin order exactly as the serial loop
+  // did, so delay/power averages are bit-identical for any pool size.
   double delay_sum = 0.0;
   std::size_t delay_count = 0;
   double power_sum = 0.0;
   std::size_t power_count = 0;
-
-  for (std::size_t pin = 0; pin < input_names.size(); ++pin) {
-    const auto side = sensitize(type, pin);
-    if (!side) {
-      MIVTX_WARN << cells::cell_name(type) << ": pin " << input_names[pin]
-                 << " cannot be sensitized";
-      continue;
-    }
-
-    cells::CellNetlist cell =
-        cells::build_cell(type, impl, models, opts_.parasitics, vdd);
-    result.mivs = cell.mivs;
-
-    // Side inputs at their sensitizing DC levels; the probed pin pulses
-    // low -> high -> low.
-    for (std::size_t i = 0; i < input_names.size(); ++i) {
-      spice::Element& src = cell.circuit.element("V" + input_names[i]);
-      if (i == pin) {
-        spice::PulseSpec p;
-        p.v1 = 0.0;
-        p.v2 = vdd;
-        p.delay = opts_.t_delay;
-        p.rise = opts_.t_edge;
-        p.fall = opts_.t_edge;
-        p.width = opts_.t_width;
-        src.source = spice::SourceSpec::Pulse(p);
-      } else {
-        src.source = spice::SourceSpec::DC((*side)[i] ? vdd : 0.0);
-      }
-    }
-
-    spice::TransientOptions topt;
-    topt.t_stop = t_stop;
-    topt.h_max = opts_.h_max;
-    const spice::TransientResult tr = spice::transient(cell.circuit, topt);
-    if (!tr.ok) {
-      MIVTX_WARN << cells::cell_name(type) << "/" << cells::impl_name(impl)
-                 << " pin " << input_names[pin]
-                 << ": transient failed: " << tr.error;
-      continue;
-    }
-
-    // Circuit node names are case-normalized to lower case.
-    const auto& v_in = tr.v(to_lower(input_names[pin]) + "_in");
-    const auto& v_out = tr.v(cell.output_node);
-    const double half = 0.5 * vdd;
-
-    const auto d_rise = waveform::propagation_delay(
-        v_in, v_out, half, half, 0.0, waveform::EdgeKind::kRise,
-        waveform::EdgeKind::kAny);
-    const auto d_fall = waveform::propagation_delay(
-        v_in, v_out, half, half, opts_.t_delay + opts_.t_width,
-        waveform::EdgeKind::kFall, waveform::EdgeKind::kAny);
-    if (d_rise) {
-      delay_sum += *d_rise;
+  for (const PinOutcome& out : outcomes) {
+    if (!out.simulated) continue;
+    result.mivs = out.mivs;
+    for (const ArcMeasurement& arc : out.arcs) {
+      delay_sum += arc.delay;
       ++delay_count;
-      result.arcs.push_back(
-          ArcMeasurement{input_names[pin], true, *d_rise});
+      result.arcs.push_back(arc);
     }
-    if (d_fall) {
-      delay_sum += *d_fall;
-      ++delay_count;
-      result.arcs.push_back(
-          ArcMeasurement{input_names[pin], false, *d_fall});
-    }
-
-    // Supply power: current delivered by the VDD source (branch current is
-    // + -> - through the source, so delivering current reads negative).
-    const double p =
-        -vdd * tr.i(cell.vdd_source).average(0.0, t_stop);
-    power_sum += p;
+    power_sum += out.power;
     ++power_count;
   }
 
@@ -182,14 +209,46 @@ CellPpa PpaEngine::measure(cells::CellType type,
   return result;
 }
 
+CellPpa PpaEngine::measure(cells::CellType type,
+                           cells::Implementation impl) const {
+  runtime::Metrics& metrics = runtime::Metrics::global();
+  if (exec_.cache != nullptr) {
+    const runtime::CacheKey key =
+        ppa_key(model_set(impl), type, impl, opts_, layout_.rules());
+    if (const auto hit = exec_.cache->get(key)) {
+      try {
+        CellPpa cached = parse_cell_ppa(*hit);
+        metrics.add("ppa.cache_hit");
+        return cached;
+      } catch (const Error& e) {
+        MIVTX_WARN << "discarding unreadable cached PPA for "
+                   << cells::cell_name(type) << "/" << cells::impl_name(impl)
+                   << ": " << e.what();
+      }
+    }
+    CellPpa result = measure_uncached(type, impl);
+    metrics.add("ppa.computed");
+    exec_.cache->put(key, serialize_cell_ppa(result));
+    return result;
+  }
+  CellPpa result = measure_uncached(type, impl);
+  metrics.add("ppa.computed");
+  return result;
+}
+
 std::vector<CellPpa> PpaEngine::measure_all() const {
-  std::vector<CellPpa> out;
+  std::vector<std::pair<cells::CellType, cells::Implementation>> order;
   for (cells::CellType type : cells::all_cells()) {
     for (cells::Implementation impl : cells::all_implementations()) {
-      out.push_back(measure(type, impl));
+      order.emplace_back(type, impl);
     }
   }
-  return out;
+  // (cell, implementation) pairs are independent; nested per-pin fan-out
+  // shares the same pool (TaskGroup::wait helps, so this cannot deadlock).
+  return runtime::parallel_map<CellPpa>(
+      exec_.pool, order.size(), [&](std::size_t i) {
+        return measure(order[i].first, order[i].second);
+      });
 }
 
 std::vector<ImplementationSummary> summarize(const std::vector<CellPpa>& all) {

@@ -18,6 +18,7 @@
 #include "cells/netgen.h"
 #include "core/flow.h"
 #include "layout/cell_layout.h"
+#include "runtime/exec_policy.h"
 
 namespace mivtx::core {
 
@@ -56,8 +57,11 @@ struct PpaOptions {
 
 class PpaEngine {
  public:
+  // `exec` controls scheduling and artifact reuse only; measured numbers
+  // are identical for any pool size (per-pin results reduce in pin order)
+  // and any cache state (keys hash the cards + every physics option).
   PpaEngine(const ModelLibrary& library, PpaOptions opts = {},
-            layout::DesignRules rules = {});
+            layout::DesignRules rules = {}, runtime::ExecPolicy exec = {});
 
   // Model set used for an implementation (n-type per variant, p-type
   // always traditional).
@@ -73,10 +77,26 @@ class PpaEngine {
   static std::optional<std::vector<bool>> sensitize(cells::CellType type,
                                                     std::size_t pin_index);
 
+  const layout::DesignRules& rules() const { return layout_.rules(); }
+
  private:
+  // Per-pin measurement, the unit of intra-cell parallelism.
+  struct PinOutcome {
+    bool simulated = false;  // transient converged
+    std::vector<ArcMeasurement> arcs;
+    double power = 0.0;
+    cells::MivStats mivs;
+  };
+  PinOutcome measure_pin(cells::CellType type, cells::Implementation impl,
+                         const cells::ModelSet& models, std::size_t pin,
+                         const std::vector<bool>& side) const;
+  CellPpa measure_uncached(cells::CellType type,
+                           cells::Implementation impl) const;
+
   const ModelLibrary& library_;
   PpaOptions opts_;
   layout::LayoutModel layout_;
+  runtime::ExecPolicy exec_;
 };
 
 // Per-implementation averages across all cells (the summary numbers the

@@ -1,9 +1,12 @@
 #include "core/variability.h"
 
 #include <cmath>
+#include <optional>
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "runtime/metrics.h"
+#include "runtime/thread_pool.h"
 
 namespace mivtx::core {
 
@@ -21,42 +24,58 @@ VariabilityStats run_variability(const ModelLibrary& library,
                                  cells::CellType type,
                                  cells::Implementation impl,
                                  const VariationSpec& spec,
-                                 const PpaOptions& ppa_opts) {
+                                 const PpaOptions& ppa_opts,
+                                 const runtime::ExecPolicy& exec) {
   MIVTX_EXPECT(spec.samples >= 2, "need at least 2 Monte-Carlo samples");
+  runtime::ScopedTimer timer("variability.run");
   VariabilityStats stats;
   stats.type = type;
   stats.impl = impl;
 
-  PpaEngine nominal_engine(library, ppa_opts);
-  const cells::ModelSet nominal = nominal_engine.model_set(impl);
+  const Rng base(spec.seed + static_cast<std::uint64_t>(type) * 131 +
+                 static_cast<std::uint64_t>(impl));
 
-  Rng rng(spec.seed + static_cast<std::uint64_t>(type) * 131 +
-          static_cast<std::uint64_t>(impl));
+  // One cell measurement per Monte-Carlo sample; each sample owns an
+  // independent split of the base stream, so its draws do not depend on
+  // which worker runs it or in what order.
+  const std::vector<std::optional<CellPpa>> samples =
+      runtime::parallel_map<std::optional<CellPpa>>(
+          exec.pool, spec.samples, [&](std::size_t s) -> std::optional<CellPpa> {
+            Rng rng = base.split(s);
+            // Correlated sample: both device types shift together (worst
+            // case for delay spread; uncorrelated per-device variation
+            // partially averages out inside a cell).
+            const double dvth = rng.normal(0.0, spec.sigma_vth);
+            const double u0s = std::exp(rng.normal(0.0, spec.sigma_u0_rel));
 
+            ModelLibrary sampled;
+            for (Polarity pol : {Polarity::kNmos, Polarity::kPmos}) {
+              for (Variant v : all_variants()) {
+                if (!library.has(v, pol)) continue;
+                sampled.put(v, pol,
+                            perturb_card(library.card(v, pol), dvth, u0s));
+              }
+            }
+            // Samples already saturate the pool; keep the inner engine
+            // serial but let it share the artifact cache.
+            runtime::ExecPolicy inner;
+            inner.cache = exec.cache;
+            PpaEngine engine(sampled, ppa_opts, {}, inner);
+            CellPpa ppa = engine.measure(type, impl);
+            if (!ppa.ok) return std::nullopt;
+            return ppa;
+          });
+
+  // Ordered reduction: identical float accumulation for any pool size.
   double sum = 0.0, sum_sq = 0.0, sum_p = 0.0;
   std::size_t ok = 0;
-  for (std::size_t s = 0; s < spec.samples; ++s) {
-    // Correlated sample: both device types shift together (worst case for
-    // delay spread; uncorrelated per-device variation partially averages
-    // out inside a cell).
-    const double dvth = rng.normal(0.0, spec.sigma_vth);
-    const double u0s = std::exp(rng.normal(0.0, spec.sigma_u0_rel));
-
-    ModelLibrary sampled;
-    for (Polarity pol : {Polarity::kNmos, Polarity::kPmos}) {
-      for (Variant v : all_variants()) {
-        if (!library.has(v, pol)) continue;
-        sampled.put(v, pol, perturb_card(library.card(v, pol), dvth, u0s));
-      }
-    }
-    PpaEngine engine(sampled, ppa_opts);
-    const CellPpa ppa = engine.measure(type, impl);
-    if (!ppa.ok) continue;
+  for (const auto& ppa : samples) {
+    if (!ppa) continue;
     ++ok;
-    sum += ppa.delay;
-    sum_sq += ppa.delay * ppa.delay;
-    sum_p += ppa.power;
-    stats.worst_delay = std::max(stats.worst_delay, ppa.delay);
+    sum += ppa->delay;
+    sum_sq += ppa->delay * ppa->delay;
+    sum_p += ppa->power;
+    stats.worst_delay = std::max(stats.worst_delay, ppa->delay);
   }
   MIVTX_EXPECT(ok >= 2, "too few converged Monte-Carlo samples");
   stats.samples = ok;

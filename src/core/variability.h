@@ -35,10 +35,15 @@ bsimsoi::SoiModelCard perturb_card(const bsimsoi::SoiModelCard& card,
                                    double dvth, double u0_scale);
 
 // Monte-Carlo delay/power distribution of one cell/implementation.
+// Each sample draws from its own counter-based Rng stream
+// (rng.split(sample)), so the sequence of perturbations - and therefore
+// every statistic - is identical whether samples run serially or fan out
+// across `exec.pool` in any interleaving.
 VariabilityStats run_variability(const ModelLibrary& library,
                                  cells::CellType type,
                                  cells::Implementation impl,
                                  const VariationSpec& spec = {},
-                                 const PpaOptions& ppa_opts = {});
+                                 const PpaOptions& ppa_opts = {},
+                                 const runtime::ExecPolicy& exec = {});
 
 }  // namespace mivtx::core

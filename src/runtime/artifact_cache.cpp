@@ -1,0 +1,156 @@
+#include "runtime/artifact_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace mivtx::runtime {
+
+namespace fs = std::filesystem;
+
+std::string CacheKey::id() const {
+  return domain + "-" + format("%016llx", static_cast<unsigned long long>(digest));
+}
+
+std::string CacheKey::filename() const { return id() + ".art"; }
+
+ArtifactCache::ArtifactCache(Options opts) : opts_(std::move(opts)) {
+  MIVTX_EXPECT(opts_.max_entries > 0, "cache needs at least one entry");
+  if (!opts_.disk_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(opts_.disk_dir, ec);
+    if (ec) {
+      MIVTX_WARN << "artifact cache: cannot create '" << opts_.disk_dir
+                 << "' (" << ec.message() << "); falling back to memory-only";
+      opts_.disk_dir.clear();
+    }
+  }
+}
+
+std::string ArtifactCache::env_disk_dir() {
+  const char* dir = std::getenv("MIVTX_CACHE_DIR");
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+void ArtifactCache::insert_locked(const std::string& id,
+                                  const std::string& payload) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    it->second->payload = payload;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{id, payload});
+  index_[id] = lru_.begin();
+  while (lru_.size() > opts_.max_entries) {
+    index_.erase(lru_.back().id);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::optional<std::string> ArtifactCache::get(const CacheKey& key) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    const auto it = index_.find(key.id());
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      return it->second->payload;
+    }
+  }
+  if (!opts_.disk_dir.empty()) {
+    if (auto payload = disk_get(key)) {
+      std::lock_guard<std::mutex> lk(m_);
+      insert_locked(key.id(), *payload);
+      ++stats_.hits;
+      ++stats_.disk_hits;
+      return payload;
+    }
+  }
+  std::lock_guard<std::mutex> lk(m_);
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ArtifactCache::put(const CacheKey& key, const std::string& payload) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    insert_locked(key.id(), payload);
+    ++stats_.stores;
+  }
+  if (!opts_.disk_dir.empty()) disk_put(key, payload);
+}
+
+std::optional<std::string> ArtifactCache::disk_get(const CacheKey& key) {
+  const fs::path path = fs::path(opts_.disk_dir) / key.filename();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;  // plain miss, not corruption
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string file = buf.str();
+
+  // Header: "mivtx-artifact <format> <domain> <digest-hex> <bytes>\n"
+  const std::size_t nl = file.find('\n');
+  bool ok = nl != std::string::npos;
+  if (ok) {
+    const auto fields = split(file.substr(0, nl), " ");
+    ok = fields.size() == 5 && fields[0] == "mivtx-artifact" &&
+         fields[1] == std::to_string(kCacheFormatVersion) &&
+         fields[2] == key.domain &&
+         fields[3] == format("%016llx",
+                             static_cast<unsigned long long>(key.digest)) &&
+         fields[4] == std::to_string(file.size() - nl - 1);
+  }
+  if (!ok) {
+    MIVTX_WARN << "artifact cache: rejecting corrupt file " << path.string();
+    std::lock_guard<std::mutex> lk(m_);
+    ++stats_.corrupt;
+    return std::nullopt;
+  }
+  return file.substr(nl + 1);
+}
+
+void ArtifactCache::disk_put(const CacheKey& key, const std::string& payload) {
+  const fs::path path = fs::path(opts_.disk_dir) / key.filename();
+  // Write-to-temp + rename so a concurrent reader (or a crash) never sees a
+  // half-written artifact.  The temp name is per-key, so two writers of the
+  // same key race benignly to identical content.
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      MIVTX_WARN << "artifact cache: cannot write " << tmp.string();
+      return;
+    }
+    out << "mivtx-artifact " << kCacheFormatVersion << ' ' << key.domain << ' '
+        << format("%016llx", static_cast<unsigned long long>(key.digest))
+        << ' ' << payload.size() << '\n'
+        << payload;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    MIVTX_WARN << "artifact cache: rename to " << path.string() << " failed ("
+               << ec.message() << ")";
+    fs::remove(tmp, ec);
+  }
+}
+
+CacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return stats_;
+}
+
+std::size_t ArtifactCache::memory_entries() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return lru_.size();
+}
+
+}  // namespace mivtx::runtime

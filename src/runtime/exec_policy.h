@@ -1,0 +1,18 @@
+// Execution policy handed to the flows: which pool to fan out on (null =
+// serial) and which artifact cache to reuse results through (null = always
+// recompute).  Physics options stay in their own structs (PpaOptions,
+// ExtractionOptions, ...) so cache keys never depend on how a run was
+// scheduled.
+#pragma once
+
+namespace mivtx::runtime {
+
+class ThreadPool;
+class ArtifactCache;
+
+struct ExecPolicy {
+  ThreadPool* pool = nullptr;
+  ArtifactCache* cache = nullptr;
+};
+
+}  // namespace mivtx::runtime

@@ -1,0 +1,140 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+#include <sstream>
+
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace mivtx::runtime {
+
+Metrics& Metrics::global() {
+  static Metrics instance;
+  return instance;
+}
+
+void Metrics::add(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), CounterValue{}).first;
+  it->second.total += value;
+  it->second.samples += 1;
+}
+
+void Metrics::record_time(std::string_view name, double wall_s, double cpu_s) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto it = timers_.find(name);
+  if (it == timers_.end())
+    it = timers_.emplace(std::string(name), TimerValue{}).first;
+  TimerValue& t = it->second;
+  t.count += 1;
+  t.wall_s += wall_s;
+  t.cpu_s += cpu_s;
+  t.wall_max_s = std::max(t.wall_max_s, wall_s);
+}
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> lk(m_);
+  counters_.clear();
+  timers_.clear();
+}
+
+std::map<std::string, CounterValue> Metrics::counters() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, TimerValue> Metrics::timers() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return {timers_.begin(), timers_.end()};
+}
+
+double Metrics::counter_total(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second.total;
+}
+
+std::string Metrics::render_text() const {
+  const auto counters = this->counters();
+  const auto timers = this->timers();
+  std::ostringstream os;
+  if (!timers.empty()) {
+    TextTable t({"timer", "calls", "wall (s)", "cpu (s)", "max (s)"});
+    t.set_align(0, TextTable::Align::kLeft);
+    for (const auto& [name, v] : timers) {
+      t.add_row({name, format("%llu", static_cast<unsigned long long>(v.count)),
+                 format("%.3f", v.wall_s), format("%.3f", v.cpu_s),
+                 format("%.3f", v.wall_max_s)});
+    }
+    os << t.to_string();
+  }
+  if (!counters.empty()) {
+    TextTable t({"counter", "total", "samples"});
+    t.set_align(0, TextTable::Align::kLeft);
+    for (const auto& [name, v] : counters) {
+      t.add_row({name, format("%g", v.total),
+                 format("%llu", static_cast<unsigned long long>(v.samples))});
+    }
+    os << t.to_string();
+  }
+  if (counters.empty() && timers.empty()) os << "(no metrics recorded)\n";
+  return os.str();
+}
+
+std::string Metrics::render_json() const {
+  const auto counters = this->counters();
+  const auto timers = this->timers();
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    \"" << name << "\": {\"total\": " << format("%.17g", v.total)
+       << ", \"samples\": " << v.samples << "}";
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"timers\": {";
+  first = true;
+  for (const auto& [name, v] : timers) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    \"" << name << "\": {\"count\": " << v.count
+       << ", \"wall_s\": " << format("%.6f", v.wall_s)
+       << ", \"cpu_s\": " << format("%.6f", v.cpu_s)
+       << ", \"wall_max_s\": " << format("%.6f", v.wall_max_s) << "}";
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+#endif
+  return wall_seconds();
+}
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ScopedTimer::ScopedTimer(std::string name, Metrics& metrics)
+    : name_(std::move(name)),
+      metrics_(metrics),
+      wall0_(wall_seconds()),
+      cpu0_(thread_cpu_seconds()) {}
+
+ScopedTimer::~ScopedTimer() {
+  metrics_.record_time(name_, wall_seconds() - wall0_,
+                       thread_cpu_seconds() - cpu0_);
+}
+
+}  // namespace mivtx::runtime

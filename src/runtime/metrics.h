@@ -1,0 +1,73 @@
+// Lightweight task metrics: named counters and scoped wall/CPU timers.
+//
+// Everything funnels into one mutex-guarded registry (hot paths record a
+// handful of times per device/cell, not per Newton iteration, so a mutex is
+// plenty).  Reports render as a text table or JSON; benches expose them via
+// --metrics.  Timers read the clock but never feed results back into any
+// computation, so the determinism contract (DESIGN.md §5.10) is preserved.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace mivtx::runtime {
+
+struct CounterValue {
+  double total = 0.0;
+  std::uint64_t samples = 0;
+};
+
+struct TimerValue {
+  std::uint64_t count = 0;
+  double wall_s = 0.0;
+  double cpu_s = 0.0;
+  double wall_max_s = 0.0;
+};
+
+class Metrics {
+ public:
+  // Process-wide registry; benches/examples report and reset it.
+  static Metrics& global();
+
+  void add(std::string_view name, double value = 1.0);
+  void record_time(std::string_view name, double wall_s, double cpu_s);
+  void reset();
+
+  std::map<std::string, CounterValue> counters() const;
+  std::map<std::string, TimerValue> timers() const;
+  // Convenience: counter total (0 if absent).
+  double counter_total(std::string_view name) const;
+
+  std::string render_text() const;
+  std::string render_json() const;
+
+ private:
+  mutable std::mutex m_;
+  std::map<std::string, CounterValue, std::less<>> counters_;
+  std::map<std::string, TimerValue, std::less<>> timers_;
+};
+
+// Per-thread CPU time (CLOCK_THREAD_CPUTIME_ID on POSIX; wall-clock
+// fallback elsewhere) — summed over tasks it exceeds wall time when the
+// pool actually ran in parallel, which is exactly the signal we want.
+double thread_cpu_seconds();
+double wall_seconds();
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name, Metrics& metrics = Metrics::global());
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string name_;
+  Metrics& metrics_;
+  double wall0_;
+  double cpu0_;
+};
+
+}  // namespace mivtx::runtime

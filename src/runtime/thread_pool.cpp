@@ -1,0 +1,164 @@
+#include "runtime/thread_pool.h"
+
+namespace mivtx::runtime {
+
+namespace {
+// Index of the deque owned by the current thread inside *some* pool, or
+// SIZE_MAX for external threads.  A thread only ever belongs to one pool,
+// so a plain thread_local pair (pool, index) suffices.
+thread_local const ThreadPool* t_pool = nullptr;
+thread_local std::size_t t_index = SIZE_MAX;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  size_ = threads;
+  if (threads <= 1) return;  // inline mode: no deques, no workers
+  deques_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    deques_.push_back(std::make_unique<Deque>());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_main(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(wake_m_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (deques_.empty()) {  // size <= 1: degenerate pool, run inline
+    task();
+    return;
+  }
+  std::size_t home;
+  if (t_pool == this) {
+    home = t_index;  // worker: own deque, LIFO end
+    std::lock_guard<std::mutex> lk(deques_[home]->m);
+    deques_[home]->tasks.push_front(std::move(task));
+  } else {
+    home = next_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
+    std::lock_guard<std::mutex> lk(deques_[home]->m);
+    deques_[home]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t home, std::function<void()>& out) {
+  const std::size_t n = deques_.size();
+  // Own deque first (front = most recently pushed by this worker)...
+  if (home < n) {
+    Deque& d = *deques_[home];
+    std::lock_guard<std::mutex> lk(d.m);
+    if (!d.tasks.empty()) {
+      out = std::move(d.tasks.front());
+      d.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  // ... then steal from the back of the others.
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t victim = (home + 1 + k) % n;
+    if (victim == home) continue;
+    Deque& d = *deques_[victim];
+    std::lock_guard<std::mutex> lk(d.m);
+    if (!d.tasks.empty()) {
+      out = std::move(d.tasks.back());
+      d.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::run_one() {
+  if (deques_.empty()) return false;
+  const std::size_t home = (t_pool == this) ? t_index : 0;
+  std::function<void()> task;
+  if (!try_pop(home, task)) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::worker_main(std::size_t index) {
+  t_pool = this;
+  t_index = index;
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(index, task)) {
+      task();
+      task = nullptr;  // release captures before going idle
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(wake_m_);
+    wake_.wait(lk, [this] {
+      return stop_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_ && queued_.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  // Structured: never let tasks outlive the group.  Errors were already
+  // recorded; destructor must not throw.
+  while (outstanding_.load(std::memory_order_acquire) > 0) {
+    if (pool_ == nullptr || !pool_->run_one()) std::this_thread::yield();
+  }
+}
+
+void TaskGroup::record_error(std::size_t index, std::exception_ptr err) {
+  std::lock_guard<std::mutex> lk(err_m_);
+  if (!first_error_ || index < first_error_index_) {
+    first_error_ = std::move(err);
+    first_error_index_ = index;
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  const std::size_t index = next_index_++;
+  if (pool_ == nullptr || pool_->size() <= 1) {
+    try {
+      fn();
+    } catch (...) {
+      record_error(index, std::current_exception());
+    }
+    return;
+  }
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->submit([this, index, fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (...) {
+      record_error(index, std::current_exception());
+    }
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  });
+}
+
+void TaskGroup::wait() {
+  while (outstanding_.load(std::memory_order_acquire) > 0) {
+    // Help instead of blocking: this is what makes nested parallel_for
+    // safe on a shared pool.
+    if (!pool_->run_one()) std::this_thread::yield();
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(err_m_);
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace mivtx::runtime

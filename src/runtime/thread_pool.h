@@ -1,0 +1,136 @@
+// Work-stealing thread pool and structured-parallelism primitives.
+//
+// Design goals, in priority order:
+//   1. Determinism: parallel_for / parallel_map produce results (and
+//      propagate exceptions) identical for 1 and N worker threads.  Each
+//      index writes its own output slot and reductions happen on the caller
+//      in index order, so floating-point sums are bit-identical to the
+//      serial run.
+//   2. Composability: TaskGroup::wait() *helps* — a worker blocked on a
+//      nested group executes pending pool tasks instead of sleeping, so
+//      fan-out inside fan-out (PPA cells -> pin arcs) cannot deadlock and
+//      wastes no threads.
+//   3. Simplicity over raw throughput: per-worker deques are mutex-guarded
+//      (owner pops the front, thieves steal from the back).  Tasks here are
+//      milliseconds-to-seconds of TCAD/transient work; lock-free deques
+//      would buy nothing measurable.
+//
+// A null / single-thread pool degrades to inline serial execution, which is
+// also the reference ordering for the determinism contract.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mivtx::runtime {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks std::thread::hardware_concurrency() (at least 1).
+  // A pool of size <= 1 spawns no threads; everything runs inline.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return size_; }
+
+  // Enqueue a task.  Worker threads push onto their own deque (LIFO for
+  // locality); external callers round-robin across deques.
+  void submit(std::function<void()> task);
+
+  // Run one pending task on the calling thread.  Returns false when every
+  // deque is empty.  This is the "help" primitive TaskGroup::wait uses.
+  bool run_one();
+
+ private:
+  struct Deque {
+    std::mutex m;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_main(std::size_t index);
+  bool try_pop(std::size_t home, std::function<void()>& out);
+
+  std::size_t size_ = 1;
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_m_;
+  std::condition_variable wake_;
+  std::atomic<std::size_t> queued_{0};  // tasks enqueued, not yet popped
+  std::atomic<std::size_t> next_{0};    // round-robin cursor for externals
+  bool stop_ = false;                   // guarded by wake_m_
+};
+
+// Structured task group: run() submits, wait() blocks until every submitted
+// task finished, helping the pool while it waits, then rethrows the
+// exception of the lowest-numbered failed task (deterministic regardless of
+// scheduling).  With a null pool, run() executes inline; wait() only
+// rethrows.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup();
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+  void wait();
+
+ private:
+  void record_error(std::size_t index, std::exception_ptr err);
+
+  ThreadPool* pool_;
+  std::atomic<std::size_t> outstanding_{0};
+  std::size_t next_index_ = 0;
+  std::mutex err_m_;
+  std::size_t first_error_index_ = 0;
+  std::exception_ptr first_error_;
+};
+
+// Run fn(i) for i in [0, n).  Indices are chunked contiguously; each chunk
+// runs sequentially, so the first exception within the lowest failing chunk
+// is the same exception the serial loop would have thrown.  Serial when
+// pool is null, pool->size() <= 1, or n <= 1.
+template <typename Fn>
+void parallel_for(ThreadPool* pool, std::size_t n, Fn&& fn) {
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunks =
+      n < pool->size() * 4 ? n : pool->size() * 4;
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  TaskGroup group(pool);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    group.run([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+    begin = end;
+  }
+  group.wait();
+}
+
+// Map i -> fn(i) into a vector with results in index order.  T must be
+// default-constructible and movable.  Bit-identical for 1 vs N threads.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(ThreadPool* pool, std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(pool, n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace mivtx::runtime
