@@ -5,20 +5,31 @@
 //
 // `--json FILE` is shorthand for --benchmark_out=FILE
 // --benchmark_out_format=json (the form CI consumes).
+//
+// `--backend=dense|sparse|auto` pins the SPICE linear-solver core for the
+// dcop/transient benchmarks (default auto); the std-cell transient bench
+// reports the solver-core counters (factorizations, LU reuses, device
+// bypasses, ...) as per-run benchmark counters so they land in the JSON.
+// `--metrics` prints the full runtime metrics report on exit.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "bsimsoi/model.h"
+#include "cells/netgen.h"
 #include "common/hash.h"
 #include "common/rng.h"
+#include "core/ppa.h"
 #include "core/reference_cards.h"
 #include "linalg/banded.h"
 #include "linalg/dense.h"
 #include "runtime/artifact_cache.h"
+#include "runtime/metrics.h"
 #include "runtime/thread_pool.h"
 #include "spice/dcop.h"
 #include "spice/transient.h"
@@ -27,6 +38,14 @@
 using namespace mivtx;
 
 namespace {
+
+spice::SolverBackend g_backend = spice::SolverBackend::kAuto;
+
+spice::NewtonOptions bench_newton() {
+  spice::NewtonOptions opts;
+  opts.backend = g_backend;
+  return opts;
+}
 
 linalg::DenseMatrix random_dense(std::size_t n, Rng& rng) {
   linalg::DenseMatrix a(n, n);
@@ -108,8 +127,9 @@ spice::Circuit make_inverter_chain(int stages) {
 void BM_DcOperatingPoint(benchmark::State& state) {
   const spice::Circuit ckt =
       make_inverter_chain(static_cast<int>(state.range(0)));
+  const spice::NewtonOptions newton = bench_newton();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(spice::dc_operating_point(ckt));
+    benchmark::DoNotOptimize(spice::dc_operating_point(ckt, newton));
   }
 }
 BENCHMARK(BM_DcOperatingPoint)->Arg(1)->Arg(5)->Arg(15);
@@ -119,12 +139,78 @@ void BM_TransientInverterChain(benchmark::State& state) {
       make_inverter_chain(static_cast<int>(state.range(0)));
   spice::TransientOptions opts;
   opts.t_stop = 6e-10;
+  opts.newton = bench_newton();
   for (auto _ : state) {
     const spice::TransientResult tr = spice::transient(ckt, opts);
     benchmark::DoNotOptimize(tr.accepted_steps);
   }
 }
 BENCHMARK(BM_TransientInverterChain)->Arg(1)->Arg(5)->Unit(benchmark::kMillisecond);
+
+// A parasitic-annotated standard cell driven the way the PPA engine drives
+// it: pin 0 pulses full swing, the side inputs sit at sensitizing levels.
+spice::Circuit make_std_cell(cells::CellType type) {
+  const auto& lib = core::reference_model_library();
+  cells::ModelSet models;
+  models.nmos = lib.card(core::Variant::kTraditional, core::Polarity::kNmos);
+  models.pmos = lib.card(core::Variant::kTraditional, core::Polarity::kPmos);
+  cells::CellNetlist cell = cells::build_cell(
+      type, cells::Implementation::k2D, models, cells::ParasiticSpec{}, 1.0);
+  const std::vector<std::string> inputs = cells::cell_input_names(type);
+  const auto side = core::PpaEngine::sensitize(type, 0);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    spice::Element& src = cell.circuit.element("V" + inputs[i]);
+    if (i == 0) {
+      spice::PulseSpec p;
+      p.v1 = 0.0;
+      p.v2 = 1.0;
+      p.delay = 100e-12;
+      p.rise = 20e-12;
+      p.fall = 20e-12;
+      p.width = 300e-12;
+      src.source = spice::SourceSpec::Pulse(p);
+    } else {
+      src.source =
+          spice::SourceSpec::DC(side.has_value() && (*side)[i] ? 1.0 : 0.0);
+    }
+  }
+  return cell.circuit;
+}
+
+void BM_TransientStdCell(benchmark::State& state) {
+  const cells::CellType type = static_cast<cells::CellType>(state.range(0));
+  const spice::Circuit ckt = make_std_cell(type);
+  spice::TransientOptions opts;
+  opts.t_stop = 6e-10;
+  opts.newton = bench_newton();
+  runtime::Metrics::global().reset();
+  for (auto _ : state) {
+    const spice::TransientResult tr = spice::transient(ckt, opts);
+    benchmark::DoNotOptimize(tr.accepted_steps);
+  }
+  // Per-run solver-core counters (averaged over bench iterations); the
+  // expected ordering is symbolic << full factorizations << refactorizations
+  // <= newton iterations.
+  const runtime::Metrics& m = runtime::Metrics::global();
+  const double runs =
+      std::max<double>(1.0, static_cast<double>(state.iterations()));
+  state.counters["unknowns"] = static_cast<double>(ckt.system_size());
+  state.counters["newton_iters"] =
+      m.counter_total("spice.newton.iterations") / runs;
+  state.counters["symbolic"] =
+      m.counter_total("spice.sparse.symbolic_analyses") / runs;
+  state.counters["full_factor"] =
+      m.counter_total("spice.sparse.full_factorizations") / runs;
+  state.counters["refactor"] =
+      m.counter_total("spice.sparse.refactorizations") / runs;
+  state.counters["lu_reuse"] = m.counter_total("spice.sparse.lu_reuses") / runs;
+  state.counters["dev_bypass"] =
+      m.counter_total("spice.device.bypasses") / runs;
+}
+BENCHMARK(BM_TransientStdCell)
+    ->Arg(static_cast<int>(cells::CellType::kNand2))
+    ->Arg(static_cast<int>(cells::CellType::kXor2))
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TcadGummelBiasStep(benchmark::State& state) {
   tcad::DeviceSpec spec = tcad::DeviceSpec::for_variant(
@@ -181,14 +267,34 @@ BENCHMARK(BM_ArtifactCacheGet);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Translate the repo-conventional "--json FILE" before google-benchmark
-  // parses the command line.
+  // Translate the repo-conventional "--json FILE" and strip the local
+  // "--backend=..." / "--metrics" flags before google-benchmark parses the
+  // command line.
+  bool print_metrics = false;
   std::vector<std::string> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.push_back("--benchmark_out=" + std::string(argv[i + 1]));
       args.push_back("--benchmark_out_format=json");
       ++i;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      const std::string which = argv[i] + 10;
+      if (which == "dense") {
+        g_backend = spice::SolverBackend::kDense;
+      } else if (which == "sparse") {
+        g_backend = spice::SolverBackend::kSparse;
+      } else if (which == "auto") {
+        g_backend = spice::SolverBackend::kAuto;
+      } else {
+        std::fprintf(stderr, "unknown --backend value: %s\n", which.c_str());
+        return 1;
+      }
+      continue;
+    }
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      print_metrics = true;
       continue;
     }
     args.push_back(argv[i]);
@@ -199,6 +305,8 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&cargc, cargs.data());
   if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  if (print_metrics)
+    std::printf("\n%s", runtime::Metrics::global().render_text().c_str());
   benchmark::Shutdown();
   return 0;
 }

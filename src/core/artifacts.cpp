@@ -49,6 +49,12 @@ void mix_ppa_options(StableHash& h, const PpaOptions& o) {
   h.mix(o.parasitics.r_rail).mix(o.parasitics.c_load);
   h.mix(o.parasitics.r_extra_sd_4ch).mix(o.parasitics.c_miv_external);
   h.mix(o.lint);
+  // Solver-core knobs that can move the measured numbers: the backend
+  // choice (dense vs sparse pivoting differ in rounding) and the device
+  // bypass tolerance (stale linearizations within vtol).
+  h.mix(static_cast<int>(o.newton.backend));
+  h.mix(static_cast<int>(o.newton.sparse_min_unknowns));
+  h.mix(o.newton.bypass_vtol);
 }
 
 void write_curve(std::ostringstream& os, const char* tag, const Curve& c) {

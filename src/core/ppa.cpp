@@ -102,6 +102,7 @@ PpaEngine::PinOutcome PpaEngine::measure_pin(
   spice::TransientOptions topt;
   topt.t_stop = t_stop;
   topt.h_max = opts_.h_max;
+  topt.newton = opts_.newton;
   runtime::Metrics::global().add("ppa.transients");
   const spice::TransientResult tr = spice::transient(cell.circuit, topt);
   if (!tr.ok) {

@@ -19,6 +19,7 @@
 #include "core/flow.h"
 #include "layout/cell_layout.h"
 #include "runtime/exec_policy.h"
+#include "spice/dcop.h"
 
 namespace mivtx::core {
 
@@ -46,6 +47,9 @@ struct PpaOptions {
   double t_delay = 200e-12;  // time before the first edge
   double t_width = 500e-12;  // pulse width
   double h_max = 10e-12;     // transient step cap
+  // Solver-core selection for the measurement transients (backend,
+  // bypass tolerance, ...); defaults pick the sparse core for every cell.
+  spice::NewtonOptions newton;
   cells::ParasiticSpec parasitics;
   // Mandatory pre-simulation gate: lint the cell topology, the rule-driven
   // layout (KOZ checks), and the generated netlist before spending any

@@ -20,6 +20,27 @@ void SparseBuilder::add(std::size_t r, std::size_t c, double v) {
 
 SparseMatrix::SparseMatrix(const SparseBuilder& builder)
     : rows_(builder.rows()), cols_(builder.cols()) {
+  // Pattern-ordered builders (the common case when entries were emitted by
+  // an assembly plan) compress without the copy + sort.
+  bool ordered = true;
+  const std::vector<SparseBuilder::Entry>& raw = builder.entries();
+  for (std::size_t i = 1; i < raw.size() && ordered; ++i) {
+    ordered = raw[i - 1].row < raw[i].row ||
+              (raw[i - 1].row == raw[i].row && raw[i - 1].col < raw[i].col);
+  }
+  if (ordered) {
+    row_ptr_.assign(rows_ + 1, 0);
+    col_idx_.reserve(raw.size());
+    values_.reserve(raw.size());
+    for (const SparseBuilder::Entry& e : raw) {
+      if (e.value == 0.0) continue;
+      col_idx_.push_back(e.col);
+      values_.push_back(e.value);
+      ++row_ptr_[e.row + 1];
+    }
+    for (std::size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+    return;
+  }
   std::vector<SparseBuilder::Entry> ents = builder.entries();
   std::sort(ents.begin(), ents.end(),
             [](const SparseBuilder::Entry& a, const SparseBuilder::Entry& b) {
@@ -58,9 +79,12 @@ Vector SparseMatrix::multiply(const Vector& x) const {
 
 double SparseMatrix::at(std::size_t r, std::size_t c) const {
   MIVTX_EXPECT(r < rows_ && c < cols_, "sparse at: index out of range");
-  for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-    if (col_idx_[k] == c) return values_[k];
-  return 0.0;
+  // Columns are sorted within each row, so binary-search the row slice.
+  const auto first = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto last = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(first, last, c);
+  if (it == last || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
 }
 
 Ilu0::Ilu0(const SparseMatrix& a)

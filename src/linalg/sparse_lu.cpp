@@ -1,0 +1,313 @@
+#include "linalg/sparse_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace mivtx::linalg {
+
+void SparseLU::analyze(std::size_t n, const std::vector<std::size_t>& row_ptr,
+                       const std::vector<std::size_t>& col_idx) {
+  MIVTX_EXPECT(n > 0, "SparseLU: empty system");
+  MIVTX_EXPECT(row_ptr.size() == n + 1, "SparseLU: bad row_ptr");
+  MIVTX_EXPECT(row_ptr.back() == col_idx.size(), "SparseLU: bad pattern");
+  n_ = n;
+  factorized_ = false;
+  const std::size_t nnz = col_idx.size();
+
+  // CSR -> CSC with a source map so numeric passes can scatter straight
+  // from the caller's CSR value array.
+  col_ptr_.assign(n + 1, 0);
+  for (std::size_t k = 0; k < nnz; ++k) col_ptr_[col_idx[k] + 1] += 1;
+  for (std::size_t c = 0; c < n; ++c) col_ptr_[c + 1] += col_ptr_[c];
+  row_idx_.assign(nnz, 0);
+  csc_src_.assign(nnz, 0);
+  std::vector<std::size_t> next(col_ptr_.begin(), col_ptr_.end() - 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const std::size_t dst = next[col_idx[k]]++;
+      row_idx_[dst] = r;
+      csc_src_[dst] = k;
+    }
+  }
+
+  order_columns(row_ptr, col_idx);
+
+  // Scratch for the numeric phases.
+  work_.assign(n, 0.0);
+  xi_.assign(n, 0);
+  stack_.assign(n, 0);
+  pstack_.assign(n, 0);
+  mark_.assign(n, 0);
+  xperm_.assign(n, 0.0);
+  pinv_.assign(n, kNone);
+  piv_row_.assign(n, kNone);
+  lp_.clear();
+  li_.clear();
+  lx_.clear();
+  up_.clear();
+  ui_.clear();
+  ux_.clear();
+  udiag_.clear();
+  pat_ptr_.clear();
+  pat_row_.clear();
+}
+
+void SparseLU::order_columns(const std::vector<std::size_t>& row_ptr,
+                             const std::vector<std::size_t>& col_idx) {
+  // Greedy minimum degree on the symmetrized pattern A + A^T.  MNA systems
+  // here are small (tens to a few hundred unknowns), so a quadratic
+  // elimination-graph sweep with explicit clique merges is fast enough and
+  // much simpler than AMD proper.
+  const std::size_t n = n_;
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const std::size_t c = col_idx[k];
+      if (c == r) continue;
+      adj[r].push_back(c);
+      adj[c].push_back(r);
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(adj[v].begin(), adj[v].end());
+    adj[v].erase(std::unique(adj[v].begin(), adj[v].end()), adj[v].end());
+  }
+
+  colperm_.assign(n, 0);
+  std::vector<char> dead(n, 0);
+  std::vector<std::size_t> merged;
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = kNone, best_deg = kNone;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dead[v]) continue;
+      std::size_t deg = 0;
+      for (const std::size_t w : adj[v]) deg += dead[w] ? 0u : 1u;
+      if (deg < best_deg) {
+        best_deg = deg;
+        best = v;
+      }
+    }
+    colperm_[step] = best;
+    dead[best] = 1;
+    // Eliminating `best` turns its live neighborhood into a clique.
+    for (const std::size_t a : adj[best]) {
+      if (dead[a]) continue;
+      merged.clear();
+      std::set_union(adj[a].begin(), adj[a].end(), adj[best].begin(),
+                     adj[best].end(), std::back_inserter(merged));
+      adj[a].swap(merged);
+    }
+  }
+}
+
+std::size_t SparseLU::reach_dfs(std::size_t start, std::size_t top) {
+  auto child_begin = [&](std::size_t i) {
+    return pinv_[i] == kNone ? std::size_t{0} : lp_[pinv_[i]];
+  };
+  auto child_end = [&](std::size_t i) {
+    return pinv_[i] == kNone ? std::size_t{0} : lp_[pinv_[i] + 1];
+  };
+  std::size_t depth = 0;
+  stack_[0] = start;
+  pstack_[0] = child_begin(start);
+  mark_[start] = 1;
+  while (true) {
+    const std::size_t i = stack_[depth];
+    const std::size_t end = child_end(i);
+    std::size_t p = pstack_[depth];
+    bool descended = false;
+    while (p < end) {
+      const std::size_t child = li_[p];
+      ++p;
+      if (!mark_[child]) {
+        pstack_[depth] = p;
+        ++depth;
+        stack_[depth] = child;
+        pstack_[depth] = child_begin(child);
+        mark_[child] = 1;
+        descended = true;
+        break;
+      }
+    }
+    if (descended) continue;
+    xi_[--top] = i;  // all children emitted -> topological position
+    if (depth == 0) return top;
+    --depth;
+  }
+}
+
+bool SparseLU::factorize(const std::vector<double>& csr_values) {
+  MIVTX_EXPECT(analyzed(), "SparseLU::factorize before analyze");
+  MIVTX_EXPECT(csr_values.size() == csc_src_.size(),
+               "SparseLU: value array does not match the analyzed pattern");
+  const std::size_t n = n_;
+  factorized_ = false;
+  std::fill(pinv_.begin(), pinv_.end(), kNone);
+  std::fill(piv_row_.begin(), piv_row_.end(), kNone);
+  lp_.clear();
+  li_.clear();
+  lx_.clear();
+  up_.clear();
+  ui_.clear();
+  ux_.clear();
+  udiag_.clear();
+  pat_ptr_.clear();
+  pat_row_.clear();
+  lp_.push_back(0);
+  up_.push_back(0);
+  pat_ptr_.push_back(0);
+
+  double min_pivot = std::numeric_limits<double>::infinity();
+  double max_pivot = 0.0;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t col = colperm_[k];
+    // Symbolic: reach of A(:,col) through the partial L.
+    std::size_t top = n;
+    for (std::size_t p = col_ptr_[col]; p < col_ptr_[col + 1]; ++p) {
+      if (!mark_[row_idx_[p]]) top = reach_dfs(row_idx_[p], top);
+    }
+    // Numeric: sparse triangular solve x = L \ A(:,col).
+    for (std::size_t t = top; t < n; ++t) work_[xi_[t]] = 0.0;
+    for (std::size_t p = col_ptr_[col]; p < col_ptr_[col + 1]; ++p)
+      work_[row_idx_[p]] = csr_values[csc_src_[p]];
+    for (std::size_t t = top; t < n; ++t) {
+      const std::size_t i = xi_[t];
+      const std::size_t j = pinv_[i];
+      if (j == kNone) continue;
+      const double xj = work_[i];
+      for (std::size_t q = lp_[j]; q < lp_[j + 1]; ++q)
+        work_[li_[q]] -= lx_[q] * xj;
+    }
+    // Partial pivoting over the not-yet-pivotal rows.
+    std::size_t ipiv = kNone;
+    double best = 0.0;
+    for (std::size_t t = top; t < n; ++t) {
+      const std::size_t i = xi_[t];
+      if (pinv_[i] != kNone) continue;
+      const double v = std::fabs(work_[i]);
+      if (v > best) {
+        best = v;
+        ipiv = i;
+      }
+    }
+    if (ipiv == kNone || !(best > 0.0) || !std::isfinite(best)) {
+      for (std::size_t t = top; t < n; ++t) mark_[xi_[t]] = 0;
+      return false;
+    }
+    const double pivot = work_[ipiv];
+    pinv_[ipiv] = k;
+    piv_row_[k] = ipiv;
+    udiag_.push_back(pivot);
+    min_pivot = std::min(min_pivot, best);
+    max_pivot = std::max(max_pivot, best);
+    // Store the step: reach pattern (topological), U entries in that same
+    // order (refactorize replays it), L entries scaled by the pivot.
+    for (std::size_t t = top; t < n; ++t) {
+      const std::size_t i = xi_[t];
+      pat_row_.push_back(i);
+      const std::size_t j = pinv_[i];
+      if (j == k) continue;  // pivot -> udiag_
+      if (j != kNone) {
+        ui_.push_back(j);
+        ux_.push_back(work_[i]);
+      } else {
+        li_.push_back(i);
+        lx_.push_back(work_[i] / pivot);
+      }
+      mark_[i] = 0;
+    }
+    mark_[ipiv] = 0;
+    lp_.push_back(li_.size());
+    up_.push_back(ui_.size());
+    pat_ptr_.push_back(pat_row_.size());
+  }
+
+  pivot_ratio_ = max_pivot > 0.0 ? min_pivot / max_pivot : 0.0;
+  factorized_ = true;
+  return true;
+}
+
+bool SparseLU::refactorize(const std::vector<double>& csr_values) {
+  if (!factorized_) return false;
+  MIVTX_EXPECT(csr_values.size() == csc_src_.size(),
+               "SparseLU: value array does not match the analyzed pattern");
+  const std::size_t n = n_;
+  double min_pivot = std::numeric_limits<double>::infinity();
+  double max_pivot = 0.0;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t col = colperm_[k];
+    const std::size_t p0 = pat_ptr_[k], p1 = pat_ptr_[k + 1];
+    for (std::size_t p = p0; p < p1; ++p) work_[pat_row_[p]] = 0.0;
+    for (std::size_t p = col_ptr_[col]; p < col_ptr_[col + 1]; ++p)
+      work_[row_idx_[p]] = csr_values[csc_src_[p]];
+    // Replay the recorded topological update schedule (U part).
+    std::size_t uc = up_[k];
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t i = pat_row_[p];
+      const std::size_t j = pinv_[i];
+      if (j >= k) continue;
+      const double xj = work_[i];
+      ux_[uc++] = xj;
+      for (std::size_t q = lp_[j]; q < lp_[j + 1]; ++q)
+        work_[li_[q]] -= lx_[q] * xj;
+    }
+    // Pivot acceptance: the fixed pivot row must still dominate its
+    // column to within refactor_pivot_tol, otherwise force a re-pivot.
+    const double pivot = work_[piv_row_[k]];
+    double colmax = 0.0;
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t i = pat_row_[p];
+      if (pinv_[i] < k) continue;
+      colmax = std::max(colmax, std::fabs(work_[i]));
+    }
+    if (!std::isfinite(pivot) || !(std::fabs(pivot) > 0.0) ||
+        std::fabs(pivot) < refactor_pivot_tol * colmax) {
+      factorized_ = false;  // factors half-overwritten; force factorize()
+      return false;
+    }
+    udiag_[k] = pivot;
+    std::size_t lc = lp_[k];
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t i = pat_row_[p];
+      if (pinv_[i] <= k) continue;
+      lx_[lc++] = work_[i] / pivot;
+    }
+    min_pivot = std::min(min_pivot, std::fabs(pivot));
+    max_pivot = std::max(max_pivot, std::fabs(pivot));
+  }
+
+  pivot_ratio_ = max_pivot > 0.0 ? min_pivot / max_pivot : 0.0;
+  return true;
+}
+
+void SparseLU::solve(Vector& b) {
+  MIVTX_EXPECT(factorized_, "SparseLU::solve without a factorization");
+  MIVTX_EXPECT(b.size() == n_, "SparseLU::solve: rhs size mismatch");
+  const std::size_t n = n_;
+  // Row permutation: P b.
+  for (std::size_t k = 0; k < n; ++k) xperm_[k] = b[piv_row_[k]];
+  // Forward substitution, unit-diagonal L (rows stored as original ids).
+  for (std::size_t k = 0; k < n; ++k) {
+    const double xk = xperm_[k];
+    if (xk == 0.0) continue;
+    for (std::size_t q = lp_[k]; q < lp_[k + 1]; ++q)
+      xperm_[pinv_[li_[q]]] -= lx_[q] * xk;
+  }
+  // Back substitution on column-stored U.
+  for (std::size_t kk = n; kk-- > 0;) {
+    const double xk = xperm_[kk] / udiag_[kk];
+    xperm_[kk] = xk;
+    if (xk == 0.0) continue;
+    for (std::size_t q = up_[kk]; q < up_[kk + 1]; ++q)
+      xperm_[ui_[q]] -= ux_[q] * xk;
+  }
+  // Column permutation: x = Q y.
+  for (std::size_t k = 0; k < n; ++k) b[colperm_[k]] = xperm_[k];
+}
+
+}  // namespace mivtx::linalg

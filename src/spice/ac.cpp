@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "linalg/complex_dense.h"
 #include "spice/mna.h"
+#include "spice/solver_workspace.h"
 
 namespace mivtx::spice {
 
@@ -52,7 +53,10 @@ AcResult ac_analysis(const Circuit& circuit, const std::string& ac_source,
   MIVTX_EXPECT(src.kind == ElementKind::kVoltageSource,
                "AC stimulus must be a voltage source");
 
-  const DcResult dc = dc_operating_point(circuit, newton);
+  // The operating point runs on the sparse solver core; the per-frequency
+  // phasor solves stay dense-complex (no Newton iteration to amortize).
+  SolverWorkspace ws(circuit, newton);
+  const DcResult dc = dc_operating_point(circuit, newton, ws);
   if (!dc.converged) {
     out.error = "DC operating point failed";
     return out;

@@ -1,0 +1,65 @@
+#include "spice/assembly_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "spice/mna.h"
+
+namespace mivtx::spice {
+
+namespace {
+
+using Coord = std::pair<std::size_t, std::size_t>;
+
+// CSR slot of (r, c); the pattern is sorted per row, so binary search.
+std::size_t slot_of(const std::vector<std::size_t>& row_ptr,
+                    const std::vector<std::size_t>& col_idx, std::size_t r,
+                    std::size_t c) {
+  const auto first = col_idx.begin() + static_cast<std::ptrdiff_t>(row_ptr[r]);
+  const auto last =
+      col_idx.begin() + static_cast<std::ptrdiff_t>(row_ptr[r + 1]);
+  const auto it = std::lower_bound(first, last, c);
+  MIVTX_EXPECT(it != last && *it == c, "assembly plan: stamp outside pattern");
+  return static_cast<std::size_t>(it - col_idx.begin());
+}
+
+}  // namespace
+
+AssemblyPlan::AssemblyPlan(const Circuit& circuit)
+    : n_(circuit.system_size()) {
+  MIVTX_EXPECT(n_ > 0, "assembly plan: empty circuit");
+  for (const Element& e : circuit.elements())
+    if (e.kind == ElementKind::kMosfet) ++num_mosfets_;
+
+  const std::vector<Coord> dc = assemble_pattern(circuit, /*dynamic=*/false);
+  const std::vector<Coord> dyn = assemble_pattern(circuit, /*dynamic=*/true);
+
+  // Union pattern -> CSR.
+  std::vector<Coord> all;
+  all.reserve(dc.size() + dyn.size());
+  all.insert(all.end(), dc.begin(), dc.end());
+  all.insert(all.end(), dyn.begin(), dyn.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  row_ptr_.assign(n_ + 1, 0);
+  col_idx_.reserve(all.size());
+  for (const Coord& rc : all) {
+    MIVTX_EXPECT(rc.first < n_ && rc.second < n_,
+                 "assembly plan: stamp out of range");
+    col_idx_.push_back(rc.second);
+    row_ptr_[rc.first + 1] += 1;
+  }
+  for (std::size_t r = 0; r < n_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+
+  // Emission-order slot maps for both stamp programs.
+  slots_dc_.reserve(dc.size());
+  for (const Coord& rc : dc)
+    slots_dc_.push_back(slot_of(row_ptr_, col_idx_, rc.first, rc.second));
+  slots_dynamic_.reserve(dyn.size());
+  for (const Coord& rc : dyn)
+    slots_dynamic_.push_back(slot_of(row_ptr_, col_idx_, rc.first, rc.second));
+}
+
+}  // namespace mivtx::spice

@@ -1,0 +1,49 @@
+// Per-circuit MNA assembly plan.
+//
+// Computed once per Circuit: the fixed CSR sparsity pattern of the MNA
+// Jacobian plus a stamp->slot index map per stamp program (DC and
+// transient emit slightly different stamp sequences; the pattern is their
+// union so one symbolic LU analysis covers both).  assemble_sparse()
+// replays the stamp program with a cursor over the slot map and writes
+// every Jacobian contribution straight into its CSR value slot — no entry
+// lists, no sorting, no dense-matrix zeroing.
+//
+// The plan is valid for the lifetime of the circuit TOPOLOGY: element
+// values and source specs may change freely (dc sweeps mutate them), but
+// adding or removing elements or nodes invalidates the plan.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "spice/circuit.h"
+
+namespace mivtx::spice {
+
+class AssemblyPlan {
+ public:
+  explicit AssemblyPlan(const Circuit& circuit);
+
+  // MNA system size the plan was built for.
+  std::size_t size() const { return n_; }
+  // Structural non-zeros of the union pattern.
+  std::size_t nnz() const { return col_idx_.size(); }
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+
+  // CSR value slot of each stamp emission, in emission order, for the DC
+  // (dynamic == false) or transient (dynamic == true) stamp program.
+  const std::vector<std::size_t>& slots(bool dynamic) const {
+    return dynamic ? slots_dynamic_ : slots_dc_;
+  }
+
+  std::size_t num_mosfets() const { return num_mosfets_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_, col_idx_;
+  std::vector<std::size_t> slots_dc_, slots_dynamic_;
+  std::size_t num_mosfets_ = 0;
+};
+
+}  // namespace mivtx::spice

@@ -156,18 +156,4 @@ Element& Circuit::element(const std::string& name) {
   return elements_[it->second];
 }
 
-std::size_t Circuit::node_unknown(NodeId n) const {
-  MIVTX_EXPECT(n != kGround, "ground has no unknown");
-  MIVTX_EXPECT(n < num_nodes(), "node id out of range");
-  return n - 1;
-}
-
-std::size_t Circuit::branch_unknown(const Element& branch_element) const {
-  MIVTX_EXPECT(branch_element.kind == ElementKind::kVoltageSource ||
-                   branch_element.kind == ElementKind::kVcvs ||
-                   branch_element.kind == ElementKind::kInductor,
-               "branch_unknown needs a V, E or L element");
-  return (num_nodes() - 1) + branch_element.branch_index;
-}
-
 }  // namespace mivtx::spice

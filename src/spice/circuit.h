@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bsimsoi/params.h"
+#include "common/error.h"
 #include "spice/source.h"
 
 namespace mivtx::spice {
@@ -92,10 +93,22 @@ class Circuit {
     return (num_nodes() - 1) + num_branches_;
   }
 
-  // Unknown index of a node voltage (node must not be ground).
-  std::size_t node_unknown(NodeId n) const;
+  // Unknown index of a node voltage (node must not be ground).  Inline:
+  // the assembler calls this ~10x per element per Newton iteration, and an
+  // out-of-line call here was measurable in the transient profile.
+  std::size_t node_unknown(NodeId n) const {
+    MIVTX_EXPECT(n != kGround, "ground has no unknown");
+    MIVTX_EXPECT(n < num_nodes(), "node id out of range");
+    return n - 1;
+  }
   // Unknown index of a branch current (V, E or L element).
-  std::size_t branch_unknown(const Element& branch_element) const;
+  std::size_t branch_unknown(const Element& branch_element) const {
+    MIVTX_EXPECT(branch_element.kind == ElementKind::kVoltageSource ||
+                     branch_element.kind == ElementKind::kVcvs ||
+                     branch_element.kind == ElementKind::kInductor,
+                 "branch_unknown needs a V, E or L element");
+    return (num_nodes() - 1) + branch_element.branch_index;
+  }
 
  private:
   void add_element(Element e);

@@ -1,35 +1,40 @@
 #include "spice/dcop.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "common/error.h"
 #include "common/log.h"
 #include "linalg/vector_ops.h"
 #include "lint/presolve.h"
+#include "spice/solver_workspace.h"
 
 namespace mivtx::spice {
 
 NewtonResult solve_newton(const Circuit& circuit, const AssemblyContext& ctx,
-                          linalg::Vector& x, const NewtonOptions& opts) {
+                          linalg::Vector& x, const NewtonOptions& opts,
+                          SolverWorkspace& ws, DynamicState* final_state) {
   const std::size_t n = circuit.system_size();
   MIVTX_EXPECT(x.size() == n, "newton: bad initial guess size");
+  MIVTX_EXPECT(ws.size() == n, "newton: workspace built for another circuit");
   const std::size_t num_v = circuit.num_nodes() - 1;
 
-  linalg::DenseMatrix jac;
-  linalg::Vector f;
   NewtonResult result;
+#ifndef NDEBUG
+  std::uint64_t steady_allocs = 0;
+#endif
 
   for (int it = 0; it < opts.max_iterations; ++it) {
-    assemble(circuit, x, ctx, jac, f, nullptr);
-    result.residual_norm = linalg::norm_inf(f);
+    ws.assemble(x, ctx);
+    result.residual_norm = linalg::norm_inf(ws.f());
 
-    linalg::Vector dx;
-    try {
-      linalg::Vector rhs = f;
-      linalg::scale(rhs, -1.0);
-      dx = linalg::DenseLU(jac).solve(rhs);
-    } catch (const Error&) {
+    // Solve J dx = -f in place in the workspace rhs buffer: the steady
+    // state of this loop performs no heap allocations.
+    linalg::Vector& dx = ws.rhs();
+    const linalg::Vector& f = ws.f();
+    for (std::size_t i = 0; i < n; ++i) dx[i] = -f[i];
+    if (!ws.factor_and_solve(dx)) {
       return result;  // singular Jacobian: report non-convergence
     }
 
@@ -43,6 +48,18 @@ NewtonResult solve_newton(const Circuit& circuit, const AssemblyContext& ctx,
     for (std::size_t i = 0; i < n; ++i) x[i] += damp * dx[i];
 
     result.iterations = it + 1;
+    ws.stats().newton_iterations += 1;
+
+#ifndef NDEBUG
+    // Buffers reach steady-state size on the first iteration; any growth
+    // after that is a regression in the allocation-free inner loop.
+    if (it == 0) {
+      steady_allocs = ws.stats().workspace_allocations;
+    } else {
+      assert(ws.stats().workspace_allocations == steady_allocs &&
+             "newton inner loop allocated after the first iteration");
+    }
+#endif
 
     bool converged = damp == 1.0;
     if (converged) {
@@ -53,9 +70,12 @@ NewtonResult solve_newton(const Circuit& circuit, const AssemblyContext& ctx,
       }
     }
     if (converged) {
-      // Re-check the residual at the accepted point.
-      assemble(circuit, x, ctx, jac, f, nullptr);
-      result.residual_norm = linalg::norm_inf(f);
+      // Re-check the residual at the accepted point.  This assembly
+      // repeats the exact final iterate, so the device-bypass cache serves
+      // every MOSFET and the factorization is reused untouched.  It also
+      // captures the dynamic state for the caller when requested.
+      ws.assemble(x, ctx, final_state);
+      result.residual_norm = linalg::norm_inf(ws.f());
       if (result.residual_norm < opts.residual_tol) {
         result.converged = true;
         return result;
@@ -65,8 +85,14 @@ NewtonResult solve_newton(const Circuit& circuit, const AssemblyContext& ctx,
   return result;
 }
 
-DcResult dc_operating_point(const Circuit& circuit,
-                            const NewtonOptions& opts) {
+NewtonResult solve_newton(const Circuit& circuit, const AssemblyContext& ctx,
+                          linalg::Vector& x, const NewtonOptions& opts) {
+  SolverWorkspace ws(circuit, opts);
+  return solve_newton(circuit, ctx, x, opts, ws);
+}
+
+DcResult dc_operating_point(const Circuit& circuit, const NewtonOptions& opts,
+                            SolverWorkspace& ws) {
   const std::size_t n = circuit.system_size();
   DcResult out;
   out.x.assign(n, 0.0);
@@ -93,7 +119,7 @@ DcResult dc_operating_point(const Circuit& circuit,
   {
     linalg::Vector x(n, 0.0);
     ctx.gmin = 1e-12;
-    const NewtonResult r = solve_newton(circuit, ctx, x, opts);
+    const NewtonResult r = solve_newton(circuit, ctx, x, opts, ws);
     out.total_iterations += r.iterations;
     if (r.converged) {
       out.converged = true;
@@ -104,13 +130,14 @@ DcResult dc_operating_point(const Circuit& circuit,
   }
 
   // Gmin stepping: converge with a large parallel conductance, then ratchet
-  // it down, re-using each solution as the next seed.
+  // it down, re-using each solution as the next seed.  The workspace (plan,
+  // symbolic LU, device cache) is shared across every stage.
   {
     linalg::Vector x(n, 0.0);
     bool ok = true;
     for (double gmin = 1e-3; gmin >= 0.9e-12; gmin *= 1e-2) {
       ctx.gmin = gmin;
-      const NewtonResult r = solve_newton(circuit, ctx, x, opts);
+      const NewtonResult r = solve_newton(circuit, ctx, x, opts, ws);
       out.total_iterations += r.iterations;
       if (!r.converged) {
         ok = false;
@@ -119,7 +146,7 @@ DcResult dc_operating_point(const Circuit& circuit,
     }
     if (ok) {
       ctx.gmin = 1e-12;
-      const NewtonResult r = solve_newton(circuit, ctx, x, opts);
+      const NewtonResult r = solve_newton(circuit, ctx, x, opts, ws);
       out.total_iterations += r.iterations;
       if (r.converged) {
         out.converged = true;
@@ -134,10 +161,11 @@ DcResult dc_operating_point(const Circuit& circuit,
   {
     linalg::Vector x(n, 0.0);
     ctx.gmin = 1e-12;
+    ctx.source_scale = 1.0;
     bool ok = true;
     for (double scale = 0.05; scale <= 1.0 + 1e-12; scale += 0.05) {
       ctx.source_scale = std::min(scale, 1.0);
-      const NewtonResult r = solve_newton(circuit, ctx, x, opts);
+      const NewtonResult r = solve_newton(circuit, ctx, x, opts, ws);
       out.total_iterations += r.iterations;
       if (!r.converged) {
         ok = false;
@@ -155,6 +183,12 @@ DcResult dc_operating_point(const Circuit& circuit,
   MIVTX_WARN << "dc_operating_point failed to converge ("
              << out.total_iterations << " total Newton iterations)";
   return out;
+}
+
+DcResult dc_operating_point(const Circuit& circuit,
+                            const NewtonOptions& opts) {
+  SolverWorkspace ws(circuit, opts);
+  return dc_operating_point(circuit, opts, ws);
 }
 
 double solution_voltage(const Circuit& circuit, const linalg::Vector& x,
@@ -191,6 +225,12 @@ DcSweepResult dc_sweep(Circuit circuit, const std::string& source_name,
     }
   }
 
+  // One workspace for the whole sweep: changing a source's DC value moves
+  // only the residual, so a linear circuit factors exactly once for all
+  // sweep points, and nonlinear ones reuse the symbolic analysis and pivot
+  // schedule throughout.
+  SolverWorkspace ws(circuit, point_opts);
+
   linalg::Vector x;
   bool have_seed = false;
   AssemblyContext ctx;
@@ -199,14 +239,14 @@ DcSweepResult dc_sweep(Circuit circuit, const std::string& source_name,
     bool converged = false;
     if (have_seed) {
       linalg::Vector xs = x;
-      const NewtonResult r = solve_newton(circuit, ctx, xs, point_opts);
+      const NewtonResult r = solve_newton(circuit, ctx, xs, point_opts, ws);
       if (r.converged) {
         x = std::move(xs);
         converged = true;
       }
     }
     if (!converged) {
-      const DcResult r = dc_operating_point(circuit, point_opts);
+      const DcResult r = dc_operating_point(circuit, point_opts, ws);
       if (!r.converged) {
         out.converged = false;
         return out;

@@ -15,6 +15,13 @@
 
 namespace mivtx::spice {
 
+class SolverWorkspace;
+
+// Linear-solver core selection.  kAuto picks sparse at or above
+// sparse_min_unknowns and dense below it; the sparse path additionally
+// falls back to dense on pivot failure (see SolverWorkspace).
+enum class SolverBackend { kAuto, kDense, kSparse };
+
 struct NewtonOptions {
   int max_iterations = 150;
   double vtol = 1e-9;        // absolute voltage tolerance (V)
@@ -26,6 +33,13 @@ struct NewtonOptions {
   // fast (strategy "lint", diagnostics in DcResult::lint) on structural
   // singularities instead of grinding through the continuation ladder.
   bool presolve_lint = true;
+  // Sparse-first solver core (see solver_workspace.h).
+  SolverBackend backend = SolverBackend::kAuto;
+  std::size_t sparse_min_unknowns = 8;  // kAuto: dense below this size
+  // MOSFET bypass tolerance (V): skip BSIMSOI re-evaluation when no
+  // controlling terminal moved more than this since the last fresh stamp.
+  // Negative disables the bypass cache (sparse backend only).
+  double bypass_vtol = 1e-9;
 };
 
 struct NewtonResult {
@@ -38,6 +52,18 @@ struct NewtonResult {
 // the solution (best iterate on failure).
 NewtonResult solve_newton(const Circuit& circuit, const AssemblyContext& ctx,
                           linalg::Vector& x, const NewtonOptions& opts = {});
+// Workspace-threaded variant: the hot path for gmin/source ladders,
+// sweeps, and transient stepping.  All buffers, the assembly plan, the LU
+// symbolic analysis, and the device-bypass cache live in `ws` and are
+// reused across calls; the steady-state inner loop performs no heap
+// allocations.  When `final_state` is non-null it receives the dynamic
+// state (charges/companion currents) of the converged point, computed for
+// free during the convergence-recheck assembly — callers that accept a
+// timestep need no extra assembly of their own.
+NewtonResult solve_newton(const Circuit& circuit, const AssemblyContext& ctx,
+                          linalg::Vector& x, const NewtonOptions& opts,
+                          SolverWorkspace& ws,
+                          DynamicState* final_state = nullptr);
 
 struct DcResult {
   bool converged = false;
@@ -50,6 +76,10 @@ struct DcResult {
 
 DcResult dc_operating_point(const Circuit& circuit,
                             const NewtonOptions& opts = {});
+// Workspace-threaded variant (shares plan/LU/caches with the caller's
+// other solves on the same circuit, e.g. the t=0 point of a transient).
+DcResult dc_operating_point(const Circuit& circuit, const NewtonOptions& opts,
+                            SolverWorkspace& ws);
 
 // Voltage at a node from a DC solution.
 double solution_voltage(const Circuit& circuit, const linalg::Vector& x,

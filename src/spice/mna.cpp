@@ -1,7 +1,10 @@
 #include "spice/mna.h"
 
+#include <cmath>
+
 #include "bsimsoi/model.h"
 #include "common/error.h"
+#include "spice/assembly_plan.h"
 
 namespace mivtx::spice {
 
@@ -19,28 +22,40 @@ struct CompanionCoeffs {
   double ihist = 0.0;  // history term
 };
 
-CompanionCoeffs companion(const AssemblyContext& ctx, std::size_t slot) {
-  CompanionCoeffs c;
+// Slot-independent part of the companion model.  The divisions here used
+// to run per charge slot per assembly; hoisting them to one evaluation per
+// assemble() was a measurable win on the transient profile.  ihist for a
+// slot is then c_prev * prev.q[slot] + c_prev2 * prev2.q[slot] +
+// c_iq * prev.iq[slot].
+struct IntegratorCoeffs {
+  double geq = 0.0;     // multiplies the new charge (and dq/dv)
+  double c_prev = 0.0;  // weight of prev->q[slot] in ihist
+  double c_prev2 = 0.0; // weight of prev2->q[slot] in ihist
+  double c_iq = 0.0;    // weight of prev->iq[slot] in ihist
+};
+
+IntegratorCoeffs integrator_coeffs(const AssemblyContext& ctx) {
+  IntegratorCoeffs c;
   switch (ctx.integrator) {
     case Integrator::kNone:
       return c;  // DC: charge currents are zero
     case Integrator::kBackwardEuler:
       c.geq = 1.0 / ctx.h;
-      c.ihist = ctx.prev->q[slot] / ctx.h;
+      c.c_prev = c.geq;
       return c;
     case Integrator::kTrapezoidal:
       // i = (2/h)(q - q_prev) - i_prev
       c.geq = 2.0 / ctx.h;
-      c.ihist = 2.0 / ctx.h * ctx.prev->q[slot] + ctx.prev->iq[slot];
+      c.c_prev = c.geq;
+      c.c_iq = 1.0;
       return c;
     case Integrator::kBdf2: {
       // Variable-step BDF2 with r = h_n / h_{n-1}:
       //   i = [ (1+2r)/(1+r) q_{n+1} - (1+r) q_n + r^2/(1+r) q_{n-1} ] / h
       const double r = ctx.step_ratio;
       c.geq = (1.0 + 2.0 * r) / (1.0 + r) / ctx.h;
-      c.ihist = ((1.0 + r) * ctx.prev->q[slot] -
-                 r * r / (1.0 + r) * ctx.prev2->q[slot]) /
-                ctx.h;
+      c.c_prev = (1.0 + r) / ctx.h;
+      c.c_prev2 = -r * r / (1.0 + r) / ctx.h;
       return c;
     }
   }
@@ -59,13 +74,31 @@ std::size_t count_charge_slots(const Circuit& circuit) {
   return slots;
 }
 
-void assemble(const Circuit& circuit, const linalg::Vector& x,
-              const AssemblyContext& ctx, linalg::DenseMatrix& jac,
-              linalg::Vector& f, DynamicState* new_state) {
+void MosfetCache::bind(const Circuit& circuit) {
+  std::size_t mosfets = 0;
+  for (const Element& e : circuit.elements())
+    if (e.kind == ElementKind::kMosfet) ++mosfets;
+  entries.assign(mosfets, Entry{});
+}
+
+void MosfetCache::invalidate() {
+  for (Entry& e : entries) e.valid = false;
+}
+
+namespace {
+
+// The stamp loop is shared by three Jacobian sinks: dense accumulation,
+// pattern recording (emission order -> CSR slots, see AssemblyPlan), and
+// slot-directed CSR writes.  The emission sequence of sink.add() calls
+// depends only on the circuit topology and the dynamic flag, never on x
+// or on element values — keep it that way or every assembly plan breaks.
+template <class Sink>
+std::size_t assemble_impl(const Circuit& circuit, const linalg::Vector& x,
+                          const AssemblyContext& ctx, Sink& sink,
+                          linalg::Vector& f, DynamicState* new_state,
+                          MosfetCache* cache) {
   const std::size_t n = circuit.system_size();
   MIVTX_EXPECT(x.size() == n, "assemble: solution size mismatch");
-  if (jac.rows() != n || jac.cols() != n) jac = linalg::DenseMatrix(n, n);
-  jac.set_zero();
   f.assign(n, 0.0);
   if (new_state) {
     const std::size_t slots = count_charge_slots(circuit);
@@ -79,13 +112,27 @@ void assemble(const Circuit& circuit, const linalg::Vector& x,
     MIVTX_EXPECT(ctx.integrator != Integrator::kBdf2 || ctx.prev2 != nullptr,
                  "BDF2 assembly needs prev2 state");
   }
+  std::size_t fresh_evals = 0;
+  std::size_t mosfet_index = 0;
+
+  // Per-assembly companion coefficients; the per-slot part is two mults
+  // and two adds (prev2_q aliases prev_q with weight zero outside BDF2).
+  const IntegratorCoeffs ic = integrator_coeffs(ctx);
+  const double* prev_q = dynamic ? ctx.prev->q.data() : nullptr;
+  const double* prev_iq = dynamic ? ctx.prev->iq.data() : nullptr;
+  const double* prev2_q = (dynamic && ctx.prev2) ? ctx.prev2->q.data() : prev_q;
+  auto companion_at = [&](std::size_t sl) {
+    return CompanionCoeffs{ic.geq, ic.c_prev * prev_q[sl] +
+                                       ic.c_prev2 * prev2_q[sl] +
+                                       ic.c_iq * prev_iq[sl]};
+  };
 
   // Convention: f[row of node] = sum of currents LEAVING the node = 0.
   auto stamp_f = [&](NodeId node, double current) {
     if (node != kGround) f[circuit.node_unknown(node)] += current;
   };
   auto stamp_j = [&](NodeId node, std::size_t unknown, double dfdx) {
-    if (node != kGround) jac(circuit.node_unknown(node), unknown) += dfdx;
+    if (node != kGround) sink.add(circuit.node_unknown(node), unknown, dfdx);
   };
   auto stamp_conductance = [&](NodeId a, NodeId b, double g) {
     const double va = node_v(x, a), vb = node_v(x, b);
@@ -117,7 +164,7 @@ void assemble(const Circuit& circuit, const linalg::Vector& x,
         const double v = node_v(x, a) - node_v(x, b);
         const double q = e.value * v;
         if (dynamic) {
-          const CompanionCoeffs cc = companion(ctx, slot);
+          const CompanionCoeffs cc = companion_at(slot);
           const double i = cc.geq * q - cc.ihist;
           const double g = cc.geq * e.value;
           stamp_f(a, i);
@@ -154,9 +201,9 @@ void assemble(const Circuit& circuit, const linalg::Vector& x,
         stamp_j(b, k, -1.0);
         const double flux = e.value * ibr;
         if (dynamic) {
-          const CompanionCoeffs cc = companion(ctx, slot);
+          const CompanionCoeffs cc = companion_at(slot);
           f[k] = node_v(x, a) - node_v(x, b) - (cc.geq * flux - cc.ihist);
-          jac(k, k) -= cc.geq * e.value;
+          sink.add(k, k, -cc.geq * e.value);
           if (new_state) {
             new_state->q[slot] = flux;
             new_state->iq[slot] = cc.geq * flux - cc.ihist;  // voltage, kept
@@ -166,8 +213,8 @@ void assemble(const Circuit& circuit, const linalg::Vector& x,
           f[k] = node_v(x, a) - node_v(x, b);
           if (new_state) new_state->q[slot] = flux;
         }
-        if (a != kGround) jac(k, circuit.node_unknown(a)) += 1.0;
-        if (b != kGround) jac(k, circuit.node_unknown(b)) -= 1.0;
+        if (a != kGround) sink.add(k, circuit.node_unknown(a), 1.0);
+        if (b != kGround) sink.add(k, circuit.node_unknown(b), -1.0);
         slot += 1;
         break;
       }
@@ -184,10 +231,10 @@ void assemble(const Circuit& circuit, const linalg::Vector& x,
         stamp_j(m, k, -1.0);
         f[k] = node_v(x, p) - node_v(x, m) -
                e.value * (node_v(x, cp) - node_v(x, cm));
-        if (p != kGround) jac(k, circuit.node_unknown(p)) += 1.0;
-        if (m != kGround) jac(k, circuit.node_unknown(m)) -= 1.0;
-        if (cp != kGround) jac(k, circuit.node_unknown(cp)) -= e.value;
-        if (cm != kGround) jac(k, circuit.node_unknown(cm)) += e.value;
+        if (p != kGround) sink.add(k, circuit.node_unknown(p), 1.0);
+        if (m != kGround) sink.add(k, circuit.node_unknown(m), -1.0);
+        if (cp != kGround) sink.add(k, circuit.node_unknown(cp), -e.value);
+        if (cm != kGround) sink.add(k, circuit.node_unknown(cm), e.value);
         break;
       }
       case ElementKind::kVccs: {
@@ -220,8 +267,8 @@ void assemble(const Circuit& circuit, const linalg::Vector& x,
         stamp_j(m, k, -1.0);
         // Branch equation: v+ - v- - vset = 0.
         f[k] = node_v(x, p) - node_v(x, m) - vset;
-        if (p != kGround) jac(k, circuit.node_unknown(p)) += 1.0;
-        if (m != kGround) jac(k, circuit.node_unknown(m)) -= 1.0;
+        if (p != kGround) sink.add(k, circuit.node_unknown(p), 1.0);
+        if (m != kGround) sink.add(k, circuit.node_unknown(m), -1.0);
         break;
       }
       case ElementKind::kCurrentSource: {
@@ -233,8 +280,31 @@ void assemble(const Circuit& circuit, const linalg::Vector& x,
       }
       case ElementKind::kMosfet: {
         const NodeId d = e.nodes[0], g = e.nodes[1], s = e.nodes[2];
-        const bsimsoi::ModelOutput m = bsimsoi::eval(
-            e.model, node_v(x, g), node_v(x, d), node_v(x, s));
+        const double vg = node_v(x, g), vd = node_v(x, d), vs = node_v(x, s);
+        bsimsoi::ModelOutput m_local;
+        const bsimsoi::ModelOutput* mp = &m_local;
+        if (cache && cache->enabled()) {
+          MosfetCache::Entry& ent = cache->entries[mosfet_index];
+          if (ent.valid && std::fabs(vg - ent.vg) <= cache->vtol &&
+              std::fabs(vd - ent.vd) <= cache->vtol &&
+              std::fabs(vs - ent.vs) <= cache->vtol) {
+            cache->bypasses += 1;
+          } else {
+            ent.out = bsimsoi::eval(e.model, vg, vd, vs);
+            ent.vg = vg;
+            ent.vd = vd;
+            ent.vs = vs;
+            ent.valid = true;
+            cache->evals += 1;
+            fresh_evals += 1;
+          }
+          mp = &ent.out;
+        } else {
+          m_local = bsimsoi::eval(e.model, vg, vd, vs);
+          fresh_evals += 1;
+        }
+        const bsimsoi::ModelOutput& m = *mp;
+        mosfet_index += 1;
         const NodeId term[3] = {g, d, s};  // order matches dids/dq arrays
 
         // Channel current: into drain, out of source.
@@ -256,7 +326,7 @@ void assemble(const Circuit& circuit, const linalg::Vector& x,
         for (int t = 0; t < 3; ++t) {
           const std::size_t sl = slot + static_cast<std::size_t>(t);
           if (dynamic) {
-            const CompanionCoeffs cc = companion(ctx, sl);
+            const CompanionCoeffs cc = companion_at(sl);
             const double i = cc.geq * qt[t] - cc.ihist;
             stamp_f(term[t], i);
             for (int u = 0; u < 3; ++u) {
@@ -277,6 +347,76 @@ void assemble(const Circuit& circuit, const linalg::Vector& x,
       }
     }
   }
+  return fresh_evals;
+}
+
+// Dense accumulation (the historical assemble()).
+struct DenseJacSink {
+  linalg::DenseMatrix& jac;
+  void add(std::size_t r, std::size_t c, double v) { jac(r, c) += v; }
+};
+
+// Records the (row, col) of every emission, in emission order.
+struct PatternJacSink {
+  std::vector<std::pair<std::size_t, std::size_t>>& out;
+  void add(std::size_t r, std::size_t c, double) { out.emplace_back(r, c); }
+};
+
+// Routes emission k to the CSR value slot the plan computed for it.
+struct SlotJacSink {
+  const std::size_t* slots;
+  std::size_t count;
+  double* values;
+  std::size_t cursor = 0;
+  void add(std::size_t, std::size_t, double v) { values[slots[cursor++]] += v; }
+};
+
+}  // namespace
+
+void assemble(const Circuit& circuit, const linalg::Vector& x,
+              const AssemblyContext& ctx, linalg::DenseMatrix& jac,
+              linalg::Vector& f, DynamicState* new_state) {
+  const std::size_t n = circuit.system_size();
+  if (jac.rows() != n || jac.cols() != n) jac = linalg::DenseMatrix(n, n);
+  jac.set_zero();
+  DenseJacSink sink{jac};
+  assemble_impl(circuit, x, ctx, sink, f, new_state, nullptr);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> assemble_pattern(
+    const Circuit& circuit, bool dynamic) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  const linalg::Vector x(circuit.system_size(), 0.0);
+  linalg::Vector f;
+  DynamicState zero_state;
+  zero_state.q.assign(count_charge_slots(circuit), 0.0);
+  zero_state.iq.assign(zero_state.q.size(), 0.0);
+  AssemblyContext ctx;
+  if (dynamic) {
+    ctx.integrator = Integrator::kBackwardEuler;  // same stamps as BDF2
+    ctx.h = 1.0;
+    ctx.prev = &zero_state;
+    ctx.prev2 = &zero_state;
+  }
+  PatternJacSink sink{out};
+  assemble_impl(circuit, x, ctx, sink, f, nullptr, nullptr);
+  return out;
+}
+
+std::size_t assemble_sparse(const Circuit& circuit, const AssemblyPlan& plan,
+                            const linalg::Vector& x,
+                            const AssemblyContext& ctx,
+                            std::vector<double>& values, linalg::Vector& f,
+                            DynamicState* new_state, MosfetCache* cache) {
+  const bool dynamic = ctx.integrator != Integrator::kNone;
+  const std::vector<std::size_t>& slots = plan.slots(dynamic);
+  values.assign(plan.nnz(), 0.0);
+  SlotJacSink sink{slots.data(), slots.size(), values.data()};
+  const std::size_t fresh =
+      assemble_impl(circuit, x, ctx, sink, f, new_state, cache);
+  MIVTX_EXPECT(sink.cursor == slots.size(),
+               "assemble_sparse: stamp program drifted from the plan");
+  return fresh;
 }
 
 void evaluate_charges(const Circuit& circuit, const linalg::Vector& x,

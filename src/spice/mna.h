@@ -7,12 +7,17 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "bsimsoi/model.h"
 #include "linalg/dense.h"
 #include "spice/circuit.h"
 
 namespace mivtx::spice {
+
+class AssemblyPlan;
 
 // Charge/current history for dynamic elements.  Slot assignment: one slot
 // per capacitor (charge), one per inductor (flux), three (g, d, s) per
@@ -44,12 +49,56 @@ struct AssemblyContext {
 // Number of charge slots the circuit needs.
 std::size_t count_charge_slots(const Circuit& circuit);
 
+// Terminal-voltage device bypass: one entry per MOSFET (element order)
+// holding the controlling voltages and full model output of the last
+// fresh BSIMSOI evaluation.  When every terminal moved by at most `vtol`
+// since that evaluation the assembler re-stamps the cached output instead
+// of re-evaluating the model — the convergence-recheck and accept-step
+// assemblies repeat the exact same iterate, so they bypass every device
+// even with vtol == 0.  A negative vtol disables the cache.
+struct MosfetCache {
+  struct Entry {
+    double vg = 0.0, vd = 0.0, vs = 0.0;
+    bsimsoi::ModelOutput out;
+    bool valid = false;
+  };
+  std::vector<Entry> entries;
+  double vtol = 0.0;
+  std::uint64_t evals = 0;     // fresh model evaluations
+  std::uint64_t bypasses = 0;  // stamps served from the cache
+
+  void bind(const Circuit& circuit);  // size entries, invalidate
+  void invalidate();
+  bool enabled() const { return vtol >= 0.0 && !entries.empty(); }
+};
+
 // Assemble residual f and Jacobian J at solution x.  When `new_state` is
 // non-null it receives the charges q(x) and companion currents for each
 // slot (only meaningful with a transient integrator).
 void assemble(const Circuit& circuit, const linalg::Vector& x,
               const AssemblyContext& ctx, linalg::DenseMatrix& jac,
               linalg::Vector& f, DynamicState* new_state);
+
+// Jacobian stamp positions (row, col) in emission order for the DC
+// (dynamic == false) or transient (dynamic == true) stamp program.  The
+// sequence depends only on the circuit topology, never on x or on the
+// element values — that invariant is what lets AssemblyPlan map each
+// emission to a fixed CSR slot.
+std::vector<std::pair<std::size_t, std::size_t>> assemble_pattern(
+    const Circuit& circuit, bool dynamic);
+
+// Sparse assembly against a precomputed plan: writes the Jacobian straight
+// into the CSR value array `values` (sized/zeroed here to plan.nnz()) and
+// the residual into f, with no entry lists, no sorting, and no dense
+// zeroing.  `cache`, when non-null and enabled, provides the MOSFET
+// bypass.  Returns the number of fresh BSIMSOI evaluations performed —
+// zero means the Jacobian values are bit-identical to the previous
+// assembly under the same AssemblyContext coefficients.
+std::size_t assemble_sparse(const Circuit& circuit, const AssemblyPlan& plan,
+                            const linalg::Vector& x,
+                            const AssemblyContext& ctx,
+                            std::vector<double>& values, linalg::Vector& f,
+                            DynamicState* new_state, MosfetCache* cache);
 
 // Evaluate all element charges at solution x into state.q (iq untouched).
 void evaluate_charges(const Circuit& circuit, const linalg::Vector& x,

@@ -1,0 +1,218 @@
+#include "spice/solver_workspace.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "runtime/metrics.h"
+
+namespace mivtx::spice {
+
+namespace {
+
+// Accumulates one timer lane of SolverStats over a scope.  Wall clock
+// only: these sections are single-threaded straight-line compute, so
+// thread-CPU time equals wall time, and CLOCK_THREAD_CPUTIME_ID costs
+// ~250 ns per read (a real syscall) — reading it per Newton iteration
+// would distort the very loops being measured.  flush_metrics() reports
+// the wall total for both lanes.
+class StatTimer {
+ public:
+  explicit StatTimer(double& wall) : wall_(wall), w0_(runtime::wall_seconds()) {}
+  ~StatTimer() { wall_ += runtime::wall_seconds() - w0_; }
+  StatTimer(const StatTimer&) = delete;
+  StatTimer& operator=(const StatTimer&) = delete;
+
+ private:
+  double& wall_;
+  double w0_;
+};
+
+}  // namespace
+
+SolverWorkspace::SolverWorkspace(const Circuit& circuit,
+                                 const NewtonOptions& opts)
+    : circuit_(&circuit), n_(circuit.system_size()) {
+  MIVTX_EXPECT(n_ > 0, "solver workspace: empty circuit");
+  switch (opts.backend) {
+    case SolverBackend::kDense:
+      sparse_ = false;
+      break;
+    case SolverBackend::kSparse:
+      sparse_ = true;
+      break;
+    case SolverBackend::kAuto:
+      sparse_ = n_ >= opts.sparse_min_unknowns;
+      break;
+  }
+  f_.assign(n_, 0.0);
+  rhs_.assign(n_, 0.0);
+  if (sparse_) {
+    plan_.emplace(circuit);
+    lu_.analyze(plan_->size(), plan_->row_ptr(), plan_->col_idx());
+    stats_.symbolic_analyses += 1;
+    values_.assign(plan_->nnz(), 0.0);
+    cache_.vtol = opts.bypass_vtol;
+    if (opts.bypass_vtol >= 0.0) cache_.bind(circuit);
+  } else {
+    jac_ = linalg::DenseMatrix(n_, n_);
+  }
+}
+
+SolverWorkspace::~SolverWorkspace() { flush_metrics(); }
+
+const AssemblyPlan& SolverWorkspace::plan() const {
+  MIVTX_EXPECT(plan_.has_value(), "solver workspace: no plan (dense backend)");
+  return *plan_;
+}
+
+linalg::Vector& SolverWorkspace::rhs() {
+  ensure(rhs_, n_);
+  return rhs_;
+}
+
+void SolverWorkspace::ensure(linalg::Vector& v, std::size_t size) {
+  if (v.size() < size) {
+    if (v.capacity() < size) note_alloc();
+    v.resize(size, 0.0);
+  }
+}
+
+void SolverWorkspace::assemble(const linalg::Vector& x,
+                               const AssemblyContext& ctx,
+                               DynamicState* new_state) {
+  stats_.assemblies += 1;
+  StatTimer timer(stats_.assemble_wall_s);
+  if (sparse_) {
+    const std::size_t fresh =
+        assemble_sparse(*circuit_, *plan_, x, ctx, values_, f_, new_state,
+                        cache_.enabled() ? &cache_ : nullptr);
+    // The Jacobian depends on the device linearizations plus the gmin and
+    // companion-model coefficients; sources and ctx.time only move the
+    // residual.  Unchanged on both counts => bit-identical values => the
+    // existing factorization is still exact.
+    const bool coeffs_changed =
+        !have_coeffs_ || ctx.gmin != last_gmin_ || ctx.h != last_h_ ||
+        ctx.step_ratio != last_step_ratio_ || ctx.integrator != last_integrator_;
+    if (fresh != 0 || coeffs_changed) jac_generation_ += 1;
+    last_gmin_ = ctx.gmin;
+    last_h_ = ctx.h;
+    last_step_ratio_ = ctx.step_ratio;
+    last_integrator_ = ctx.integrator;
+    have_coeffs_ = true;
+  } else {
+    spice::assemble(*circuit_, x, ctx, jac_, f_, new_state);
+    jac_generation_ += 1;
+  }
+}
+
+bool SolverWorkspace::factor_and_solve(linalg::Vector& b) {
+  MIVTX_EXPECT(b.size() == n_, "solver workspace: rhs size mismatch");
+
+  if (!sparse_) {
+    {
+      StatTimer timer(stats_.factor_wall_s);
+      try {
+        dense_lu_.emplace(jac_);
+      } catch (const Error&) {
+        return false;
+      }
+    }
+    stats_.dense_solves += 1;
+    StatTimer timer(stats_.solve_wall_s);
+    dense_lu_->solve_in_place(b);
+    return true;
+  }
+
+  const bool current =
+      numeric_ok_ && lu_.factorized() && factored_generation_ == jac_generation_;
+  if (current) {
+    stats_.lu_reuses += 1;
+  } else {
+    bool ok = false;
+    {
+      StatTimer timer(stats_.factor_wall_s);
+      if (numeric_ok_) {
+        ok = lu_.refactorize(values_);
+        if (ok) stats_.refactorizations += 1;
+      }
+      if (!ok) {
+        ok = lu_.factorize(values_);
+        if (ok) {
+          stats_.full_factorizations += 1;
+          numeric_ok_ = true;
+        }
+      }
+    }
+    if (!ok) {
+      // Singular for the sparse pivoting: densify the same values and let
+      // DenseLU have the final word, so the sparse core never converges
+      // worse than the legacy dense path.  Rare, allowed to allocate.
+      numeric_ok_ = false;
+      stats_.dense_fallbacks += 1;
+      if (jac_.rows() != n_) jac_ = linalg::DenseMatrix(n_, n_);
+      jac_.set_zero();
+      const std::vector<std::size_t>& row_ptr = plan_->row_ptr();
+      const std::vector<std::size_t>& col_idx = plan_->col_idx();
+      for (std::size_t r = 0; r < n_; ++r)
+        for (std::size_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p)
+          jac_(r, col_idx[p]) = values_[p];
+      {
+        StatTimer timer(stats_.factor_wall_s);
+        try {
+          dense_lu_.emplace(jac_);
+        } catch (const Error&) {
+          return false;
+        }
+      }
+      StatTimer timer(stats_.solve_wall_s);
+      dense_lu_->solve_in_place(b);
+      return true;
+    }
+    factored_generation_ = jac_generation_;
+  }
+
+  StatTimer timer(stats_.solve_wall_s);
+  lu_.solve(b);
+  return true;
+}
+
+void SolverWorkspace::invalidate() {
+  cache_.invalidate();
+  numeric_ok_ = false;
+  have_coeffs_ = false;
+  jac_generation_ += 1;
+}
+
+void SolverWorkspace::flush_metrics() {
+  stats_.device_evals += cache_.evals;
+  stats_.device_bypasses += cache_.bypasses;
+  cache_.evals = 0;
+  cache_.bypasses = 0;
+
+  runtime::Metrics& m = runtime::Metrics::global();
+  const auto add = [&m](const char* name, std::uint64_t v) {
+    if (v != 0) m.add(name, static_cast<double>(v));
+  };
+  add("spice.newton.iterations", stats_.newton_iterations);
+  add("spice.assemblies", stats_.assemblies);
+  add("spice.sparse.symbolic_analyses", stats_.symbolic_analyses);
+  add("spice.sparse.full_factorizations", stats_.full_factorizations);
+  add("spice.sparse.refactorizations", stats_.refactorizations);
+  add("spice.sparse.lu_reuses", stats_.lu_reuses);
+  add("spice.sparse.dense_fallbacks", stats_.dense_fallbacks);
+  add("spice.dense.solves", stats_.dense_solves);
+  add("spice.device.evals", stats_.device_evals);
+  add("spice.device.bypasses", stats_.device_bypasses);
+  add("spice.workspace.allocations", stats_.workspace_allocations);
+  if (stats_.assemblies != 0)
+    m.record_time("spice.assemble", stats_.assemble_wall_s,
+                  stats_.assemble_wall_s);
+  if (stats_.full_factorizations + stats_.refactorizations +
+          stats_.dense_fallbacks + stats_.dense_solves !=
+      0)
+    m.record_time("spice.factor", stats_.factor_wall_s, stats_.factor_wall_s);
+  m.record_time("spice.solve", stats_.solve_wall_s, stats_.solve_wall_s);
+  stats_ = SolverStats{};
+}
+
+}  // namespace mivtx::spice

@@ -1,0 +1,144 @@
+// Reusable solver state for the sparse-first MNA core.
+//
+// A SolverWorkspace is built once per Circuit (topology) and threaded
+// through solve_newton / dc_operating_point / dc_sweep / transient.  It
+// owns everything the inner loops need so the steady-state Newton loop
+// performs no heap allocations:
+//
+//   - the AssemblyPlan (CSR pattern + stamp->slot maps), computed once,
+//   - the SparseLU with its symbolic analysis, reused across Newton
+//     iterations, gmin/source continuation stages, sweep points, and
+//     transient timesteps,
+//   - the CSR value array, residual/rhs vectors, and the dense-fallback
+//     matrix,
+//   - the MOSFET terminal-voltage bypass cache,
+//   - a local SolverStats block, flushed once to runtime::Metrics::global()
+//     when the workspace dies (the Metrics registry is mutex-guarded and
+//     must not be hit per Newton iteration).
+//
+// Backend selection: NewtonOptions::backend == kAuto picks the sparse core
+// at or above sparse_min_unknowns and dense below it.  The sparse core
+// additionally falls back to a dense factorization of the same values when
+// a pivot fails (densify + DenseLU), so convergence behavior can only
+// degrade to the legacy path, never below it.
+//
+// Factorization ladder per linear solve, cheapest first:
+//   1. reuse   — the Jacobian is bit-identical to the one already factored
+//                (zero fresh device evals, same integrator coefficients):
+//                skip numeric work entirely.
+//   2. refactorize — numeric-only replay of the recorded pivot sequence;
+//                no DFS, no pivot search, no allocation.
+//   3. factorize   — full Gilbert-Peierls with fresh partial pivoting
+//                (first solve, or a pivot degraded past the replay bound).
+//   4. dense fallback — densify the CSR values and run DenseLU.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "linalg/dense.h"
+#include "linalg/sparse_lu.h"
+#include "spice/assembly_plan.h"
+#include "spice/dcop.h"
+#include "spice/mna.h"
+
+namespace mivtx::spice {
+
+// Locally accumulated counters/timers; see flush_metrics() for the
+// runtime::Metrics names they publish under.
+struct SolverStats {
+  std::uint64_t newton_iterations = 0;
+  std::uint64_t assemblies = 0;
+  std::uint64_t symbolic_analyses = 0;
+  std::uint64_t full_factorizations = 0;
+  std::uint64_t refactorizations = 0;
+  std::uint64_t lu_reuses = 0;
+  std::uint64_t dense_fallbacks = 0;
+  std::uint64_t dense_solves = 0;  // dense-backend factor+solve calls
+  std::uint64_t device_evals = 0;
+  std::uint64_t device_bypasses = 0;
+  // Workspace-owned buffer growth events.  After the first Newton
+  // iteration on a given circuit every buffer has reached steady-state
+  // size, so this counter must stay flat across the rest of the loop —
+  // solve_newton asserts exactly that in debug builds.
+  std::uint64_t workspace_allocations = 0;
+
+  // Wall-clock totals per stage (single-threaded sections, so CPU time
+  // would read the same; see StatTimer in solver_workspace.cpp).
+  double assemble_wall_s = 0.0;
+  double factor_wall_s = 0.0;
+  double solve_wall_s = 0.0;
+};
+
+class SolverWorkspace {
+ public:
+  SolverWorkspace(const Circuit& circuit, const NewtonOptions& opts);
+  ~SolverWorkspace();  // flushes stats to runtime::Metrics::global()
+
+  SolverWorkspace(const SolverWorkspace&) = delete;
+  SolverWorkspace& operator=(const SolverWorkspace&) = delete;
+
+  bool sparse_backend() const { return sparse_; }
+  std::size_t size() const { return n_; }
+  const AssemblyPlan& plan() const;
+
+  // Assemble residual f and Jacobian at x (into the CSR value array on the
+  // sparse backend, the dense matrix otherwise).  Detects whether the
+  // Jacobian actually changed since the last factorization — source values
+  // and `ctx.time`/`ctx.source_scale` move only the residual, so a sweep
+  // over a linear circuit factors exactly once.
+  void assemble(const linalg::Vector& x, const AssemblyContext& ctx,
+                DynamicState* new_state = nullptr);
+
+  // Residual of the last assemble().
+  linalg::Vector& f() { return f_; }
+  // Scratch right-hand side, sized to the system (solve_newton builds
+  // -f here and solves in place).
+  linalg::Vector& rhs();
+
+  // Factor the last assembled Jacobian (walking the reuse ladder above)
+  // and solve J y = b in place.  Returns false when the system is singular
+  // on every rung including the dense fallback.
+  bool factor_and_solve(linalg::Vector& b);
+
+  // Drop cached device evaluations and the factored-Jacobian identity
+  // (used by tests; normal flows never need it — staleness is governed by
+  // the bypass tolerance, not by call sequence).
+  void invalidate();
+
+  SolverStats& stats() { return stats_; }
+  // Publish the accumulated stats to runtime::Metrics::global() and zero
+  // the local block.  Called by the destructor; call earlier to snapshot.
+  void flush_metrics();
+
+ private:
+  void note_alloc() { stats_.workspace_allocations += 1; }
+  // Grow-only resize that counts real reallocations.
+  void ensure(linalg::Vector& v, std::size_t size);
+
+  const Circuit* circuit_ = nullptr;  // topology the plan was built for
+  std::size_t n_ = 0;
+  bool sparse_ = false;
+
+  std::optional<AssemblyPlan> plan_;
+  linalg::SparseLU lu_;
+  std::vector<double> values_;    // CSR Jacobian values (sparse backend)
+  linalg::DenseMatrix jac_;       // dense backend / fallback target
+  linalg::Vector f_, rhs_;
+  std::optional<linalg::DenseLU> dense_lu_;
+  MosfetCache cache_;
+
+  // Jacobian identity tracking for the reuse rung: generation bumps
+  // whenever an assemble produced different Jacobian values than the one
+  // last handed to the factorizer.
+  std::uint64_t jac_generation_ = 0;
+  std::uint64_t factored_generation_ = 0;
+  bool numeric_ok_ = false;  // last full factorize() succeeded
+  bool have_coeffs_ = false;
+  double last_gmin_ = 0.0, last_h_ = 0.0, last_step_ratio_ = 0.0;
+  Integrator last_integrator_ = Integrator::kNone;
+
+  SolverStats stats_;
+};
+
+}  // namespace mivtx::spice

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.h"
 #include "common/strings.h"
 #include "common/log.h"
 #include "linalg/vector_ops.h"
+#include "spice/solver_workspace.h"
 
 namespace mivtx::spice {
 
@@ -43,6 +45,15 @@ std::vector<double> gather_breakpoints(const Circuit& circuit,
   return bp;
 }
 
+// A recording target resolved once before the time loop: the unknown
+// index and the waveform it feeds.  Replaces a string-keyed map lookup
+// per node per accepted step (std::map nodes are pointer-stable, so the
+// handles survive later insertions).
+struct RecordSlot {
+  std::size_t unknown;
+  waveform::Waveform* wave;
+};
+
 }  // namespace
 
 TransientResult transient(const Circuit& circuit,
@@ -53,8 +64,13 @@ TransientResult transient(const Circuit& circuit,
 
   const double h_max = opts.h_max > 0.0 ? opts.h_max : opts.t_stop / 50.0;
 
+  // One workspace for the whole run: the t=0 operating point, every
+  // Newton corrector, and every accept-step assembly share the assembly
+  // plan, the LU symbolic analysis, and the device-bypass cache.
+  SolverWorkspace ws(circuit, opts.newton);
+
   // --- t = 0 operating point --------------------------------------------
-  const DcResult dc = dc_operating_point(circuit, opts.newton);
+  const DcResult dc = dc_operating_point(circuit, opts.newton, ws);
   if (!dc.converged) {
     if (!dc.lint.empty()) {
       out.lint = dc.lint;
@@ -80,22 +96,28 @@ TransientResult transient(const Circuit& circuit,
   evaluate_charges(circuit, x, state);
   state.iq.assign(state.q.size(), 0.0);
   DynamicState state_prev = state;  // one step further back (BDF2 history)
+  DynamicState new_state;           // accept-step scratch, rotated by swap
 
   const std::vector<double> breakpoints =
       gather_breakpoints(circuit, opts.t_stop);
   std::size_t next_bp = 0;
 
   // --- Recording -----------------------------------------------------------
-  auto record = [&](double t, const linalg::Vector& sol) {
-    for (NodeId node = 1; node < circuit.num_nodes(); ++node) {
-      out.node_voltage[circuit.node_name(node)].append(
-          t, sol[circuit.node_unknown(node)]);
+  // Bind waveform handles and unknown indices once; the per-step recorder
+  // is then two flat array walks with no map lookups or string hashing.
+  std::vector<RecordSlot> rec;
+  rec.reserve(static_cast<std::size_t>(num_v));
+  for (NodeId node = 1; node < circuit.num_nodes(); ++node) {
+    rec.push_back({circuit.node_unknown(node),
+                   &out.node_voltage[circuit.node_name(node)]});
+  }
+  for (const Element& e : circuit.elements()) {
+    if (e.kind == ElementKind::kVoltageSource) {
+      rec.push_back({circuit.branch_unknown(e), &out.branch_current[e.name]});
     }
-    for (const Element& e : circuit.elements()) {
-      if (e.kind == ElementKind::kVoltageSource) {
-        out.branch_current[e.name].append(t, sol[circuit.branch_unknown(e)]);
-      }
-    }
+  }
+  auto record = [&rec](double t, const linalg::Vector& sol) {
+    for (const RecordSlot& slot : rec) slot.wave->append(t, sol[slot.unknown]);
   };
   record(0.0, x);
 
@@ -105,6 +127,11 @@ TransientResult transient(const Circuit& circuit,
 
   AssemblyContext ctx;
   ctx.gmin = 1e-12;
+
+  // Hoisted corrector buffers; same size every step, so the loop body
+  // performs no per-step vector allocations.
+  linalg::Vector x_pred(n, 0.0);
+  linalg::Vector x_new(n, 0.0);
 
   while (t < opts.t_stop - 1e-18) {
     if (out.accepted_steps + out.rejected_steps > opts.max_steps) {
@@ -127,7 +154,7 @@ TransientResult transient(const Circuit& circuit,
     }
 
     // Predictor: linear extrapolation from the last two points.
-    linalg::Vector x_pred = x;
+    x_pred = x;
     if (!first_step && h_prev > 0.0) {
       for (std::size_t i = 0; i < n; ++i)
         x_pred[i] = x[i] + (x[i] - x_prev[i]) * (h_eff / h_prev);
@@ -143,8 +170,12 @@ TransientResult transient(const Circuit& circuit,
     ctx.integrator =
         first_step ? Integrator::kBackwardEuler : Integrator::kBdf2;
 
-    linalg::Vector x_new = x_pred;
-    const NewtonResult nr = solve_newton(circuit, ctx, x_new, opts.newton);
+    x_new = x_pred;
+    // The corrector fills new_state at its converged point (during the
+    // convergence-recheck assembly), so accepting a step needs no further
+    // assembly.
+    const NewtonResult nr =
+        solve_newton(circuit, ctx, x_new, opts.newton, ws, &new_state);
     out.newton_iterations += static_cast<std::size_t>(nr.iterations);
 
     if (!nr.converged) {
@@ -188,19 +219,14 @@ TransientResult transient(const Circuit& circuit,
     }
 
     // Accept the step.
-    DynamicState new_state;
-    linalg::DenseMatrix jac;
-    linalg::Vector f;
-    assemble(circuit, x_new, ctx, jac, f, &new_state);
-
     MIVTX_DEBUG << "accept t=" << ctx.time << " h=" << h_eff
                 << " err=" << err_ratio << " integ="
                 << (ctx.integrator == Integrator::kBdf2 ? "bdf2" : "be");
-    x_prev = x;
-    x = x_new;
+    std::swap(x_prev, x);
+    std::swap(x, x_new);
     h_prev = h_eff;
-    state_prev = std::move(state);
-    state = std::move(new_state);
+    std::swap(state_prev, state);
+    std::swap(state, new_state);
     t += h_eff;
     out.accepted_steps += 1;
     record(t, x);

@@ -225,6 +225,42 @@ TEST(Sparse, Ilu0PreconditioningReducesIterations) {
   EXPECT_LT(norm_inf(sub(a.multiply(x1), b)), 1e-7);
 }
 
+TEST(Sparse, AtBinarySearchWideRow) {
+  // at() binary-searches within the row; exercise first/last/interior hits
+  // and misses on both sides and between present columns.
+  const std::size_t n = 64;
+  SparseBuilder sb(1, n);
+  for (std::size_t c = 1; c < n; c += 2) sb.add(0, c, double(c));
+  const SparseMatrix m(sb);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0);       // first stored column
+  EXPECT_DOUBLE_EQ(m.at(0, 33), 33.0);     // interior
+  EXPECT_DOUBLE_EQ(m.at(0, 63), 63.0);     // last stored column
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);       // before the first
+  EXPECT_DOUBLE_EQ(m.at(0, 32), 0.0);      // gap between stored columns
+}
+
+TEST(Sparse, PatternOrderedBuilderMatchesShuffled) {
+  // The CSR constructor skips its sort when the builder emitted entries in
+  // pattern order; the result must be identical to a shuffled emission.
+  const std::size_t n = 12;
+  SparseBuilder ordered(n, n), shuffled(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    ordered.add(r, r > 0 ? r - 1 : r, 1.0);
+    ordered.add(r, r, 4.0 + double(r));
+    if (r + 2 < n) ordered.add(r, r + 2, -2.0);
+  }
+  for (std::size_t r = n; r-- > 0;) {
+    if (r + 2 < n) shuffled.add(r, r + 2, -2.0);
+    shuffled.add(r, r, 4.0 + double(r));
+    shuffled.add(r, r > 0 ? r - 1 : r, 1.0);
+  }
+  const SparseMatrix a(ordered), b(shuffled);
+  ASSERT_EQ(a.num_nonzeros(), b.num_nonzeros());
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      EXPECT_DOUBLE_EQ(a.at(r, c), b.at(r, c)) << r << "," << c;
+}
+
 TEST(Sparse, IndexChecks) {
   SparseBuilder sb(2, 2);
   EXPECT_THROW(sb.add(2, 0, 1.0), mivtx::Error);
