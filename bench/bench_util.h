@@ -11,6 +11,9 @@
 //   --cache-dir D  persistent artifact cache (default: $MIVTX_CACHE_DIR);
 //                  a warm cache skips TCAD/extraction/transients entirely
 //   --metrics      print the counter/timer report on exit
+//   --trace-out F  record hierarchical spans and write Chrome trace-event
+//                  JSON to F on exit (open in Perfetto / about://tracing);
+//                  also prints the span-path summary table
 #pragma once
 
 #include <cstdio>
@@ -25,6 +28,7 @@
 #include "runtime/artifact_cache.h"
 #include "runtime/metrics.h"
 #include "runtime/thread_pool.h"
+#include "trace/trace.h"
 
 namespace mivtx::bench {
 
@@ -56,6 +60,7 @@ struct ExecSetup {
   std::unique_ptr<runtime::ThreadPool> pool_storage;
   std::unique_ptr<runtime::ArtifactCache> cache_storage;
   bool metrics = false;
+  std::string trace_out;  // empty = tracing off
 
   runtime::ThreadPool* pool() const {
     return pool_storage != nullptr && pool_storage->size() > 1
@@ -81,6 +86,20 @@ struct ExecSetup {
     if (metrics) {
       std::printf("\n%s", runtime::Metrics::global().render_text().c_str());
     }
+    if (!trace_out.empty()) {
+      trace::Tracer& tracer = trace::Tracer::global();
+      tracer.stop();
+      if (tracer.write_chrome_json(trace_out)) {
+        std::printf("\n[trace: %zu spans -> %s", tracer.event_count(),
+                    trace_out.c_str());
+        if (tracer.dropped_events() > 0) {
+          std::printf(", %zu dropped", tracer.dropped_events());
+        }
+        std::printf("]\n%s", tracer.render_summary().c_str());
+      } else {
+        std::printf("\n[trace: failed to write %s]\n", trace_out.c_str());
+      }
+    }
   }
 };
 
@@ -99,6 +118,10 @@ inline ExecSetup exec_setup(int argc, char** argv) {
     std::printf("[artifact cache: %s]\n", dir.c_str());
   }
   exec.metrics = has_flag(argc, argv, "--metrics");
+  if (const char* out = flag_value(argc, argv, "--trace-out")) {
+    exec.trace_out = out;
+    trace::Tracer::global().start();
+  }
   if (exec.pool() != nullptr) {
     std::printf("[%zu worker threads]\n", exec.pool_storage->size());
   }

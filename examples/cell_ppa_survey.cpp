@@ -2,12 +2,15 @@
 // the MIV-transistor implementations, and print the per-arc timing detail
 // the averaged Fig. 5 numbers hide.
 //
-// Usage: cell_ppa_survey [CELLNAME] [--jobs N] [--metrics]
+// Usage: cell_ppa_survey [CELLNAME] [--jobs N] [--metrics] [--trace-out F]
 //   without a cell name: survey of all 14 cells (runs ~1 min of transients
 //   serially; --jobs fans the 56 measurements and their pin arcs out over
 //   N worker threads with bit-identical results)
 //   with a cell name (e.g. XOR2X1): per-arc report for that cell
 //   --metrics: print the runtime counter/timer report on exit
+//   --trace-out F: record hierarchical spans (per-cell / per-pin /
+//   per-solver, nested across worker threads) and write Chrome trace-event
+//   JSON to F; open in Perfetto or about://tracing
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +24,7 @@
 #include "core/reference_cards.h"
 #include "runtime/metrics.h"
 #include "runtime/thread_pool.h"
+#include "trace/trace.h"
 
 using namespace mivtx;
 
@@ -62,15 +66,19 @@ int main(int argc, char** argv) {
   std::size_t jobs = 1;
   bool metrics = false;
   const char* cell = nullptr;
+  const char* trace_out = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       cell = argv[i];
     }
   }
+  if (trace_out != nullptr) trace::Tracer::global().start();
   if (cell != nullptr) return per_cell_report(cell);
 
   runtime::ThreadPool pool(jobs);
@@ -115,6 +123,19 @@ int main(int argc, char** argv) {
   std::printf("\n(run `cell_ppa_survey XOR2X1` for a per-arc breakdown)\n");
   if (metrics) {
     std::printf("\n%s", runtime::Metrics::global().render_text().c_str());
+  }
+  if (trace_out != nullptr) {
+    trace::Tracer& tracer = trace::Tracer::global();
+    tracer.stop();
+    if (tracer.write_chrome_json(trace_out)) {
+      std::printf("\n[trace: %zu spans -> %s", tracer.event_count(),
+                  trace_out);
+      if (tracer.dropped_events() > 0)
+        std::printf(", %zu dropped", tracer.dropped_events());
+      std::printf("]\n%s", tracer.render_summary().c_str());
+    } else {
+      std::printf("\n[trace: failed to write %s]\n", trace_out);
+    }
   }
   return 0;
 }

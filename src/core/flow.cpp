@@ -11,6 +11,7 @@
 #include "runtime/metrics.h"
 #include "runtime/thread_pool.h"
 #include "tcad/characterize.h"
+#include "trace/trace.h"
 
 namespace mivtx::core {
 
@@ -76,6 +77,7 @@ DeviceExtraction run_device(const ProcessParams& process, Variant v,
                             Polarity pol, const extract::SweepGrid& grid,
                             const extract::ExtractionOptions& opts,
                             runtime::ArtifactCache* cache) {
+  trace::Span span("flow.device", "flow", device_key(v, pol).c_str());
   runtime::Metrics& metrics = runtime::Metrics::global();
   DeviceExtraction dev;
   dev.variant = v;
@@ -97,6 +99,7 @@ DeviceExtraction run_device(const ProcessParams& process, Variant v,
   }
   if (!have_data) {
     MIVTX_INFO << "characterizing " << device_key(v, pol);
+    trace::Span char_span("flow.characterize", "flow");
     runtime::ScopedTimer timer("flow.characterize");
     dev.data = characterize_device(process, v, pol, grid);
     metrics.add("flow.char.computed");
@@ -123,6 +126,7 @@ DeviceExtraction run_device(const ProcessParams& process, Variant v,
   }
   if (!have_report) {
     MIVTX_INFO << "extracting " << device_key(v, pol);
+    trace::Span extract_span("flow.extract", "flow");
     runtime::ScopedTimer timer("flow.extract");
     dev.report =
         extract::extract_card(dev.data, initial_card(process, v, pol), opts);
@@ -141,6 +145,7 @@ FlowResult run_full_flow(const ProcessParams& process,
                          const extract::SweepGrid& grid,
                          const extract::ExtractionOptions& opts,
                          const FlowOptions& exec) {
+  trace::Span span("flow.run", "flow");
   runtime::ScopedTimer timer("flow.total");
   std::vector<std::pair<Variant, Polarity>> order;
   for (Polarity pol : {Polarity::kNmos, Polarity::kPmos}) {

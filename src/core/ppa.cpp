@@ -12,6 +12,7 @@
 #include "runtime/metrics.h"
 #include "runtime/thread_pool.h"
 #include "spice/transient.h"
+#include "trace/trace.h"
 #include "waveform/measure.h"
 
 namespace mivtx::core {
@@ -73,6 +74,7 @@ PpaEngine::PinOutcome PpaEngine::measure_pin(
     const std::vector<bool>& side) const {
   PinOutcome out;
   const auto input_names = cells::cell_input_names(type);
+  trace::Span span("ppa.pin", "ppa", input_names[pin].c_str());
   const double vdd = opts_.vdd;
   const double t_stop =
       opts_.t_delay + opts_.t_width + opts_.t_delay + opts_.t_width;
@@ -137,6 +139,10 @@ PpaEngine::PinOutcome PpaEngine::measure_pin(
 
 CellPpa PpaEngine::measure_uncached(cells::CellType type,
                                     cells::Implementation impl) const {
+  trace::Span span("ppa.cell", "ppa",
+                   (std::string(cells::cell_name(type)) + "/" +
+                    cells::impl_name(impl))
+                       .c_str());
   runtime::ScopedTimer timer("ppa.measure");
   CellPpa result;
   result.type = type;
@@ -238,6 +244,7 @@ CellPpa PpaEngine::measure(cells::CellType type,
 }
 
 std::vector<CellPpa> PpaEngine::measure_all() const {
+  trace::Span span("ppa.measure_all", "ppa");
   std::vector<std::pair<cells::CellType, cells::Implementation>> order;
   for (cells::CellType type : cells::all_cells()) {
     for (cells::Implementation impl : cells::all_implementations()) {

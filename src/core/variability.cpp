@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "runtime/metrics.h"
 #include "runtime/thread_pool.h"
+#include "trace/trace.h"
 
 namespace mivtx::core {
 
@@ -27,6 +28,7 @@ VariabilityStats run_variability(const ModelLibrary& library,
                                  const PpaOptions& ppa_opts,
                                  const runtime::ExecPolicy& exec) {
   MIVTX_EXPECT(spec.samples >= 2, "need at least 2 Monte-Carlo samples");
+  trace::Span run_span("variability.run", "variability");
   runtime::ScopedTimer timer("variability.run");
   VariabilityStats stats;
   stats.type = type;
@@ -41,6 +43,8 @@ VariabilityStats run_variability(const ModelLibrary& library,
   const std::vector<std::optional<CellPpa>> samples =
       runtime::parallel_map<std::optional<CellPpa>>(
           exec.pool, spec.samples, [&](std::size_t s) -> std::optional<CellPpa> {
+            trace::Span span("variability.sample", "variability");
+            span.annotate("sample", static_cast<double>(s));
             Rng rng = base.split(s);
             // Correlated sample: both device types shift together (worst
             // case for delay spread; uncorrelated per-device variation

@@ -1,5 +1,9 @@
 #include "runtime/thread_pool.h"
 
+#include <cstdio>
+
+#include "trace/trace.h"
+
 namespace mivtx::runtime {
 
 namespace {
@@ -94,6 +98,9 @@ bool ThreadPool::run_one() {
 void ThreadPool::worker_main(std::size_t index) {
   t_pool = this;
   t_index = index;
+  char name[32];
+  std::snprintf(name, sizeof name, "worker-%zu", index);
+  trace::set_thread_name(name);
   for (;;) {
     std::function<void()> task;
     if (try_pop(index, task)) {
@@ -136,7 +143,11 @@ void TaskGroup::run(std::function<void()> fn) {
     return;
   }
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
-  pool_->submit([this, index, fn = std::move(fn)] {
+  // Capture the submitting thread's open span so spans created inside the
+  // task nest under it even when another worker steals the task.
+  const std::uint64_t parent_span = trace::current_span_id();
+  pool_->submit([this, index, parent_span, fn = std::move(fn)] {
+    trace::TaskScope scope(parent_span);
     try {
       fn();
     } catch (...) {

@@ -55,7 +55,10 @@ AcResult ac_analysis(const Circuit& circuit, const std::string& ac_source,
 
   // The operating point runs on the sparse solver core; the per-frequency
   // phasor solves stay dense-complex (no Newton iteration to amortize).
+  trace::Span span("spice.ac", "spice");
   SolverWorkspace ws(circuit, newton);
+  StatsToSpan stats_guard(span, ws);
+  span.annotate("frequencies", static_cast<double>(frequencies.size()));
   const DcResult dc = dc_operating_point(circuit, newton, ws);
   if (!dc.converged) {
     out.error = "DC operating point failed";

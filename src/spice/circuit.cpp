@@ -36,6 +36,22 @@ const std::string& Circuit::node_name(NodeId id) const {
   return node_names_[id];
 }
 
+std::string Circuit::unknown_name(std::size_t unknown) const {
+  MIVTX_EXPECT(unknown < system_size(), "unknown index out of range");
+  for (NodeId n = 1; n < num_nodes(); ++n) {
+    if (node_unknown(n) == unknown) return node_name(n);
+  }
+  for (const Element& e : elements_) {
+    if ((e.kind == ElementKind::kVoltageSource ||
+         e.kind == ElementKind::kVcvs ||
+         e.kind == ElementKind::kInductor) &&
+        branch_unknown(e) == unknown) {
+      return "I(" + e.name + ")";
+    }
+  }
+  MIVTX_FAIL("unknown index maps to no node or branch");
+}
+
 void Circuit::add_element(Element e) {
   MIVTX_EXPECT(!e.name.empty(), "element needs a name");
   const std::string key = to_lower(e.name);

@@ -101,6 +101,13 @@ class Circuit {
     MIVTX_EXPECT(n < num_nodes(), "node id out of range");
     return n - 1;
   }
+  // Human-readable name of an MNA unknown: the node name for a voltage
+  // unknown, "I(<element>)" for a branch-current unknown.  Inverts the
+  // actual node_unknown/branch_unknown relations instead of assuming
+  // unknown == node - 1, so diagnostics stay correct if the unknown
+  // numbering ever changes.  O(n) scan — diagnostics only, never hot.
+  std::string unknown_name(std::size_t unknown) const;
+
   // Unknown index of a branch current (V, E or L element).
   std::size_t branch_unknown(const Element& branch_element) const {
     MIVTX_EXPECT(branch_element.kind == ElementKind::kVoltageSource ||

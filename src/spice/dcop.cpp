@@ -93,6 +93,8 @@ NewtonResult solve_newton(const Circuit& circuit, const AssemblyContext& ctx,
 
 DcResult dc_operating_point(const Circuit& circuit, const NewtonOptions& opts,
                             SolverWorkspace& ws) {
+  trace::Span span("spice.dcop", "spice");
+  StatsToSpan stats_guard(span, ws);
   const std::size_t n = circuit.system_size();
   DcResult out;
   out.x.assign(n, 0.0);
@@ -229,7 +231,9 @@ DcSweepResult dc_sweep(Circuit circuit, const std::string& source_name,
   // only the residual, so a linear circuit factors exactly once for all
   // sweep points, and nonlinear ones reuse the symbolic analysis and pivot
   // schedule throughout.
+  trace::Span span("spice.dc_sweep", "spice");
   SolverWorkspace ws(circuit, point_opts);
+  StatsToSpan stats_guard(span, ws);
 
   linalg::Vector x;
   bool have_seed = false;

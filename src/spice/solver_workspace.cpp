@@ -183,6 +183,13 @@ void SolverWorkspace::invalidate() {
   jac_generation_ += 1;
 }
 
+SolverStats SolverWorkspace::stats_snapshot() const {
+  SolverStats s = stats_;
+  s.device_evals += cache_.evals;
+  s.device_bypasses += cache_.bypasses;
+  return s;
+}
+
 void SolverWorkspace::flush_metrics() {
   stats_.device_evals += cache_.evals;
   stats_.device_bypasses += cache_.bypasses;
@@ -213,6 +220,24 @@ void SolverWorkspace::flush_metrics() {
     m.record_time("spice.factor", stats_.factor_wall_s, stats_.factor_wall_s);
   m.record_time("spice.solve", stats_.solve_wall_s, stats_.solve_wall_s);
   stats_ = SolverStats{};
+}
+
+void annotate_span(trace::Span& span, const SolverStats& since,
+                   const SolverStats& now) {
+  if (!span.active()) return;
+  const auto delta = [](std::uint64_t a, std::uint64_t b) {
+    return static_cast<double>(b - a);
+  };
+  span.annotate("newton_iters",
+                delta(since.newton_iterations, now.newton_iterations));
+  span.annotate("assemblies", delta(since.assemblies, now.assemblies));
+  span.annotate("factorizations",
+                delta(since.full_factorizations, now.full_factorizations));
+  span.annotate("refactorizations",
+                delta(since.refactorizations, now.refactorizations));
+  span.annotate("lu_reuses", delta(since.lu_reuses, now.lu_reuses));
+  span.annotate("device_bypasses",
+                delta(since.device_bypasses, now.device_bypasses));
 }
 
 }  // namespace mivtx::spice

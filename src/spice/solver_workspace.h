@@ -41,6 +41,7 @@
 #include "spice/assembly_plan.h"
 #include "spice/dcop.h"
 #include "spice/mna.h"
+#include "trace/trace.h"
 
 namespace mivtx::spice {
 
@@ -69,6 +70,10 @@ struct SolverStats {
   double factor_wall_s = 0.0;
   double solve_wall_s = 0.0;
 };
+
+// Annotate `span` with the counter deltas between two stats snapshots.
+void annotate_span(trace::Span& span, const SolverStats& since,
+                   const SolverStats& now);
 
 class SolverWorkspace {
  public:
@@ -107,6 +112,9 @@ class SolverWorkspace {
   void invalidate();
 
   SolverStats& stats() { return stats_; }
+  // Copy of the stats with the device-cache counters (held separately
+  // until flush to keep the eval loop off the shared block) folded in.
+  SolverStats stats_snapshot() const;
   // Publish the accumulated stats to runtime::Metrics::global() and zero
   // the local block.  Called by the destructor; call earlier to snapshot.
   void flush_metrics();
@@ -139,6 +147,27 @@ class SolverWorkspace {
   Integrator last_integrator_ = Integrator::kNone;
 
   SolverStats stats_;
+};
+
+// RAII: snapshot the workspace's stats at construction and annotate the
+// span with the deltas at destruction.  Declare AFTER both the Span and
+// the workspace so the annotations land before the span closes.
+class StatsToSpan {
+ public:
+  StatsToSpan(trace::Span& span, const SolverWorkspace& ws)
+      : span_(span), ws_(ws) {
+    if (span_.active()) at_open_ = ws_.stats_snapshot();
+  }
+  ~StatsToSpan() {
+    if (span_.active()) annotate_span(span_, at_open_, ws_.stats_snapshot());
+  }
+  StatsToSpan(const StatsToSpan&) = delete;
+  StatsToSpan& operator=(const StatsToSpan&) = delete;
+
+ private:
+  trace::Span& span_;
+  const SolverWorkspace& ws_;
+  SolverStats at_open_;
 };
 
 }  // namespace mivtx::spice

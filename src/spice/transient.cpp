@@ -67,7 +67,9 @@ TransientResult transient(const Circuit& circuit,
   // One workspace for the whole run: the t=0 operating point, every
   // Newton corrector, and every accept-step assembly share the assembly
   // plan, the LU symbolic analysis, and the device-bypass cache.
+  trace::Span span("spice.transient", "spice");
   SolverWorkspace ws(circuit, opts.newton);
+  StatsToSpan stats_guard(span, ws);
 
   // --- t = 0 operating point --------------------------------------------
   const DcResult dc = dc_operating_point(circuit, opts.newton, ws);
@@ -132,6 +134,10 @@ TransientResult transient(const Circuit& circuit,
   // performs no per-step vector allocations.
   linalg::Vector x_pred(n, 0.0);
   linalg::Vector x_new(n, 0.0);
+  // Startup-step LTE scratch (step-doubling; see below).
+  linalg::Vector x_half(n, 0.0);
+  linalg::Vector x_two(n, 0.0);
+  DynamicState state_half;
 
   while (t < opts.t_stop - 1e-18) {
     if (out.accepted_steps + out.rejected_steps > opts.max_steps) {
@@ -187,10 +193,18 @@ TransientResult transient(const Circuit& circuit,
       continue;
     }
 
-    // LTE estimate from the corrector-predictor gap (voltage unknowns only).
+    // LTE estimate (voltage unknowns only).  Steady steps use the
+    // corrector-predictor gap; startup steps (t = 0 and the first step
+    // after every source corner) have no valid predictor history, so they
+    // estimate the backward-Euler truncation error by step doubling —
+    // re-integrating the step as two h/2 BE steps and Richardson-comparing
+    // the endpoints.  Without this the post-corner step was accepted blind
+    // and the controller then grew h by the full 2.0x with err_ratio == 0.
     double err_ratio = 0.0;
     std::size_t worst = 0;
+    bool have_lte = false;
     if (!first_step && h_prev > 0.0) {
+      have_lte = true;
       for (std::size_t i = 0; i < num_v; ++i) {
         const double lte = std::fabs(x_new[i] - x_pred[i]) / 3.0;
         const double tol = opts.abstol_v + opts.reltol * std::fabs(x_new[i]);
@@ -199,6 +213,42 @@ TransientResult transient(const Circuit& circuit,
           worst = i;
         }
       }
+    } else {
+      // Two h/2 backward-Euler sub-steps from the same starting state.
+      // Costs ~2 Newton solves per source corner; both seeds interpolate
+      // the already-converged full step, so they converge in a few
+      // iterations.  The accepted state (new_state) stays the full step's.
+      ctx.h = 0.5 * h_eff;
+      ctx.time = t + 0.5 * h_eff;
+      for (std::size_t i = 0; i < n; ++i)
+        x_half[i] = 0.5 * (x[i] + x_new[i]);
+      const NewtonResult r1 =
+          solve_newton(circuit, ctx, x_half, opts.newton, ws, &state_half);
+      out.newton_iterations += static_cast<std::size_t>(r1.iterations);
+      if (r1.converged) {
+        ctx.time = t + h_eff;
+        ctx.prev = &state_half;
+        x_two = x_new;
+        const NewtonResult r2 =
+            solve_newton(circuit, ctx, x_two, opts.newton, ws);
+        out.newton_iterations += static_cast<std::size_t>(r2.iterations);
+        if (r2.converged) {
+          have_lte = true;
+          for (std::size_t i = 0; i < num_v; ++i) {
+            // Richardson: err(x_h) ~ 2 (x_h - x_{h/2,h/2}) for order 1.
+            const double lte = 2.0 * std::fabs(x_new[i] - x_two[i]);
+            const double tol =
+                opts.abstol_v + opts.reltol * std::fabs(x_new[i]);
+            if (lte / tol > err_ratio) {
+              err_ratio = lte / tol;
+              worst = i;
+            }
+          }
+        }
+      }
+      ctx.h = h_eff;  // restore the full-step context
+      ctx.time = t + h_eff;
+      ctx.prev = &state;
     }
     if (err_ratio > 4.0 && h_eff > 4.0 * opts.h_min) {
       if (log_level() <= LogLevel::kDebug) {
@@ -209,7 +259,7 @@ TransientResult transient(const Circuit& circuit,
           dq = std::max(dq, std::fabs(check.q[k] - state.q[k]));
         MIVTX_DEBUG << "transient LTE reject at t=" << ctx.time
                     << " h=" << h_eff << " err_ratio=" << err_ratio
-                    << " worst_node=" << circuit.node_name(worst + 1)
+                    << " worst_node=" << circuit.unknown_name(worst)
                     << " pred=" << x_pred[worst] << " new=" << x_new[worst]
                     << " q_consistency=" << dq;
       }
@@ -232,10 +282,13 @@ TransientResult transient(const Circuit& circuit,
     record(t, x);
     first_step = false;
 
-    // Step-size controller.
+    // Step-size controller.  Growth is gated on having an actual error
+    // estimate: if the startup step-doubling failed to converge, hold h
+    // instead of growing blind.
     double grow = 2.0;
     if (err_ratio > 1e-12)
       grow = std::clamp(0.9 / std::cbrt(err_ratio), 0.3, 2.0);
+    if (!have_lte) grow = 1.0;
     h = h_eff * grow;
     if (hit_bp) {
       // Restart small after a slope discontinuity.

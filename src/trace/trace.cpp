@@ -1,0 +1,404 @@
+#include "trace/trace.h"
+
+#if defined(MIVTX_TRACE_ENABLED)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/table.h"
+
+namespace mivtx::trace {
+
+namespace internal {
+
+// Single-writer ring: the owning thread pushes, export reads after the
+// parallel region quiesced.  `count_` is the total number of pushes; the
+// live window is the last min(count, capacity) events.
+class ThreadBuffer {
+ public:
+  ThreadBuffer(std::uint32_t tid, std::size_t capacity, const char* name)
+      : slots_(capacity), tid_(tid) {
+    std::snprintf(name_, sizeof name_, "%s", name);
+  }
+
+  void push(const TraceEvent& ev) {
+    const std::uint64_t k = count_.load(std::memory_order_relaxed);
+    slots_[k % slots_.size()] = ev;
+    count_.store(k + 1, std::memory_order_release);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const { return slots_.size(); }
+  std::uint64_t dropped() const {
+    const std::uint64_t n = count();
+    return n > slots_.size() ? n - slots_.size() : 0;
+  }
+  std::uint32_t tid() const { return tid_; }
+  const char* name() const { return name_; }
+
+  // Oldest-first walk of the live window.
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    const std::uint64_t n = count();
+    const std::uint64_t live = std::min<std::uint64_t>(n, slots_.size());
+    for (std::uint64_t k = n - live; k < n; ++k) fn(slots_[k % slots_.size()]);
+  }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::atomic<std::uint64_t> count_{0};
+  std::uint32_t tid_;
+  char name_[32] = {};
+};
+
+}  // namespace internal
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+thread_local internal::ThreadBuffer* tl_buffer = nullptr;
+thread_local std::uint64_t tl_session = 0;
+thread_local std::uint64_t tl_current_span = 0;
+thread_local char tl_thread_name[32] = {};
+
+void json_escape(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+  mutable std::mutex m;
+  std::vector<std::unique_ptr<internal::ThreadBuffer>> buffers;  // by tid
+  std::size_t ring_capacity = kDefaultRingCapacity;
+  std::uint64_t session = 0;  // bumped by start()/reset()
+  Clock::time_point epoch = Clock::now();
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> next_id{1};
+  std::size_t registered = 0;  // buffers created this session
+};
+
+Tracer::Tracer() : impl_(new Impl) {}
+Tracer::~Tracer() { delete impl_; }
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+bool Tracer::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void Tracer::start(std::size_t ring_capacity) {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  impl_->buffers.clear();
+  impl_->registered = 0;
+  impl_->ring_capacity = ring_capacity == 0 ? 1 : ring_capacity;
+  impl_->session += 1;
+  impl_->epoch = Clock::now();
+  impl_->next_id.store(1, std::memory_order_relaxed);
+  impl_->enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() {
+  impl_->enabled.store(false, std::memory_order_release);
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  impl_->enabled.store(false, std::memory_order_release);
+  impl_->buffers.clear();
+  impl_->registered = 0;
+  impl_->session += 1;
+}
+
+std::int64_t Tracer::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              impl_->epoch)
+      .count();
+}
+
+std::uint64_t Tracer::next_span_id() {
+  return impl_->next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+internal::ThreadBuffer* Tracer::buffer_for_current_thread() {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  if (tl_buffer != nullptr && tl_session == impl_->session) return tl_buffer;
+  const std::uint32_t tid = static_cast<std::uint32_t>(impl_->buffers.size());
+  char fallback[32];
+  const char* name = tl_thread_name;
+  if (name[0] == '\0') {
+    std::snprintf(fallback, sizeof fallback, "thread-%u", tid);
+    name = fallback;
+  }
+  impl_->buffers.push_back(std::make_unique<internal::ThreadBuffer>(
+      tid, impl_->ring_capacity, name));
+  impl_->registered += 1;
+  tl_buffer = impl_->buffers.back().get();
+  tl_session = impl_->session;
+  return tl_buffer;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lk(impl_->m);
+    for (const auto& buf : impl_->buffers) {
+      buf->visit([&out](const TraceEvent& ev) { out.push_back(ev); });
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.id < b.id;
+            });
+  return out;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  std::size_t n = 0;
+  for (const auto& buf : impl_->buffers) {
+    n += static_cast<std::size_t>(
+        std::min<std::uint64_t>(buf->count(), buf->capacity()));
+  }
+  return n;
+}
+
+std::size_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  std::size_t n = 0;
+  for (const auto& buf : impl_->buffers)
+    n += static_cast<std::size_t>(buf->dropped());
+  return n;
+}
+
+std::size_t Tracer::buffers_registered() const {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  return impl_->registered;
+}
+
+std::string Tracer::export_chrome_json() const {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&out, &first] {
+    if (!first) out += ',';
+    first = false;
+  };
+  {
+    std::lock_guard<std::mutex> lk(impl_->m);
+    for (const auto& buf : impl_->buffers) {
+      sep();
+      out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+      out += std::to_string(buf->tid());
+      out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      json_escape(out, buf->name());
+      out += "\"}}";
+    }
+  }
+  char num[64];
+  for (const TraceEvent& ev : snapshot()) {
+    sep();
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(ev.tid);
+    out += ",\"name\":\"";
+    json_escape(out, ev.name);
+    out += "\",\"cat\":\"";
+    json_escape(out, ev.category != nullptr ? ev.category : "mivtx");
+    // ts/dur are microseconds in the trace-event format; %.3f keeps the
+    // full nanosecond resolution.
+    std::snprintf(num, sizeof num, "\",\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(ev.start_ns) * 1e-3,
+                  static_cast<double>(ev.dur_ns) * 1e-3);
+    out += num;
+    out += ",\"args\":{\"id\":";
+    out += std::to_string(ev.id);
+    out += ",\"parent\":";
+    out += std::to_string(ev.parent);
+    if (ev.detail[0] != '\0') {
+      out += ",\"detail\":\"";
+      json_escape(out, ev.detail);
+      out += '"';
+    }
+    for (std::uint32_t a = 0; a < ev.num_args; ++a) {
+      out += ",\"";
+      json_escape(out, ev.args[a].key);
+      std::snprintf(num, sizeof num, "\":%.17g", ev.args[a].value);
+      out += num;
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << export_chrome_json();
+  return static_cast<bool>(os.flush());
+}
+
+std::string Tracer::render_summary(std::size_t max_rows) const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) index[events[i].id] = i;
+
+  // Logical path of each span: parent chain names joined by ';'.  A parent
+  // dropped by ring wrap-around roots the path at "(lost)".
+  std::unordered_map<std::uint64_t, std::string> paths;
+  paths.reserve(events.size());
+  auto path_of = [&](std::uint64_t id, auto&& self) -> const std::string& {
+    const auto memo = paths.find(id);
+    if (memo != paths.end()) return memo->second;
+    const auto it = index.find(id);
+    std::string p;
+    if (it == index.end()) {
+      p = "(lost)";
+    } else {
+      const TraceEvent& ev = events[it->second];
+      if (ev.parent == 0) {
+        p = ev.name;
+      } else {
+        p = self(ev.parent, self) + ";" + ev.name;
+      }
+    }
+    return paths.emplace(id, std::move(p)).first->second;
+  };
+
+  struct Agg {
+    std::uint64_t count = 0;
+    std::int64_t total_ns = 0;
+  };
+  std::map<std::string, Agg> by_path;
+  for (const TraceEvent& ev : events) {
+    Agg& a = by_path[path_of(ev.id, path_of)];
+    a.count += 1;
+    a.total_ns += ev.dur_ns;
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_path.begin(),
+                                                by_path.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns != b.second.total_ns
+               ? a.second.total_ns > b.second.total_ns
+               : a.first < b.first;
+  });
+
+  TextTable table({"span path", "count", "total ms", "mean us"});
+  table.set_align(1, TextTable::Align::kRight);
+  table.set_align(2, TextTable::Align::kRight);
+  table.set_align(3, TextTable::Align::kRight);
+  char buf[64];
+  for (std::size_t i = 0; i < rows.size() && i < max_rows; ++i) {
+    const Agg& a = rows[i].second;
+    std::vector<std::string> cells;
+    cells.push_back(rows[i].first);
+    cells.push_back(std::to_string(a.count));
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(a.total_ns) * 1e-6);
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof buf, "%.1f",
+                  static_cast<double>(a.total_ns) * 1e-3 /
+                      static_cast<double>(a.count));
+    cells.push_back(buf);
+    table.add_row(std::move(cells));
+  }
+  std::ostringstream os;
+  os << table.to_string();
+  if (rows.size() > max_rows) {
+    os << "(" << rows.size() - max_rows << " more paths)\n";
+  }
+  const std::size_t dropped = dropped_events();
+  if (dropped > 0) {
+    os << "(" << dropped << " events dropped by ring wrap-around)\n";
+  }
+  return os.str();
+}
+
+// --- Span ----------------------------------------------------------------
+
+Span::Span(const char* name, const char* category) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;  // one relaxed load; nothing else
+  buffer_ = tracer.buffer_for_current_thread();
+  event_.name = name;
+  event_.category = category;
+  event_.id = tracer.next_span_id();
+  event_.parent = tl_current_span;
+  event_.tid = buffer_->tid();
+  saved_current_ = tl_current_span;
+  tl_current_span = event_.id;
+  event_.start_ns = tracer.now_ns();
+}
+
+Span::Span(const char* name, const char* category, const char* detail)
+    : Span(name, category) {
+  set_detail(detail);
+}
+
+Span::~Span() {
+  if (buffer_ == nullptr) return;
+  event_.dur_ns = Tracer::global().now_ns() - event_.start_ns;
+  tl_current_span = saved_current_;
+  buffer_->push(event_);
+}
+
+void Span::set_detail(const char* detail) {
+  if (buffer_ == nullptr) return;
+  std::snprintf(event_.detail, sizeof event_.detail, "%s", detail);
+}
+
+void Span::annotate(const char* key, double value) {
+  if (buffer_ == nullptr || event_.num_args >= kMaxArgs) return;
+  event_.args[event_.num_args++] = {key, value};
+}
+
+// --- context propagation --------------------------------------------------
+
+std::uint64_t current_span_id() { return tl_current_span; }
+
+TaskScope::TaskScope(std::uint64_t parent_span) : saved_(tl_current_span) {
+  tl_current_span = parent_span;
+}
+
+TaskScope::~TaskScope() { tl_current_span = saved_; }
+
+void set_thread_name(const char* name) {
+  std::snprintf(tl_thread_name, sizeof tl_thread_name, "%s", name);
+}
+
+}  // namespace mivtx::trace
+
+#endif  // MIVTX_TRACE_ENABLED

@@ -1,0 +1,212 @@
+// mivtx::trace — low-overhead hierarchical span tracing with Chrome
+// trace-event export.
+//
+// A Span is an RAII scope that records one completed event (site name,
+// start, duration, logical parent, optional numeric annotations) into a
+// per-thread ring buffer on destruction.  Design constraints, in order:
+//
+//   1. Near-zero cost when off.  Recording is gated on one relaxed atomic
+//      load; a Span constructed while the tracer is disabled touches no
+//      clock, no buffer and performs no allocation.  Building with
+//      -DMIVTX_TRACE=OFF compiles Span/TaskScope to empty inline stubs.
+//   2. Never blocks, never allocates on the hot path.  Events are
+//      fixed-size PODs; each thread owns a single-writer ring buffer
+//      (allocated once at registration) that overwrites the oldest event
+//      when full and counts the drops.
+//   3. Correct nesting across the work-stealing pool.  The logical parent
+//      of a span is carried in a thread-local; runtime::TaskGroup captures
+//      the submitting thread's current span id and re-establishes it
+//      (trace::TaskScope) inside the worker that eventually runs — or
+//      steals — the task, so "ppa.cell under flow stage" holds no matter
+//      which thread executed what.
+//
+// Export: Chrome trace-event JSON ("X" complete events; load in Perfetto
+// or about://tracing) and a flamegraph-style text summary aggregated by
+// span path.  Export assumes quiescence — call it after the parallel
+// region (TaskGroup::wait / parallel_for return) completed, never while
+// spans are actively being recorded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mivtx::trace {
+
+inline constexpr std::size_t kMaxDetail = 47;  // truncating copy
+inline constexpr std::size_t kMaxArgs = 8;
+
+// One completed span.  Fixed-size POD: the record path does no heap work.
+struct TraceEvent {
+  const char* name = nullptr;      // static site name ("ppa.cell", ...)
+  const char* category = nullptr;  // static category ("flow", "spice", ...)
+  std::uint64_t id = 0;            // span id, unique per tracer session
+  std::uint64_t parent = 0;        // logical parent span id; 0 = root
+  std::int64_t start_ns = 0;       // since Tracer::start()
+  std::int64_t dur_ns = 0;
+  std::uint32_t tid = 0;           // buffer registration index
+  std::uint32_t num_args = 0;
+  char detail[kMaxDetail + 1] = {};  // dynamic detail ("NAND2X1/2ch", ...)
+  struct Arg {
+    const char* key = nullptr;  // static
+    double value = 0.0;
+  };
+  Arg args[kMaxArgs] = {};
+};
+
+#if defined(MIVTX_TRACE_ENABLED)
+
+namespace internal {
+class ThreadBuffer;
+}
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 1u << 15;
+
+  // Process-wide tracer; benches start it from --trace-out.
+  static Tracer& global();
+
+  // Enable recording.  Events timestamp relative to this call; ring
+  // capacity applies to buffers registered after it.
+  void start(std::size_t ring_capacity = kDefaultRingCapacity);
+  // Disable recording; buffers and events are kept for export.
+  void stop();
+  // Stop and drop every buffer/event.  Requires quiescence (no open spans
+  // and no concurrently-recording threads); test/bench teardown helper.
+  void reset();
+
+  bool enabled() const;
+
+  // Completed events from every thread, in start-time order.
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t event_count() const;
+  // Events overwritten by ring wrap-around, summed over threads.
+  std::size_t dropped_events() const;
+  // Ring buffers ever registered this session (test hook: spans recorded
+  // while disabled must register none).
+  std::size_t buffers_registered() const;
+
+  // Chrome trace-event JSON (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+  // {"displayTimeUnit":"ns","traceEvents":[...]} with one "X" complete
+  // event per span (ts/dur in microseconds) plus thread_name metadata.
+  // Loads in Perfetto and about://tracing.
+  std::string export_chrome_json() const;
+  // Write export_chrome_json() to `path`; false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+  // Flamegraph-style text table: spans aggregated by their logical path
+  // (root;child;...;leaf), sorted by total wall time.
+  std::string render_summary(std::size_t max_rows = 20) const;
+
+  // --- internals shared with Span -------------------------------------
+  internal::ThreadBuffer* buffer_for_current_thread();
+  std::int64_t now_ns() const;
+  std::uint64_t next_span_id();
+
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+// RAII span.  Construct on the stack; never heap-allocate spans.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "mivtx");
+  Span(const char* name, const char* category, const char* detail);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // True when the tracer was enabled at construction (annotations land).
+  bool active() const { return buffer_ != nullptr; }
+  std::uint64_t id() const { return event_.id; }
+
+  // Truncating copy into the event's detail field.
+  void set_detail(const char* detail);
+  // Attach a numeric annotation (static key).  Silently ignored when
+  // inactive or when kMaxArgs annotations were already attached.
+  void annotate(const char* key, double value);
+
+ private:
+  internal::ThreadBuffer* buffer_ = nullptr;
+  std::uint64_t saved_current_ = 0;
+  TraceEvent event_;
+};
+
+// Logical span id currently open on this thread (0 = none / disabled).
+// Capture at task-submission time, re-establish with TaskScope in the
+// thread that runs the task.
+std::uint64_t current_span_id();
+
+// RAII: make `parent_span` the logical parent for spans opened on this
+// thread until destruction, then restore the previous context.
+class TaskScope {
+ public:
+  explicit TaskScope(std::uint64_t parent_span);
+  ~TaskScope();
+  TaskScope(const TaskScope&) = delete;
+  TaskScope& operator=(const TaskScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+// Name this thread in trace exports ("worker-3"); truncating copy,
+// effective for buffers registered after the call.
+void set_thread_name(const char* name);
+
+#else  // !MIVTX_TRACE_ENABLED — inline no-op stubs, zero code generated.
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 1u << 15;
+  static Tracer& global() {
+    static Tracer t;
+    return t;
+  }
+  void start(std::size_t = kDefaultRingCapacity) {}
+  void stop() {}
+  void reset() {}
+  bool enabled() const { return false; }
+  std::vector<TraceEvent> snapshot() const { return {}; }
+  std::size_t event_count() const { return 0; }
+  std::size_t dropped_events() const { return 0; }
+  std::size_t buffers_registered() const { return 0; }
+  std::string export_chrome_json() const {
+    return "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}";
+  }
+  bool write_chrome_json(const std::string&) const { return false; }
+  std::string render_summary(std::size_t = 20) const {
+    return "(tracing compiled out: rebuild with -DMIVTX_TRACE=ON)\n";
+  }
+};
+
+class Span {
+ public:
+  explicit Span(const char*, const char* = "mivtx") {}
+  Span(const char*, const char*, const char*) {}
+  bool active() const { return false; }
+  std::uint64_t id() const { return 0; }
+  void set_detail(const char*) {}
+  void annotate(const char*, double) {}
+};
+
+inline std::uint64_t current_span_id() { return 0; }
+
+class TaskScope {
+ public:
+  explicit TaskScope(std::uint64_t) {}
+};
+
+inline void set_thread_name(const char*) {}
+
+#endif  // MIVTX_TRACE_ENABLED
+
+}  // namespace mivtx::trace

@@ -1,34 +1,129 @@
 #include "waveform/measure.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
 
 namespace mivtx::waveform {
 
+namespace {
+
+inline int side_of(double v, double level) {
+  return v > level ? 1 : (v < level ? -1 : 0);
+}
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+// Stateful crossing scan implementing the at-level semantics documented in
+// measure.h.  Emits crossings in time order through `emit`, which returns
+// false to stop the scan early (next_crossing needs only the first match).
+//
+// State per position: the side (above/below) of the most recent sample
+// strictly off the level, and the start index of the current run of
+// samples sitting exactly on the level.  A crossing fires when a strict
+// sample lands on the opposite side of that last strict side; its time is
+// the moment the waveform first *reached* the level — the start of the
+// at-level run when one exists, the linear interpolation inside the
+// straddling segment otherwise.  A run the waveform enters and leaves on
+// the same side (a touch) is not a crossing.
+//
+// `start` must be 0 or the index of a strictly-off-level sample; the
+// leading start-at-level rule only applies to a scan from the true
+// beginning (next_crossing backs up far enough that this never matters).
+template <typename Emit>
+void scan_crossings(const Waveform& w, double level, EdgeKind kind,
+                    std::size_t start, Emit&& emit) {
+  int last_side = 0;
+  std::size_t run_start = kNpos;
+  for (std::size_t i = start; i < w.size(); ++i) {
+    const int s = side_of(w.value(i), level);
+    if (s == 0) {
+      if (run_start == kNpos) run_start = i;
+      continue;
+    }
+    std::size_t cross_at = kNpos;
+    double t = 0.0;
+    if (last_side == 0) {
+      // The waveform starts exactly on the level; its departure direction
+      // names the edge and the crossing sits at the first sample.
+      if (run_start != kNpos && start == 0) {
+        cross_at = run_start;
+        t = w.time(run_start);
+      }
+    } else if (s != last_side) {
+      if (run_start != kNpos) {
+        t = w.time(run_start);  // reached the level exactly on a sample
+      } else {
+        const double t0 = w.time(i - 1), t1 = w.time(i);
+        const double v0 = w.value(i - 1), v1 = w.value(i);
+        t = t0 + (level - v0) / (v1 - v0) * (t1 - t0);
+      }
+      cross_at = i;
+    }
+    if (cross_at != kNpos) {
+      const EdgeKind edge = s > 0 ? EdgeKind::kRise : EdgeKind::kFall;
+      if ((kind == EdgeKind::kAny || kind == edge) &&
+          !emit(Crossing{t, edge})) {
+        return;
+      }
+    }
+    last_side = s;
+    run_start = kNpos;
+  }
+  // The waveform ends exactly on the level after arriving from one side:
+  // count it in the arrival direction (a solver step landing on the
+  // measurement level at the end of the run is still a crossing).
+  if (run_start != kNpos && last_side != 0) {
+    const EdgeKind edge = last_side < 0 ? EdgeKind::kRise : EdgeKind::kFall;
+    if (kind == EdgeKind::kAny || kind == edge) {
+      emit(Crossing{w.time(run_start), edge});
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<Crossing> find_crossings(const Waveform& w, double level,
                                      EdgeKind kind) {
   std::vector<Crossing> out;
-  for (std::size_t i = 0; i + 1 < w.size(); ++i) {
-    const double v0 = w.value(i), v1 = w.value(i + 1);
-    const bool rise = v0 < level && v1 >= level;
-    const bool fall = v0 > level && v1 <= level;
-    if (!rise && !fall) continue;
-    const EdgeKind edge = rise ? EdgeKind::kRise : EdgeKind::kFall;
-    if (kind != EdgeKind::kAny && kind != edge) continue;
-    const double t0 = w.time(i), t1 = w.time(i + 1);
-    const double f = (level - v0) / (v1 - v0);
-    out.push_back(Crossing{t0 + f * (t1 - t0), edge});
-  }
+  scan_crossings(w, level, kind, 0, [&out](const Crossing& c) {
+    out.push_back(c);
+    return true;
+  });
   return out;
 }
 
 std::optional<Crossing> next_crossing(const Waveform& w, double level,
                                       double after, EdgeKind kind) {
-  for (const Crossing& c : find_crossings(w, level, kind)) {
-    if (c.time >= after) return c;
+  if (w.empty()) return std::nullopt;
+  // Greatest index k with time(k) <= after; every crossing at or after
+  // `after` is produced while scanning samples at or beyond k.
+  const std::vector<double>& times = w.times();
+  const auto it = std::upper_bound(times.begin(), times.end(), after);
+  std::size_t start =
+      it == times.begin()
+          ? 0
+          : static_cast<std::size_t>(it - times.begin()) - 1;
+  // Back up to the two nearest strictly-off-level samples: the scan state
+  // at k (arrival side plus the start of any at-level run containing k)
+  // then matches a scan from index 0 for every crossing reported at or
+  // after `after`, so this returns exactly what filtering find_crossings
+  // by time would.
+  int stricts = side_of(w.value(start), level) != 0 ? 1 : 0;
+  while (start > 0 && stricts < 2) {
+    --start;
+    if (side_of(w.value(start), level) != 0) ++stricts;
   }
-  return std::nullopt;
+  std::optional<Crossing> out;
+  scan_crossings(w, level, kind, start, [&out, after](const Crossing& c) {
+    if (c.time >= after) {
+      out = c;
+      return false;
+    }
+    return true;
+  });
+  return out;
 }
 
 std::optional<double> propagation_delay(const Waveform& input,

@@ -19,10 +19,24 @@ struct Crossing {
 
 // All times where the waveform crosses `level` with the requested edge
 // direction, linearly interpolated.
+//
+// Samples sitting exactly on the level are part of the crossing, never a
+// separate one:
+//   - a crossing fires when the waveform passes from one strict side of
+//     the level to the other, at the time it first *reaches* the level
+//     (the start of an exactly-at-level plateau, or the interpolated point
+//     inside the straddling segment);
+//   - a plateau entered and left on the same side (a touch) is not a
+//     crossing;
+//   - a waveform that starts on the level crosses at its first sample, in
+//     its departure direction; one that ends on the level crosses at the
+//     first at-level sample, in its arrival direction.
 std::vector<Crossing> find_crossings(const Waveform& w, double level,
                                      EdgeKind kind = EdgeKind::kAny);
 
-// First crossing at/after `after`; nullopt if none.
+// First crossing at/after `after`; nullopt if none.  Scans incrementally
+// from a binary-searched start index instead of materializing every
+// crossing — this runs once per measured arc in the PPA engine.
 std::optional<Crossing> next_crossing(const Waveform& w, double level,
                                       double after,
                                       EdgeKind kind = EdgeKind::kAny);

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
+#include <string>
 
 #include "bsimsoi/params.h"
 #include "common/error.h"
@@ -51,6 +53,30 @@ TEST(Circuit, RejectsDuplicateAndInvalidElements) {
   EXPECT_THROW(ckt.add_resistor("R2", a, kGround, -1.0), Error);
   EXPECT_THROW(ckt.add_capacitor("C1", a, kGround, 0.0), Error);
   EXPECT_THROW(ckt.element("nope"), Error);
+}
+
+TEST(Circuit, UnknownNameRoundTrip) {
+  // Every MNA unknown maps back to its node name or "I(<element>)" through
+  // the real node_unknown/branch_unknown relations; regression for the
+  // LTE-reject debug path that assumed node_name(unknown + 1).
+  Circuit ckt;
+  const NodeId a = ckt.node("a"), b = ckt.node("b"), c = ckt.node("c");
+  ckt.add_vsource("V1", a, kGround, SourceSpec::DC(1.0));
+  ckt.add_resistor("R1", a, b, 10.0);
+  ckt.add_inductor("L1", b, c, 1e-9);
+  ckt.add_vcvs("E1", c, kGround, a, kGround, 2.0);
+  EXPECT_EQ(ckt.unknown_name(ckt.node_unknown(a)), "a");
+  EXPECT_EQ(ckt.unknown_name(ckt.node_unknown(b)), "b");
+  EXPECT_EQ(ckt.unknown_name(ckt.node_unknown(c)), "c");
+  EXPECT_EQ(ckt.unknown_name(ckt.branch_unknown(ckt.element("V1"))), "I(V1)");
+  EXPECT_EQ(ckt.unknown_name(ckt.branch_unknown(ckt.element("L1"))), "I(L1)");
+  EXPECT_EQ(ckt.unknown_name(ckt.branch_unknown(ckt.element("E1"))), "I(E1)");
+  // Exhaustive: every unknown resolves, and to a distinct name.
+  std::set<std::string> seen;
+  for (std::size_t u = 0; u < ckt.system_size(); ++u)
+    EXPECT_TRUE(seen.insert(ckt.unknown_name(u)).second) << u;
+  EXPECT_EQ(seen.size(), ckt.system_size());
+  EXPECT_THROW(ckt.unknown_name(ckt.system_size()), Error);
 }
 
 TEST(Circuit, SystemSizeCountsBranches) {

@@ -3,6 +3,7 @@
 // cell-level delay sanity.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "bsimsoi/params.h"
@@ -40,6 +41,46 @@ TEST(Transient, RcStepMatchesAnalytic) {
   }
   // Before the step: flat zero.
   EXPECT_NEAR(out.sample(0.5e-10), 0.0, 1e-9);
+}
+
+TEST(Transient, PostBreakpointStepIsErrorControlled) {
+  // Regression: the step after a source-corner breakpoint restarts the
+  // integrator (first_step), which used to skip the LTE check entirely and
+  // then grow h by the full 2.0x with no error estimate.  With h_max large
+  // relative to tau, the post-corner restart step (h_max/100) is already
+  // ~tau here, so a blind accept parks a sample far off the exponential.
+  // The fix estimates the startup step's error by BE step doubling.
+  const double r = 1e3, c = 1e-14, tau = r * c;  // 10 ps
+  const double t0 = 1e-10, t1 = 1.2e-10;         // 20 ps input ramp
+  Circuit ckt;
+  const NodeId in = ckt.node("in"), out = ckt.node("out");
+  ckt.add_vsource("VIN", in, kGround,
+                  SourceSpec::Pwl({{t0, 0.0}, {t1, 1.0}}));
+  ckt.add_resistor("R1", in, out, r);
+  ckt.add_capacitor("C1", out, kGround, c);
+  TransientOptions opts;
+  opts.t_stop = 5e-10;
+  opts.h_max = 1e-9;  // post-corner restart h = h_max/100 = 10 ps = tau
+  const TransientResult tr = transient(ckt, opts);
+  ASSERT_TRUE(tr.ok) << tr.error;
+  const auto& v = tr.v("out");
+  // Exact response to the ramp: for t in [t0, t1],
+  //   v = (t - t0)/(t1 - t0) - tau/(t1 - t0) * (1 - exp(-(t - t0)/tau)),
+  // then relaxes to 1 with time constant tau.
+  const double k = 1.0 / (t1 - t0);
+  const auto exact = [&](double t) {
+    if (t <= t0) return 0.0;
+    const double tr_end = std::min(t, t1);
+    double vr = k * (tr_end - t0) - k * tau * (1.0 - std::exp(-(tr_end - t0) / tau));
+    if (t > t1) vr = 1.0 + (vr - 1.0) * std::exp(-(t - t1) / tau);
+    return vr;
+  };
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    max_err = std::max(max_err, std::fabs(v.value(i) - exact(v.time(i))));
+  // Pre-fix the blind post-corner steps put max_err at ~0.077; with the
+  // startup LTE check it lands around 2e-5.
+  EXPECT_LT(max_err, 0.02);
 }
 
 TEST(Transient, RcSinSteadyStateAmplitude) {

@@ -1,0 +1,215 @@
+// mivtx::trace — span nesting (including across stolen pool tasks), ring
+// overflow semantics, Chrome trace-event export, and the disabled path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "trace/trace.h"
+
+namespace mivtx::trace {
+namespace {
+
+#if defined(MIVTX_TRACE_ENABLED)
+
+// RAII: stop-and-drop the global tracer so one test cannot leak an enabled
+// session into the rest of the suite.
+struct TracerSession {
+  explicit TracerSession(std::size_t ring_capacity = Tracer::kDefaultRingCapacity) {
+    Tracer::global().start(ring_capacity);
+  }
+  ~TracerSession() { Tracer::global().reset(); }
+};
+
+const TraceEvent* find_event(const std::vector<TraceEvent>& events,
+                             const char* name) {
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(Trace, DisabledRecordsNothingAndRegistersNoBuffers) {
+  Tracer& tracer = Tracer::global();
+  tracer.reset();
+  ASSERT_FALSE(tracer.enabled());
+  {
+    Span outer("outer");
+    Span inner("inner", "cat", "detail");
+    inner.annotate("k", 1.0);
+    EXPECT_FALSE(outer.active());
+    EXPECT_FALSE(inner.active());
+    EXPECT_EQ(outer.id(), 0u);
+    EXPECT_EQ(current_span_id(), 0u);
+  }
+  // A disabled Span must never touch the tracer: no ring buffer gets
+  // allocated or registered, and nothing is recorded.
+  EXPECT_EQ(tracer.buffers_registered(), 0u);
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(Trace, SpanNestingSameThread) {
+  TracerSession session;
+  std::uint64_t outer_id = 0, inner_id = 0;
+  {
+    Span outer("outer");
+    outer_id = outer.id();
+    EXPECT_EQ(current_span_id(), outer_id);
+    {
+      Span inner("inner");
+      inner_id = inner.id();
+      EXPECT_EQ(current_span_id(), inner_id);
+    }
+    EXPECT_EQ(current_span_id(), outer_id);
+  }
+  EXPECT_EQ(current_span_id(), 0u);
+
+  const auto events = Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent* outer = find_event(events, "outer");
+  const TraceEvent* inner = find_event(events, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent, 0u);
+  EXPECT_EQ(inner->parent, outer->id);
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_GE(outer->dur_ns, inner->dur_ns);
+}
+
+TEST(Trace, NestsAcrossStolenTasks) {
+  TracerSession session;
+  runtime::ThreadPool pool(4);
+  std::uint64_t root_id = 0;
+  {
+    Span root("root");
+    root_id = root.id();
+    runtime::TaskGroup group(&pool);
+    for (int i = 0; i < 32; ++i) {
+      group.run([] { Span task("task"); });
+    }
+    group.wait();
+  }
+  const auto events = Tracer::global().snapshot();
+  std::size_t tasks = 0;
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) != "task") continue;
+    ++tasks;
+    // The logical parent is the submitting thread's span no matter which
+    // worker ran (or stole) the task.
+    EXPECT_EQ(e.parent, root_id);
+    tids.insert(e.tid);
+  }
+  EXPECT_EQ(tasks, 32u);
+  // 32 tasks on a 4-worker pool: at least one task ran off the submitting
+  // thread (wait() helps, so the submitter may run some itself).
+  EXPECT_GE(tids.size(), 1u);
+}
+
+TEST(Trace, RingOverflowDropsOldestNeverBlocks) {
+  TracerSession session(64);
+  for (int i = 0; i < 200; ++i) {
+    Span s("span");
+    s.annotate("index", static_cast<double>(i));
+  }
+  Tracer& tracer = Tracer::global();
+  EXPECT_EQ(tracer.event_count(), 64u);
+  EXPECT_EQ(tracer.dropped_events(), 200u - 64u);
+  // The survivors are exactly the newest 64 (136..199).
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 64u);
+  std::set<int> indexes;
+  for (const TraceEvent& e : events) {
+    ASSERT_EQ(e.num_args, 1u);
+    indexes.insert(static_cast<int>(e.args[0].value));
+  }
+  EXPECT_EQ(*indexes.begin(), 136);
+  EXPECT_EQ(*indexes.rbegin(), 199);
+  EXPECT_EQ(indexes.size(), 64u);
+}
+
+TEST(Trace, ChromeJsonSchemaRoundTrip) {
+  TracerSession session;
+  set_thread_name("test-main");
+  {
+    Span s("escaped", "cat", "a\"b\\");
+    s.annotate("newton_iters", 42.0);
+  }
+  const std::string json = Tracer::global().export_chrome_json();
+  // Envelope.
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["), 0u);
+  EXPECT_EQ(json.back(), '}');
+  // Thread metadata (name registered with the buffer).
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("test-main"), std::string::npos);
+  // The complete event with escaped detail and numeric annotation.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"escaped\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"cat\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"a\\\"b\\\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"newton_iters\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  // No raw control characters or unescaped interior quotes can survive.
+  for (char c : json) EXPECT_GE(static_cast<unsigned char>(c), 0x20);
+}
+
+TEST(Trace, SummaryAggregatesByPath) {
+  TracerSession session;
+  {
+    Span alpha("alpha");
+    for (int i = 0; i < 3; ++i) Span beta("beta");
+  }
+  const std::string summary = Tracer::global().render_summary();
+  EXPECT_NE(summary.find("alpha;beta"), std::string::npos);
+  EXPECT_NE(summary.find("3"), std::string::npos);
+}
+
+TEST(Trace, StopHaltsRecording) {
+  TracerSession session;
+  { Span s("before"); }
+  Tracer& tracer = Tracer::global();
+  EXPECT_EQ(tracer.event_count(), 1u);
+  tracer.stop();
+  { Span s("after"); }
+  EXPECT_EQ(tracer.event_count(), 1u);
+  EXPECT_EQ(find_event(tracer.snapshot(), "after"), nullptr);
+}
+
+TEST(Trace, DetailTruncatesSafely) {
+  TracerSession session;
+  const std::string longdetail(200, 'x');
+  { Span s("long", "cat", longdetail.c_str()); }
+  const auto events = Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].detail).size(), kMaxDetail);
+}
+
+#else  // !MIVTX_TRACE_ENABLED
+
+TEST(Trace, StubsCompileToNothing) {
+  // The disabled build keeps the full API surface as inline no-ops.
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  {
+    Span s("anything", "cat", "detail");
+    s.annotate("k", 1.0);
+    EXPECT_FALSE(s.active());
+    TaskScope scope(current_span_id());
+  }
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.export_chrome_json(),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}");
+}
+
+#endif  // MIVTX_TRACE_ENABLED
+
+}  // namespace
+}  // namespace mivtx::trace

@@ -102,6 +102,107 @@ TEST(Measure, NextCrossingAfter) {
   EXPECT_FALSE(next_crossing(w, 0.5, 3.9, EdgeKind::kRise).has_value());
 }
 
+// --- at-level boundary semantics (the old scanner used strict inequality
+// on both sides of each segment and missed samples landing exactly on the
+// threshold) ---------------------------------------------------------------
+
+TEST(Measure, ExactHitSampleIsOneCrossing) {
+  // The 0.5 sample at t=1 IS the crossing; the old strict-side scan saw
+  // 0.25<0.5 -> 0.5 and 0.5 -> 0.75>0.5 as two non-crossing segments.
+  const Waveform w({0.0, 1.0, 2.0}, {0.25, 0.5, 0.75});
+  const auto c = find_crossings(w, 0.5, EdgeKind::kAny);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c[0].time, 1.0, 1e-12);
+  EXPECT_EQ(c[0].edge, EdgeKind::kRise);
+}
+
+TEST(Measure, ExactHitFirstSampleStartsAtLevel) {
+  // Starting exactly at the level and departing upward counts as a rise at
+  // the first sample (the signal reaches the level at t=0, not later).
+  const Waveform w({0.0, 1.0, 2.0}, {0.5, 1.0, 1.5});
+  const auto c = find_crossings(w, 0.5, EdgeKind::kAny);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c[0].time, 0.0, 1e-12);
+  EXPECT_EQ(c[0].edge, EdgeKind::kRise);
+}
+
+TEST(Measure, PlateauAtLevelIsOneCrossingAtPlateauStart) {
+  // Rise into a flat run exactly at the level, then leave upward: one
+  // crossing, timestamped where the signal first reaches the level.
+  const Waveform w({0.0, 1.0, 2.0, 3.0, 4.0}, {0.0, 0.5, 0.5, 0.5, 1.0});
+  const auto c = find_crossings(w, 0.5, EdgeKind::kAny);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c[0].time, 1.0, 1e-12);
+  EXPECT_EQ(c[0].edge, EdgeKind::kRise);
+}
+
+TEST(Measure, TouchWithoutCrossingReportsNothing) {
+  // Touch the level from below and retreat: never crosses.
+  const Waveform w({0.0, 1.0, 2.0}, {0.0, 0.5, 0.0});
+  EXPECT_TRUE(find_crossings(w, 0.5, EdgeKind::kAny).empty());
+  // Same for a flat touch.
+  const Waveform p({0.0, 1.0, 2.0, 3.0}, {0.0, 0.5, 0.5, 0.0});
+  EXPECT_TRUE(find_crossings(p, 0.5, EdgeKind::kAny).empty());
+}
+
+TEST(Measure, TrailingPlateauCountsArrival) {
+  // Rise to the level and stay there: the signal reached the level with a
+  // rising approach, so the arrival counts (propagation_delay on a settled
+  // half-VDD output depends on this).
+  const Waveform w({0.0, 1.0, 2.0}, {0.0, 0.5, 0.5});
+  const auto c = find_crossings(w, 0.5, EdgeKind::kAny);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c[0].time, 1.0, 1e-12);
+  EXPECT_EQ(c[0].edge, EdgeKind::kRise);
+}
+
+TEST(Measure, MonotoneRampExactSampleSingleCrossing) {
+  // An 11-point 0->1 ramp puts a sample exactly on 0.5; exactly one rise.
+  const Waveform w = ramp(0.0, 1.0, 0.0, 1.0, 11);
+  const auto c = find_crossings(w, 0.5, EdgeKind::kAny);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c[0].time, 0.5, 1e-12);
+  EXPECT_EQ(c[0].edge, EdgeKind::kRise);
+}
+
+TEST(Measure, NextCrossingMatchesFindCrossingsRandomized) {
+  // next_crossing scans incrementally from a binary-searched start; it must
+  // agree with filtering find_crossings for every `after`, including
+  // waveforms with exact-at-level samples and plateaus.
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    Waveform w;
+    double t = 0.0;
+    const double level = 0.5;
+    for (int i = 0; i < 40; ++i) {
+      // Quantized values land exactly on the level often.
+      const double v = std::round(rng.uniform(0.0, 4.0)) / 4.0;
+      w.append(t, v);
+      t += rng.uniform(0.05, 0.2);
+    }
+    for (const EdgeKind kind :
+         {EdgeKind::kRise, EdgeKind::kFall, EdgeKind::kAny}) {
+      const auto all = find_crossings(w, level, kind);
+      for (double after = -0.1; after < w.t_end() + 0.1; after += 0.037) {
+        const auto got = next_crossing(w, level, after, kind);
+        const Crossing* want = nullptr;
+        for (const Crossing& c : all) {
+          if (c.time >= after) {
+            want = &c;
+            break;
+          }
+        }
+        ASSERT_EQ(got.has_value(), want != nullptr)
+            << "trial " << trial << " after=" << after;
+        if (want != nullptr) {
+          EXPECT_DOUBLE_EQ(got->time, want->time);
+          EXPECT_EQ(got->edge, want->edge);
+        }
+      }
+    }
+  }
+}
+
 TEST(Measure, PropagationDelay) {
   const Waveform in({0.0, 1.0, 2.0}, {0.0, 1.0, 1.0});
   const Waveform out({0.0, 1.2, 2.2, 3.0}, {1.0, 1.0, 0.0, 0.0});
