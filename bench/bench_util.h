@@ -9,7 +9,10 @@
 //   --jobs N       worker threads (0 = hardware concurrency, default 1);
 //                  results are bit-identical for any value
 //   --cache-dir D  persistent artifact cache (default: $MIVTX_CACHE_DIR);
-//                  a warm cache skips TCAD/extraction/transients entirely
+//                  a warm cache skips TCAD/extraction/transients entirely.
+//                  Safe to share one directory between concurrent benches:
+//                  disk writes go through per-process temp files + atomic
+//                  rename (runtime/artifact_cache.cpp)
 //   --metrics      print the counter/timer report on exit
 //   --trace-out F  record hierarchical spans and write Chrome trace-event
 //                  JSON to F on exit (open in Perfetto / about://tracing);

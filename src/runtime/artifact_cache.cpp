@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "common/error.h"
 #include "common/log.h"
 #include "common/strings.h"
@@ -120,9 +122,14 @@ std::optional<std::string> ArtifactCache::disk_get(const CacheKey& key) {
 void ArtifactCache::disk_put(const CacheKey& key, const std::string& payload) {
   const fs::path path = fs::path(opts_.disk_dir) / key.filename();
   // Write-to-temp + rename so a concurrent reader (or a crash) never sees a
-  // half-written artifact.  The temp name is per-key, so two writers of the
-  // same key race benignly to identical content.
-  const fs::path tmp = path.string() + ".tmp";
+  // half-written artifact.  The temp name carries the writer's pid: with a
+  // fixed ".tmp" suffix, two processes sharing one cache dir (benches with
+  // the same --cache-dir, parallel ctest workers) would truncate each
+  // other's half-written temp file and rename interleaved garbage into
+  // place.  Distinct temp names make the final rename the only contended
+  // step, and rename is atomic — last writer wins with complete content.
+  const fs::path tmp =
+      path.string() + format(".%ld.tmp", static_cast<long>(::getpid()));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {

@@ -40,6 +40,12 @@ struct NewtonOptions {
   // controlling terminal moved more than this since the last fresh stamp.
   // Negative disables the bypass cache (sparse backend only).
   double bypass_vtol = 1e-9;
+  // Factorization-ladder control (sparse backend): when false, every
+  // linear solve runs a full pivoting factorization — the bit-identical
+  // reuse and pivot-replay refactorize rungs are skipped.  Production
+  // flows leave this on; mivtx::verify's differential engine turns it off
+  // to cross-check the ladder rungs against the from-scratch path.
+  bool reuse_factorization = true;
 };
 
 struct NewtonResult {

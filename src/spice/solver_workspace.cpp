@@ -31,7 +31,9 @@ class StatTimer {
 
 SolverWorkspace::SolverWorkspace(const Circuit& circuit,
                                  const NewtonOptions& opts)
-    : circuit_(&circuit), n_(circuit.system_size()) {
+    : circuit_(&circuit),
+      n_(circuit.system_size()),
+      reuse_factorization_(opts.reuse_factorization) {
   MIVTX_EXPECT(n_ > 0, "solver workspace: empty circuit");
   switch (opts.backend) {
     case SolverBackend::kDense:
@@ -123,15 +125,16 @@ bool SolverWorkspace::factor_and_solve(linalg::Vector& b) {
     return true;
   }
 
-  const bool current =
-      numeric_ok_ && lu_.factorized() && factored_generation_ == jac_generation_;
+  const bool current = reuse_factorization_ && numeric_ok_ &&
+                       lu_.factorized() &&
+                       factored_generation_ == jac_generation_;
   if (current) {
     stats_.lu_reuses += 1;
   } else {
     bool ok = false;
     {
       StatTimer timer(stats_.factor_wall_s);
-      if (numeric_ok_) {
+      if (numeric_ok_ && reuse_factorization_) {
         ok = lu_.refactorize(values_);
         if (ok) stats_.refactorizations += 1;
       }

@@ -127,6 +127,9 @@ class SolverWorkspace {
   const Circuit* circuit_ = nullptr;  // topology the plan was built for
   std::size_t n_ = 0;
   bool sparse_ = false;
+  // NewtonOptions::reuse_factorization: false forces a full factorize on
+  // every solve (ladder rungs 1-2 disabled; verification builds use this).
+  bool reuse_factorization_ = true;
 
   std::optional<AssemblyPlan> plan_;
   linalg::SparseLU lu_;

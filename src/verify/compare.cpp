@@ -1,0 +1,134 @@
+#include "verify/compare.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mivtx::verify {
+namespace {
+
+// Union of two strictly-increasing time axes (exact-duplicate times merge).
+std::vector<double> union_grid(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  std::vector<double> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    double t;
+    if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+      t = a[i++];
+      if (j < b.size() && b[j] == t) ++j;
+    } else {
+      t = b[j++];
+    }
+    if (out.empty() || t > out.back()) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+SignalDivergence compare_waveforms(const std::string& name,
+                                   const waveform::Waveform& a,
+                                   const waveform::Waveform& b,
+                                   double tolerance) {
+  SignalDivergence d;
+  d.signal = name;
+  const std::vector<double> grid = union_grid(a.times(), b.times());
+  d.samples = grid.size();
+  double sumsq = 0.0;
+  for (const double t : grid) {
+    const double delta = std::fabs(a.sample(t) - b.sample(t));
+    sumsq += delta * delta;
+    if (delta > d.max_abs) {
+      d.max_abs = delta;
+      d.t_worst = t;
+    }
+    if (delta > tolerance && t < d.t_first) d.t_first = t;
+  }
+  if (!grid.empty()) d.rms = std::sqrt(sumsq / static_cast<double>(grid.size()));
+  return d;
+}
+
+WaveformSetComparison compare_waveform_sets(
+    const std::map<std::string, waveform::Waveform>& a,
+    const std::map<std::string, waveform::Waveform>& b, double tolerance) {
+  WaveformSetComparison cmp;
+  cmp.tolerance = tolerance;
+  cmp.t_first = std::numeric_limits<double>::infinity();
+  for (const auto& [name, wave] : a) {
+    const auto it = b.find(name);
+    if (it == b.end()) {
+      cmp.missing.push_back(name + " (only in A)");
+      continue;
+    }
+    SignalDivergence d = compare_waveforms(name, wave, it->second, tolerance);
+    if (d.max_abs > cmp.max_abs) {
+      cmp.max_abs = d.max_abs;
+      cmp.worst_signal = d.signal;
+      cmp.t_worst = d.t_worst;
+    }
+    cmp.rms = std::max(cmp.rms, d.rms);
+    if (d.t_first < cmp.t_first) {
+      cmp.t_first = d.t_first;
+      cmp.first_signal = d.signal;
+    }
+    cmp.signals.push_back(std::move(d));
+  }
+  for (const auto& [name, wave] : b) {
+    (void)wave;
+    if (a.find(name) == a.end()) cmp.missing.push_back(name + " (only in B)");
+  }
+  cmp.pass = cmp.missing.empty() && cmp.max_abs <= tolerance;
+  if (cmp.first_signal.empty()) cmp.t_first = 0.0;
+  return cmp;
+}
+
+std::string WaveformSetComparison::summary() const {
+  if (!missing.empty())
+    return format("signal sets differ (%zu mismatches, first: %s)",
+                  missing.size(), missing.front().c_str());
+  if (pass)
+    return format("max |dv| %.3e over %zu signals (tol %.1e)", max_abs,
+                  signals.size(), tolerance);
+  return format("diverged: %s first exceeds %.1e at t = %s "
+                "(worst %.3e on %s at t = %s)",
+                first_signal.c_str(), tolerance,
+                eng_format(t_first, "s").c_str(), max_abs,
+                worst_signal.c_str(), eng_format(t_worst, "s").c_str());
+}
+
+WaveformSetComparison compare_transients(const spice::TransientResult& a,
+                                         const spice::TransientResult& b,
+                                         double tolerance) {
+  std::map<std::string, waveform::Waveform> ma, mb;
+  for (const auto& [node, w] : a.node_voltage) ma["V(" + node + ")"] = w;
+  for (const auto& [el, w] : a.branch_current) ma["I(" + el + ")"] = w;
+  for (const auto& [node, w] : b.node_voltage) mb["V(" + node + ")"] = w;
+  for (const auto& [el, w] : b.branch_current) mb["I(" + el + ")"] = w;
+  return compare_waveform_sets(ma, mb, tolerance);
+}
+
+SolutionComparison compare_solutions(const spice::Circuit& circuit,
+                                     const linalg::Vector& a,
+                                     const linalg::Vector& b,
+                                     double tolerance) {
+  MIVTX_EXPECT(a.size() == b.size(), "compare_solutions: size mismatch");
+  SolutionComparison cmp;
+  cmp.tolerance = tolerance;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double delta = std::fabs(a[i] - b[i]);
+    if (delta > cmp.max_abs) {
+      cmp.max_abs = delta;
+      cmp.worst_index = i;
+    }
+  }
+  if (a.size() > 0 && cmp.max_abs > 0.0)
+    cmp.worst_unknown = circuit.unknown_name(cmp.worst_index);
+  cmp.pass = cmp.max_abs <= tolerance;
+  return cmp;
+}
+
+}  // namespace mivtx::verify

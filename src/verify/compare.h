@@ -1,0 +1,83 @@
+// Divergence measurement between simulation results.
+//
+// All comparisons interpolate onto the union of the two time grids, so two
+// adaptive-step runs that placed their steps differently are compared at
+// every instant either run considered interesting.  Every comparison
+// localizes the *first* point the divergence exceeded the tolerance (time
+// plus signal / MNA-unknown name via Circuit::unknown_name) so a failing
+// cross-backend run points at a debuggable instant, not just a norm.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "linalg/dense.h"
+#include "spice/circuit.h"
+#include "spice/transient.h"
+#include "waveform/waveform.h"
+
+namespace mivtx::verify {
+
+// Divergence of one signal pair over the union grid.
+struct SignalDivergence {
+  std::string signal;
+  double max_abs = 0.0;  // max_t |a(t) - b(t)|
+  double rms = 0.0;      // sqrt(mean over union samples)
+  double t_worst = 0.0;  // time of max_abs
+  // First union-grid time the pointwise divergence exceeded the tolerance;
+  // +inf when it never did.
+  double t_first = std::numeric_limits<double>::infinity();
+  std::size_t samples = 0;
+};
+
+SignalDivergence compare_waveforms(const std::string& name,
+                                   const waveform::Waveform& a,
+                                   const waveform::Waveform& b,
+                                   double tolerance);
+
+// A set of named waveforms (e.g. every node voltage of a transient run)
+// against another set.  Signals present in only one set are a failure in
+// themselves (a backend dropped or renamed an output).
+struct WaveformSetComparison {
+  bool pass = true;
+  double tolerance = 0.0;
+  double max_abs = 0.0;
+  double rms = 0.0;  // worst per-signal RMS
+  std::string worst_signal;
+  double t_worst = 0.0;
+  // Earliest first-divergence over all signals; empty signal = none.
+  std::string first_signal;
+  double t_first = 0.0;
+  std::vector<SignalDivergence> signals;
+  std::vector<std::string> missing;  // present in one set only
+
+  std::string summary() const;  // one line, for reports/log lines
+};
+
+WaveformSetComparison compare_waveform_sets(
+    const std::map<std::string, waveform::Waveform>& a,
+    const std::map<std::string, waveform::Waveform>& b, double tolerance);
+
+// Full transient-result comparison: node voltages as "V(node)", branch
+// currents as "I(element)", in one set.
+WaveformSetComparison compare_transients(const spice::TransientResult& a,
+                                         const spice::TransientResult& b,
+                                         double tolerance);
+
+// DC solution vectors, localized to the worst MNA unknown by name.
+struct SolutionComparison {
+  bool pass = true;
+  double tolerance = 0.0;
+  double max_abs = 0.0;
+  std::string worst_unknown;
+  std::size_t worst_index = 0;
+};
+
+SolutionComparison compare_solutions(const spice::Circuit& circuit,
+                                     const linalg::Vector& a,
+                                     const linalg::Vector& b,
+                                     double tolerance);
+
+}  // namespace mivtx::verify

@@ -1,0 +1,126 @@
+// Differential engine: run the same circuit through a matrix of solver
+// configurations and demand agreement to a declared tolerance.
+//
+// Two layers:
+//   - run_differential: per-netlist solver matrix (dense vs sparse, the
+//     factorization-ladder rungs on/off, device-bypass cache on/off) over
+//     the DC operating point and the transient waveforms, compared against
+//     the first (reference) configuration with first-divergence
+//     localization from verify/compare.h.
+//   - run_ppa_differential: flow-level axes the per-netlist matrix cannot
+//     see — 1 vs N worker threads and cold vs warm artifact cache on the
+//     PPA engine, which the runtime contract requires to be BIT-identical,
+//     not merely within tolerance.
+//
+// Case sources: the 14 standard cells x 4 implementations under the
+// paper's stimulus (cell_corpus), or any parsed netlist (netlist_case,
+// honoring a `.tran` directive for the time window).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cells/netgen.h"
+#include "core/flow.h"
+#include "runtime/thread_pool.h"
+#include "spice/dcop.h"
+#include "spice/transient.h"
+#include "verify/compare.h"
+
+namespace mivtx::verify {
+
+// One named solver configuration of the comparison matrix.
+struct SolverConfig {
+  std::string name;
+  spice::SolverBackend backend = spice::SolverBackend::kSparse;
+  bool reuse_factorization = true;  // ladder rungs 1-2 (reuse/refactorize)
+  double bypass_vtol = 0.0;         // MOSFET bypass cache; 0 = exact only
+  // Per-config tolerance override; 0 picks DiffOptions::tolerance.  The
+  // bypass-cache axis trades exactness for speed by design, so it ships
+  // with a looser bound.
+  double tolerance = 0.0;
+};
+
+// dense (reference), sparse, sparse with the reuse ladder disabled, and
+// sparse with the device-bypass cache at its production tolerance.
+std::vector<SolverConfig> default_solver_matrix();
+
+// One circuit + analysis window to push through the matrix.
+struct DiffCase {
+  std::string name;
+  spice::Circuit circuit;
+  double t_stop = 1e-10;
+  double h_max = 0.0;        // 0 = transient default
+  bool run_dcop = true;
+  bool run_transient = true;
+};
+
+// The paper's stimulus for one (cell, implementation): rising pulse on the
+// first input, sensitizing side-input levels on the rest.
+DiffCase make_cell_case(cells::CellType type, cells::Implementation impl,
+                        const core::ModelLibrary& library);
+// All 14 cells x 4 implementations.
+std::vector<DiffCase> cell_corpus(const core::ModelLibrary& library);
+// Parse netlist text into a case; a `.tran <print> <t_stop>` directive sets
+// the window, otherwise `default_t_stop`.  Throws mivtx::Error on parse
+// failure.
+DiffCase netlist_case(const std::string& name, const std::string& text,
+                      double default_t_stop = 1e-6);
+
+struct DiffOptions {
+  double tolerance = 1e-9;
+  std::vector<SolverConfig> matrix = default_solver_matrix();
+  // Fan independent cases out across workers (results are index-ordered
+  // and identical for any pool size).
+  runtime::ThreadPool* pool = nullptr;
+};
+
+// One (case, config) comparison against the reference config.
+struct CaseConfigReport {
+  std::string case_name;
+  std::string config_name;
+  bool ok = false;
+  std::string error;  // solver failure, not divergence
+  double tolerance = 0.0;
+  SolutionComparison dcop;
+  WaveformSetComparison transient;
+  std::string summary() const;
+};
+
+struct DiffReport {
+  bool pass = true;
+  std::size_t cases = 0;
+  std::size_t comparisons = 0;
+  std::size_t failures = 0;
+  double worst_divergence = 0.0;
+  std::string worst_case;  // "case/config"
+  std::vector<CaseConfigReport> reports;
+};
+
+DiffReport run_differential(const std::vector<DiffCase>& cases,
+                            const DiffOptions& opts = {});
+
+// Flow-level equivalence of one cell measurement across scheduling axes.
+struct PpaEquivalence {
+  std::string cell;  // "NAND2X1/miv-1ch"
+  bool ok = false;
+  std::string detail;  // which axis broke and how
+};
+
+struct PpaDiffOptions {
+  std::size_t jobs = 4;  // the "N" of 1-vs-N
+  // Restrict to the first `max_cells` (cell, impl) pairs; 0 = all 56.
+  std::size_t max_cells = 0;
+};
+
+struct PpaDiffReport {
+  bool pass = true;
+  std::size_t cells = 0;
+  std::size_t failures = 0;
+  std::vector<PpaEquivalence> rows;
+};
+
+PpaDiffReport run_ppa_differential(const core::ModelLibrary& library,
+                                   const PpaDiffOptions& opts = {});
+
+}  // namespace mivtx::verify

@@ -1,0 +1,196 @@
+#include "verify/fuzz.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "lint/circuit_rules.h"
+#include "spice/dcop.h"
+#include "spice/parser.h"
+#include "spice/transient.h"
+
+namespace mivtx::verify {
+namespace {
+
+// splitmix64: enough state-space for text mutation, fully deterministic.
+struct SplitMix {
+  std::uint64_t s;
+  std::uint64_t next() {
+    std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  std::size_t below(std::size_t n) {
+    return n == 0 ? 0 : static_cast<std::size_t>(next() % n);
+  }
+};
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t nl = s.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(s.substr(start));
+      break;
+    }
+    lines.push_back(s.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+// Exception filter: mivtx::Error anywhere in the pipeline is a diagnosis
+// (the contract this harness enforces); anything else escapes to the test.
+template <typename Fn>
+bool diagnosed(Fn&& fn, std::string& detail) {
+  try {
+    fn();
+    return false;
+  } catch (const Error& e) {
+    detail = e.what();
+    return true;
+  }
+}
+
+}  // namespace
+
+FuzzResult exercise_netlist(const std::string& text) {
+  FuzzResult result;
+
+  spice::ParsedNetlist parsed;
+  if (diagnosed([&] { parsed = spice::parse_netlist(text); }, result.detail)) {
+    result.outcome = FuzzOutcome::kParseRejected;
+    return result;
+  }
+
+  lint::DiagnosticSink sink;
+  if (diagnosed([&] { lint::lint_netlist(parsed, sink); }, result.detail)) {
+    // Lint throwing (rather than reporting) still counts as a structured
+    // rejection, but is unusual enough to flag in the detail string.
+    result.outcome = FuzzOutcome::kLintRejected;
+    result.detail = "lint threw: " + result.detail;
+    return result;
+  }
+  if (sink.has_errors()) {
+    result.outcome = FuzzOutcome::kLintRejected;
+    result.detail = lint::render_text(sink.diagnostics());
+    return result;
+  }
+
+  // Lint found nothing fatal: the solver must now either converge or say
+  // why not — never crash.  presolve_lint stays on (default) so structural
+  // singularities surface as strategy "lint".
+  spice::DcResult dc;
+  if (diagnosed([&] { dc = spice::dc_operating_point(parsed.circuit); },
+                result.detail)) {
+    result.outcome = FuzzOutcome::kNoConverge;
+    result.detail = "dcop threw: " + result.detail;
+    return result;
+  }
+  if (!dc.converged) {
+    result.outcome = FuzzOutcome::kNoConverge;
+    result.detail = format("dcop did not converge (strategy %s)",
+                           dc.strategy.c_str());
+    return result;
+  }
+
+  // Capped transient: adversarial decks must not stall the suite, so both
+  // the horizon and the step budget are tiny.
+  spice::TransientOptions topt;
+  topt.t_stop = 1e-9;
+  topt.max_steps = 2000;
+  spice::TransientResult tr;
+  if (diagnosed([&] { tr = spice::transient(parsed.circuit, topt); },
+                result.detail)) {
+    result.outcome = FuzzOutcome::kNoConverge;
+    result.detail = "transient threw: " + result.detail;
+    return result;
+  }
+  if (!tr.ok) {
+    result.outcome = FuzzOutcome::kNoConverge;
+    result.detail = "transient: " + tr.error;
+    return result;
+  }
+  result.outcome = FuzzOutcome::kSolved;
+  return result;
+}
+
+std::string mutate_netlist(const std::string& text, std::uint64_t seed) {
+  SplitMix rng{seed * 0x2545f4914f6cdd1dull + 0x9e3779b9ull};
+  std::string out = text;
+  const std::size_t rounds = 1 + rng.below(4);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    if (out.empty()) break;
+    switch (rng.below(6)) {
+      case 0: {  // flip one byte to a printable character
+        out[rng.below(out.size())] =
+            static_cast<char>(' ' + rng.below(95));
+        break;
+      }
+      case 1: {  // delete a random span
+        const std::size_t at = rng.below(out.size());
+        out.erase(at, 1 + rng.below(8));
+        break;
+      }
+      case 2: {  // duplicate a random line
+        std::vector<std::string> lines = split_lines(out);
+        if (lines.empty()) break;
+        const std::size_t at = rng.below(lines.size());
+        lines.insert(lines.begin() + at, lines[at]);
+        out = join(lines, "\n");
+        break;
+      }
+      case 3: {  // delete a random line
+        std::vector<std::string> lines = split_lines(out);
+        if (lines.size() < 2) break;
+        lines.erase(lines.begin() + rng.below(lines.size()));
+        out = join(lines, "\n");
+        break;
+      }
+      case 4: {  // swap two whitespace-separated tokens on one line
+        std::vector<std::string> lines = split_lines(out);
+        if (lines.empty()) break;
+        std::string& line = lines[rng.below(lines.size())];
+        std::vector<std::string> toks = split(line, " \t");
+        if (toks.size() >= 2) {
+          const std::size_t a = rng.below(toks.size());
+          const std::size_t b = rng.below(toks.size());
+          std::swap(toks[a], toks[b]);
+          line = join(toks, " ");
+        }
+        out = join(lines, "\n");
+        break;
+      }
+      case 5: {  // truncate
+        out.resize(rng.below(out.size()));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+const char* fuzz_outcome_name(FuzzOutcome outcome) {
+  switch (outcome) {
+    case FuzzOutcome::kParseRejected: return "parse-rejected";
+    case FuzzOutcome::kLintRejected: return "lint-rejected";
+    case FuzzOutcome::kNoConverge: return "no-converge";
+    case FuzzOutcome::kSolved: return "solved";
+  }
+  return "?";
+}
+
+}  // namespace mivtx::verify

@@ -1,0 +1,42 @@
+// Defensive-robustness harness: feed arbitrary netlist text through the
+// full front half of the engine (parse -> lint -> dcop -> capped transient)
+// and demand one of exactly two outcomes:
+//   - a structured diagnosis (mivtx::Error, or lint errors, or a
+//     non-converged result carried in a result struct), or
+//   - a successful solve.
+// Crashes, non-mivtx exceptions, and sanitizer reports are the bugs this
+// hunts.  The corpus lives in tests/fuzz/; mutate_netlist derives
+// deterministic variants so every CI run explores the same neighborhood.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mivtx::verify {
+
+enum class FuzzOutcome {
+  kParseRejected,   // parser threw mivtx::Error
+  kLintRejected,    // lint produced at least one error diagnostic
+  kNoConverge,      // solver ran and reported non-convergence
+  kSolved,          // dcop (and capped transient, when possible) succeeded
+};
+
+struct FuzzResult {
+  FuzzOutcome outcome = FuzzOutcome::kSolved;
+  std::string detail;  // diagnosis text for the rejected/no-converge cases
+};
+
+// Runs the pipeline; throws only on a contract violation (a non-mivtx
+// exception escaping any stage), which a fuzz test reports as failure.
+// Transients are capped (few steps, tiny t_stop) so adversarial decks
+// cannot stall the suite.
+FuzzResult exercise_netlist(const std::string& text);
+
+// Deterministic text mutator: byte flips, token swaps, truncation, line
+// duplication and deletion, driven by `seed`.  Same (text, seed) -> same
+// mutant, so failures replay.
+std::string mutate_netlist(const std::string& text, std::uint64_t seed);
+
+const char* fuzz_outcome_name(FuzzOutcome outcome);
+
+}  // namespace mivtx::verify

@@ -1,0 +1,324 @@
+#include "verify/golden.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "bsimsoi/model.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "common/strings.h"
+#include "core/reference_cards.h"
+#include "runtime/thread_pool.h"
+#include "verify/json.h"
+
+namespace mivtx::verify {
+namespace {
+
+// Cross-toolchain slack tiers.  Pure parameters are compared essentially
+// exactly; closed-form device evaluations allow libm drift; anything that
+// went through the staged extraction optimizer or an adaptive transient
+// gets percent-level slack (still far below the regressions these files
+// exist to catch — see TESTING.md "tolerance policy").
+constexpr double kRtolExact = 1e-12;
+constexpr double kRtolClosedForm = 1e-6;
+constexpr double kRtolSimulated = 5e-2;
+constexpr double kRtolPpa = 5e-3;
+
+void add(GoldenSuiteResult& r, const std::string& name, double value,
+         double rtol) {
+  r.metrics.push_back({name, value, rtol});
+}
+
+std::string impl_tag(cells::Implementation impl) {
+  switch (impl) {
+    case cells::Implementation::k2D: return "2d";
+    case cells::Implementation::kMiv1Channel: return "1ch";
+    case cells::Implementation::kMiv2Channel: return "2ch";
+    case cells::Implementation::kMiv4Channel: return "4ch";
+  }
+  return "?";
+}
+
+GoldenSuiteResult compute_table1(GoldenContext&) {
+  GoldenSuiteResult r{"table1", {}};
+  const core::ProcessParams p;
+  add(r, "process.t_si_m", p.t_si, kRtolExact);
+  add(r, "process.h_src_m", p.h_src, kRtolExact);
+  add(r, "process.t_ox_m", p.t_ox, kRtolExact);
+  add(r, "process.n_src_m3", p.n_src, kRtolExact);
+  add(r, "process.t_spacer_m", p.t_spacer, kRtolExact);
+  add(r, "process.t_box_m", p.t_box, kRtolExact);
+  add(r, "design.t_miv_m", p.t_miv, kRtolExact);
+  add(r, "design.l_src_m", p.l_src, kRtolExact);
+  add(r, "design.w_src_m", p.w_src, kRtolExact);
+  add(r, "design.l_gate_m", p.l_gate, kRtolExact);
+  add(r, "design.vdd_v", p.vdd, kRtolExact);
+  // Nominal device metrics from the cached extracted cards (the numbers
+  // printed next to Table I by bench_table1_process).
+  for (const core::Polarity pol :
+       {core::Polarity::kNmos, core::Polarity::kPmos}) {
+    for (const core::Variant v : core::all_variants()) {
+      const auto& card = core::reference_model_library().card(v, pol);
+      const double s = pol == core::Polarity::kNmos ? 1.0 : -1.0;
+      const std::string key = core::device_key(v, pol);
+      add(r, "device." + key + ".vth_v", std::fabs(card.vth0), kRtolClosedForm);
+      add(r, "device." + key + ".ion_a",
+          std::fabs(bsimsoi::eval(card, s * p.vdd, s * p.vdd, 0.0).ids),
+          kRtolClosedForm);
+      add(r, "device." + key + ".ioff_a",
+          std::fabs(bsimsoi::eval(card, 0.0, s * p.vdd, 0.0).ids),
+          kRtolClosedForm);
+    }
+  }
+  return r;
+}
+
+GoldenSuiteResult compute_table2(GoldenContext&) {
+  GoldenSuiteResult r{"table2", {}};
+  const core::ProcessParams p;
+  const bsimsoi::SoiModelCard card = core::initial_card(
+      p, core::Variant::kTraditional, core::Polarity::kNmos);
+  add(r, "card.level", card.level, kRtolExact);
+  add(r, "card.mobmod", card.mobmod, kRtolExact);
+  add(r, "card.capmod", card.capmod, kRtolExact);
+  add(r, "card.igcmod", card.igcmod, kRtolExact);
+  add(r, "card.soimod", card.soimod, kRtolExact);
+  add(r, "card.tsi_m", card.tsi, kRtolExact);
+  add(r, "card.tox_m", card.tox, kRtolExact);
+  add(r, "card.tbox_m", card.tbox, kRtolExact);
+  add(r, "card.l_m", card.l, kRtolExact);
+  add(r, "card.w_m", card.w, kRtolExact);
+  add(r, "card.tnom_c", card.tnom, kRtolExact);
+  return r;
+}
+
+GoldenSuiteResult compute_table3(GoldenContext& ctx) {
+  GoldenSuiteResult r{"table3", {}};
+  bool all_under_10 = true;
+  for (const core::DeviceExtraction& d : ctx.flow().devices) {
+    const std::string key = core::device_key(d.variant, d.polarity);
+    add(r, "error." + key + ".idvg", d.report.errors.idvg, kRtolSimulated);
+    add(r, "error." + key + ".idvd", d.report.errors.idvd, kRtolSimulated);
+    add(r, "error." + key + ".cv", d.report.errors.cv, kRtolSimulated);
+    all_under_10 &= d.report.errors.idvg < 0.10 && d.report.errors.idvd < 0.10 &&
+                    d.report.errors.cv < 0.10;
+  }
+  // The paper's headline claim as a hard boolean: any tolerance regression
+  // that crosses 10% flips this and fails regardless of rtol slack.
+  add(r, "claim.all_regions_under_10pct", all_under_10 ? 1.0 : 0.0, kRtolExact);
+  return r;
+}
+
+GoldenSuiteResult compute_fig4(GoldenContext& ctx) {
+  GoldenSuiteResult r{"fig4", {}};
+  // Fig. 4 plots the 4-channel NMOS fit; its staged trace doubles as the
+  // Fig. 3 methodology record.
+  for (const core::DeviceExtraction& d : ctx.flow().devices) {
+    if (d.variant != core::Variant::kMiv4Channel ||
+        d.polarity != core::Polarity::kNmos)
+      continue;
+    add(r, "nmos_4ch.error.idvg", d.report.errors.idvg, kRtolSimulated);
+    add(r, "nmos_4ch.error.idvd", d.report.errors.idvd, kRtolSimulated);
+    add(r, "nmos_4ch.error.cv", d.report.errors.cv, kRtolSimulated);
+    add(r, "nmos_4ch.stages", static_cast<double>(d.report.stages.size()),
+        kRtolExact);
+    for (std::size_t s = 0; s < d.report.stages.size(); ++s) {
+      add(r, format("nmos_4ch.stage%zu.error_after", s + 1),
+          d.report.stages[s].error_after, kRtolSimulated);
+    }
+  }
+  MIVTX_EXPECT(!r.metrics.empty(), "golden fig4: nmos_4ch missing from flow");
+  return r;
+}
+
+GoldenSuiteResult compute_fig5(GoldenContext& ctx) {
+  GoldenSuiteResult r{"fig5", {}};
+  const std::vector<core::CellPpa>& all = ctx.ppa();
+  for (const core::ImplementationSummary& s : core::summarize(all)) {
+    const std::string tag = impl_tag(s.impl);
+    add(r, "mean." + tag + ".delay_s", s.mean_delay, kRtolPpa);
+    add(r, "mean." + tag + ".power_w", s.mean_power, kRtolPpa);
+    add(r, "mean." + tag + ".area_m2", s.mean_area, kRtolClosedForm);
+    add(r, "mean." + tag + ".pdp_j", s.mean_pdp, kRtolPpa);
+  }
+  for (const core::CellPpa& c : all) {
+    add(r,
+        format("delay.%s.%s_s", impl_tag(c.impl).c_str(),
+               cells::cell_name(c.type)),
+        c.delay, kRtolPpa);
+  }
+  return r;
+}
+
+}  // namespace
+
+const core::FlowResult& GoldenContext::flow() {
+  if (!flow_.has_value()) {
+    const LogLevel prev = log_level();
+    set_log_level(LogLevel::kError);
+    core::FlowOptions fopts;
+    fopts.jobs = opts_.jobs;
+    fopts.cache = opts_.cache;
+    flow_ = core::run_full_flow(core::ProcessParams{}, {}, {}, fopts);
+    set_log_level(prev);
+  }
+  return *flow_;
+}
+
+const std::vector<core::CellPpa>& GoldenContext::ppa() {
+  if (!ppa_.has_value()) {
+    const LogLevel prev = log_level();
+    set_log_level(LogLevel::kError);
+    runtime::ThreadPool pool(opts_.jobs);
+    const core::PpaEngine engine(
+        core::reference_model_library(), {}, {},
+        {pool.size() > 1 ? &pool : nullptr, opts_.cache});
+    ppa_ = engine.measure_all();
+    set_log_level(prev);
+  }
+  return *ppa_;
+}
+
+const std::vector<std::string>& golden_suite_names() {
+  static const std::vector<std::string> names = {"table1", "table2", "table3",
+                                                 "fig4", "fig5"};
+  return names;
+}
+
+bool golden_suite_is_expensive(const std::string& suite) {
+  return suite == "table3" || suite == "fig4" || suite == "fig5";
+}
+
+GoldenSuiteResult compute_golden_suite(const std::string& suite,
+                                       GoldenContext& ctx) {
+  if (suite == "table1") return compute_table1(ctx);
+  if (suite == "table2") return compute_table2(ctx);
+  if (suite == "table3") return compute_table3(ctx);
+  if (suite == "fig4") return compute_fig4(ctx);
+  if (suite == "fig5") return compute_fig5(ctx);
+  throw Error(format("golden: unknown suite '%s'", suite.c_str()));
+}
+
+std::string render_baseline(const GoldenSuiteResult& result,
+                            const std::string& git_sha, std::size_t jobs) {
+  Json doc = Json::object();
+  doc.set("suite", Json::string(result.suite));
+  Json prov = Json::object();
+  prov.set("git_sha", Json::string(git_sha.empty() ? "unknown" : git_sha));
+  prov.set("generator", Json::string("mivtx_verify --refresh-goldens"));
+  prov.set("jobs", Json::number(static_cast<double>(jobs)));
+  doc.set("provenance", std::move(prov));
+  Json metrics = Json::object();
+  for (const GoldenMetric& m : result.metrics) {
+    Json entry = Json::object();
+    entry.set("value", Json::number(m.value));
+    entry.set("rtol", Json::number(m.rtol));
+    metrics.set(m.name, std::move(entry));
+  }
+  doc.set("metrics", std::move(metrics));
+  return doc.dump(2) + "\n";
+}
+
+GoldenCheck check_against_baseline(const GoldenSuiteResult& measured,
+                                   const std::string& baseline_json) {
+  GoldenCheck check;
+  check.suite = measured.suite;
+  Json doc;
+  try {
+    doc = Json::parse(baseline_json);
+  } catch (const Error& e) {
+    check.error = e.what();
+    return check;
+  }
+  const Json* suite = doc.find("suite");
+  if (suite == nullptr || suite->as_string() != measured.suite) {
+    check.error = format("baseline is for suite '%s', expected '%s'",
+                         suite != nullptr ? suite->as_string().c_str() : "?",
+                         measured.suite.c_str());
+    return check;
+  }
+  const Json* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    check.error = "baseline has no metrics object";
+    return check;
+  }
+
+  std::map<std::string, double> run;
+  for (const GoldenMetric& m : measured.metrics) run[m.name] = m.value;
+
+  for (const auto& [name, entry] : metrics->members()) {
+    MetricCheck mc;
+    mc.name = name;
+    const Json* value = entry.find("value");
+    const Json* rtol = entry.find("rtol");
+    if (value == nullptr || !value->is_number()) {
+      check.error = format("metric %s has no numeric value", name.c_str());
+      return check;
+    }
+    mc.baseline = value->as_number();
+    mc.rtol = rtol != nullptr && rtol->is_number() ? rtol->as_number() : 1e-6;
+    const auto it = run.find(name);
+    if (it == run.end()) {
+      mc.status = MetricStatus::kMissingFromRun;
+      check.drifted += 1;
+    } else {
+      mc.measured = it->second;
+      const double denom = std::max(std::fabs(mc.baseline), 1e-30);
+      mc.rel_err = std::fabs(mc.measured - mc.baseline) / denom;
+      if (mc.rel_err > mc.rtol) {
+        mc.status = MetricStatus::kDrifted;
+        check.drifted += 1;
+      }
+      run.erase(it);
+    }
+    check.checks.push_back(std::move(mc));
+  }
+  // Metrics the run produced but the baseline never recorded: the schema
+  // moved without a refresh.
+  for (const auto& [name, value] : run) {
+    MetricCheck mc;
+    mc.name = name;
+    mc.measured = value;
+    mc.status = MetricStatus::kNotInBaseline;
+    check.drifted += 1;
+    check.checks.push_back(std::move(mc));
+  }
+  check.pass = check.drifted == 0 && check.error.empty();
+  return check;
+}
+
+std::string GoldenCheck::summary() const {
+  if (!error.empty()) return format("%s: ERROR %s", suite.c_str(), error.c_str());
+  if (pass)
+    return format("%s: %zu metrics within tolerance", suite.c_str(),
+                  checks.size());
+  std::string out =
+      format("%s: %zu of %zu metrics drifted", suite.c_str(), drifted,
+             checks.size());
+  for (const MetricCheck& mc : checks) {
+    if (mc.status == MetricStatus::kOk) continue;
+    switch (mc.status) {
+      case MetricStatus::kDrifted:
+        out += format("\n  %s: baseline %s, measured %s (rel err %.3e > rtol "
+                      "%.1e)",
+                      mc.name.c_str(), format_double(mc.baseline).c_str(),
+                      format_double(mc.measured).c_str(), mc.rel_err, mc.rtol);
+        break;
+      case MetricStatus::kMissingFromRun:
+        out += format("\n  %s: in baseline but not produced by this run",
+                      mc.name.c_str());
+        break;
+      case MetricStatus::kNotInBaseline:
+        out += format("\n  %s: produced by this run but not in baseline "
+                      "(refresh goldens?)",
+                      mc.name.c_str());
+        break;
+      case MetricStatus::kOk:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mivtx::verify

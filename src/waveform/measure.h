@@ -31,6 +31,11 @@ struct Crossing {
 //   - a waveform that starts on the level crosses at its first sample, in
 //     its departure direction; one that ends on the level crosses at the
 //     first at-level sample, in its arrival direction.
+//
+// These semantics are pinned by an independent brute-force oracle in the
+// verification property engine (src/verify/properties.cpp,
+// "crossings-oracle"), which replays randomized plateau/touch/endpoint
+// waveforms against this contract every mivtx_verify --props run.
 std::vector<Crossing> find_crossings(const Waveform& w, double level,
                                      EdgeKind kind = EdgeKind::kAny);
 

@@ -1,0 +1,6 @@
+adversarial: values at double-precision extremes
+V1 in 0 DC 1e300
+R1 in out 1e-300
+R2 out 0 1e300
+C1 out 0 1e-45
+.end

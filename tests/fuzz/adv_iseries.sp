@@ -1,0 +1,4 @@
+adversarial: ideal current sources in series strand the middle node
+I1 0 mid 1m
+I2 mid 0 2m
+.end

@@ -1,0 +1,5 @@
+adversarial: floating network with no node 0 anywhere
+V1 a b DC 1.0
+R1 b c 1k
+R2 c a 1k
+.end

@@ -1,0 +1,4 @@
+adversarial: control bytes and non-ascii in tokens
+V1 in 0 DC 1.0
+R§1 in ou€t 1k
+.end

@@ -1,0 +1,4 @@
+adversarial: two ideal voltage sources in a loop disagree
+V1 a 0 DC 1.0
+V2 a 0 DC 2.0
+.end

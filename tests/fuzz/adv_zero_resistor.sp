@@ -1,0 +1,5 @@
+adversarial: zero-valued resistor and capacitor-only node
+V1 in 0 DC 1.0
+R1 in out 0
+C1 island 0 1p
+.end

@@ -1,0 +1,4 @@
+mutated: garbage value token
+V1 in 0 DC 1.0
+R1 in 0 1kohmsplease
+.end

@@ -1,0 +1,6 @@
+mutated: resistor to a node nothing else touches
+V1 in 0 DC 1.0
+R1 in out 1k
+R2 in typo_net 1k
+R3 out 0 1k
+.end

@@ -1,0 +1,5 @@
+mutated: same element name declared twice
+V1 in 0 DC 1.0
+R1 in 0 1k
+R1 in 0 2k
+.end

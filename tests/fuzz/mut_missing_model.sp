@@ -1,0 +1,5 @@
+mutated: MOSFET references a model never declared
+VDD vdd 0 DC 1.0
+M1 out vdd 0 no_such_model
+R1 out 0 1k
+.end

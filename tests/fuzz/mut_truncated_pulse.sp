@@ -1,0 +1,4 @@
+mutated: PULSE() cut off mid-argument-list
+V1 in 0 PULSE(0 1 100p
+R1 in 0 1k
+.end

@@ -1,0 +1,9 @@
+valid VCVS / VCCS pair
+V1 a 0 DC 0.5
+R1 a b 1k
+E1 c 0 a b 2.0
+G1 d 0 c 0 1m
+R2 b 0 1k
+R3 c d 500
+R4 d 0 750
+.end

@@ -1,0 +1,7 @@
+valid nonlinear MOS diode string
+.model nch nmos LEVEL=70 VTH0=0.35 L=24n W=192n U0=0.03
+V1 top 0 DC 1.0
+M1 top top mid nch
+M2 mid mid 0 nch
+R1 top 0 100k
+.end

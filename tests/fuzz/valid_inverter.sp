@@ -1,0 +1,10 @@
+valid MOS inverter with pulse input
+.model nch nmos LEVEL=70 VTH0=0.35 L=24n W=192n U0=0.03
+.model pch pmos LEVEL=70 VTH0=-0.35 L=24n W=192n U0=0.012
+VDD vdd 0 DC 1.0
+VIN in 0 PULSE(0 1 100p 20p 20p 200p)
+M1 out in 0 nch
+M2 out in vdd pch
+C1 out 0 1f
+.tran 50p 500p
+.end

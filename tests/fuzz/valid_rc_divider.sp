@@ -1,0 +1,7 @@
+valid RC divider
+V1 in 0 DC 1.0
+R1 in mid 1k
+R2 mid 0 2k
+C1 mid 0 1p
+.tran 10p 1n
+.end

@@ -1,0 +1,7 @@
+valid series RLC with sine drive
+V1 in 0 SIN(0 0.5 1e8)
+R1 in mid 50
+L1 mid cap 1u
+C1 cap 0 1p
+.tran 1n 20n
+.end

@@ -1,0 +1,59 @@
+// Per-test unique temporary directories.
+//
+// ::testing::TempDir() is one shared /tmp location: two build trees (or two
+// ctest -j workers, or parallel CI jobs on one runner) running the same
+// fixed-name test race on create/remove and corrupt each other's artifacts.
+// unique_temp_dir() scopes the path by tag + pid + a per-process counter,
+// so every call in every process gets a fresh directory.  The ScopedTempDir
+// wrapper removes it on destruction (best-effort; /tmp reaping covers
+// crashes).
+#pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace mivtx::testutil {
+
+inline std::filesystem::path unique_temp_dir(const std::string& tag) {
+  static std::atomic<unsigned> counter{0};
+#ifdef _WIN32
+  const long pid = _getpid();
+#else
+  const long pid = static_cast<long>(::getpid());
+#endif
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      (tag + "_" + std::to_string(pid) + "_" +
+       std::to_string(counter.fetch_add(1)));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& tag) : path_(unique_temp_dir(tag)) {}
+  ~ScopedTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace mivtx::testutil

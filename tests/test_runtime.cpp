@@ -24,6 +24,7 @@
 #include "runtime/artifact_cache.h"
 #include "runtime/metrics.h"
 #include "runtime/thread_pool.h"
+#include "temp_dir.h"
 
 namespace mivtx {
 namespace {
@@ -170,8 +171,10 @@ TEST(ArtifactCache, MemoryHitMissAndLruEviction) {
 }
 
 TEST(ArtifactCache, DiskRoundTripAcrossInstances) {
-  const fs::path dir = fs::path(::testing::TempDir()) / "mivtx_cache_rt";
-  fs::remove_all(dir);
+  // Unique per test process: a fixed /tmp name races against parallel
+  // ctest workers and sibling build trees (see temp_dir.h).
+  const testutil::ScopedTempDir scoped("mivtx_cache_rt");
+  const fs::path dir = scoped.path();
   const runtime::CacheKey key{"char", 0xdeadbeef12345678ULL};
   {
     runtime::ArtifactCache::Options opts;
@@ -193,8 +196,8 @@ TEST(ArtifactCache, DiskRoundTripAcrossInstances) {
 }
 
 TEST(ArtifactCache, CorruptDiskFileIsAMissNotAnError) {
-  const fs::path dir = fs::path(::testing::TempDir()) / "mivtx_cache_corrupt";
-  fs::remove_all(dir);
+  const testutil::ScopedTempDir scoped("mivtx_cache_corrupt");
+  const fs::path dir = scoped.path();
   const runtime::CacheKey key{"ppa", 42};
   runtime::ArtifactCache::Options opts;
   opts.disk_dir = dir.string();

@@ -1,0 +1,112 @@
+// Netlist fuzzing: every deck in tests/fuzz/ — and deterministic mutants
+// derived from each — must be either diagnosed (parse error, lint error,
+// clean non-convergence) or solved.  Crashes, hangs and non-mivtx
+// exceptions are the failures; the same binary runs under ASan/UBSan in CI
+// so memory errors in the parser/lint/solver path surface here too.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "verify/fuzz.h"
+
+namespace mivtx {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(MIVTX_FUZZ_CORPUS_DIR))
+    if (entry.path().extension() == ".sp") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class QuietLog : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prev_ = log_level();
+    set_log_level(LogLevel::kOff);  // fuzz decks warn loudly by design
+  }
+  void TearDown() override { set_log_level(prev_); }
+  LogLevel prev_ = LogLevel::kWarn;
+};
+
+using VerifyFuzz = QuietLog;
+
+TEST_F(VerifyFuzz, CorpusIsNonTrivial) {
+  // The corpus must exercise all three deck classes; catches an
+  // accidentally emptied or mis-wired MIVTX_FUZZ_CORPUS_DIR.
+  const std::vector<fs::path> files = corpus_files();
+  ASSERT_GE(files.size(), 12u);
+  std::size_t valid = 0, mutated = 0, adversarial = 0;
+  for (const fs::path& f : files) {
+    const std::string stem = f.stem().string();
+    valid += stem.rfind("valid_", 0) == 0;
+    mutated += stem.rfind("mut_", 0) == 0;
+    adversarial += stem.rfind("adv_", 0) == 0;
+  }
+  EXPECT_GE(valid, 3u);
+  EXPECT_GE(mutated, 3u);
+  EXPECT_GE(adversarial, 3u);
+}
+
+TEST_F(VerifyFuzz, EveryCorpusDeckIsDiagnosedOrSolved) {
+  for (const fs::path& f : corpus_files()) {
+    SCOPED_TRACE(f.filename().string());
+    verify::FuzzResult r;
+    // exercise_netlist throws only when a stage broke its exception
+    // contract (non-mivtx exception) — that is the bug being hunted.
+    ASSERT_NO_THROW(r = verify::exercise_netlist(slurp(f)))
+        << "pipeline let a non-mivtx exception escape";
+    // Decks named valid_* must actually solve: a regression that starts
+    // rejecting well-formed input is as much a bug as a crash.
+    if (f.stem().string().rfind("valid_", 0) == 0)
+      EXPECT_EQ(r.outcome, verify::FuzzOutcome::kSolved)
+          << verify::fuzz_outcome_name(r.outcome) << ": " << r.detail;
+  }
+}
+
+TEST_F(VerifyFuzz, MutantsOfEveryDeckNeverCrash) {
+  // 24 deterministic mutants per deck; the seed fixes the entire stream so
+  // any failure replays with the printed (file, seed) pair.
+  for (const fs::path& f : corpus_files()) {
+    const std::string text = slurp(f);
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+      SCOPED_TRACE(f.filename().string() + " seed " + std::to_string(seed));
+      const std::string mutant = verify::mutate_netlist(text, seed);
+      ASSERT_NO_THROW(verify::exercise_netlist(mutant));
+    }
+  }
+}
+
+TEST_F(VerifyFuzz, MutatorIsDeterministic) {
+  const std::string text = slurp(corpus_files().front());
+  EXPECT_EQ(verify::mutate_netlist(text, 7), verify::mutate_netlist(text, 7));
+  // Different seeds explore (with overwhelming probability) different texts.
+  EXPECT_NE(verify::mutate_netlist(text, 7), verify::mutate_netlist(text, 8));
+}
+
+TEST_F(VerifyFuzz, DegenerateInputsAreDiagnosed) {
+  for (const char* text : {"", "\n\n\n", "title only", "title\n.end\n",
+                           "t\n.tran\n.end", "t\nR1\n.end",
+                           "t\nXsub a b c undefined\n.end"}) {
+    SCOPED_TRACE(std::string("input: ") + text);
+    ASSERT_NO_THROW(verify::exercise_netlist(text));
+  }
+}
+
+}  // namespace
+}  // namespace mivtx
