@@ -1,0 +1,331 @@
+// mivtx_analyze - whole-design static analyzer CLI (mivtx::analyze).
+//
+// Runs the multi-pass analyzer over gate-level designs (.gnl files or the
+// built-in benchmark generators) and the SPICE lint rules over .sp files,
+// and feeds every finding through the unified diagnostics pipeline:
+// severity config, suppressions, baselines, deterministic ordering and
+// text/JSON/SARIF renderers (see DESIGN.md section 12).
+//
+// Usage: mivtx_analyze [options] [<design.gnl|netlist.sp>...]
+//   --circuit <name>       analyze a built-in generated block (repeatable):
+//                          rca<N>, alu<N>, decoder<N>, parity<N>, mux<N>, aoi
+//   --impl 2d|1ch|2ch|4ch  cell implementation variant (default: 2d)
+//   --place coupled|per-tier  place the block and run the tier/MIV rules
+//   --clock <seconds>      required time at the outputs; negative-slack
+//                          endpoints become `timing-violation` errors
+//   --input-slew <seconds> transition time at the primary inputs
+//   --paths <n>            worst paths to report in text mode (default 5)
+//   --no-sta               skip the timing pass
+//   --max-fanout <n>       electrical rule threshold (default 8)
+//   --max-load-cap <F>     electrical rule threshold (default 20e-15)
+//   --severity-config <f>  severity remaps / suppressions (pipeline.h)
+//   --baseline <f>         gate only on findings not in the baseline
+//   --write-baseline <f>   write current findings as the new baseline
+//   --format text|json|sarif  stdout report format (default: text)
+//   --sarif <f>            additionally write a SARIF 2.1.0 file
+//   --quiet                suppress the per-design timing summary
+//
+// Exit status: 0 clean (warnings allowed), 1 any error-severity finding
+// outside the baseline, 2 usage or I/O problem.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "analyze/pipeline.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "lint/circuit_rules.h"
+#include "spice/parser.h"
+
+using namespace mivtx;
+
+namespace {
+
+constexpr const char* kVersion = "0.6";
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return std::nullopt;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+// "rca16" -> ripple_carry_adder(16), etc.  Returns nullopt for an unknown
+// name so the caller can print the catalog.
+std::optional<gatelevel::GateNetlist> builtin_circuit(const std::string& name) {
+  auto suffix_bits = [&](const char* prefix) -> std::optional<std::size_t> {
+    const std::size_t n = std::strlen(prefix);
+    if (name.compare(0, n, prefix) != 0 || name.size() == n)
+      return std::nullopt;
+    char* end = nullptr;
+    const unsigned long bits = std::strtoul(name.c_str() + n, &end, 10);
+    if (end == nullptr || *end != '\0' || bits == 0) return std::nullopt;
+    return static_cast<std::size_t>(bits);
+  };
+  try {
+    if (name == "aoi") return gatelevel::aoi_block();
+    if (auto bits = suffix_bits("rca"))
+      return gatelevel::ripple_carry_adder(*bits);
+    if (auto bits = suffix_bits("alu")) return gatelevel::alu_block(*bits);
+    if (auto bits = suffix_bits("decoder")) return gatelevel::decoder(*bits);
+    if (auto bits = suffix_bits("parity")) return gatelevel::parity_tree(*bits);
+    if (auto bits = suffix_bits("mux")) return gatelevel::mux_tree(*bits);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "cannot build circuit %s: %s\n", name.c_str(),
+                 e.what());
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void print_sta_summary(const std::string& label,
+                       const analyze::SlackStaResult& sta) {
+  std::printf("%s: worst slack %s at %s (worst arrival %s)\n", label.c_str(),
+              eng_format(sta.worst_slack, "s").c_str(),
+              sta.worst_endpoint.c_str(),
+              eng_format(sta.worst_arrival, "s").c_str());
+  for (const analyze::TimingPath& path : sta.paths) {
+    std::printf("  path to %s: arrival %s, slack %s\n", path.endpoint.c_str(),
+                eng_format(path.arrival, "s").c_str(),
+                eng_format(path.slack, "s").c_str());
+    for (const analyze::PathPoint& p : path.points) {
+      std::printf("    %-24s %-16s arrival %s\n",
+                  p.instance.empty() ? "(input)" : p.instance.c_str(),
+                  p.net.c_str(), eng_format(p.arrival, "s").c_str());
+    }
+  }
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mivtx_analyze [options] [<design.gnl|netlist.sp>...]\n"
+      "  --circuit <name>        built-in block: rca<N>, alu<N>, decoder<N>,\n"
+      "                          parity<N>, mux<N>, aoi (repeatable)\n"
+      "  --impl 2d|1ch|2ch|4ch   implementation variant (default 2d)\n"
+      "  --place coupled|per-tier  run placement + tier/MIV rules\n"
+      "  --clock <s>  --input-slew <s>  --paths <n>  --no-sta\n"
+      "  --max-fanout <n>  --max-load-cap <F>\n"
+      "  --severity-config <f>  --baseline <f>  --write-baseline <f>\n"
+      "  --format text|json|sarif  --sarif <f>  --quiet\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  analyze::AnalyzeOptions options;
+  std::vector<std::string> files;
+  std::vector<std::string> circuits;
+  std::string format_name = "text";
+  std::string sarif_path, severity_path, baseline_path, write_baseline_path;
+  bool quiet = false;
+
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s needs a value\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--circuit") {
+      circuits.push_back(value(i));
+    } else if (arg == "--impl") {
+      const std::string impl = value(i);
+      if (impl == "2d") {
+        options.impl = cells::Implementation::k2D;
+      } else if (impl == "1ch") {
+        options.impl = cells::Implementation::kMiv1Channel;
+      } else if (impl == "2ch") {
+        options.impl = cells::Implementation::kMiv2Channel;
+      } else if (impl == "4ch") {
+        options.impl = cells::Implementation::kMiv4Channel;
+      } else {
+        std::fprintf(stderr, "unknown --impl %s\n", impl.c_str());
+        return 2;
+      }
+    } else if (arg == "--place") {
+      const std::string mode = value(i);
+      if (mode == "coupled") {
+        options.place_mode = place::Mode::kCoupled;
+      } else if (mode == "per-tier") {
+        options.place_mode = place::Mode::kPerTier;
+      } else {
+        std::fprintf(stderr, "unknown --place %s\n", mode.c_str());
+        return 2;
+      }
+    } else if (arg == "--clock") {
+      options.sta.clock_period = std::atof(value(i));
+    } else if (arg == "--input-slew") {
+      options.sta.input_slew = std::atof(value(i));
+    } else if (arg == "--paths") {
+      options.sta.worst_paths = static_cast<std::size_t>(std::atoi(value(i)));
+    } else if (arg == "--no-sta") {
+      options.run_sta = false;
+    } else if (arg == "--max-fanout") {
+      options.electrical.max_fanout =
+          static_cast<std::size_t>(std::atoi(value(i)));
+    } else if (arg == "--max-load-cap") {
+      options.electrical.max_load_cap = std::atof(value(i));
+    } else if (arg == "--severity-config") {
+      severity_path = value(i);
+    } else if (arg == "--baseline") {
+      baseline_path = value(i);
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = value(i);
+    } else if (arg == "--format") {
+      format_name = value(i);
+      if (format_name != "text" && format_name != "json" &&
+          format_name != "sarif") {
+        std::fprintf(stderr, "unknown --format %s\n", format_name.c_str());
+        return 2;
+      }
+    } else if (arg == "--sarif") {
+      sarif_path = value(i);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() && circuits.empty()) return usage();
+
+  analyze::SeverityConfig config;
+  if (!severity_path.empty()) {
+    const auto text = read_file(severity_path);
+    if (!text) {
+      std::fprintf(stderr, "cannot open %s\n", severity_path.c_str());
+      return 2;
+    }
+    try {
+      config = analyze::SeverityConfig::parse(*text);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s: %s\n", severity_path.c_str(), e.what());
+      return 2;
+    }
+  }
+
+  const gatelevel::TimingModel timing = analyze::default_timing_model();
+  std::vector<lint::Diagnostic> findings;
+
+  auto analyze_one = [&](const analyze::Design& design) {
+    const analyze::AnalyzeReport report =
+        analyze::analyze_design(design, timing, options);
+    findings.insert(findings.end(), report.findings.begin(),
+                    report.findings.end());
+    if (!quiet && format_name == "text" && report.sta)
+      print_sta_summary(design.source.empty() ? design.name : design.source,
+                        *report.sta);
+  };
+
+  for (const std::string& name : circuits) {
+    const auto netlist = builtin_circuit(name);
+    if (!netlist) {
+      std::fprintf(stderr, "unknown --circuit %s\n", name.c_str());
+      return usage();
+    }
+    analyze::Design design = analyze::design_from_netlist(*netlist);
+    design.source = "circuit:" + name;
+    analyze_one(design);
+  }
+
+  for (const std::string& path : files) {
+    const auto text = read_file(path);
+    if (!text) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    if (ends_with(path, ".sp") || ends_with(path, ".cir") ||
+        ends_with(path, ".spice")) {
+      // SPICE netlists go through the mivtx::lint rules; the pipeline
+      // (ordering, severity config, baseline, renderers) is shared.
+      lint::DiagnosticSink sink;
+      sink.set_default_file(path);
+      try {
+        const spice::ParsedNetlist parsed = spice::parse_netlist(*text);
+        lint::lint_netlist(parsed, sink);
+        findings.insert(findings.end(), sink.diagnostics().begin(),
+                        sink.diagnostics().end());
+      } catch (const Error& e) {
+        lint::Diagnostic d;
+        d.severity = lint::Severity::kError;
+        d.rule = "parse-error";
+        d.message = e.what();
+        d.file = path;
+        findings.push_back(d);
+      }
+    } else {
+      lint::DiagnosticSink sink;
+      sink.set_default_file(path);
+      analyze::Design design = analyze::parse_design(*text, sink);
+      design.source = path;
+      findings.insert(findings.end(), sink.diagnostics().begin(),
+                      sink.diagnostics().end());
+      analyze_one(design);
+    }
+  }
+
+  findings = config.apply(findings);
+  lint::sort_diagnostics(findings);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", write_baseline_path.c_str());
+      return 2;
+    }
+    out << analyze::Baseline::serialize(findings);
+  }
+
+  std::vector<lint::Diagnostic> gated = findings;
+  if (!baseline_path.empty()) {
+    const auto text = read_file(baseline_path);
+    if (!text) {
+      std::fprintf(stderr, "cannot open %s\n", baseline_path.c_str());
+      return 2;
+    }
+    gated = analyze::Baseline::parse(*text).new_findings(findings);
+  }
+
+  if (format_name == "json") {
+    std::printf("%s\n", lint::render_json(gated).c_str());
+  } else if (format_name == "sarif") {
+    std::printf("%s\n",
+                analyze::render_sarif(gated, "mivtx_analyze", kVersion).c_str());
+  } else if (!gated.empty()) {
+    std::printf("%s", lint::render_text(gated).c_str());
+  } else if (!quiet) {
+    std::printf("clean: no findings%s\n",
+                baseline_path.empty() ? "" : " outside the baseline");
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", sarif_path.c_str());
+      return 2;
+    }
+    out << analyze::render_sarif(gated, "mivtx_analyze", kVersion);
+  }
+
+  const auto worst = analyze::max_severity(gated);
+  return (worst && *worst == lint::Severity::kError) ? 1 : 0;
+}

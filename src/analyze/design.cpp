@@ -1,0 +1,117 @@
+#include "analyze/design.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mivtx::analyze {
+
+Design design_from_netlist(const gatelevel::GateNetlist& netlist) {
+  Design d;
+  d.name = netlist.name();
+  for (const std::string& in : netlist.primary_inputs()) {
+    d.inputs.push_back(Port{in, 0});
+  }
+  for (const std::string& out : netlist.primary_outputs()) {
+    d.outputs.push_back(Port{out, 0});
+  }
+  for (const gatelevel::Instance& inst : netlist.instances()) {
+    d.gates.push_back(Gate{inst.name, cells::cell_name(inst.type), inst.type,
+                           inst.inputs, inst.output, 0});
+  }
+  return d;
+}
+
+Design parse_design(const std::string& text, lint::DiagnosticSink& sink) {
+  Design d;
+  std::istringstream is(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(is, raw)) {
+    ++lineno;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::vector<std::string> tok = split(raw, " \t\r");
+    if (tok.empty()) continue;
+    if (equals_ci(tok[0], "design")) {
+      if (tok.size() != 2) {
+        sink.error("parse-error", "expected 'design <name>'", "", "", lineno);
+        continue;
+      }
+      d.name = tok[1];
+    } else if (equals_ci(tok[0], "input") || equals_ci(tok[0], "output")) {
+      if (tok.size() < 2) {
+        sink.error("parse-error",
+                   "expected '" + to_lower(tok[0]) + " <net> [<net> ...]'",
+                   "", "", lineno);
+        continue;
+      }
+      auto& ports = equals_ci(tok[0], "input") ? d.inputs : d.outputs;
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        ports.push_back(Port{tok[i], lineno});
+      }
+    } else if (equals_ci(tok[0], "gate")) {
+      // gate <CELL> <instance> <in...> <out>
+      if (tok.size() < 4) {
+        sink.error("parse-error",
+                   "expected 'gate <cell> <instance> <in...> <out>'", "", "",
+                   lineno);
+        continue;
+      }
+      Gate g;
+      g.cell = tok[1];
+      g.name = tok[2];
+      g.inputs.assign(tok.begin() + 3, tok.end() - 1);
+      g.output = tok.back();
+      g.line = lineno;
+      g.type = cells::find_cell(g.cell);
+      if (!g.type) {
+        sink.error("unknown-cell", "cell '" + g.cell + "' is not in the "
+                   "14-cell library", g.name, "", lineno);
+      } else if (g.inputs.size() != cells::cell_num_inputs(*g.type)) {
+        sink.error("bad-arity",
+                   format("cell %s takes %zu inputs, got %zu",
+                          cells::cell_name(*g.type),
+                          cells::cell_num_inputs(*g.type), g.inputs.size()),
+                   g.name, "", lineno);
+      }
+      d.gates.push_back(std::move(g));
+    } else {
+      sink.error("parse-error", "unknown directive '" + tok[0] + "'", "", "",
+                 lineno);
+    }
+  }
+  return d;
+}
+
+std::string to_gnl_text(const Design& design) {
+  std::ostringstream os;
+  os << "design " << (design.name.empty() ? "unnamed" : design.name) << "\n";
+  for (const Port& p : design.inputs) os << "input " << p.net << "\n";
+  for (const Port& p : design.outputs) os << "output " << p.net << "\n";
+  for (const Gate& g : design.gates) {
+    os << "gate " << g.cell << " " << g.name;
+    for (const std::string& in : g.inputs) os << " " << in;
+    os << " " << g.output << "\n";
+  }
+  return os.str();
+}
+
+std::optional<gatelevel::GateNetlist> to_gate_netlist(const Design& design) {
+  try {
+    gatelevel::GateNetlist n(design.name.empty() ? "unnamed" : design.name);
+    for (const Port& p : design.inputs) n.add_input(p.net);
+    for (const Port& p : design.outputs) n.add_output(p.net);
+    for (const Gate& g : design.gates) {
+      if (!g.type) return std::nullopt;
+      n.add_instance(*g.type, g.name, g.inputs, g.output);
+    }
+    n.finalize();
+    return n;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace mivtx::analyze

@@ -1,0 +1,72 @@
+// Relaxed gate-level design representation for static analysis.
+//
+// gatelevel::GateNetlist enforces its invariants at construction time
+// (unique drivers, arity, acyclicity) by throwing — correct for generators,
+// useless for an analyzer whose whole job is to *diagnose* malformed
+// designs.  analyze::Design is the permissive twin: any list of gates is
+// representable, every record carries its 1-based source line, and the
+// rule passes (electrical.h) localize the problems instead of aborting on
+// the first one.
+//
+// Text format (".gnl", one directive per line, '#' comments):
+//   design <name>
+//   input  <net> [<net> ...]
+//   output <net> [<net> ...]
+//   gate   <CELL> <instance> <in1> [<in2> ...] <out>
+// Cells are the 14 library names (INV1X1, NAND2X1, ...), matched
+// case-insensitively.  Unknown cells and wrong arities are diagnostics
+// (`unknown-cell`, `bad-arity`), not parse failures: the gate is kept so
+// connectivity analysis still sees its nets.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cells/celltypes.h"
+#include "gatelevel/netlist.h"
+#include "lint/diagnostics.h"
+
+namespace mivtx::analyze {
+
+struct Port {
+  std::string net;
+  int line = 0;  // 1-based source line (0 = synthesized, not parsed)
+};
+
+struct Gate {
+  std::string name;
+  std::string cell;  // library name as written
+  std::optional<cells::CellType> type;  // nullopt = unknown cell
+  std::vector<std::string> inputs;
+  std::string output;
+  int line = 0;
+};
+
+struct Design {
+  std::string name;
+  std::string source;  // file path or synthetic origin ("" if n/a)
+  std::vector<Port> inputs;
+  std::vector<Port> outputs;
+  std::vector<Gate> gates;
+};
+
+// Lossless view of an already-validated netlist (lines are 0).
+Design design_from_netlist(const gatelevel::GateNetlist& netlist);
+
+// Parse the .gnl text format.  Syntax problems (missing tokens, unknown
+// directives) are reported as `parse-error` diagnostics; unknown cells as
+// `unknown-cell`; arity mismatches as `bad-arity`.  Always returns the
+// (possibly partial) design.
+Design parse_design(const std::string& text, lint::DiagnosticSink& sink);
+
+// Serialize back to the .gnl text format (round-trips through
+// parse_design for well-formed designs).
+std::string to_gnl_text(const Design& design);
+
+// Strict conversion for the passes that need GateNetlist's invariants
+// (slack STA, placement).  Returns nullopt if the design violates any of
+// them — run the electrical pass first to learn why.
+std::optional<gatelevel::GateNetlist> to_gate_netlist(const Design& design);
+
+}  // namespace mivtx::analyze

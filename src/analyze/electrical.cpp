@@ -1,0 +1,277 @@
+#include "analyze/electrical.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mivtx::analyze {
+
+namespace {
+
+// Iterative Tarjan SCC over the gate graph (gate -> gates reading its
+// output).  Recursion-free so pathological fuzz inputs cannot blow the
+// stack.  Returns components in deterministic (discovery) order.
+std::vector<std::vector<std::size_t>> strongly_connected(
+    const std::vector<std::vector<std::size_t>>& adj) {
+  const std::size_t n = adj.size();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> index(n, kUnvisited), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> components;
+  std::size_t next_index = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t edge;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj[f.v].size()) {
+        const std::size_t w = adj[f.v][f.edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          std::vector<std::size_t> comp;
+          std::size_t w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp.push_back(w);
+          } while (w != f.v);
+          components.push_back(std::move(comp));
+        }
+        const std::size_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] =
+              std::min(lowlink[frames.back().v], lowlink[v]);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace
+
+std::size_t analyze_electrical(const Design& design,
+                               lint::DiagnosticSink& sink,
+                               const ElectricalRuleOptions& options) {
+  const std::size_t errors_before = sink.num_errors();
+
+  // --- Net bookkeeping -------------------------------------------------------
+  struct NetInfo {
+    std::vector<std::size_t> drivers;  // gate indices
+    bool driven_by_input = false;
+    std::size_t reader_pins = 0;  // gate input pins
+    bool read_by_output = false;
+    int first_line = 0;
+  };
+  std::map<std::string, NetInfo> nets;
+  auto touch = [&](const std::string& net, int line) -> NetInfo& {
+    NetInfo& info = nets[net];
+    if (info.first_line == 0) info.first_line = line;
+    return info;
+  };
+  for (const Port& p : design.inputs) touch(p.net, p.line).driven_by_input = true;
+  for (const Port& p : design.outputs) touch(p.net, p.line).read_by_output = true;
+  for (std::size_t g = 0; g < design.gates.size(); ++g) {
+    const Gate& gate = design.gates[g];
+    touch(gate.output, gate.line).drivers.push_back(g);
+    for (const std::string& in : gate.inputs) ++touch(in, gate.line).reader_pins;
+  }
+
+  // --- Instance-name uniqueness ----------------------------------------------
+  std::map<std::string, std::size_t> first_named;
+  for (std::size_t g = 0; g < design.gates.size(); ++g) {
+    const Gate& gate = design.gates[g];
+    const auto [it, inserted] = first_named.emplace(gate.name, g);
+    if (!inserted) {
+      sink.error("duplicate-instance",
+                 format("instance name also used on line %d",
+                        design.gates[it->second].line),
+                 gate.name, "", gate.line);
+    }
+  }
+
+  // --- Driver rules ----------------------------------------------------------
+  for (const auto& [net, info] : nets) {
+    const std::size_t n_drivers =
+        info.drivers.size() + (info.driven_by_input ? 1u : 0u);
+    if (n_drivers > 1) {
+      std::string who;
+      for (const std::size_t g : info.drivers) {
+        if (!who.empty()) who += ", ";
+        who += design.gates[g].name;
+      }
+      if (info.driven_by_input) {
+        if (!who.empty()) who += ", ";
+        who += "primary input";
+      }
+      sink.error("multi-driven-net",
+                 format("%zu drivers (%s)", n_drivers, who.c_str()), "", net,
+                 info.first_line);
+    }
+    const bool read = info.reader_pins > 0 || info.read_by_output;
+    if (n_drivers == 0 && read) {
+      if (info.read_by_output && info.reader_pins == 0) {
+        sink.error("undriven-output", "primary output has no driver", "", net,
+                   info.first_line);
+      } else {
+        sink.error("undriven-net", "net is read but has no driver", "", net,
+                   info.first_line);
+      }
+    }
+    if (n_drivers > 0 && !read) {
+      if (info.driven_by_input && info.drivers.empty()) {
+        sink.warning("unused-input", "primary input is never read", "", net,
+                     info.first_line);
+      } else {
+        sink.warning("floating-net", "driven net is never read", "", net,
+                     info.first_line);
+      }
+    }
+    // Fanout / load budgets (only meaningful for driven nets).
+    if (n_drivers > 0) {
+      const std::size_t fanout =
+          info.reader_pins + (info.read_by_output ? 1u : 0u);
+      if (fanout > options.max_fanout) {
+        sink.warning("max-fanout",
+                     format("fanout %zu exceeds the X1 drive budget of %zu",
+                            fanout, options.max_fanout),
+                     "", net, info.first_line);
+      }
+    }
+  }
+
+  // --- Load-cap budget (needs pin capacitances) ------------------------------
+  if (options.timing != nullptr) {
+    std::map<std::string, double> load;
+    for (const Gate& gate : design.gates) {
+      if (!gate.type) continue;
+      const auto impl_cells = options.timing->cells.find(options.impl);
+      if (impl_cells == options.timing->cells.end()) break;
+      const auto ct = impl_cells->second.find(*gate.type);
+      if (ct == impl_cells->second.end()) continue;
+      for (const std::string& in : gate.inputs) {
+        load[in] += ct->second.input_cap;
+      }
+    }
+    for (const Port& p : design.outputs) load[p.net] += options.timing->c_ref;
+    for (const auto& [net, c] : load) {
+      const auto it = nets.find(net);
+      const bool driven = it != nets.end() &&
+                          (!it->second.drivers.empty() ||
+                           it->second.driven_by_input);
+      if (driven && c > options.max_load_cap) {
+        sink.warning("max-load-cap",
+                     format("load %s exceeds the budget %s",
+                            eng_format(c, "F").c_str(),
+                            eng_format(options.max_load_cap, "F").c_str()),
+                     "", net, it->second.first_line);
+      }
+    }
+  }
+
+  // --- Combinational loops (SCCs of the gate graph) --------------------------
+  std::vector<std::vector<std::size_t>> adj(design.gates.size());
+  {
+    std::map<std::string, std::vector<std::size_t>> readers;
+    for (std::size_t g = 0; g < design.gates.size(); ++g) {
+      for (const std::string& in : design.gates[g].inputs) {
+        readers[in].push_back(g);
+      }
+    }
+    for (std::size_t g = 0; g < design.gates.size(); ++g) {
+      const auto it = readers.find(design.gates[g].output);
+      if (it != readers.end()) adj[g] = it->second;
+    }
+  }
+  std::vector<bool> in_loop(design.gates.size(), false);
+  for (const std::vector<std::size_t>& comp : strongly_connected(adj)) {
+    const bool self_loop =
+        comp.size() == 1 &&
+        std::find(adj[comp[0]].begin(), adj[comp[0]].end(), comp[0]) !=
+            adj[comp[0]].end();
+    if (comp.size() < 2 && !self_loop) continue;
+    std::vector<std::string> names;
+    int line = 0;
+    for (const std::size_t g : comp) {
+      in_loop[g] = true;
+      names.push_back(design.gates[g].name);
+      if (line == 0 || (design.gates[g].line > 0 && design.gates[g].line < line)) {
+        line = design.gates[g].line;
+      }
+    }
+    std::sort(names.begin(), names.end());
+    std::string members;
+    for (const std::string& n : names) {
+      if (!members.empty()) members += " -> ";
+      members += n;
+    }
+    sink.error("combinational-loop",
+               format("%zu-gate cycle: %s", comp.size(), members.c_str()),
+               names.front(), "", line);
+  }
+
+  // --- Unreachable logic (no path to a primary output) -----------------------
+  {
+    // Every driver of a reachable net is reachable — on an (illegal)
+    // multi-driven net all contenders count, so the multi-driven-net error
+    // is not compounded with spurious unreachable-logic noise.
+    std::map<std::string, std::vector<std::size_t>> drivers_of;
+    for (std::size_t g = 0; g < design.gates.size(); ++g) {
+      drivers_of[design.gates[g].output].push_back(g);
+    }
+    std::vector<bool> reaches(design.gates.size(), false);
+    std::vector<std::size_t> work;
+    auto mark_net = [&](const std::string& net) {
+      const auto it = drivers_of.find(net);
+      if (it == drivers_of.end()) return;
+      for (const std::size_t g : it->second) {
+        if (!reaches[g]) {
+          reaches[g] = true;
+          work.push_back(g);
+        }
+      }
+    };
+    for (const Port& p : design.outputs) mark_net(p.net);
+    while (!work.empty()) {
+      const std::size_t g = work.back();
+      work.pop_back();
+      for (const std::string& in : design.gates[g].inputs) mark_net(in);
+    }
+    for (std::size_t g = 0; g < design.gates.size(); ++g) {
+      // Loop members already got their error; a dead cone on top of a loop
+      // would be noise.
+      if (!reaches[g] && !in_loop[g]) {
+        sink.warning("unreachable-logic",
+                     "no path from this gate to any primary output",
+                     design.gates[g].name, design.gates[g].output,
+                     design.gates[g].line);
+      }
+    }
+  }
+
+  return sink.num_errors() - errors_before;
+}
+
+}  // namespace mivtx::analyze

@@ -1,0 +1,45 @@
+// Block-level electrical/structural rule checks over a relaxed Design.
+//
+// Where gatelevel::GateNetlist::finalize() aborts on the first violated
+// invariant, this pass localizes every violation as a diagnostic:
+//   duplicate-instance   (error)   two gates share one instance name
+//   multi-driven-net     (error)   a net has more than one driver
+//   undriven-net         (error)   a read net has no driver
+//   undriven-output      (error)   a primary output has no driver
+//   combinational-loop   (error)   a strongly connected gate component;
+//                                  one finding per SCC, members listed
+//   floating-net         (warning) a driven net nothing reads
+//   unused-input         (warning) a primary input nothing reads
+//   unreachable-logic    (warning) a gate with no path to any primary
+//                                  output (dead cone)
+//   max-fanout           (warning) a net fans out to more pins than the
+//                                  drive strength supports
+//   max-load-cap         (warning) a net's capacitive load exceeds the
+//                                  budget (needs a timing model for pin
+//                                  caps; skipped without one)
+#pragma once
+
+#include <cstddef>
+
+#include "analyze/design.h"
+#include "gatelevel/sta.h"
+#include "lint/diagnostics.h"
+
+namespace mivtx::analyze {
+
+struct ElectricalRuleOptions {
+  // Max pins one driver may fan out to (all library cells are X1 drive).
+  std::size_t max_fanout = 8;
+  // Max capacitive load per net (F); checked only with a timing model.
+  double max_load_cap = 20e-15;
+  // Pin capacitances for the load check; nullptr skips max-load-cap.
+  const gatelevel::TimingModel* timing = nullptr;
+  cells::Implementation impl = cells::Implementation::k2D;
+};
+
+// Returns the number of error-severity findings added to `sink`.
+std::size_t analyze_electrical(const Design& design,
+                               lint::DiagnosticSink& sink,
+                               const ElectricalRuleOptions& options = {});
+
+}  // namespace mivtx::analyze

@@ -1,0 +1,238 @@
+#include "analyze/pipeline.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace mivtx::analyze {
+
+namespace {
+
+void json_escape_into(std::ostringstream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << format("\\u%04x", c);
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+std::string json_string(const std::string& s) {
+  std::ostringstream os;
+  os << '"';
+  json_escape_into(os, s);
+  os << '"';
+  return os.str();
+}
+
+const char* sarif_level(lint::Severity s) {
+  switch (s) {
+    case lint::Severity::kInfo:
+      return "note";
+    case lint::Severity::kWarning:
+      return "warning";
+    case lint::Severity::kError:
+      return "error";
+  }
+  return "none";
+}
+
+lint::Severity parse_severity(std::string_view token, int line) {
+  if (token == "error") return lint::Severity::kError;
+  if (token == "warning") return lint::Severity::kWarning;
+  if (token == "info") return lint::Severity::kInfo;
+  throw Error(format("severity config line %d: unknown severity '%.*s'", line,
+                     static_cast<int>(token.size()), token.data()));
+}
+
+}  // namespace
+
+std::string fingerprint(const lint::Diagnostic& d) {
+  StableHash h;
+  h.mix(d.rule).mix(d.file).mix(d.element).mix(d.node).mix(d.message);
+  return format("%016llx",
+                static_cast<unsigned long long>(h.digest()));
+}
+
+SeverityConfig SeverityConfig::parse(const std::string& text) {
+  SeverityConfig config;
+  std::istringstream is(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(is, raw)) {
+    ++lineno;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::vector<std::string> tok = split(raw, " \t");
+    if (tok.empty()) continue;
+    if (tok[0] == "severity" && tok.size() == 3) {
+      config.set_severity(tok[1], parse_severity(tok[2], lineno));
+    } else if (tok[0] == "suppress" && tok.size() == 2) {
+      config.suppress_rule(tok[1]);
+    } else if (tok[0] == "suppress-finding" && tok.size() == 2) {
+      config.suppress_finding(tok[1]);
+    } else {
+      throw Error(format("severity config line %d: expected "
+                         "'severity <rule> <level>', 'suppress <rule>' or "
+                         "'suppress-finding <fingerprint>'",
+                         lineno));
+    }
+  }
+  return config;
+}
+
+void SeverityConfig::set_severity(const std::string& rule,
+                                  lint::Severity severity) {
+  severity_[rule] = severity;
+}
+
+void SeverityConfig::suppress_rule(const std::string& rule) {
+  suppressed_rules_.insert(rule);
+}
+
+void SeverityConfig::suppress_finding(const std::string& fp) {
+  suppressed_findings_.insert(fp);
+}
+
+std::vector<lint::Diagnostic> SeverityConfig::apply(
+    const std::vector<lint::Diagnostic>& diags) const {
+  std::vector<lint::Diagnostic> out;
+  out.reserve(diags.size());
+  for (const lint::Diagnostic& d : diags) {
+    if (suppressed_rules_.count(d.rule) > 0) continue;
+    if (!suppressed_findings_.empty() &&
+        suppressed_findings_.count(fingerprint(d)) > 0) {
+      continue;
+    }
+    lint::Diagnostic copy = d;
+    const auto it = severity_.find(d.rule);
+    if (it != severity_.end()) copy.severity = it->second;
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+Baseline Baseline::parse(const std::string& text) {
+  Baseline b;
+  std::istringstream is(text);
+  std::string raw;
+  while (std::getline(is, raw)) {
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::vector<std::string> tok = split(raw, " \t");
+    if (!tok.empty()) b.fingerprints_.insert(tok[0]);
+  }
+  return b;
+}
+
+std::string Baseline::serialize(const std::vector<lint::Diagnostic>& diags) {
+  std::vector<lint::Diagnostic> sorted = diags;
+  lint::sort_diagnostics(sorted);
+  std::ostringstream os;
+  std::set<std::string> seen;
+  for (const lint::Diagnostic& d : sorted) {
+    const std::string fp = fingerprint(d);
+    if (!seen.insert(fp).second) continue;
+    os << fp << " " << d.rule << "  # " << d.message << "\n";
+  }
+  return os.str();
+}
+
+std::vector<lint::Diagnostic> Baseline::new_findings(
+    const std::vector<lint::Diagnostic>& diags) const {
+  std::vector<lint::Diagnostic> out;
+  for (const lint::Diagnostic& d : diags) {
+    if (!contains(fingerprint(d))) out.push_back(d);
+  }
+  return out;
+}
+
+std::string render_sarif(const std::vector<lint::Diagnostic>& diags,
+                         const std::string& tool,
+                         const std::string& tool_version) {
+  std::vector<lint::Diagnostic> sorted = diags;
+  lint::sort_diagnostics(sorted);
+
+  // Distinct rule ids, in sorted order, mapped to their rule index.
+  std::map<std::string, std::size_t> rule_index;
+  for (const lint::Diagnostic& d : sorted) {
+    rule_index.emplace(d.rule, 0);
+  }
+  std::size_t next = 0;
+  for (auto& [rule, idx] : rule_index) idx = next++;
+
+  std::ostringstream os;
+  os << "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\","
+     << "\"version\":\"2.1.0\",\"runs\":[{";
+  os << "\"tool\":{\"driver\":{\"name\":" << json_string(tool)
+     << ",\"version\":" << json_string(tool_version)
+     << ",\"informationUri\":\"https://github.com/mivtx/mivtx\",\"rules\":[";
+  bool first = true;
+  for (const auto& [rule, idx] : rule_index) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":" << json_string(rule)
+       << ",\"shortDescription\":{\"text\":" << json_string(rule) << "}}";
+  }
+  os << "]}},\"columnKind\":\"unicodeCodePoints\",\"results\":[";
+  first = true;
+  for (const lint::Diagnostic& d : sorted) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ruleId\":" << json_string(d.rule)
+       << ",\"ruleIndex\":" << rule_index.at(d.rule)
+       << ",\"level\":\"" << sarif_level(d.severity) << "\""
+       << ",\"message\":{\"text\":";
+    std::string text = d.message;
+    if (!d.element.empty()) text = d.element + ": " + text;
+    if (!d.node.empty()) text += " (net '" + d.node + "')";
+    os << json_string(text) << "}";
+    if (!d.file.empty()) {
+      os << ",\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+         << "{\"uri\":" << json_string(d.file) << "}";
+      if (d.line > 0) {
+        os << ",\"region\":{\"startLine\":" << d.line << "}";
+      }
+      os << "}}]";
+    }
+    os << ",\"partialFingerprints\":{\"mivtxFingerprint/v1\":"
+       << json_string(fingerprint(d)) << "}}";
+  }
+  os << "]}]}";
+  return os.str();
+}
+
+std::optional<lint::Severity> max_severity(
+    const std::vector<lint::Diagnostic>& diags) {
+  std::optional<lint::Severity> worst;
+  for (const lint::Diagnostic& d : diags) {
+    if (!worst || static_cast<int>(d.severity) > static_cast<int>(*worst)) {
+      worst = d.severity;
+    }
+  }
+  return worst;
+}
+
+}  // namespace mivtx::analyze

@@ -1,0 +1,94 @@
+// Unified diagnostics pipeline for the static analyzers (mivtx::analyze
+// and mivtx::lint share it; see DESIGN.md §12).
+//
+// The pipeline takes the flat lint::Diagnostic stream the passes emit and
+// turns it into gateable, machine-consumable reports:
+//   * SeverityConfig  — a text config that remaps per-rule severities and
+//                       suppresses rules or individual findings.
+//   * fingerprint     — a stable content hash of one finding (rule + anchors
+//                       + message, deliberately excluding the line number so
+//                       unrelated edits do not churn baselines).
+//   * Baseline        — a checked-in set of fingerprints; CI gates on
+//                       "no findings outside the baseline".
+//   * render_sarif    — SARIF 2.1.0 output (one run, one result per
+//                       finding, partialFingerprints for GitHub code
+//                       scanning dedup).
+// All renderers order findings with lint::sort_diagnostics, so output is
+// byte-stable for a given finding set.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.h"
+
+namespace mivtx::analyze {
+
+// Stable 16-hex-digit fingerprint of a finding's identity.  Line numbers are
+// excluded on purpose: a baseline must survive edits above the finding.
+std::string fingerprint(const lint::Diagnostic& d);
+
+// Per-rule severity remapping and rule/finding suppression, loaded from a
+// text config of one directive per line (# comments, blank lines ignored):
+//   severity <rule-id> error|warning|info
+//   suppress <rule-id>
+//   suppress-finding <fingerprint>
+class SeverityConfig {
+ public:
+  // Parse; throws mivtx::Error with a 1-based line number on a malformed
+  // directive.
+  static SeverityConfig parse(const std::string& text);
+
+  void set_severity(const std::string& rule, lint::Severity severity);
+  void suppress_rule(const std::string& rule);
+  void suppress_finding(const std::string& fingerprint);
+
+  // Apply to a finding stream: drops suppressed findings, remaps severities.
+  std::vector<lint::Diagnostic> apply(
+      const std::vector<lint::Diagnostic>& diags) const;
+
+ private:
+  std::map<std::string, lint::Severity> severity_;
+  std::set<std::string> suppressed_rules_;
+  std::set<std::string> suppressed_findings_;
+};
+
+// A set of known-finding fingerprints.  Serialized one per line as
+// "<fingerprint> <rule-id>  # <message>" (everything after the fingerprint
+// is a human aid and ignored on load).
+class Baseline {
+ public:
+  static Baseline parse(const std::string& text);
+  // Deterministic: findings sorted, one line each.
+  static std::string serialize(const std::vector<lint::Diagnostic>& diags);
+
+  bool contains(const std::string& fingerprint) const {
+    return fingerprints_.count(fingerprint) > 0;
+  }
+  std::size_t size() const { return fingerprints_.size(); }
+
+  // Findings whose fingerprint is not in the baseline (the CI gate fails on
+  // any error-severity finding among these).
+  std::vector<lint::Diagnostic> new_findings(
+      const std::vector<lint::Diagnostic>& diags) const;
+
+ private:
+  std::set<std::string> fingerprints_;
+};
+
+// SARIF 2.1.0 document: one run, tool.driver.name = `tool`, one
+// reportingDescriptor per distinct rule id, one result per finding.
+// `base_uri` (optional) prefixes every artifactLocation uri.
+std::string render_sarif(const std::vector<lint::Diagnostic>& diags,
+                         const std::string& tool,
+                         const std::string& tool_version);
+
+// Highest severity present; nullopt when `diags` is empty.  Drives the CLI
+// exit code (error → 1, warning/info/none → 0 unless --werror).
+std::optional<lint::Severity> max_severity(
+    const std::vector<lint::Diagnostic>& diags);
+
+}  // namespace mivtx::analyze

@@ -1,0 +1,156 @@
+#include "analyze/sta.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace mivtx::analyze {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+SlackStaResult run_slack_sta(const gatelevel::GateNetlist& netlist,
+                             const gatelevel::TimingModel& model,
+                             cells::Implementation impl,
+                             const StaOptions& options) {
+  MIVTX_EXPECT(netlist.finalized(), "netlist not finalized");
+  SlackStaResult out;
+
+  const std::map<std::string, double> load =
+      gatelevel::net_loads(netlist, model, impl, options.loads);
+  auto load_of = [&](const std::string& net) {
+    const auto it = load.find(net);
+    return it == load.end() ? 0.0 : it->second;
+  };
+
+  // --- Forward pass: arrival + slew, per-arc delays --------------------------
+  for (const std::string& in : netlist.primary_inputs()) {
+    NetTiming t;
+    t.arrival = 0.0;
+    t.slew = options.input_slew;
+    t.required = kInf;
+    out.nets.emplace(in, t);
+  }
+
+  // Arc delay of `inst` from an input with transition `in_slew`, driving
+  // capacitance `c_out`.
+  auto arc_delay = [&](const gatelevel::CellTiming& t, double slope,
+                       double c_out, double in_slew) {
+    const double d = t.delay_ref + slope * (c_out - model.c_ref) +
+                     t.slew_sens * in_slew;
+    return std::max(d, 0.0);
+  };
+
+  for (const std::size_t idx : netlist.topological_order()) {
+    const gatelevel::Instance& inst = netlist.instances()[idx];
+    const gatelevel::CellTiming& t = model.timing(impl, inst.type);
+    const double slope = model.slope(impl);
+    const double c_out = load_of(inst.output);
+
+    NetTiming result;
+    result.arrival = -kInf;
+    result.driver = inst.name;
+    result.required = kInf;
+    result.slew = std::max(t.slew_ref + t.slew_slope * (c_out - model.c_ref),
+                           0.0);
+    for (const std::string& in : inst.inputs) {
+      const auto it = out.nets.find(in);
+      MIVTX_EXPECT(it != out.nets.end(), "missing arrival for " + in);
+      const double d = arc_delay(t, slope, c_out, it->second.slew);
+      out.arcs.push_back(ArcDelay{inst.name, in, inst.output, d});
+      const double a = it->second.arrival + d;
+      // Deterministic tie-break: smaller net name wins an exact tie.
+      if (a > result.arrival ||
+          (a == result.arrival && in < result.critical_from)) {
+        result.arrival = a;
+        result.critical_from = in;
+      }
+    }
+    if (inst.inputs.empty()) result.arrival = 0.0;
+    out.nets[inst.output] = result;
+  }
+
+  // --- Worst arrival over the primary outputs --------------------------------
+  out.worst_arrival = 0.0;
+  for (const std::string& po : netlist.primary_outputs()) {
+    const auto it = out.nets.find(po);
+    MIVTX_EXPECT(it != out.nets.end(), "primary output unresolved: " + po);
+    if (it->second.arrival > out.worst_arrival ||
+        (it->second.arrival == out.worst_arrival &&
+         (out.worst_endpoint.empty() || po < out.worst_endpoint))) {
+      out.worst_arrival = it->second.arrival;
+      out.worst_endpoint = po;
+    }
+  }
+
+  // --- Backward pass: required times -----------------------------------------
+  const double t_req =
+      options.clock_period > 0.0 ? options.clock_period : out.worst_arrival;
+  for (const std::string& po : netlist.primary_outputs()) {
+    NetTiming& t = out.nets.at(po);
+    t.required = std::min(t.required, t_req);
+  }
+  const auto& topo = netlist.topological_order();
+  std::size_t arc_cursor = out.arcs.size();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const gatelevel::Instance& inst = netlist.instances()[*it];
+    const double req_out = out.nets.at(inst.output).required;
+    // The arcs of this instance are the last `inputs.size()` before the
+    // cursor (forward pass appended them in topological instance order).
+    arc_cursor -= inst.inputs.size();
+    for (std::size_t i = 0; i < inst.inputs.size(); ++i) {
+      const ArcDelay& arc = out.arcs[arc_cursor + i];
+      NetTiming& in_t = out.nets.at(arc.from_net);
+      in_t.required = std::min(in_t.required, req_out - arc.delay);
+    }
+  }
+  MIVTX_EXPECT(arc_cursor == 0, "arc bookkeeping out of sync");
+
+  // --- Slack -----------------------------------------------------------------
+  out.worst_slack = netlist.primary_outputs().empty() ? 0.0 : kInf;
+  for (auto& [net, t] : out.nets) {
+    t.slack = t.required - t.arrival;  // inf for unconstrained nets
+    out.worst_slack = std::min(out.worst_slack, t.slack);
+  }
+  if (out.nets.empty()) out.worst_slack = 0.0;
+
+  // --- Worst-N endpoint paths ------------------------------------------------
+  std::vector<std::string> endpoints(netlist.primary_outputs());
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+  std::stable_sort(endpoints.begin(), endpoints.end(),
+                   [&](const std::string& a, const std::string& b) {
+                     const NetTiming& ta = out.nets.at(a);
+                     const NetTiming& tb = out.nets.at(b);
+                     // Worst slack first; on a slack tie the later arrival is
+                     // the more interesting path (the name order from the
+                     // pre-sort breaks exact ties deterministically).
+                     if (ta.slack != tb.slack) return ta.slack < tb.slack;
+                     return ta.arrival > tb.arrival;
+                   });
+  const std::size_t n_paths = std::min(options.worst_paths, endpoints.size());
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    const std::string& endpoint = endpoints[p];
+    TimingPath path;
+    path.endpoint = endpoint;
+    path.arrival = out.nets.at(endpoint).arrival;
+    path.required = out.nets.at(endpoint).required;
+    path.slack = out.nets.at(endpoint).slack;
+    // Walk launch <- endpoint through the critical_from chain.
+    std::string net = endpoint;
+    while (true) {
+      const NetTiming& t = out.nets.at(net);
+      path.points.push_back(PathPoint{t.driver, net, t.arrival, t.slew});
+      if (t.critical_from.empty()) break;
+      net = t.critical_from;
+    }
+    std::reverse(path.points.begin(), path.points.end());
+    out.paths.push_back(std::move(path));
+  }
+  return out;
+}
+
+}  // namespace mivtx::analyze

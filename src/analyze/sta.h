@@ -1,0 +1,87 @@
+// Slack-based static timing analysis (the analyzer's timing pass).
+//
+// Extends the arrival-only gatelevel/sta.h with the full STA vocabulary:
+//   * per-arc delays — every (input pin -> output) arc of every instance
+//     gets its own delay, load-dependent through the TimingModel slope and
+//     slew-dependent through CellTiming::slew_sens;
+//   * slew propagation — output transition slew_ref + slew_slope*(C-c_ref),
+//     feeding the readers' arc delays;
+//   * a required-time backward pass against a clock period (or, with no
+//     clock given, against the worst arrival, making the worst slack
+//     exactly zero);
+//   * per-net slack and worst-N path enumeration for the report.
+//
+// Determinism: ties in the worst-arrival reduction are broken toward the
+// lexicographically smallest driving net name, and path listings sort by
+// (slack, endpoint name), so reports are byte-stable for a given design.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gatelevel/netlist.h"
+#include "gatelevel/sta.h"
+
+namespace mivtx::analyze {
+
+struct StaOptions {
+  // External loads (per-output overrides, extra net loads); defaults keep
+  // the paper's one-reference-load-per-output condition.
+  gatelevel::StaLoadOptions loads;
+  // Required arrival at every primary output (s).  <= 0 means "relative
+  // analysis": the required time is the worst arrival itself.
+  double clock_period = 0.0;
+  // Transition time at the primary inputs (s).
+  double input_slew = 0.0;
+  // How many endpoint paths to enumerate, worst slack first.
+  std::size_t worst_paths = 5;
+};
+
+struct ArcDelay {
+  std::string instance;
+  std::string from_net;  // input pin net
+  std::string to_net;    // output net
+  double delay = 0.0;    // s
+};
+
+struct NetTiming {
+  double arrival = 0.0;   // s
+  double required = 0.0;  // s (infinity when no output is reachable)
+  double slack = 0.0;     // required - arrival
+  double slew = 0.0;      // s, transition of the driving arc
+  std::string critical_from;  // driving net of the critical input ("" = PI)
+  std::string driver;         // driving instance ("" = primary input)
+};
+
+struct PathPoint {
+  std::string instance;  // "" for the primary-input start point
+  std::string net;
+  double arrival = 0.0;
+  double slew = 0.0;
+};
+
+struct TimingPath {
+  std::string endpoint;
+  double arrival = 0.0;
+  double required = 0.0;
+  double slack = 0.0;
+  std::vector<PathPoint> points;  // launch -> endpoint
+};
+
+struct SlackStaResult {
+  std::map<std::string, NetTiming> nets;
+  std::vector<ArcDelay> arcs;  // every timing arc, instance order
+  double worst_arrival = 0.0;
+  double worst_slack = 0.0;
+  std::string worst_endpoint;
+  // Worst `StaOptions::worst_paths` endpoint paths, slack ascending.
+  std::vector<TimingPath> paths;
+};
+
+SlackStaResult run_slack_sta(const gatelevel::GateNetlist& netlist,
+                             const gatelevel::TimingModel& model,
+                             cells::Implementation impl,
+                             const StaOptions& options = {});
+
+}  // namespace mivtx::analyze

@@ -1,0 +1,165 @@
+#include "analyze/tier_rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "layout/cell_layout.h"
+
+namespace mivtx::analyze {
+
+namespace {
+
+// Overlap + per-row KOZ checks on one placed tier.  `label` distinguishes
+// the coupled/top/bottom placements in messages.
+void check_tier(const place::TierPlacement& tier, const char* label,
+                cells::Implementation impl, const TierRuleOptions& options,
+                lint::DiagnosticSink& sink) {
+  // Group rows by y coordinate (the packer emits uniform rows).
+  std::map<double, std::vector<const place::PlacedCell*>> rows;
+  for (const place::PlacedCell& c : tier.cells) rows[c.y].push_back(&c);
+
+  const double koz_w = layout::external_miv_width(options.rules);
+  for (auto& [y, row] : rows) {
+    std::sort(row.begin(), row.end(),
+              [](const place::PlacedCell* a, const place::PlacedCell* b) {
+                if (a->x != b->x) return a->x < b->x;
+                return a->instance < b->instance;
+              });
+    double koz_demand = 0.0;
+    double occupied = 0.0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const place::PlacedCell& c = *row[i];
+      occupied += c.width;
+      if (impl == cells::Implementation::k2D) {
+        koz_demand += koz_w * layout::count_gate_nets(c.type);
+      }
+      if (i + 1 < row.size()) {
+        const place::PlacedCell& next = *row[i + 1];
+        if (c.x + c.width > next.x + 1e-15) {
+          sink.error("cell-overlap",
+                     format("%s placement: overlaps %s by %s", label,
+                            next.instance.c_str(),
+                            eng_format(c.x + c.width - next.x, "m").c_str()),
+                     c.instance, "", 0);
+        }
+      }
+    }
+    if (impl == cells::Implementation::k2D && koz_demand > occupied &&
+        !row.empty()) {
+      sink.error(
+          "koz-row-overflow",
+          format("%s placement row at y=%s: external-MIV keep-out demand %s "
+                 "exceeds the occupied row width %s",
+                 label, eng_format(y, "m").c_str(),
+                 eng_format(koz_demand, "m").c_str(),
+                 eng_format(occupied, "m").c_str()),
+          row.front()->instance, "", 0);
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t analyze_tiers(const Design& design,
+                          const place::Placement& placement,
+                          lint::DiagnosticSink& sink,
+                          const TierRuleOptions& options) {
+  const std::size_t errors_before = sink.num_errors();
+  const cells::Implementation impl = placement.impl;
+
+  // --- Placement <-> netlist consistency -------------------------------------
+  std::set<std::string> placed;
+  auto collect = [&](const place::TierPlacement& tier) {
+    for (const place::PlacedCell& c : tier.cells) placed.insert(c.instance);
+  };
+  collect(placement.coupled);
+  collect(placement.top);
+  collect(placement.bottom);
+
+  std::set<std::string> netlist_gates;
+  for (const Gate& g : design.gates) {
+    netlist_gates.insert(g.name);
+    if (placed.count(g.name) == 0) {
+      sink.error("placement-missing-instance",
+                 "gate is not present in the placement", g.name, "", g.line);
+    }
+  }
+  for (const std::string& inst : placed) {
+    if (netlist_gates.count(inst) == 0) {
+      sink.error("placement-unknown-instance",
+                 "placed cell is not a netlist gate", inst, "", 0);
+    }
+  }
+
+  // --- Geometry rules per placed tier ----------------------------------------
+  if (placement.mode == place::Mode::kCoupled) {
+    check_tier(placement.coupled, "coupled", impl, options, sink);
+  } else {
+    check_tier(placement.top, "top-tier", impl, options, sink);
+    check_tier(placement.bottom, "bottom-tier", impl, options, sink);
+  }
+
+  // --- MIV congestion across the tier boundary -------------------------------
+  // Every net feeding an n-type gate crosses the boundary: as an external-
+  // contact via in 2D, as the MIV-transistor stem itself otherwise.
+  std::size_t total_mivs = 0;
+  for (const Gate& g : design.gates) {
+    if (g.type) total_mivs += static_cast<std::size_t>(
+        layout::count_gate_nets(*g.type));
+  }
+  const double area_um2 = placement.chip_area() * 1e12;
+  const double density = area_um2 > 0.0
+                             ? static_cast<double>(total_mivs) / area_um2
+                             : 0.0;
+  if (area_um2 > 0.0 && density > options.max_miv_density_per_um2) {
+    sink.warning("miv-congestion",
+                 format("%zu MIVs over %.3f um^2 = %.1f /um^2 exceeds the "
+                        "budget %.1f /um^2",
+                        total_mivs, area_um2, density,
+                        options.max_miv_density_per_um2));
+  }
+
+  // --- Cross-tier net budget --------------------------------------------------
+  // Signal nets that span both tiers: any net touching a gate pin (p-type
+  // devices sit on the bottom tier, n-type on the top, so every cell-internal
+  // logic net exists on both).
+  std::set<std::string> crossing;
+  for (const Gate& g : design.gates) {
+    crossing.insert(g.output);
+    crossing.insert(g.inputs.begin(), g.inputs.end());
+  }
+  if (options.cross_tier_net_budget > 0 &&
+      crossing.size() > options.cross_tier_net_budget) {
+    sink.warning("cross-tier-net-budget",
+                 format("%zu nets span the tier boundary, budget is %zu",
+                        crossing.size(), options.cross_tier_net_budget));
+  }
+
+  // --- Utilization -------------------------------------------------------------
+  auto check_util = [&](const place::TierPlacement& tier, const char* label) {
+    if (tier.cells.empty()) return;
+    if (tier.utilization() < options.min_utilization) {
+      sink.warning("low-utilization",
+                   format("%s placement utilization %.2f below %.2f", label,
+                          tier.utilization(), options.min_utilization));
+    }
+  };
+  if (placement.mode == place::Mode::kCoupled) {
+    check_util(placement.coupled, "coupled");
+  } else {
+    check_util(placement.top, "top-tier");
+    check_util(placement.bottom, "bottom-tier");
+  }
+
+  sink.info("tier-summary",
+            format("%s/%s: %zu cells, %zu tier-crossing nets, %zu MIVs, "
+                   "%.2f /um^2, outline %.3f um^2",
+                   cells::impl_name(impl), place::mode_name(placement.mode),
+                   design.gates.size(), crossing.size(), total_mivs, density,
+                   area_um2));
+  return sink.num_errors() - errors_before;
+}
+
+}  // namespace mivtx::analyze

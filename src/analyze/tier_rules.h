@@ -1,0 +1,45 @@
+// Tier-aware placement / MIV rules over a placed block (the block-level
+// promotion of the cell-local KOZ checks in lint/cell_rules.h, after the
+// ISQED'23 MIV keep-out-zone rule class).
+//
+//   placement-missing-instance (error)   netlist gate absent from placement
+//   placement-unknown-instance (error)   placed cell absent from netlist
+//   cell-overlap               (error)   two placed cells in one row overlap
+//   koz-row-overflow           (error)   2D only: a row's external-contact
+//                                        MIV keep-out demand exceeds the
+//                                        row's occupied width
+//   miv-congestion             (warning) MIVs crossing the tier boundary per
+//                                        µm² of outline exceed the budget
+//   cross-tier-net-budget      (warning) nets spanning both tiers exceed the
+//                                        configured budget (0 = disabled)
+//   low-utilization            (warning) outline utilization below threshold
+//   tier-summary               (info)    one per-block rollup (MIV count,
+//                                        crossing nets, utilization)
+#pragma once
+
+#include <cstddef>
+
+#include "analyze/design.h"
+#include "layout/rules.h"
+#include "lint/diagnostics.h"
+#include "place/placer.h"
+
+namespace mivtx::analyze {
+
+struct TierRuleOptions {
+  // MIVs (gate-net vias) allowed per µm² of chip outline.
+  double max_miv_density_per_um2 = 40.0;
+  // Max nets spanning the tier boundary; 0 disables the check.
+  std::size_t cross_tier_net_budget = 0;
+  // Minimum acceptable placement utilization (placed footprint / outline).
+  double min_utilization = 0.35;
+  layout::DesignRules rules;
+};
+
+// Returns the number of error-severity findings added to `sink`.
+std::size_t analyze_tiers(const Design& design,
+                          const place::Placement& placement,
+                          lint::DiagnosticSink& sink,
+                          const TierRuleOptions& options = {});
+
+}  // namespace mivtx::analyze

@@ -1,6 +1,7 @@
 #include "cells/celltypes.h"
 
 #include "common/error.h"
+#include "common/strings.h"
 
 namespace mivtx::cells {
 
@@ -32,6 +33,13 @@ const char* cell_name(CellType type) {
     case CellType::kXor2: return "XOR2X1";
   }
   return "?";
+}
+
+std::optional<CellType> find_cell(const std::string& name) {
+  for (const CellType type : all_cells()) {
+    if (equals_ci(name, cell_name(type))) return type;
+  }
+  return std::nullopt;
 }
 
 std::size_t cell_num_inputs(CellType type) {

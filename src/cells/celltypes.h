@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,9 @@ const std::vector<CellType>& all_cells();
 
 // Library name, e.g. "AND2X1".
 const char* cell_name(CellType type);
+// Reverse lookup by library name (case-insensitive); nullopt for unknown
+// cells.  Used by the gate-level netlist parser (analyze/design.h).
+std::optional<CellType> find_cell(const std::string& name);
 std::size_t cell_num_inputs(CellType type);
 // Logic function; inputs.size() must equal cell_num_inputs.
 bool cell_logic(CellType type, const std::vector<bool>& inputs);

@@ -245,6 +245,55 @@ GateNetlist mux_tree(std::size_t inputs) {
   return n;
 }
 
+GateNetlist alu_block(std::size_t bits) {
+  MIVTX_EXPECT(bits >= 1, "ALU needs at least 1 bit");
+  GateNetlist n(format("alu%zu", bits));
+  for (std::size_t i = 0; i < bits; ++i) {
+    n.add_input(format("a%zu", i));
+    n.add_input(format("b%zu", i));
+  }
+  n.add_input("cin");
+  n.add_input("op0");
+  n.add_input("op1");
+  std::string carry = "cin";
+  for (std::size_t i = 0; i < bits; ++i) {
+    const std::string a = format("a%zu", i), b = format("b%zu", i);
+    const std::string andv = format("and%zu", i);
+    const std::string orv = format("or%zu", i);
+    const std::string xorv = format("xor%zu", i);
+    n.add_instance(cells::CellType::kAnd2, format("u_and_%zu", i), {a, b},
+                   andv);
+    n.add_instance(cells::CellType::kOr2, format("u_or_%zu", i), {a, b}, orv);
+    n.add_instance(cells::CellType::kXor2, format("u_xor_%zu", i), {a, b},
+                   xorv);
+    // Full adder reusing andv (= a&b) and xorv (= a^b).
+    const std::string sum = format("sum%zu", i);
+    const std::string t = format("t%zu", i);
+    const std::string cnext = format("c%zu", i + 1);
+    n.add_instance(cells::CellType::kXor2, format("u_sum_%zu", i),
+                   {xorv, carry}, sum);
+    n.add_instance(cells::CellType::kAnd2, format("u_cand_%zu", i),
+                   {xorv, carry}, t);
+    n.add_instance(cells::CellType::kOr2, format("u_cor_%zu", i), {andv, t},
+                   cnext);
+    carry = cnext;
+    // Function select: op1 picks between (AND/OR) and (XOR/ADD), op0 the
+    // member of each pair.  MUX2 inputs are {A, B, S}: Y = S ? B : A.
+    const std::string m0 = format("m0_%zu", i);
+    const std::string m1 = format("m1_%zu", i);
+    n.add_instance(cells::CellType::kMux2, format("u_m0_%zu", i),
+                   {andv, orv, "op0"}, m0);
+    n.add_instance(cells::CellType::kMux2, format("u_m1_%zu", i),
+                   {xorv, sum, "op0"}, m1);
+    n.add_instance(cells::CellType::kMux2, format("u_y_%zu", i),
+                   {m0, m1, "op1"}, format("y%zu", i));
+    n.add_output(format("y%zu", i));
+  }
+  n.add_output(carry);
+  n.finalize();
+  return n;
+}
+
 GateNetlist aoi_block() {
   GateNetlist n("aoiblk");
   for (int i = 0; i < 4; ++i) n.add_input(format("d%d", i));

@@ -91,4 +91,11 @@ GateNetlist mux_tree(std::size_t inputs);
 // complex gates; inputs d0..d3, outputs z0..z2.
 GateNetlist aoi_block();
 
+// n-bit 4-function ALU: inputs a0..a{n-1}, b0..b{n-1}, cin, op0, op1;
+// outputs y0..y{n-1}, cout.  op selects AND (00), OR (01), XOR (10) or
+// ADD (11); cout is the ripple carry out (meaningful for ADD).  9 gates per
+// bit — alu_block(64) is the >=500-instance block the analyzer CI gate
+// runs on.
+GateNetlist alu_block(std::size_t bits);
+
 }  // namespace mivtx::gatelevel

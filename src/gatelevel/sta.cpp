@@ -23,29 +23,39 @@ double TimingModel::slope(cells::Implementation impl) const {
   return it->second;
 }
 
+double StaLoadOptions::load_for_output(const std::string& net,
+                                       double c_ref) const {
+  const auto it = output_load.find(net);
+  if (it != output_load.end()) return it->second;
+  return default_output_load < 0.0 ? c_ref : default_output_load;
+}
+
+std::map<std::string, double> net_loads(const GateNetlist& netlist,
+                                        const TimingModel& model,
+                                        cells::Implementation impl,
+                                        const StaLoadOptions& loads) {
+  std::map<std::string, double> c;
+  for (const Instance& reader : netlist.instances()) {
+    const double cin = model.timing(impl, reader.type).input_cap;
+    for (const std::string& in : reader.inputs) c[in] += cin;
+  }
+  for (const std::string& po : netlist.primary_outputs()) {
+    c[po] += loads.load_for_output(po, model.c_ref);
+  }
+  for (const auto& [net, extra] : loads.extra_net_load) c[net] += extra;
+  return c;
+}
+
 StaResult run_sta(const GateNetlist& netlist, const TimingModel& model,
-                  cells::Implementation impl) {
+                  cells::Implementation impl, const StaLoadOptions& loads) {
   MIVTX_EXPECT(netlist.finalized(), "netlist not finalized");
   StaResult out;
   for (const std::string& in : netlist.primary_inputs()) {
     out.arrival[in] = ArrivalInfo{0.0, ""};
   }
 
-  // Fanout capacitance per net: sum of driven pins' input caps; each primary
-  // output carries the reference load (the 1 fF measurement condition).
-  auto fanout_cap = [&](const std::string& net) {
-    double c = 0.0;
-    for (const Instance& reader : netlist.instances()) {
-      for (const std::string& in : reader.inputs) {
-        if (in == net) c += model.timing(impl, reader.type).input_cap;
-      }
-    }
-    for (const std::string& po : netlist.primary_outputs()) {
-      if (po == net) c += model.c_ref;
-    }
-    return c;
-  };
-
+  const std::map<std::string, double> load = net_loads(netlist, model, impl,
+                                                       loads);
   std::map<std::string, std::string> critical_driver;  // net -> instance
   for (const std::size_t idx : netlist.topological_order()) {
     const Instance& inst = netlist.instances()[idx];
@@ -60,9 +70,11 @@ StaResult run_sta(const GateNetlist& netlist, const TimingModel& model,
       }
     }
     const CellTiming& t = model.timing(impl, inst.type);
-    const double extra = fanout_cap(inst.output) - model.c_ref;
+    const auto load_it = load.find(inst.output);
+    const double c_out = load_it == load.end() ? 0.0 : load_it->second;
     const double delay =
-        std::max(t.delay_ref + model.slope(impl) * extra, 0.0);
+        std::max(t.delay_ref + model.slope(impl) * (c_out - model.c_ref),
+                 0.0);
     out.arrival[inst.output] = ArrivalInfo{worst + delay, worst_net};
     critical_driver[inst.output] = inst.name;
   }

@@ -21,6 +21,11 @@ namespace mivtx::gatelevel {
 struct CellTiming {
   double delay_ref = 0.0;  // s, at the reference load
   double input_cap = 0.0;  // F, per input pin (average)
+  // Slew model used by the slack-based analyzer (analyze/sta.h); the
+  // defaults degrade gracefully to the pure delay model above.
+  double slew_ref = 0.0;    // s, output transition at the reference load
+  double slew_slope = 0.0;  // s/F, transition sensitivity to extra load
+  double slew_sens = 0.0;   // extra delay per second of input transition
 };
 
 class TimingModel {
@@ -36,6 +41,24 @@ class TimingModel {
   const CellTiming& timing(cells::Implementation impl,
                            cells::CellType type) const;
   double slope(cells::Implementation impl) const;
+};
+
+// External load configuration.  The original model hardcoded one reference
+// load per primary output (the paper's 1 fF measurement condition); these
+// options keep that default but allow per-output loads and extra lumped
+// capacitance on internal nets (wire load, probe caps).
+struct StaLoadOptions {
+  // Load on each primary output not listed in `output_load`.
+  // Negative = use the timing model's reference load c_ref.
+  double default_output_load = -1.0;
+  // Per-primary-output load overrides (F).
+  std::map<std::string, double> output_load;
+  // Additional lumped capacitance per net (F), applied on top of the pin
+  // and output loads (any net, not just outputs).
+  std::map<std::string, double> extra_net_load;
+
+  // Effective load a primary output contributes.
+  double load_for_output(const std::string& net, double c_ref) const;
 };
 
 struct ArrivalInfo {
@@ -54,6 +77,16 @@ struct StaResult {
 };
 
 StaResult run_sta(const GateNetlist& netlist, const TimingModel& model,
-                  cells::Implementation impl);
+                  cells::Implementation impl,
+                  const StaLoadOptions& loads = {});
+
+// Capacitive load of every net in one sweep: driven pin input caps +
+// primary-output loads + any extra net load.  Shared by the arrival-only
+// STA above and the slack-based analyzer (analyze/sta.h) so both see
+// identical electricals (and neither pays the per-net instance scan).
+std::map<std::string, double> net_loads(const GateNetlist& netlist,
+                                        const TimingModel& model,
+                                        cells::Implementation impl,
+                                        const StaLoadOptions& loads);
 
 }  // namespace mivtx::gatelevel

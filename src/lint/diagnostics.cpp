@@ -1,6 +1,8 @@
 #include "lint/diagnostics.h"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 #include "common/strings.h"
 
@@ -50,10 +52,23 @@ void json_escape_into(std::ostringstream& os, const std::string& s) {
 
 }  // namespace
 
+void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.file, a.line, a.rule, a.element, a.node,
+                                     a.message, a.severity) <
+                            std::tie(b.file, b.line, b.rule, b.element, b.node,
+                                     b.message, b.severity);
+                   });
+}
+
 std::string render_text(const std::vector<Diagnostic>& diags) {
+  std::vector<Diagnostic> sorted = diags;
+  sort_diagnostics(sorted);
   std::ostringstream os;
-  for (const Diagnostic& d : diags) {
+  for (const Diagnostic& d : sorted) {
     os << severity_name(d.severity) << "[" << d.rule << "]";
+    if (!d.file.empty()) os << " " << d.file;
     if (!d.element.empty()) os << " " << d.element;
     if (!d.node.empty()) os << " node '" << d.node << "'";
     if (d.line > 0) os << " (line " << d.line << ")";
@@ -63,9 +78,11 @@ std::string render_text(const std::vector<Diagnostic>& diags) {
 }
 
 std::string render_json(const std::vector<Diagnostic>& diags) {
+  std::vector<Diagnostic> sorted = diags;
+  sort_diagnostics(sorted);
   std::size_t errors = 0;
   std::size_t warnings = 0;
-  for (const Diagnostic& d : diags) {
+  for (const Diagnostic& d : sorted) {
     if (d.severity == Severity::kError) ++errors;
     if (d.severity == Severity::kWarning) ++warnings;
   }
@@ -73,7 +90,7 @@ std::string render_json(const std::vector<Diagnostic>& diags) {
   os << "{\"errors\":" << errors << ",\"warnings\":" << warnings
      << ",\"diagnostics\":[";
   bool first = true;
-  for (const Diagnostic& d : diags) {
+  for (const Diagnostic& d : sorted) {
     if (!first) os << ",";
     first = false;
     os << "{\"severity\":\"" << severity_name(d.severity) << "\",\"rule\":\"";
@@ -92,6 +109,11 @@ std::string render_json(const std::vector<Diagnostic>& diags) {
       os << "\"";
     }
     if (d.line > 0) os << ",\"line\":" << d.line;
+    if (!d.file.empty()) {
+      os << ",\"file\":\"";
+      json_escape_into(os, d.file);
+      os << "\"";
+    }
     os << "}";
   }
   os << "]}";
@@ -107,25 +129,26 @@ void DiagnosticSink::report(Diagnostic d) {
     const auto it = source_lines_->find(to_lower(d.element));
     if (it != source_lines_->end()) d.line = it->second;
   }
+  if (d.file.empty()) d.file = default_file_;
   diags_.push_back(std::move(d));
 }
 
 void DiagnosticSink::error(std::string rule, std::string message,
                            std::string element, std::string node, int line) {
   report(Diagnostic{Severity::kError, std::move(rule), std::move(message),
-                    std::move(element), std::move(node), line});
+                    std::move(element), std::move(node), line, {}});
 }
 
 void DiagnosticSink::warning(std::string rule, std::string message,
                              std::string element, std::string node, int line) {
   report(Diagnostic{Severity::kWarning, std::move(rule), std::move(message),
-                    std::move(element), std::move(node), line});
+                    std::move(element), std::move(node), line, {}});
 }
 
 void DiagnosticSink::info(std::string rule, std::string message,
                           std::string element, std::string node, int line) {
   report(Diagnostic{Severity::kInfo, std::move(rule), std::move(message),
-                    std::move(element), std::move(node), line});
+                    std::move(element), std::move(node), line, {}});
 }
 
 std::size_t DiagnosticSink::num_errors() const {

@@ -28,12 +28,20 @@ struct Diagnostic {
   std::string element;  // offending element / device / cell ("" if n/a)
   std::string node;     // offending node or net ("" if n/a)
   int line = 0;         // 1-based source line (0 = unknown)
+  std::string file;     // source artifact the finding anchors to ("" if n/a)
 };
 
-// Render `diags` one finding per line:
+// Deterministic report order: (file, line, rule, element, node, message,
+// severity).  Every renderer sorts a copy through this before emitting, so
+// text/JSON/SARIF output and baseline files are byte-stable regardless of
+// the order passes ran in.  DiagnosticSink::diagnostics() itself stays in
+// reporting order (tests assert on it).
+void sort_diagnostics(std::vector<Diagnostic>& diags);
+
+// Render `diags` one finding per line (sorted):
 //   error[no-dc-path] node 'x' (line 4): no DC path to ground
 std::string render_text(const std::vector<Diagnostic>& diags);
-// Render as {"errors":N,"warnings":N,"diagnostics":[{...},...]}.
+// Render as {"errors":N,"warnings":N,"diagnostics":[{...},...]} (sorted).
 std::string render_json(const std::vector<Diagnostic>& diags);
 
 class DiagnosticSink {
@@ -53,6 +61,11 @@ class DiagnosticSink {
   void set_source_lines(const std::unordered_map<std::string, int>* lines) {
     source_lines_ = lines;
   }
+
+  // Default artifact anchor stamped onto findings reported with an empty
+  // `file` (the analyzer sets this to the netlist path / design name once
+  // instead of threading it through every rule).
+  void set_default_file(std::string file) { default_file_ = std::move(file); }
 
   void report(Diagnostic d);
   void error(std::string rule, std::string message, std::string element = "",
@@ -75,6 +88,7 @@ class DiagnosticSink {
   std::vector<Diagnostic> diags_;
   std::set<std::string> suppressed_;
   std::set<std::string> downgraded_;
+  std::string default_file_;
   const std::unordered_map<std::string, int>* source_lines_ = nullptr;
 };
 

@@ -235,6 +235,124 @@ TEST(Sta, LoadSlopePenalizesFanout) {
   EXPECT_NEAR(r.critical_delay, 3.0, 1e-9);
 }
 
+TEST(Generators, AluBlockMatchesArithmeticReference) {
+  const std::size_t bits = 4;
+  const GateNetlist alu = alu_block(bits);
+  // op: 0 = AND, 1 = OR, 2 = XOR, 3 = ADD.
+  for (const unsigned a : {0u, 5u, 9u, 15u}) {
+    for (const unsigned b : {0u, 3u, 12u, 15u}) {
+      for (unsigned op = 0; op < 4; ++op) {
+        for (const unsigned cin : {0u, 1u}) {
+          std::map<std::string, bool> in;
+          for (std::size_t i = 0; i < bits; ++i) {
+            in[format("a%zu", i)] = (a >> i) & 1u;
+            in[format("b%zu", i)] = (b >> i) & 1u;
+          }
+          in["cin"] = cin != 0;
+          in["op0"] = (op & 1u) != 0;
+          in["op1"] = (op & 2u) != 0;
+          const auto nets = alu.evaluate(in);
+          unsigned expect = 0;
+          switch (op) {
+            case 0: expect = a & b; break;
+            case 1: expect = a | b; break;
+            case 2: expect = a ^ b; break;
+            case 3: expect = a + b + cin; break;
+          }
+          for (std::size_t i = 0; i < bits; ++i) {
+            EXPECT_EQ(nets.at(format("y%zu", i)), ((expect >> i) & 1u) != 0)
+                << "a=" << a << " b=" << b << " op=" << op << " bit " << i;
+          }
+          if (op == 3) {
+            EXPECT_EQ(nets.at(format("c%zu", bits)),
+                      ((expect >> bits) & 1u) != 0);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Generators, AluBlockScalesPastFiveHundredInstances) {
+  // The analyzer CI gate runs on alu64; keep it above the 500-instance bar.
+  EXPECT_GE(alu_block(64).instances().size(), 500u);
+  EXPECT_EQ(alu_block(64).instances().size(), 64u * 9u);
+}
+
+TEST(Sta, EmptyNetlistHasZeroDelay) {
+  GateNetlist n("wire");
+  n.add_input("a");
+  n.add_output("a");
+  n.finalize();
+  const StaResult r = run_sta(n, unit_timing(), cells::Implementation::k2D);
+  EXPECT_DOUBLE_EQ(r.critical_delay, 0.0);
+  EXPECT_EQ(r.critical_output, "a");
+  EXPECT_TRUE(r.critical_path.empty());
+}
+
+TEST(Sta, PerOutputLoadOverridesApply) {
+  GateNetlist n("drv");
+  n.add_input("a");
+  n.add_instance(cells::CellType::kInv1, "u1", {"a"}, "y");
+  n.add_output("y");
+  n.finalize();
+  TimingModel m = unit_timing();
+  for (auto& [impl, s] : m.load_slope) s = 1.0e15;  // 1 delay unit per fF
+
+  // Default: one reference load per output -> no load penalty.
+  EXPECT_NEAR(run_sta(n, m, cells::Implementation::k2D).critical_delay, 1.0,
+              1e-12);
+  // Global default-output-load override: 3 fF -> +2 units.
+  StaLoadOptions loads;
+  loads.default_output_load = 3e-15;
+  EXPECT_NEAR(run_sta(n, m, cells::Implementation::k2D, loads).critical_delay,
+              3.0, 1e-12);
+  // Per-output override beats the default.
+  loads.output_load["y"] = 2e-15;
+  EXPECT_NEAR(run_sta(n, m, cells::Implementation::k2D, loads).critical_delay,
+              2.0, 1e-12);
+}
+
+TEST(Sta, ZeroSlopeIgnoresLoadOptions) {
+  GateNetlist n("drv");
+  n.add_input("a");
+  n.add_instance(cells::CellType::kInv1, "u1", {"a"}, "y");
+  n.add_output("y");
+  n.finalize();
+  const TimingModel m = unit_timing();  // load_slope = 0
+  StaLoadOptions loads;
+  loads.output_load["y"] = 100e-15;
+  loads.extra_net_load["y"] = 100e-15;
+  EXPECT_DOUBLE_EQ(
+      run_sta(n, m, cells::Implementation::k2D, loads).critical_delay, 1.0);
+}
+
+TEST(Sta, ExtraNetLoadAddsWireDelay) {
+  GateNetlist n("chain");
+  n.add_input("a");
+  n.add_instance(cells::CellType::kInv1, "u1", {"a"}, "x");
+  n.add_instance(cells::CellType::kInv1, "u2", {"x"}, "y");
+  n.add_output("y");
+  n.finalize();
+  TimingModel m = unit_timing();
+  for (auto& [impl, per_cell] : m.cells) {
+    for (auto& [t, ct] : per_cell) ct.input_cap = 1e-15;
+  }
+  for (auto& [impl, s] : m.load_slope) s = 1.0e15;
+  // Baseline: u1 sees u2's 1 fF pin (= c_ref), u2 one reference load.
+  EXPECT_NEAR(run_sta(n, m, cells::Implementation::k2D).critical_delay, 2.0,
+              1e-12);
+  // 1 fF of wire load on the internal net adds one unit to u1 only.
+  StaLoadOptions loads;
+  loads.extra_net_load["x"] = 1e-15;
+  EXPECT_NEAR(run_sta(n, m, cells::Implementation::k2D, loads).critical_delay,
+              3.0, 1e-12);
+  // net_loads reports the same electricals the STA used.
+  const auto nl = net_loads(n, m, cells::Implementation::k2D, loads);
+  EXPECT_NEAR(nl.at("x"), 2e-15, 1e-27);
+  EXPECT_NEAR(nl.at("y"), 1e-15, 1e-27);
+}
+
 TEST(Sta, MissingTimingThrows) {
   GateNetlist n("t");
   n.add_input("a");
