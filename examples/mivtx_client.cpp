@@ -1,0 +1,159 @@
+// mivtx_client - scripting client for the mivtx_serve daemon.
+//
+// Builds one protocol request from flags, sends it, prints the typed
+// response.  The default output is a human summary (status, source,
+// timings, meta); --json prints the raw response line for pipelines and
+// --payload-out saves the artifact text (which is byte-identical to what
+// the same unit computed locally would serialize).
+//
+// Usage: mivtx_client [options] <kind>
+//   kind: curves | extract | flow | ppa | health | metrics | shutdown
+//   --host <ip>            server address (default 127.0.0.1)
+//   --port <n>             server port (default 7633)
+//   --id <s>               correlation id (default "cli")
+//   --variant trad|1ch|2ch|4ch     device for curves/extract
+//   --polarity nmos|pmos           device for curves/extract
+//   --cell <NAME>          cell for ppa (INV1X1, NAND2X1, ...)
+//   --impl 2d|1ch|2ch|4ch  implementation for ppa (default 2d)
+//   --reference            ppa: use the checked-in nominal cards instead of
+//                          deriving the library through the flow
+//   --vdd <V> --tnom-c <C> --l-gate <m> --t-miv <m>   corner overrides
+//   --grid-n <n>           sweep-grid points per axis
+//   --nm-max-evals <n>     extraction budget (smaller = faster, coarser)
+//   --no-lm-polish --no-ieff-retarget                 extraction stages
+//   --repeat <n>           send the request n times over one connection
+//                          sequentially, reporting each latency (warm-cache
+//                          timing runs)
+//   --json                 print raw response JSON lines
+//   --payload-out <f>      write the (last) payload to <f>
+//
+// Exit: 0 response ok; 1 server answered error/queue_full/draining;
+//       2 usage or connection problem.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "serve/client.h"
+
+using namespace mivtx;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] "
+               "curves|extract|flow|ppa|health|metrics|shutdown\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7633;
+  std::string payload_out;
+  bool raw_json = false;
+  std::size_t repeat = 1;
+  serve::Request req;
+  req.id = "cli";
+  bool have_kind = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      MIVTX_EXPECT(i + 1 < argc, "missing value after " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--host") {
+        host = next();
+      } else if (arg == "--port") {
+        port = static_cast<int>(parse_double(next()));
+      } else if (arg == "--id") {
+        req.id = next();
+      } else if (arg == "--variant") {
+        req.variant = serve::variant_from_token(next());
+      } else if (arg == "--polarity") {
+        req.polarity = serve::polarity_from_token(next());
+      } else if (arg == "--cell") {
+        req.cell = serve::cell_from_token(next());
+      } else if (arg == "--impl") {
+        req.impl = serve::impl_from_token(next());
+      } else if (arg == "--reference") {
+        req.reference_library = true;
+      } else if (arg == "--vdd") {
+        req.process.vdd = parse_double(next());
+        req.grid.vdd = req.process.vdd;
+      } else if (arg == "--tnom-c") {
+        req.process.tnom_c = parse_double(next());
+      } else if (arg == "--l-gate") {
+        req.process.l_gate = parse_double(next());
+      } else if (arg == "--t-miv") {
+        req.process.t_miv = parse_double(next());
+      } else if (arg == "--grid-n") {
+        const std::size_t n = static_cast<std::size_t>(parse_double(next()));
+        req.grid.n_vg = req.grid.n_vd = req.grid.n_cv = n;
+      } else if (arg == "--nm-max-evals") {
+        req.extraction.nm.max_evaluations =
+            static_cast<std::size_t>(parse_double(next()));
+      } else if (arg == "--no-lm-polish") {
+        req.extraction.run_lm_polish = false;
+      } else if (arg == "--no-ieff-retarget") {
+        req.extraction.run_ieff_retarget = false;
+      } else if (arg == "--repeat") {
+        repeat = static_cast<std::size_t>(parse_double(next()));
+      } else if (arg == "--json") {
+        raw_json = true;
+      } else if (arg == "--payload-out") {
+        payload_out = next();
+      } else if (!arg.empty() && arg[0] != '-') {
+        req.kind = serve::kind_from_name(arg);
+        have_kind = true;
+      } else {
+        return usage(argv[0]);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mivtx_client: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (!have_kind) return usage(argv[0]);
+  if (repeat == 0) repeat = 1;
+
+  try {
+    serve::Client client(host, port);
+    serve::Response resp;
+    for (std::size_t n = 0; n < repeat; ++n) {
+      resp = client.call(req);
+      if (raw_json) {
+        std::printf("%s\n", resp.to_json_line().c_str());
+      } else {
+        std::printf("%-10s %s", serve::kind_name(req.kind),
+                    serve::status_name(resp.status));
+        if (!resp.source.empty()) std::printf(" (%s)", resp.source.c_str());
+        if (resp.elapsed_s > 0.0) std::printf("  %.6f s", resp.elapsed_s);
+        if (resp.queue_s > 0.0) std::printf("  +%.6f s queued", resp.queue_s);
+        if (!resp.payload.empty())
+          std::printf("  payload %zu bytes", resp.payload.size());
+        std::printf("\n");
+        if (!resp.error.empty())
+          std::printf("  error: %s\n", resp.error.c_str());
+        if (!resp.meta_json.empty())
+          std::printf("  meta: %s\n", resp.meta_json.c_str());
+      }
+    }
+    if (!payload_out.empty()) {
+      std::FILE* f = std::fopen(payload_out.c_str(), "w");
+      MIVTX_EXPECT(f != nullptr, "cannot write " + payload_out);
+      std::fwrite(resp.payload.data(), 1, resp.payload.size(), f);
+      std::fclose(f);
+    }
+    return resp.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mivtx_client: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,145 @@
+// mivtx_serve - characterization-as-a-service daemon (mivtx::serve).
+//
+// Boots the request server on loopback TCP and serves characterization
+// units (device curves, extractions, full flows, cell PPA) to any number
+// of clients from one warm process: a shared artifact cache (memory LRU +
+// optional bounded disk layer) plus single-flight coalescing of identical
+// concurrent requests.  Protocol: one JSON object per line, both ways
+// (src/serve/protocol.h); `curl http://127.0.0.1:<port>/healthz` and
+// `/metrics` also answer for quick probes.
+//
+// Usage: mivtx_serve [options]
+//   --host <ip>            bind address (default 127.0.0.1)
+//   --port <n>             listen port; 0 = pick an ephemeral port
+//                          (default 7633)
+//   --port-file <f>        write the bound port to <f> (for scripts that
+//                          pass --port 0)
+//   --workers <n>          request worker threads (default 4)
+//   --queue <n>            admission-queue capacity; beyond it clients get
+//                          a typed "queue_full" response (default 64)
+//   --jobs <n>             flow fan-out width per request, 0 = hardware
+//                          concurrency (default 0)
+//   --cache-dir <dir>      on-disk artifact cache (default $MIVTX_CACHE_DIR,
+//                          empty = memory-only)
+//   --cache-max-bytes <n>  disk-cache budget; oldest unpinned artifacts are
+//                          garbage-collected past it (default 0 = unbounded)
+//   --cache-entries <n>    in-memory LRU capacity (default 512)
+//   --quiet                warnings only (default narrates requests)
+//
+// SIGINT/SIGTERM drain gracefully: stop accepting, finish and flush every
+// admitted request, dump final metrics, exit 0.  A client "shutdown"
+// request does the same.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/strings.h"
+#include "serve/server.h"
+
+using namespace mivtx;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [options]  (see header comment)\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerOptions opts;
+  opts.port = 7633;
+  opts.workers = 4;
+  opts.service.cache.disk_dir = runtime::ArtifactCache::env_disk_dir();
+  std::string port_file;
+  set_log_level(LogLevel::kInfo);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      MIVTX_EXPECT(i + 1 < argc, "missing value after " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--host") {
+        opts.host = next();
+      } else if (arg == "--port") {
+        opts.port = static_cast<int>(parse_double(next()));
+      } else if (arg == "--port-file") {
+        port_file = next();
+      } else if (arg == "--workers") {
+        opts.workers = static_cast<std::size_t>(parse_double(next()));
+      } else if (arg == "--queue") {
+        opts.queue_capacity = static_cast<std::size_t>(parse_double(next()));
+      } else if (arg == "--jobs") {
+        opts.service.jobs = static_cast<std::size_t>(parse_double(next()));
+      } else if (arg == "--cache-dir") {
+        opts.service.cache.disk_dir = next();
+      } else if (arg == "--cache-max-bytes") {
+        opts.service.cache.max_disk_bytes =
+            static_cast<std::uint64_t>(parse_double(next()));
+      } else if (arg == "--cache-entries") {
+        opts.service.cache.max_entries =
+            static_cast<std::size_t>(parse_double(next()));
+      } else if (arg == "--quiet") {
+        set_log_level(LogLevel::kWarn);
+      } else {
+        return usage(argv[0]);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mivtx_serve: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  // Block the shutdown signals before any thread exists so every thread
+  // inherits the mask; a dedicated thread polls for them and triggers the
+  // drain.  No async-signal-unsafe work ever runs in signal context.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  try {
+    serve::Server server(opts);
+    server.start();
+    std::printf("mivtx_serve: listening on %s:%d\n", opts.host.c_str(),
+                server.port());
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+      std::FILE* f = std::fopen(port_file.c_str(), "w");
+      MIVTX_EXPECT(f != nullptr, "cannot write port file " + port_file);
+      std::fprintf(f, "%d\n", server.port());
+      std::fclose(f);
+    }
+
+    std::atomic<bool> done{false};
+    std::thread signal_thread([&] {
+      const timespec tick{0, 200 * 1000 * 1000};
+      while (!done.load()) {
+        const int signo = sigtimedwait(&sigs, nullptr, &tick);
+        if (signo > 0) {
+          MIVTX_INFO << "serve: received signal " << signo << ", draining";
+          server.begin_shutdown();
+          return;
+        }
+      }
+    });
+
+    server.wait();  // returns after a signal or a protocol shutdown drains
+    done.store(true);
+    signal_thread.join();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mivtx_serve: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

@@ -1,4 +1,4 @@
-#include "verify/json.h"
+#include "common/json.h"
 
 #include <cctype>
 #include <cmath>
@@ -6,7 +6,7 @@
 #include "common/error.h"
 #include "common/strings.h"
 
-namespace mivtx::verify {
+namespace mivtx {
 namespace {
 
 // Recursive-descent parser over a raw pointer range; positions are byte
@@ -370,4 +370,4 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
   }
 }
 
-}  // namespace mivtx::verify
+}  // namespace mivtx

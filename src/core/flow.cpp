@@ -4,10 +4,8 @@
 #include <utility>
 
 #include "common/error.h"
-#include "common/log.h"
 #include "common/strings.h"
-#include "core/artifacts.h"
-#include "runtime/artifact_cache.h"
+#include "core/flow_units.h"
 #include "runtime/metrics.h"
 #include "runtime/thread_pool.h"
 #include "tcad/characterize.h"
@@ -70,77 +68,6 @@ extract::CharacteristicSet characterize_device(
   return data;
 }
 
-namespace {
-
-// One device end-to-end: cached characterization + cached extraction.
-DeviceExtraction run_device(const ProcessParams& process, Variant v,
-                            Polarity pol, const extract::SweepGrid& grid,
-                            const extract::ExtractionOptions& opts,
-                            runtime::ArtifactCache* cache) {
-  trace::Span span("flow.device", "flow", device_key(v, pol).c_str());
-  runtime::Metrics& metrics = runtime::Metrics::global();
-  DeviceExtraction dev;
-  dev.variant = v;
-  dev.polarity = pol;
-
-  bool have_data = false;
-  if (cache != nullptr) {
-    const runtime::CacheKey key = characterization_key(process, v, pol, grid);
-    if (const auto hit = cache->get(key)) {
-      try {
-        dev.data = parse_characteristics(*hit);
-        have_data = true;
-        metrics.add("flow.char.cache_hit");
-      } catch (const Error& e) {
-        MIVTX_WARN << "discarding unreadable cached characteristics for "
-                   << device_key(v, pol) << ": " << e.what();
-      }
-    }
-  }
-  if (!have_data) {
-    MIVTX_INFO << "characterizing " << device_key(v, pol);
-    trace::Span char_span("flow.characterize", "flow");
-    runtime::ScopedTimer timer("flow.characterize");
-    dev.data = characterize_device(process, v, pol, grid);
-    metrics.add("flow.char.computed");
-    if (cache != nullptr) {
-      cache->put(characterization_key(process, v, pol, grid),
-                 serialize_characteristics(dev.data));
-    }
-  }
-
-  bool have_report = false;
-  if (cache != nullptr) {
-    const runtime::CacheKey key =
-        extraction_key(process, v, pol, grid, opts);
-    if (const auto hit = cache->get(key)) {
-      try {
-        dev.report = parse_extraction(*hit);
-        have_report = true;
-        metrics.add("flow.card.cache_hit");
-      } catch (const Error& e) {
-        MIVTX_WARN << "discarding unreadable cached extraction for "
-                   << device_key(v, pol) << ": " << e.what();
-      }
-    }
-  }
-  if (!have_report) {
-    MIVTX_INFO << "extracting " << device_key(v, pol);
-    trace::Span extract_span("flow.extract", "flow");
-    runtime::ScopedTimer timer("flow.extract");
-    dev.report =
-        extract::extract_card(dev.data, initial_card(process, v, pol), opts);
-    metrics.add("flow.card.computed");
-    if (cache != nullptr) {
-      cache->put(extraction_key(process, v, pol, grid, opts),
-                 serialize_extraction(dev.report));
-    }
-  }
-  return dev;
-}
-
-}  // namespace
-
 FlowResult run_full_flow(const ProcessParams& process,
                          const extract::SweepGrid& grid,
                          const extract::ExtractionOptions& opts,
@@ -152,15 +79,19 @@ FlowResult run_full_flow(const ProcessParams& process,
     for (Variant v : all_variants()) order.emplace_back(v, pol);
   }
 
-  // The 8 devices are fully independent; fan out and reassemble in the
-  // fixed order above, so results match the serial run exactly.
+  // The 8 device pipelines (curves unit -> extraction unit, see
+  // core/flow_units.h) are fully independent; fan out and reassemble in
+  // the fixed order above, so results match the serial run exactly.  A
+  // partially warm cache resumes each pipeline mid-flow: cached stages
+  // deserialize, only the cold tail computes.
   runtime::ThreadPool pool(exec.jobs);
   runtime::ThreadPool* pool_ptr = pool.size() > 1 ? &pool : nullptr;
   std::vector<DeviceExtraction> devices =
       runtime::parallel_map<DeviceExtraction>(
           pool_ptr, order.size(), [&](std::size_t i) {
-            return run_device(process, order[i].first, order[i].second, grid,
-                              opts, exec.cache);
+            return run_extraction_unit(process, order[i].first,
+                                       order[i].second, grid, opts,
+                                       exec.cache);
           });
 
   FlowResult result;

@@ -1,0 +1,86 @@
+#include "core/flow_units.h"
+
+#include "common/error.h"
+#include "common/log.h"
+#include "core/artifacts.h"
+#include "runtime/artifact_cache.h"
+#include "runtime/metrics.h"
+#include "tcad/characterize.h"
+#include "trace/trace.h"
+
+namespace mivtx::core {
+
+namespace {
+
+// Fetch-or-compute scaffold shared by the units: cache lookup with corrupt
+// payloads demoted to misses, metric counters named <domain>.cache_hit /
+// <domain>.computed, and the key pinned against disk GC for the whole call.
+template <typename T, typename Parse, typename Compute, typename Serialize>
+T cached_unit(const char* what, const runtime::CacheKey& key,
+              runtime::ArtifactCache* cache, Parse parse, Compute compute,
+              Serialize serialize) {
+  runtime::Metrics& metrics = runtime::Metrics::global();
+  const runtime::CachePin pin(cache, key);
+  if (cache != nullptr) {
+    if (const auto hit = cache->get(key)) {
+      try {
+        T value = parse(*hit);
+        metrics.add(std::string("flow.") + key.domain + ".cache_hit");
+        return value;
+      } catch (const Error& e) {
+        MIVTX_WARN << "discarding unreadable cached " << what << " ("
+                   << key.id() << "): " << e.what();
+      }
+    }
+  }
+  T value = compute();
+  metrics.add(std::string("flow.") + key.domain + ".computed");
+  if (cache != nullptr) cache->put(key, serialize(value));
+  return value;
+}
+
+}  // namespace
+
+extract::CharacteristicSet run_curves_unit(const ProcessParams& process,
+                                           Variant v, Polarity pol,
+                                           const extract::SweepGrid& grid,
+                                           runtime::ArtifactCache* cache) {
+  return cached_unit<extract::CharacteristicSet>(
+      "characteristics", characterization_key(process, v, pol, grid), cache,
+      parse_characteristics,
+      [&] {
+        MIVTX_INFO << "characterizing " << device_key(v, pol);
+        trace::Span span("flow.characterize", "flow",
+                         device_key(v, pol).c_str());
+        runtime::ScopedTimer timer("flow.characterize");
+        return characterize_device(process, v, pol, grid);
+      },
+      serialize_characteristics);
+}
+
+DeviceExtraction run_extraction_unit(const ProcessParams& process, Variant v,
+                                     Polarity pol,
+                                     const extract::SweepGrid& grid,
+                                     const extract::ExtractionOptions& opts,
+                                     runtime::ArtifactCache* cache) {
+  trace::Span span("flow.device", "flow", device_key(v, pol).c_str());
+  DeviceExtraction dev;
+  dev.variant = v;
+  dev.polarity = pol;
+  dev.data = run_curves_unit(process, v, pol, grid, cache);
+  dev.report = cached_unit<extract::ExtractionReport>(
+      "extraction", extraction_key(process, v, pol, grid, opts), cache,
+      parse_extraction,
+      [&] {
+        MIVTX_INFO << "extracting " << device_key(v, pol);
+        trace::Span extract_span("flow.extract", "flow",
+                                 device_key(v, pol).c_str());
+        runtime::ScopedTimer timer("flow.extract");
+        return extract::extract_card(dev.data, initial_card(process, v, pol),
+                                     opts);
+      },
+      serialize_extraction);
+  return dev;
+}
+
+}  // namespace mivtx::core

@@ -1,0 +1,40 @@
+// Resumable flow units: the TCAD -> extract pipeline split into
+// individually cacheable stages.
+//
+// run_full_flow used to be one opaque computation; mivtx::serve (and any
+// client that wants partial results) needs the stages addressable on their
+// own, each keyed by its own StableHash digest (core/artifacts.h):
+//
+//   curves unit      "char" key   TCAD characterization of one device
+//   extraction unit  "card" key   staged model extraction (consumes curves)
+//   cell-PPA unit    "ppa"  key   transient measurement of one cell
+//                                 (lives in core/ppa.h; listed here because
+//                                 it is the third request unit serve exposes)
+//
+// Every unit is fetch-or-compute against an optional ArtifactCache: a warm
+// cache resumes the flow mid-pipeline (cached curves + cold extraction
+// runs only the fit; everything warm is pure deserialization).  Units pin
+// their key for the duration of the call so the disk garbage collector
+// (ArtifactCache::Options::max_disk_bytes) never evicts an artifact an
+// in-flight computation is about to re-read or just produced.
+#pragma once
+
+#include "core/flow.h"
+
+namespace mivtx::core {
+
+// Stage 1: characteristic curves for one (variant, polarity) device.
+extract::CharacteristicSet run_curves_unit(const ProcessParams& process,
+                                           Variant v, Polarity pol,
+                                           const extract::SweepGrid& grid,
+                                           runtime::ArtifactCache* cache);
+
+// Stage 2: staged extraction for one device.  Resumes from the stage-1
+// artifact when cached; otherwise computes it (and stores it) first.
+DeviceExtraction run_extraction_unit(const ProcessParams& process, Variant v,
+                                     Polarity pol,
+                                     const extract::SweepGrid& grid,
+                                     const extract::ExtractionOptions& opts,
+                                     runtime::ArtifactCache* cache);
+
+}  // namespace mivtx::core

@@ -1,10 +1,12 @@
 #include "runtime/artifact_cache.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include <unistd.h>
 
@@ -31,6 +33,17 @@ ArtifactCache::ArtifactCache(Options opts) : opts_(std::move(opts)) {
       MIVTX_WARN << "artifact cache: cannot create '" << opts_.disk_dir
                  << "' (" << ec.message() << "); falling back to memory-only";
       opts_.disk_dir.clear();
+    }
+  }
+  if (!opts_.disk_dir.empty()) {
+    // Seed the usage tracker from artifacts a previous process left behind,
+    // so the budget covers the whole directory, not just this run's stores.
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(opts_.disk_dir, ec)) {
+      if (entry.path().extension() != ".art") continue;
+      std::error_code size_ec;
+      const auto size = entry.file_size(size_ec);
+      if (!size_ec) disk_bytes_ += size;
     }
   }
 }
@@ -142,12 +155,93 @@ void ArtifactCache::disk_put(const CacheKey& key, const std::string& payload) {
         << payload;
   }
   std::error_code ec;
+  std::uint64_t replaced = 0;
+  const auto old_size = fs::file_size(path, ec);
+  if (!ec) replaced = old_size;
   fs::rename(tmp, path, ec);
   if (ec) {
     MIVTX_WARN << "artifact cache: rename to " << path.string() << " failed ("
                << ec.message() << ")";
     fs::remove(tmp, ec);
+    return;
   }
+  std::lock_guard<std::mutex> lk(m_);
+  const auto size = fs::file_size(path, ec);
+  if (!ec) {
+    disk_bytes_ -= std::min(replaced, disk_bytes_);
+    disk_bytes_ += size;
+  }
+  if (opts_.max_disk_bytes > 0 && disk_bytes_ > opts_.max_disk_bytes)
+    disk_gc_locked();
+}
+
+void ArtifactCache::disk_gc_locked() {
+  struct Victim {
+    fs::file_time_type mtime;
+    std::string name;  // tie-break for equal mtimes: deterministic order
+    std::uint64_t size = 0;
+  };
+  std::vector<Victim> victims;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(opts_.disk_dir, ec)) {
+    if (entry.path().extension() != ".art") continue;
+    const std::string name = entry.path().filename().string();
+    if (pins_.count(name) > 0) continue;  // in-flight: never evicted
+    std::error_code item_ec;
+    const auto mtime = entry.last_write_time(item_ec);
+    if (item_ec) continue;
+    const auto size = entry.file_size(item_ec);
+    if (item_ec) continue;
+    victims.push_back(Victim{mtime, name, size});
+  }
+  std::sort(victims.begin(), victims.end(), [](const Victim& a,
+                                               const Victim& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.name < b.name;
+  });
+  for (const Victim& v : victims) {
+    if (disk_bytes_ <= opts_.max_disk_bytes) break;
+    std::error_code rm_ec;
+    if (!fs::remove(fs::path(opts_.disk_dir) / v.name, rm_ec) || rm_ec)
+      continue;
+    disk_bytes_ -= std::min(v.size, disk_bytes_);
+    ++stats_.disk_evictions;
+  }
+}
+
+void ArtifactCache::pin(const CacheKey& key) {
+  std::lock_guard<std::mutex> lk(m_);
+  pins_[key.filename()] += 1;
+}
+
+void ArtifactCache::unpin(const CacheKey& key) {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = pins_.find(key.filename());
+  if (it == pins_.end()) return;
+  if (--it->second <= 0) pins_.erase(it);
+}
+
+CachePin::CachePin(ArtifactCache* cache, CacheKey key)
+    : cache_(cache), key_(std::move(key)) {
+  if (cache_ != nullptr) cache_->pin(key_);
+}
+
+CachePin::~CachePin() {
+  if (cache_ != nullptr) cache_->unpin(key_);
+}
+
+CachePin::CachePin(CachePin&& o) noexcept
+    : cache_(o.cache_), key_(std::move(o.key_)) {
+  o.cache_ = nullptr;
+}
+
+CachePin& CachePin::operator=(CachePin&& o) noexcept {
+  if (this != &o) {
+    if (cache_ != nullptr) cache_->unpin(key_);
+    cache_ = o.cache_;
+    key_ = std::move(o.key_);
+    o.cache_ = nullptr;
+  }
+  return *this;
 }
 
 CacheStats ArtifactCache::stats() const {
@@ -158,6 +252,11 @@ CacheStats ArtifactCache::stats() const {
 std::size_t ArtifactCache::memory_entries() const {
   std::lock_guard<std::mutex> lk(m_);
   return lru_.size();
+}
+
+std::uint64_t ArtifactCache::disk_usage_bytes() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return disk_bytes_;
 }
 
 }  // namespace mivtx::runtime

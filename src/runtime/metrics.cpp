@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <ctime>
 #include <sstream>
 
@@ -9,6 +10,27 @@
 #include "common/table.h"
 
 namespace mivtx::runtime {
+
+std::size_t histogram_bucket(double seconds) {
+  const double ns = seconds * 1e9;
+  if (!(ns >= 1.0)) return 0;  // sub-ns, negative and NaN all land in [0]
+  const auto b = static_cast<std::size_t>(std::log2(ns));
+  return std::min(b, kHistogramBuckets - 1);
+}
+
+double HistogramValue::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank && buckets[i] > 0)
+      return std::ldexp(1.0, static_cast<int>(i) + 1) * 1e-9;  // top edge
+  }
+  return max_s;
+}
 
 Metrics& Metrics::global() {
   static Metrics instance;
@@ -36,10 +58,23 @@ void Metrics::record_time(std::string_view name, double wall_s, double cpu_s) {
   t.wall_max_s = std::max(t.wall_max_s, wall_s);
 }
 
+void Metrics::record_latency(std::string_view name, double seconds) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), HistogramValue{}).first;
+  HistogramValue& h = it->second;
+  h.count += 1;
+  h.sum_s += seconds;
+  h.max_s = std::max(h.max_s, seconds);
+  h.buckets[histogram_bucket(seconds)] += 1;
+}
+
 void Metrics::reset() {
   std::lock_guard<std::mutex> lk(m_);
   counters_.clear();
   timers_.clear();
+  histograms_.clear();
 }
 
 std::map<std::string, CounterValue> Metrics::counters() const {
@@ -52,16 +87,39 @@ std::map<std::string, TimerValue> Metrics::timers() const {
   return {timers_.begin(), timers_.end()};
 }
 
+std::map<std::string, HistogramValue> Metrics::histograms() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return {histograms_.begin(), histograms_.end()};
+}
+
 double Metrics::counter_total(std::string_view name) const {
   std::lock_guard<std::mutex> lk(m_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0.0 : it->second.total;
 }
 
+HistogramValue Metrics::histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramValue{} : it->second;
+}
+
 std::string Metrics::render_text() const {
   const auto counters = this->counters();
   const auto timers = this->timers();
+  const auto histograms = this->histograms();
   std::ostringstream os;
+  if (!histograms.empty()) {
+    TextTable t({"latency", "count", "mean", "p50", "p95", "p99", "max"});
+    t.set_align(0, TextTable::Align::kLeft);
+    for (const auto& [name, h] : histograms) {
+      t.add_row({name, format("%llu", static_cast<unsigned long long>(h.count)),
+                 eng_format(h.mean_s(), "s"), eng_format(h.quantile(0.50), "s"),
+                 eng_format(h.quantile(0.95), "s"),
+                 eng_format(h.quantile(0.99), "s"), eng_format(h.max_s, "s")});
+    }
+    os << t.to_string();
+  }
   if (!timers.empty()) {
     TextTable t({"timer", "calls", "wall (s)", "cpu (s)", "max (s)"});
     t.set_align(0, TextTable::Align::kLeft);
@@ -81,13 +139,15 @@ std::string Metrics::render_text() const {
     }
     os << t.to_string();
   }
-  if (counters.empty() && timers.empty()) os << "(no metrics recorded)\n";
+  if (counters.empty() && timers.empty() && histograms.empty())
+    os << "(no metrics recorded)\n";
   return os.str();
 }
 
 std::string Metrics::render_json() const {
   const auto counters = this->counters();
   const auto timers = this->timers();
+  const auto histograms = this->histograms();
   std::ostringstream os;
   os << "{\n  \"counters\": {";
   bool first = true;
@@ -106,6 +166,26 @@ std::string Metrics::render_json() const {
        << ", \"wall_s\": " << format("%.6f", v.wall_s)
        << ", \"cpu_s\": " << format("%.6f", v.cpu_s)
        << ", \"wall_max_s\": " << format("%.6f", v.wall_max_s) << "}";
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    \"" << name << "\": {\"count\": " << h.count
+       << ", \"mean_s\": " << format("%.9f", h.mean_s())
+       << ", \"p50_s\": " << format("%.9f", h.quantile(0.50))
+       << ", \"p95_s\": " << format("%.9f", h.quantile(0.95))
+       << ", \"p99_s\": " << format("%.9f", h.quantile(0.99))
+       << ", \"max_s\": " << format("%.9f", h.max_s) << ", \"buckets\": [";
+    // Buckets trimmed to the highest occupied one; index i covers
+    // [2^i, 2^{i+1}) ns.
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+      if (h.buckets[i] > 0) top = i + 1;
+    for (std::size_t i = 0; i < top; ++i)
+      os << (i == 0 ? "" : ", ") << h.buckets[i];
+    os << "]}";
   }
   os << (first ? "" : "\n  ") << "}\n}\n";
   return os.str();

@@ -1,12 +1,15 @@
-// Lightweight task metrics: named counters and scoped wall/CPU timers.
+// Lightweight task metrics: named counters, scoped wall/CPU timers and
+// fixed-bucket latency histograms.
 //
 // Everything funnels into one mutex-guarded registry (hot paths record a
-// handful of times per device/cell, not per Newton iteration, so a mutex is
-// plenty).  Reports render as a text table or JSON; benches expose them via
-// --metrics.  Timers read the clock but never feed results back into any
+// handful of times per device/cell/request, not per Newton iteration, so a
+// mutex is plenty).  Reports render as a text table or JSON; benches expose
+// them via --metrics and mivtx_serve dumps them per request and on
+// /metrics.  Timers read the clock but never feed results back into any
 // computation, so the determinism contract (DESIGN.md §5.10) is preserved.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -27,6 +30,30 @@ struct TimerValue {
   double wall_max_s = 0.0;
 };
 
+// Log2 latency histogram: bucket i counts samples in [2^i, 2^{i+1}) ns,
+// which spans 1 ns to ~4.8 hours in 44 buckets at a fixed memory cost and
+// bounded (factor-of-two) quantile error — plenty for p50/p95/p99 request
+// latencies that vary over six orders of magnitude between a cold TCAD
+// flow and a warm cache hit.
+inline constexpr std::size_t kHistogramBuckets = 44;
+
+struct HistogramValue {
+  std::uint64_t count = 0;
+  double sum_s = 0.0;
+  double max_s = 0.0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  // Quantile upper bound in seconds (q in [0,1]): the top edge of the
+  // bucket holding the ceil(q * count)-th smallest sample; 0 when empty.
+  double quantile(double q) const;
+  double mean_s() const {
+    return count == 0 ? 0.0 : sum_s / static_cast<double>(count);
+  }
+};
+
+// Bucket index for a latency in seconds (floor(log2(ns)), clamped).
+std::size_t histogram_bucket(double seconds);
+
 class Metrics {
  public:
   // Process-wide registry; benches/examples report and reset it.
@@ -34,12 +61,16 @@ class Metrics {
 
   void add(std::string_view name, double value = 1.0);
   void record_time(std::string_view name, double wall_s, double cpu_s);
+  void record_latency(std::string_view name, double seconds);
   void reset();
 
   std::map<std::string, CounterValue> counters() const;
   std::map<std::string, TimerValue> timers() const;
+  std::map<std::string, HistogramValue> histograms() const;
   // Convenience: counter total (0 if absent).
   double counter_total(std::string_view name) const;
+  // Convenience: histogram snapshot (empty-value default if absent).
+  HistogramValue histogram(std::string_view name) const;
 
   std::string render_text() const;
   std::string render_json() const;
@@ -48,6 +79,7 @@ class Metrics {
   mutable std::mutex m_;
   std::map<std::string, CounterValue, std::less<>> counters_;
   std::map<std::string, TimerValue, std::less<>> timers_;
+  std::map<std::string, HistogramValue, std::less<>> histograms_;
 };
 
 // Per-thread CPU time (CLOCK_THREAD_CPUTIME_ID on POSIX; wall-clock

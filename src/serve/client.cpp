@@ -1,0 +1,33 @@
+#include "serve/client.h"
+
+#include "common/error.h"
+
+namespace mivtx::serve {
+
+Client::Client(const std::string& host, int port)
+    : sock_(connect_to(host, port)), reader_(sock_.fd()) {}
+
+void Client::send(const Request& req) {
+  MIVTX_EXPECT(sock_.write_all(req.to_json_line()) && sock_.write_all("\n"),
+               "serve client: connection lost while sending");
+}
+
+std::optional<Response> Client::read() {
+  const std::optional<std::string> line = reader_.read_line();
+  if (!line) return std::nullopt;
+  return Response::from_json_line(*line);
+}
+
+Response Client::call(const Request& req) {
+  send(req);
+  std::optional<Response> resp = read();
+  MIVTX_EXPECT(resp.has_value(),
+               "serve client: connection closed before the response");
+  MIVTX_EXPECT(resp->id == req.id,
+               "serve client: response id '" + resp->id +
+                   "' does not match request '" + req.id +
+                   "' (one outstanding request per connection)");
+  return *resp;
+}
+
+}  // namespace mivtx::serve

@@ -1,0 +1,40 @@
+// Scripting client for mivtx_serve: connect, send request lines, read
+// typed responses.
+//
+// The simple path is call(): send one request, block for one response.
+// Responses on a connection arrive in *completion* order (workers finish
+// when they finish), so call() is only id-safe with one outstanding
+// request per connection — which is how the CLI and the tests use it;
+// herd scenarios open one Client per concurrent request.  send()/read()
+// expose the pipelined layer for callers that correlate ids themselves.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "serve/net.h"
+#include "serve/protocol.h"
+
+namespace mivtx::serve {
+
+class Client {
+ public:
+  // Throws mivtx::Error when the connection fails.
+  Client(const std::string& host, int port);
+
+  // One request, one response.  Throws mivtx::Error on a dropped
+  // connection or a response-id mismatch; protocol-level failures
+  // (error / queue_full / draining) come back as the Response.
+  Response call(const Request& req);
+
+  // Pipelined layer.  send() throws on a dropped connection; read()
+  // returns nullopt at EOF (server closed / drained).
+  void send(const Request& req);
+  std::optional<Response> read();
+
+ private:
+  Socket sock_;
+  LineReader reader_;
+};
+
+}  // namespace mivtx::serve

@@ -1,0 +1,58 @@
+#include "serve/coalesce.h"
+
+#include <exception>
+#include <utility>
+
+namespace mivtx::serve {
+
+std::pair<std::shared_ptr<const Coalescer::Result>, bool> Coalescer::run(
+    const std::string& key, const Compute& compute) {
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    const auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      flight = it->second;  // follower: join the in-flight computation
+      ++flight->waiters;
+    } else {
+      flight = std::make_shared<Flight>();
+      flight->future = flight->promise.get_future().share();
+      flights_.emplace(key, flight);
+      leader = true;
+    }
+  }
+
+  if (!leader) return {flight->future.get(), false};
+
+  auto result = std::make_shared<Result>();
+  try {
+    *result = compute();
+  } catch (const std::exception& e) {
+    result->ok = false;
+    result->error = e.what();
+  }
+
+  {
+    // Close the flight *before* publishing: a request that arrives after
+    // this point starts fresh (and finds the artifact cache warm) instead
+    // of piggybacking on a completed flight.
+    std::lock_guard<std::mutex> lock(m_);
+    flights_.erase(key);
+  }
+  flight->promise.set_value(result);
+  return {result, true};
+}
+
+std::size_t Coalescer::waiters(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(m_);
+  const auto it = flights_.find(key);
+  return it == flights_.end() ? 0 : it->second->waiters;
+}
+
+std::size_t Coalescer::inflight() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return flights_.size();
+}
+
+}  // namespace mivtx::serve

@@ -1,0 +1,70 @@
+// Single-flight request coalescing.
+//
+// When N clients ask for the same characterization while it is still
+// running, exactly one computation must happen: the first request (the
+// leader) computes, the other N-1 (followers) block on a shared future and
+// fan out the leader's result.  This is what makes a characterization
+// *service* cheaper than N clients running the flow themselves — the
+// artifact cache dedups across time, the coalescer dedups across
+// concurrent clients, and together a thundering herd of identical cold
+// requests costs one flow.
+//
+// The flight table is keyed by an opaque digest string (the serve layer
+// hashes the canonical request line, minus the client correlation id).  A
+// flight exists only while its leader computes; it is removed before the
+// result is published, so a request arriving after completion starts a
+// fresh flight and hits the artifact cache instead.
+//
+// waiters(key) reports how many followers are currently blocked on a
+// flight — tests use it to deterministically assemble a herd before the
+// leader finishes, instead of racing the fan-in window.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace mivtx::serve {
+
+class Coalescer {
+ public:
+  // Outcome of one computation, shared verbatim with every follower.
+  // Failures coalesce too: if the leader throws, the herd gets the same
+  // error instead of retrying the same doomed computation N times.
+  struct Result {
+    bool ok = false;
+    std::string error;      // when !ok
+    std::string payload;    // artifact text
+    std::string meta_json;  // kind-specific JSON object
+  };
+
+  using Compute = std::function<Result()>;
+
+  // Run `compute` under single-flight semantics for `key`.  Returns the
+  // (possibly shared) result and whether this call was the leader that
+  // actually computed it.  `compute` must not recursively run() the same
+  // key on the same thread (it would deadlock on itself).
+  std::pair<std::shared_ptr<const Result>, bool> run(const std::string& key,
+                                                     const Compute& compute);
+
+  // Followers currently blocked on `key` (0 when no flight is open).
+  std::size_t waiters(const std::string& key) const;
+  // Open flights (leaders currently computing).
+  std::size_t inflight() const;
+
+ private:
+  struct Flight {
+    std::promise<std::shared_ptr<const Result>> promise;
+    std::shared_future<std::shared_ptr<const Result>> future;
+    std::size_t waiters = 0;
+  };
+
+  mutable std::mutex m_;
+  std::map<std::string, std::shared_ptr<Flight>> flights_;
+};
+
+}  // namespace mivtx::serve

@@ -1,0 +1,67 @@
+// Request execution: one warm process state shared by every client.
+//
+// Service owns the daemon's long-lived state — the ArtifactCache (memory
+// LRU + optional bounded disk layer) and the Coalescer — and maps each
+// compute request onto the resumable flow units (core/flow_units.h):
+//   curves  -> run_curves_unit        ("char" artifact)
+//   extract -> run_extraction_unit    ("card" artifact)
+//   flow    -> run_full_flow          (8 device pipelines, shared cache)
+//   ppa     -> PpaEngine::measure     ("ppa" artifact)
+// so a request is exactly as expensive as its cold suffix: stages another
+// request (or a previous daemon run, via the disk layer) already produced
+// deserialize instead of recomputing.
+//
+// Identical concurrent requests coalesce into one computation; identity is
+// the StableHash of the canonical request line with the client correlation
+// id blanked, so two clients asking for the same corner coalesce no matter
+// what they call it.  Payloads are the artifact-text serializations from
+// core/artifacts.h — byte-identical to what a local run of the same unit
+// would produce.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/artifact_cache.h"
+#include "serve/coalesce.h"
+#include "serve/protocol.h"
+
+namespace mivtx::serve {
+
+struct ServiceOptions {
+  // Fan-out width for the flow's 8 device pipelines (0 = hardware
+  // concurrency, 1 = serial).  Scheduling only — results are identical.
+  std::size_t jobs = 0;
+  // Shared artifact cache configuration (mivtx_serve --cache-dir /
+  // --cache-max-bytes land here).
+  runtime::ArtifactCache::Options cache;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions opts = {});
+
+  // Execute one compute request (curves / extract / flow / ppa),
+  // coalescing with identical in-flight requests.  Fills status, payload,
+  // meta, source ("computed" | "coalesced"), elapsed_s and the trace span
+  // id; never throws — failures come back as status "error".
+  Response execute(const Request& req);
+
+  runtime::ArtifactCache& cache() const { return cache_; }
+  const Coalescer& coalescer() const { return coalescer_; }
+
+  // Coalescing identity of a request: hex StableHash digest of its
+  // canonical JSON line with the correlation id blanked.
+  static std::string request_digest(const Request& req);
+
+ private:
+  Coalescer::Result compute(const Request& req);
+
+  ServiceOptions opts_;
+  // Internally synchronized; callers holding only a const Service (the
+  // server's health probe) may still hit it.
+  mutable runtime::ArtifactCache cache_;
+  Coalescer coalescer_;
+};
+
+}  // namespace mivtx::serve

@@ -1,66 +1,10 @@
-// Minimal JSON document model for the verification subsystem.
-//
-// Golden baselines (tests/golden/*.json) and the mivtx_verify machine
-// reports are small, flat documents; this parser/serializer supports the
-// full JSON grammar but is tuned for readability of hand-diffable files:
-// objects preserve insertion order and numbers round-trip through
-// format_double so a refresh with unchanged inputs is byte-stable.
+// The JSON document model moved to common/json.h when mivtx::serve started
+// sharing it for its wire protocol.  This forwarder keeps verify's includes
+// and the verify::Json spelling working.
 #pragma once
 
-#include <cstddef>
-#include <string>
-#include <utility>
-#include <vector>
+#include "common/json.h"
 
 namespace mivtx::verify {
-
-class Json {
- public:
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  Json() = default;
-  static Json null() { return Json(); }
-  static Json boolean(bool b);
-  static Json number(double v);
-  static Json string(std::string s);
-  static Json array();
-  static Json object();
-
-  // Throws mivtx::Error with offset context on malformed input.
-  static Json parse(const std::string& text);
-
-  Type type() const { return type_; }
-  bool is_null() const { return type_ == Type::kNull; }
-  bool is_object() const { return type_ == Type::kObject; }
-  bool is_number() const { return type_ == Type::kNumber; }
-
-  // Typed accessors; throw mivtx::Error on type mismatch.
-  bool as_bool() const;
-  double as_number() const;
-  const std::string& as_string() const;
-  const std::vector<Json>& items() const;                  // array
-  const std::vector<std::pair<std::string, Json>>& members() const;  // object
-
-  // Object lookup; nullptr when absent (or not an object).
-  const Json* find(const std::string& key) const;
-  // Object insert/overwrite, preserving first-insertion order.
-  void set(const std::string& key, Json value);
-  // Array append.
-  void push_back(Json value);
-
-  // Serialize; indent > 0 pretty-prints (2-space style, trailing newline
-  // added by callers that write files).
-  std::string dump(int indent = 0) const;
-
- private:
-  void dump_to(std::string& out, int indent, int depth) const;
-
-  Type type_ = Type::kNull;
-  bool bool_ = false;
-  double number_ = 0.0;
-  std::string string_;
-  std::vector<Json> items_;
-  std::vector<std::pair<std::string, Json>> members_;
-};
-
+using mivtx::Json;
 }  // namespace mivtx::verify

@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
@@ -147,6 +149,37 @@ TEST(Metrics, CountersAndTimers) {
   EXPECT_TRUE(m.timers().empty());
 }
 
+TEST(Metrics, HistogramBucketsAndQuantiles) {
+  EXPECT_EQ(runtime::histogram_bucket(0.0), 0u);
+  EXPECT_EQ(runtime::histogram_bucket(1e-9), 0u);   // 1 ns
+  EXPECT_EQ(runtime::histogram_bucket(2e-9), 1u);   // [2, 4) ns
+  EXPECT_EQ(runtime::histogram_bucket(3e-9), 1u);
+  EXPECT_EQ(runtime::histogram_bucket(1e-6), 9u);   // 1000 ns -> [512, 1024)
+  EXPECT_EQ(runtime::histogram_bucket(1e9),
+            runtime::kHistogramBuckets - 1);        // clamped
+
+  runtime::Metrics m;
+  for (int i = 0; i < 90; ++i) m.record_latency("lat", 1e-6);
+  for (int i = 0; i < 10; ++i) m.record_latency("lat", 1e-3);
+  const runtime::HistogramValue h = m.histogram("lat");
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_DOUBLE_EQ(h.max_s, 1e-3);
+  EXPECT_NEAR(h.mean_s(), (90 * 1e-6 + 10 * 1e-3) / 100.0, 1e-15);
+  // Quantiles report the top edge of the holding bucket: the 50th sample
+  // sits in [512, 1024) ns, the 95th in [2^19, 2^20) ns.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1024e-9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 1048576e-9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1048576e-9);
+  EXPECT_DOUBLE_EQ(runtime::HistogramValue{}.quantile(0.5), 0.0);
+
+  EXPECT_NE(m.render_text().find("p95"), std::string::npos);
+  const std::string json = m.render_json();
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_s\""), std::string::npos);
+  m.reset();
+  EXPECT_EQ(m.histogram("lat").count, 0u);
+}
+
 // ----------------------------------------------------------------- cache
 
 TEST(ArtifactCache, MemoryHitMissAndLruEviction) {
@@ -218,6 +251,89 @@ TEST(ArtifactCache, CorruptDiskFileIsAMissNotAnError) {
   runtime::ArtifactCache reader2(opts);
   EXPECT_EQ(reader2.get(key).value(), "recomputed");
   fs::remove_all(dir);
+}
+
+TEST(ArtifactCache, DiskGcEvictsOldestUnpinnedFirst) {
+  const testutil::ScopedTempDir scoped("mivtx_cache_gc");
+  const fs::path dir = scoped.path();
+  const std::string payload(100, 'x');
+  const runtime::CacheKey a{"ppa", 1}, b{"ppa", 2}, c{"ppa", 3};
+
+  runtime::ArtifactCache::Options opts;
+  opts.disk_dir = dir.string();
+  {
+    runtime::ArtifactCache probe(opts);  // unbounded: measure one file
+    probe.put(a, payload);
+  }
+  const std::uintmax_t file_size = fs::file_size(dir / a.filename());
+  opts.max_disk_bytes = file_size * 5 / 2;  // holds two artifacts, not three
+
+  runtime::ArtifactCache cache(opts);  // seeds usage from the existing file
+  EXPECT_EQ(cache.disk_usage_bytes(), file_size);
+  using namespace std::chrono_literals;
+  fs::last_write_time(dir / a.filename(),
+                      fs::file_time_type::clock::now() - 2h);
+  cache.put(b, payload);
+  EXPECT_EQ(cache.stats().disk_evictions, 0u);  // two files fit
+  fs::last_write_time(dir / b.filename(),
+                      fs::file_time_type::clock::now() - 1h);
+
+  cache.put(c, payload);  // over budget: the mtime-oldest artifact goes
+  EXPECT_FALSE(fs::exists(dir / a.filename()));
+  EXPECT_TRUE(fs::exists(dir / b.filename()));
+  EXPECT_TRUE(fs::exists(dir / c.filename()));
+  EXPECT_EQ(cache.stats().disk_evictions, 1u);
+  EXPECT_LE(cache.disk_usage_bytes(), opts.max_disk_bytes);
+
+  // Evicted from disk and never in this instance's memory layer: a miss.
+  EXPECT_FALSE(cache.get(a).has_value());
+  EXPECT_TRUE(cache.get(b).has_value());
+}
+
+TEST(ArtifactCache, DiskGcNeverEvictsPinnedEntries) {
+  const testutil::ScopedTempDir scoped("mivtx_cache_pin");
+  const fs::path dir = scoped.path();
+  const std::string payload(100, 'x');
+  const runtime::CacheKey a{"char", 1}, b{"char", 2}, c{"char", 3},
+      d{"char", 4};
+
+  runtime::ArtifactCache::Options opts;
+  opts.disk_dir = dir.string();
+  {
+    runtime::ArtifactCache probe(opts);
+    probe.put(a, payload);
+  }
+  const std::uintmax_t file_size = fs::file_size(dir / a.filename());
+  opts.max_disk_bytes = file_size * 5 / 2;
+
+  runtime::ArtifactCache cache(opts);
+  using namespace std::chrono_literals;
+  fs::last_write_time(dir / a.filename(),
+                      fs::file_time_type::clock::now() - 2h);
+  cache.put(b, payload);
+  fs::last_write_time(dir / b.filename(),
+                      fs::file_time_type::clock::now() - 1h);
+
+  {
+    // `a` is the eviction candidate by age, but it is in flight: the GC
+    // must take the next-oldest unpinned artifact instead.
+    const runtime::CachePin pin(&cache, a);
+    cache.put(c, payload);
+    EXPECT_TRUE(fs::exists(dir / a.filename()));
+    EXPECT_FALSE(fs::exists(dir / b.filename()));
+    EXPECT_EQ(cache.stats().disk_evictions, 1u);
+  }
+
+  // Pin released: the next over-budget store may finally evict `a`.
+  cache.put(d, payload);
+  EXPECT_FALSE(fs::exists(dir / a.filename()));
+  EXPECT_TRUE(fs::exists(dir / c.filename()));
+  EXPECT_TRUE(fs::exists(dir / d.filename()));
+  EXPECT_EQ(cache.stats().disk_evictions, 2u);
+
+  // Inert pins (null cache, moved-from) are safe no-ops.
+  runtime::CachePin inert(nullptr, a);
+  runtime::CachePin moved(std::move(inert));
 }
 
 // ----------------------------------------------------------- cache keys
