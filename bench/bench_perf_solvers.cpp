@@ -10,7 +10,10 @@
 // dcop/transient benchmarks (default auto); the std-cell transient bench
 // reports the solver-core counters (factorizations, LU reuses, device
 // bypasses, ...) as per-run benchmark counters so they land in the JSON.
-// `--metrics` prints the full runtime metrics report on exit.
+// `--device-eval=auto|scalar|portable|simd` pins the MOSFET evaluation
+// path the same way (default auto), so CI can record a scalar baseline and
+// a SIMD run from one binary.  `--metrics` prints the full runtime metrics
+// report on exit.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -26,6 +29,7 @@
 #include "common/rng.h"
 #include "core/ppa.h"
 #include "core/reference_cards.h"
+#include "core/variability.h"
 #include "linalg/banded.h"
 #include "linalg/dense.h"
 #include "runtime/artifact_cache.h"
@@ -40,10 +44,12 @@ using namespace mivtx;
 namespace {
 
 spice::SolverBackend g_backend = spice::SolverBackend::kAuto;
+spice::DeviceEval g_device_eval = spice::DeviceEval::kAuto;
 
 spice::NewtonOptions bench_newton() {
   spice::NewtonOptions opts;
   opts.backend = g_backend;
+  opts.device_eval = g_device_eval;
   return opts;
 }
 
@@ -206,10 +212,49 @@ void BM_TransientStdCell(benchmark::State& state) {
   state.counters["lu_reuse"] = m.counter_total("spice.sparse.lu_reuses") / runs;
   state.counters["dev_bypass"] =
       m.counter_total("spice.device.bypasses") / runs;
+  state.counters["dev_eval"] = m.counter_total("spice.device.evals") / runs;
+  state.counters["batch_blocks"] =
+      m.counter_total("spice.device.batch.blocks") / runs;
 }
 BENCHMARK(BM_TransientStdCell)
     ->Arg(static_cast<int>(cells::CellType::kNand2))
     ->Arg(static_cast<int>(cells::CellType::kXor2))
+    ->Unit(benchmark::kMillisecond);
+
+// Monte-Carlo variability of one cell: arg 0 selects the scheduling
+// engine (0 = per-sample reference, 1 = lane-packed corner_transient with
+// one sample per SIMD lane).  Both engines draw the same Rng streams, so
+// they simulate identical circuits; the ratio of the two rows is the
+// cross-instance lane-packing speedup.
+void BM_VariabilityBatch(benchmark::State& state) {
+  const auto& lib = core::reference_model_library();
+  core::VariationSpec spec;
+  spec.samples = 8;
+  spec.engine = state.range(0) == 0 ? core::VariabilityEngine::kPerSample
+                                    : core::VariabilityEngine::kLanePacked;
+  core::PpaOptions ppa_opts;
+  ppa_opts.newton = bench_newton();
+  runtime::Metrics::global().reset();
+  std::size_t lockstep = 0;
+  for (auto _ : state) {
+    const core::VariabilityStats stats = core::run_variability(
+        lib, cells::CellType::kXor2, cells::Implementation::kMiv2Channel,
+        spec, ppa_opts);
+    lockstep = stats.lockstep_groups;
+    benchmark::DoNotOptimize(stats.mean_delay);
+  }
+  const runtime::Metrics& m = runtime::Metrics::global();
+  const double runs =
+      std::max<double>(1.0, static_cast<double>(state.iterations()));
+  state.counters["samples"] = static_cast<double>(spec.samples);
+  state.counters["lockstep_groups"] = static_cast<double>(lockstep);
+  state.counters["corner_lanes"] =
+      m.counter_total("spice.corner.lanes") / runs;
+  state.counters["dev_eval"] = m.counter_total("spice.device.evals") / runs;
+}
+BENCHMARK(BM_VariabilityBatch)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_TcadGummelBiasStep(benchmark::State& state) {
@@ -289,6 +334,23 @@ int main(int argc, char** argv) {
         g_backend = spice::SolverBackend::kAuto;
       } else {
         std::fprintf(stderr, "unknown --backend value: %s\n", which.c_str());
+        return 1;
+      }
+      continue;
+    }
+    if (std::strncmp(argv[i], "--device-eval=", 14) == 0) {
+      const std::string which = argv[i] + 14;
+      if (which == "auto") {
+        g_device_eval = spice::DeviceEval::kAuto;
+      } else if (which == "scalar") {
+        g_device_eval = spice::DeviceEval::kScalar;
+      } else if (which == "portable") {
+        g_device_eval = spice::DeviceEval::kPortable;
+      } else if (which == "simd") {
+        g_device_eval = spice::DeviceEval::kSimd;
+      } else {
+        std::fprintf(stderr, "unknown --device-eval value: %s\n",
+                     which.c_str());
         return 1;
       }
       continue;

@@ -1,0 +1,135 @@
+#include "bsimsoi/batch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mivtx::bsimsoi {
+
+void DeviceBatch::bind(const std::vector<const SoiModelCard*>& cards,
+                       SimdLevel level) {
+  count_ = cards.size();
+  level_ = (level == SimdLevel::kAvx2 && avx2_kernel_compiled() &&
+            cpu_has_avx2())
+               ? SimdLevel::kAvx2
+               : SimdLevel::kScalarLane;
+  fn_ = (level_ == SimdLevel::kAvx2) ? &kernel::eval_block_avx2
+                                     : &kernel::eval_block_portable;
+
+  for (auto& p : params_) p.assign(count_, 0.0);
+  active_.assign(count_, 0);
+  avg_.assign(count_, 0.0);
+  avd_.assign(count_, 0.0);
+  avs_.assign(count_, 0.0);
+  active_count_ = 0;
+  out_.assign(count_, ModelOutput{});
+
+  using namespace kernel;
+  for (std::size_t i = 0; i < count_; ++i) {
+    MIVTX_EXPECT(cards[i] != nullptr, "DeviceBatch::bind: null model card");
+    const SoiModelCard& c = *cards[i];
+    // Same per-evaluation precompute as model.cpp core(), hoisted to bind
+    // time — identical expressions so the values round identically.
+    const double t_kelvin = 273.15 + c.temp;
+    const double tnom_kelvin = 273.15 + c.tnom;
+    const double t_ratio = t_kelvin / tnom_kelvin;
+    const double vt = thermal_voltage(t_kelvin);
+    const double u0_t = c.u0 * std::pow(t_ratio, c.ute);
+    const double vsat_t = std::max(c.vsat - c.at * (t_ratio - 1.0), 1e3);
+    const double cox = kEpsRelSiO2 * kVacuumPermittivity / c.tox;
+    const double vth0 = std::fabs(c.vth0) + c.kt1 * (t_ratio - 1.0);
+    const double lambda =
+        std::sqrt((kEpsRelSilicon / kEpsRelSiO2) * c.tox * c.tsi);
+    const double kVbiScale = 0.9;
+    const double dv_sce =
+        c.dvt0 * kVbiScale * std::exp(-c.dvt1 * c.l / (2.0 * lambda));
+    const double clw = c.w * c.l * cox;
+
+    params_[kS][i] = (c.polarity == Polarity::kNmos) ? 1.0 : -1.0;
+    params_[kVt][i] = vt;
+    params_[kTwoVt][i] = 2.0 * vt;
+    params_[kU0t][i] = u0_t;
+    params_[kCox][i] = cox;
+    params_[kVthBase][i] = vth0 - dv_sce;
+    params_[kTwoVth0][i] = 2.0 * vth0;
+    params_[kEtab][i] = c.etab;
+    params_[kNfactor][i] = c.nfactor;
+    params_[kCdsc][i] = c.cdsc;
+    params_[kCdscd][i] = c.cdscd;
+    params_[kSixTox][i] = 6.0 * c.tox;
+    params_[kUa][i] = c.ua;
+    params_[kUb][i] = c.ub;
+    params_[kUd][i] = c.ud;
+    params_[kUcs][i] = c.ucs;
+    params_[kEsatC][i] = 2.0 * vsat_t * c.l;
+    params_[kBetaC][i] = cox * c.w / c.l;
+    params_[kPclm][i] = c.pclm;
+    params_[kPvag][i] = c.pvag;
+    params_[kRds][i] = c.rdsw * 1e-6 / c.w;
+    params_[kDelvt][i] = c.delvt;
+    params_[kMoinScale][i] = std::max(c.moin, 1.0) / 15.0;
+    params_[kNegClw23][i] = -clw * 2.0 / 3.0;
+    params_[kNegClw215][i] = -clw * 2.0 / 15.0;
+    if (c.k1b > 0.0) {
+      const double clwb = c.k1b * clw;
+      params_[kNegClwb23][i] = -clwb * 2.0 / 3.0;
+      params_[kNegClwb215][i] = -clwb * 2.0 / 15.0;
+    }
+    params_[kDvtb][i] = c.dvtb;
+    params_[kW][i] = c.w;
+    params_[kCgsoCf][i] = c.cgso + c.cf;
+    params_[kCgdoCf][i] = c.cgdo + c.cf;
+    params_[kCgsl][i] = c.cgsl;
+    params_[kCgdl][i] = c.cgdl;
+    params_[kKappa][i] = std::max(c.ckappa, 1e-3);
+  }
+}
+
+std::size_t DeviceBatch::eval() {
+  using namespace kernel;
+  if (active_count_ == 0) return 0;
+  alignas(32) KernelBlock blk;
+  alignas(32) KernelOut ko;
+  std::size_t blocks = 0;
+  for (std::size_t base = 0; base < active_count_; base += kLaneWidth) {
+    const int lanes = static_cast<int>(
+        std::min<std::size_t>(kLaneWidth, active_count_ - base));
+    for (int l = 0; l < kLaneWidth; ++l) {
+      // Unused tail lanes replicate the last staged instance so the block
+      // math stays on a bias the model accepts.
+      const std::size_t a = base + static_cast<std::size_t>(
+                                       std::min(l, lanes - 1));
+      const std::uint32_t inst = active_[a];
+      for (int p = 0; p < kNumParams; ++p) blk.p[p][l] = params_[p][inst];
+      blk.vg[l] = avg_[a];
+      blk.vd[l] = avd_[a];
+      blk.vs[l] = avs_[a];
+    }
+    fn_(blk, ko);
+    ++blocks;
+    for (int l = 0; l < lanes; ++l) {
+      ModelOutput& o = out_[active_[base + static_cast<std::size_t>(l)]];
+      o.ids = ko.o[kIds][l];
+      o.dids[0] = ko.o[kDidsG][l];
+      o.dids[1] = ko.o[kDidsD][l];
+      o.dids[2] = ko.o[kDidsS][l];
+      o.qg = ko.o[kQg][l];
+      o.qd = ko.o[kQd][l];
+      o.qs = ko.o[kQs][l];
+      o.dqg[0] = ko.o[kDqgG][l];
+      o.dqg[1] = ko.o[kDqgD][l];
+      o.dqg[2] = ko.o[kDqgS][l];
+      o.dqd[0] = ko.o[kDqdG][l];
+      o.dqd[1] = ko.o[kDqdD][l];
+      o.dqd[2] = ko.o[kDqdS][l];
+      o.dqs[0] = ko.o[kDqsG][l];
+      o.dqs[1] = ko.o[kDqsD][l];
+      o.dqs[2] = ko.o[kDqsS][l];
+    }
+  }
+  return blocks;
+}
+
+}  // namespace mivtx::bsimsoi

@@ -1,0 +1,89 @@
+// Internal interface between DeviceBatch and the two kernel builds.
+//
+// DeviceBatch gathers the per-device parameter SoA plus the terminal
+// biases of up to kLaneWidth active instances into one KernelBlock; a
+// kernel build evaluates the block and leaves the external-terminal model
+// outputs (same semantics as bsimsoi::eval) in a KernelOut.  The portable
+// build is always present; the AVX2 build exists only when the MIVTX_SIMD
+// CMake option is ON (its TU carries -mavx2 -mfma).
+#pragma once
+
+#include "bsimsoi/simd.h"
+
+namespace mivtx::bsimsoi::kernel {
+
+// Per-device parameters, precomputed at bind time with exactly the same
+// scalar arithmetic model.cpp's core() performs per evaluation — the
+// kernel then reproduces the bias-dependent math operation-for-operation,
+// so the only value drift vs the scalar path is the exp/log1p
+// implementation of the AVX2 build (~1 ulp).
+enum Param : int {
+  kS = 0,       // polarity sign (+1 nmos, -1 pmos)
+  kVt,          // thermal voltage at the card temperature
+  kTwoVt,       // 2 * vt
+  kU0t,         // temperature-scaled low-field mobility
+  kCox,         // gate-oxide capacitance per area
+  kVthBase,     // vth0(T) - dV_SCE
+  kTwoVth0,     // 2 * vth0(T)
+  kEtab,        // DIBL coefficient
+  kNfactor,
+  kCdsc,
+  kCdscd,
+  kSixTox,      // 6 * tox
+  kUa,
+  kUb,
+  kUd,
+  kUcs,
+  kEsatC,       // 2 * vsat(T) * L
+  kBetaC,       // cox * W / L
+  kPclm,
+  kPvag,
+  kRds,         // RDSW * 1e-6 / W
+  kDelvt,
+  kMoinScale,   // max(MOIN, 1) / 15
+  kNegClw23,    // -(W*L*cox) * 2/3
+  kNegClw215,   // -(W*L*cox) * 2/15
+  kNegClwb23,   // back-channel: -(K1B*W*L*cox) * 2/3; 0 disables the branch
+  kNegClwb215,
+  kDvtb,
+  kW,
+  kCgsoCf,      // CGSO + CF
+  kCgdoCf,      // CGDO + CF
+  kCgsl,
+  kCgdl,
+  kKappa,       // max(CKAPPA, 1e-3)
+  kNumParams,
+};
+
+// External-terminal outputs, one lane per instance; layout mirrors
+// ModelOutput (dids/dq columns ordered g, d, s).
+enum Out : int {
+  kIds = 0,
+  kDidsG, kDidsD, kDidsS,
+  kQg, kQd, kQs,
+  kDqgG, kDqgD, kDqgS,
+  kDqdG, kDqdD, kDqdS,
+  kDqsG, kDqsD, kDqsS,
+  kNumOutputs,
+};
+
+struct alignas(32) KernelBlock {
+  double p[kNumParams][kLaneWidth];
+  double vg[kLaneWidth];
+  double vd[kLaneWidth];
+  double vs[kLaneWidth];
+};
+
+struct alignas(32) KernelOut {
+  double o[kNumOutputs][kLaneWidth];
+};
+
+// Portable build: scalar math per lane, bit-faithful to bsimsoi::eval
+// (same branches, same libm calls, same operation order).
+void eval_block_portable(const KernelBlock& in, KernelOut& out);
+
+// AVX2 build; only callable when avx2_kernel_compiled() (it is a stub
+// that aborts otherwise).
+void eval_block_avx2(const KernelBlock& in, KernelOut& out);
+
+}  // namespace mivtx::bsimsoi::kernel

@@ -1,0 +1,283 @@
+// Shared body of the batched BSIMSOI kernel, included by exactly two
+// translation units: batch_kernel_portable.cpp (scalar lanes) and
+// batch_kernel_avx2.cpp (4 x double AVX2+FMA lanes).
+//
+// The math is a transliteration of model.cpp: the same Dual<2> forward-AD
+// recurrences over (vgs', vds') in mirrored coordinates, the same
+// polarity/terminal-swap mapping, the same operation order.  Two
+// deliberate deviations, both per-lane-exact in value and derivative:
+//
+//  * softplus: the scalar model branches on z = x/k (z > 40 -> x,
+//    z < -40 -> k*exp(z)).  A lane vector cannot branch, so the vector
+//    build uses the identity  k*log1p(exp(z)) = max(x,0) + k*log1p(exp(-|z|))
+//    which is exact for all z, never overflows, and carries the correct
+//    derivative through the same dual recurrences.  The scalar-lane build
+//    keeps the original branches so it stays bit-faithful to model.cpp.
+//  * the back-interface charge branch (k1b > 0) is gated per *block*:
+//    skipped only when every lane has it disabled; enabled lanes with
+//    k1b == 0 multiply the branch by a 0 coefficient, which contributes
+//    exact +/-0 terms just like the scalar early-out.
+//
+// The lane type V supplies IEEE arithmetic, sqrt, exp, log1p, and (vector
+// build only) per-lane selects.  Everything else is generic.
+#pragma once
+
+#include "bsimsoi/batch_kernel.h"
+
+namespace mivtx::bsimsoi::kernel {
+
+// Dual number over a lane vector: value plus partials w.r.t. the two
+// independent variables of the current basis.  The recurrences mirror
+// common/dual.h Dual<2> exactly (including division via multiplication by
+// the reciprocal), so values round identically to the scalar path.
+template <class V>
+struct DV {
+  V v, d0, d1;
+};
+
+template <class V>
+inline DV<V> dconst(V c) {
+  return DV<V>{c, V::zero(), V::zero()};
+}
+
+template <class V>
+inline DV<V> operator+(const DV<V>& a, const DV<V>& b) {
+  return {a.v + b.v, a.d0 + b.d0, a.d1 + b.d1};
+}
+template <class V>
+inline DV<V> operator-(const DV<V>& a, const DV<V>& b) {
+  return {a.v - b.v, a.d0 - b.d0, a.d1 - b.d1};
+}
+template <class V>
+inline DV<V> operator-(const DV<V>& a) {
+  return {-a.v, -a.d0, -a.d1};
+}
+template <class V>
+inline DV<V> operator*(const DV<V>& a, const DV<V>& b) {
+  return {a.v * b.v, a.d0 * b.v + a.v * b.d0, a.d1 * b.v + a.v * b.d1};
+}
+template <class V>
+inline DV<V> operator/(const DV<V>& a, const DV<V>& b) {
+  const V inv = V::one() / b.v;
+  return {a.v * inv, (a.d0 - a.v * inv * b.d0) * inv,
+          (a.d1 - a.v * inv * b.d1) * inv};
+}
+
+template <class V>
+inline DV<V> chain(const DV<V>& x, V f, V dfdx) {
+  return {f, dfdx * x.d0, dfdx * x.d1};
+}
+
+template <class V>
+inline DV<V> sqrt_dv(const DV<V>& x) {
+  const V s = V::sqrt(x.v);
+  // Matches Dual sqrt: derivative 0.5/s, forced to 0 at s == 0.
+  return chain(x, s, V::select(V::gt_zero(s), V::half() / s, V::zero()));
+}
+
+template <class V>
+inline DV<V> exp_dv(const DV<V>& x) {
+  const V e = V::exp(x.v);
+  return chain(x, e, e);
+}
+
+template <class V>
+inline DV<V> log1p_dv(const DV<V>& x) {
+  return chain(x, V::log1p(x.v), V::one() / (V::one() + x.v));
+}
+
+// softplus with dual width k; see the header comment for the two builds.
+template <class V>
+inline DV<V> softplus_dv(const DV<V>& x, const DV<V>& k) {
+  if constexpr (V::kScalarSemantics) {
+    const double z = x.v.lane() / k.v.lane();
+    if (z > 40.0) return x;
+    if (z < -40.0) return k * exp_dv(x / k);
+    return k * log1p_dv(exp_dv(x / k));
+  } else {
+    const DV<V> z = x / k;
+    const V pos = V::gt_zero(x.v);
+    const DV<V> xpos{V::select(pos, x.v, V::zero()),
+                     V::select(pos, x.d0, V::zero()),
+                     V::select(pos, x.d1, V::zero())};
+    const DV<V> az{V::select(pos, -z.v, z.v), V::select(pos, -z.d0, z.d0),
+                   V::select(pos, -z.d1, z.d1)};
+    return xpos + k * log1p_dv(exp_dv(az));
+  }
+}
+
+// BSIM-style smooth min(vds, vdsat); mirrors model.cpp smooth_min_vds.
+template <class V>
+inline DV<V> smooth_min_dv(const DV<V>& vds, const DV<V>& vdsat,
+                           double delta) {
+  const DV<V> t = vdsat - vds - dconst(V::broadcast(delta));
+  return vdsat -
+         (t + sqrt_dv(t * t + dconst(V::broadcast(4.0 * delta)) * vdsat)) *
+             dconst(V::half());
+}
+
+template <class V>
+inline void eval_block_t(const KernelBlock& in, KernelOut& out, int lane) {
+  const auto P = [&](int i) { return V::load(in.p[i], lane); };
+  const auto C = [&](int i) { return dconst(V::load(in.p[i], lane)); };
+  const auto store = [&](int i, V v) { v.store(out.o[i], lane); };
+  const DV<V> one = dconst(V::one());
+
+  const V s = P(kS);
+  const V vg = V::load(in.vg, lane);
+  const V vd = V::load(in.vd, lane);
+  const V vs = V::load(in.vs, lane);
+
+  // Mirrored coordinates with internal drain = higher-potential terminal.
+  const V vds_m = s * (vd - vs);
+  const V swapped = V::lt_zero(vds_m);
+  const V vgs_p = V::select(swapped, s * (vg - vd), s * (vg - vs));
+  const V vds_p = V::select(swapped, -vds_m, vds_m);
+
+  const DV<V> vgs{vgs_p, V::one(), V::zero()};
+  const DV<V> vds{vds_p, V::zero(), V::one()};
+
+  // ---- I-V core (model.cpp core(), bias-dependent part) ------------------
+  const DV<V> vth = C(kVthBase) - C(kEtab) * vds;
+  const DV<V> n_raw = C(kNfactor) + (C(kCdsc) + C(kCdscd) * vds) / C(kCox);
+  const DV<V> half_c = dconst(V::half());
+  const DV<V> n =
+      half_c + softplus_dv(n_raw - half_c, dconst(V::broadcast(0.05)));
+  const DV<V> nvt = n * C(kVt);
+  const DV<V> vgsteff = softplus_dv(vgs - vth, nvt);
+
+  const DV<V> eeff = (vgsteff + C(kTwoVth0)) / C(kSixTox);
+  const DV<V> t_ucs = vgsteff / C(kUcs);
+  const DV<V> coulomb = C(kUd) / (one + t_ucs * t_ucs);
+  const DV<V> mob_denom =
+      one + C(kUa) * eeff + C(kUb) * eeff * eeff + coulomb;
+  const DV<V> ueff = C(kU0t) / mob_denom;
+
+  const DV<V> esatl = C(kEsatC) / ueff;
+  const DV<V> vgst2 = vgsteff + C(kTwoVt);
+  const DV<V> vdsat = vgst2 * esatl / (vgst2 + esatl);
+  const DV<V> vdseff = smooth_min_dv(vds, vdsat, 0.01);
+
+  const DV<V> beta = ueff * C(kBetaC);
+  const DV<V> two_c = dconst(V::broadcast(2.0));
+  const DV<V> gch = beta * vgsteff * (one - vdseff / (two_c * vgst2)) /
+                    (one + vdseff / esatl);
+  const DV<V> ids_lin = gch * vdseff;
+  const DV<V> va =
+      (esatl + vdsat) / C(kPclm) * (one + C(kPvag) * vgsteff / esatl);
+  DV<V> ids = ids_lin * (one + (vds - vdseff) / va);
+  ids = ids / (one + C(kRds) * gch);
+
+  // ---- Charge model ------------------------------------------------------
+  const DV<V> vth_cv = vth + C(kDelvt);
+  const DV<V> ncv = n * C(kMoinScale);
+  const DV<V> ncv_vt = ncv * C(kVt);
+  const DV<V> vgsteff_cv = softplus_dv(vgs - vth_cv, ncv_vt);
+  const DV<V> vdseff_cv = smooth_min_dv(vds, vgsteff_cv, 0.02);
+
+  const DV<V> a = vgsteff_cv;
+  const DV<V> b = vgsteff_cv - vdseff_cv;
+  const DV<V> eps_c = dconst(V::broadcast(1e-12));
+  const DV<V> ab = a + b + eps_c;
+  const DV<V> four_c = dconst(V::broadcast(4.0));
+  const DV<V> six_c = dconst(V::broadcast(6.0));
+  const DV<V> three_c = dconst(V::broadcast(3.0));
+  const DV<V> qc = C(kNegClw23) * (a * a + a * b + b * b) / ab;
+  const DV<V> qd_i = C(kNegClw215) *
+                     (two_c * a * a * a + four_c * a * a * b +
+                      six_c * a * b * b + three_c * b * b * b) /
+                     (ab * ab);
+  const DV<V> qs_i = qc - qd_i;
+  const DV<V> qg_i = -qc;
+
+  DV<V> qg_b = dconst(V::zero());
+  DV<V> qd_b = dconst(V::zero());
+  DV<V> qs_b = dconst(V::zero());
+  if (V::any_nonzero(P(kNegClwb23))) {
+    const DV<V> ab2 = softplus_dv(vgs - vth_cv - C(kDvtb), ncv_vt);
+    const DV<V> vdseff_b = smooth_min_dv(vds, ab2, 0.02);
+    const DV<V> bb = ab2 - vdseff_b;
+    const DV<V> abb = ab2 + bb + eps_c;
+    const DV<V> qc_b =
+        C(kNegClwb23) * (ab2 * ab2 + ab2 * bb + bb * bb) / abb;
+    qd_b = C(kNegClwb215) *
+           (two_c * ab2 * ab2 * ab2 + four_c * ab2 * ab2 * bb +
+            six_c * ab2 * bb * bb + three_c * bb * bb * bb) /
+           (abb * abb);
+    qs_b = qc_b - qd_b;
+    qg_b = -qc_b;
+  }
+  const DV<V> qg_m = qg_i + qg_b;
+  const DV<V> qd_m = qd_i + qd_b;
+  const DV<V> qs_m = qs_i + qs_b;
+
+  // ---- Map current to external terminals (model.cpp eval()) -------------
+  const V ids_s = s * ids.v;
+  store(kIds, V::select(swapped, -ids_s, ids_s));
+  store(kDidsG, V::select(swapped, -ids.d0, ids.d0));
+  store(kDidsD, V::select(swapped, ids.d0 + ids.d1, ids.d1));
+  store(kDidsS, V::select(swapped, -ids.d1, -(ids.d0 + ids.d1)));
+
+  // ---- Map charges: qg keeps its terminal, qd/qs swap with the bias -----
+  // Intrinsic-charge rows before the overlap contributions are added.
+  V qg_v = s * qg_m.v;
+  V dqg_g = qg_m.d0;
+  V dqg_d = V::select(swapped, -(qg_m.d0 + qg_m.d1), qg_m.d1);
+  V dqg_s = V::select(swapped, qg_m.d1, -(qg_m.d0 + qg_m.d1));
+
+  V qd_v = V::select(swapped, s * qs_m.v, s * qd_m.v);
+  V dqd_g = V::select(swapped, qs_m.d0, qd_m.d0);
+  V dqd_d = V::select(swapped, -(qs_m.d0 + qs_m.d1), qd_m.d1);
+  V dqd_s = V::select(swapped, qs_m.d1, -(qd_m.d0 + qd_m.d1));
+
+  V qs_v = V::select(swapped, s * qd_m.v, s * qs_m.v);
+  V dqs_g = V::select(swapped, qd_m.d0, qs_m.d0);
+  V dqs_d = V::select(swapped, -(qd_m.d0 + qd_m.d1), qs_m.d1);
+  V dqs_s = V::select(swapped, qd_m.d1, -(qs_m.d0 + qs_m.d1));
+
+  // ---- Overlap/fringe charges on the physical terminals ------------------
+  // Fresh dual basis u0 = s*(vg-vs), u1 = s*(vd-vs); never swapped.
+  {
+    const DV<V> u0{s * (vg - vs), V::one(), V::zero()};
+    const DV<V> u1{s * (vd - vs), V::zero(), V::one()};
+    const DV<V> vgd_m = u0 - u1;
+    const DV<V> kappa = C(kKappa);
+    const DV<V> qov_s =
+        C(kW) * (C(kCgsoCf) * u0 + C(kCgsl) * softplus_dv(u0, kappa));
+    const DV<V> qov_d =
+        C(kW) * (C(kCgdoCf) * vgd_m + C(kCgdl) * softplus_dv(vgd_m, kappa));
+    const DV<V> qov_g = qov_s + qov_d;
+
+    // add_physical with sign +1 to the gate, -1 to drain and source.
+    qg_v = qg_v + s * qov_g.v;
+    dqg_g = dqg_g + qov_g.d0;
+    dqg_d = dqg_d + qov_g.d1;
+    dqg_s = dqg_s + (-(qov_g.d0 + qov_g.d1));
+
+    const V neg_s = -s;
+    qd_v = qd_v + neg_s * qov_d.v;
+    dqd_g = dqd_g - qov_d.d0;
+    dqd_d = dqd_d - qov_d.d1;
+    dqd_s = dqd_s - (-(qov_d.d0 + qov_d.d1));
+
+    qs_v = qs_v + neg_s * qov_s.v;
+    dqs_g = dqs_g - qov_s.d0;
+    dqs_d = dqs_d - qov_s.d1;
+    dqs_s = dqs_s - (-(qov_s.d0 + qov_s.d1));
+  }
+
+  store(kQg, qg_v);
+  store(kQd, qd_v);
+  store(kQs, qs_v);
+  store(kDqgG, dqg_g);
+  store(kDqgD, dqg_d);
+  store(kDqgS, dqg_s);
+  store(kDqdG, dqd_g);
+  store(kDqdD, dqd_d);
+  store(kDqdS, dqd_s);
+  store(kDqsG, dqs_g);
+  store(kDqsD, dqs_d);
+  store(kDqsS, dqs_s);
+}
+
+}  // namespace mivtx::bsimsoi::kernel

@@ -1,0 +1,66 @@
+// Portable scalar-lane build of the batched BSIMSOI kernel: one double per
+// lane, libm transcendentals, and the same softplus branches as
+// model.cpp — bit-faithful to bsimsoi::eval up to FP-contraction choices
+// the compiler makes identically for both.  This is the fallback for CPUs
+// without AVX2 and the forced path under MIVTX_SIMD=OFF builds, so it is
+// the build the sanitizer CI exercises.
+#include <cmath>
+
+#include "bsimsoi/batch_kernel_impl.h"
+
+namespace mivtx::bsimsoi::kernel {
+
+namespace {
+
+struct VScalar {
+  double x;
+  static constexpr bool kScalarSemantics = true;
+
+  double lane() const { return x; }
+  static VScalar load(const double (&p)[kLaneWidth], int lane) {
+    return {p[lane]};
+  }
+  void store(double (&p)[kLaneWidth], int lane) const { p[lane] = x; }
+  static VScalar broadcast(double v) { return {v}; }
+  static VScalar zero() { return {0.0}; }
+  static VScalar one() { return {1.0}; }
+  static VScalar half() { return {0.5}; }
+
+  friend VScalar operator+(VScalar a, VScalar b) { return {a.x + b.x}; }
+  friend VScalar operator-(VScalar a, VScalar b) { return {a.x - b.x}; }
+  friend VScalar operator*(VScalar a, VScalar b) { return {a.x * b.x}; }
+  friend VScalar operator/(VScalar a, VScalar b) { return {a.x / b.x}; }
+  friend VScalar operator-(VScalar a) { return {-a.x}; }
+
+  static VScalar sqrt(VScalar a) { return {std::sqrt(a.x)}; }
+  static VScalar exp(VScalar a) { return {std::exp(a.x)}; }
+  static VScalar log1p(VScalar a) { return {std::log1p(a.x)}; }
+
+  // Masks are lanes too: nonzero means true.
+  static VScalar gt_zero(VScalar a) { return {a.x > 0.0 ? 1.0 : 0.0}; }
+  static VScalar lt_zero(VScalar a) { return {a.x < 0.0 ? 1.0 : 0.0}; }
+  static VScalar select(VScalar m, VScalar a, VScalar b) {
+    return {m.x != 0.0 ? a.x : b.x};
+  }
+  static bool any_nonzero(VScalar a) { return a.x != 0.0; }
+};
+
+}  // namespace
+
+void eval_block_portable(const KernelBlock& in, KernelOut& out) {
+  for (int lane = 0; lane < kLaneWidth; ++lane) {
+    eval_block_t<VScalar>(in, out, lane);
+  }
+}
+
+#if !defined(MIVTX_SIMD_AVX2)
+// Link-safety stub for MIVTX_SIMD=OFF builds; DeviceBatch never selects
+// the AVX2 kernel when it is not compiled in.
+void eval_block_avx2(const KernelBlock& in, KernelOut& out) {
+  (void)in;
+  (void)out;
+  __builtin_trap();
+}
+#endif
+
+}  // namespace mivtx::bsimsoi::kernel

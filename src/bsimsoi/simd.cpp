@@ -1,0 +1,80 @@
+#include "bsimsoi/simd.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/log.h"
+
+namespace mivtx::bsimsoi {
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalarLane: return "portable";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+bool avx2_kernel_compiled() {
+#if defined(MIVTX_SIMD_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+struct SimdChoice {
+  SimdLevel level = SimdLevel::kScalarLane;
+  bool env_disabled = false;
+};
+
+SimdChoice resolve() {
+  SimdChoice c;
+  c.level = (avx2_kernel_compiled() && cpu_has_avx2()) ? SimdLevel::kAvx2
+                                                       : SimdLevel::kScalarLane;
+  if (const char* env = std::getenv("MIVTX_SIMD")) {
+    const std::string v(env);
+    if (v == "off" || v == "OFF" || v == "0" || v == "scalar") {
+      c.env_disabled = true;
+      c.level = SimdLevel::kScalarLane;
+    } else if (v == "portable") {
+      c.level = SimdLevel::kScalarLane;
+    } else if (v == "avx2") {
+      if (avx2_kernel_compiled() && cpu_has_avx2()) {
+        c.level = SimdLevel::kAvx2;
+      } else {
+        MIVTX_WARN << "MIVTX_SIMD=avx2 requested but the AVX2 kernel is "
+                   << (avx2_kernel_compiled() ? "unsupported by this CPU"
+                                              : "not compiled in")
+                   << "; using the portable kernel";
+      }
+    } else if (!v.empty() && v != "auto") {
+      MIVTX_WARN << "unknown MIVTX_SIMD value '" << v << "' (expected "
+                 << "off|scalar|portable|avx2|auto); using auto";
+    }
+  }
+  return c;
+}
+
+const SimdChoice& choice() {
+  static const SimdChoice c = resolve();
+  return c;
+}
+
+}  // namespace
+
+SimdLevel best_simd_level() { return choice().level; }
+
+bool simd_env_disabled() { return choice().env_disabled; }
+
+}  // namespace mivtx::bsimsoi

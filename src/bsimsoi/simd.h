@@ -1,0 +1,44 @@
+// Runtime SIMD capability selection for the batched BSIMSOI kernel.
+//
+// Two kernel builds exist: a portable scalar-lane build (always compiled,
+// plain double math, bit-faithful to bsimsoi::eval) and an AVX2+FMA build
+// (compiled only when the MIVTX_SIMD CMake option is ON, in its own
+// translation unit with -mavx2 -mfma so the rest of the library keeps the
+// baseline ISA).  The level actually used is decided once per process:
+// the highest compiled-in level the CPU supports, overridable with the
+// MIVTX_SIMD environment variable ("off"/"scalar" forces the per-device
+// scalar model path, "portable" the scalar-lane kernel, "avx2" the vector
+// kernel).  Dispatch is deterministic on a given machine + environment,
+// which keeps the PPA bit-identity contracts (DESIGN.md §5.10) intact.
+#pragma once
+
+namespace mivtx::bsimsoi {
+
+// Number of device instances evaluated per kernel block.  Both kernel
+// builds consume blocks of this width; the portable build walks the lanes
+// with scalar math.
+inline constexpr int kLaneWidth = 4;
+
+enum class SimdLevel {
+  kScalarLane,  // portable kernel: one scalar lane at a time
+  kAvx2,        // 4 x double AVX2+FMA lanes
+};
+
+const char* simd_level_name(SimdLevel level);
+
+// True when the AVX2 kernel translation unit was compiled in
+// (-DMIVTX_SIMD=ON) — independent of what the CPU supports.
+bool avx2_kernel_compiled();
+
+// True when the running CPU reports AVX2 + FMA.
+bool cpu_has_avx2();
+
+// Highest usable level: compiled in, supported by the CPU, and not
+// capped by $MIVTX_SIMD.  Computed once and cached.
+SimdLevel best_simd_level();
+
+// $MIVTX_SIMD == "off" or "scalar": the caller should not batch at all
+// and fall back to the per-device scalar model.  Cached with the level.
+bool simd_env_disabled();
+
+}  // namespace mivtx::bsimsoi

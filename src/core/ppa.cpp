@@ -1,6 +1,7 @@
 #include "core/ppa.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -68,21 +69,14 @@ std::optional<std::vector<bool>> PpaEngine::sensitize(cells::CellType type,
   return std::nullopt;
 }
 
-PpaEngine::PinOutcome PpaEngine::measure_pin(
-    cells::CellType type, cells::Implementation impl,
-    const cells::ModelSet& models, std::size_t pin,
-    const std::vector<bool>& side) const {
-  PinOutcome out;
-  const auto input_names = cells::cell_input_names(type);
-  trace::Span span("ppa.pin", "ppa", input_names[pin].c_str());
-  const double vdd = opts_.vdd;
-  const double t_stop =
-      opts_.t_delay + opts_.t_width + opts_.t_delay + opts_.t_width;
+double pin_probe_t_stop(const PpaOptions& opts) {
+  return opts.t_delay + opts.t_width + opts.t_delay + opts.t_width;
+}
 
-  cells::CellNetlist cell =
-      cells::build_cell(type, impl, models, opts_.parasitics, vdd);
-  out.mivs = cell.mivs;
-
+void apply_pin_stimulus(cells::CellNetlist& cell,
+                        const std::vector<std::string>& input_names,
+                        std::size_t pin, const std::vector<bool>& side,
+                        const PpaOptions& opts) {
   // Side inputs at their sensitizing DC levels; the probed pin pulses
   // low -> high -> low.
   for (std::size_t i = 0; i < input_names.size(); ++i) {
@@ -90,19 +84,59 @@ PpaEngine::PinOutcome PpaEngine::measure_pin(
     if (i == pin) {
       spice::PulseSpec p;
       p.v1 = 0.0;
-      p.v2 = vdd;
-      p.delay = opts_.t_delay;
-      p.rise = opts_.t_edge;
-      p.fall = opts_.t_edge;
-      p.width = opts_.t_width;
+      p.v2 = opts.vdd;
+      p.delay = opts.t_delay;
+      p.rise = opts.t_edge;
+      p.fall = opts.t_edge;
+      p.width = opts.t_width;
       src.source = spice::SourceSpec::Pulse(p);
     } else {
-      src.source = spice::SourceSpec::DC(side[i] ? vdd : 0.0);
+      src.source = spice::SourceSpec::DC(side[i] ? opts.vdd : 0.0);
     }
   }
+}
+
+PinWaveMeasurement measure_pin_waveforms(const spice::TransientResult& tr,
+                                         const cells::CellNetlist& cell,
+                                         const std::string& pin_name,
+                                         const PpaOptions& opts) {
+  PinWaveMeasurement out;
+  // Circuit node names are case-normalized to lower case.
+  const auto& v_in = tr.v(to_lower(pin_name) + "_in");
+  const auto& v_out = tr.v(cell.output_node);
+  const double half = 0.5 * opts.vdd;
+
+  const auto d_rise = waveform::propagation_delay(
+      v_in, v_out, half, half, 0.0, waveform::EdgeKind::kRise,
+      waveform::EdgeKind::kAny);
+  const auto d_fall = waveform::propagation_delay(
+      v_in, v_out, half, half, opts.t_delay + opts.t_width,
+      waveform::EdgeKind::kFall, waveform::EdgeKind::kAny);
+  if (d_rise) out.arcs.push_back(ArcMeasurement{pin_name, true, *d_rise});
+  if (d_fall) out.arcs.push_back(ArcMeasurement{pin_name, false, *d_fall});
+
+  // Supply power: current delivered by the VDD source (branch current is
+  // + -> - through the source, so delivering current reads negative).
+  out.power =
+      -opts.vdd * tr.i(cell.vdd_source).average(0.0, pin_probe_t_stop(opts));
+  return out;
+}
+
+PpaEngine::PinOutcome PpaEngine::measure_pin(
+    cells::CellType type, cells::Implementation impl,
+    const cells::ModelSet& models, std::size_t pin,
+    const std::vector<bool>& side) const {
+  PinOutcome out;
+  const auto input_names = cells::cell_input_names(type);
+  trace::Span span("ppa.pin", "ppa", input_names[pin].c_str());
+
+  cells::CellNetlist cell =
+      cells::build_cell(type, impl, models, opts_.parasitics, opts_.vdd);
+  out.mivs = cell.mivs;
+  apply_pin_stimulus(cell, input_names, pin, side, opts_);
 
   spice::TransientOptions topt;
-  topt.t_stop = t_stop;
+  topt.t_stop = pin_probe_t_stop(opts_);
   topt.h_max = opts_.h_max;
   topt.newton = opts_.newton;
   runtime::Metrics::global().add("ppa.transients");
@@ -115,25 +149,10 @@ PpaEngine::PinOutcome PpaEngine::measure_pin(
   }
   out.simulated = true;
 
-  // Circuit node names are case-normalized to lower case.
-  const auto& v_in = tr.v(to_lower(input_names[pin]) + "_in");
-  const auto& v_out = tr.v(cell.output_node);
-  const double half = 0.5 * vdd;
-
-  const auto d_rise = waveform::propagation_delay(
-      v_in, v_out, half, half, 0.0, waveform::EdgeKind::kRise,
-      waveform::EdgeKind::kAny);
-  const auto d_fall = waveform::propagation_delay(
-      v_in, v_out, half, half, opts_.t_delay + opts_.t_width,
-      waveform::EdgeKind::kFall, waveform::EdgeKind::kAny);
-  if (d_rise)
-    out.arcs.push_back(ArcMeasurement{input_names[pin], true, *d_rise});
-  if (d_fall)
-    out.arcs.push_back(ArcMeasurement{input_names[pin], false, *d_fall});
-
-  // Supply power: current delivered by the VDD source (branch current is
-  // + -> - through the source, so delivering current reads negative).
-  out.power = -vdd * tr.i(cell.vdd_source).average(0.0, t_stop);
+  PinWaveMeasurement m =
+      measure_pin_waveforms(tr, cell, input_names[pin], opts_);
+  out.arcs = std::move(m.arcs);
+  out.power = m.power;
   return out;
 }
 

@@ -1,0 +1,99 @@
+#include "linalg/batch_lu.h"
+
+#include "common/error.h"
+
+namespace mivtx::linalg {
+
+namespace batchlu {
+
+bool avx2_compiled() {
+#if defined(MIVTX_SIMD_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+#if !defined(MIVTX_SIMD_AVX2)
+// Link-safety stubs for MIVTX_SIMD=OFF builds; bind() never selects the
+// AVX2 kernel when it is not compiled in.
+bool refactorize_avx2(const View&, const double*, double*, double*, double*,
+                      double*, unsigned char*) {
+  __builtin_trap();
+}
+void solve_avx2(const View&, const double*, const double*, const double*,
+                double*, double*) {
+  __builtin_trap();
+}
+#endif
+
+}  // namespace batchlu
+
+void BatchSparseLU::bind(const SparseLU& ref, std::size_t lanes,
+                         bool allow_simd) {
+  MIVTX_EXPECT(ref.analyzed() && ref.factorized(),
+               "BatchSparseLU::bind needs a factorized reference");
+  MIVTX_EXPECT(lanes >= 1, "BatchSparseLU::bind: no lanes");
+  ref_ = &ref;
+  lanes_ = lanes;
+  stride_ = (lanes + 3) & ~std::size_t{3};
+  use_avx2_ =
+      allow_simd && batchlu::avx2_compiled() && batchlu::cpu_has_avx2();
+
+  const std::size_t n = ref.size();
+  view_.n = n;
+  view_.stride = stride_;
+  view_.col_ptr = ref.col_ptr_.data();
+  view_.row_idx = ref.row_idx_.data();
+  view_.csc_src = ref.csc_src_.data();
+  view_.colperm = ref.colperm_.data();
+  view_.lp = ref.lp_.data();
+  view_.li = ref.li_.data();
+  view_.up = ref.up_.data();
+  view_.ui = ref.ui_.data();
+  view_.pat_ptr = ref.pat_ptr_.data();
+  view_.pat_row = ref.pat_row_.data();
+  view_.pinv = ref.pinv_.data();
+  view_.piv_row = ref.piv_row_.data();
+  view_.pivot_tol = ref.refactor_pivot_tol;
+
+  lx_.assign(ref.lx_.size() * stride_, 0.0);
+  ux_.assign(ref.ux_.size() * stride_, 0.0);
+  udiag_.assign(n * stride_, 0.0);
+  work_.assign((n + 1) * stride_, 0.0);
+  xperm_.assign(n * stride_, 0.0);
+}
+
+bool BatchSparseLU::refactorize(const double* values_soa,
+                                unsigned char* lane_ok) {
+  MIVTX_EXPECT(bound(), "BatchSparseLU::refactorize before bind");
+  for (std::size_t j = 0; j < stride_; ++j) lane_ok[j] = 1;
+  if (use_avx2_) {
+    return batchlu::refactorize_avx2(view_, values_soa, lx_.data(), ux_.data(),
+                                     udiag_.data(), work_.data(), lane_ok);
+  }
+  return batchlu::refactorize_portable(view_, values_soa, lx_.data(),
+                                       ux_.data(), udiag_.data(), work_.data(),
+                                       lane_ok);
+}
+
+void BatchSparseLU::solve(double* b_soa) {
+  MIVTX_EXPECT(bound(), "BatchSparseLU::solve before bind");
+  if (use_avx2_) {
+    batchlu::solve_avx2(view_, lx_.data(), ux_.data(), udiag_.data(), b_soa,
+                        xperm_.data());
+    return;
+  }
+  batchlu::solve_portable(view_, lx_.data(), ux_.data(), udiag_.data(), b_soa,
+                          xperm_.data());
+}
+
+}  // namespace mivtx::linalg

@@ -1,0 +1,112 @@
+// Lane-packed numeric sparse LU: the cross-corner twin of SparseLU.
+//
+// A lockstep multi-corner Newton solve factors K matrices per iteration
+// that share one sparsity pattern and differ only by small parameter
+// perturbations (bsimsoi corner/Monte-Carlo lanes).  Re-running the
+// scalar refactorize()/solve() per lane walks the same index schedule K
+// times; BatchSparseLU walks it once and carries the K value lanes
+// through every update as a SIMD block (SoA, lane-minor: entry e of lane
+// j lives at soa[e * stride() + j]).
+//
+// The pivot order, fill pattern and replay schedule are ADOPTED from a
+// factorized reference SparseLU (typically lane 0) — Gilbert-Peierls
+// reach is purely structural for a fixed pivot sequence, so the replay is
+// exact for every lane.  Numerical safety is the same contract scalar
+// refactorize() gives time-varying values: each lane's pivots are checked
+// against refactor_pivot_tol, and a degraded lane is flagged in
+// `lane_ok` so the caller can re-pivot that lane through its own scalar
+// SparseLU while the healthy lanes keep the shared schedule.
+//
+// Two kernel builds mirror the bsimsoi batch kernel: a portable
+// scalar-lane build (always compiled) and an AVX2+FMA build (own TU,
+// compiled only with MIVTX_SIMD=ON) selected at bind() time via CPUID.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/sparse_lu.h"
+
+namespace mivtx::linalg {
+
+namespace batchlu {
+
+// Borrowed pointers into the reference SparseLU's schedule plus the lane
+// geometry — everything the kernel TUs need without befriending SparseLU.
+struct View {
+  std::size_t n = 0;
+  std::size_t stride = 0;  // lanes rounded up to the 4-lane block
+  const std::size_t* col_ptr = nullptr;
+  const std::size_t* row_idx = nullptr;
+  const std::size_t* csc_src = nullptr;
+  const std::size_t* colperm = nullptr;
+  const std::size_t* lp = nullptr;
+  const std::size_t* li = nullptr;
+  const std::size_t* up = nullptr;
+  const std::size_t* ui = nullptr;
+  const std::size_t* pat_ptr = nullptr;
+  const std::size_t* pat_row = nullptr;
+  const std::size_t* pinv = nullptr;
+  const std::size_t* piv_row = nullptr;
+  double pivot_tol = 1e-3;
+};
+
+// `work` is (n + 1) * stride doubles (the extra row holds the per-lane
+// column max of the pivot-acceptance check).  Returns true when every
+// lane's pivots held; failed lanes have lane_ok[j] cleared (their factor
+// lanes are garbage) and the healthy lanes stay fully usable.
+bool refactorize_portable(const View& v, const double* values_soa, double* lx,
+                          double* ux, double* udiag, double* work,
+                          unsigned char* lane_ok);
+void solve_portable(const View& v, const double* lx, const double* ux,
+                    const double* udiag, double* b_soa, double* xperm);
+bool refactorize_avx2(const View& v, const double* values_soa, double* lx,
+                      double* ux, double* udiag, double* work,
+                      unsigned char* lane_ok);
+void solve_avx2(const View& v, const double* lx, const double* ux,
+                const double* udiag, double* b_soa, double* xperm);
+// True when the AVX2 TU was compiled in (MIVTX_SIMD=ON).
+bool avx2_compiled();
+// True when the running CPU reports AVX2 + FMA.
+bool cpu_has_avx2();
+
+}  // namespace batchlu
+
+class BatchSparseLU {
+ public:
+  // Adopt the schedule of `ref` (analyzed + factorized; must outlive this
+  // object and not be re-factorized between bind() and the last
+  // refactorize/solve — re-bind after every ref.factorize()).
+  // `allow_simd` gates the AVX2 kernel; the CPU capability is still
+  // checked at runtime.
+  void bind(const SparseLU& ref, std::size_t lanes, bool allow_simd);
+  bool bound() const { return ref_ != nullptr; }
+  std::size_t lanes() const { return lanes_; }
+  // Lane stride of every SoA array (lanes rounded up to the 4-lane
+  // block).  Pad lanes (index >= lanes()) must be filled with a copy of a
+  // real lane so the kernel never touches non-finite garbage.
+  std::size_t stride() const { return stride_; }
+  bool simd_active() const { return use_avx2_; }
+
+  // Numeric refactorization of all lanes at once; values_soa is
+  // ref.factor-pattern CSR values, nnz x stride() lane-minor.  lane_ok
+  // must hold stride() entries; entry j is set to 0 when lane j's pivot
+  // degraded past ref.refactor_pivot_tol (that lane's factors are
+  // unusable until the next refactorize; other lanes are unaffected).
+  // Returns true when every lane (including pads) passed.
+  bool refactorize(const double* values_soa, unsigned char* lane_ok);
+
+  // In-place solve of all lanes: b_soa is n x stride() lane-minor, and
+  // receives x.  Lanes flagged by the last refactorize produce garbage.
+  void solve(double* b_soa);
+
+ private:
+  const SparseLU* ref_ = nullptr;
+  std::size_t lanes_ = 0;
+  std::size_t stride_ = 0;
+  bool use_avx2_ = false;
+  batchlu::View view_;
+  std::vector<double> lx_, ux_, udiag_, work_, xperm_;
+};
+
+}  // namespace mivtx::linalg

@@ -1,0 +1,58 @@
+// AVX2+FMA build of the lane-packed sparse-LU kernel: each 4-lane block
+// of the SoA factor arrays is one __m256d.  Compiled with -mavx2 -mfma
+// (set per-source in CMake) and only when the MIVTX_SIMD option is ON;
+// batch_lu_portable.cpp carries the link-safety stubs otherwise.
+#if defined(MIVTX_SIMD_AVX2)
+
+#include <cmath>
+#include <immintrin.h>
+
+#include "linalg/batch_lu_kernel_impl.h"
+
+namespace mivtx::linalg::batchlu {
+
+namespace {
+
+struct LanesAvx2 {
+  static void store_zero(double* dst) {
+    _mm256_storeu_pd(dst, _mm256_setzero_pd());
+  }
+  static void copy(double* dst, const double* src) {
+    _mm256_storeu_pd(dst, _mm256_loadu_pd(src));
+  }
+  static void fnma(double* w, const double* a, const double* x) {
+    _mm256_storeu_pd(w, _mm256_fnmadd_pd(_mm256_loadu_pd(a),
+                                         _mm256_loadu_pd(x),
+                                         _mm256_loadu_pd(w)));
+  }
+  static void div(double* dst, const double* num, const double* den) {
+    _mm256_storeu_pd(dst,
+                     _mm256_div_pd(_mm256_loadu_pd(num), _mm256_loadu_pd(den)));
+  }
+  static void max_abs(double* acc, const double* w) {
+    const __m256d mask = _mm256_set1_pd(-0.0);
+    const __m256d a = _mm256_andnot_pd(mask, _mm256_loadu_pd(w));
+    _mm256_storeu_pd(acc, _mm256_max_pd(_mm256_loadu_pd(acc), a));
+  }
+  static bool pivot_ok(double pivot, double colmax, double tol) {
+    const double a = std::fabs(pivot);
+    return std::isfinite(pivot) && a > 0.0 && a >= tol * colmax;
+  }
+};
+
+}  // namespace
+
+bool refactorize_avx2(const View& v, const double* values_soa, double* lx,
+                      double* ux, double* udiag, double* work,
+                      unsigned char* lane_ok) {
+  return refactorize_t<LanesAvx2>(v, values_soa, lx, ux, udiag, work, lane_ok);
+}
+
+void solve_avx2(const View& v, const double* lx, const double* ux,
+                const double* udiag, double* b_soa, double* xperm) {
+  solve_t<LanesAvx2>(v, lx, ux, udiag, b_soa, xperm);
+}
+
+}  // namespace mivtx::linalg::batchlu
+
+#endif  // MIVTX_SIMD_AVX2

@@ -1,0 +1,129 @@
+// Shared body of the lane-packed sparse-LU kernel, included by exactly
+// two translation units: batch_lu_portable.cpp (scalar lanes) and
+// batch_lu_avx2.cpp (4 x double AVX2+FMA lanes).
+//
+// The algorithm is scalar SparseLU::refactorize()/solve() with the lane
+// dimension innermost: every index-schedule step applies to a 4-lane
+// block at a time, and the stride is always a multiple of 4 (pad lanes
+// replicate a real lane), so there are no scalar tails.  A lane whose
+// pivot degrades is flagged and keeps flowing through the arithmetic —
+// its inf/nan stay confined to that lane's slots.
+//
+// The lane type V supplies load/store, fused w -= a*x, division, |max|
+// accumulation and a finite/dominance test; everything else is generic.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/batch_lu.h"
+
+namespace mivtx::linalg::batchlu {
+
+template <class V>
+bool refactorize_t(const View& s, const double* values_soa, double* lx,
+                   double* ux, double* udiag, double* work,
+                   unsigned char* lane_ok) {
+  const std::size_t K = s.stride;
+  double* colmax = work + s.n * K;  // scratch row appended by the caller
+  bool all_ok = true;
+
+  for (std::size_t k = 0; k < s.n; ++k) {
+    const std::size_t col = s.colperm[k];
+    const std::size_t p0 = s.pat_ptr[k], p1 = s.pat_ptr[k + 1];
+    for (std::size_t p = p0; p < p1; ++p) {
+      double* w = work + s.pat_row[p] * K;
+      for (std::size_t b = 0; b < K; b += 4) V::store_zero(w + b);
+    }
+    for (std::size_t p = s.col_ptr[col]; p < s.col_ptr[col + 1]; ++p) {
+      double* w = work + s.row_idx[p] * K;
+      const double* src = values_soa + s.csc_src[p] * K;
+      for (std::size_t b = 0; b < K; b += 4) V::copy(w + b, src + b);
+    }
+    // Replay the recorded topological update schedule (U part).
+    std::size_t uc = s.up[k];
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t i = s.pat_row[p];
+      const std::size_t j = s.pinv[i];
+      if (j >= k) continue;
+      const double* xj = work + i * K;
+      double* uxp = ux + uc * K;
+      ++uc;
+      for (std::size_t b = 0; b < K; b += 4) V::copy(uxp + b, xj + b);
+      for (std::size_t q = s.lp[j]; q < s.lp[j + 1]; ++q) {
+        double* w = work + s.li[q] * K;
+        const double* l = lx + q * K;
+        for (std::size_t b = 0; b < K; b += 4)
+          V::fnma(w + b, l + b, xj + b);  // w -= l * xj
+      }
+    }
+    // Per-lane pivot acceptance against the lane's own column max.
+    const double* piv = work + s.piv_row[k] * K;
+    for (std::size_t b = 0; b < K; b += 4) V::store_zero(colmax + b);
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t i = s.pat_row[p];
+      if (s.pinv[i] < k) continue;
+      const double* w = work + i * K;
+      for (std::size_t b = 0; b < K; b += 4) V::max_abs(colmax + b, w + b);
+    }
+    for (std::size_t j = 0; j < K; ++j) {
+      if (!V::pivot_ok(piv[j], colmax[j], s.pivot_tol)) {
+        lane_ok[j] = 0;
+        all_ok = false;
+      }
+    }
+    double* ud = udiag + k * K;
+    std::size_t lc = s.lp[k];
+    for (std::size_t b = 0; b < K; b += 4) V::copy(ud + b, piv + b);
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t i = s.pat_row[p];
+      if (s.pinv[i] <= k) continue;
+      double* lxp = lx + lc * K;
+      ++lc;
+      const double* w = work + i * K;
+      for (std::size_t b = 0; b < K; b += 4)
+        V::div(lxp + b, w + b, piv + b);
+    }
+  }
+  return all_ok;
+}
+
+template <class V>
+void solve_t(const View& s, const double* lx, const double* ux,
+             const double* udiag, double* b_soa, double* xperm) {
+  const std::size_t K = s.stride;
+  const std::size_t n = s.n;
+  // Row permutation: P b.
+  for (std::size_t k = 0; k < n; ++k) {
+    const double* src = b_soa + s.piv_row[k] * K;
+    double* dst = xperm + k * K;
+    for (std::size_t b = 0; b < K; b += 4) V::copy(dst + b, src + b);
+  }
+  // Forward substitution, unit-diagonal L (rows stored as original ids).
+  for (std::size_t k = 0; k < n; ++k) {
+    const double* xk = xperm + k * K;
+    for (std::size_t q = s.lp[k]; q < s.lp[k + 1]; ++q) {
+      double* t = xperm + s.pinv[s.li[q]] * K;
+      const double* l = lx + q * K;
+      for (std::size_t b = 0; b < K; b += 4) V::fnma(t + b, l + b, xk + b);
+    }
+  }
+  // Back substitution on column-stored U.
+  for (std::size_t kk = n; kk-- > 0;) {
+    double* xk = xperm + kk * K;
+    const double* ud = udiag + kk * K;
+    for (std::size_t b = 0; b < K; b += 4) V::div(xk + b, xk + b, ud + b);
+    for (std::size_t q = s.up[kk]; q < s.up[kk + 1]; ++q) {
+      double* t = xperm + s.ui[q] * K;
+      const double* u = ux + q * K;
+      for (std::size_t b = 0; b < K; b += 4) V::fnma(t + b, u + b, xk + b);
+    }
+  }
+  // Column permutation: x = Q y.
+  for (std::size_t k = 0; k < n; ++k) {
+    const double* src = xperm + k * K;
+    double* dst = b_soa + s.colperm[k] * K;
+    for (std::size_t b = 0; b < K; b += 4) V::copy(dst + b, src + b);
+  }
+}
+
+}  // namespace mivtx::linalg::batchlu

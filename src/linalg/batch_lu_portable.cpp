@@ -1,0 +1,51 @@
+// Portable build of the lane-packed sparse-LU kernel: plain double loops
+// over each 4-lane block.  Always compiled; the baseline every platform
+// gets and the reference the AVX2 build is tested against.
+#include <cmath>
+
+#include "linalg/batch_lu_kernel_impl.h"
+
+namespace mivtx::linalg::batchlu {
+
+namespace {
+
+struct LanesPortable {
+  static void store_zero(double* dst) {
+    for (int j = 0; j < 4; ++j) dst[j] = 0.0;
+  }
+  static void copy(double* dst, const double* src) {
+    for (int j = 0; j < 4; ++j) dst[j] = src[j];
+  }
+  static void fnma(double* w, const double* a, const double* x) {
+    for (int j = 0; j < 4; ++j) w[j] -= a[j] * x[j];
+  }
+  static void div(double* dst, const double* num, const double* den) {
+    for (int j = 0; j < 4; ++j) dst[j] = num[j] / den[j];
+  }
+  static void max_abs(double* acc, const double* w) {
+    for (int j = 0; j < 4; ++j) {
+      const double v = std::fabs(w[j]);
+      if (v > acc[j]) acc[j] = v;
+    }
+  }
+  static bool pivot_ok(double pivot, double colmax, double tol) {
+    const double a = std::fabs(pivot);
+    return std::isfinite(pivot) && a > 0.0 && a >= tol * colmax;
+  }
+};
+
+}  // namespace
+
+bool refactorize_portable(const View& v, const double* values_soa, double* lx,
+                          double* ux, double* udiag, double* work,
+                          unsigned char* lane_ok) {
+  return refactorize_t<LanesPortable>(v, values_soa, lx, ux, udiag, work,
+                                      lane_ok);
+}
+
+void solve_portable(const View& v, const double* lx, const double* ux,
+                    const double* udiag, double* b_soa, double* xperm) {
+  solve_t<LanesPortable>(v, lx, ux, udiag, b_soa, xperm);
+}
+
+}  // namespace mivtx::linalg::batchlu

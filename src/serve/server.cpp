@@ -158,8 +158,11 @@ bool Server::handle_line(const std::shared_ptr<Connection>& conn,
       conn->send_line(resp.to_json_line());
       return true;
     case RequestKind::kShutdown:
-      conn->send_line(resp.to_json_line());
+      // Drain state must be set before the acknowledgment goes out: a
+      // client that has read the stop response may immediately probe
+      // draining() or send a request that must see the typed rejection.
       begin_shutdown();
+      conn->send_line(resp.to_json_line());
       return true;
     default:
       break;

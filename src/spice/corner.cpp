@@ -1,0 +1,1145 @@
+#include "spice/corner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "bsimsoi/batch.h"
+#include "bsimsoi/simd.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "common/strings.h"
+#include "linalg/batch_lu.h"
+#include "linalg/sparse_lu.h"
+#include "linalg/vector_ops.h"
+#include "lint/presolve.h"
+#include "runtime/metrics.h"
+#include "spice/assembly_plan.h"
+#include "trace/trace.h"
+
+namespace mivtx::spice {
+
+namespace {
+
+// Lane packing shares one AssemblyPlan across the corner circuits, so the
+// stamp programs must be identical: same element sequence, same node
+// wiring.  Values, model cards and source specs may differ freely.
+bool same_topology(const Circuit& a, const Circuit& b) {
+  if (a.system_size() != b.system_size() || a.num_nodes() != b.num_nodes())
+    return false;
+  const std::vector<Element>& ea = a.elements();
+  const std::vector<Element>& eb = b.elements();
+  if (ea.size() != eb.size()) return false;
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    if (ea[i].kind != eb[i].kind) return false;
+    for (int t = 0; t < 4; ++t)
+      if (ea[i].nodes[t] != eb[i].nodes[t]) return false;
+  }
+  return true;
+}
+
+struct RecordSlot {
+  std::size_t unknown;
+  waveform::Waveform* wave;
+};
+
+// Everything one corner lane owns: its solution/history vectors, CSR
+// values, numeric LU, and device-bypass cache (staging into the shared
+// DeviceBatch at stride K / offset lane) — the per-lane half of what
+// SolverWorkspace owns for a standalone run.  The plan, the batch and the
+// time-step controller are shared by the engine.
+struct Lane {
+  const Circuit* circuit = nullptr;
+  MosfetCache cache;
+  linalg::SparseLU lu;
+  std::vector<double> values;
+  linalg::Vector f, dx;
+  linalg::Vector x, x_prev, x_pred, x_new, x_half, x_two;
+  DynamicState state, state_prev, new_state, state_half;
+  std::vector<RecordSlot> rec;
+
+  // Jacobian identity tracking, mirroring SolverWorkspace: the generation
+  // bumps whenever an assembly produced different values than the ones
+  // last factored, so unchanged iterates reuse the numeric factors.
+  std::uint64_t jac_generation = 0;
+  std::uint64_t factored_generation = 0;
+  std::uint64_t batch_factored_generation = 0;
+  bool numeric_ok = false;
+  bool have_coeffs = false;
+  double last_gmin = 0.0, last_h = 0.0, last_step_ratio = 0.0;
+  Integrator last_integrator = Integrator::kNone;
+};
+
+// One lane's role in a lockstep Newton solve: which iterate it corrects,
+// which dynamic history it integrates against, and where the converged
+// state lands.
+struct Target {
+  Lane* lane = nullptr;
+  linalg::Vector* x = nullptr;
+  const DynamicState* prev = nullptr;
+  const DynamicState* prev2 = nullptr;
+  DynamicState* final_state = nullptr;
+  bool converged = false;
+  bool batch_solved = false;
+  bool recheck = false;
+  std::size_t fresh = 0;
+  int iterations = 0;
+};
+
+class CornerEngine {
+ public:
+  CornerEngine(const std::vector<const Circuit*>& corners,
+               const TransientOptions& opts, bsimsoi::SimdLevel level,
+               CornerTransientResult& out)
+      : opts_(opts),
+        out_(out),
+        n_(corners[0]->system_size()),
+        num_v_(corners[0]->num_nodes() - 1),
+        plan_(*corners[0]) {
+    const std::size_t k = corners.size();
+    lanes_.resize(k);
+    out_.lanes.clear();
+    out_.lanes.resize(k);
+
+    // Shared batch, device-major / corner-minor: the K corner variants of
+    // MOSFET i occupy instances i*K .. i*K+K-1, so one kernel block holds
+    // adjacent corners of the same device.
+    std::vector<const bsimsoi::SoiModelCard*> cards;
+    const std::vector<Element>& e0 = corners[0]->elements();
+    for (std::size_t ei = 0; ei < e0.size(); ++ei) {
+      if (e0[ei].kind != ElementKind::kMosfet) continue;
+      for (std::size_t lane = 0; lane < k; ++lane)
+        cards.push_back(&corners[lane]->elements()[ei].model);
+    }
+    batch_.bind(cards, level);
+
+    for (std::size_t lane = 0; lane < k; ++lane) {
+      Lane& ln = lanes_[lane];
+      ln.circuit = corners[lane];
+      ln.cache.vtol = opts_.newton.bypass_vtol;
+      if (opts_.newton.bypass_vtol >= 0.0) ln.cache.bind(*ln.circuit);
+      ln.cache.batch = &batch_;
+      ln.cache.batch_stride = k;
+      ln.cache.batch_offset = lane;
+      ln.lu.analyze(plan_.size(), plan_.row_ptr(), plan_.col_idx());
+      ln.values.assign(plan_.nnz(), 0.0);
+      ln.f.assign(n_, 0.0);
+      ln.dx.assign(n_, 0.0);
+      ln.x.assign(n_, 0.0);
+      ln.x_prev.assign(n_, 0.0);
+      ln.x_pred.assign(n_, 0.0);
+      ln.x_new.assign(n_, 0.0);
+      ln.x_half.assign(n_, 0.0);
+      ln.x_two.assign(n_, 0.0);
+    }
+
+    // Lane-packed numeric LU: one reference pivot order (lane 0) replayed
+    // across every corner's values, one 4-lane SIMD block at a time.  The
+    // reference is factorized lazily on the first group solve; per-lane
+    // scalar LUs stay around as the fallback for degraded lanes.
+    stride_ = (k + 3) & ~std::size_t{3};
+    ref_lu_.analyze(plan_.size(), plan_.row_ptr(), plan_.col_idx());
+    soa_values_.assign(plan_.nnz() * stride_, 0.0);
+    soa_rhs_.assign(n_ * stride_, 0.0);
+    lane_ok_.assign(stride_, 0);
+    simd_lu_ = level == bsimsoi::SimdLevel::kAvx2;
+
+    // Lane-packed assembly: one walk of the shared stamp program computes
+    // every lane's CSR values and residuals straight into the SoA the
+    // batch LU consumes.  Element values may differ per corner, so the
+    // per-kind constants are transposed lane-minor here; pad lanes
+    // replicate lane 0 throughout.  Covers the element kinds standard
+    // cells produce — anything else keeps the per-lane scalar assembler.
+    lane_src_.resize(stride_);
+    for (std::size_t j = 0; j < stride_; ++j) lane_src_[j] = j < k ? j : 0;
+    packed_ok_ = stride_ <= kMaxStride;
+    std::size_t n_res = 0, n_cap = 0, n_vsrc = 0, n_isrc = 0;
+    for (const Element& e : corners[0]->elements()) {
+      switch (e.kind) {
+        case ElementKind::kResistor: n_res += 1; break;
+        case ElementKind::kCapacitor: n_cap += 1; break;
+        case ElementKind::kVoltageSource: n_vsrc += 1; break;
+        case ElementKind::kCurrentSource: n_isrc += 1; break;
+        case ElementKind::kMosfet: break;
+        default: packed_ok_ = false; break;
+      }
+    }
+    if (packed_ok_) {
+      charge_slots_ = count_charge_slots(*corners[0]);
+      capture_.assign(stride_, nullptr);
+      x_soa_.assign(n_ * stride_, 0.0);
+      f_soa_.assign(n_ * stride_, 0.0);
+      prevq_soa_.assign(charge_slots_ * stride_, 0.0);
+      prev2q_soa_.assign(charge_slots_ * stride_, 0.0);
+      previq_soa_.assign(charge_slots_ * stride_, 0.0);
+      r_ginv_soa_.assign(n_res * stride_, 0.0);
+      c_val_soa_.assign(n_cap * stride_, 0.0);
+      vsrc_soa_.assign(n_vsrc * stride_, 0.0);
+      isrc_soa_.assign(n_isrc * stride_, 0.0);
+      std::size_t r_i = 0, c_i = 0;
+      std::size_t ei = 0;
+      for (const Element& e : corners[0]->elements()) {
+        if (e.kind == ElementKind::kResistor) {
+          for (std::size_t j = 0; j < stride_; ++j)
+            r_ginv_soa_[r_i * stride_ + j] =
+                1.0 / corners[lane_src_[j]]->elements()[ei].value;
+          r_i += 1;
+        } else if (e.kind == ElementKind::kCapacitor) {
+          for (std::size_t j = 0; j < stride_; ++j)
+            c_val_soa_[c_i * stride_ + j] =
+                corners[lane_src_[j]]->elements()[ei].value;
+          c_i += 1;
+        }
+        ei += 1;
+      }
+    }
+  }
+
+  ~CornerEngine() { flush_metrics(); }
+
+  // False => the caller should discard out_ and re-run every lane through
+  // the scalar transient() path.
+  bool run();
+
+ private:
+  void note_eval(std::size_t blocks, std::size_t fresh) {
+    if (blocks == 0) return;
+    batch_evals_ += 1;
+    batch_blocks_ += blocks;
+    batch_lanes_ += fresh;
+  }
+
+  // Post-kernel half of one lane's assembly: stamp from the batch outputs
+  // and track whether the Jacobian values actually changed.
+  void finish_assembly(Lane& lane, const linalg::Vector& x,
+                       const AssemblyContext& ctx, std::size_t fresh,
+                       DynamicState* new_state) {
+    assemble_sparse(*lane.circuit, plan_, x, ctx, lane.values, lane.f,
+                    new_state, &lane.cache);
+    const bool coeffs_changed =
+        !lane.have_coeffs || ctx.gmin != lane.last_gmin ||
+        ctx.h != lane.last_h || ctx.step_ratio != lane.last_step_ratio ||
+        ctx.integrator != lane.last_integrator;
+    if (fresh != 0 || coeffs_changed) lane.jac_generation += 1;
+    lane.last_gmin = ctx.gmin;
+    lane.last_h = ctx.h;
+    lane.last_step_ratio = ctx.step_ratio;
+    lane.last_integrator = ctx.integrator;
+    lane.have_coeffs = true;
+  }
+
+  // SolverWorkspace's factorization ladder minus the dense fallback: a
+  // singular lane reads as Newton non-convergence and the step controller
+  // (or the engine-level scalar fallback) takes over.
+  bool factor_and_solve(Lane& lane, linalg::Vector& b) {
+    const bool reuse = opts_.newton.reuse_factorization;
+    const bool current = reuse && lane.numeric_ok && lane.lu.factorized() &&
+                         lane.factored_generation == lane.jac_generation;
+    if (!current) {
+      bool ok = false;
+      if (lane.numeric_ok && reuse) ok = lane.lu.refactorize(lane.values);
+      if (!ok) {
+        ok = lane.lu.factorize(lane.values);
+        lane.numeric_ok = ok;
+        if (!ok) return false;
+      }
+      lane.factored_generation = lane.jac_generation;
+    }
+    lane.lu.solve(b);
+    return true;
+  }
+
+  // Transpose every lane's CSR values into the lane-minor SoA the batch
+  // kernel consumes; pad lanes replicate lane 0 so no block divides by
+  // uninitialized pivots.
+  void pack_values() {
+    const std::size_t stride = batch_lu_.stride();
+    const std::size_t nnz = plan_.nnz();
+    for (std::size_t e = 0; e < nnz; ++e) {
+      double* dst = &soa_values_[e * stride];
+      for (std::size_t j = 0; j < lanes_.size(); ++j)
+        dst[j] = lanes_[j].values[e];
+      for (std::size_t j = lanes_.size(); j < stride; ++j) dst[j] = dst[0];
+    }
+  }
+
+  // Copy one lane's column of the SoA Jacobian back into its contiguous
+  // CSR array (scalar-LU fallback and reference factorization).
+  void gather_lane(std::size_t j) {
+    const std::size_t nnz = plan_.nnz();
+    std::vector<double>& dst = lanes_[j].values;
+    for (std::size_t e = 0; e < nnz; ++e)
+      dst[e] = soa_values_[e * stride_ + j];
+  }
+
+  // Once-per-group-solve inputs of the packed assembler: source values at
+  // the step time and the lane-minor transposes of the dynamic histories.
+  void packed_precompute(const std::vector<Target>& ts,
+                         const AssemblyContext& ctx) {
+    std::size_t v_i = 0, i_i = 0, ei = 0;
+    for (const Element& e : lanes_[0].circuit->elements()) {
+      if (e.kind == ElementKind::kVoltageSource) {
+        for (std::size_t j = 0; j < stride_; ++j)
+          vsrc_soa_[v_i * stride_ + j] =
+              ctx.source_scale *
+              lanes_[lane_src_[j]].circuit->elements()[ei].source.value(
+                  ctx.time);
+        v_i += 1;
+      } else if (e.kind == ElementKind::kCurrentSource) {
+        for (std::size_t j = 0; j < stride_; ++j)
+          isrc_soa_[i_i * stride_ + j] =
+              ctx.source_scale *
+              lanes_[lane_src_[j]].circuit->elements()[ei].source.value(
+                  ctx.time);
+        i_i += 1;
+      }
+      ei += 1;
+    }
+    if (ctx.integrator == Integrator::kNone) return;
+    for (std::size_t j = 0; j < stride_; ++j) {
+      const Target& t = ts[lane_src_[j]];
+      const DynamicState* prev = t.prev;
+      const DynamicState* prev2 = t.prev2 ? t.prev2 : t.prev;
+      for (std::size_t sl = 0; sl < charge_slots_; ++sl) {
+        prevq_soa_[sl * stride_ + j] = prev->q[sl];
+        previq_soa_[sl * stride_ + j] = prev->iq[sl];
+        prev2q_soa_[sl * stride_ + j] = prev2->q[sl];
+      }
+    }
+  }
+
+  // Lane-packed mirror of assemble_impl (mna.cpp) for the element kinds
+  // standard cells produce: resistors, capacitors, V/I sources and
+  // MOSFETs.  Walks the shared stamp program once, computing every lane's
+  // value per emission and writing it at the emission's CSR slot in the
+  // lane-minor SoA.  The emission sequence (cursor discipline, ground
+  // skips) must match assemble_impl exactly — the cursor check at the end
+  // guards against drift.  Residuals land in f_soa_; when capturing_ is
+  // set the lanes with a non-null capture_[j] also receive their charges
+  // and companion currents (convergence rechecks), matching what the
+  // scalar assembler writes into new_state.
+  void packed_assemble(const AssemblyContext& ctx) {
+    const std::size_t K = stride_;
+    const bool dynamic = ctx.integrator != Integrator::kNone;
+    const Circuit& c0 = *lanes_[0].circuit;
+    const std::vector<std::size_t>& slots = plan_.slots(dynamic);
+    std::size_t cursor = 0;
+    std::fill(soa_values_.begin(), soa_values_.end(), 0.0);
+    std::fill(f_soa_.begin(), f_soa_.end(), 0.0);
+
+    const IntegratorCoeffs ic = integrator_coeffs(ctx);
+    double* vals = soa_values_.data();
+    double* fs = f_soa_.data();
+    const double* xs = x_soa_.data();
+    static const double kZeros[kMaxStride] = {};
+
+    auto xrow = [&](NodeId node) -> const double* {
+      return node == kGround ? kZeros : xs + c0.node_unknown(node) * K;
+    };
+    auto add_f = [&](NodeId node, const double* cur, double sign) {
+      if (node == kGround) return;
+      double* dst = fs + c0.node_unknown(node) * K;
+      for (std::size_t j = 0; j < K; ++j) dst[j] += sign * cur[j];
+    };
+    auto add_j = [&](const double* g, double sign) {
+      double* dst = vals + slots[cursor++] * K;
+      for (std::size_t j = 0; j < K; ++j) dst[j] += sign * g[j];
+    };
+    auto stamp_conductance = [&](NodeId a, NodeId b, const double* g) {
+      double cur[kMaxStride];
+      const double* va = xrow(a);
+      const double* vb = xrow(b);
+      for (std::size_t j = 0; j < K; ++j) cur[j] = g[j] * (va[j] - vb[j]);
+      add_f(a, cur, 1.0);
+      add_f(b, cur, -1.0);
+      if (a != kGround) {
+        add_j(g, 1.0);
+        if (b != kGround) add_j(g, -1.0);
+      }
+      if (b != kGround) {
+        add_j(g, 1.0);
+        if (a != kGround) add_j(g, -1.0);
+      }
+    };
+
+    double gmin_v[kMaxStride], leak_v[kMaxStride], gs_leak[kMaxStride];
+    double ones[kMaxStride];
+    for (std::size_t j = 0; j < K; ++j) {
+      gmin_v[j] = ctx.gmin;
+      leak_v[j] = 1e-12;
+      gs_leak[j] = 1e-15;
+      ones[j] = 1.0;
+    }
+
+    std::size_t slot = 0, r_i = 0, c_i = 0, v_i = 0, i_i = 0, m_i = 0;
+    const std::size_t nl = lanes_.size();
+    for (const Element& e : c0.elements()) {
+      switch (e.kind) {
+        case ElementKind::kResistor: {
+          stamp_conductance(e.nodes[0], e.nodes[1], &r_ginv_soa_[r_i * K]);
+          r_i += 1;
+          break;
+        }
+        case ElementKind::kCapacitor: {
+          const NodeId a = e.nodes[0], b = e.nodes[1];
+          const double* cval = &c_val_soa_[c_i * K];
+          c_i += 1;
+          if (dynamic) {
+            const double* pq = &prevq_soa_[slot * K];
+            const double* p2q = &prev2q_soa_[slot * K];
+            const double* piq = &previq_soa_[slot * K];
+            const double* va = xrow(a);
+            const double* vb = xrow(b);
+            double cur[kMaxStride], g[kMaxStride];
+            for (std::size_t j = 0; j < K; ++j) {
+              const double q = cval[j] * (va[j] - vb[j]);
+              const double ihist =
+                  ic.c_prev * pq[j] + ic.c_prev2 * p2q[j] + ic.c_iq * piq[j];
+              cur[j] = ic.geq * q - ihist;
+              g[j] = ic.geq * cval[j];
+            }
+            if (capturing_) {
+              for (std::size_t j = 0; j < K; ++j) {
+                if (DynamicState* st = capture_[j]) {
+                  st->q[slot] = cval[j] * (va[j] - vb[j]);
+                  st->iq[slot] = cur[j];
+                }
+              }
+            }
+            add_f(a, cur, 1.0);
+            add_f(b, cur, -1.0);
+            if (a != kGround) {
+              add_j(g, 1.0);
+              if (b != kGround) add_j(g, -1.0);
+            }
+            if (b != kGround) {
+              add_j(g, 1.0);
+              if (a != kGround) add_j(g, -1.0);
+            }
+          }
+          stamp_conductance(a, b, leak_v);
+          slot += 1;
+          break;
+        }
+        case ElementKind::kVoltageSource: {
+          const NodeId p = e.nodes[0], m = e.nodes[1];
+          const std::size_t k = c0.branch_unknown(e);
+          const double* ibr = xs + k * K;
+          add_f(p, ibr, 1.0);
+          add_f(m, ibr, -1.0);
+          if (p != kGround) add_j(ones, 1.0);
+          if (m != kGround) add_j(ones, -1.0);
+          const double* vp = xrow(p);
+          const double* vm = xrow(m);
+          const double* vset = &vsrc_soa_[v_i * K];
+          double* fk = fs + k * K;
+          for (std::size_t j = 0; j < K; ++j)
+            fk[j] = vp[j] - vm[j] - vset[j];
+          if (p != kGround) add_j(ones, 1.0);
+          if (m != kGround) add_j(ones, -1.0);
+          v_i += 1;
+          break;
+        }
+        case ElementKind::kCurrentSource: {
+          const double* iv = &isrc_soa_[i_i * K];
+          add_f(e.nodes[0], iv, 1.0);
+          add_f(e.nodes[1], iv, -1.0);
+          i_i += 1;
+          break;
+        }
+        case ElementKind::kMosfet: {
+          const NodeId d = e.nodes[0], g = e.nodes[1], s = e.nodes[2];
+          // Gather the kernel outputs lane-minor; pads read lane 0.
+          double ids[kMaxStride], dids[3][kMaxStride];
+          double qt[3][kMaxStride], dq[3][3][kMaxStride];
+          for (std::size_t j = 0; j < K; ++j) {
+            const bsimsoi::ModelOutput& o =
+                batch_.output(m_i * nl + lane_src_[j]);
+            ids[j] = o.ids;
+            for (int t = 0; t < 3; ++t) dids[t][j] = o.dids[t];
+            qt[0][j] = o.qg;
+            qt[1][j] = o.qd;
+            qt[2][j] = o.qs;
+            for (int u = 0; u < 3; ++u) {
+              dq[0][u][j] = o.dqg[u];
+              dq[1][u][j] = o.dqd[u];
+              dq[2][u][j] = o.dqs[u];
+            }
+          }
+          m_i += 1;
+          const NodeId term[3] = {g, d, s};
+          add_f(d, ids, 1.0);
+          add_f(s, ids, -1.0);
+          for (int t = 0; t < 3; ++t) {
+            if (term[t] == kGround) continue;
+            if (d != kGround) add_j(dids[t], 1.0);
+            if (s != kGround) add_j(dids[t], -1.0);
+          }
+          stamp_conductance(d, s, gmin_v);
+          stamp_conductance(g, s, gs_leak);
+          for (int t = 0; t < 3; ++t) {
+            const std::size_t sl = slot + static_cast<std::size_t>(t);
+            if (!dynamic) continue;
+            const double* pq = &prevq_soa_[sl * K];
+            const double* p2q = &prev2q_soa_[sl * K];
+            const double* piq = &previq_soa_[sl * K];
+            double cur[kMaxStride];
+            for (std::size_t j = 0; j < K; ++j) {
+              const double ihist =
+                  ic.c_prev * pq[j] + ic.c_prev2 * p2q[j] + ic.c_iq * piq[j];
+              cur[j] = ic.geq * qt[t][j] - ihist;
+            }
+            if (capturing_) {
+              for (std::size_t j = 0; j < K; ++j) {
+                if (DynamicState* st = capture_[j]) {
+                  st->q[sl] = qt[t][j];
+                  st->iq[sl] = cur[j];
+                }
+              }
+            }
+            add_f(term[t], cur, 1.0);
+            if (term[t] == kGround) continue;
+            for (int u = 0; u < 3; ++u) {
+              if (term[u] == kGround) continue;
+              double gj[kMaxStride];
+              for (std::size_t j = 0; j < K; ++j)
+                gj[j] = ic.geq * dq[t][u][j];
+              add_j(gj, 1.0);
+            }
+          }
+          slot += 3;
+          break;
+        }
+        default:
+          MIVTX_EXPECT(false, "packed_assemble: unsupported element kind");
+      }
+    }
+    MIVTX_EXPECT(cursor == slots.size(),
+                 "packed_assemble: stamp program drifted from the plan");
+  }
+
+  // Lane-packed factor + solve across the unconverged targets: one
+  // BatchSparseLU replay covers every lane, and the per-lane pivot checks
+  // decide which lanes (if any) must run their private scalar ladder this
+  // iteration instead.  Expects lane.dx == -f on entry; overwrites dx with
+  // the Newton correction for every target it marks batch_solved.  With
+  // `packed` the SoA values were written by packed_assemble (always fresh,
+  // so the factors always replay); otherwise they are transposed here from
+  // the per-lane CSR arrays.
+  void batch_factor_and_solve(std::vector<Target>& ts, bool packed) {
+    std::size_t unconverged = 0;
+    for (Target& t : ts) {
+      t.batch_solved = false;
+      if (!t.converged) ++unconverged;
+    }
+    // A lone unconverged straggler is cheaper on its scalar LU than a
+    // full-width pack + replay.
+    if (unconverged < 2) return;
+
+    if (!ref_lu_.factorized()) {
+      if (packed) gather_lane(0);
+      if (!ref_lu_.factorize(lanes_[0].values)) return;
+      batch_lu_.bind(ref_lu_, lanes_.size(), simd_lu_);
+      batch_numeric_ok_ = false;
+    }
+
+    bool need = packed || !batch_numeric_ok_ ||
+                !opts_.newton.reuse_factorization;
+    for (const Target& t : ts)
+      if (!t.converged &&
+          t.lane->batch_factored_generation != t.lane->jac_generation)
+        need = true;
+    if (need) {
+      if (!packed) pack_values();
+      if (!batch_lu_.refactorize(soa_values_.data(), lane_ok_.data())) {
+        // Some lane's pivot degraded past the replay bound.  Re-pivot the
+        // reference at the current operating point and retry once — the
+        // usual cause is the shared trajectory drifting, not one hostile
+        // corner.  Lanes still flagged after the retry fall back to their
+        // scalar LU for this iteration.
+        if (packed) gather_lane(0);
+        if (!ref_lu_.factorize(lanes_[0].values)) {
+          batch_numeric_ok_ = false;
+          return;
+        }
+        batch_lu_.bind(ref_lu_, lanes_.size(), simd_lu_);
+        batch_lu_.refactorize(soa_values_.data(), lane_ok_.data());
+      }
+      batch_numeric_ok_ = true;
+      for (Lane& ln : lanes_) ln.batch_factored_generation = ln.jac_generation;
+      batch_lu_refactors_ += 1;
+    }
+
+    const std::size_t stride = batch_lu_.stride();
+    std::fill(soa_rhs_.begin(), soa_rhs_.end(), 0.0);
+    std::size_t solved = 0;
+    for (Target& t : ts) {
+      if (t.converged) continue;
+      const std::size_t j =
+          static_cast<std::size_t>(t.lane - lanes_.data());
+      if (!lane_ok_[j]) continue;
+      for (std::size_t i = 0; i < n_; ++i)
+        soa_rhs_[i * stride + j] = t.lane->dx[i];
+      t.batch_solved = true;
+      solved += 1;
+    }
+    if (solved == 0) return;
+    batch_lu_.solve(soa_rhs_.data());
+    batch_lu_solves_ += 1;
+    for (Target& t : ts) {
+      if (!t.batch_solved) continue;
+      const std::size_t j =
+          static_cast<std::size_t>(t.lane - lanes_.data());
+      for (std::size_t i = 0; i < n_; ++i)
+        t.lane->dx[i] = soa_rhs_[i * stride + j];
+    }
+  }
+
+  // Lockstep Newton over `ts`: per iteration ONE batched kernel pass
+  // covers every unconverged lane's fresh devices, then each lane stamps,
+  // factors, damps and checks convergence independently.  Converged lanes
+  // freeze (their convergence-recheck assembly runs once, with a partial
+  // restage that leaves the other lanes' kernel outputs untouched).
+  // Damping, tolerances and the residual recheck mirror solve_newton()
+  // exactly.  Returns true when every target converged.
+  bool group_newton(std::vector<Target>& ts, AssemblyContext ctx) {
+    const NewtonOptions& no = opts_.newton;
+    const bool dynamic = ctx.integrator != Integrator::kNone;
+    std::size_t done = 0;
+    for (Target& t : ts) {
+      t.converged = false;
+      t.iterations = 0;
+    }
+    const bool packed = packed_ok_ && ts.size() == lanes_.size();
+    if (packed) {
+      for (std::size_t j = 0; j < ts.size(); ++j)
+        MIVTX_EXPECT(ts[j].lane == &lanes_[j],
+                     "group_newton: packed targets must follow lane order");
+      packed_precompute(ts, ctx);
+    }
+    for (int it = 0; it < no.max_iterations && done < ts.size(); ++it) {
+      batch_.clear_active();
+      std::size_t staged = 0;
+      for (Target& t : ts) {
+        if (t.converged) continue;
+        t.fresh = t.lane->cache.batch_stage(*t.lane->circuit, *t.x, dynamic);
+        staged += t.fresh;
+      }
+      note_eval(batch_.eval(), staged);
+
+      if (packed) {
+        for (std::size_t j = 0; j < stride_; ++j) {
+          const linalg::Vector& xv = *ts[lane_src_[j]].x;
+          for (std::size_t i = 0; i < n_; ++i) x_soa_[i * stride_ + j] = xv[i];
+        }
+        packed_assemble(ctx);
+        for (std::size_t j = 0; j < ts.size(); ++j) {
+          if (ts[j].converged) continue;
+          linalg::Vector& dx = ts[j].lane->dx;
+          for (std::size_t i = 0; i < n_; ++i)
+            dx[i] = -f_soa_[i * stride_ + j];
+        }
+      } else {
+        for (Target& t : ts) {
+          if (t.converged) continue;
+          Lane& lane = *t.lane;
+          ctx.prev = t.prev;
+          ctx.prev2 = t.prev2;
+          finish_assembly(lane, *t.x, ctx, t.fresh, nullptr);
+          for (std::size_t i = 0; i < n_; ++i) lane.dx[i] = -lane.f[i];
+        }
+      }
+
+      // One lane-packed numeric LU pass serves every unconverged lane;
+      // lanes the batch declines (degraded pivot, lone straggler) keep
+      // the per-lane scalar ladder below.
+      batch_factor_and_solve(ts, packed);
+
+      for (Target& t : ts) {
+        if (t.converged) continue;
+        Lane& lane = *t.lane;
+        ctx.prev = t.prev;
+        ctx.prev2 = t.prev2;
+
+        linalg::Vector& dx = lane.dx;
+        if (!t.batch_solved) {
+          if (packed) {
+            // The scalar ladder needs this lane's CSR values, which only
+            // exist in the SoA when the packed assembler ran.
+            gather_lane(static_cast<std::size_t>(t.lane - lanes_.data()));
+            lane.jac_generation += 1;
+          }
+          if (!factor_and_solve(lane, dx)) return false;
+        }
+
+        double max_dv = 0.0;
+        for (std::size_t i = 0; i < num_v_; ++i)
+          max_dv = std::max(max_dv, std::fabs(dx[i]));
+        double damp = 1.0;
+        if (max_dv > no.max_dv) damp = no.max_dv / max_dv;
+        for (std::size_t i = 0; i < n_; ++i) (*t.x)[i] += damp * dx[i];
+        t.iterations = it + 1;
+
+        bool converged = damp == 1.0;
+        if (converged) {
+          for (std::size_t i = 0; i < n_ && converged; ++i) {
+            const double tol = (i < num_v_ ? no.vtol : no.itol) +
+                               no.reltol * std::fabs((*t.x)[i]);
+            if (std::fabs(dx[i]) > tol) converged = false;
+          }
+        }
+        t.recheck = converged;
+      }
+
+      // Residual recheck at the accepted iterates; also captures the
+      // dynamic states.  Lockstep makes lanes converge together, so the
+      // candidates share ONE partial staging + kernel pass (DeviceBatch
+      // retains the other lanes' outputs) instead of a tiny pass each.
+      bool any_recheck = false;
+      for (const Target& t : ts) any_recheck |= t.recheck;
+      if (any_recheck) {
+        batch_.clear_active();
+        std::size_t staged2 = 0;
+        for (Target& t : ts) {
+          if (!t.recheck) continue;
+          t.fresh = t.lane->cache.batch_stage(*t.lane->circuit, *t.x, dynamic);
+          staged2 += t.fresh;
+        }
+        note_eval(batch_.eval(), staged2);
+        if (packed) {
+          // One packed assembly at the candidate iterates covers every
+          // recheck lane's residual AND its dynamic-state capture; the
+          // other lanes' columns are computed but never read (their batch
+          // outputs are stale relative to the updated x).
+          for (std::size_t j = 0; j < stride_; ++j) {
+            const linalg::Vector& xv = *ts[lane_src_[j]].x;
+            for (std::size_t i = 0; i < n_; ++i)
+              x_soa_[i * stride_ + j] = xv[i];
+          }
+          for (std::size_t j = 0; j < ts.size(); ++j) {
+            DynamicState* st = ts[j].recheck ? ts[j].final_state : nullptr;
+            if (st != nullptr) {
+              st->q.assign(charge_slots_, 0.0);
+              st->iq.assign(charge_slots_, 0.0);
+              capturing_ = true;
+            }
+            capture_[j] = st;
+          }
+          packed_assemble(ctx);
+          capturing_ = false;
+          std::fill(capture_.begin(), capture_.end(), nullptr);
+          for (std::size_t j = 0; j < ts.size(); ++j) {
+            Target& t = ts[j];
+            if (!t.recheck) continue;
+            t.recheck = false;
+            double norm = 0.0;
+            for (std::size_t i = 0; i < n_; ++i)
+              norm = std::max(norm, std::fabs(f_soa_[i * stride_ + j]));
+            if (norm < no.residual_tol) {
+              t.converged = true;
+              ++done;
+            }
+          }
+        } else {
+          for (Target& t : ts) {
+            if (!t.recheck) continue;
+            t.recheck = false;
+            Lane& lane = *t.lane;
+            ctx.prev = t.prev;
+            ctx.prev2 = t.prev2;
+            finish_assembly(lane, *t.x, ctx, t.fresh, t.final_state);
+            if (linalg::norm_inf(lane.f) < no.residual_tol) {
+              t.converged = true;
+              ++done;
+            }
+          }
+        }
+      }
+    }
+    return done == ts.size();
+  }
+
+  // t=0 operating points, lockstep plain Newton from zero; a lane the
+  // group solve cannot start falls back to the scalar gmin/source
+  // continuation ladder on its own circuit.
+  bool solve_dc() {
+    AssemblyContext ctx;
+    ctx.time = 0.0;
+    ctx.integrator = Integrator::kNone;
+    ctx.gmin = 1e-12;
+    std::vector<Target> ts(lanes_.size());
+    for (std::size_t k = 0; k < lanes_.size(); ++k) {
+      lanes_[k].x.assign(n_, 0.0);
+      ts[k].lane = &lanes_[k];
+      ts[k].x = &lanes_[k].x;
+    }
+    group_newton(ts, ctx);
+    for (std::size_t k = 0; k < lanes_.size(); ++k) {
+      out_.lanes[k].newton_iterations +=
+          static_cast<std::size_t>(ts[k].iterations);
+      if (ts[k].converged) continue;
+      NewtonOptions fallback = opts_.newton;
+      fallback.presolve_lint = false;  // gated once in run()
+      const DcResult r = dc_operating_point(*lanes_[k].circuit, fallback);
+      out_.lanes[k].newton_iterations +=
+          static_cast<std::size_t>(r.total_iterations);
+      if (!r.converged) {
+        MIVTX_WARN << "corner_transient: lane " << k
+                   << " DC operating point failed; falling back to the "
+                      "scalar path";
+        return false;
+      }
+      lanes_[k].x = r.x;
+    }
+    return true;
+  }
+
+  void flush_metrics() {
+    std::uint64_t evals = 0, bypasses = 0;
+    std::uint64_t evals_dc = 0, evals_tran = 0;
+    std::uint64_t bypasses_dc = 0, bypasses_tran = 0;
+    for (const Lane& ln : lanes_) {
+      evals += ln.cache.evals;
+      bypasses += ln.cache.bypasses;
+      evals_dc += ln.cache.evals_dc;
+      evals_tran += ln.cache.evals_tran;
+      bypasses_dc += ln.cache.bypasses_dc;
+      bypasses_tran += ln.cache.bypasses_tran;
+    }
+    runtime::Metrics& m = runtime::Metrics::global();
+    const auto add = [&m](const char* name, std::uint64_t v) {
+      if (v != 0) m.add(name, static_cast<double>(v));
+    };
+    add("spice.device.evals", evals);
+    add("spice.device.bypasses", bypasses);
+    add("spice.device.evals.dc", evals_dc);
+    add("spice.device.evals.tran", evals_tran);
+    add("spice.device.bypasses.dc", bypasses_dc);
+    add("spice.device.bypasses.tran", bypasses_tran);
+    add("spice.device.batch.evals", batch_evals_);
+    add("spice.device.batch.blocks", batch_blocks_);
+    add("spice.device.batch.lanes", batch_lanes_);
+    add("spice.lu.batch.refactors", batch_lu_refactors_);
+    add("spice.lu.batch.solves", batch_lu_solves_);
+    add("spice.corner.lanes", lanes_.size());
+  }
+
+  const TransientOptions& opts_;
+  CornerTransientResult& out_;
+  std::size_t n_ = 0;
+  std::size_t num_v_ = 0;
+  AssemblyPlan plan_;
+  bsimsoi::DeviceBatch batch_;
+  std::vector<Lane> lanes_;
+  std::uint64_t batch_evals_ = 0, batch_blocks_ = 0, batch_lanes_ = 0;
+
+  // Lane-packed LU shared by every lane (see batch_factor_and_solve).
+  linalg::SparseLU ref_lu_;
+  linalg::BatchSparseLU batch_lu_;
+  std::vector<double> soa_values_, soa_rhs_;
+  std::vector<unsigned char> lane_ok_;
+  bool batch_numeric_ok_ = false;
+  bool simd_lu_ = false;
+  std::uint64_t batch_lu_refactors_ = 0, batch_lu_solves_ = 0;
+
+  // Lane-packed assembly (see packed_assemble).  kMaxStride bounds the
+  // stack temporaries of the stamp loops; wider corner sets fall back to
+  // the per-lane scalar assembler.
+  static constexpr std::size_t kMaxStride = 32;
+  bool packed_ok_ = false;
+  std::size_t stride_ = 0;
+  std::size_t charge_slots_ = 0;
+  std::vector<std::size_t> lane_src_;  // SoA lane -> source lane (pads -> 0)
+  // Per-SoA-lane DynamicState capture targets of the current
+  // packed_assemble call (rechecks only); null entries skip capture.
+  std::vector<DynamicState*> capture_;
+  bool capturing_ = false;
+  std::vector<double> x_soa_, f_soa_;
+  std::vector<double> prevq_soa_, prev2q_soa_, previq_soa_;
+  std::vector<double> r_ginv_soa_, c_val_soa_;  // per-corner element values
+  std::vector<double> vsrc_soa_, isrc_soa_;     // source values at step time
+};
+
+bool CornerEngine::run() {
+  trace::Span span("spice.corner_transient", "spice");
+  span.annotate("lanes", static_cast<double>(lanes_.size()));
+  runtime::Metrics::global().add("spice.corner.transients");
+
+  // Solvability is structural, and the lanes share a topology: gate once.
+  if (opts_.newton.presolve_lint) {
+    lint::DiagnosticSink sink;
+    if (lint::check_solvable(*lanes_[0].circuit, sink) > 0) return false;
+  }
+  if (!solve_dc()) return false;
+
+  const double t_stop = opts_.t_stop;
+  const double h_max = opts_.h_max > 0.0 ? opts_.h_max : t_stop / 50.0;
+  const std::size_t k = lanes_.size();
+
+  for (std::size_t li = 0; li < k; ++li) {
+    Lane& ln = lanes_[li];
+    evaluate_charges(*ln.circuit, ln.x, ln.state);
+    ln.state.iq.assign(ln.state.q.size(), 0.0);
+    ln.state_prev = ln.state;
+
+    TransientResult& res = out_.lanes[li];
+    ln.rec.clear();
+    for (NodeId node = 1; node < ln.circuit->num_nodes(); ++node) {
+      ln.rec.push_back({ln.circuit->node_unknown(node),
+                        &res.node_voltage[ln.circuit->node_name(node)]});
+    }
+    for (const Element& e : ln.circuit->elements()) {
+      if (e.kind == ElementKind::kVoltageSource)
+        ln.rec.push_back(
+            {ln.circuit->branch_unknown(e), &res.branch_current[e.name]});
+    }
+    for (const RecordSlot& slot : ln.rec) slot.wave->append(0.0, ln.x[slot.unknown]);
+  }
+
+  // Union of the per-lane source breakpoints: every lane lands exactly on
+  // its own corners (and, harmlessly, on the other lanes').
+  std::vector<double> breakpoints;
+  for (const Lane& ln : lanes_) {
+    const std::vector<double> bp = transient_breakpoints(*ln.circuit, t_stop);
+    breakpoints.insert(breakpoints.end(), bp.begin(), bp.end());
+  }
+  std::sort(breakpoints.begin(), breakpoints.end());
+  breakpoints.erase(
+      std::unique(breakpoints.begin(), breakpoints.end(),
+                  [](double a, double b) { return std::fabs(a - b) < 1e-18; }),
+      breakpoints.end());
+  std::size_t next_bp = 0;
+
+  double t = 0.0;
+  double h = std::min(h_max, t_stop) / 100.0;
+  double h_prev = 0.0;
+  bool first_step = true;
+  std::size_t accepted = 0, rejected = 0;
+
+  AssemblyContext ctx;
+  ctx.gmin = 1e-12;
+
+  std::vector<Target> ts(k), ts_half(k), ts_two(k);
+
+  while (t < t_stop - 1e-18) {
+    if (accepted + rejected > opts_.max_steps) {
+      MIVTX_WARN << "corner_transient: step budget exhausted at t=" << t
+                 << "; falling back to the scalar path";
+      return false;
+    }
+    while (next_bp < breakpoints.size() && breakpoints[next_bp] <= t + 1e-18)
+      ++next_bp;
+    double h_eff = std::min(h, h_max);
+    bool hit_bp = false;
+    if (next_bp < breakpoints.size() &&
+        t + h_eff >= breakpoints[next_bp] - 1e-18) {
+      h_eff = breakpoints[next_bp] - t;
+      hit_bp = true;
+    }
+    if (h_eff < opts_.h_min) {
+      MIVTX_WARN << "corner_transient: time step underflow at t=" << t
+                 << "; falling back to the scalar path";
+      return false;
+    }
+
+    for (std::size_t li = 0; li < k; ++li) {
+      Lane& ln = lanes_[li];
+      ln.x_pred = ln.x;
+      if (!first_step && h_prev > 0.0) {
+        for (std::size_t i = 0; i < n_; ++i)
+          ln.x_pred[i] = ln.x[i] + (ln.x[i] - ln.x_prev[i]) * (h_eff / h_prev);
+      }
+      ln.x_new = ln.x_pred;
+      ts[li] = Target{};
+      ts[li].lane = &ln;
+      ts[li].x = &ln.x_new;
+      ts[li].prev = &ln.state;
+      ts[li].prev2 = &ln.state_prev;
+      ts[li].final_state = &ln.new_state;
+    }
+
+    ctx.time = t + h_eff;
+    ctx.h = h_eff;
+    ctx.step_ratio = h_prev > 0.0 ? h_eff / h_prev : 1.0;
+    ctx.integrator =
+        first_step ? Integrator::kBackwardEuler : Integrator::kBdf2;
+
+    const bool converged = group_newton(ts, ctx);
+    for (std::size_t li = 0; li < k; ++li)
+      out_.lanes[li].newton_iterations +=
+          static_cast<std::size_t>(ts[li].iterations);
+    if (!converged) {
+      rejected += 1;
+      h = h_eff * 0.25;
+      continue;
+    }
+
+    // Shared LTE controller: worst ratio over every lane's voltage
+    // unknowns, so each lane's local error stays inside the same
+    // tolerances a standalone run enforces.
+    double err_ratio = 0.0;
+    bool have_lte = false;
+    if (!first_step && h_prev > 0.0) {
+      have_lte = true;
+      for (const Lane& ln : lanes_) {
+        for (std::size_t i = 0; i < num_v_; ++i) {
+          const double lte = std::fabs(ln.x_new[i] - ln.x_pred[i]) / 3.0;
+          const double tol =
+              opts_.abstol_v + opts_.reltol * std::fabs(ln.x_new[i]);
+          err_ratio = std::max(err_ratio, lte / tol);
+        }
+      }
+    } else {
+      // Startup step-doubling, lockstepped: both h/2 backward-Euler
+      // sub-steps fan across the lanes exactly like the main corrector.
+      ctx.h = 0.5 * h_eff;
+      ctx.time = t + 0.5 * h_eff;
+      for (std::size_t li = 0; li < k; ++li) {
+        Lane& ln = lanes_[li];
+        for (std::size_t i = 0; i < n_; ++i)
+          ln.x_half[i] = 0.5 * (ln.x[i] + ln.x_new[i]);
+        ts_half[li] = Target{};
+        ts_half[li].lane = &ln;
+        ts_half[li].x = &ln.x_half;
+        ts_half[li].prev = &ln.state;
+        ts_half[li].prev2 = &ln.state_prev;
+        ts_half[li].final_state = &ln.state_half;
+      }
+      const bool r1 = group_newton(ts_half, ctx);
+      for (std::size_t li = 0; li < k; ++li)
+        out_.lanes[li].newton_iterations +=
+            static_cast<std::size_t>(ts_half[li].iterations);
+      if (r1) {
+        ctx.time = t + h_eff;
+        for (std::size_t li = 0; li < k; ++li) {
+          Lane& ln = lanes_[li];
+          ln.x_two = ln.x_new;
+          ts_two[li] = Target{};
+          ts_two[li].lane = &ln;
+          ts_two[li].x = &ln.x_two;
+          ts_two[li].prev = &ln.state_half;
+          ts_two[li].prev2 = &ln.state_prev;
+        }
+        const bool r2 = group_newton(ts_two, ctx);
+        for (std::size_t li = 0; li < k; ++li)
+          out_.lanes[li].newton_iterations +=
+              static_cast<std::size_t>(ts_two[li].iterations);
+        if (r2) {
+          have_lte = true;
+          for (const Lane& ln : lanes_) {
+            for (std::size_t i = 0; i < num_v_; ++i) {
+              const double lte = 2.0 * std::fabs(ln.x_new[i] - ln.x_two[i]);
+              const double tol =
+                  opts_.abstol_v + opts_.reltol * std::fabs(ln.x_new[i]);
+              err_ratio = std::max(err_ratio, lte / tol);
+            }
+          }
+        }
+      }
+      ctx.h = h_eff;
+      ctx.time = t + h_eff;
+    }
+    if (err_ratio > 4.0 && h_eff > 4.0 * opts_.h_min) {
+      rejected += 1;
+      h = h_eff * 0.5;
+      continue;
+    }
+
+    // Accept the step on every lane.
+    for (std::size_t li = 0; li < k; ++li) {
+      Lane& ln = lanes_[li];
+      std::swap(ln.x_prev, ln.x);
+      std::swap(ln.x, ln.x_new);
+      std::swap(ln.state_prev, ln.state);
+      std::swap(ln.state, ln.new_state);
+      for (const RecordSlot& slot : ln.rec)
+        slot.wave->append(t + h_eff, ln.x[slot.unknown]);
+    }
+    h_prev = h_eff;
+    t += h_eff;
+    accepted += 1;
+    first_step = false;
+
+    double grow = 2.0;
+    if (err_ratio > 1e-12) grow = std::clamp(0.9 / std::cbrt(err_ratio), 0.3, 2.0);
+    if (!have_lte) grow = 1.0;
+    h = h_eff * grow;
+    if (hit_bp) {
+      h = std::min(h, h_max / 100.0);
+      first_step = true;
+    }
+  }
+
+  for (TransientResult& res : out_.lanes) {
+    res.ok = true;
+    res.accepted_steps = accepted;
+    res.rejected_steps = rejected;
+  }
+  out_.ok = true;
+  return true;
+}
+
+void run_scalar(const std::vector<const Circuit*>& corners,
+                const TransientOptions& opts, CornerTransientResult& out) {
+  out.lockstep = false;
+  out.ok = true;
+  out.lanes.clear();
+  out.lanes.reserve(corners.size());
+  for (const Circuit* c : corners) {
+    out.lanes.push_back(transient(*c, opts));
+    if (!out.lanes.back().ok && out.error.empty()) {
+      out.ok = false;
+      out.error = out.lanes.back().error;
+    }
+    if (!out.lanes.back().ok) out.ok = false;
+  }
+}
+
+}  // namespace
+
+CornerTransientResult corner_transient(
+    const std::vector<const Circuit*>& corners, const TransientOptions& opts) {
+  CornerTransientResult out;
+  MIVTX_EXPECT(!corners.empty(), "corner_transient: no corner circuits");
+  for (const Circuit* c : corners)
+    MIVTX_EXPECT(c != nullptr, "corner_transient: null corner circuit");
+
+  // Lane packing needs >= 2 compatible lanes, at least one MOSFET (the
+  // kernel is what the lanes share), and a batched device-eval strategy.
+  bool packable = corners.size() >= 2;
+  for (std::size_t i = 1; packable && i < corners.size(); ++i)
+    packable = same_topology(*corners[0], *corners[i]);
+  bool any_mosfet = false;
+  for (const Element& e : corners[0]->elements())
+    if (e.kind == ElementKind::kMosfet) any_mosfet = true;
+  packable = packable && any_mosfet;
+
+  bsimsoi::SimdLevel level = bsimsoi::best_simd_level();
+  switch (opts.newton.device_eval) {
+    case DeviceEval::kScalar:
+      packable = false;
+      break;
+    case DeviceEval::kPortable:
+      level = bsimsoi::SimdLevel::kScalarLane;
+      break;
+    case DeviceEval::kSimd:
+      break;
+    case DeviceEval::kAuto:
+      if (bsimsoi::simd_env_disabled()) packable = false;
+      break;
+  }
+
+  if (packable) {
+    CornerEngine engine(corners, opts, level, out);
+    if (engine.run()) {
+      out.lockstep = true;
+      return out;
+    }
+    out = CornerTransientResult{};
+  }
+  run_scalar(corners, opts, out);
+  return out;
+}
+
+}  // namespace mivtx::spice

@@ -1,0 +1,46 @@
+// Cross-corner lane packing: one transient over K same-topology corner
+// circuits, lockstepped so the batched BSIMSOI kernel evaluates one corner
+// per SIMD lane.
+//
+// The K circuits must share a topology (identical element list shapes and
+// node wiring — only values, model cards and source levels may differ).
+// They then share one AssemblyPlan and one bsimsoi::DeviceBatch bound
+// device-major / corner-minor (instance = device * K + lane), so the K
+// corner variants of each MOSFET sit in adjacent SIMD lanes of one kernel
+// block.  Newton iterations and time steps run in lockstep: every
+// iteration stages the fresh devices of every unconverged lane through its
+// per-lane bypass cache, fires ONE batched kernel pass, then each lane
+// stamps, factors and damps its own system independently.  The step
+// controller takes the union of source breakpoints and the worst LTE
+// ratio across lanes, so all lanes share one accepted time grid; each
+// lane's waveforms satisfy the same LTE tolerances as a standalone run,
+// on a (conservatively finer) shared set of time points.
+//
+// Fallbacks keep the engine strictly a performance feature: incompatible
+// topologies, a single lane, or an irrecoverable lockstep failure re-run
+// every lane through the scalar spice::transient() path, and a lane whose
+// t=0 lockstep Newton fails falls back to the scalar gmin/source
+// continuation ladder for its operating point only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/transient.h"
+
+namespace mivtx::spice {
+
+struct CornerTransientResult {
+  bool ok = false;        // every lane simulated successfully
+  std::string error;      // first failure when !ok
+  bool lockstep = false;  // ran lane-packed (false => scalar fallback path)
+  std::vector<TransientResult> lanes;  // one per input circuit, same order
+};
+
+// Transient-analyze every circuit in `corners` (all pointers non-null)
+// over one lane-packed time loop.  Waveform/timing semantics per lane
+// match spice::transient() under the same TransientOptions.
+CornerTransientResult corner_transient(
+    const std::vector<const Circuit*>& corners, const TransientOptions& opts);
+
+}  // namespace mivtx::spice

@@ -22,6 +22,19 @@ class SolverWorkspace;
 // falls back to dense on pivot failure (see SolverWorkspace).
 enum class SolverBackend { kAuto, kDense, kSparse };
 
+// MOSFET evaluation strategy (sparse backend; the dense small-circuit
+// path always evaluates per device).
+//   kAuto     — batched SoA evaluation at the best compiled-in SIMD level
+//               the CPU supports; $MIVTX_SIMD=off/scalar drops it back to
+//               the per-device scalar path (the production default).
+//   kScalar   — legacy per-device bsimsoi::eval calls; the bit-exact
+//               reference the differential harness compares against.
+//   kPortable — batched through the scalar-lane kernel build (bit-faithful
+//               to kScalar math, exercises the SoA/staging machinery).
+//   kSimd     — batched at the best available level regardless of
+//               $MIVTX_SIMD (verify/bench pin configurations with this).
+enum class DeviceEval { kAuto, kScalar, kPortable, kSimd };
+
 struct NewtonOptions {
   int max_iterations = 150;
   double vtol = 1e-9;        // absolute voltage tolerance (V)
@@ -40,6 +53,8 @@ struct NewtonOptions {
   // controlling terminal moved more than this since the last fresh stamp.
   // Negative disables the bypass cache (sparse backend only).
   double bypass_vtol = 1e-9;
+  // Device evaluation strategy (see DeviceEval above).
+  DeviceEval device_eval = DeviceEval::kAuto;
   // Factorization-ladder control (sparse backend): when false, every
   // linear solve runs a full pivoting factorization — the bit-identical
   // reuse and pivot-replay refactorize rungs are skipped.  Production

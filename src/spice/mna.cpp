@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "bsimsoi/batch.h"
 #include "bsimsoi/model.h"
 #include "common/error.h"
 #include "spice/assembly_plan.h"
@@ -22,18 +23,11 @@ struct CompanionCoeffs {
   double ihist = 0.0;  // history term
 };
 
+}  // namespace
+
 // Slot-independent part of the companion model.  The divisions here used
 // to run per charge slot per assembly; hoisting them to one evaluation per
-// assemble() was a measurable win on the transient profile.  ihist for a
-// slot is then c_prev * prev.q[slot] + c_prev2 * prev2.q[slot] +
-// c_iq * prev.iq[slot].
-struct IntegratorCoeffs {
-  double geq = 0.0;     // multiplies the new charge (and dq/dv)
-  double c_prev = 0.0;  // weight of prev->q[slot] in ihist
-  double c_prev2 = 0.0; // weight of prev2->q[slot] in ihist
-  double c_iq = 0.0;    // weight of prev->iq[slot] in ihist
-};
-
+// assemble() was a measurable win on the transient profile.
 IntegratorCoeffs integrator_coeffs(const AssemblyContext& ctx) {
   IntegratorCoeffs c;
   switch (ctx.integrator) {
@@ -62,8 +56,6 @@ IntegratorCoeffs integrator_coeffs(const AssemblyContext& ctx) {
   return c;
 }
 
-}  // namespace
-
 std::size_t count_charge_slots(const Circuit& circuit) {
   std::size_t slots = 0;
   for (const Element& e : circuit.elements()) {
@@ -83,6 +75,40 @@ void MosfetCache::bind(const Circuit& circuit) {
 
 void MosfetCache::invalidate() {
   for (Entry& e : entries) e.valid = false;
+}
+
+std::size_t MosfetCache::batch_stage(const Circuit& circuit,
+                                     const linalg::Vector& x, bool dynamic) {
+  MIVTX_EXPECT(batch != nullptr, "batch_stage: no DeviceBatch bound");
+  std::size_t fresh = 0;
+  std::size_t mi = 0;
+  const bool bypass = enabled();
+  for (const Element& e : circuit.elements()) {
+    if (e.kind != ElementKind::kMosfet) continue;
+    const double vg = node_v(x, e.nodes[1]);
+    const double vd = node_v(x, e.nodes[0]);
+    const double vs = node_v(x, e.nodes[2]);
+    if (bypass) {
+      Entry& ent = entries[mi];
+      if (ent.valid && std::fabs(vg - ent.vg) <= vtol &&
+          std::fabs(vd - ent.vd) <= vtol && std::fabs(vs - ent.vs) <= vtol) {
+        bypasses += 1;
+        (dynamic ? bypasses_tran : bypasses_dc) += 1;
+        ++mi;
+        continue;
+      }
+      ent.vg = vg;
+      ent.vd = vd;
+      ent.vs = vs;
+      ent.valid = true;
+    }
+    batch->stage(mi * batch_stride + batch_offset, vg, vd, vs);
+    evals += 1;
+    (dynamic ? evals_tran : evals_dc) += 1;
+    fresh += 1;
+    ++mi;
+  }
+  return fresh;
 }
 
 namespace {
@@ -283,12 +309,20 @@ std::size_t assemble_impl(const Circuit& circuit, const linalg::Vector& x,
         const double vg = node_v(x, g), vd = node_v(x, d), vs = node_v(x, s);
         bsimsoi::ModelOutput m_local;
         const bsimsoi::ModelOutput* mp = &m_local;
-        if (cache && cache->enabled()) {
+        if (cache && cache->batch_mode()) {
+          // Batched evaluation: batch_stage() + DeviceBatch::eval() already
+          // ran (and did the bypass/eval accounting); the kernel outputs —
+          // staged fresh or retained from the last staging — are read back
+          // here in stamp order.
+          mp = &cache->batch->output(mosfet_index * cache->batch_stride +
+                                     cache->batch_offset);
+        } else if (cache && cache->enabled()) {
           MosfetCache::Entry& ent = cache->entries[mosfet_index];
           if (ent.valid && std::fabs(vg - ent.vg) <= cache->vtol &&
               std::fabs(vd - ent.vd) <= cache->vtol &&
               std::fabs(vs - ent.vs) <= cache->vtol) {
             cache->bypasses += 1;
+            (dynamic ? cache->bypasses_tran : cache->bypasses_dc) += 1;
           } else {
             ent.out = bsimsoi::eval(e.model, vg, vd, vs);
             ent.vg = vg;
@@ -296,6 +330,7 @@ std::size_t assemble_impl(const Circuit& circuit, const linalg::Vector& x,
             ent.vs = vs;
             ent.valid = true;
             cache->evals += 1;
+            (dynamic ? cache->evals_tran : cache->evals_dc) += 1;
             fresh_evals += 1;
           }
           mp = &ent.out;

@@ -15,6 +15,10 @@
 #include "linalg/dense.h"
 #include "spice/circuit.h"
 
+namespace mivtx::bsimsoi {
+class DeviceBatch;
+}
+
 namespace mivtx::spice {
 
 class AssemblyPlan;
@@ -49,6 +53,20 @@ struct AssemblyContext {
 // Number of charge slots the circuit needs.
 std::size_t count_charge_slots(const Circuit& circuit);
 
+// Slot-independent companion-model coefficients of the active integrator:
+// a charge slot's companion current is i = geq * q - ihist with
+// ihist = c_prev * prev.q[slot] + c_prev2 * prev2.q[slot] +
+// c_iq * prev.iq[slot], and geq also scales the dq/dv Jacobian stamps.
+// Shared by the scalar assembler and the lane-packed corner assembler so
+// the two integrate identically.
+struct IntegratorCoeffs {
+  double geq = 0.0;
+  double c_prev = 0.0;
+  double c_prev2 = 0.0;
+  double c_iq = 0.0;
+};
+IntegratorCoeffs integrator_coeffs(const AssemblyContext& ctx);
+
 // Terminal-voltage device bypass: one entry per MOSFET (element order)
 // holding the controlling voltages and full model output of the last
 // fresh BSIMSOI evaluation.  When every terminal moved by at most `vtol`
@@ -64,12 +82,43 @@ struct MosfetCache {
   };
   std::vector<Entry> entries;
   double vtol = 0.0;
-  std::uint64_t evals = 0;     // fresh model evaluations
-  std::uint64_t bypasses = 0;  // stamps served from the cache
+  std::uint64_t evals = 0;     // fresh model evaluations (all kinds)
+  std::uint64_t bypasses = 0;  // stamps served from the cache (all kinds)
+  // Per-analysis-kind split of the totals above: evals == evals_dc +
+  // evals_tran (same for bypasses).  "dc" covers every static assembly
+  // (operating point, gmin/source continuation, sweeps); "tran" the
+  // companion-model assemblies of a transient step.
+  std::uint64_t evals_dc = 0, evals_tran = 0;
+  std::uint64_t bypasses_dc = 0, bypasses_tran = 0;
+
+  // Batched evaluation (bsimsoi::DeviceBatch): when `batch` is set the
+  // assembler reads device outputs from it instead of calling
+  // bsimsoi::eval per stamp; batch_stage() runs the bypass decisions and
+  // stages the fresh instances before the caller fires one kernel pass
+  // over all of them.  Instance index of MOSFET i (element order) is
+  // i * batch_stride + batch_offset — cross-corner lane packing gives K
+  // same-topology circuits one shared batch with stride K and per-corner
+  // offsets, so the K corner lanes of a device are block-adjacent.
+  bsimsoi::DeviceBatch* batch = nullptr;  // non-owning
+  std::size_t batch_stride = 1;
+  std::size_t batch_offset = 0;
+  // Lane-occupancy accounting: real instances staged vs kLaneWidth *
+  // blocks dispatched (tail blocks replicate lanes).
+  std::uint64_t batch_evals = 0;   // kernel passes (DeviceBatch::eval calls)
+  std::uint64_t batch_blocks = 0;  // kernel blocks dispatched
+  std::uint64_t batch_lanes = 0;   // real instances evaluated in those blocks
 
   void bind(const Circuit& circuit);  // size entries, invalidate
   void invalidate();
   bool enabled() const { return vtol >= 0.0 && !entries.empty(); }
+  bool batch_mode() const { return batch != nullptr; }
+
+  // Batch-mode first half of the assembly: walk the MOSFETs at solution x,
+  // serve unchanged devices from the bypass (counted per kind via
+  // `dynamic`), stage the rest into `batch`.  Returns the number staged
+  // (== fresh evaluations once the caller runs batch->eval()).
+  std::size_t batch_stage(const Circuit& circuit, const linalg::Vector& x,
+                          bool dynamic);
 };
 
 // Assemble residual f and Jacobian J at solution x.  When `new_state` is

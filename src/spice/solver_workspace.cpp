@@ -55,6 +55,35 @@ SolverWorkspace::SolverWorkspace(const Circuit& circuit,
     values_.assign(plan_->nnz(), 0.0);
     cache_.vtol = opts.bypass_vtol;
     if (opts.bypass_vtol >= 0.0) cache_.bind(circuit);
+
+    // Device-eval strategy: batch unless asked for the scalar reference.
+    // $MIVTX_SIMD=off/scalar is the runtime kill switch for kAuto only —
+    // explicit kPortable/kSimd come from code (verify/bench pins) and win.
+    bool batch = false;
+    bsimsoi::SimdLevel level = bsimsoi::best_simd_level();
+    switch (opts.device_eval) {
+      case DeviceEval::kScalar:
+        break;
+      case DeviceEval::kPortable:
+        batch = true;
+        level = bsimsoi::SimdLevel::kScalarLane;
+        break;
+      case DeviceEval::kSimd:
+        batch = true;
+        break;
+      case DeviceEval::kAuto:
+        batch = !bsimsoi::simd_env_disabled();
+        break;
+    }
+    if (batch) {
+      std::vector<const bsimsoi::SoiModelCard*> cards;
+      for (const Element& e : circuit.elements())
+        if (e.kind == ElementKind::kMosfet) cards.push_back(&e.model);
+      if (!cards.empty()) {
+        batch_.bind(cards, level);
+        cache_.batch = &batch_;
+      }
+    }
   } else {
     jac_ = linalg::DenseMatrix(n_, n_);
   }
@@ -85,9 +114,25 @@ void SolverWorkspace::assemble(const linalg::Vector& x,
   stats_.assemblies += 1;
   StatTimer timer(stats_.assemble_wall_s);
   if (sparse_) {
-    const std::size_t fresh =
-        assemble_sparse(*circuit_, *plan_, x, ctx, values_, f_, new_state,
-                        cache_.enabled() ? &cache_ : nullptr);
+    std::size_t fresh;
+    if (cache_.batch_mode()) {
+      // Two-phase batched assembly: bypass decisions + staging, one kernel
+      // pass over every fresh device, then the stamp loop reads outputs.
+      batch_.clear_active();
+      fresh = cache_.batch_stage(*circuit_, x,
+                                 ctx.integrator != Integrator::kNone);
+      const std::size_t blocks = batch_.eval();
+      if (blocks != 0) {
+        cache_.batch_evals += 1;
+        cache_.batch_blocks += blocks;
+        cache_.batch_lanes += fresh;
+      }
+      assemble_sparse(*circuit_, *plan_, x, ctx, values_, f_, new_state,
+                      &cache_);
+    } else {
+      fresh = assemble_sparse(*circuit_, *plan_, x, ctx, values_, f_,
+                              new_state, cache_.enabled() ? &cache_ : nullptr);
+    }
     // The Jacobian depends on the device linearizations plus the gmin and
     // companion-model coefficients; sources and ctx.time only move the
     // residual.  Unchanged on both counts => bit-identical values => the
@@ -186,18 +231,38 @@ void SolverWorkspace::invalidate() {
   jac_generation_ += 1;
 }
 
+namespace {
+
+// Fold the cache-local device counters into a stats block (the cache is
+// written from the assembly inner loop, so the counters stay on it until
+// snapshot/flush time).
+void fold_cache(SolverStats& s, const MosfetCache& c) {
+  s.device_evals += c.evals;
+  s.device_bypasses += c.bypasses;
+  s.device_evals_dc += c.evals_dc;
+  s.device_evals_tran += c.evals_tran;
+  s.device_bypasses_dc += c.bypasses_dc;
+  s.device_bypasses_tran += c.bypasses_tran;
+  s.device_batch_evals += c.batch_evals;
+  s.device_batch_blocks += c.batch_blocks;
+  s.device_batch_lanes += c.batch_lanes;
+}
+
+}  // namespace
+
 SolverStats SolverWorkspace::stats_snapshot() const {
   SolverStats s = stats_;
-  s.device_evals += cache_.evals;
-  s.device_bypasses += cache_.bypasses;
+  fold_cache(s, cache_);
   return s;
 }
 
 void SolverWorkspace::flush_metrics() {
-  stats_.device_evals += cache_.evals;
-  stats_.device_bypasses += cache_.bypasses;
+  fold_cache(stats_, cache_);
   cache_.evals = 0;
   cache_.bypasses = 0;
+  cache_.evals_dc = cache_.evals_tran = 0;
+  cache_.bypasses_dc = cache_.bypasses_tran = 0;
+  cache_.batch_evals = cache_.batch_blocks = cache_.batch_lanes = 0;
 
   runtime::Metrics& m = runtime::Metrics::global();
   const auto add = [&m](const char* name, std::uint64_t v) {
@@ -213,6 +278,13 @@ void SolverWorkspace::flush_metrics() {
   add("spice.dense.solves", stats_.dense_solves);
   add("spice.device.evals", stats_.device_evals);
   add("spice.device.bypasses", stats_.device_bypasses);
+  add("spice.device.evals.dc", stats_.device_evals_dc);
+  add("spice.device.evals.tran", stats_.device_evals_tran);
+  add("spice.device.bypasses.dc", stats_.device_bypasses_dc);
+  add("spice.device.bypasses.tran", stats_.device_bypasses_tran);
+  add("spice.device.batch.evals", stats_.device_batch_evals);
+  add("spice.device.batch.blocks", stats_.device_batch_blocks);
+  add("spice.device.batch.lanes", stats_.device_batch_lanes);
   add("spice.workspace.allocations", stats_.workspace_allocations);
   if (stats_.assemblies != 0)
     m.record_time("spice.assemble", stats_.assemble_wall_s,

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "bsimsoi/batch.h"
 #include "linalg/dense.h"
 #include "linalg/sparse_lu.h"
 #include "spice/assembly_plan.h"
@@ -58,6 +59,16 @@ struct SolverStats {
   std::uint64_t dense_solves = 0;  // dense-backend factor+solve calls
   std::uint64_t device_evals = 0;
   std::uint64_t device_bypasses = 0;
+  // Per-analysis-kind split of the device counters (dc covers all static
+  // assemblies, tran the companion-model ones); the totals above remain
+  // the sums.  Batch lanes/blocks measure SIMD lane occupancy.
+  std::uint64_t device_evals_dc = 0;
+  std::uint64_t device_evals_tran = 0;
+  std::uint64_t device_bypasses_dc = 0;
+  std::uint64_t device_bypasses_tran = 0;
+  std::uint64_t device_batch_evals = 0;   // kernel passes
+  std::uint64_t device_batch_blocks = 0;  // kLaneWidth-wide blocks
+  std::uint64_t device_batch_lanes = 0;   // real instances in those blocks
   // Workspace-owned buffer growth events.  After the first Newton
   // iteration on a given circuit every buffer has reached steady-state
   // size, so this counter must stay flat across the rest of the loop —
@@ -86,6 +97,11 @@ class SolverWorkspace {
   bool sparse_backend() const { return sparse_; }
   std::size_t size() const { return n_; }
   const AssemblyPlan& plan() const;
+  // True when MOSFETs evaluate through the batched SoA kernel (resolved
+  // from NewtonOptions::device_eval at construction; sparse backend only).
+  bool device_batching() const { return cache_.batch_mode(); }
+  // Kernel level of the bound batch (meaningless unless device_batching()).
+  bsimsoi::SimdLevel device_simd_level() const { return batch_.level(); }
 
   // Assemble residual f and Jacobian at x (into the CSR value array on the
   // sparse backend, the dense matrix otherwise).  Detects whether the
@@ -138,6 +154,7 @@ class SolverWorkspace {
   linalg::Vector f_, rhs_;
   std::optional<linalg::DenseLU> dense_lu_;
   MosfetCache cache_;
+  bsimsoi::DeviceBatch batch_;  // bound iff device batching is active
 
   // Jacobian identity tracking for the reuse rung: generation bumps
   // whenever an assemble produced different Jacobian values than the one

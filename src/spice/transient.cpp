@@ -26,10 +26,8 @@ const waveform::Waveform& TransientResult::i(
   return it->second;
 }
 
-namespace {
-
-std::vector<double> gather_breakpoints(const Circuit& circuit,
-                                       double t_stop) {
+std::vector<double> transient_breakpoints(const Circuit& circuit,
+                                          double t_stop) {
   std::vector<double> bp;
   for (const Element& e : circuit.elements()) {
     if (e.kind == ElementKind::kVoltageSource ||
@@ -44,6 +42,8 @@ std::vector<double> gather_breakpoints(const Circuit& circuit,
            bp.end());
   return bp;
 }
+
+namespace {
 
 // A recording target resolved once before the time loop: the unknown
 // index and the waveform it feeds.  Replaces a string-keyed map lookup
@@ -101,7 +101,7 @@ TransientResult transient(const Circuit& circuit,
   DynamicState new_state;           // accept-step scratch, rotated by swap
 
   const std::vector<double> breakpoints =
-      gather_breakpoints(circuit, opts.t_stop);
+      transient_breakpoints(circuit, opts.t_stop);
   std::size_t next_bp = 0;
 
   // --- Recording -----------------------------------------------------------

@@ -47,4 +47,11 @@ struct TransientResult {
 TransientResult transient(const Circuit& circuit,
                           const TransientOptions& opts);
 
+// Source-slope breakpoints of every independent source up to t_stop
+// (sorted, deduplicated, t_stop appended).  The adaptive stepper lands on
+// these exactly; the lane-packed corner engine (spice/corner.h) steps on
+// the union across its lanes.
+std::vector<double> transient_breakpoints(const Circuit& circuit,
+                                          double t_stop);
+
 }  // namespace mivtx::spice

@@ -29,6 +29,7 @@ spice::NewtonOptions strict_newton(const SolverConfig& cfg) {
   // production settings it ships with — that is the contract it verifies.
   o.bypass_vtol = cfg.bypass_vtol;
   o.reuse_factorization = cfg.reuse_factorization;
+  o.device_eval = cfg.device_eval;
   return o;
 }
 
@@ -69,18 +70,30 @@ CaseRun run_case(const DiffCase& c, const SolverConfig& cfg) {
 }  // namespace
 
 std::vector<SolverConfig> default_solver_matrix() {
+  using spice::DeviceEval;
   std::vector<SolverConfig> m;
-  m.push_back({"dense", spice::SolverBackend::kDense, true, 0.0, 0.0});
-  m.push_back({"sparse", spice::SolverBackend::kSparse, true, 0.0, 0.0});
+  m.push_back({"dense", spice::SolverBackend::kDense, true, 0.0,
+               DeviceEval::kScalar, 0.0});
+  m.push_back({"sparse", spice::SolverBackend::kSparse, true, 0.0,
+               DeviceEval::kScalar, 0.0});
   // Ladder cross-check: every solve runs a fresh full factorization, so
   // the reuse/refactorize rungs are measured against the scratch path.
   m.push_back({"sparse-fullfactor", spice::SolverBackend::kSparse, false, 0.0,
-               0.0});
+               DeviceEval::kScalar, 0.0});
   // Production bypass tolerance: approximate by design, and it runs at the
   // stock Newton settings (see strict_newton), so its bound covers both the
   // cache error floor and stock-vs-strict step-grid differences.
   m.push_back({"sparse-bypass", spice::SolverBackend::kSparse, true, 1e-9,
-               1e-4});
+               DeviceEval::kScalar, 1e-4});
+  // Batched SIMD device kernel vs the scalar reference at the exact
+  // tolerance: the kernel is a transliteration of the same math, so it
+  // must hold the 1e-9 cross-config bound with no special casing.
+  m.push_back({"sparse-simd", spice::SolverBackend::kSparse, true, 0.0,
+               DeviceEval::kSimd, 0.0});
+  // SIMD + bypass at the production settings: the full production fast
+  // path against the dense scalar reference.
+  m.push_back({"simd-bypass", spice::SolverBackend::kSparse, true, 1e-9,
+               DeviceEval::kSimd, 1e-4});
   return m;
 }
 

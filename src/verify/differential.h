@@ -35,14 +35,20 @@ struct SolverConfig {
   spice::SolverBackend backend = spice::SolverBackend::kSparse;
   bool reuse_factorization = true;  // ladder rungs 1-2 (reuse/refactorize)
   double bypass_vtol = 0.0;         // MOSFET bypass cache; 0 = exact only
+  // Device-evaluation axis: the matrix pins kScalar on the legacy configs
+  // so the batched SIMD kernel is measured against the per-device
+  // reference, not against itself.
+  spice::DeviceEval device_eval = spice::DeviceEval::kScalar;
   // Per-config tolerance override; 0 picks DiffOptions::tolerance.  The
   // bypass-cache axis trades exactness for speed by design, so it ships
   // with a looser bound.
   double tolerance = 0.0;
 };
 
-// dense (reference), sparse, sparse with the reuse ladder disabled, and
-// sparse with the device-bypass cache at its production tolerance.
+// dense (reference), sparse, sparse with the reuse ladder disabled, sparse
+// with the device-bypass cache at its production tolerance, the batched
+// SIMD device kernel at exact tolerance, and SIMD + bypass at the
+// production tolerance.
 std::vector<SolverConfig> default_solver_matrix();
 
 // One circuit + analysis window to push through the matrix.

@@ -1,0 +1,284 @@
+// Batched SoA device evaluation (bsimsoi/batch.h) vs the scalar reference
+// model: both kernel builds must track bsimsoi::eval to <= 1e-12 relative
+// on every output (current, charges, and all nine derivative entries)
+// across bias space, polarities, temperatures, and the back-interface
+// branch — including the edge shapes the lane packing introduces:
+// remainder blocks (count % kLaneWidth != 0), a single-device batch,
+// mixed-polarity blocks, and cutoff/denormal operating points.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bsimsoi/batch.h"
+#include "bsimsoi/model.h"
+#include "bsimsoi/simd.h"
+
+namespace mivtx::bsimsoi {
+namespace {
+
+// rel 1e-12 plus per-row absolute floors.  Current rows: at vds == 0 the
+// true current/gm is exactly 0 and both paths return pure cancellation
+// residue (~1e-12 of the 1e-4 physical scale), which the AVX2 and libm
+// transcendentals round differently — a 1e-18 floor forgives that residue
+// while staying 14 orders below the on-state scale.  Charge rows never
+// cancel that way (their magnitudes are ~1e-16), so they keep a 1e-26
+// floor that only covers the denormal regime.
+constexpr double kRelTol = 1e-12;
+constexpr double kAbsFloorCurrent = 1e-18;
+constexpr double kAbsFloorCharge = 1e-26;
+
+void expect_output_close(const ModelOutput& got, const ModelOutput& want,
+                         const std::string& ctx) {
+  auto check = [&](double g, double w, double floor_, const std::string& what) {
+    const double scale = std::max(std::fabs(g), std::fabs(w));
+    EXPECT_LE(std::fabs(g - w), kRelTol * scale + floor_)
+        << ctx << " " << what << ": got " << g << " want " << w;
+  };
+  check(got.ids, want.ids, kAbsFloorCurrent, "ids");
+  check(got.qg, want.qg, kAbsFloorCharge, "qg");
+  check(got.qd, want.qd, kAbsFloorCharge, "qd");
+  check(got.qs, want.qs, kAbsFloorCharge, "qs");
+  for (int t = 0; t < 3; ++t) {
+    const std::string sfx = std::string(1, "gds"[t]);
+    check(got.dids[t], want.dids[t], kAbsFloorCurrent, "dids/" + sfx);
+    check(got.dqg[t], want.dqg[t], kAbsFloorCharge, "dqg/" + sfx);
+    check(got.dqd[t], want.dqd[t], kAbsFloorCharge, "dqd/" + sfx);
+    check(got.dqs[t], want.dqs[t], kAbsFloorCharge, "dqs/" + sfx);
+  }
+}
+
+std::vector<SoiModelCard> test_cards() {
+  std::vector<SoiModelCard> cards;
+  SoiModelCard nmos;
+  cards.push_back(nmos);
+
+  SoiModelCard pmos;
+  pmos.polarity = Polarity::kPmos;
+  pmos.vth0 = -0.32;
+  pmos.u0 = 0.012;
+  cards.push_back(pmos);
+
+  SoiModelCard miv = nmos;  // MIV stem: back-interface branch enabled
+  miv.k1b = 0.25;
+  miv.dvtb = 0.2;
+  miv.nf = 2;
+  miv.w = 2 * nmos.w;
+  cards.push_back(miv);
+
+  SoiModelCard hot = nmos;  // temperature scaling away from TNOM
+  hot.temp = 85.0;
+  hot.ud = 0.1;
+  hot.ucs = 0.8;
+  cards.push_back(hot);
+
+  SoiModelCard cap = pmos;  // bias-dependent overlaps + fringe
+  cap.cgsl = 4e-11;
+  cap.cgdl = 6e-11;
+  cap.cf = 2e-11;
+  cap.k1b = 0.1;
+  cards.push_back(cap);
+
+  return cards;
+}
+
+// Bias grid covering subthreshold, moderate and strong inversion, both
+// vds signs (terminal-swap path), vds == 0 exactly, and a lifted source.
+const double kVg[] = {-1.2, -0.4, 0.0, 0.12, 0.35, 0.7, 1.2};
+const double kVd[] = {-1.2, -0.3, 0.0, 1e-9, 0.05, 0.6, 1.2};
+const double kVs[] = {0.0, 0.3, -0.5};
+
+void run_grid_vs_scalar(SimdLevel level) {
+  const std::vector<SoiModelCard> cards = test_cards();
+  std::vector<const SoiModelCard*> ptrs;
+  for (const auto& c : cards) ptrs.push_back(&c);
+
+  DeviceBatch batch;
+  batch.bind(ptrs, level);
+  ASSERT_EQ(batch.instances(), cards.size());
+
+  for (double vg : kVg) {
+    for (double vd : kVd) {
+      for (double vs : kVs) {
+        batch.clear_active();
+        for (std::size_t i = 0; i < cards.size(); ++i) {
+          batch.stage(i, vg, vd, vs);
+        }
+        batch.eval();
+        for (std::size_t i = 0; i < cards.size(); ++i) {
+          const ModelOutput want = eval(cards[i], vg, vd, vs);
+          expect_output_close(
+              batch.output(i), want,
+              "card " + std::to_string(i) + " vg=" + std::to_string(vg) +
+                  " vd=" + std::to_string(vd) + " vs=" + std::to_string(vs));
+        }
+      }
+    }
+  }
+}
+
+TEST(BsimsoiBatch, PortableKernelMatchesScalarModel) {
+  run_grid_vs_scalar(SimdLevel::kScalarLane);
+}
+
+TEST(BsimsoiBatch, Avx2KernelMatchesScalarModel) {
+  if (!avx2_kernel_compiled() || !cpu_has_avx2()) {
+    GTEST_SKIP() << "AVX2 kernel not available";
+  }
+  run_grid_vs_scalar(SimdLevel::kAvx2);
+}
+
+// count % kLaneWidth != 0: the tail block replicates its last instance;
+// every real instance must still get its own result.  Also covers the
+// single-MOSFET circuit (count == 1).
+TEST(BsimsoiBatch, RemainderLanes) {
+  for (SimdLevel level : {SimdLevel::kScalarLane, SimdLevel::kAvx2}) {
+    if (level == SimdLevel::kAvx2 &&
+        (!avx2_kernel_compiled() || !cpu_has_avx2())) {
+      continue;
+    }
+    for (std::size_t count : {std::size_t{1}, std::size_t{2}, std::size_t{5},
+                              std::size_t{7}}) {
+      std::vector<SoiModelCard> cards;
+      for (std::size_t i = 0; i < count; ++i) {
+        SoiModelCard c;
+        c.vth0 = 0.3 + 0.01 * static_cast<double>(i);  // distinct per lane
+        c.w = (1.0 + static_cast<double>(i)) * 96e-9;
+        cards.push_back(c);
+      }
+      std::vector<const SoiModelCard*> ptrs;
+      for (const auto& c : cards) ptrs.push_back(&c);
+
+      DeviceBatch batch;
+      batch.bind(ptrs, level);
+      batch.clear_active();
+      for (std::size_t i = 0; i < count; ++i) {
+        batch.stage(i, 0.8, 0.05 * static_cast<double>(i + 1), 0.0);
+      }
+      const std::size_t blocks = batch.eval();
+      EXPECT_EQ(blocks, (count + kLaneWidth - 1) / kLaneWidth);
+      for (std::size_t i = 0; i < count; ++i) {
+        const ModelOutput want =
+            eval(cards[i], 0.8, 0.05 * static_cast<double>(i + 1), 0.0);
+        expect_output_close(batch.output(i), want,
+                            "count " + std::to_string(count) + " dev " +
+                                std::to_string(i) + " level " +
+                                simd_level_name(level));
+      }
+    }
+  }
+}
+
+// nmos and pmos instances packed into the same kernel block: the polarity
+// sign and terminal-swap masks must stay per-lane.
+TEST(BsimsoiBatch, MixedPolarityBlock) {
+  std::vector<SoiModelCard> cards;
+  for (int i = 0; i < 4; ++i) {
+    SoiModelCard c;
+    if (i % 2 == 1) {
+      c.polarity = Polarity::kPmos;
+      c.vth0 = -0.32;
+    }
+    cards.push_back(c);
+  }
+  std::vector<const SoiModelCard*> ptrs;
+  for (const auto& c : cards) ptrs.push_back(&c);
+
+  for (SimdLevel level : {SimdLevel::kScalarLane, SimdLevel::kAvx2}) {
+    if (level == SimdLevel::kAvx2 &&
+        (!avx2_kernel_compiled() || !cpu_has_avx2())) {
+      continue;
+    }
+    DeviceBatch batch;
+    batch.bind(ptrs, level);
+    // Inverter-style biases: nmos lanes forward, pmos lanes mirrored —
+    // adjacent lanes take opposite swap branches.
+    const double vdd = 1.2;
+    batch.clear_active();
+    batch.stage(0, 0.9, 0.3, 0.0);
+    batch.stage(1, 0.9, 0.3, vdd);
+    batch.stage(2, 0.2, 1.1, 0.0);
+    batch.stage(3, 0.2, 1.1, vdd);
+    batch.eval();
+    const double biases[4][3] = {
+        {0.9, 0.3, 0.0}, {0.9, 0.3, vdd}, {0.2, 1.1, 0.0}, {0.2, 1.1, vdd}};
+    for (int i = 0; i < 4; ++i) {
+      const ModelOutput want =
+          eval(cards[i], biases[i][0], biases[i][1], biases[i][2]);
+      expect_output_close(batch.output(i), want,
+                          "mixed dev " + std::to_string(i) + " level " +
+                              simd_level_name(level));
+    }
+  }
+}
+
+// Deep cutoff drives softplus into its exp tail where intermediate
+// products go denormal (and to exact zero past exp(-708)); both kernels
+// must agree with the scalar branches there.
+TEST(BsimsoiBatch, CutoffAndDenormalBias) {
+  const std::vector<SoiModelCard> cards = test_cards();
+  std::vector<const SoiModelCard*> ptrs;
+  for (const auto& c : cards) ptrs.push_back(&c);
+
+  const double biases[][3] = {
+      {0.0, 1.2, 0.0},    // off, full rail
+      {-1.2, 1.2, 0.0},   // deep accumulation: exp tail underflows
+      {-3.0, 0.6, 0.0},   // past the exp(-708) flush for small n*vt
+      {0.35, 0.0, 0.0},   // exactly at vds = 0 (swap boundary)
+      {0.35, 1e-12, 0.0}, // just above it
+      {1.2, -1.2, 0.0},   // swapped, strong inversion
+  };
+  for (SimdLevel level : {SimdLevel::kScalarLane, SimdLevel::kAvx2}) {
+    if (level == SimdLevel::kAvx2 &&
+        (!avx2_kernel_compiled() || !cpu_has_avx2())) {
+      continue;
+    }
+    DeviceBatch batch;
+    batch.bind(ptrs, level);
+    for (const auto& b : biases) {
+      batch.clear_active();
+      for (std::size_t i = 0; i < cards.size(); ++i) {
+        batch.stage(i, b[0], b[1], b[2]);
+      }
+      batch.eval();
+      for (std::size_t i = 0; i < cards.size(); ++i) {
+        const ModelOutput want = eval(cards[i], b[0], b[1], b[2]);
+        expect_output_close(batch.output(i), want,
+                            "cutoff card " + std::to_string(i) + " vg=" +
+                                std::to_string(b[0]) + " level " +
+                                simd_level_name(level));
+      }
+    }
+  }
+}
+
+// The staging protocol: only staged instances are recomputed; the rest
+// keep their previous outputs (this is what the bypass cache relies on).
+TEST(BsimsoiBatch, PartialStagingKeepsPreviousOutputs) {
+  const std::vector<SoiModelCard> cards = test_cards();
+  std::vector<const SoiModelCard*> ptrs;
+  for (const auto& c : cards) ptrs.push_back(&c);
+
+  DeviceBatch batch;
+  batch.bind(ptrs, best_simd_level());
+  batch.clear_active();
+  for (std::size_t i = 0; i < cards.size(); ++i) batch.stage(i, 0.7, 0.4, 0.0);
+  batch.eval();
+
+  batch.clear_active();
+  batch.stage(2, 1.1, 0.9, 0.0);  // only the MIV device moves
+  EXPECT_EQ(batch.active_count(), 1u);
+  batch.eval();
+
+  for (std::size_t i = 0; i < cards.size(); ++i) {
+    const ModelOutput want = (i == 2) ? eval(cards[i], 1.1, 0.9, 0.0)
+                                      : eval(cards[i], 0.7, 0.4, 0.0);
+    expect_output_close(batch.output(i), want,
+                        "staged dev " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace mivtx::bsimsoi

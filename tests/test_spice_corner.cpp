@@ -1,0 +1,141 @@
+// Cross-corner lane packing (spice/corner.h): the lockstepped lane-packed
+// transient must agree with per-lane scalar transients within the shared
+// LTE tolerances, and every fallback path (single lane, scalar device
+// eval, topology mismatch) must stay correct.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cells/netgen.h"
+#include "core/ppa.h"
+#include "core/reference_cards.h"
+#include "core/variability.h"
+#include "spice/corner.h"
+#include "spice/transient.h"
+
+namespace mivtx::spice {
+namespace {
+
+// Parasitic-annotated cell with pin 0 pulsed and the side inputs at their
+// sensitizing levels (same stimulus as the sparse backend tests).
+Circuit sample_cell(cells::CellType type, cells::Implementation impl) {
+  const core::PpaEngine engine(core::reference_model_library());
+  cells::CellNetlist cell = cells::build_cell(
+      type, impl, engine.model_set(impl), cells::ParasiticSpec{}, 1.0);
+  const std::vector<std::string> inputs = cells::cell_input_names(type);
+  const auto side = core::PpaEngine::sensitize(type, 0);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    Element& src = cell.circuit.element("V" + inputs[i]);
+    if (i == 0) {
+      PulseSpec p;
+      p.v1 = 0.0;
+      p.v2 = 1.0;
+      p.delay = 20e-12;
+      p.rise = 20e-12;
+      p.fall = 20e-12;
+      p.width = 100e-12;
+      src.source = SourceSpec::Pulse(p);
+    } else {
+      src.source =
+          SourceSpec::DC(side.has_value() && (*side)[i] ? 1.0 : 0.0);
+    }
+  }
+  return cell.circuit;
+}
+
+// Process-corner variant: every MOSFET's card perturbed through the same
+// helper the Monte-Carlo engine uses (topology untouched).
+Circuit corner_of(const Circuit& base, double dvth, double u0_scale) {
+  Circuit out = base;
+  for (Element& e : out.elements()) {
+    if (e.kind != ElementKind::kMosfet) continue;
+    e.model = core::perturb_card(e.model, dvth, u0_scale);
+  }
+  return out;
+}
+
+TEST(CornerTransient, LockstepMatchesScalarPerLane) {
+  const Circuit base =
+      sample_cell(cells::CellType::kNand2, cells::Implementation::kMiv2Channel);
+  const std::vector<Circuit> corners = {
+      corner_of(base, 0.0, 1.0), corner_of(base, +0.03, 0.95),
+      corner_of(base, -0.03, 1.05), corner_of(base, +0.015, 1.10),
+      corner_of(base, -0.02, 0.90)};  // 5 lanes: exercises a partial block
+  std::vector<const Circuit*> ptrs;
+  for (const Circuit& c : corners) ptrs.push_back(&c);
+
+  TransientOptions topt;
+  topt.t_stop = 2e-10;
+
+  const CornerTransientResult group = corner_transient(ptrs, topt);
+  ASSERT_TRUE(group.ok) << group.error;
+  EXPECT_TRUE(group.lockstep);
+  ASSERT_EQ(group.lanes.size(), corners.size());
+
+  for (std::size_t k = 0; k < corners.size(); ++k) {
+    const TransientResult scalar = transient(corners[k], topt);
+    ASSERT_TRUE(scalar.ok) << "lane " << k;
+    const TransientResult& lane = group.lanes[k];
+    ASSERT_TRUE(lane.ok) << "lane " << k;
+    for (const auto& [node, wave] : scalar.node_voltage) {
+      const auto it = lane.node_voltage.find(node);
+      ASSERT_NE(it, lane.node_voltage.end()) << node;
+      EXPECT_NEAR(wave.t_end(), it->second.t_end(), 1e-18);
+      // The engines take different adaptive step sequences, so compare
+      // interpolated waveforms inside the shared LTE budget (reltol 1e-4
+      // of a 1 V swing, plus interpolation slack on the edges).
+      for (double t = 0.0; t <= topt.t_stop; t += topt.t_stop / 40.0) {
+        EXPECT_NEAR(wave.sample(t), it->second.sample(t), 5e-3)
+            << "lane " << k << " node " << node << " t=" << t;
+      }
+      // Settled endpoints agree much tighter than mid-edge samples.
+      EXPECT_NEAR(wave.value(wave.size() - 1),
+                  it->second.value(it->second.size() - 1), 1e-4)
+          << "lane " << k << " node " << node;
+    }
+  }
+}
+
+TEST(CornerTransient, SingleLaneFallsBackToScalarPath) {
+  const Circuit base =
+      sample_cell(cells::CellType::kInv1, cells::Implementation::k2D);
+  TransientOptions topt;
+  topt.t_stop = 1e-10;
+  const CornerTransientResult group = corner_transient({&base}, topt);
+  ASSERT_TRUE(group.ok) << group.error;
+  EXPECT_FALSE(group.lockstep);
+  ASSERT_EQ(group.lanes.size(), 1u);
+  EXPECT_TRUE(group.lanes[0].ok);
+}
+
+TEST(CornerTransient, ScalarDeviceEvalFallsBackAndStaysCorrect) {
+  const Circuit base =
+      sample_cell(cells::CellType::kInv1, cells::Implementation::k2D);
+  const Circuit alt = corner_of(base, +0.02, 1.0);
+  TransientOptions topt;
+  topt.t_stop = 1e-10;
+  topt.newton.device_eval = DeviceEval::kScalar;
+  const CornerTransientResult group = corner_transient({&base, &alt}, topt);
+  ASSERT_TRUE(group.ok) << group.error;
+  EXPECT_FALSE(group.lockstep);  // scalar reference never lane-packs
+  ASSERT_EQ(group.lanes.size(), 2u);
+}
+
+TEST(CornerTransient, TopologyMismatchFallsBackPerLane) {
+  const Circuit a =
+      sample_cell(cells::CellType::kInv1, cells::Implementation::k2D);
+  const Circuit b =
+      sample_cell(cells::CellType::kNand2, cells::Implementation::k2D);
+  TransientOptions topt;
+  topt.t_stop = 1e-10;
+  const CornerTransientResult group = corner_transient({&a, &b}, topt);
+  ASSERT_TRUE(group.ok) << group.error;
+  EXPECT_FALSE(group.lockstep);
+  ASSERT_EQ(group.lanes.size(), 2u);
+  EXPECT_TRUE(group.lanes[0].ok);
+  EXPECT_TRUE(group.lanes[1].ok);
+}
+
+}  // namespace
+}  // namespace mivtx::spice

@@ -149,8 +149,8 @@ TEST(VerifyDifferential, ExampleNetlistAgreesAcrossBackends) {
                                    ? std::string("no reports")
                                    : report.reports.front().summary());
   EXPECT_EQ(report.cases, 1u);
-  // dense-vs-sparse, dense-vs-fullfactor, dense-vs-bypass.
-  EXPECT_EQ(report.comparisons, 3u);
+  // dense-vs-{sparse, fullfactor, bypass, simd, simd-bypass}.
+  EXPECT_EQ(report.comparisons, 5u);
 }
 
 TEST(VerifyDifferential, DetectsAnInjectedDivergence) {
@@ -178,7 +178,8 @@ TEST(VerifyDifferential, DetectsAnInjectedDivergence) {
 
 TEST(SlowVerifyDifferential, FullCellMatrixWithinTolerance) {
   // The acceptance bar: all 14 cells x 4 implementations, dense vs sparse
-  // vs fullfactor at 1e-9 (bypass at its own production bound).
+  // vs fullfactor vs the batched SIMD kernel at 1e-9 (the bypass configs
+  // at their own production bound).
   const verify::DiffReport report = verify::run_differential(
       verify::cell_corpus(core::reference_model_library()));
   EXPECT_TRUE(report.pass);
