@@ -12,7 +12,11 @@
 // bypasses, ...) as per-run benchmark counters so they land in the JSON.
 // `--device-eval=auto|scalar|portable|simd` pins the MOSFET evaluation
 // path the same way (default auto), so CI can record a scalar baseline and
-// a SIMD run from one binary.  `--metrics` prints the full runtime metrics
+// a SIMD run from one binary.  `--linear-solver=auto|direct|cg|bicgstab`
+// pins the sparse-tier linear-solve method (default auto) for the
+// dcop/transient benchmarks; the large-circuit benches additionally carry
+// the method as a benchmark argument so one run emits the direct and
+// iterative rows CI compares.  `--metrics` prints the full runtime metrics
 // report on exit.
 #include <benchmark/benchmark.h>
 
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "bsimsoi/model.h"
+#include "cells/circuitgen.h"
 #include "cells/netgen.h"
 #include "common/hash.h"
 #include "common/rng.h"
@@ -35,6 +40,9 @@
 #include "runtime/artifact_cache.h"
 #include "runtime/metrics.h"
 #include "runtime/thread_pool.h"
+#include "linalg/krylov.h"
+#include "linalg/sparse_lu.h"
+#include "spice/assembly_plan.h"
 #include "spice/dcop.h"
 #include "spice/transient.h"
 #include "tcad/characterize.h"
@@ -45,11 +53,13 @@ namespace {
 
 spice::SolverBackend g_backend = spice::SolverBackend::kAuto;
 spice::DeviceEval g_device_eval = spice::DeviceEval::kAuto;
+spice::LinearSolver g_linear_solver = spice::LinearSolver::kAuto;
 
 spice::NewtonOptions bench_newton() {
   spice::NewtonOptions opts;
   opts.backend = g_backend;
   opts.device_eval = g_device_eval;
+  opts.linear_solver = g_linear_solver;
   return opts;
 }
 
@@ -257,6 +267,146 @@ BENCHMARK(BM_VariabilityBatch)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+// Large generated circuits: the direct-vs-iterative crossover benches CI
+// gates on.  Argument 1 selects the linear-solve method (0 = pinned direct
+// sparse LU, 1 = kAuto, which routes through the crossover heuristic), so
+// the same binary emits both rows and the JSON diff is a pure
+// method-vs-method comparison on an identical circuit.  Each bench
+// iteration runs a from-scratch operating point (fresh workspace), so the
+// direct rows pay the symbolic analysis exactly the way a cold solve does
+// and the >= iterative_min_unknowns rows show the analysis being skipped.
+spice::NewtonOptions large_circuit_newton(int64_t method) {
+  spice::NewtonOptions newton = bench_newton();
+  newton.linear_solver = method == 0 ? spice::LinearSolver::kDirect
+                                     : spice::LinearSolver::kAuto;
+  newton.presolve_lint = false;  // structural gate once at build, not per run
+  return newton;
+}
+
+void report_solver_counters(benchmark::State& state, std::size_t unknowns) {
+  const runtime::Metrics& m = runtime::Metrics::global();
+  const double runs =
+      std::max<double>(1.0, static_cast<double>(state.iterations()));
+  state.counters["unknowns"] = static_cast<double>(unknowns);
+  state.counters["iter_solves"] =
+      m.counter_total("spice.iterative.solves") / runs;
+  state.counters["iter_iters"] =
+      m.counter_total("spice.iterative.iterations") / runs;
+  state.counters["iter_fallbacks"] =
+      m.counter_total("spice.iterative.fallbacks") / runs;
+  state.counters["symbolic"] =
+      m.counter_total("spice.sparse.symbolic_analyses") / runs;
+  state.counters["full_factor"] =
+      m.counter_total("spice.sparse.full_factorizations") / runs;
+}
+
+// IR-drop mesh: branch-free and value-symmetric, so kAuto runs CG+ILU(0)
+// above the crossover.  104x104 is 10816 unknowns (>= the 8192 crossover:
+// iterative, no symbolic analysis); 40x40 is 1600 (< the 2048 fill-band
+// floor: direct on both rows, the method argument only changes the pin).
+void BM_DcopPowerGrid(benchmark::State& state) {
+  cells::PowerGridSpec spec;
+  spec.rows = static_cast<std::size_t>(state.range(0));
+  spec.cols = spec.rows;
+  const cells::GeneratedCircuit gen = cells::build_power_grid(spec);
+  const spice::NewtonOptions newton = large_circuit_newton(state.range(1));
+  runtime::Metrics::global().reset();
+  for (auto _ : state) {
+    const spice::DcResult r = spice::dc_operating_point(gen.circuit, newton);
+    benchmark::DoNotOptimize(r.converged);
+  }
+  report_solver_counters(state, gen.circuit.system_size());
+}
+BENCHMARK(BM_DcopPowerGrid)
+    ->Args({40, 0})
+    ->Args({40, 1})
+    ->Args({104, 0})
+    ->Args({104, 1})
+    ->Args({150, 0})
+    ->Args({150, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Kernel-level direct-vs-iterative on the assembled power-grid matrix:
+// one cold linear solve, excluding the (method-independent) MNA assembly
+// that dominates the end-to-end rows above.  Direct runs the full
+// analyze + factorize + solve a cold crossover decision pays; iterative
+// runs ILU(0) factorize + preconditioned CG to the production rtol.  This
+// is the pair the CI perf gate holds to >= 1.5x at >= 10k unknowns.
+void BM_SparseSolveKernel(benchmark::State& state) {
+  cells::PowerGridSpec spec;
+  spec.rows = static_cast<std::size_t>(state.range(0));
+  spec.cols = spec.rows;
+  const cells::GeneratedCircuit gen = cells::build_power_grid(spec);
+  const spice::Circuit& ckt = gen.circuit;
+  const std::size_t n = ckt.system_size();
+  const spice::AssemblyPlan plan(ckt);
+  std::vector<double> values;
+  linalg::Vector x(n, 0.0), f(n, 0.0);
+  spice::AssemblyContext ctx;
+  ctx.integrator = spice::Integrator::kNone;
+  spice::assemble_sparse(ckt, plan, x, ctx, values, f, nullptr, nullptr);
+  linalg::Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = -f[i];
+
+  if (state.range(1) == 0) {
+    for (auto _ : state) {
+      linalg::SparseLU lu;
+      lu.analyze(n, plan.row_ptr(), plan.col_idx());
+      lu.factorize(values);
+      linalg::Vector sol = b;
+      lu.solve(sol);
+      benchmark::DoNotOptimize(sol.data());
+    }
+  } else {
+    int iters = 0;
+    for (auto _ : state) {
+      linalg::Ilu0Preconditioner ilu;
+      ilu.analyze(n, plan.row_ptr(), plan.col_idx());
+      ilu.factorize(values);
+      const linalg::CsrView a{n, &plan.row_ptr(), &plan.col_idx(), &values};
+      linalg::Vector sol(n, 0.0);
+      linalg::IterativeOptions io;
+      linalg::KrylovSolver krylov;
+      const linalg::IterativeResult r = krylov.cg(a, &ilu, b, sol, io);
+      iters = r.iterations;
+      benchmark::DoNotOptimize(sol.data());
+    }
+    state.counters["iter_iters"] = iters;
+  }
+  state.counters["unknowns"] = static_cast<double>(n);
+  state.counters["nnz"] = static_cast<double>(plan.nnz());
+}
+BENCHMARK(BM_SparseSolveKernel)
+    ->Args({104, 0})
+    ->Args({104, 1})
+    ->Args({150, 0})
+    ->Args({150, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// MIV-transistor ring oscillator: a general (nonsymmetric, V-source
+// driven) MNA system, so the iterative rows exercise BiCGStab and the
+// sticky per-regime fallback ladder rather than CG.
+void BM_DcopRingOscillator(benchmark::State& state) {
+  const auto& lib = core::reference_model_library();
+  const core::PpaEngine engine(lib);
+  const cells::GeneratedCircuit gen = cells::build_ring_oscillator(
+      static_cast<std::size_t>(state.range(0)),
+      cells::Implementation::kMiv2Channel,
+      engine.model_set(cells::Implementation::kMiv2Channel),
+      cells::ParasiticSpec{}, 1.0);
+  const spice::NewtonOptions newton = large_circuit_newton(state.range(1));
+  runtime::Metrics::global().reset();
+  for (auto _ : state) {
+    const spice::DcResult r = spice::dc_operating_point(gen.circuit, newton);
+    benchmark::DoNotOptimize(r.converged);
+  }
+  report_solver_counters(state, gen.circuit.system_size());
+}
+BENCHMARK(BM_DcopRingOscillator)
+    ->Args({301, 0})
+    ->Args({301, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_TcadGummelBiasStep(benchmark::State& state) {
   tcad::DeviceSpec spec = tcad::DeviceSpec::for_variant(
       tcad::Variant::kTraditional, tcad::Polarity::kNmos);
@@ -350,6 +500,23 @@ int main(int argc, char** argv) {
         g_device_eval = spice::DeviceEval::kSimd;
       } else {
         std::fprintf(stderr, "unknown --device-eval value: %s\n",
+                     which.c_str());
+        return 1;
+      }
+      continue;
+    }
+    if (std::strncmp(argv[i], "--linear-solver=", 16) == 0) {
+      const std::string which = argv[i] + 16;
+      if (which == "auto") {
+        g_linear_solver = spice::LinearSolver::kAuto;
+      } else if (which == "direct") {
+        g_linear_solver = spice::LinearSolver::kDirect;
+      } else if (which == "cg") {
+        g_linear_solver = spice::LinearSolver::kCg;
+      } else if (which == "bicgstab") {
+        g_linear_solver = spice::LinearSolver::kBicgstab;
+      } else {
+        std::fprintf(stderr, "unknown --linear-solver value: %s\n",
                      which.c_str());
         return 1;
       }

@@ -8,9 +8,13 @@
 //   .tran <print_step> <t_stop>          transient (BDF2), sampled table
 //   .ac dec <pts/decade> <f1> <f2> [src] AC sweep (default: first V source)
 //
-// Usage: minispice <netlist.sp>
+// Usage: minispice [--linear-solver=auto|direct|cg|bicgstab] <netlist.sp>
+// --linear-solver pins the sparse-tier linear-solve method for every
+// analysis in the deck (default auto: direct LU below the iterative
+// crossover, preconditioned Krylov above it).
 // Example netlists live in examples/netlists/.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -26,6 +30,14 @@ using namespace mivtx::spice;
 
 namespace {
 
+LinearSolver g_linear_solver = LinearSolver::kAuto;
+
+NewtonOptions cli_newton() {
+  NewtonOptions opts;
+  opts.linear_solver = g_linear_solver;
+  return opts;
+}
+
 std::vector<std::string> sorted_signal_nodes(const Circuit& ckt) {
   std::vector<std::string> nodes;
   for (NodeId n = 1; n < ckt.num_nodes(); ++n)
@@ -34,7 +46,7 @@ std::vector<std::string> sorted_signal_nodes(const Circuit& ckt) {
 }
 
 void run_op(const Circuit& ckt) {
-  const DcResult r = dc_operating_point(ckt);
+  const DcResult r = dc_operating_point(ckt, cli_newton());
   if (!r.converged) {
     std::printf(".op: FAILED to converge\n");
     return;
@@ -63,7 +75,7 @@ void run_dc(Circuit ckt, const std::vector<std::string>& arg) {
   std::vector<double> values;
   for (double v = start; v <= stop + 0.5 * step; v += step)
     values.push_back(v);
-  const DcSweepResult sweep = dc_sweep(ckt, src, values);
+  const DcSweepResult sweep = dc_sweep(ckt, src, values, cli_newton());
   if (!sweep.converged) {
     std::printf(".dc: FAILED to converge\n");
     return;
@@ -90,6 +102,7 @@ void run_tran(const Circuit& ckt, const std::vector<std::string>& arg) {
   const double t_stop = parse_spice_number(arg[2]);
   TransientOptions opts;
   opts.t_stop = t_stop;
+  opts.newton = cli_newton();
   const TransientResult tr = transient(ckt, opts);
   if (!tr.ok) {
     std::printf(".tran: FAILED (%s)\n", tr.error.c_str());
@@ -158,15 +171,37 @@ void run_ac(const Circuit& ckt, const std::vector<std::string>& arg) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--linear-solver=", 16) == 0) {
+      const std::string which = argv[i] + 16;
+      if (which == "auto") {
+        g_linear_solver = LinearSolver::kAuto;
+      } else if (which == "direct") {
+        g_linear_solver = LinearSolver::kDirect;
+      } else if (which == "cg") {
+        g_linear_solver = LinearSolver::kCg;
+      } else if (which == "bicgstab") {
+        g_linear_solver = LinearSolver::kBicgstab;
+      } else {
+        std::fprintf(stderr, "unknown --linear-solver value: %s\n",
+                     which.c_str());
+        return 2;
+      }
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
     std::fprintf(stderr,
-                 "usage: minispice <netlist.sp>\n"
+                 "usage: minispice [--linear-solver=auto|direct|cg|bicgstab] "
+                 "<netlist.sp>\n"
                  "see examples/netlists/ for samples\n");
     return 2;
   }
-  std::ifstream file(argv[1]);
+  std::ifstream file(path);
   if (!file) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "cannot open %s\n", path);
     return 2;
   }
   std::stringstream buffer;

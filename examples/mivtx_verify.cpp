@@ -42,6 +42,9 @@ int usage(const char* argv0) {
       << "  --diff              differential solver-matrix verification over\n"
       << "                      the 14x4 cell corpus, or over the given\n"
       << "                      netlist files\n"
+      << "  --diff-large        direct-LU vs iterative (CG/BiCGStab) over the\n"
+      << "                      generated large-circuit corpus (power grid,\n"
+      << "                      adder array, ring oscillator)\n"
       << "  --ppa-diff          bit-identity of the PPA engine across 1-vs-N\n"
       << "                      threads and cold-vs-warm artifact cache\n"
       << "  --props             property-based engine invariants\n"
@@ -49,6 +52,7 @@ int usage(const char* argv0) {
       << "                      baselines\n"
       << "options:\n"
       << "  --tol X             differential tolerance (default 1e-9)\n"
+      << "  --scale N           multiply the --diff-large circuit sizes\n"
       << "  --jobs N            worker threads for case fan-out (default 1)\n"
       << "  --max-cells N       limit --ppa-diff to the first N cells\n"
       << "  --seed S            property RNG seed (default 20230913)\n"
@@ -71,12 +75,14 @@ std::string read_file(const fs::path& path) {
 }
 
 struct Args {
-  bool diff = false, ppa_diff = false, props = false, golden = false;
+  bool diff = false, diff_large = false, ppa_diff = false, props = false;
+  bool golden = false;
   bool refresh = false, json = false, verbose = false;
   // With --json, stdout carries only the machine report; the human-readable
   // narration moves to stderr so `mivtx_verify --json | jq` just works.
   std::ostream& log() const { return json ? std::cerr : std::cout; }
   double tol = 1e-9;
+  std::size_t scale = 1;
   std::size_t jobs = 1;
   std::size_t max_cells = 0;
   std::uint64_t seed = 20230913;
@@ -120,6 +126,62 @@ bool run_diff(const Args& args, verify::Json& out) {
   j.set("worst_divergence", verify::Json::number(report.worst_divergence));
   j.set("worst_case", verify::Json::string(report.worst_case));
   out.set("diff", std::move(j));
+  return report.pass;
+}
+
+bool run_diff_large(const Args& args, verify::Json& out) {
+  const core::ModelLibrary library = core::reference_model_library();
+  const std::size_t s = args.scale ? args.scale : 1;
+  // The power grid assembles a symmetric Jacobian, so its matrix carries
+  // the pinned-CG lane; the device corpora are general MNA and compare
+  // direct vs kAuto vs pinned BiCGStab only.
+  std::vector<verify::DiffCase> grid_cases;
+  grid_cases.push_back(verify::make_power_grid_case(100 * s, 100 * s));
+  std::vector<verify::DiffCase> general_cases;
+  general_cases.push_back(verify::make_adder_case(
+      64 * s, cells::Implementation::kMiv1Channel, library));
+  general_cases.push_back(verify::make_ring_case(
+      1001 * s, cells::Implementation::kMiv2Channel, library));
+
+  runtime::ThreadPool pool(args.jobs);
+  verify::DiffOptions opts;
+  opts.tolerance = args.tol;
+  opts.pool = pool.size() > 1 ? &pool : nullptr;
+  opts.matrix = verify::iterative_solver_matrix(/*pin_cg=*/true);
+  const verify::DiffReport grid = verify::run_differential(grid_cases, opts);
+  opts.matrix = verify::iterative_solver_matrix(/*pin_cg=*/false);
+  const verify::DiffReport gen = verify::run_differential(general_cases, opts);
+
+  verify::DiffReport report = grid;
+  report.pass = grid.pass && gen.pass;
+  report.cases += gen.cases;
+  report.comparisons += gen.comparisons;
+  report.failures += gen.failures;
+  if (gen.worst_divergence > report.worst_divergence) {
+    report.worst_divergence = gen.worst_divergence;
+    report.worst_case = gen.worst_case;
+  }
+  report.reports.insert(report.reports.end(), gen.reports.begin(),
+                        gen.reports.end());
+
+  args.log() << format(
+      "diff-large: %zu cases, %zu comparisons, %zu failures, worst "
+      "divergence %.3e (%s)\n",
+      report.cases, report.comparisons, report.failures,
+      report.worst_divergence,
+      report.worst_case.empty() ? "-" : report.worst_case.c_str());
+  for (const verify::CaseConfigReport& r : report.reports)
+    if (args.verbose || !r.ok) args.log() << "  " << r.summary() << "\n";
+
+  verify::Json j = verify::Json::object();
+  j.set("pass", verify::Json::boolean(report.pass));
+  j.set("cases", verify::Json::number(static_cast<double>(report.cases)));
+  j.set("comparisons",
+        verify::Json::number(static_cast<double>(report.comparisons)));
+  j.set("failures", verify::Json::number(static_cast<double>(report.failures)));
+  j.set("worst_divergence", verify::Json::number(report.worst_divergence));
+  j.set("worst_case", verify::Json::string(report.worst_case));
+  out.set("diff_large", std::move(j));
   return report.pass;
 }
 
@@ -226,6 +288,7 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (a == "--diff") args.diff = true;
+      else if (a == "--diff-large") args.diff_large = true;
       else if (a == "--ppa-diff") args.ppa_diff = true;
       else if (a == "--props") args.props = true;
       else if (a == "--golden") args.golden = true;
@@ -233,6 +296,7 @@ int main(int argc, char** argv) {
       else if (a == "--json") args.json = true;
       else if (a == "--verbose") args.verbose = true;
       else if (a == "--tol") args.tol = parse_spice_number(value());
+      else if (a == "--scale") args.scale = std::stoul(value());
       else if (a == "--jobs") args.jobs = std::stoul(value());
       else if (a == "--max-cells") args.max_cells = std::stoul(value());
       else if (a == "--seed") args.seed = std::stoull(value());
@@ -245,7 +309,8 @@ int main(int argc, char** argv) {
         throw Error(format("unknown option %s", a.c_str()));
       else args.files.push_back(a);
     }
-    if (!args.diff && !args.ppa_diff && !args.props && !args.golden)
+    if (!args.diff && !args.diff_large && !args.ppa_diff && !args.props &&
+        !args.golden)
       return usage(argv[0]);
     if (args.refresh && !args.golden)
       throw Error("--refresh-goldens requires --golden");
@@ -253,6 +318,7 @@ int main(int argc, char** argv) {
     verify::Json out = verify::Json::object();
     bool pass = true;
     if (args.diff) pass = run_diff(args, out) && pass;
+    if (args.diff_large) pass = run_diff_large(args, out) && pass;
     if (args.ppa_diff) pass = run_ppa_diff(args, out) && pass;
     if (args.props) pass = run_props(args, out) && pass;
     if (args.golden) pass = run_golden(args, out) && pass;

@@ -1,0 +1,86 @@
+// Parameterized large-circuit generators for the iterative solver tier.
+//
+// The paper's study stops at 14 standalone cells (~30-60 MNA unknowns
+// each); ROADMAP item 3 needs circuits big enough that direct sparse LU
+// fill-in becomes the bottleneck.  Three families, each scaling from
+// test-sized instances to 10k-200k unknowns:
+//
+//   build_ring_oscillator  N-stage (odd) inverter ring at transistor
+//                          level: per-stage interconnect resistance,
+//                          MIV-transistor gate stems for the MIV
+//                          implementations, load capacitance per stage.
+//                          Chain topology — low fill-in, the case where
+//                          direct LU should keep winning.
+//   build_adder_array      N-bit ripple-carry adder from the existing
+//                          cell topologies (2x XOR2 + 3x NAND2 per bit),
+//                          each gate instantiated at transistor level
+//                          with shared supply rails and per-n-gate MIV
+//                          stems.  General nonsymmetric MNA -> BiCGStab.
+//   build_power_grid       rows x cols VDD-rail mesh with Norton pads
+//                          (current source + conductance to ground; an
+//                          ideal V source would add a zero-diagonal
+//                          branch row) and distributed load currents.
+//                          Pure-resistive SPD system -> CG, and the 2D
+//                          mesh is the classic fill-in generator where
+//                          the iterative tier beats direct LU.
+//
+// Wiring model notes: the gate-level generators reuse the ParasiticSpec
+// values (r_miv/r_wire/r_rail) but flatten netgen's two-tier net
+// splitting to one resistance per inter-gate net plus one MIV stem per
+// n-type gate in the MIV implementations — the solver-scaling benches
+// need representative sparsity, not the per-cell PPA fidelity of
+// cells::build_cell.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cells/netgen.h"
+
+namespace mivtx::cells {
+
+struct GeneratedCircuit {
+  std::string name;
+  spice::Circuit circuit;
+  double vdd = 1.0;
+  // Representative node to observe (ring: last stage output; adder: MSB
+  // sum; grid: the worst-IR-drop center node).
+  std::string probe_node;
+  // Voltage-source element names driving primary inputs (empty for the
+  // ring oscillator and power grid).
+  std::vector<std::string> input_sources;
+};
+
+// N-stage ring oscillator (stages forced odd).  `kick` adds a one-shot
+// current pulse on stage 0's output so transients leave the metastable
+// mid-rail DC point.
+GeneratedCircuit build_ring_oscillator(std::size_t stages, Implementation impl,
+                                       const ModelSet& models,
+                                       const ParasiticSpec& parasitics,
+                                       double vdd, bool kick = true);
+
+// N-bit ripple-carry adder array; inputs are DC sources encoding
+// a_bits/b_bits (bit i of the operands), carry-in 0.
+GeneratedCircuit build_adder_array(std::size_t bits, Implementation impl,
+                                   const ModelSet& models,
+                                   const ParasiticSpec& parasitics, double vdd,
+                                   unsigned long long a_value = 0xAAAAAAAAAAAAAAAAull,
+                                   unsigned long long b_value = 0x5555555555555555ull);
+
+struct PowerGridSpec {
+  std::size_t rows = 100, cols = 100;  // unknowns = rows * cols
+  double r_seg = 5.0;     // rail segment resistance (ohm)
+  double r_pad = 0.05;    // pad spreading resistance (ohm), Norton model
+  double i_load = 1e-5;   // load current pulled from every node (A)
+  double c_node = 0.0;    // optional decap per node (F); 0 = resistive only
+  double vdd = 1.0;
+  std::size_t pads = 4;   // supply pads, placed at the mesh corners
+};
+
+GeneratedCircuit build_power_grid(const PowerGridSpec& spec);
+
+// SPICE netlist text for a generated circuit (round-trips through the
+// parser; feeds the verify fuzz decks).  R/C/V/I/M elements only.
+std::string to_netlist_text(const GeneratedCircuit& gen);
+
+}  // namespace mivtx::cells

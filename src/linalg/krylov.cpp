@@ -1,0 +1,380 @@
+#include "linalg/krylov.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace mivtx::linalg {
+
+void csr_matvec(const CsrView& a, const Vector& x, Vector& y) {
+  MIVTX_EXPECT(x.size() == a.n && y.size() == a.n,
+               "csr_matvec: size mismatch");
+  const std::vector<std::size_t>& row_ptr = *a.row_ptr;
+  const std::vector<std::size_t>& col_idx = *a.col_idx;
+  const std::vector<double>& val = *a.values;
+  for (std::size_t r = 0; r < a.n; ++r) {
+    double acc = 0.0;
+    for (std::size_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p)
+      acc += val[p] * x[col_idx[p]];
+    y[r] = acc;
+  }
+}
+
+// --- Jacobi ----------------------------------------------------------------
+
+void JacobiPreconditioner::analyze(std::size_t n,
+                                   const std::vector<std::size_t>& row_ptr,
+                                   const std::vector<std::size_t>& col_idx) {
+  diag_slot_.assign(n, kNone);
+  inv_diag_.assign(n, 1.0);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p)
+      if (col_idx[p] == r) diag_slot_[r] = p;
+}
+
+bool JacobiPreconditioner::factorize(const std::vector<double>& csr_values) {
+  const std::size_t n = diag_slot_.size();
+  for (std::size_t r = 0; r < n; ++r) {
+    if (diag_slot_[r] == kNone) {
+      inv_diag_[r] = 1.0;  // MNA branch row: no diagonal, pass through
+      continue;
+    }
+    const double d = csr_values[diag_slot_[r]];
+    if (!std::isfinite(d)) return false;
+    inv_diag_[r] = d != 0.0 ? 1.0 / d : 1.0;
+  }
+  return true;
+}
+
+void JacobiPreconditioner::apply(const Vector& r, Vector& z) const {
+  const std::size_t n = inv_diag_.size();
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag_[i] * r[i];
+}
+
+// --- ILU(0) ----------------------------------------------------------------
+
+void Ilu0Preconditioner::analyze(std::size_t n,
+                                 const std::vector<std::size_t>& row_ptr,
+                                 const std::vector<std::size_t>& col_idx) {
+  n_ = n;
+  row_ptr_.assign(1, 0);
+  col_idx_.clear();
+  src_.clear();
+  diag_.assign(n, kNone);
+  for (std::size_t r = 0; r < n; ++r) {
+    bool have_diag = false;
+    for (std::size_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      const std::size_t c = col_idx[p];
+      if (!have_diag && c > r) {
+        // Insert the missing (r,r) slot in sorted position.
+        diag_[r] = col_idx_.size();
+        col_idx_.push_back(r);
+        src_.push_back(kNone);
+        have_diag = true;
+      }
+      if (c == r) {
+        diag_[r] = col_idx_.size();
+        have_diag = true;
+      }
+      col_idx_.push_back(c);
+      src_.push_back(p);
+    }
+    if (!have_diag) {
+      diag_[r] = col_idx_.size();
+      col_idx_.push_back(r);
+      src_.push_back(kNone);
+    }
+    row_ptr_.push_back(col_idx_.size());
+  }
+  lu_.assign(col_idx_.size(), 0.0);
+  pos_.assign(n, 0);
+  rowmax_.assign(n, 0.0);
+}
+
+bool Ilu0Preconditioner::factorize(const std::vector<double>& csr_values) {
+  MIVTX_EXPECT(n_ != 0, "Ilu0Preconditioner::factorize before analyze");
+  const std::size_t n = n_;
+  for (std::size_t k = 0; k < lu_.size(); ++k)
+    lu_[k] = src_[k] == kNone ? 0.0 : csr_values[src_[k]];
+  for (std::size_t r = 0; r < n; ++r) {
+    double m = 0.0;
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p)
+      m = std::max(m, std::fabs(lu_[p]));
+    rowmax_[r] = m;
+  }
+
+  // Row-wise IKJ elimination restricted to the A ∪ diag pattern.  Any
+  // update landing outside the pattern is dropped (that is the "0" of
+  // ILU(0)); pivots are the already-factored diagonals of earlier rows.
+  bool ok = true;
+  for (std::size_t i = 0; i < n && ok; ++i) {
+    const std::size_t b = row_ptr_[i], e = row_ptr_[i + 1];
+    for (std::size_t p = b; p < e; ++p) pos_[col_idx_[p]] = p + 1;
+    for (std::size_t p = b; p < e && col_idx_[p] < i; ++p) {
+      const std::size_t k = col_idx_[p];
+      const double piv = lu_[diag_[k]];
+      if (!std::isfinite(piv) || piv == 0.0) {
+        ok = false;
+        break;
+      }
+      const double factor = lu_[p] / piv;
+      lu_[p] = factor;
+      for (std::size_t q = diag_[k] + 1; q < row_ptr_[k + 1]; ++q) {
+        const std::size_t slot = pos_[col_idx_[q]];
+        if (slot != 0) lu_[slot - 1] -= factor * lu_[q];
+      }
+    }
+    for (std::size_t p = b; p < e; ++p) pos_[col_idx_[p]] = 0;
+    const double d = lu_[diag_[i]];
+    // Pivot health relative to the row's own scale: MNA mixes conductances
+    // over ~12 decades, so an absolute test would misfire on healthy rows.
+    if (!std::isfinite(d) || std::fabs(d) <= 1e-14 * rowmax_[i]) ok = false;
+  }
+  return ok;
+}
+
+void Ilu0Preconditioner::apply(const Vector& r, Vector& z) const {
+  const std::size_t n = n_;
+  // Forward solve with unit-diagonal L (slots left of the diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = r[i];
+    for (std::size_t p = row_ptr_[i]; p < diag_[i]; ++p)
+      s -= lu_[p] * z[col_idx_[p]];
+    z[i] = s;
+  }
+  // Back substitution with U (diagonal and rightward slots).
+  for (std::size_t i = n; i-- > 0;) {
+    double s = z[i];
+    for (std::size_t p = diag_[i] + 1; p < row_ptr_[i + 1]; ++p)
+      s -= lu_[p] * z[col_idx_[p]];
+    z[i] = s / lu_[diag_[i]];
+  }
+}
+
+// --- Krylov drivers --------------------------------------------------------
+
+const char* to_string(IterativeOutcome outcome) {
+  switch (outcome) {
+    case IterativeOutcome::kConverged: return "converged";
+    case IterativeOutcome::kMaxIterations: return "max-iterations";
+    case IterativeOutcome::kBreakdown: return "breakdown";
+    case IterativeOutcome::kStagnation: return "stagnation";
+  }
+  return "?";
+}
+
+namespace {
+
+int resolve_max_iterations(const IterativeOptions& opts, std::size_t n) {
+  if (opts.max_iterations > 0) return opts.max_iterations;
+  return static_cast<int>(std::min<std::size_t>(2 * n, 1000));
+}
+
+// Identity preconditioner fallback so the drivers need no null checks in
+// their inner loops.
+void precond(const Preconditioner* m, const Vector& r, Vector& z) {
+  if (m != nullptr)
+    m->apply(r, z);
+  else
+    z = r;
+}
+
+// Tracks the best residual seen and declares stagnation when it has not
+// halved within `window` iterations.
+class StagnationGuard {
+ public:
+  explicit StagnationGuard(int window) : window_(window) {}
+  bool stalled(double rnorm) {
+    if (rnorm < 0.5 * best_) {
+      best_ = rnorm;
+      since_ = 0;
+      return false;
+    }
+    return ++since_ >= window_;
+  }
+
+ private:
+  int window_;
+  int since_ = 0;
+  double best_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+void KrylovSolver::bind(std::size_t n) {
+  r_.assign(n, 0.0);
+  z_.assign(n, 0.0);
+  p_.assign(n, 0.0);
+  q_.assign(n, 0.0);
+  r0_.assign(n, 0.0);
+  v_.assign(n, 0.0);
+  s_.assign(n, 0.0);
+  t_.assign(n, 0.0);
+  y_.assign(n, 0.0);
+  sh_.assign(n, 0.0);
+}
+
+IterativeResult KrylovSolver::cg(const CsrView& a, const Preconditioner* m,
+                                 const Vector& b, Vector& x,
+                                 const IterativeOptions& opts) {
+  MIVTX_EXPECT(b.size() == a.n && x.size() == a.n, "cg: size mismatch");
+  bind(a.n);
+  IterativeResult res;
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    res.outcome = IterativeOutcome::kConverged;
+    return res;
+  }
+  const double target = std::max(opts.rtol * bnorm, opts.atol);
+  const int max_it = resolve_max_iterations(opts, a.n);
+  StagnationGuard guard(opts.stagnation_window);
+
+  csr_matvec(a, x, r_);
+  for (std::size_t i = 0; i < a.n; ++i) r_[i] = b[i] - r_[i];
+  double rnorm = norm2(r_);
+  if (rnorm <= target) {
+    res.outcome = IterativeOutcome::kConverged;
+    res.rel_residual = rnorm / bnorm;
+    return res;
+  }
+  precond(m, r_, z_);
+  p_ = z_;
+  double rho = dot(r_, z_);
+  for (int it = 1; it <= max_it; ++it) {
+    res.iterations = it;
+    csr_matvec(a, p_, q_);
+    const double pq = dot(p_, q_);
+    // p'Ap must stay positive for SPD A; anything else is a breakdown
+    // (typically the caller handed CG a nonsymmetric Jacobian).
+    if (!(pq > 0.0) || !std::isfinite(pq)) {
+      res.outcome = IterativeOutcome::kBreakdown;
+      res.rel_residual = rnorm / bnorm;
+      return res;
+    }
+    const double alpha = rho / pq;
+    axpy(alpha, p_, x);
+    axpy(-alpha, q_, r_);
+    rnorm = norm2(r_);
+    res.rel_residual = rnorm / bnorm;
+    if (!std::isfinite(rnorm)) {
+      res.outcome = IterativeOutcome::kBreakdown;
+      return res;
+    }
+    if (rnorm <= target) {
+      res.outcome = IterativeOutcome::kConverged;
+      return res;
+    }
+    if (guard.stalled(rnorm)) {
+      res.outcome = IterativeOutcome::kStagnation;
+      return res;
+    }
+    precond(m, r_, z_);
+    const double rho_next = dot(r_, z_);
+    if (rho_next == 0.0 || !std::isfinite(rho_next)) {
+      res.outcome = IterativeOutcome::kBreakdown;
+      return res;
+    }
+    const double beta = rho_next / rho;
+    rho = rho_next;
+    for (std::size_t i = 0; i < a.n; ++i) p_[i] = z_[i] + beta * p_[i];
+  }
+  res.outcome = IterativeOutcome::kMaxIterations;
+  return res;
+}
+
+IterativeResult KrylovSolver::bicgstab(const CsrView& a,
+                                       const Preconditioner* m,
+                                       const Vector& b, Vector& x,
+                                       const IterativeOptions& opts) {
+  MIVTX_EXPECT(b.size() == a.n && x.size() == a.n, "bicgstab: size mismatch");
+  bind(a.n);
+  IterativeResult res;
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    res.outcome = IterativeOutcome::kConverged;
+    return res;
+  }
+  const double target = std::max(opts.rtol * bnorm, opts.atol);
+  const int max_it = resolve_max_iterations(opts, a.n);
+  StagnationGuard guard(opts.stagnation_window);
+
+  csr_matvec(a, x, r_);
+  for (std::size_t i = 0; i < a.n; ++i) r_[i] = b[i] - r_[i];
+  r0_ = r_;  // fixed shadow residual
+  double rnorm = norm2(r_);
+  res.rel_residual = rnorm / bnorm;
+  if (rnorm <= target) {
+    res.outcome = IterativeOutcome::kConverged;
+    return res;
+  }
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+  std::fill(v_.begin(), v_.end(), 0.0);
+  std::fill(p_.begin(), p_.end(), 0.0);
+  for (int it = 1; it <= max_it; ++it) {
+    res.iterations = it;
+    const double rho_next = dot(r0_, r_);
+    if (!std::isfinite(rho_next) ||
+        std::fabs(rho_next) < 1e-300 * rnorm * rnorm) {
+      // r ⟂ r0: the biorthogonal recurrence has collapsed.
+      res.outcome = IterativeOutcome::kBreakdown;
+      return res;
+    }
+    const double beta = (rho_next / rho) * (alpha / omega);
+    rho = rho_next;
+    for (std::size_t i = 0; i < a.n; ++i)
+      p_[i] = r_[i] + beta * (p_[i] - omega * v_[i]);
+    precond(m, p_, y_);
+    csr_matvec(a, y_, v_);
+    const double r0v = dot(r0_, v_);
+    if (r0v == 0.0 || !std::isfinite(r0v)) {
+      res.outcome = IterativeOutcome::kBreakdown;
+      return res;
+    }
+    alpha = rho / r0v;
+    for (std::size_t i = 0; i < a.n; ++i) s_[i] = r_[i] - alpha * v_[i];
+    const double snorm = norm2(s_);
+    if (snorm <= target) {
+      axpy(alpha, y_, x);
+      res.rel_residual = snorm / bnorm;
+      res.outcome = IterativeOutcome::kConverged;
+      return res;
+    }
+    precond(m, s_, sh_);
+    csr_matvec(a, sh_, t_);
+    const double tt = dot(t_, t_);
+    if (tt == 0.0 || !std::isfinite(tt)) {
+      res.outcome = IterativeOutcome::kBreakdown;
+      return res;
+    }
+    omega = dot(t_, s_) / tt;
+    for (std::size_t i = 0; i < a.n; ++i)
+      x[i] += alpha * y_[i] + omega * sh_[i];
+    for (std::size_t i = 0; i < a.n; ++i) r_[i] = s_[i] - omega * t_[i];
+    rnorm = norm2(r_);
+    res.rel_residual = rnorm / bnorm;
+    if (!std::isfinite(rnorm)) {
+      res.outcome = IterativeOutcome::kBreakdown;
+      return res;
+    }
+    if (rnorm <= target) {
+      res.outcome = IterativeOutcome::kConverged;
+      return res;
+    }
+    if (omega == 0.0) {
+      res.outcome = IterativeOutcome::kBreakdown;
+      return res;
+    }
+    if (guard.stalled(rnorm)) {
+      res.outcome = IterativeOutcome::kStagnation;
+      return res;
+    }
+  }
+  res.outcome = IterativeOutcome::kMaxIterations;
+  return res;
+}
+
+}  // namespace mivtx::linalg

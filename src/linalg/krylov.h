@@ -1,0 +1,151 @@
+// Iterative (Krylov) solver tier for large MNA systems.
+//
+// Direct sparse LU is the right tool up to a few thousand unknowns; past
+// that, factor fill-in dominates (a 2D power-grid mesh factors in
+// O(n^1.5) space / O(n^2) work even with a good ordering) while a
+// preconditioned Krylov solve stays O(nnz) per iteration.  This header
+// supplies the pieces SolverWorkspace's auto-selection stitches together:
+//
+//   CsrView                 non-owning view of the AssemblyPlan's CSR
+//                           pattern + the workspace's value array.
+//   JacobiPreconditioner    diagonal scaling; rows with a missing/zero
+//                           diagonal (MNA voltage-source branch rows)
+//                           pass through unscaled.
+//   Ilu0Preconditioner      ILU(0) on the pattern A ∪ full diagonal.
+//                           MNA branch rows have a structurally ZERO
+//                           diagonal, so the factorization pattern must
+//                           include every (i,i) slot for elimination to
+//                           fill it -- restricted to A's own pattern the
+//                           pivot would stay 0 and the factorization
+//                           would be singular.  No pivoting: unknowns
+//                           keep MNA order (node voltages before branch
+//                           currents), which eliminates the conductance
+//                           block first and fills the branch diagonals.
+//   KrylovSolver            preconditioned CG (SPD / symmetrizable
+//                           values) and BiCGStab (general MNA), with
+//                           typed outcomes so the caller can fall back
+//                           to direct LU on breakdown or stagnation
+//                           instead of returning garbage.
+//
+// Like SparseLU, everything here is analyze-once / factorize-per-value-set
+// and the hot calls never allocate after the first solve at a given size.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace mivtx::linalg {
+
+// Non-owning CSR view (square, sorted duplicate-free columns per row).
+// The pointed-to containers must outlive the view.
+struct CsrView {
+  std::size_t n = 0;
+  const std::vector<std::size_t>* row_ptr = nullptr;
+  const std::vector<std::size_t>* col_idx = nullptr;
+  const std::vector<double>* values = nullptr;
+};
+
+// y = A x.
+void csr_matvec(const CsrView& a, const Vector& x, Vector& y);
+
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  // z = M^{-1} r.  r and z must not alias.
+  virtual void apply(const Vector& r, Vector& z) const = 0;
+  virtual const char* name() const = 0;
+};
+
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  void analyze(std::size_t n, const std::vector<std::size_t>& row_ptr,
+               const std::vector<std::size_t>& col_idx);
+  // Returns false only on a non-finite diagonal; zero/missing diagonals
+  // degrade to identity on that row.
+  bool factorize(const std::vector<double>& csr_values);
+  void apply(const Vector& r, Vector& z) const override;
+  const char* name() const override { return "jacobi"; }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> diag_slot_;  // kNone when (i,i) not in pattern
+  std::vector<double> inv_diag_;
+};
+
+class Ilu0Preconditioner final : public Preconditioner {
+ public:
+  // Build the factorization pattern A ∪ diagonal and the scatter map from
+  // the caller's CSR slots into it.
+  void analyze(std::size_t n, const std::vector<std::size_t>& row_ptr,
+               const std::vector<std::size_t>& col_idx);
+  // Incomplete factorization of the caller's values on the analyzed
+  // pattern.  Returns false on a non-finite or relatively-tiny pivot
+  // (caller should drop to Jacobi or direct LU).
+  bool factorize(const std::vector<double>& csr_values);
+  void apply(const Vector& r, Vector& z) const override;
+  const char* name() const override { return "ilu0"; }
+  std::size_t pattern_nnz() const { return col_idx_.size(); }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t n_ = 0;
+  // Own pattern (A plus any missing diagonal slots), sorted per row.
+  std::vector<std::size_t> row_ptr_, col_idx_;
+  std::vector<std::size_t> diag_;  // row -> slot of (i,i) in own pattern
+  std::vector<std::size_t> src_;   // own slot -> caller slot (kNone = inserted)
+  std::vector<double> lu_;         // factored values, L unit-diagonal
+  std::vector<std::size_t> pos_;   // scratch: column -> own slot + 1
+  std::vector<double> rowmax_;     // scratch: max |a_ij| per row pre-elim
+};
+
+enum class IterativeOutcome {
+  kConverged,
+  kMaxIterations,  // residual target not reached in the iteration budget
+  kBreakdown,      // zero/non-finite inner product (CG: lost positive
+                   // definiteness; BiCGStab: rho/omega collapse)
+  kStagnation,     // residual stopped improving (see stagnation_window)
+};
+const char* to_string(IterativeOutcome outcome);
+
+struct IterativeOptions {
+  // Converged when ||r||_2 <= max(rtol * ||b||_2, atol).
+  double rtol = 1e-10;
+  double atol = 0.0;
+  // <= 0 picks min(2n, 1000).
+  int max_iterations = 0;
+  // Declare stagnation when the best residual seen has not halved within
+  // this many consecutive iterations.
+  int stagnation_window = 100;
+};
+
+struct IterativeResult {
+  IterativeOutcome outcome = IterativeOutcome::kBreakdown;
+  int iterations = 0;
+  double rel_residual = 0.0;  // ||r||_2 / ||b||_2 at exit
+  bool ok() const { return outcome == IterativeOutcome::kConverged; }
+};
+
+// Workspace-owning driver: scratch vectors are sized on first use and
+// reused, so repeated solves at one size never allocate.
+class KrylovSolver {
+ public:
+  // Preconditioned conjugate gradient.  Correct only for symmetric
+  // positive-definite values (the caller sniffs value symmetry); on
+  // anything else the p'Ap > 0 invariant breaks and the result reports
+  // kBreakdown.  x is the initial guess and receives the best iterate.
+  IterativeResult cg(const CsrView& a, const Preconditioner* m,
+                     const Vector& b, Vector& x,
+                     const IterativeOptions& opts = {});
+  // Preconditioned BiCGStab for general unsymmetric systems.
+  IterativeResult bicgstab(const CsrView& a, const Preconditioner* m,
+                           const Vector& b, Vector& x,
+                           const IterativeOptions& opts = {});
+
+ private:
+  void bind(std::size_t n);
+  Vector r_, z_, p_, q_, r0_, v_, s_, t_, y_, sh_;
+};
+
+}  // namespace mivtx::linalg

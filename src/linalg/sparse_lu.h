@@ -60,6 +60,11 @@ class SparseLU {
   double pivot_ratio() const { return pivot_ratio_; }
   std::size_t factor_nnz() const { return li_.size() + ui_.size() + n_; }
   const std::vector<std::size_t>& column_order() const { return colperm_; }
+  // Factor-size estimate from the symbolic elimination analyze() ran on
+  // the symmetrized pattern: sum over pivots of (live degree + 1) L and U
+  // entries.  Partial pivoting can exceed it; SolverWorkspace's
+  // direct-vs-iterative crossover only needs the order of magnitude.
+  std::size_t predicted_factor_nnz() const { return predicted_factor_nnz_; }
 
   // Relative pivot-degradation bound accepted by refactorize().
   double refactor_pivot_tol = 1e-3;
@@ -80,6 +85,7 @@ class SparseLU {
   std::size_t n_ = 0;
   bool factorized_ = false;
   double pivot_ratio_ = 0.0;
+  std::size_t predicted_factor_nnz_ = 0;
 
   // CSC view of the analyzed pattern; csc_src_[k] is the index of CSC
   // entry k inside the caller's CSR value array.

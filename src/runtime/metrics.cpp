@@ -14,8 +14,14 @@ namespace mivtx::runtime {
 std::size_t histogram_bucket(double seconds) {
   const double ns = seconds * 1e9;
   if (!(ns >= 1.0)) return 0;  // sub-ns, negative and NaN all land in [0]
-  const auto b = static_cast<std::size_t>(std::log2(ns));
-  return std::min(b, kHistogramBuckets - 1);
+  const double b = std::log2(ns);
+  // Clamp in the double domain: seconds = inf (or anything whose ns
+  // product overflows) makes log2 return +inf, and converting a value
+  // outside the destination range to an integer is undefined behavior —
+  // the old post-cast std::min clamped one step too late.
+  if (!(b < static_cast<double>(kHistogramBuckets - 1)))
+    return kHistogramBuckets - 1;
+  return static_cast<std::size_t>(b);
 }
 
 double HistogramValue::quantile(double q) const {

@@ -904,11 +904,11 @@ bool CornerEngine::run() {
     const std::vector<double> bp = transient_breakpoints(*ln.circuit, t_stop);
     breakpoints.insert(breakpoints.end(), bp.begin(), bp.end());
   }
-  std::sort(breakpoints.begin(), breakpoints.end());
-  breakpoints.erase(
-      std::unique(breakpoints.begin(), breakpoints.end(),
-                  [](double a, double b) { return std::fabs(a - b) < 1e-18; }),
-      breakpoints.end());
+  // Coalesce with the relative tolerance: per-lane `delay + k * period`
+  // sums differ by a few ULP across lanes at large t, and a surviving
+  // near-duplicate would force a sub-h_min landing step (scalar-path
+  // fallback, lockstep lost) instead of a shared landing.
+  coalesce_breakpoints(breakpoints);
   std::size_t next_bp = 0;
 
   double t = 0.0;
@@ -922,18 +922,19 @@ bool CornerEngine::run() {
 
   std::vector<Target> ts(k), ts_half(k), ts_two(k);
 
-  while (t < t_stop - 1e-18) {
+  while (t < t_stop - breakpoint_tol(t_stop)) {
     if (accepted + rejected > opts_.max_steps) {
       MIVTX_WARN << "corner_transient: step budget exhausted at t=" << t
                  << "; falling back to the scalar path";
       return false;
     }
-    while (next_bp < breakpoints.size() && breakpoints[next_bp] <= t + 1e-18)
+    while (next_bp < breakpoints.size() &&
+           breakpoints[next_bp] <= t + breakpoint_tol(t))
       ++next_bp;
     double h_eff = std::min(h, h_max);
     bool hit_bp = false;
     if (next_bp < breakpoints.size() &&
-        t + h_eff >= breakpoints[next_bp] - 1e-18) {
+        t + h_eff >= breakpoints[next_bp] - breakpoint_tol(t)) {
       h_eff = breakpoints[next_bp] - t;
       hit_bp = true;
     }

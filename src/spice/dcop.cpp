@@ -134,18 +134,49 @@ DcResult dc_operating_point(const Circuit& circuit, const NewtonOptions& opts,
   // Gmin stepping: converge with a large parallel conductance, then ratchet
   // it down, re-using each solution as the next seed.  The workspace (plan,
   // symbolic LU, device cache) is shared across every stage.
+  //
+  // The drop per stage adapts: 100x while stages keep converging (the
+  // original fixed schedule, so well-behaved circuits walk the identical
+  // path), and when a stage diverges the march retreats to the last
+  // converged gmin and retries with a geometrically smaller drop.  Deep
+  // logic chains (e.g. the generated ripple-carry arrays) need the finer
+  // schedule only around one transition decade, so the extra stages cost a
+  // handful of Newton iterations.
   {
     linalg::Vector x(n, 0.0);
     bool ok = true;
-    for (double gmin = 1e-3; gmin >= 0.9e-12; gmin *= 1e-2) {
-      ctx.gmin = gmin;
-      const NewtonResult r = solve_newton(circuit, ctx, x, opts, ws);
-      out.total_iterations += r.iterations;
-      if (!r.converged) {
+    double gmin_good = 0.0;  // last converged stage (0 = none yet)
+    double drop = 1e-2;
+    double gmin = 1e-3;
+    linalg::Vector good;
+    int stages = 0;
+    while (gmin >= 0.9e-12) {
+      if (++stages > 64) {
         ok = false;
         break;
       }
+      ctx.gmin = gmin;
+      linalg::Vector trial = gmin_good > 0.0 ? good : x;
+      const NewtonResult r = solve_newton(circuit, ctx, trial, opts, ws);
+      out.total_iterations += r.iterations;
+      if (r.converged) {
+        good = std::move(trial);
+        gmin_good = gmin;
+        gmin *= drop;
+        continue;
+      }
+      if (gmin_good <= 0.0) {
+        ok = false;  // even the easiest stage failed; no seed to refine from
+        break;
+      }
+      drop = std::sqrt(drop);
+      if (drop > 0.5) {  // sub-2x stages and still diverging: give up
+        ok = false;
+        break;
+      }
+      gmin = gmin_good * drop;
     }
+    if (ok && gmin_good > 0.0) x = std::move(good);
     if (ok) {
       ctx.gmin = 1e-12;
       const NewtonResult r = solve_newton(circuit, ctx, x, opts, ws);

@@ -22,6 +22,24 @@ class SolverWorkspace;
 // falls back to dense on pivot failure (see SolverWorkspace).
 enum class SolverBackend { kAuto, kDense, kSparse };
 
+// Linear-solve method within the sparse backend (see solver_workspace.h).
+//   kAuto     — direct sparse LU below the iterative crossover, Krylov at
+//               or above it: n >= iterative_min_unknowns skips the LU
+//               symbolic analysis outright; in the band
+//               [iterative_fill_min_unknowns, iterative_min_unknowns) the
+//               analysis runs and its predicted factor fill-in decides
+//               (iterative when predicted_nnz >= iterative_fill_ratio *
+//               nnz(A)).  Method choice: CG when the assembled values are
+//               symmetric (e.g. a resistive power grid), BiCGStab for
+//               general MNA Jacobians.
+//   kDirect   — always the direct LU ladder.
+//   kCg / kBicgstab — pin the Krylov method regardless of size (testing /
+//               differential configs).  Breakdown, stagnation or an
+//               iteration-budget miss on any iterative solve falls back to
+//               the direct ladder with a typed SolverStats reason.
+enum class LinearSolver { kAuto, kDirect, kCg, kBicgstab };
+const char* linear_solver_name(LinearSolver s);
+
 // MOSFET evaluation strategy (sparse backend; the dense small-circuit
 // path always evaluates per device).
 //   kAuto     — batched SoA evaluation at the best compiled-in SIMD level
@@ -61,6 +79,21 @@ struct NewtonOptions {
   // flows leave this on; mivtx::verify's differential engine turns it off
   // to cross-check the ladder rungs against the from-scratch path.
   bool reuse_factorization = true;
+  // Iterative (Krylov) tier within the sparse backend; see LinearSolver.
+  LinearSolver linear_solver = LinearSolver::kAuto;
+  // kAuto crossover: iterative at or above this many unknowns without
+  // even running the LU symbolic analysis (ordering a 100k-unknown mesh
+  // is itself more work than a preconditioned solve)...
+  std::size_t iterative_min_unknowns = 8192;
+  // ...and below it, iterative when the symbolic analysis predicts factor
+  // fill-in at least this multiple of nnz(A), checked only at or above
+  // iterative_fill_min_unknowns (small systems always go direct).
+  double iterative_fill_ratio = 16.0;
+  std::size_t iterative_fill_min_unknowns = 2048;
+  // Krylov convergence target, relative to ||rhs||_2, and the iteration
+  // budget per linear solve (<= 0 picks the krylov.h default).
+  double iterative_rtol = 1e-10;
+  int iterative_max_iterations = 500;
 };
 
 struct NewtonResult {

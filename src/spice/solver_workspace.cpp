@@ -1,5 +1,7 @@
 #include "spice/solver_workspace.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/error.h"
@@ -27,7 +29,53 @@ class StatTimer {
   double w0_;
 };
 
+// Above this many unknowns the singular-pivot densify rung is refused:
+// the n x n dense matrix alone would dwarf every sparse structure (80 GB
+// at 100k unknowns), and the iterative-tier circuits that reach these
+// sizes are exactly the ones that would hit it.
+constexpr std::size_t kDenseFallbackMaxUnknowns = 4096;
+// Sticky-disable the iterative tier after this many consecutive failed
+// Krylov solves; one nasty mid-transient Jacobian should not condemn the
+// rest of the run to direct LU, but a systematically hard system should
+// stop paying for doomed Krylov sweeps.
+constexpr int kIterativeDisableAfter = 3;
+
+IterativeFallback fallback_reason(linalg::IterativeOutcome outcome) {
+  switch (outcome) {
+    case linalg::IterativeOutcome::kBreakdown:
+      return IterativeFallback::kBreakdown;
+    case linalg::IterativeOutcome::kStagnation:
+      return IterativeFallback::kStagnation;
+    case linalg::IterativeOutcome::kMaxIterations:
+      return IterativeFallback::kMaxIterations;
+    case linalg::IterativeOutcome::kConverged:
+      break;
+  }
+  return IterativeFallback::kNone;
+}
+
 }  // namespace
+
+const char* to_string(IterativeFallback f) {
+  switch (f) {
+    case IterativeFallback::kNone: return "none";
+    case IterativeFallback::kPrecondFailed: return "precond-failed";
+    case IterativeFallback::kBreakdown: return "breakdown";
+    case IterativeFallback::kStagnation: return "stagnation";
+    case IterativeFallback::kMaxIterations: return "max-iterations";
+  }
+  return "?";
+}
+
+const char* linear_solver_name(LinearSolver s) {
+  switch (s) {
+    case LinearSolver::kAuto: return "auto";
+    case LinearSolver::kDirect: return "direct";
+    case LinearSolver::kCg: return "cg";
+    case LinearSolver::kBicgstab: return "bicgstab";
+  }
+  return "?";
+}
 
 SolverWorkspace::SolverWorkspace(const Circuit& circuit,
                                  const NewtonOptions& opts)
@@ -50,9 +98,65 @@ SolverWorkspace::SolverWorkspace(const Circuit& circuit,
   rhs_.assign(n_, 0.0);
   if (sparse_) {
     plan_.emplace(circuit);
-    lu_.analyze(plan_->size(), plan_->row_ptr(), plan_->col_idx());
-    stats_.symbolic_analyses += 1;
     values_.assign(plan_->nnz(), 0.0);
+    // Direct-vs-iterative crossover (DESIGN.md §15).  At or above
+    // iterative_min_unknowns the LU symbolic analysis is skipped outright
+    // (the min-degree ordering is itself super-linear); in the band below
+    // it the analysis runs and its predicted fill-in decides.
+    switch (opts.linear_solver) {
+      case LinearSolver::kDirect:
+        break;
+      case LinearSolver::kCg:
+      case LinearSolver::kBicgstab:
+        iterative_ = true;
+        iter_method_ = opts.linear_solver;
+        break;
+      case LinearSolver::kAuto:
+        iterative_ = n_ >= opts.iterative_min_unknowns;
+        break;
+    }
+    if (!iterative_) {
+      ensure_lu_analyzed();
+      if (opts.linear_solver == LinearSolver::kAuto &&
+          n_ >= opts.iterative_fill_min_unknowns &&
+          static_cast<double>(lu_.predicted_factor_nnz()) >=
+              opts.iterative_fill_ratio * static_cast<double>(plan_->nnz()))
+        iterative_ = true;
+    }
+    if (iterative_) {
+      ilu0_.analyze(n_, plan_->row_ptr(), plan_->col_idx());
+      jacobi_.analyze(n_, plan_->row_ptr(), plan_->col_idx());
+      iter_x_.assign(n_, 0.0);
+      iterative_rtol_ = opts.iterative_rtol;
+      iterative_max_iterations_ = opts.iterative_max_iterations;
+      // Transpose-slot map for the CG-vs-BiCGStab value-symmetry sniff
+      // (only consulted when the method is not pinned).  Branch unknowns
+      // (V/E/L currents) rule CG out regardless of symmetry: their zero
+      // diagonal makes the MNA system a symmetric *indefinite* saddle
+      // point, and CG's p'Ap > 0 invariant only holds on SPD systems —
+      // think a Norton-fed power grid, not a V-source-driven cell.
+      const bool branch_free = n_ + 1 == circuit.num_nodes();
+      if (iter_method_ == LinearSolver::kAuto && branch_free) {
+        const std::vector<std::size_t>& row_ptr = plan_->row_ptr();
+        const std::vector<std::size_t>& col_idx = plan_->col_idx();
+        constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+        sym_slot_.assign(plan_->nnz(), kNone);
+        pattern_symmetric_ = true;
+        for (std::size_t r = 0; r < n_; ++r) {
+          for (std::size_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+            const std::size_t c = col_idx[p];
+            const auto b = col_idx.begin() + static_cast<std::ptrdiff_t>(row_ptr[c]);
+            const auto e = col_idx.begin() + static_cast<std::ptrdiff_t>(row_ptr[c + 1]);
+            const auto it = std::lower_bound(b, e, r);
+            if (it != e && *it == r)
+              sym_slot_[p] =
+                  static_cast<std::size_t>(it - col_idx.begin());
+            else
+              pattern_symmetric_ = false;
+          }
+        }
+      }
+    }
     cache_.vtol = opts.bypass_vtol;
     if (opts.bypass_vtol >= 0.0) cache_.bind(circuit);
 
@@ -141,6 +245,14 @@ void SolverWorkspace::assemble(const linalg::Vector& x,
         !have_coeffs_ || ctx.gmin != last_gmin_ || ctx.h != last_h_ ||
         ctx.step_ratio != last_step_ratio_ || ctx.integrator != last_integrator_;
     if (fresh != 0 || coeffs_changed) jac_generation_ += 1;
+    // The iterative-tier sticky disable is scoped to one coefficient
+    // regime: Krylov conditioning is dominated by gmin / the companion
+    // coefficients (a zero-start DC Jacobian that breaks BiCGStab says
+    // nothing about the gmin-stepped or transient systems that follow).
+    if (coeffs_changed && iterative_disabled_) {
+      iterative_disabled_ = false;
+      iter_failures_ = 0;
+    }
     last_gmin_ = ctx.gmin;
     last_h_ = ctx.h;
     last_step_ratio_ = ctx.step_ratio;
@@ -150,6 +262,78 @@ void SolverWorkspace::assemble(const linalg::Vector& x,
     spice::assemble(*circuit_, x, ctx, jac_, f_, new_state);
     jac_generation_ += 1;
   }
+}
+
+void SolverWorkspace::ensure_lu_analyzed() {
+  if (lu_analyzed_) return;
+  StatTimer timer(stats_.factor_wall_s);
+  lu_.analyze(plan_->size(), plan_->row_ptr(), plan_->col_idx());
+  stats_.symbolic_analyses += 1;
+  lu_analyzed_ = true;
+}
+
+bool SolverWorkspace::values_symmetric() const {
+  if (!pattern_symmetric_) return false;
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  for (std::size_t p = 0; p < sym_slot_.size(); ++p) {
+    const std::size_t q = sym_slot_[p];
+    if (q == kNone) return false;
+    if (q <= p) continue;  // each off-diagonal pair checked once
+    const double a = values_[p], b = values_[q];
+    if (std::fabs(a - b) > 1e-12 * (std::fabs(a) + std::fabs(b)))
+      return false;
+  }
+  return true;
+}
+
+bool SolverWorkspace::try_iterative_solve(linalg::Vector& b) {
+  // Preconditioner freshness follows the same generation discipline as
+  // the direct reuse rung: rebuild iff the Jacobian values changed.
+  if (!precond_ok_ || precond_generation_ != jac_generation_) {
+    StatTimer timer(stats_.factor_wall_s);
+    use_jacobi_ = false;
+    bool ok = ilu0_.factorize(values_);
+    if (!ok) {
+      ok = jacobi_.factorize(values_);
+      use_jacobi_ = ok;
+    }
+    if (!ok) {
+      stats_.last_fallback = IterativeFallback::kPrecondFailed;
+      precond_ok_ = false;
+      return false;
+    }
+    stats_.precond_factorizations += 1;
+    precond_ok_ = true;
+    precond_generation_ = jac_generation_;
+    if (iter_method_ == LinearSolver::kAuto)
+      values_symmetric_ = values_symmetric();
+  }
+  const bool use_cg =
+      iter_method_ == LinearSolver::kCg ||
+      (iter_method_ == LinearSolver::kAuto && values_symmetric_);
+  linalg::CsrView a{n_, &plan_->row_ptr(), &plan_->col_idx(), &values_};
+  linalg::IterativeOptions io;
+  io.rtol = iterative_rtol_;
+  io.max_iterations = iterative_max_iterations_;
+  const linalg::Preconditioner* m =
+      use_jacobi_ ? static_cast<const linalg::Preconditioner*>(&jacobi_)
+                  : &ilu0_;
+  ensure(iter_x_, n_);
+  std::fill(iter_x_.begin(), iter_x_.end(), 0.0);  // Newton dx guess: 0
+  linalg::IterativeResult res;
+  {
+    StatTimer timer(stats_.solve_wall_s);
+    res = use_cg ? krylov_.cg(a, m, b, iter_x_, io)
+                 : krylov_.bicgstab(a, m, b, iter_x_, io);
+  }
+  stats_.iterative_iterations += static_cast<std::uint64_t>(res.iterations);
+  if (!res.ok()) {
+    stats_.last_fallback = fallback_reason(res.outcome);
+    return false;
+  }
+  stats_.iterative_solves += 1;
+  b = iter_x_;
+  return true;
 }
 
 bool SolverWorkspace::factor_and_solve(linalg::Vector& b) {
@@ -169,6 +353,19 @@ bool SolverWorkspace::factor_and_solve(linalg::Vector& b) {
     dense_lu_->solve_in_place(b);
     return true;
   }
+
+  if (iterative_ && !iterative_disabled_) {
+    if (try_iterative_solve(b)) {
+      iter_failures_ = 0;
+      return true;
+    }
+    // Typed reason already recorded; reroute this solve (and, after
+    // repeated failures, the rest of the workspace) to the direct ladder.
+    stats_.iterative_fallbacks += 1;
+    if (++iter_failures_ >= kIterativeDisableAfter)
+      iterative_disabled_ = true;
+  }
+  ensure_lu_analyzed();
 
   const bool current = reuse_factorization_ && numeric_ok_ &&
                        lu_.factorized() &&
@@ -194,8 +391,11 @@ bool SolverWorkspace::factor_and_solve(linalg::Vector& b) {
     if (!ok) {
       // Singular for the sparse pivoting: densify the same values and let
       // DenseLU have the final word, so the sparse core never converges
-      // worse than the legacy dense path.  Rare, allowed to allocate.
+      // worse than the legacy dense path.  Rare, allowed to allocate —
+      // but only at sizes where an n x n dense matrix is sane; at the
+      // iterative tier's scales the densify alone would be gigabytes.
       numeric_ok_ = false;
+      if (n_ > kDenseFallbackMaxUnknowns) return false;
       stats_.dense_fallbacks += 1;
       if (jac_.rows() != n_) jac_ = linalg::DenseMatrix(n_, n_);
       jac_.set_zero();
@@ -228,6 +428,7 @@ void SolverWorkspace::invalidate() {
   cache_.invalidate();
   numeric_ok_ = false;
   have_coeffs_ = false;
+  precond_ok_ = false;
   jac_generation_ += 1;
 }
 
@@ -276,6 +477,11 @@ void SolverWorkspace::flush_metrics() {
   add("spice.sparse.lu_reuses", stats_.lu_reuses);
   add("spice.sparse.dense_fallbacks", stats_.dense_fallbacks);
   add("spice.dense.solves", stats_.dense_solves);
+  add("spice.iterative.solves", stats_.iterative_solves);
+  add("spice.iterative.iterations", stats_.iterative_iterations);
+  add("spice.iterative.precond_factorizations",
+      stats_.precond_factorizations);
+  add("spice.iterative.fallbacks", stats_.iterative_fallbacks);
   add("spice.device.evals", stats_.device_evals);
   add("spice.device.bypasses", stats_.device_bypasses);
   add("spice.device.evals.dc", stats_.device_evals_dc);
@@ -313,6 +519,12 @@ void annotate_span(trace::Span& span, const SolverStats& since,
   span.annotate("lu_reuses", delta(since.lu_reuses, now.lu_reuses));
   span.annotate("device_bypasses",
                 delta(since.device_bypasses, now.device_bypasses));
+  if (now.iterative_solves != since.iterative_solves)
+    span.annotate("iterative_solves",
+                  delta(since.iterative_solves, now.iterative_solves));
+  if (now.iterative_fallbacks != since.iterative_fallbacks)
+    span.annotate("iterative_fallbacks",
+                  delta(since.iterative_fallbacks, now.iterative_fallbacks));
 }
 
 }  // namespace mivtx::spice

@@ -30,7 +30,17 @@
 //                no DFS, no pivot search, no allocation.
 //   3. factorize   — full Gilbert-Peierls with fresh partial pivoting
 //                (first solve, or a pivot degraded past the replay bound).
-//   4. dense fallback — densify the CSR values and run DenseLU.
+//   4. dense fallback — densify the CSR values and run DenseLU (gated to
+//                small systems; a 10k+-unknown densify would be gigabytes).
+//
+// Iterative tier (NewtonOptions::linear_solver, DESIGN.md §15): above the
+// direct/iterative crossover the ladder is fronted by a preconditioned
+// Krylov solve — ILU(0) (Jacobi when ILU(0) breaks down) rebuilt on the
+// same jac_generation_ discipline as the reuse rung, then CG for
+// symmetric values or BiCGStab in general.  A solve that converges never
+// touches the LU; breakdown/stagnation/budget-miss records a typed
+// reason in SolverStats and reroutes to the direct ladder (sticky after
+// kIterativeDisableAfter consecutive failures).
 #pragma once
 
 #include <cstdint>
@@ -38,6 +48,7 @@
 
 #include "bsimsoi/batch.h"
 #include "linalg/dense.h"
+#include "linalg/krylov.h"
 #include "linalg/sparse_lu.h"
 #include "spice/assembly_plan.h"
 #include "spice/dcop.h"
@@ -45,6 +56,16 @@
 #include "trace/trace.h"
 
 namespace mivtx::spice {
+
+// Why an iterative solve rerouted to the direct LU ladder.
+enum class IterativeFallback : std::uint8_t {
+  kNone,           // no fallback has happened
+  kPrecondFailed,  // ILU(0) and Jacobi both failed to factorize
+  kBreakdown,      // Krylov recurrence collapsed (see linalg::IterativeOutcome)
+  kStagnation,     // residual stopped improving
+  kMaxIterations,  // iteration budget exhausted short of the tolerance
+};
+const char* to_string(IterativeFallback f);
 
 // Locally accumulated counters/timers; see flush_metrics() for the
 // runtime::Metrics names they publish under.
@@ -69,6 +90,14 @@ struct SolverStats {
   std::uint64_t device_batch_evals = 0;   // kernel passes
   std::uint64_t device_batch_blocks = 0;  // kLaneWidth-wide blocks
   std::uint64_t device_batch_lanes = 0;   // real instances in those blocks
+  // Iterative (Krylov) tier: converged solves, total Krylov iterations,
+  // preconditioner numeric builds, and reroutes to the direct ladder with
+  // the reason of the most recent one.
+  std::uint64_t iterative_solves = 0;
+  std::uint64_t iterative_iterations = 0;
+  std::uint64_t precond_factorizations = 0;
+  std::uint64_t iterative_fallbacks = 0;
+  IterativeFallback last_fallback = IterativeFallback::kNone;
   // Workspace-owned buffer growth events.  After the first Newton
   // iteration on a given circuit every buffer has reached steady-state
   // size, so this counter must stay flat across the rest of the loop —
@@ -97,6 +126,12 @@ class SolverWorkspace {
   bool sparse_backend() const { return sparse_; }
   std::size_t size() const { return n_; }
   const AssemblyPlan& plan() const;
+  // Iterative tier selected for this workspace (by pin or by the kAuto
+  // crossover at construction).
+  bool iterative_tier() const { return iterative_; }
+  // ...and still in use (false once consecutive failures stuck it to the
+  // direct ladder).
+  bool iterative_active() const { return iterative_ && !iterative_disabled_; }
   // True when MOSFETs evaluate through the batched SoA kernel (resolved
   // from NewtonOptions::device_eval at construction; sparse backend only).
   bool device_batching() const { return cache_.batch_mode(); }
@@ -139,6 +174,13 @@ class SolverWorkspace {
   void note_alloc() { stats_.workspace_allocations += 1; }
   // Grow-only resize that counts real reallocations.
   void ensure(linalg::Vector& v, std::size_t size);
+  // Lazy symbolic analysis for the direct ladder (the iterative tier
+  // skips it at construction; first direct fallback pays it here).
+  void ensure_lu_analyzed();
+  // One preconditioned Krylov solve of J y = b (y replaces b on success).
+  // false leaves b untouched and stats_.last_fallback set.
+  bool try_iterative_solve(linalg::Vector& b);
+  bool values_symmetric() const;
 
   const Circuit* circuit_ = nullptr;  // topology the plan was built for
   std::size_t n_ = 0;
@@ -165,6 +207,25 @@ class SolverWorkspace {
   bool have_coeffs_ = false;
   double last_gmin_ = 0.0, last_h_ = 0.0, last_step_ratio_ = 0.0;
   Integrator last_integrator_ = Integrator::kNone;
+
+  // Iterative (Krylov) tier state; see class comment and DESIGN.md §15.
+  bool iterative_ = false;
+  bool iterative_disabled_ = false;
+  int iter_failures_ = 0;  // consecutive; reset by any converged solve
+  LinearSolver iter_method_ = LinearSolver::kAuto;  // kCg/kBicgstab pin
+  bool lu_analyzed_ = false;
+  double iterative_rtol_ = 1e-10;
+  int iterative_max_iterations_ = 500;
+  bool pattern_symmetric_ = false;
+  bool values_symmetric_ = false;      // refreshed per preconditioner build
+  std::vector<std::size_t> sym_slot_;  // CSR slot -> transpose slot
+  linalg::Ilu0Preconditioner ilu0_;
+  linalg::JacobiPreconditioner jacobi_;
+  bool use_jacobi_ = false;  // ILU(0) broke down for this generation
+  std::uint64_t precond_generation_ = 0;
+  bool precond_ok_ = false;
+  linalg::KrylovSolver krylov_;
+  linalg::Vector iter_x_;
 
   SolverStats stats_;
 };

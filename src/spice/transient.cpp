@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/error.h"
@@ -36,11 +37,26 @@ std::vector<double> transient_breakpoints(const Circuit& circuit,
     }
   }
   bp.push_back(t_stop);
-  std::sort(bp.begin(), bp.end());
-  bp.erase(std::unique(bp.begin(), bp.end(),
-                       [](double a, double b) { return std::fabs(a - b) < 1e-18; }),
-           bp.end());
+  coalesce_breakpoints(bp);
   return bp;
+}
+
+double breakpoint_tol(double t) {
+  return std::max(1e-18,
+                  8.0 * std::numeric_limits<double>::epsilon() * std::fabs(t));
+}
+
+void coalesce_breakpoints(std::vector<double>& bp) {
+  std::sort(bp.begin(), bp.end());
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < bp.size();) {
+    std::size_t j = i;
+    while (j + 1 < bp.size() && bp[j + 1] - bp[i] <= breakpoint_tol(bp[j + 1]))
+      ++j;
+    bp[out++] = bp[j];
+    i = j + 1;
+  }
+  bp.resize(out);
 }
 
 namespace {
@@ -139,18 +155,23 @@ TransientResult transient(const Circuit& circuit,
   linalg::Vector x_two(n, 0.0);
   DynamicState state_half;
 
-  while (t < opts.t_stop - 1e-18) {
+  while (t < opts.t_stop - breakpoint_tol(opts.t_stop)) {
     if (out.accepted_steps + out.rejected_steps > opts.max_steps) {
       out.error = "step budget exhausted";
       return out;
     }
-    // Land exactly on the next breakpoint.
-    while (next_bp < breakpoints.size() && breakpoints[next_bp] <= t + 1e-18)
+    // Land exactly on the next breakpoint.  Skip-past and landing compare
+    // with breakpoint_tol(t): the landing step `t += (bp - t)` can leave t
+    // an ULP shy of bp, and beyond a few ms one ULP exceeds any absolute
+    // epsilon — the stale breakpoint would then force a ~0-length step
+    // under h_min.
+    while (next_bp < breakpoints.size() &&
+           breakpoints[next_bp] <= t + breakpoint_tol(t))
       ++next_bp;
     double h_eff = std::min(h, h_max);
     bool hit_bp = false;
     if (next_bp < breakpoints.size() &&
-        t + h_eff >= breakpoints[next_bp] - 1e-18) {
+        t + h_eff >= breakpoints[next_bp] - breakpoint_tol(t)) {
       h_eff = breakpoints[next_bp] - t;
       hit_bp = true;
     }

@@ -48,10 +48,26 @@ TransientResult transient(const Circuit& circuit,
                           const TransientOptions& opts);
 
 // Source-slope breakpoints of every independent source up to t_stop
-// (sorted, deduplicated, t_stop appended).  The adaptive stepper lands on
+// (sorted, coalesced, t_stop appended).  The adaptive stepper lands on
 // these exactly; the lane-packed corner engine (spice/corner.h) steps on
 // the union across its lanes.
 std::vector<double> transient_breakpoints(const Circuit& circuit,
                                           double t_stop);
+
+// Tolerance under which two times count as the same stepping event: an
+// absolute floor of 1e-18 s near t=0 widening to a few ULP of t beyond
+// ~0.1 ms.  A purely absolute epsilon breaks at large t — one ULP of 4 ms
+// is already ~9e-19 s, so breakpoints that differ only by accumulated
+// round-off (e.g. per-lane `delay + period * k` sums in the corner
+// engine's breakpoint union) would survive dedup and force a sub-h_min
+// landing step.  Both steppers use this for coalescing, skip-past, and
+// landing checks.
+double breakpoint_tol(double t);
+
+// Sort and coalesce: clusters closer than breakpoint_tol collapse to
+// their largest member, so a landing step covers every alias of the
+// event.  Cluster growth is anchored at the first member, which bounds
+// how far chained near-duplicates can drift.
+void coalesce_breakpoints(std::vector<double>& bp);
 
 }  // namespace mivtx::spice

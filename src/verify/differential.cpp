@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cells/circuitgen.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "core/ppa.h"
@@ -30,6 +31,12 @@ spice::NewtonOptions strict_newton(const SolverConfig& cfg) {
   o.bypass_vtol = cfg.bypass_vtol;
   o.reuse_factorization = cfg.reuse_factorization;
   o.device_eval = cfg.device_eval;
+  o.linear_solver = cfg.linear_solver;
+  // Krylov solves must land well inside the cross-config comparison bound;
+  // the budget is generous because a budget miss silently reroutes to the
+  // direct ladder and the comparison would stop measuring the Krylov path.
+  o.iterative_rtol = 1e-12;
+  o.iterative_max_iterations = 2000;
   return o;
 }
 
@@ -94,6 +101,32 @@ std::vector<SolverConfig> default_solver_matrix() {
   // path against the dense scalar reference.
   m.push_back({"simd-bypass", spice::SolverBackend::kSparse, true, 1e-9,
                DeviceEval::kSimd, 1e-4});
+  // Pinned BiCGStab on cell-sized systems: the Krylov tier against the
+  // dense reference far below its crossover.  Iterative dx steps walk a
+  // slightly different Newton path (and transient step grid), so the lane
+  // runs at the production iterative tolerance rather than the exact one.
+  m.push_back({"sparse-bicgstab", spice::SolverBackend::kSparse, true, 0.0,
+               DeviceEval::kScalar, 1e-6, spice::LinearSolver::kBicgstab});
+  return m;
+}
+
+std::vector<SolverConfig> iterative_solver_matrix(bool pin_cg) {
+  using spice::DeviceEval;
+  using spice::LinearSolver;
+  std::vector<SolverConfig> m;
+  // Reference: the direct sparse LU ladder.  Device evaluation stays on
+  // kAuto for every lane — the axis under test is the linear solver, and
+  // the big corpora would pay thousands of needless scalar evals.
+  m.push_back({"sparse-direct", spice::SolverBackend::kSparse, true, 0.0,
+               DeviceEval::kAuto, 0.0, LinearSolver::kDirect});
+  m.push_back({"sparse-auto", spice::SolverBackend::kSparse, true, 0.0,
+               DeviceEval::kAuto, 1e-6, LinearSolver::kAuto});
+  m.push_back({"sparse-bicgstab", spice::SolverBackend::kSparse, true, 0.0,
+               DeviceEval::kAuto, 1e-6, LinearSolver::kBicgstab});
+  if (pin_cg) {
+    m.push_back({"sparse-cg", spice::SolverBackend::kSparse, true, 0.0,
+                 DeviceEval::kAuto, 1e-6, LinearSolver::kCg});
+  }
   return m;
 }
 
@@ -133,6 +166,44 @@ std::vector<DiffCase> cell_corpus(const core::ModelLibrary& library) {
     for (const cells::Implementation impl : cells::all_implementations())
       cases.push_back(make_cell_case(type, impl, library));
   return cases;
+}
+
+DiffCase make_power_grid_case(std::size_t rows, std::size_t cols) {
+  cells::PowerGridSpec spec;
+  spec.rows = rows;
+  spec.cols = cols;
+  cells::GeneratedCircuit gen = cells::build_power_grid(spec);
+  DiffCase c;
+  c.name = gen.name;
+  c.circuit = std::move(gen.circuit);
+  c.run_transient = false;
+  return c;
+}
+
+DiffCase make_adder_case(std::size_t bits, cells::Implementation impl,
+                         const core::ModelLibrary& library) {
+  const core::PpaEngine engine(library);
+  cells::GeneratedCircuit gen =
+      cells::build_adder_array(bits, impl, engine.model_set(impl),
+                               cells::ParasiticSpec{}, 1.0);
+  DiffCase c;
+  c.name = gen.name;
+  c.circuit = std::move(gen.circuit);
+  c.run_transient = false;
+  return c;
+}
+
+DiffCase make_ring_case(std::size_t stages, cells::Implementation impl,
+                        const core::ModelLibrary& library) {
+  const core::PpaEngine engine(library);
+  cells::GeneratedCircuit gen =
+      cells::build_ring_oscillator(stages, impl, engine.model_set(impl),
+                                   cells::ParasiticSpec{}, 1.0);
+  DiffCase c;
+  c.name = gen.name;
+  c.circuit = std::move(gen.circuit);
+  c.run_transient = false;
+  return c;
 }
 
 DiffCase netlist_case(const std::string& name, const std::string& text,

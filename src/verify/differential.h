@@ -43,6 +43,10 @@ struct SolverConfig {
   // bypass-cache axis trades exactness for speed by design, so it ships
   // with a looser bound.
   double tolerance = 0.0;
+  // Linear-solve method within the sparse backend: the iterative-tier
+  // configs pin kCg/kBicgstab so the Krylov path is measured against the
+  // direct-LU reference even below the kAuto crossover.
+  spice::LinearSolver linear_solver = spice::LinearSolver::kAuto;
 };
 
 // dense (reference), sparse, sparse with the reuse ladder disabled, sparse
@@ -50,6 +54,14 @@ struct SolverConfig {
 // SIMD device kernel at exact tolerance, and SIMD + bypass at the
 // production tolerance.
 std::vector<SolverConfig> default_solver_matrix();
+
+// Direct-vs-iterative matrix for the large-circuit corpus: sparse direct
+// LU as the reference, then the kAuto crossover and a pinned BiCGStab
+// lane (valid on any MNA Jacobian).  `pin_cg` adds a pinned-CG lane — use
+// it only on corpora whose assembled Jacobians are symmetric (the
+// power-grid meshes); CG's short recurrence is meaningless on a general
+// nonsymmetric system.
+std::vector<SolverConfig> iterative_solver_matrix(bool pin_cg = false);
 
 // One circuit + analysis window to push through the matrix.
 struct DiffCase {
@@ -72,6 +84,17 @@ std::vector<DiffCase> cell_corpus(const core::ModelLibrary& library);
 // failure.
 DiffCase netlist_case(const std::string& name, const std::string& text,
                       double default_t_stop = 1e-6);
+
+// Large-circuit cases for the iterative solver tier (cells/circuitgen.h).
+// DC-only: the point is the linear-solver core at scale, and a transient
+// would multiply runtime without adding solver coverage.  The power grid
+// assembles a symmetric (SPD) Jacobian, the adder and ring are general
+// MNA systems with thousands of BSIMSOI devices.
+DiffCase make_power_grid_case(std::size_t rows, std::size_t cols);
+DiffCase make_adder_case(std::size_t bits, cells::Implementation impl,
+                         const core::ModelLibrary& library);
+DiffCase make_ring_case(std::size_t stages, cells::Implementation impl,
+                        const core::ModelLibrary& library);
 
 struct DiffOptions {
   double tolerance = 1e-9;

@@ -4,6 +4,8 @@
 // parallel-vs-serial bit-identity of the PPA and variability flows.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include <atomic>
 #include <chrono>
 #include <cstddef>
@@ -178,6 +180,29 @@ TEST(Metrics, HistogramBucketsAndQuantiles) {
   EXPECT_NE(json.find("\"p99_s\""), std::string::npos);
   m.reset();
   EXPECT_EQ(m.histogram("lat").count, 0u);
+}
+
+TEST(Metrics, OverRangeLatencySamplesClampIntoTopBucket) {
+  // Regression: bucketing used to cast log2(ns) to size_t before
+  // clamping, so an infinite (or 1e9-overflowing) latency converted +inf
+  // to an integer — undefined behavior the UBSan CI leg now guards.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(runtime::histogram_bucket(inf), runtime::kHistogramBuckets - 1);
+  EXPECT_EQ(runtime::histogram_bucket(1e300),  // ns product overflows to inf
+            runtime::kHistogramBuckets - 1);
+  EXPECT_EQ(runtime::histogram_bucket(std::numeric_limits<double>::max()),
+            runtime::kHistogramBuckets - 1);
+  EXPECT_EQ(runtime::histogram_bucket(-inf), 0u);
+
+  runtime::Metrics m;
+  m.record_latency("lat", inf);
+  m.record_latency("lat", 1e-6);
+  const runtime::HistogramValue h = m.histogram("lat");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.buckets[runtime::kHistogramBuckets - 1], 1u);
+  // Rendering and quantiles stay finite-field well-formed.
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 1024e-9);
+  EXPECT_NE(m.render_json().find("\"lat\""), std::string::npos);
 }
 
 // ----------------------------------------------------------------- cache

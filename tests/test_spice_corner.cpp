@@ -122,6 +122,69 @@ TEST(CornerTransient, ScalarDeviceEvalFallsBackAndStaysCorrect) {
   ASSERT_EQ(group.lanes.size(), 2u);
 }
 
+// Regression: per-lane pulse corners that differ only by accumulated
+// round-off (a few ULP at millisecond timestamps, where one ULP already
+// exceeds the old absolute 1e-18 dedup epsilon) must coalesce into one
+// stepping event.  Before breakpoint_tol the near-duplicates survived the
+// union, the landing step on the second alias came out below h_min, and
+// the engine silently dropped out of lockstep onto the scalar path.
+TEST(CornerTransient, UlpJitteredBreakpointsStayLockstep) {
+  const Circuit base =
+      sample_cell(cells::CellType::kInv1, cells::Implementation::kMiv2Channel);
+  Circuit a = base;
+  Circuit b = corner_of(base, +0.02, 0.98);
+  PulseSpec p;
+  p.v1 = 0.0;
+  p.v2 = 1.0;
+  p.delay = 4e-3;  // ULP(4 ms) ~ 8.7e-19 s
+  p.rise = 1e-6;
+  p.fall = 1e-6;
+  p.width = 1e-4;
+  a.element("VA").source = SourceSpec::Pulse(p);
+  double jittered = p.delay;
+  for (int k = 0; k < 4; ++k)
+    jittered = std::nextafter(jittered, 1.0);  // ~3.5e-18 s of jitter
+  ASSERT_GT(jittered - p.delay, 1e-18);  // distinct under an absolute epsilon
+  p.delay = jittered;
+  b.element("VA").source = SourceSpec::Pulse(p);
+
+  TransientOptions topt;
+  topt.t_stop = 4.2e-3;
+  topt.h_min = 1e-15;  // any surviving alias forces a sub-h_min landing
+
+  const CornerTransientResult group = corner_transient({&a, &b}, topt);
+  ASSERT_TRUE(group.ok) << group.error;
+  EXPECT_TRUE(group.lockstep)
+      << "ULP-jittered breakpoint union broke lane packing";
+  ASSERT_EQ(group.lanes.size(), 2u);
+  for (std::size_t k = 0; k < 2; ++k) {
+    ASSERT_TRUE(group.lanes[k].ok) << "lane " << k;
+    // Both lanes saw the (coalesced) edge: the inverter output swings low
+    // for the pulse width and recovers by t_stop.
+    const waveform::Waveform& out = group.lanes[k].v("y_load");
+    EXPECT_NEAR(out.sample(0.0), 1.0, 5e-2) << "lane " << k;
+    EXPECT_NEAR(out.sample(4.05e-3), 0.0, 5e-2) << "lane " << k;
+    EXPECT_NEAR(out.sample(topt.t_stop), 1.0, 5e-2) << "lane " << k;
+  }
+}
+
+TEST(Transient, CoalesceBreakpointsMergesUlpClusters) {
+  // Absolute floor near t=0: distinct sub-1e-18 times collapse...
+  std::vector<double> bp{0.0, 5e-19, 1e-12, 4e-3};
+  // ...and at 4 ms a 4-ULP alias collapses too, keeping the largest.
+  double alias = 4e-3;
+  for (int k = 0; k < 4; ++k) alias = std::nextafter(alias, 1.0);
+  bp.push_back(alias);
+  coalesce_breakpoints(bp);
+  ASSERT_EQ(bp.size(), 3u);
+  EXPECT_DOUBLE_EQ(bp[0], 5e-19);
+  EXPECT_DOUBLE_EQ(bp[1], 1e-12);
+  EXPECT_DOUBLE_EQ(bp[2], alias);
+  // Far-apart points never merge: tol stays a vanishing fraction of t.
+  EXPECT_LT(breakpoint_tol(4e-3), 1e-17);
+  EXPECT_GE(breakpoint_tol(0.0), 1e-18);
+}
+
 TEST(CornerTransient, TopologyMismatchFallsBackPerLane) {
   const Circuit a =
       sample_cell(cells::CellType::kInv1, cells::Implementation::k2D);

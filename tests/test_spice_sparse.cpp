@@ -523,6 +523,57 @@ TEST(SolverWorkspace, DeviceCounterAccountingIsConsistent) {
                 m.counter_total("spice.device.evals.tran"));
 }
 
+TEST(SolverWorkspace, ReuseLadderKeysOnGminButNotSourceScale) {
+  // The bitwise-reuse rung is keyed on the coefficient regime (gmin, h,
+  // step_ratio, integrator) plus fresh device stamps.  gmin is part of
+  // the assembled Jacobian (a diagonal stamp), so a gmin-stepping stage
+  // change MUST invalidate the reuse — a stale hit would solve the new
+  // system with the old stage's factorization.  source_scale, by
+  // contrast, scales only the independent sources (residual side), so
+  // source stepping legitimately rides one factorization end to end.
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd"), out = ckt.node("out");
+  ckt.add_vsource("VDD", vdd, kGround, SourceSpec::DC(1.0));
+  ckt.add_resistor("R1", vdd, out, 1e3);
+  ckt.add_resistor("R2", out, kGround, 1e3);
+  NewtonOptions o;
+  o.backend = SolverBackend::kSparse;
+  SolverWorkspace ws(ckt, o);
+  const std::size_t n = ckt.system_size();
+  linalg::Vector x(n, 0.0);
+  linalg::Vector rhs(n, 1.0);
+  AssemblyContext ctx;
+  ctx.gmin = 1e-12;
+
+  ws.assemble(x, ctx);
+  ASSERT_TRUE(ws.factor_and_solve(rhs));
+  EXPECT_EQ(ws.stats().full_factorizations, 1u);
+  EXPECT_EQ(ws.stats().lu_reuses, 0u);
+
+  // Same iterate, same coefficients: bit-identical values, reuse.
+  ws.assemble(x, ctx);
+  rhs.assign(n, 1.0);
+  ASSERT_TRUE(ws.factor_and_solve(rhs));
+  EXPECT_EQ(ws.stats().lu_reuses, 1u);
+  EXPECT_EQ(ws.stats().full_factorizations + ws.stats().refactorizations, 1u);
+
+  // gmin stage change: no reuse, the ladder re-factors the new values.
+  ctx.gmin = 1e-3;
+  ws.assemble(x, ctx);
+  rhs.assign(n, 1.0);
+  ASSERT_TRUE(ws.factor_and_solve(rhs));
+  EXPECT_EQ(ws.stats().lu_reuses, 1u);
+  EXPECT_EQ(ws.stats().full_factorizations + ws.stats().refactorizations, 2u);
+
+  // source_scale change at fixed gmin: residual-only, reuse is correct.
+  ctx.source_scale = 0.5;
+  ws.assemble(x, ctx);
+  rhs.assign(n, 1.0);
+  ASSERT_TRUE(ws.factor_and_solve(rhs));
+  EXPECT_EQ(ws.stats().lu_reuses, 2u);
+  EXPECT_EQ(ws.stats().full_factorizations + ws.stats().refactorizations, 2u);
+}
+
 TEST(SolverWorkspace, SingularSystemWalksTheFullFallbackLadder) {
   // A current source between two otherwise-floating nodes contributes no
   // Jacobian entries at all: the sparse factorization fails, the dense

@@ -149,8 +149,8 @@ TEST(VerifyDifferential, ExampleNetlistAgreesAcrossBackends) {
                                    ? std::string("no reports")
                                    : report.reports.front().summary());
   EXPECT_EQ(report.cases, 1u);
-  // dense-vs-{sparse, fullfactor, bypass, simd, simd-bypass}.
-  EXPECT_EQ(report.comparisons, 5u);
+  // dense-vs-{sparse, fullfactor, bypass, simd, simd-bypass, bicgstab}.
+  EXPECT_EQ(report.comparisons, 6u);
 }
 
 TEST(VerifyDifferential, DetectsAnInjectedDivergence) {

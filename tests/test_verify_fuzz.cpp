@@ -11,7 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "cells/circuitgen.h"
 #include "common/log.h"
+#include "core/ppa.h"
+#include "core/reference_cards.h"
 #include "verify/fuzz.h"
 
 namespace mivtx {
@@ -73,9 +76,10 @@ TEST_F(VerifyFuzz, EveryCorpusDeckIsDiagnosedOrSolved) {
         << "pipeline let a non-mivtx exception escape";
     // Decks named valid_* must actually solve: a regression that starts
     // rejecting well-formed input is as much a bug as a crash.
-    if (f.stem().string().rfind("valid_", 0) == 0)
+    if (f.stem().string().rfind("valid_", 0) == 0) {
       EXPECT_EQ(r.outcome, verify::FuzzOutcome::kSolved)
           << verify::fuzz_outcome_name(r.outcome) << ": " << r.detail;
+    }
   }
 }
 
@@ -97,6 +101,54 @@ TEST_F(VerifyFuzz, MutatorIsDeterministic) {
   EXPECT_EQ(verify::mutate_netlist(text, 7), verify::mutate_netlist(text, 7));
   // Different seeds explore (with overwhelming probability) different texts.
   EXPECT_NE(verify::mutate_netlist(text, 7), verify::mutate_netlist(text, 8));
+}
+
+// Small instances of each large-circuit generator, emitted as netlist
+// text.  Keeps the generator emitters honest against the parser grammar
+// and feeds structured multi-gate decks (MIV stems, segmented rails,
+// Norton pads) into the same mutation pipeline as the hand-written corpus.
+std::vector<std::pair<std::string, std::string>> generator_decks() {
+  const core::ModelLibrary& lib = core::reference_model_library();
+  const core::PpaEngine engine(lib);
+  const auto models = engine.model_set(cells::Implementation::kMiv1Channel);
+  std::vector<std::pair<std::string, std::string>> decks;
+  // kick=false: a kicked ring oscillates indefinitely and would exhaust
+  // the harness transient's step budget by design; the quiescent ring
+  // still round-trips every generator construct.
+  decks.emplace_back(
+      "ring5", cells::to_netlist_text(cells::build_ring_oscillator(
+                   5, cells::Implementation::kMiv1Channel, models,
+                   cells::ParasiticSpec{}, 1.0, /*kick=*/false)));
+  decks.emplace_back(
+      "adder4", cells::to_netlist_text(cells::build_adder_array(
+                    4, cells::Implementation::kMiv1Channel, models,
+                    cells::ParasiticSpec{}, 1.0)));
+  cells::PowerGridSpec spec;
+  spec.rows = 6;
+  spec.cols = 6;
+  decks.emplace_back("grid6x6",
+                     cells::to_netlist_text(cells::build_power_grid(spec)));
+  return decks;
+}
+
+TEST_F(VerifyFuzz, GeneratorDecksRoundTripAndSolve) {
+  for (const auto& [name, text] : generator_decks()) {
+    SCOPED_TRACE(name);
+    verify::FuzzResult r;
+    ASSERT_NO_THROW(r = verify::exercise_netlist(text));
+    EXPECT_EQ(r.outcome, verify::FuzzOutcome::kSolved)
+        << verify::fuzz_outcome_name(r.outcome) << ": " << r.detail;
+  }
+}
+
+TEST_F(VerifyFuzz, GeneratorDeckMutantsNeverCrash) {
+  for (const auto& [name, text] : generator_decks()) {
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+      SCOPED_TRACE(name + " seed " + std::to_string(seed));
+      ASSERT_NO_THROW(verify::exercise_netlist(
+          verify::mutate_netlist(text, seed)));
+    }
+  }
 }
 
 TEST_F(VerifyFuzz, DegenerateInputsAreDiagnosed) {
