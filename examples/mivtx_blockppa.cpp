@@ -1,0 +1,306 @@
+// mivtx_blockppa - block-level M3D PPA driver (ROADMAP item 4).
+//
+// Characterizes the cells a benchmark netlist uses into an NLDM library
+// (or loads a pre-characterized .mlib), maps the netlist onto it, runs the
+// dual-edge library STA plus tier-aware placement, and reports
+// design-level delay/power/area for 2D vs 1-/2-/4-channel MIV-transistor
+// implementations — the paper's Fig. 5 claims carried to whole designs.
+//
+// Usage: mivtx_blockppa [options] [<design.gnl>...]
+//   --circuit <name>       built-in block (repeatable): rca<N>, alu<N>,
+//                          decoder<N>, parity<N>, mux<N>, aoi,
+//                          random<N>[:seed]
+//   --impls <list>         comma list of 2d,1ch,2ch,4ch (default: all)
+//   --library <f.mlib>     use a pre-characterized library (skips the
+//                          transient sweeps entirely)
+//   --write-library <f>    write the characterized library
+//   --grid mini|default    characterization grid (2x2 or 3x3)
+//   --place coupled|per-tier  placement mode (default per-tier)
+//   --clock <s>            required time; negative slack fails the run
+//   --input-slew <s>       primary-input transition (default 20 ps)
+//   --cache-dir <dir>      artifact cache (flow + characterization);
+//                          also honors $MIVTX_CACHE_DIR
+//   --jobs <n>             worker threads (default 1)
+//   --quiet                suppress the metrics footer
+//
+// The footer prints the charlib cache counters
+// (computed/cache_hit/transients) — CI greps them to assert a warm cache
+// re-run characterizes nothing.
+//
+// Exit status: 0 ok, 1 negative slack or missing library timing,
+// 2 usage/IO problem.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/blockppa.h"
+#include "analyze/design.h"
+#include "charlib/characterize.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "common/strings.h"
+#include "core/flow.h"
+#include "lint/diagnostics.h"
+#include "runtime/artifact_cache.h"
+#include "runtime/metrics.h"
+#include "runtime/thread_pool.h"
+
+using namespace mivtx;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> circuits;
+  std::vector<std::string> gnl_files;
+  std::vector<cells::Implementation> impls;
+  std::string library_file;
+  std::string write_library;
+  std::string grid = "default";
+  place::Mode place_mode = place::Mode::kPerTier;
+  double clock = 0.0;
+  double input_slew = 20e-12;
+  std::string cache_dir;
+  std::size_t jobs = 1;
+  bool quiet = false;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mivtx_blockppa [options] [<design.gnl>...]\n"
+      "  --circuit <name>       rca<N>, alu<N>, decoder<N>, parity<N>,\n"
+      "                         mux<N>, aoi, random<N>[:seed] (repeatable)\n"
+      "  --impls <list>         comma list of 2d,1ch,2ch,4ch (default all)\n"
+      "  --library <f.mlib>     load a pre-characterized library\n"
+      "  --write-library <f>    write the characterized library\n"
+      "  --grid mini|default    characterization grid\n"
+      "  --place coupled|per-tier   placement mode (default per-tier)\n"
+      "  --clock <s>  --input-slew <s>  --cache-dir <dir>  --jobs <n>\n"
+      "  --quiet\n");
+  return 2;
+}
+
+std::optional<gatelevel::GateNetlist> builtin_circuit(const std::string& name) {
+  auto suffix_num = [&](const char* prefix,
+                        std::string* rest =
+                            nullptr) -> std::optional<std::size_t> {
+    const std::size_t n = std::strlen(prefix);
+    if (name.compare(0, n, prefix) != 0 || name.size() == n)
+      return std::nullopt;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(name.c_str() + n, &end, 10);
+    if (end == nullptr || v == 0) return std::nullopt;
+    if (*end != '\0') {
+      if (rest == nullptr) return std::nullopt;
+      *rest = end;
+    } else if (rest != nullptr) {
+      rest->clear();
+    }
+    return static_cast<std::size_t>(v);
+  };
+  try {
+    if (name == "aoi") return gatelevel::aoi_block();
+    if (auto bits = suffix_num("rca"))
+      return gatelevel::ripple_carry_adder(*bits);
+    if (auto bits = suffix_num("alu")) return gatelevel::alu_block(*bits);
+    if (auto bits = suffix_num("decoder")) return gatelevel::decoder(*bits);
+    if (auto bits = suffix_num("parity"))
+      return gatelevel::parity_tree(*bits);
+    if (auto bits = suffix_num("mux")) return gatelevel::mux_tree(*bits);
+    std::string rest;
+    if (auto gates = suffix_num("random", &rest)) {
+      std::uint64_t seed = 1;
+      if (!rest.empty()) {
+        if (rest[0] != ':') return std::nullopt;
+        seed = std::strtoull(rest.c_str() + 1, nullptr, 10);
+      }
+      return gatelevel::random_logic_block(*gates, seed);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "cannot build circuit %s: %s\n", name.c_str(),
+                 e.what());
+  }
+  return std::nullopt;
+}
+
+std::optional<gatelevel::GateNetlist> load_gnl(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  lint::DiagnosticSink sink;
+  const analyze::Design design = analyze::parse_design(buffer.str(), sink);
+  if (sink.num_errors() > 0) {
+    std::fprintf(stderr, "%s: design has errors:\n%s", path.c_str(),
+                 sink.render_text().c_str());
+    return std::nullopt;
+  }
+  auto netlist = analyze::to_gate_netlist(design);
+  if (!netlist)
+    std::fprintf(stderr, "%s: design violates netlist invariants\n",
+                 path.c_str());
+  return netlist;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    try {
+      if (a == "--circuit") args.circuits.push_back(value());
+      else if (a == "--impls") {
+        for (const std::string& tag : split(value(), ","))
+          args.impls.push_back(charlib::impl_from_tag(tag));
+      } else if (a == "--library") args.library_file = value();
+      else if (a == "--write-library") args.write_library = value();
+      else if (a == "--grid") args.grid = value();
+      else if (a == "--place") {
+        const std::string v = value();
+        if (v == "coupled") args.place_mode = place::Mode::kCoupled;
+        else if (v == "per-tier") args.place_mode = place::Mode::kPerTier;
+        else return usage();
+      } else if (a == "--clock") args.clock = parse_double(value());
+      else if (a == "--input-slew") args.input_slew = parse_double(value());
+      else if (a == "--cache-dir") args.cache_dir = value();
+      else if (a == "--jobs") args.jobs = std::stoul(value());
+      else if (a == "--quiet") args.quiet = true;
+      else if (a == "--help" || a == "-h") return usage();
+      else if (!a.empty() && a[0] == '-') return usage();
+      else args.gnl_files.push_back(a);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "bad argument for %s: %s\n", a.c_str(), e.what());
+      return 2;
+    }
+  }
+  if (args.circuits.empty() && args.gnl_files.empty()) {
+    args.circuits.push_back("rca16");
+  }
+  if (args.grid != "mini" && args.grid != "default") return usage();
+
+  std::vector<gatelevel::GateNetlist> designs;
+  for (const std::string& name : args.circuits) {
+    auto netlist = builtin_circuit(name);
+    if (!netlist) {
+      std::fprintf(stderr, "unknown circuit %s\n", name.c_str());
+      return 2;
+    }
+    designs.push_back(std::move(*netlist));
+  }
+  for (const std::string& path : args.gnl_files) {
+    auto netlist = load_gnl(path);
+    if (!netlist) return 2;
+    designs.push_back(std::move(*netlist));
+  }
+
+  try {
+    runtime::ThreadPool pool(args.jobs);
+    runtime::ArtifactCache::Options copts;
+    copts.disk_dir = !args.cache_dir.empty()
+                         ? args.cache_dir
+                         : runtime::ArtifactCache::env_disk_dir();
+    runtime::ArtifactCache cache(copts);
+    runtime::ExecPolicy exec{&pool, &cache};
+
+    // The library: loaded, or characterized for exactly the cells the
+    // designs use.
+    charlib::CharLibrary library;
+    if (!args.library_file.empty()) {
+      std::ifstream file(args.library_file);
+      if (!file) {
+        std::fprintf(stderr, "cannot read %s\n", args.library_file.c_str());
+        return 2;
+      }
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      library = charlib::CharLibrary::from_text(buffer.str());
+    } else {
+      core::FlowOptions fopts;
+      fopts.jobs = args.jobs;
+      fopts.cache = &cache;
+      const core::FlowResult flow =
+          core::run_full_flow(core::ProcessParams{}, {}, {}, fopts);
+
+      charlib::CharOptions chopts;
+      chopts.grid = args.grid == "mini" ? charlib::mini_char_grid()
+                                        : charlib::default_char_grid();
+      const charlib::Characterizer characterizer(flow.library, chopts, {},
+                                                 exec);
+      std::vector<std::pair<cells::CellType, cells::Implementation>> jobs;
+      {
+        std::set<std::pair<cells::CellType, cells::Implementation>> seen;
+        for (const gatelevel::GateNetlist& d : designs)
+          for (const auto& job : analyze::library_jobs(d, args.impls))
+            if (seen.insert(job).second) jobs.push_back(job);
+      }
+      library = characterizer.characterize(jobs);
+    }
+
+    if (!args.write_library.empty()) {
+      std::ofstream out(args.write_library);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     args.write_library.c_str());
+        return 2;
+      }
+      out << library.to_text();
+    }
+
+    analyze::BlockPpaOptions bopts;
+    bopts.impls = args.impls;
+    bopts.sta.clock_period = args.clock;
+    bopts.sta.input_slew = args.input_slew;
+    bopts.place_mode = args.place_mode;
+
+    bool failed = false;
+    for (const gatelevel::GateNetlist& design : designs) {
+      const analyze::BlockPpaReport report =
+          analyze::run_block_ppa(design, library, bopts);
+      std::fputs(analyze::render_block_ppa(report).c_str(), stdout);
+      for (const analyze::BlockImplPpa& row : report.rows) {
+        if (row.missing_arcs > 0) {
+          std::fprintf(stderr,
+                       "%s/%s: %zu library holes (missing-timing)\n",
+                       report.design.c_str(), charlib::impl_tag(row.impl),
+                       row.missing_arcs);
+          failed = true;
+        }
+        if (args.clock > 0.0 && row.delay > args.clock) {
+          std::fprintf(stderr, "%s/%s: delay %s exceeds clock %s\n",
+                       report.design.c_str(), charlib::impl_tag(row.impl),
+                       eng_format(row.delay, "s").c_str(),
+                       eng_format(args.clock, "s").c_str());
+          failed = true;
+        }
+      }
+    }
+
+    if (!args.quiet) {
+      const runtime::Metrics& m = runtime::Metrics::global();
+      std::printf(
+          "charlib: computed %.0f, cache hits %.0f, transients %.0f\n",
+          m.counter_total("charlib.computed"),
+          m.counter_total("charlib.cache_hit"),
+          m.counter_total("charlib.transients"));
+    }
+    return failed ? 1 : 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

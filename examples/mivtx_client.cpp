@@ -7,16 +7,18 @@
 // the same unit computed locally would serialize).
 //
 // Usage: mivtx_client [options] <kind>
-//   kind: curves | extract | flow | ppa | health | metrics | shutdown
+//   kind: curves | extract | flow | ppa | charlib | health | metrics |
+//         shutdown
 //   --host <ip>            server address (default 127.0.0.1)
 //   --port <n>             server port (default 7633)
 //   --id <s>               correlation id (default "cli")
 //   --variant trad|1ch|2ch|4ch     device for curves/extract
 //   --polarity nmos|pmos           device for curves/extract
-//   --cell <NAME>          cell for ppa (INV1X1, NAND2X1, ...)
-//   --impl 2d|1ch|2ch|4ch  implementation for ppa (default 2d)
+//   --cell <NAME>          cell for ppa/charlib (INV1X1, NAND2X1, ...)
+//   --impl 2d|1ch|2ch|4ch  implementation for ppa/charlib (default 2d)
 //   --reference            ppa: use the checked-in nominal cards instead of
 //                          deriving the library through the flow
+//   --char-grid mini|default   charlib: NLDM grid preset (default 3x3)
 //   --vdd <V> --tnom-c <C> --l-gate <m> --t-miv <m>   corner overrides
 //   --grid-n <n>           sweep-grid points per axis
 //   --nm-max-evals <n>     extraction budget (smaller = faster, coarser)
@@ -44,7 +46,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [options] "
-               "curves|extract|flow|ppa|health|metrics|shutdown\n",
+               "curves|extract|flow|ppa|charlib|health|metrics|shutdown\n",
                argv0);
   return 2;
 }
@@ -84,6 +86,8 @@ int main(int argc, char** argv) {
         req.impl = serve::impl_from_token(next());
       } else if (arg == "--reference") {
         req.reference_library = true;
+      } else if (arg == "--char-grid") {
+        req.char_grid = next();
       } else if (arg == "--vdd") {
         req.process.vdd = parse_double(next());
         req.grid.vdd = req.process.vdd;

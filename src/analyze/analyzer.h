@@ -17,6 +17,7 @@
 
 #include "analyze/design.h"
 #include "analyze/electrical.h"
+#include "analyze/libsta.h"
 #include "analyze/sta.h"
 #include "analyze/tier_rules.h"
 #include "gatelevel/sta.h"
@@ -33,11 +34,19 @@ struct AnalyzeOptions {
   bool run_electrical = true;
   // Tier/MIV rules run when a placement mode is set.
   std::optional<place::Mode> place_mode;
+  // Characterized NLDM library: when set, the timing pass runs the
+  // dual-edge library-backed STA (libsta.h) instead of the linear
+  // CellTiming model, and library holes / grid extrapolation surface as
+  // `missing-timing` / `table-extrapolation` diagnostics.
+  const charlib::CharLibrary* library = nullptr;
 };
 
 struct AnalyzeReport {
   std::vector<lint::Diagnostic> findings;  // reporting order; sort to render
   std::optional<SlackStaResult> sta;
+  // Per-edge detail when the library-backed STA ran (`sta` holds its
+  // collapsed worst-edge view).
+  std::optional<LibStaResult> libsta;
   std::optional<place::Placement> placement;
   std::size_t errors = 0;
   std::size_t warnings = 0;

@@ -1,0 +1,115 @@
+#include "analyze/blockppa.h"
+
+#include <sstream>
+
+#include "analyze/design.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "lint/diagnostics.h"
+#include "trace/trace.h"
+
+namespace mivtx::analyze {
+
+std::vector<std::pair<cells::CellType, cells::Implementation>> library_jobs(
+    const gatelevel::GateNetlist& netlist,
+    const std::vector<cells::Implementation>& impls) {
+  const std::vector<cells::Implementation>& use =
+      impls.empty() ? cells::all_implementations() : impls;
+  std::vector<std::pair<cells::CellType, cells::Implementation>> jobs;
+  for (const auto& [type, count] : netlist.cell_histogram())
+    for (const cells::Implementation impl : use) jobs.emplace_back(type, impl);
+  return jobs;
+}
+
+BlockPpaReport run_block_ppa(const gatelevel::GateNetlist& netlist,
+                             const charlib::CharLibrary& library,
+                             const BlockPpaOptions& options) {
+  MIVTX_EXPECT(netlist.finalized(), "netlist not finalized");
+  trace::Span span("blockppa.run", "blockppa", netlist.name().c_str());
+
+  BlockPpaReport report;
+  report.design = netlist.name();
+  report.num_gates = netlist.instances().size();
+  report.num_inputs = netlist.primary_inputs().size();
+  report.num_outputs = netlist.primary_outputs().size();
+
+  const std::vector<cells::Implementation>& impls =
+      options.impls.empty() ? cells::all_implementations() : options.impls;
+  const Design design = design_from_netlist(netlist);
+  const place::Placer placer(options.tier.rules);
+
+  for (const cells::Implementation impl : impls) {
+    BlockImplPpa row;
+    row.impl = impl;
+
+    const LibStaResult sta =
+        run_library_sta(netlist, library, impl, options.sta);
+    row.delay = sta.worst_arrival;
+    row.energy = sta.switching_energy;
+    row.power = row.delay > 0.0 ? row.energy / row.delay : 0.0;
+    row.clamped_lookups = sta.clamped_lookups;
+    row.missing_arcs = sta.missing.size();
+
+    const place::Placement placement =
+        placer.place(netlist, impl, options.place_mode);
+    row.area = placement.chip_area();
+    if (options.place_mode == place::Mode::kPerTier) {
+      row.top_area = placement.top.area();
+      row.bottom_area = placement.bottom.area();
+      const double outline = placement.top.area() + placement.bottom.area();
+      row.utilization =
+          outline > 0.0
+              ? (placement.top.cell_area + placement.bottom.cell_area) /
+                    outline
+              : 0.0;
+    } else {
+      row.utilization = placement.coupled.utilization();
+    }
+
+    lint::DiagnosticSink sink;
+    analyze_tiers(design, placement, sink, options.tier);
+    row.tier_errors = sink.num_errors();
+    row.tier_warnings = sink.num_warnings();
+
+    report.rows.push_back(row);
+  }
+  return report;
+}
+
+std::string render_block_ppa(const BlockPpaReport& report) {
+  std::ostringstream os;
+  os << format("block %s: %zu gates, %zu inputs, %zu outputs\n",
+               report.design.c_str(), report.num_gates, report.num_inputs,
+               report.num_outputs);
+  os << format("%-5s %-14s %-14s %-14s %-9s %s\n", "impl", "delay", "power",
+               "area", "util", "findings");
+  const BlockImplPpa* base =
+      !report.rows.empty() && report.rows[0].impl == cells::Implementation::k2D
+          ? &report.rows[0]
+          : nullptr;
+  auto pct = [&](double value, double ref) {
+    if (base == nullptr || ref == 0.0) return std::string();
+    return format(" (%+.1f%%)", 100.0 * (value - ref) / ref);
+  };
+  for (const BlockImplPpa& row : report.rows) {
+    const bool is_base = base != nullptr && &row == base;
+    os << format(
+        "%-5s %-14s %-14s %-14s %-9s %zu err, %zu warn, %zu clamped, "
+        "%zu missing\n",
+        charlib::impl_tag(row.impl),
+        (eng_format(row.delay, "s") +
+         (is_base ? "" : pct(row.delay, base != nullptr ? base->delay : 0.0)))
+            .c_str(),
+        (eng_format(row.power, "W") +
+         (is_base ? "" : pct(row.power, base != nullptr ? base->power : 0.0)))
+            .c_str(),
+        (format("%.3f um^2", row.area * 1e12) +
+         (is_base ? "" : pct(row.area, base != nullptr ? base->area : 0.0)))
+            .c_str(),
+        format("%.1f%%", 100.0 * row.utilization).c_str(), row.tier_errors,
+        row.tier_warnings, row.clamped_lookups, row.missing_arcs);
+  }
+  return os.str();
+}
+
+}  // namespace mivtx::analyze

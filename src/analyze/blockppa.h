@@ -1,0 +1,81 @@
+// Block-level PPA: map a gate-level benchmark netlist onto a characterized
+// NLDM library, run the dual-edge library STA and tier-aware placement,
+// and report design-level delay / power / area per implementation —
+// extending the paper's Fig. 5 cell averages to whole designs (ROADMAP
+// item 4).
+//
+// Metrics per implementation row:
+//   delay   worst primary-output arrival (s) from run_library_sta
+//   energy  sum over gates of the mean per-arc switching energy at the
+//           propagated (slew, load) point (J): one full toggle of every
+//           gate
+//   power   energy / delay (W): the "every gate switches once per
+//           critical-path time" proxy — an upper-bound activity model,
+//           consistent across implementations so the 2D vs 1/2/4-channel
+//           deltas are meaningful
+//   area    placed chip outline (m^2) in the requested placement mode
+//           (per-tier by default: the paper's substrate-saving claim)
+// plus the tier-rule findings (KOZ/overlap errors, MIV-density warnings),
+// extrapolation clamp counts and library holes, so a report row is never
+// silently built on degraded timing.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/libsta.h"
+#include "analyze/tier_rules.h"
+#include "charlib/library.h"
+#include "gatelevel/netlist.h"
+#include "place/placer.h"
+
+namespace mivtx::analyze {
+
+struct BlockPpaOptions {
+  // Implementations to report; empty = all four.
+  std::vector<cells::Implementation> impls;
+  LibStaOptions sta;
+  place::Mode place_mode = place::Mode::kPerTier;
+  TierRuleOptions tier;  // carries the layout rules for the placer too
+};
+
+struct BlockImplPpa {
+  cells::Implementation impl = cells::Implementation::k2D;
+  double delay = 0.0;
+  double energy = 0.0;
+  double power = 0.0;
+  double area = 0.0;
+  double top_area = 0.0;     // per-tier mode only
+  double bottom_area = 0.0;  // per-tier mode only
+  double utilization = 0.0;  // placed footprint / outline
+  std::size_t tier_errors = 0;
+  std::size_t tier_warnings = 0;
+  std::size_t clamped_lookups = 0;
+  std::size_t missing_arcs = 0;  // library holes hit by the STA
+};
+
+struct BlockPpaReport {
+  std::string design;
+  std::size_t num_gates = 0;
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::vector<BlockImplPpa> rows;  // in BlockPpaOptions::impls order
+};
+
+// The (cell, impl) characterization jobs a netlist needs: the union of its
+// cell types crossed with `impls` (empty = all four), in deterministic
+// order.  Feed to charlib::Characterizer::characterize so a block run
+// characterizes only what it maps.
+std::vector<std::pair<cells::CellType, cells::Implementation>> library_jobs(
+    const gatelevel::GateNetlist& netlist,
+    const std::vector<cells::Implementation>& impls);
+
+BlockPpaReport run_block_ppa(const gatelevel::GateNetlist& netlist,
+                             const charlib::CharLibrary& library,
+                             const BlockPpaOptions& options = {});
+
+// Aligned text table (the mivtx_blockppa CLI output).
+std::string render_block_ppa(const BlockPpaReport& report);
+
+}  // namespace mivtx::analyze

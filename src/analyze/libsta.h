@@ -1,0 +1,103 @@
+// Library-backed static timing analysis: run_slack_sta's graph pass, but
+// with every arc delay/slew looked up in a characterized NLDM library
+// (charlib) instead of the linear CellTiming model.
+//
+// Differences from the synthetic-model pass (analyze/sta.h):
+//   * dual-edge propagation — every net carries independent rise and fall
+//     arrival/slew/required, and each library arc maps an input edge to
+//     its output edge (inverting or non-inverting under the sensitizing
+//     side inputs), so chain parity is modeled exactly;
+//   * slews come from the characterized out_slew tables and feed the
+//     readers' lookups (iteration-free: the netlist is combinational and
+//     processed in topological order);
+//   * loads come from the library's per-pin input capacitances;
+//   * out-of-grid lookups are clamped AND counted (clamped_lookups), so
+//     the analyzer can surface extrapolation as a `table-extrapolation`
+//     diagnostic instead of silently trusting the table edge;
+//   * a cell or arc absent from the library is never a crash or a silent
+//     fallback: it is recorded in `missing` (the analyzer renders these as
+//     `missing-timing` diagnostics) and the affected arc contributes a
+//     zero-delay passthrough so the rest of the graph stays analyzable.
+//
+// Determinism matches run_slack_sta: ties break toward the smaller driving
+// net name, then input-rise before input-fall.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/sta.h"
+#include "charlib/library.h"
+#include "gatelevel/netlist.h"
+#include "gatelevel/sta.h"
+
+namespace mivtx::analyze {
+
+struct LibStaOptions {
+  gatelevel::StaLoadOptions loads;
+  // Required arrival at the primary outputs; <= 0 = relative analysis.
+  double clock_period = 0.0;
+  // Transition at the primary inputs, both edges (s).
+  double input_slew = 20e-12;
+  std::size_t worst_paths = 5;
+  // Reference load a primary output contributes when StaLoadOptions says
+  // "use the reference" (the paper's 1 fF measurement condition).
+  double c_ref = 1e-15;
+};
+
+// One library hole found during the pass.  pin == "" means the whole
+// (impl, cell) entry is missing; otherwise the named (pin, input edge) arc.
+struct MissingTiming {
+  std::string instance;
+  std::string cell;
+  std::string pin;
+  bool input_rise = true;
+};
+
+struct EdgeTiming {
+  double arrival = 0.0;   // s; -inf when this edge never arrives
+  double slew = 0.0;      // s, equivalent full-swing ramp
+  double required = 0.0;  // s; +inf when unconstrained
+  std::string critical_from;    // driving net of the winning arc ("" = PI)
+  bool critical_from_rise = true;  // input edge of the winning arc
+  bool valid() const;  // arrival is finite
+};
+
+struct LibNetTiming {
+  EdgeTiming rise, fall;
+  std::string driver;  // driving instance ("" = primary input)
+  double slack = 0.0;  // min over valid edges; +inf when none constrained
+  const EdgeTiming& edge(bool rise_edge) const {
+    return rise_edge ? rise : fall;
+  }
+};
+
+struct LibStaResult {
+  std::map<std::string, LibNetTiming> nets;
+  double worst_arrival = 0.0;
+  double worst_slack = 0.0;
+  std::string worst_endpoint;
+  bool worst_endpoint_rise = true;
+  // Worst `worst_paths` endpoint paths (per-edge critical walk).
+  std::vector<TimingPath> paths;
+  // Lookups that fell outside the characterization grid (clamped).
+  std::size_t clamped_lookups = 0;
+  // Library holes, in deterministic (topological instance, pin) order.
+  std::vector<MissingTiming> missing;
+  // Sum over gates of the mean per-arc switching energy at the propagated
+  // (slew, load) point (J): one full toggle of every gate.  blockppa's
+  // power numerator.
+  double switching_energy = 0.0;
+
+  // Collapse to run_slack_sta's single-edge vocabulary (worst edge per
+  // net) for the analyzer report and renderers.
+  SlackStaResult to_slack_result() const;
+};
+
+LibStaResult run_library_sta(const gatelevel::GateNetlist& netlist,
+                             const charlib::CharLibrary& library,
+                             cells::Implementation impl,
+                             const LibStaOptions& options = {});
+
+}  // namespace mivtx::analyze

@@ -1,5 +1,6 @@
 #include "cells/circuitgen.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
@@ -246,6 +247,82 @@ GeneratedCircuit build_adder_array(std::size_t bits, Implementation impl,
   }
   ckt.add_capacitor("Clc", carry, spice::kGround, parasitics.c_load);
   gen.probe_node = "s" + std::to_string(bits - 1);
+  return gen;
+}
+
+std::vector<bool> chain_side_values(CellType type) {
+  const std::size_t n = cell_num_inputs(type);
+  std::vector<bool> in(n, false);
+  for (std::size_t code = 0; code < (1ull << (n - 1)); ++code) {
+    for (std::size_t k = 1; k < n; ++k) in[k] = ((code >> (k - 1)) & 1) != 0;
+    in[0] = false;
+    const bool out0 = cell_logic(type, in);
+    in[0] = true;
+    const bool out1 = cell_logic(type, in);
+    if (out0 != out1) return in;
+  }
+  MIVTX_FAIL(std::string("chain_side_values: pin 0 of ") + cell_name(type) +
+             " cannot be sensitized");
+}
+
+GeneratedCircuit build_gate_chain(const GateChainSpec& spec,
+                                  Implementation impl, const ModelSet& models,
+                                  const ParasiticSpec& parasitics, double vdd) {
+  MIVTX_EXPECT(!spec.stages.empty(), "gate chain needs at least one stage");
+  MIVTX_EXPECT(spec.stage_loads.empty() ||
+                   spec.stage_loads.size() == spec.stages.size(),
+               "gate chain: one stage_loads entry per stage (or none)");
+  for (const std::size_t tap : spec.fanout_taps)
+    MIVTX_EXPECT(tap < spec.stages.size(),
+                 "gate chain: fanout tap past the last stage");
+
+  GeneratedCircuit gen;
+  gen.vdd = vdd;
+  gen.name =
+      "chain" + std::to_string(spec.stages.size()) + "_" + impl_name(impl);
+  spice::Circuit& ckt = gen.circuit;
+  const Rails rails = add_rails(ckt, parasitics, vdd);
+
+  spice::PulseSpec p;
+  p.v1 = 0.0;
+  p.v2 = vdd;
+  p.delay = spec.t_delay;
+  p.rise = spec.t_edge;
+  p.fall = spec.t_edge;
+  p.width = spec.t_width;
+  const spice::NodeId in = ckt.node("in");
+  ckt.add_vsource("VIN", in, spice::kGround, spice::SourceSpec::Pulse(p));
+  gen.input_sources.push_back("VIN");
+
+  spice::NodeId x = ckt.node("x0");
+  ckt.add_resistor("Rw_in", in, x, parasitics.r_wire);
+
+  for (std::size_t i = 0; i < spec.stages.size(); ++i) {
+    const CellType type = spec.stages[i];
+    const std::string si = std::to_string(i);
+    const std::vector<bool> side = chain_side_values(type);
+    std::vector<spice::NodeId> inputs{x};
+    for (std::size_t k = 1; k < side.size(); ++k)
+      inputs.push_back(side[k] ? rails.vddi : rails.gndi);
+    const spice::NodeId y =
+        instantiate_gate(ckt, "s" + si, type, impl, models, parasitics,
+                         inputs, rails.vddi, rails.gndi);
+    const spice::NodeId net = ckt.node("x" + std::to_string(i + 1));
+    ckt.add_resistor("Rw" + si, y, net, parasitics.r_wire);
+    const double c_load =
+        spec.stage_loads.empty() ? parasitics.c_load : spec.stage_loads[i];
+    if (c_load > 0.0)
+      ckt.add_capacitor("Cl" + si, net, spice::kGround, c_load);
+    if (std::find(spec.fanout_taps.begin(), spec.fanout_taps.end(), i) !=
+        spec.fanout_taps.end()) {
+      const spice::NodeId tap_y =
+          instantiate_gate(ckt, "t" + si, CellType::kInv1, impl, models,
+                           parasitics, {net}, rails.vddi, rails.gndi);
+      ckt.add_capacitor("Clt" + si, tap_y, spice::kGround, parasitics.c_load);
+    }
+    x = net;
+  }
+  gen.probe_node = "x" + std::to_string(spec.stages.size());
   return gen;
 }
 

@@ -79,6 +79,38 @@ struct PowerGridSpec {
 
 GeneratedCircuit build_power_grid(const PowerGridSpec& spec);
 
+// --- Linear gate chain (library-STA differential reference) ---------------
+
+struct GateChainSpec {
+  // Stage cells; stage i's chain input drives pin 0 and its side pins are
+  // tied to the sensitizing rail constants from chain_side_values, so the
+  // chain input toggles every stage output.
+  std::vector<CellType> stages;
+  // Explicit lumped load on each stage's output net (F); empty = the
+  // ParasiticSpec c_load on every stage, otherwise one entry per stage.
+  std::vector<double> stage_loads;
+  // Stage indices whose output net additionally drives a dead-end INV1
+  // fanout tap (a real top-tier gate load, its own output loaded with
+  // c_load) — mixed-fanout coverage for the differential.
+  std::vector<std::size_t> fanout_taps;
+  double t_edge = 20e-12;    // stimulus rise/fall (s)
+  double t_delay = 100e-12;  // time before the rising edge (s)
+  double t_width = 600e-12;  // pulse width; falling edge at t_delay+t_width
+};
+
+// Sensitizing input values for a chain stage: the lexicographically first
+// assignment of pins 1..n-1 under which toggling pin 0 toggles the output.
+// Index 0 is present but carries no meaning (the chain drives that pin).
+std::vector<bool> chain_side_values(CellType type);
+
+// Transistor-level linear gate chain: full cell topologies with the
+// flattened wiring model, stage i's output wired (r_wire) to stage i+1's
+// pin 0, a pulse source VIN on the first input behind an input wire.
+// probe_node is the last stage's loaded output net.
+GeneratedCircuit build_gate_chain(const GateChainSpec& spec,
+                                  Implementation impl, const ModelSet& models,
+                                  const ParasiticSpec& parasitics, double vdd);
+
 // SPICE netlist text for a generated circuit (round-trips through the
 // parser; feeds the verify fuzz decks).  R/C/V/I/M elements only.
 std::string to_netlist_text(const GeneratedCircuit& gen);

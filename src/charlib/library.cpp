@@ -1,0 +1,357 @@
+#include "charlib/library.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mivtx::charlib {
+
+namespace {
+
+void check_axis(const std::vector<double>& axis, const char* name) {
+  MIVTX_EXPECT(!axis.empty(), std::string("charlib: empty ") + name +
+                                  " axis");
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    MIVTX_EXPECT(std::isfinite(axis[i]),
+                 std::string("charlib: non-finite ") + name + " axis point");
+    MIVTX_EXPECT(i == 0 || axis[i - 1] < axis[i],
+                 std::string("charlib: ") + name +
+                     " axis is not strictly ascending");
+  }
+}
+
+// Clamped interval search: returns (lo, hi, t) with axis[lo] <= x <=
+// axis[hi] after clamping, and t the interpolation weight toward hi.
+struct AxisPos {
+  std::size_t lo = 0, hi = 0;
+  double t = 0.0;
+  bool clamped = false;
+};
+
+AxisPos locate(const std::vector<double>& axis, double x) {
+  AxisPos pos;
+  if (x <= axis.front()) {
+    pos.clamped = x < axis.front();
+    return pos;
+  }
+  if (x >= axis.back()) {
+    pos.lo = pos.hi = axis.size() - 1;
+    pos.clamped = x > axis.back();
+    return pos;
+  }
+  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+  pos.hi = static_cast<std::size_t>(it - axis.begin());
+  pos.lo = pos.hi - 1;
+  pos.t = (x - axis[pos.lo]) / (axis[pos.hi] - axis[pos.lo]);
+  return pos;
+}
+
+}  // namespace
+
+Table2D::Table2D(std::vector<double> slews, std::vector<double> loads)
+    : slews_(std::move(slews)), loads_(std::move(loads)) {
+  check_axis(slews_, "slew");
+  check_axis(loads_, "load");
+  values_.assign(slews_.size() * loads_.size(), 0.0);
+}
+
+double Table2D::at(std::size_t slew_idx, std::size_t load_idx) const {
+  MIVTX_EXPECT(slew_idx < rows() && load_idx < cols(),
+               "charlib: table index out of range");
+  return values_[slew_idx * cols() + load_idx];
+}
+
+void Table2D::set(std::size_t slew_idx, std::size_t load_idx, double value) {
+  MIVTX_EXPECT(slew_idx < rows() && load_idx < cols(),
+               "charlib: table index out of range");
+  values_[slew_idx * cols() + load_idx] = value;
+}
+
+LookupResult Table2D::lookup(double slew, double load) const {
+  MIVTX_EXPECT(!values_.empty(), "charlib: lookup on an empty table");
+  const AxisPos s = locate(slews_, slew);
+  const AxisPos l = locate(loads_, load);
+  LookupResult out;
+  out.clamped_slew = s.clamped;
+  out.clamped_load = l.clamped;
+  const double v00 = at(s.lo, l.lo);
+  const double v01 = at(s.lo, l.hi);
+  const double v10 = at(s.hi, l.lo);
+  const double v11 = at(s.hi, l.hi);
+  const double low = v00 + (v01 - v00) * l.t;
+  const double high = v10 + (v11 - v10) * l.t;
+  out.value = low + (high - low) * s.t;
+  return out;
+}
+
+const ArcTables* CellChar::find_arc(const std::string& pin,
+                                    bool input_rise) const {
+  for (const ArcTables& arc : arcs)
+    if (arc.pin == pin && arc.input_rise == input_rise) return &arc;
+  return nullptr;
+}
+
+double CellChar::pin_cap(const std::string& pin) const {
+  for (const auto& [name, cap] : input_cap)
+    if (name == pin) return cap;
+  return 0.0;
+}
+
+std::size_t CharLibrary::num_cells() const {
+  std::size_t n = 0;
+  for (const auto& [impl, entries] : cells) n += entries.size();
+  return n;
+}
+
+const CellChar* CharLibrary::find(cells::Implementation impl,
+                                  cells::CellType type) const {
+  const auto impl_it = cells.find(impl);
+  if (impl_it == cells.end()) return nullptr;
+  const auto it = impl_it->second.find(type);
+  return it == impl_it->second.end() ? nullptr : &it->second;
+}
+
+void CharLibrary::insert(cells::Implementation impl, CellChar entry) {
+  for (const ArcTables& arc : entry.arcs) {
+    MIVTX_EXPECT(arc.delay.slews() == slew_axis &&
+                     arc.delay.loads() == load_axis &&
+                     arc.out_slew.slews() == slew_axis &&
+                     arc.energy.slews() == slew_axis,
+                 "charlib: cell entry grid disagrees with the library axes");
+  }
+  cells[impl][entry.type] = std::move(entry);
+}
+
+const char* impl_tag(cells::Implementation impl) {
+  switch (impl) {
+    case cells::Implementation::k2D: return "2d";
+    case cells::Implementation::kMiv1Channel: return "1ch";
+    case cells::Implementation::kMiv2Channel: return "2ch";
+    case cells::Implementation::kMiv4Channel: return "4ch";
+  }
+  return "?";
+}
+
+cells::Implementation impl_from_tag(const std::string& tag) {
+  const std::string t = to_lower(tag);
+  if (t == "2d") return cells::Implementation::k2D;
+  if (t == "1ch") return cells::Implementation::kMiv1Channel;
+  if (t == "2ch") return cells::Implementation::kMiv2Channel;
+  if (t == "4ch") return cells::Implementation::kMiv4Channel;
+  throw Error(format("charlib: unknown implementation tag '%s'", tag.c_str()));
+}
+
+// --- Text format ------------------------------------------------------------
+
+namespace {
+
+void render_axis(std::ostringstream& os, const char* name,
+                 const std::vector<double>& axis) {
+  os << name << " " << axis.size();
+  for (const double v : axis) os << " " << format_double(v);
+  os << "\n";
+}
+
+void render_table(std::ostringstream& os, const char* name,
+                  const Table2D& table) {
+  for (std::size_t s = 0; s < table.rows(); ++s) {
+    os << name;
+    for (std::size_t l = 0; l < table.cols(); ++l)
+      os << " " << format_double(table.at(s, l));
+    os << "\n";
+  }
+}
+
+}  // namespace
+
+std::string CharLibrary::to_text() const {
+  std::ostringstream os;
+  os << "mivtx-charlib 1\n";
+  render_axis(os, "slews", slew_axis);
+  render_axis(os, "loads", load_axis);
+  for (const auto& [impl, entries] : cells) {
+    os << "impl " << impl_tag(impl) << "\n";
+    for (const auto& [type, cell] : entries) {
+      os << "cell " << cells::cell_name(type) << "\n";
+      os << "area " << format_double(cell.area) << "\n";
+      for (const auto& [pin, cap] : cell.input_cap)
+        os << "pincap " << pin << " " << format_double(cap) << "\n";
+      for (const ArcTables& arc : cell.arcs) {
+        os << "arc " << arc.pin << " " << (arc.input_rise ? "rise" : "fall")
+           << " " << (arc.output_rise ? "rise" : "fall") << "\n";
+        render_table(os, "delay", arc.delay);
+        render_table(os, "slew", arc.out_slew);
+        render_table(os, "energy", arc.energy);
+      }
+      os << "endcell\n";
+    }
+  }
+  os << "end\n";
+  return os.str();
+}
+
+namespace {
+
+struct Parser {
+  std::istringstream in;
+  int line_no = 0;
+
+  explicit Parser(const std::string& text) : in(text) {}
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw Error(format("charlib line %d: %s", line_no, why.c_str()));
+  }
+
+  // Next non-empty, non-comment line split into tokens; empty at EOF.
+  std::vector<std::string> next() {
+    std::string line;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      std::vector<std::string> tokens = split(line, " \t\r");
+      if (!tokens.empty()) return tokens;
+    }
+    return {};
+  }
+
+  double number(const std::string& token) const {
+    double v = 0.0;
+    try {
+      v = parse_double(token);
+    } catch (const Error& e) {
+      fail(e.what());
+    }
+    if (!std::isfinite(v)) fail("non-finite value '" + token + "'");
+    return v;
+  }
+
+  bool edge(const std::string& token) const {
+    if (token == "rise") return true;
+    if (token == "fall") return false;
+    fail("expected 'rise' or 'fall', got '" + token + "'");
+  }
+};
+
+std::vector<double> parse_axis(Parser& p, const char* name,
+                               const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2) p.fail(std::string("malformed ") + name + " line");
+  const double count = p.number(tokens[1]);
+  if (count < 1 || count != std::floor(count) ||
+      tokens.size() != 2 + static_cast<std::size_t>(count))
+    p.fail(std::string(name) + " count disagrees with the axis points");
+  std::vector<double> axis;
+  for (std::size_t i = 2; i < tokens.size(); ++i)
+    axis.push_back(p.number(tokens[i]));
+  for (std::size_t i = 1; i < axis.size(); ++i)
+    if (axis[i - 1] >= axis[i])
+      p.fail(std::string(name) + " axis is not strictly ascending");
+  return axis;
+}
+
+Table2D parse_table(Parser& p, const char* name, const CharLibrary& lib) {
+  Table2D table(lib.slew_axis, lib.load_axis);
+  for (std::size_t s = 0; s < table.rows(); ++s) {
+    const std::vector<std::string> tokens = p.next();
+    if (tokens.empty() || tokens[0] != name)
+      p.fail(std::string("expected a '") + name + "' row");
+    if (tokens.size() != 1 + table.cols())
+      p.fail(std::string(name) + " row arity disagrees with the load axis");
+    for (std::size_t l = 0; l < table.cols(); ++l)
+      table.set(s, l, p.number(tokens[1 + l]));
+  }
+  return table;
+}
+
+}  // namespace
+
+CharLibrary CharLibrary::from_text(const std::string& text) {
+  Parser p(text);
+  CharLibrary lib;
+
+  std::vector<std::string> tokens = p.next();
+  if (tokens.size() != 2 || tokens[0] != "mivtx-charlib" || tokens[1] != "1")
+    p.fail("expected header 'mivtx-charlib 1'");
+
+  tokens = p.next();
+  if (tokens.empty() || tokens[0] != "slews") p.fail("expected 'slews' axis");
+  lib.slew_axis = parse_axis(p, "slews", tokens);
+  tokens = p.next();
+  if (tokens.empty() || tokens[0] != "loads") p.fail("expected 'loads' axis");
+  lib.load_axis = parse_axis(p, "loads", tokens);
+
+  bool saw_end = false;
+  std::optional<cells::Implementation> impl;
+  while (!(tokens = p.next()).empty()) {
+    if (tokens[0] == "end") {
+      if (tokens.size() != 1) p.fail("junk after 'end'");
+      saw_end = true;
+      if (!p.next().empty()) p.fail("content after 'end'");
+      break;
+    }
+    if (tokens[0] == "impl") {
+      if (tokens.size() != 2) p.fail("malformed 'impl' line");
+      try {
+        impl = impl_from_tag(tokens[1]);
+      } catch (const Error& e) {
+        p.fail(e.what());
+      }
+      continue;
+    }
+    if (tokens[0] != "cell")
+      p.fail("expected 'impl', 'cell' or 'end', got '" + tokens[0] + "'");
+    if (!impl) p.fail("'cell' before any 'impl'");
+    if (tokens.size() != 2) p.fail("malformed 'cell' line");
+    const auto type = cells::find_cell(tokens[1]);
+    if (!type) p.fail("unknown cell '" + tokens[1] + "'");
+    if (lib.find(*impl, *type) != nullptr)
+      p.fail("duplicate cell '" + tokens[1] + "'");
+
+    CellChar cell;
+    cell.type = *type;
+    const std::vector<std::string> pins = cells::cell_input_names(*type);
+    auto known_pin = [&](const std::string& pin) {
+      return std::find(pins.begin(), pins.end(), pin) != pins.end();
+    };
+
+    while (!(tokens = p.next()).empty() && tokens[0] != "endcell") {
+      if (tokens[0] == "area") {
+        if (tokens.size() != 2) p.fail("malformed 'area' line");
+        cell.area = p.number(tokens[1]);
+      } else if (tokens[0] == "pincap") {
+        if (tokens.size() != 3) p.fail("malformed 'pincap' line");
+        if (!known_pin(tokens[1]))
+          p.fail("pincap for unknown pin '" + tokens[1] + "'");
+        if (cell.pin_cap(tokens[1]) != 0.0)
+          p.fail("duplicate pincap for pin '" + tokens[1] + "'");
+        cell.input_cap.emplace_back(tokens[1], p.number(tokens[2]));
+      } else if (tokens[0] == "arc") {
+        if (tokens.size() != 4) p.fail("malformed 'arc' line");
+        ArcTables arc;
+        arc.pin = tokens[1];
+        if (!known_pin(arc.pin))
+          p.fail("arc for unknown pin '" + arc.pin + "'");
+        arc.input_rise = p.edge(tokens[2]);
+        arc.output_rise = p.edge(tokens[3]);
+        if (cell.find_arc(arc.pin, arc.input_rise) != nullptr)
+          p.fail("duplicate arc for pin '" + arc.pin + "' " + tokens[2]);
+        arc.delay = parse_table(p, "delay", lib);
+        arc.out_slew = parse_table(p, "slew", lib);
+        arc.energy = parse_table(p, "energy", lib);
+        cell.arcs.push_back(std::move(arc));
+      } else {
+        p.fail("unknown cell directive '" + tokens[0] + "'");
+      }
+    }
+    if (tokens.empty()) p.fail("missing 'endcell'");
+    lib.cells[*impl][*type] = std::move(cell);
+  }
+  if (!saw_end) p.fail("missing 'end'");
+  return lib;
+}
+
+}  // namespace mivtx::charlib

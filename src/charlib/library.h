@@ -1,0 +1,144 @@
+// NLDM-style characterized cell library (ROADMAP item 4).
+//
+// The gate-level timing model the analyzer shipped with (the synthetic
+// analyze::default_timing_model, or the single-slope measured
+// core::build_timing_model) collapses a cell's timing into one reference
+// delay plus a linear load term.  This library is the real thing: per
+// (implementation, cell, input pin, input edge) lookup tables of delay,
+// output transition and switching energy over an input-slew x output-load
+// grid, measured through the transistor-level transient engine
+// (charlib/characterize.h) exactly like the paper's Fig. 5 points.
+//
+// Lookup is bilinear between grid points (exact *at* grid points, monotone
+// between monotone grid points) and clamped outside the grid — clamped
+// lookups are flagged so the STA can surface extrapolation as a
+// diagnostic instead of silently trusting an out-of-range table.
+//
+// The text format (".mlib") is line-based and byte-stable: every number
+// goes through format_double/parse_double, so to_text(from_text(t)) == t
+// and a library file can be content-hashed, cached and served.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cells/celltypes.h"
+#include "cells/netgen.h"
+
+namespace mivtx::charlib {
+
+struct LookupResult {
+  double value = 0.0;
+  // The query fell outside the grid on this axis and was clamped to the
+  // edge (extrapolation is never silent — see run_library_sta).
+  bool clamped_slew = false;
+  bool clamped_load = false;
+  bool clamped() const { return clamped_slew || clamped_load; }
+};
+
+// Dense slew x load table with bilinear interpolation.  Axes are strictly
+// ascending; values are row-major (slew index major, load index minor).
+class Table2D {
+ public:
+  Table2D() = default;
+  // Zero-filled table over the given axes.  Throws mivtx::Error when an
+  // axis is empty or not strictly ascending.
+  Table2D(std::vector<double> slews, std::vector<double> loads);
+
+  const std::vector<double>& slews() const { return slews_; }
+  const std::vector<double>& loads() const { return loads_; }
+  std::size_t rows() const { return slews_.size(); }
+  std::size_t cols() const { return loads_.size(); }
+
+  double at(std::size_t slew_idx, std::size_t load_idx) const;
+  void set(std::size_t slew_idx, std::size_t load_idx, double value);
+
+  // Bilinear interpolation, clamped to the grid hull.  Exact at grid
+  // points; monotone along each axis wherever the grid values are.
+  LookupResult lookup(double slew, double load) const;
+
+  bool operator==(const Table2D& o) const {
+    return slews_ == o.slews_ && loads_ == o.loads_ && values_ == o.values_;
+  }
+
+ private:
+  std::vector<double> slews_;
+  std::vector<double> loads_;
+  std::vector<double> values_;  // rows() * cols(), row-major
+};
+
+// One characterized timing arc: input `pin` switching with `input_rise`
+// produces an output edge in direction `output_rise` (the arc sense under
+// the sensitizing side-input assignment, derived from the cell logic).
+struct ArcTables {
+  std::string pin;
+  bool input_rise = true;
+  bool output_rise = true;
+  Table2D delay;     // s, 50%-to-50%
+  Table2D out_slew;  // s, equivalent full-swing ramp time (t_10-90 / 0.8)
+  Table2D energy;    // J drawn from VDD over the switching event
+
+  bool operator==(const ArcTables& o) const {
+    return pin == o.pin && input_rise == o.input_rise &&
+           output_rise == o.output_rise && delay == o.delay &&
+           out_slew == o.out_slew && energy == o.energy;
+  }
+};
+
+struct CellChar {
+  cells::CellType type = cells::CellType::kInv1;
+  double area = 0.0;  // m^2, coupled cell footprint (layout model)
+  // Per-pin input capacitance (F), in cell pin order.
+  std::vector<std::pair<std::string, double>> input_cap;
+  // Pin-major, input-rise before input-fall.
+  std::vector<ArcTables> arcs;
+
+  // nullptr when the arc was never characterized (missing-timing).
+  const ArcTables* find_arc(const std::string& pin, bool input_rise) const;
+  // 0.0 for an unknown pin (the caller diagnoses via find_arc).
+  double pin_cap(const std::string& pin) const;
+
+  bool operator==(const CellChar& o) const {
+    return type == o.type && area == o.area && input_cap == o.input_cap &&
+           arcs == o.arcs;
+  }
+};
+
+class CharLibrary {
+ public:
+  // Shared characterization grid of every table in the library.
+  std::vector<double> slew_axis;
+  std::vector<double> load_axis;
+  std::map<cells::Implementation, std::map<cells::CellType, CellChar>> cells;
+
+  bool empty() const { return cells.empty(); }
+  std::size_t num_cells() const;
+  const CellChar* find(cells::Implementation impl,
+                       cells::CellType type) const;
+  // Merge `entry` in (replacing an existing (impl, type) entry).  Throws
+  // mivtx::Error when the entry's tables disagree with the library grid.
+  void insert(cells::Implementation impl, CellChar entry);
+
+  bool operator==(const CharLibrary& o) const {
+    return slew_axis == o.slew_axis && load_axis == o.load_axis &&
+           cells == o.cells;
+  }
+
+  // Byte-stable text serialization (".mlib"): to_text(from_text(t)) == t.
+  std::string to_text() const;
+  // Throws mivtx::Error (with the 1-based line) on malformed input:
+  // unknown directives/cells/pins, non-ascending axes, wrong table arity,
+  // duplicate arcs, non-finite numbers.
+  static CharLibrary from_text(const std::string& text);
+};
+
+// Implementation tags used by the text format and report columns:
+// "2d" / "1ch" / "2ch" / "4ch".
+const char* impl_tag(cells::Implementation impl);
+// Throws mivtx::Error on an unknown tag.
+cells::Implementation impl_from_tag(const std::string& tag);
+
+}  // namespace mivtx::charlib

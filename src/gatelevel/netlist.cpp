@@ -309,4 +309,54 @@ GateNetlist aoi_block() {
   return n;
 }
 
+GateNetlist random_logic_block(std::size_t gates, std::uint64_t seed) {
+  MIVTX_EXPECT(gates > 0, "random_logic_block needs at least one gate");
+  GateNetlist n(format("rnd%zu_%llu", gates,
+                       static_cast<unsigned long long>(seed)));
+  // xorshift64*: deterministic across platforms, no <random> distribution
+  // quirks.
+  std::uint64_t state = seed != 0 ? seed : 0x9e3779b97f4a7c15ULL;
+  auto next = [&state](std::uint64_t bound) {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return (state * 0x2545f4914f6cdd1dULL) % bound;
+  };
+
+  const std::size_t n_inputs =
+      std::max<std::size_t>(4, std::min<std::size_t>(64, gates / 6 + 4));
+  std::vector<std::string> pool;
+  for (std::size_t i = 0; i < n_inputs; ++i) {
+    const std::string net = format("d%zu", i);
+    n.add_input(net);
+    pool.push_back(net);
+  }
+
+  const std::vector<cells::CellType>& types = cells::all_cells();
+  std::set<std::string> read;
+  for (std::size_t g = 0; g < gates; ++g) {
+    const cells::CellType type = types[next(types.size())];
+    const std::size_t arity = cells::cell_num_inputs(type);
+    // Distinct input nets (pool always holds >= 4 >= max arity).
+    std::vector<std::string> ins;
+    while (ins.size() < arity) {
+      const std::string& pick = pool[next(pool.size())];
+      if (std::find(ins.begin(), ins.end(), pick) == ins.end())
+        ins.push_back(pick);
+    }
+    const std::string out = format("n%zu", g);
+    n.add_instance(type, format("g%zu", g), ins, out);
+    for (const std::string& in : ins) read.insert(in);
+    pool.push_back(out);
+  }
+  // Every unread gate output is a primary output (at least the last gate's
+  // net is unread, so the block always has one).
+  for (std::size_t g = 0; g < gates; ++g) {
+    const std::string out = format("n%zu", g);
+    if (read.find(out) == read.end()) n.add_output(out);
+  }
+  n.finalize();
+  return n;
+}
+
 }  // namespace mivtx::gatelevel

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -97,5 +98,12 @@ GateNetlist aoi_block();
 // bit — alu_block(64) is the >=500-instance block the analyzer CI gate
 // runs on.
 GateNetlist alu_block(std::size_t bits);
+
+// Seeded random layered combinational block: `gates` instances drawn
+// uniformly from the 14-cell library over a growing net pool (distinct
+// input nets per gate, every unread gate output promoted to a primary
+// output).  Deterministic for a given (gates, seed) on every platform —
+// the circuitgen-style scaling workload for block-level PPA studies.
+GateNetlist random_logic_block(std::size_t gates, std::uint64_t seed = 1);
 
 }  // namespace mivtx::gatelevel

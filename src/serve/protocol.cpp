@@ -23,6 +23,7 @@ const char* kind_name(RequestKind kind) {
     case RequestKind::kExtract: return "extract";
     case RequestKind::kFlow: return "flow";
     case RequestKind::kPpa: return "ppa";
+    case RequestKind::kCharlib: return "charlib";
     case RequestKind::kHealth: return "health";
     case RequestKind::kMetrics: return "metrics";
     case RequestKind::kShutdown: return "shutdown";
@@ -33,8 +34,8 @@ const char* kind_name(RequestKind kind) {
 RequestKind kind_from_name(const std::string& name) {
   for (RequestKind k :
        {RequestKind::kCurves, RequestKind::kExtract, RequestKind::kFlow,
-        RequestKind::kPpa, RequestKind::kHealth, RequestKind::kMetrics,
-        RequestKind::kShutdown}) {
+        RequestKind::kPpa, RequestKind::kCharlib, RequestKind::kHealth,
+        RequestKind::kMetrics, RequestKind::kShutdown}) {
     if (equals_ci(name, kind_name(k))) return k;
   }
   throw Error("serve: unknown request kind '" + name + "'");
@@ -42,7 +43,8 @@ RequestKind kind_from_name(const std::string& name) {
 
 bool is_compute_kind(RequestKind kind) {
   return kind == RequestKind::kCurves || kind == RequestKind::kExtract ||
-         kind == RequestKind::kFlow || kind == RequestKind::kPpa;
+         kind == RequestKind::kFlow || kind == RequestKind::kPpa ||
+         kind == RequestKind::kCharlib;
 }
 
 const char* status_name(ResponseStatus status) {
@@ -138,10 +140,13 @@ std::string Request::to_json_line() const {
                                          ? "nmos"
                                          : "pmos"));
   }
-  if (kind == RequestKind::kPpa) {
+  if (kind == RequestKind::kPpa || kind == RequestKind::kCharlib) {
     obj.set("cell", Json::string(cells::cell_name(cell)));
     obj.set("impl", Json::string(impl_token(impl)));
-    if (reference_library) obj.set("library", Json::string("reference"));
+    if (kind == RequestKind::kPpa && reference_library)
+      obj.set("library", Json::string("reference"));
+    if (kind == RequestKind::kCharlib && char_grid != "default")
+      obj.set("char_grid", Json::string(char_grid));
   }
   if (is_compute_kind(kind)) {
     if (process.vdd != kDefaultProcess.vdd)
@@ -197,6 +202,12 @@ Request Request::from_json_line(const std::string& line) {
                          lib + "'");
         req.reference_library = false;
       }
+    } else if (key == "char_grid") {
+      const std::string& g = value.as_string();
+      MIVTX_EXPECT(g == "mini" || g == "default",
+                   "serve: char_grid must be 'mini' or 'default', got '" + g +
+                       "'");
+      req.char_grid = g;
     } else if (key == "vdd") {
       const double v = value.as_number();
       MIVTX_EXPECT(v > 0.0 && v <= 5.0, "serve: vdd out of range");

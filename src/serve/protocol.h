@@ -1,8 +1,8 @@
 // mivtx_serve wire protocol: one JSON object per line, both directions.
 //
 // A request names a characterization unit — device curves, device
-// extraction, a full flow, or one cell's PPA — plus the corner it runs
-// under (process / sweep-grid / extraction overrides; defaults match
+// extraction, a full flow, one cell's PPA, or one cell's NLDM library
+// entry ("charlib") — plus the corner it runs under (process / sweep-grid / extraction overrides; defaults match
 // run_full_flow's defaults, so an empty request body means "the paper's
 // nominal corner").  Unknown fields are a protocol error: silently
 // ignoring a typo like "gird_n" would silently serve the wrong corner.
@@ -35,6 +35,7 @@ enum class RequestKind {
   kExtract,   // stage 2: extracted model card of one device
   kFlow,      // all 8 devices -> model library
   kPpa,       // one (cell, impl) PPA measurement
+  kCharlib,   // one (cell, impl) NLDM characterization entry (.mlib text)
   kHealth,
   kMetrics,
   kShutdown,
@@ -54,9 +55,12 @@ struct Request {
   tcad::Variant variant = tcad::Variant::kTraditional;
   tcad::Polarity polarity = tcad::Polarity::kNmos;
 
-  // Cell selection (ppa).
+  // Cell selection (ppa / charlib).
   cells::CellType cell = cells::CellType::kInv1;
   cells::Implementation impl = cells::Implementation::k2D;
+  // Characterization grid preset (charlib): "default" (3x3) or "mini"
+  // (2x2, the CI smoke grid).  See charlib/characterize.h.
+  std::string char_grid = "default";
   // "flow" derives the model library through the (cached) full flow under
   // this request's corner; "reference" uses the checked-in nominal cards
   // and skips TCAD entirely.

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "charlib/characterize.h"
 #include "common/error.h"
 #include "common/hash.h"
 #include "common/json.h"
@@ -23,6 +24,7 @@ const char* span_name(RequestKind kind) {
     case RequestKind::kExtract: return "serve.extract";
     case RequestKind::kFlow: return "serve.flow";
     case RequestKind::kPpa: return "serve.ppa";
+    case RequestKind::kCharlib: return "serve.charlib";
     default: return "serve.request";
   }
 }
@@ -140,6 +142,36 @@ Coalescer::Result Service::compute(const Request& req) {
       meta.set("power_w", Json::number(ppa.power));
       meta.set("area_m2", Json::number(ppa.area));
       meta.set("pdp_j", Json::number(ppa.pdp));
+      break;
+    }
+    case RequestKind::kCharlib: {
+      // Library entry characterization runs (or resumes) the full flow
+      // under this request's corner, then sweeps the cell's NLDM grid;
+      // both stages read and fill the daemon's artifact cache, so a warm
+      // repeat is pure deserialization.
+      core::FlowOptions fo;
+      fo.jobs = opts_.jobs;
+      fo.cache = &cache_;
+      const core::ModelLibrary library =
+          core::run_full_flow(req.process, req.grid, req.extraction, fo)
+              .library;
+      charlib::CharOptions copts;
+      copts.grid = req.char_grid == "mini" ? charlib::mini_char_grid()
+                                           : charlib::default_char_grid();
+      copts.ppa.vdd = req.process.vdd;
+      const charlib::Characterizer characterizer(
+          library, copts, {}, runtime::ExecPolicy{nullptr, &cache_});
+      const charlib::CellChar entry =
+          characterizer.characterize_cell(req.cell, req.impl);
+      charlib::CharLibrary one;
+      one.slew_axis = characterizer.grid().slews;
+      one.load_axis = characterizer.grid().loads;
+      one.insert(req.impl, entry);
+      r.payload = one.to_text();
+      meta.set("cell", Json::string(cells::cell_name(entry.type)));
+      meta.set("impl", Json::string(charlib::impl_tag(req.impl)));
+      meta.set("arcs", Json::number(static_cast<double>(entry.arcs.size())));
+      meta.set("area_m2", Json::number(entry.area));
       break;
     }
     default:

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <vector>
 
+#include <cmath>
+
+#include "analyze/analyzer.h"
+#include "analyze/design.h"
+#include "charlib/library.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "lint/circuit_rules.h"
@@ -122,6 +127,100 @@ FuzzResult exercise_netlist(const std::string& text) {
   if (!tr.ok) {
     result.outcome = FuzzOutcome::kNoConverge;
     result.detail = "transient: " + tr.error;
+    return result;
+  }
+  result.outcome = FuzzOutcome::kSolved;
+  return result;
+}
+
+namespace {
+
+// Inside, at, and beyond the hull on one axis — the clamp paths included.
+std::vector<double> probe_points(const std::vector<double>& axis) {
+  const double lo = axis.front(), hi = axis.back();
+  const double span = hi > lo ? hi - lo : 1.0;
+  return {lo - span, lo, 0.5 * (lo + hi), hi, hi + span};
+}
+
+}  // namespace
+
+FuzzResult exercise_library(const std::string& text) {
+  FuzzResult result;
+  charlib::CharLibrary lib;
+  if (diagnosed([&] { lib = charlib::CharLibrary::from_text(text); },
+                result.detail)) {
+    result.outcome = FuzzOutcome::kParseRejected;
+    return result;
+  }
+  // The parser accepted it: everything stored must now behave.  A
+  // violation here is a parser/interpolator bug, reported as kNoConverge
+  // so tests can distinguish it from a legitimate rejection.
+  if (diagnosed(
+          [&] {
+            for (const auto& [impl, cells] : lib.cells) {
+              (void)impl;
+              for (const auto& [type, cell] : cells) {
+                (void)type;
+                for (const charlib::ArcTables& arc : cell.arcs) {
+                  for (const double s : probe_points(lib.slew_axis)) {
+                    for (const double l : probe_points(lib.load_axis)) {
+                      for (const charlib::Table2D* t :
+                           {&arc.delay, &arc.out_slew, &arc.energy}) {
+                        const charlib::LookupResult v = t->lookup(s, l);
+                        MIVTX_EXPECT(std::isfinite(v.value),
+                                     "charlib: non-finite interpolation");
+                      }
+                    }
+                  }
+                }
+              }
+            }
+            const charlib::CharLibrary back =
+                charlib::CharLibrary::from_text(lib.to_text());
+            MIVTX_EXPECT(back.to_text() == lib.to_text(),
+                         "charlib: to_text round-trip is not byte-stable");
+          },
+          result.detail)) {
+    result.outcome = FuzzOutcome::kNoConverge;
+    return result;
+  }
+  result.outcome = FuzzOutcome::kSolved;
+  return result;
+}
+
+FuzzResult exercise_design(const std::string& design_text,
+                           const std::string& library_text) {
+  FuzzResult result;
+  charlib::CharLibrary lib;
+  if (diagnosed([&] { lib = charlib::CharLibrary::from_text(library_text); },
+                result.detail)) {
+    result.outcome = FuzzOutcome::kParseRejected;
+    result.detail = "library: " + result.detail;
+    return result;
+  }
+  lint::DiagnosticSink sink;
+  analyze::Design design;
+  if (diagnosed([&] { design = analyze::parse_design(design_text, sink); },
+                result.detail)) {
+    result.outcome = FuzzOutcome::kParseRejected;
+    return result;
+  }
+  analyze::AnalyzeReport report;
+  if (diagnosed(
+          [&] {
+            analyze::AnalyzeOptions opts;
+            opts.library = &lib;
+            report = analyze::analyze_design(
+                design, analyze::default_timing_model(), opts);
+          },
+          result.detail)) {
+    result.outcome = FuzzOutcome::kNoConverge;
+    result.detail = "analyze threw: " + result.detail;
+    return result;
+  }
+  if (sink.num_errors() + report.errors > 0) {
+    result.outcome = FuzzOutcome::kLintRejected;
+    result.detail = lint::render_text(report.findings);
     return result;
   }
   result.outcome = FuzzOutcome::kSolved;

@@ -32,6 +32,22 @@ struct FuzzResult {
 // cannot stall the suite.
 FuzzResult exercise_netlist(const std::string& text);
 
+// .mlib NLDM library text: parse must either throw a structured
+// mivtx::Error (kParseRejected) or yield a library whose every table
+// interpolates to finite numbers across and beyond the hull and whose
+// text render round-trips byte-stably (kSolved).  An accepted library
+// that fails those invariants comes back as kNoConverge — a parser bug,
+// not a diagnosis, so fuzz tests treat it as failure too.
+FuzzResult exercise_library(const std::string& text);
+
+// .gnl design text mapped onto .mlib library text through the
+// library-backed analyzer.  Malformed input and library holes (missing
+// cells / missing arcs) must surface as structured diagnostics
+// (kParseRejected / kLintRejected), a clean run as kSolved; the analyzer
+// throwing is kNoConverge.  Never a crash.
+FuzzResult exercise_design(const std::string& design_text,
+                           const std::string& library_text);
+
 // Deterministic text mutator: byte flips, token swaps, truncation, line
 // duplication and deletion, driven by `seed`.  Same (text, seed) -> same
 // mutant, so failures replay.

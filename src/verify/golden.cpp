@@ -4,7 +4,9 @@
 #include <cmath>
 #include <map>
 
+#include "analyze/blockppa.h"
 #include "bsimsoi/model.h"
+#include "charlib/characterize.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "common/strings.h"
@@ -151,6 +153,26 @@ GoldenSuiteResult compute_fig5(GoldenContext& ctx) {
   return r;
 }
 
+GoldenSuiteResult compute_blockppa(GoldenContext& ctx) {
+  GoldenSuiteResult r{"blockppa", {}};
+  for (const analyze::BlockPpaReport& report : ctx.blockppa()) {
+    add(r, report.design + ".gates", static_cast<double>(report.num_gates),
+        kRtolExact);
+    for (const analyze::BlockImplPpa& row : report.rows) {
+      const std::string key = report.design + "." + impl_tag(row.impl);
+      add(r, key + ".delay_s", row.delay, kRtolPpa);
+      add(r, key + ".power_w", row.power, kRtolPpa);
+      add(r, key + ".area_m2", row.area, kRtolClosedForm);
+      add(r, key + ".utilization", row.utilization, kRtolClosedForm);
+      // Library holes must stay at zero: a hole means the STA fell back to
+      // a zero-delay passthrough and the delay number above is fiction.
+      add(r, key + ".missing_arcs", static_cast<double>(row.missing_arcs),
+          kRtolExact);
+    }
+  }
+  return r;
+}
+
 }  // namespace
 
 const core::FlowResult& GoldenContext::flow() {
@@ -180,14 +202,46 @@ const std::vector<core::CellPpa>& GoldenContext::ppa() {
   return *ppa_;
 }
 
+const std::vector<analyze::BlockPpaReport>& GoldenContext::blockppa() {
+  if (!blockppa_.has_value()) {
+    const LogLevel prev = log_level();
+    set_log_level(LogLevel::kError);
+    runtime::ThreadPool pool(opts_.jobs);
+    const runtime::ExecPolicy exec{pool.size() > 1 ? &pool : nullptr,
+                                   opts_.cache};
+    // Reference cards (like fig5's PPA survey) so the baseline tracks the
+    // block flow itself, not extraction-optimizer drift; the mini 2x2 grid
+    // keeps the suite at ~150 transients.
+    charlib::CharOptions copts;
+    copts.grid = charlib::mini_char_grid();
+    const charlib::Characterizer characterizer(
+        core::reference_model_library(), copts, {}, exec);
+    const std::vector<gatelevel::GateNetlist> designs = {
+        gatelevel::ripple_carry_adder(16), gatelevel::alu_block(4)};
+    std::vector<std::pair<cells::CellType, cells::Implementation>> jobs;
+    for (const gatelevel::GateNetlist& d : designs)
+      for (const auto& job : analyze::library_jobs(d, {}))
+        if (std::find(jobs.begin(), jobs.end(), job) == jobs.end())
+          jobs.push_back(job);
+    const charlib::CharLibrary library = characterizer.characterize(jobs);
+    std::vector<analyze::BlockPpaReport> reports;
+    for (const gatelevel::GateNetlist& d : designs)
+      reports.push_back(analyze::run_block_ppa(d, library, {}));
+    blockppa_ = std::move(reports);
+    set_log_level(prev);
+  }
+  return *blockppa_;
+}
+
 const std::vector<std::string>& golden_suite_names() {
-  static const std::vector<std::string> names = {"table1", "table2", "table3",
-                                                 "fig4", "fig5"};
+  static const std::vector<std::string> names = {
+      "table1", "table2", "table3", "fig4", "fig5", "blockppa"};
   return names;
 }
 
 bool golden_suite_is_expensive(const std::string& suite) {
-  return suite == "table3" || suite == "fig4" || suite == "fig5";
+  return suite == "table3" || suite == "fig4" || suite == "fig5" ||
+         suite == "blockppa";
 }
 
 GoldenSuiteResult compute_golden_suite(const std::string& suite,
@@ -197,6 +251,7 @@ GoldenSuiteResult compute_golden_suite(const std::string& suite,
   if (suite == "table3") return compute_table3(ctx);
   if (suite == "fig4") return compute_fig4(ctx);
   if (suite == "fig5") return compute_fig5(ctx);
+  if (suite == "blockppa") return compute_blockppa(ctx);
   throw Error(format("golden: unknown suite '%s'", suite.c_str()));
 }
 

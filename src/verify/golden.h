@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/blockppa.h"
 #include "core/flow.h"
 #include "core/ppa.h"
 #include "runtime/artifact_cache.h"
@@ -30,7 +31,8 @@ struct GoldenOptions {
 };
 
 // Shared lazily-computed inputs: table3 and fig4 read the same full-flow
-// result; fig5 reads one PPA survey.  Build one context per CLI run so the
+// result; fig5 reads one PPA survey; blockppa reads one block-PPA sweep
+// over the two benchmark designs.  Build one context per CLI run so the
 // expensive stages execute at most once.
 class GoldenContext {
  public:
@@ -39,11 +41,15 @@ class GoldenContext {
   const GoldenOptions& options() const { return opts_; }
   const core::FlowResult& flow();                 // TCAD + extraction, all 8
   const std::vector<core::CellPpa>& ppa();        // 14 cells x 4 impls
+  // rca16 + alu4 block PPA (all 4 impls, mini charlib grid, reference
+  // cards — see compute_blockppa for the determinism rationale).
+  const std::vector<analyze::BlockPpaReport>& blockppa();
 
  private:
   GoldenOptions opts_;
   std::optional<core::FlowResult> flow_;
   std::optional<std::vector<core::CellPpa>> ppa_;
+  std::optional<std::vector<analyze::BlockPpaReport>> blockppa_;
 };
 
 // One measured metric with the tolerance a refresh would record for it.
@@ -58,7 +64,8 @@ struct GoldenSuiteResult {
   std::vector<GoldenMetric> metrics;  // stable order = file order
 };
 
-// All known suites, in canonical order: table1 table2 table3 fig4 fig5.
+// All known suites, in canonical order: table1 table2 table3 fig4 fig5
+// blockppa.
 const std::vector<std::string>& golden_suite_names();
 // True for the suites that need the multi-second TCAD/PPA stages.
 bool golden_suite_is_expensive(const std::string& suite);

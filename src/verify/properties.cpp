@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "cells/netgen.h"
+#include "charlib/library.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -680,6 +681,146 @@ PropertyResult check_unknown_name_roundtrip(const PropertyOptions& opts) {
   return check.result;
 }
 
+// ------------------------------------------------- charlib table lookups
+
+// Random strictly-ascending axis of n points.
+std::vector<double> random_axis(Rng& rng, std::size_t n) {
+  std::vector<double> axis;
+  double x = rng.uniform(-5.0, 5.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    axis.push_back(x);
+    x += rng.uniform(0.1, 3.0);
+  }
+  return axis;
+}
+
+PropertyResult check_charlib_bilinear(const PropertyOptions& opts) {
+  // Bilinear lookup: exact at grid points, a convex combination of the
+  // bounding corners between them (hence monotone over monotone tables),
+  // clamped-and-flagged beyond the hull.
+  PropertyCheck check("charlib-bilinear", 1e-12);
+  const std::size_t cases = opts.cases * 4;
+  Rng rng(opts.seed ^ 0xcaab1eu);
+  for (std::size_t k = 0; k < cases; ++k) {
+    const std::vector<double> slews = random_axis(rng, 2 + rng.uniform_index(4));
+    const std::vector<double> loads = random_axis(rng, 2 + rng.uniform_index(4));
+    charlib::Table2D table(slews, loads);
+    const bool monotone = rng.uniform_index(2) == 0;
+    for (std::size_t i = 0; i < slews.size(); ++i)
+      for (std::size_t j = 0; j < loads.size(); ++j)
+        table.set(i, j, monotone
+                            ? 1.0 * i + 0.5 * j + 0.1 * rng.uniform(0.0, 1.0)
+                            : rng.uniform(-10.0, 10.0));
+
+    // Exact (and unflagged) at every grid point.
+    for (std::size_t i = 0; i < slews.size(); ++i) {
+      for (std::size_t j = 0; j < loads.size(); ++j) {
+        const charlib::LookupResult r = table.lookup(slews[i], loads[j]);
+        check.expect_within(std::fabs(r.value - table.at(i, j)),
+                            format("case %zu grid point (%zu,%zu)", k, i, j));
+        check.expect(!r.clamped_slew && !r.clamped_load,
+                     format("case %zu: clamp flagged on a grid point", k));
+      }
+    }
+
+    // Interior points stay inside the bounding cell's corner hull; over a
+    // monotone table the lookup is monotone along each axis.
+    for (std::size_t probe = 0; probe < 8; ++probe) {
+      const std::size_t i = rng.uniform_index(slews.size() - 1);
+      const std::size_t j = rng.uniform_index(loads.size() - 1);
+      const double s = rng.uniform(slews[i], slews[i + 1]);
+      const double l = rng.uniform(loads[j], loads[j + 1]);
+      const charlib::LookupResult r = table.lookup(s, l);
+      const double corners[] = {table.at(i, j), table.at(i + 1, j),
+                                table.at(i, j + 1), table.at(i + 1, j + 1)};
+      const double lo = *std::min_element(corners, corners + 4);
+      const double hi = *std::max_element(corners, corners + 4);
+      check.expect(r.value >= lo - 1e-12 && r.value <= hi + 1e-12,
+                   format("case %zu: interior value outside corner hull", k));
+      check.expect(!r.clamped_slew && !r.clamped_load,
+                   format("case %zu: clamp flagged inside the hull", k));
+      if (monotone) {
+        const charlib::LookupResult up_s = table.lookup(slews[i + 1], l);
+        const charlib::LookupResult up_l = table.lookup(s, loads[j + 1]);
+        check.expect(r.value <= up_s.value + 1e-12 &&
+                         r.value <= up_l.value + 1e-12,
+                     format("case %zu: monotone table, non-monotone lookup",
+                            k));
+      }
+    }
+
+    // Beyond the hull: flagged, and equal to the clamped edge value.
+    const double mid_l = 0.5 * (loads.front() + loads.back());
+    const charlib::LookupResult below = table.lookup(slews.front() - 1.0, mid_l);
+    check.expect(below.clamped_slew && !below.clamped_load,
+                 format("case %zu: slew underflow not flagged", k));
+    check.expect_within(
+        std::fabs(below.value - table.lookup(slews.front(), mid_l).value),
+        format("case %zu: slew underflow not clamped to the edge", k));
+    const charlib::LookupResult beyond =
+        table.lookup(slews.back() + 2.0, loads.back() + 2.0);
+    check.expect(beyond.clamped_slew && beyond.clamped_load,
+                 format("case %zu: corner overflow not flagged", k));
+    check.expect_within(
+        std::fabs(beyond.value -
+                  table.at(slews.size() - 1, loads.size() - 1)),
+        format("case %zu: corner overflow not clamped to the corner", k));
+  }
+  check.done(cases);
+  return check.result;
+}
+
+PropertyResult check_mlib_roundtrip(const PropertyOptions& opts) {
+  // .mlib serialization: to_text -> from_text -> to_text is byte-stable
+  // and the reparsed library compares equal, for randomized libraries.
+  PropertyCheck check("mlib-roundtrip", 0.0);
+  const std::size_t cases = opts.cases * 2;
+  Rng rng(opts.seed ^ 0x316b5u);
+  const std::vector<cells::Implementation> impls = {
+      cells::Implementation::k2D, cells::Implementation::kMiv1Channel,
+      cells::Implementation::kMiv2Channel, cells::Implementation::kMiv4Channel};
+  for (std::size_t k = 0; k < cases; ++k) {
+    charlib::CharLibrary lib;
+    lib.slew_axis = random_axis(rng, 2 + rng.uniform_index(3));
+    lib.load_axis = random_axis(rng, 2 + rng.uniform_index(3));
+    const std::size_t n_entries = 1 + rng.uniform_index(4);
+    for (std::size_t e = 0; e < n_entries; ++e) {
+      const cells::CellType type =
+          cells::all_cells()[rng.uniform_index(cells::all_cells().size())];
+      const cells::Implementation impl = impls[rng.uniform_index(impls.size())];
+      if (lib.find(impl, type) != nullptr) continue;
+      charlib::CellChar cell;
+      cell.type = type;
+      cell.area = rng.uniform(1e-14, 1e-12);
+      for (const std::string& pin : cells::cell_input_names(type)) {
+        cell.input_cap.emplace_back(pin, rng.uniform(1e-17, 1e-15));
+        for (const bool input_rise : {true, false}) {
+          if (rng.uniform_index(4) == 0) continue;  // leave arc holes too
+          charlib::ArcTables arc;
+          arc.pin = pin;
+          arc.input_rise = input_rise;
+          arc.output_rise = rng.uniform_index(2) == 0;
+          for (charlib::Table2D* t : {&arc.delay, &arc.out_slew, &arc.energy}) {
+            *t = charlib::Table2D(lib.slew_axis, lib.load_axis);
+            for (std::size_t i = 0; i < lib.slew_axis.size(); ++i)
+              for (std::size_t j = 0; j < lib.load_axis.size(); ++j)
+                t->set(i, j, rng.uniform(-1e-10, 1e-10));
+          }
+          cell.arcs.push_back(std::move(arc));
+        }
+      }
+      lib.insert(impl, std::move(cell));
+    }
+    const std::string text = lib.to_text();
+    const charlib::CharLibrary back = charlib::CharLibrary::from_text(text);
+    check.expect(back == lib, format("case %zu: reparse not equal", k));
+    check.expect(back.to_text() == text,
+                 format("case %zu: render not byte-stable", k));
+  }
+  check.done(cases);
+  return check.result;
+}
+
 }  // namespace
 
 std::vector<PropertyResult> run_properties(const PropertyOptions& opts) {
@@ -693,6 +834,8 @@ std::vector<PropertyResult> run_properties(const PropertyOptions& opts) {
   results.push_back(check_ac_vs_transient(opts));
   results.push_back(check_crossings_oracle(opts));
   results.push_back(check_unknown_name_roundtrip(opts));
+  results.push_back(check_charlib_bilinear(opts));
+  results.push_back(check_mlib_roundtrip(opts));
   return results;
 }
 

@@ -20,6 +20,12 @@
 //                           (plateaus, exact hits, endpoint rules)
 //   unknown-name-roundtrip  Circuit::unknown_name inverts node_unknown /
 //                           branch_unknown on randomized circuits
+//   charlib-bilinear        NLDM table lookups: exact at grid points,
+//                           corner-hull bounded (hence monotone over
+//                           monotone tables) between them, clamped and
+//                           flagged beyond the hull
+//   mlib-roundtrip          randomized .mlib libraries reparse equal and
+//                           re-serialize byte-stably
 //
 // Determinism: everything derives from PropertyOptions::seed; there is no
 // wall-clock or global state involved, so a failure replays exactly.

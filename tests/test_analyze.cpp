@@ -5,8 +5,10 @@
 // the .gnl mutation decks in tests/fuzz.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "analyze/analyzer.h"
@@ -16,10 +18,15 @@
 #include "analyze/sta.h"
 #include "analyze/tier_rules.h"
 #include "bsimsoi/model.h"
+#include "cells/circuitgen.h"
+#include "charlib/characterize.h"
+#include "charlib/library.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "core/ppa.h"
 #include "core/reference_cards.h"
+#include "runtime/exec_policy.h"
+#include "runtime/thread_pool.h"
 #include "spice/transient.h"
 #include "waveform/measure.h"
 
@@ -654,6 +661,285 @@ TEST(SlackSta, DifferentialAgainstTransientChain) {
   // within 25 % demonstrates the slack STA tracks the physics.
   EXPECT_NEAR(sta.worst_arrival, tran_delay, 0.25 * tran_delay)
       << "STA " << sta.worst_arrival << " vs transient " << tran_delay;
+}
+
+// --- Differential: library STA vs transistor-level gate chains -------------
+
+namespace chaindiff {
+
+struct ChainCase {
+  cells::Implementation impl;
+  std::vector<cells::CellType> stages;
+  std::vector<double> loads;  // F, one per stage output
+  std::vector<std::size_t> taps;
+};
+
+// Boolean chain output for a given chain-input value, under the same side
+// constants build_gate_chain ties off.
+bool chain_output_value(const std::vector<cells::CellType>& stages, bool in) {
+  bool v = in;
+  for (const cells::CellType type : stages) {
+    std::vector<bool> pins = cells::chain_side_values(type);
+    pins[0] = v;
+    v = cells::cell_logic(type, pins);
+  }
+  return v;
+}
+
+}  // namespace chaindiff
+
+TEST(LibSta, DifferentialAgainstTransientChains) {
+  // The NLDM tables and the chains are measured through the same transient
+  // engine but at different operating points: the library sees isolated
+  // cells on the characterization grid, the chain sees each stage driven
+  // by its real predecessor's waveform.  Bilinear interpolation + slew
+  // propagation must close that gap to 15 % on every chain, impl and edge.
+  const core::ModelLibrary& mlib = core::reference_model_library();
+  runtime::ThreadPool pool;
+  const charlib::CharOptions copts;  // default 3x3 grid, reference physics
+  const charlib::Characterizer characterizer(
+      mlib, copts, {}, runtime::ExecPolicy{&pool, nullptr});
+  const double vdd = copts.ppa.vdd;
+  const double half = 0.5 * vdd;
+
+  using cells::CellType;
+  using cells::Implementation;
+  const std::vector<chaindiff::ChainCase> cases = {
+      {Implementation::k2D,
+       {CellType::kInv1, CellType::kNand2, CellType::kNor2},
+       {1e-15, 2e-15, 1e-15},
+       {}},
+      {Implementation::kMiv1Channel,
+       {CellType::kInv1, CellType::kAnd2, CellType::kNand2, CellType::kInv1,
+        CellType::kNor2},
+       {0.5e-15, 1e-15, 2e-15, 1e-15, 2e-15},
+       {1}},
+      // The slower MIV flavors keep their mid-chain loads lighter: a 2 fF
+      // internal net already pushes a 2/4-channel gate's output transition
+      // past the 100 ps slew-axis edge, and the point here is agreement
+      // *inside* the characterized hull (clamping has its own tests).
+      {Implementation::kMiv2Channel,
+       {CellType::kInv1, CellType::kNor2, CellType::kInv1, CellType::kNand2,
+        CellType::kAnd2, CellType::kInv1},
+       {1e-15, 0.75e-15, 0.5e-15, 1e-15, 1.5e-15, 4e-15},
+       {2}},
+      {Implementation::kMiv4Channel,
+       {CellType::kInv1, CellType::kNand2, CellType::kInv1, CellType::kNor2,
+        CellType::kInv1, CellType::kAnd2, CellType::kNand2, CellType::kInv1},
+       {1e-15, 1.5e-15, 1e-15, 0.5e-15, 1.5e-15, 1e-15, 1.5e-15, 4e-15},
+       {3, 5}},
+  };
+
+  for (const chaindiff::ChainCase& cs : cases) {
+    SCOPED_TRACE(std::string(cells::impl_name(cs.impl)) + " chain of " +
+                 std::to_string(cs.stages.size()));
+    ASSERT_EQ(cs.stages.front(), CellType::kInv1)
+        << "first stage must be single-input so both STA launch edges "
+           "traverse the chain, not a side-pin arc";
+
+    // Characterize exactly the cells this chain instantiates.
+    std::set<CellType> used(cs.stages.begin(), cs.stages.end());
+    if (!cs.taps.empty()) used.insert(CellType::kInv1);
+    std::vector<std::pair<CellType, Implementation>> jobs;
+    for (const CellType t : used) jobs.emplace_back(t, cs.impl);
+    const charlib::CharLibrary lib = characterizer.characterize(jobs);
+
+    // Transistor-level reference: the same cells, stitched.
+    const core::PpaEngine engine(mlib, copts.ppa);
+    const cells::ModelSet models = engine.model_set(cs.impl);
+    cells::GateChainSpec spec;
+    spec.stages = cs.stages;
+    spec.stage_loads = cs.loads;
+    spec.fanout_taps = cs.taps;
+    const cells::GeneratedCircuit gen = cells::build_gate_chain(
+        spec, cs.impl, models, copts.ppa.parasitics, vdd);
+
+    spice::TransientOptions topt;
+    topt.t_stop = spec.t_delay + 2.0 * spec.t_width + 500e-12;
+    topt.h_max = copts.ppa.h_max;
+    topt.newton = copts.ppa.newton;
+    const spice::TransientResult tran = spice::transient(gen.circuit, topt);
+    ASSERT_TRUE(tran.ok) << tran.error;
+
+    using waveform::EdgeKind;
+    const auto& v_in = tran.v("in");
+    const auto& v_out = tran.v(gen.probe_node);
+    const auto d_rise = waveform::propagation_delay(
+        v_in, v_out, half, half, 0.0, EdgeKind::kRise, EdgeKind::kAny);
+    const auto d_fall = waveform::propagation_delay(
+        v_in, v_out, half, half, spec.t_delay + spec.t_width - 50e-12,
+        EdgeKind::kFall, EdgeKind::kAny);
+    ASSERT_TRUE(d_rise.has_value());
+    ASSERT_TRUE(d_fall.has_value());
+
+    // Gate-level twin of the chain: pin 0 carries the chain, side pins tie
+    // to constant primary inputs (their arcs launch at t=0 and can never
+    // out-arrive the accumulating chain path past the first stage).
+    bool need_tie0 = false, need_tie1 = false;
+    for (const CellType t : cs.stages) {
+      const std::vector<bool> side = cells::chain_side_values(t);
+      for (std::size_t k = 1; k < side.size(); ++k)
+        (side[k] ? need_tie1 : need_tie0) = true;
+    }
+    gatelevel::GateNetlist n(gen.name);
+    n.add_input("in");
+    if (need_tie0) n.add_input("tie0");
+    if (need_tie1) n.add_input("tie1");
+    LibStaOptions lopts;
+    lopts.input_slew = spec.t_edge;
+    lopts.loads.default_output_load = 0.0;  // every load is explicit below
+    std::string prev = "in";
+    for (std::size_t i = 0; i < cs.stages.size(); ++i) {
+      const std::string si = std::to_string(i);
+      const std::vector<bool> side = cells::chain_side_values(cs.stages[i]);
+      std::vector<std::string> ins{prev};
+      for (std::size_t k = 1; k < side.size(); ++k)
+        ins.push_back(side[k] ? "tie1" : "tie0");
+      const std::string out = "x" + std::to_string(i + 1);
+      n.add_instance(cs.stages[i], "s" + si, ins, out);
+      lopts.loads.extra_net_load[out] = cs.loads[i];
+      if (std::find(cs.taps.begin(), cs.taps.end(), i) != cs.taps.end()) {
+        n.add_instance(CellType::kInv1, "t" + si, {out}, "ty" + si);
+        n.add_output("ty" + si);
+        lopts.loads.extra_net_load["ty" + si] = copts.ppa.parasitics.c_load;
+      }
+      prev = out;
+    }
+    n.add_output(prev);
+    n.finalize();
+
+    const LibStaResult sta = run_library_sta(n, lib, cs.impl, lopts);
+    EXPECT_TRUE(sta.missing.empty());
+    std::ostringstream slews;
+    for (const auto& [net, t] : sta.nets)
+      slews << "  " << net << " rise " << t.rise.slew << " fall "
+            << t.fall.slew << "\n";
+    EXPECT_EQ(sta.clamped_lookups, 0u)
+        << "chain operating point left the characterization grid; "
+           "propagated slews:\n"
+        << slews.str();
+
+    // Input-rise drives the output to its in=1 value; map each stimulus
+    // edge to the output edge it produces and compare per edge.
+    const bool rise_makes_rise =
+        chaindiff::chain_output_value(cs.stages, true);
+    const LibNetTiming& po = sta.nets.at(prev);
+    const double sta_in_rise = po.edge(rise_makes_rise).arrival;
+    const double sta_in_fall = po.edge(!rise_makes_rise).arrival;
+    EXPECT_NEAR(sta_in_rise, *d_rise, 0.15 * *d_rise)
+        << "input-rise: STA " << sta_in_rise << " vs transient " << *d_rise;
+    EXPECT_NEAR(sta_in_fall, *d_fall, 0.15 * *d_fall)
+        << "input-fall: STA " << sta_in_fall << " vs transient " << *d_fall;
+  }
+}
+
+// --- Library holes: structured missing-timing, never silent ----------------
+
+namespace holes {
+
+charlib::Table2D filled_table(const std::vector<double>& slews,
+                              const std::vector<double>& loads, double value) {
+  charlib::Table2D t(slews, loads);
+  for (std::size_t i = 0; i < t.rows(); ++i)
+    for (std::size_t j = 0; j < t.cols(); ++j) t.set(i, j, value);
+  return t;
+}
+
+charlib::ArcTables make_arc(const charlib::CharLibrary& lib,
+                            const std::string& pin, bool input_rise,
+                            bool output_rise) {
+  charlib::ArcTables arc;
+  arc.pin = pin;
+  arc.input_rise = input_rise;
+  arc.output_rise = output_rise;
+  arc.delay = filled_table(lib.slew_axis, lib.load_axis, 20e-12);
+  arc.out_slew = filled_table(lib.slew_axis, lib.load_axis, 30e-12);
+  arc.energy = filled_table(lib.slew_axis, lib.load_axis, 1e-15);
+  return arc;
+}
+
+}  // namespace holes
+
+TEST(Analyzer, LibraryHolesEmitMissingTimingDiagnostics) {
+  // A library that knows INV1 — minus its fall arc — and nothing else:
+  // both hole shapes (whole cell, single arc) in one design.
+  charlib::CharLibrary lib;
+  lib.slew_axis = {10e-12, 80e-12};
+  lib.load_axis = {0.2e-15, 4e-15};
+  charlib::CellChar inv;
+  inv.type = cells::CellType::kInv1;
+  inv.area = 1e-13;
+  inv.input_cap = {{"A", 0.2e-15}};
+  inv.arcs.push_back(holes::make_arc(lib, "A", true, false));
+  lib.insert(cells::Implementation::k2D, inv);
+
+  lint::DiagnosticSink sink;
+  const Design d = parse_design(
+      "design holes\ninput a\ninput b\noutput y\n"
+      "gate INV1X1 u1 a n1\ngate NAND2X1 u2 n1 b y\n",
+      sink);
+  ASSERT_EQ(sink.num_errors(), 0u);
+
+  AnalyzeOptions opts;
+  opts.library = &lib;
+  const AnalyzeReport report = analyze_design(d, default_timing_model(), opts);
+
+  std::size_t cell_holes = 0, arc_holes = 0;
+  for (const Diagnostic& diag : report.findings) {
+    if (diag.rule != "missing-timing") continue;
+    EXPECT_EQ(diag.severity, Severity::kError);
+    if (diag.message.find("no characterized timing") != std::string::npos)
+      ++cell_holes;
+    if (diag.message.find("pin A has no characterized fall arc") !=
+        std::string::npos)
+      ++arc_holes;
+  }
+  EXPECT_EQ(cell_holes, 1u) << lint::render_text(report.findings);
+  EXPECT_EQ(arc_holes, 1u) << lint::render_text(report.findings);
+  EXPECT_GE(report.errors, 2u);
+  // The pass still completes — holes degrade to recorded zero-delay
+  // passthroughs, never a throw or a silent synthetic-model fallback.
+  ASSERT_TRUE(report.libsta.has_value());
+  EXPECT_EQ(report.libsta->missing.size(), 2u);
+  ASSERT_TRUE(report.sta.has_value());
+}
+
+TEST(Analyzer, ClampedLookupsSurfaceAsExtrapolationInfo) {
+  // Full INV1 entry over a deliberately tiny grid: the 20 ps default input
+  // slew lies far past the 2 ps slew axis, so every lookup clamps and the
+  // analyzer must say so.
+  charlib::CharLibrary lib;
+  lib.slew_axis = {1e-12, 2e-12};
+  lib.load_axis = {0.1e-15, 0.2e-15};
+  charlib::CellChar inv;
+  inv.type = cells::CellType::kInv1;
+  inv.area = 1e-13;
+  inv.input_cap = {{"A", 0.2e-15}};
+  inv.arcs.push_back(holes::make_arc(lib, "A", true, false));
+  inv.arcs.push_back(holes::make_arc(lib, "A", false, true));
+  lib.insert(cells::Implementation::k2D, inv);
+
+  lint::DiagnosticSink sink;
+  const Design d = parse_design(
+      "design clamp\ninput a\noutput y\n"
+      "gate INV1X1 u1 a n1\ngate INV1X1 u2 n1 y\n",
+      sink);
+  ASSERT_EQ(sink.num_errors(), 0u);
+
+  AnalyzeOptions opts;
+  opts.library = &lib;
+  const AnalyzeReport report = analyze_design(d, default_timing_model(), opts);
+  EXPECT_EQ(report.errors, 0u) << lint::render_text(report.findings);
+  ASSERT_TRUE(report.libsta.has_value());
+  EXPECT_GT(report.libsta->clamped_lookups, 0u);
+  std::size_t extrapolation = 0;
+  for (const Diagnostic& diag : report.findings) {
+    if (diag.rule == "table-extrapolation") {
+      EXPECT_EQ(diag.severity, Severity::kInfo);
+      ++extrapolation;
+    }
+  }
+  EXPECT_EQ(extrapolation, 1u) << lint::render_text(report.findings);
 }
 
 // --- Tier / MIV placement rules -------------------------------------------

@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include "charlib/characterize.h"
+#include "charlib/library.h"
 #include "common/json.h"
 #include "core/artifacts.h"
 #include "core/flow.h"
@@ -86,6 +88,34 @@ TEST(ServeProtocol, RequestRoundTripIsExact) {
   EXPECT_EQ(back.extraction.run_lm_polish, req.extraction.run_lm_polish);
   // Canonical line is stable under a round trip.
   EXPECT_EQ(back.to_json_line(), line);
+}
+
+TEST(ServeProtocol, CharlibRequestRoundTrip) {
+  serve::Request req;
+  req.kind = serve::RequestKind::kCharlib;
+  req.id = "c1";
+  req.cell = cells::CellType::kNand2;
+  req.impl = cells::Implementation::kMiv4Channel;
+  req.char_grid = "mini";
+  req.process.vdd = 0.9;
+  req.grid.vdd = 0.9;
+
+  const std::string line = req.to_json_line();
+  const serve::Request back = serve::Request::from_json_line(line);
+  EXPECT_EQ(back.kind, req.kind);
+  EXPECT_EQ(back.cell, req.cell);
+  EXPECT_EQ(back.impl, req.impl);
+  EXPECT_EQ(back.char_grid, req.char_grid);
+  EXPECT_EQ(back.process.vdd, req.process.vdd);
+  EXPECT_EQ(back.to_json_line(), line);
+
+  // The default preset is elided from the wire line, like every other
+  // nominal-corner field.
+  req.char_grid = "default";
+  EXPECT_EQ(req.to_json_line().find("char_grid"), std::string::npos);
+  EXPECT_THROW(serve::Request::from_json_line(
+                   R"({"kind":"charlib","char_grid":"huge"})"),
+               Error);
 }
 
 TEST(ServeProtocol, UnknownFieldsAndTokensAreErrors) {
@@ -361,6 +391,51 @@ TEST(ServeServer, PpaMatchesLocalEngineExactly) {
       engine.measure(cells::CellType::kNand2,
                      cells::Implementation::kMiv2Channel);
   EXPECT_EQ(core::serialize_cell_ppa(local), resp.payload);
+
+  server.begin_shutdown();
+  server.wait();
+}
+
+// The charlib kind serves one cell's NLDM entry as .mlib text: the payload
+// parses back into a one-cell library on the requested grid, and a warm
+// repeat returns identical bytes from the artifact cache.
+TEST(ServeServer, CharlibServesOneLibraryEntry) {
+  const testutil::ScopedTempDir cache_dir("mivtx_serve_charlib");
+  serve::ServerOptions opts;
+  opts.port = 0;
+  opts.workers = 2;
+  opts.service.cache.disk_dir = cache_dir.str();
+  serve::Server server(opts);
+  server.start();
+
+  serve::Request req = tiny_request(serve::RequestKind::kCharlib);
+  req.id = "cl";
+  req.cell = cells::CellType::kInv1;
+  req.impl = cells::Implementation::kMiv1Channel;
+  req.char_grid = "mini";
+
+  serve::Client client("127.0.0.1", server.port());
+  const serve::Response resp = client.call(req);
+  ASSERT_TRUE(resp.ok()) << resp.error;
+
+  const charlib::CharLibrary lib =
+      charlib::CharLibrary::from_text(resp.payload);
+  EXPECT_EQ(lib.slew_axis, charlib::mini_char_grid().slews);
+  EXPECT_EQ(lib.load_axis, charlib::mini_char_grid().loads);
+  const charlib::CellChar* entry =
+      lib.find(cells::Implementation::kMiv1Channel, cells::CellType::kInv1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->arcs.size(), 2u);  // one pin, rise + fall input arcs
+  EXPECT_GT(entry->area, 0.0);
+  const Json meta = Json::parse(resp.meta_json);
+  ASSERT_NE(meta.find("arcs"), nullptr);
+  EXPECT_EQ(meta.find("arcs")->as_number(), 2.0);
+
+  serve::Request again = req;
+  again.id = "cl2";
+  const serve::Response warm = client.call(again);
+  ASSERT_TRUE(warm.ok()) << warm.error;
+  EXPECT_EQ(warm.payload, resp.payload);
 
   server.begin_shutdown();
   server.wait();

@@ -214,7 +214,7 @@ TEST(VerifyProperties, AllPropertiesHoldAtTwoSeeds) {
     opts.cases = 6;
     const std::vector<verify::PropertyResult> results =
         verify::run_properties(opts);
-    EXPECT_EQ(results.size(), 9u);
+    EXPECT_EQ(results.size(), 11u);
     for (const verify::PropertyResult& r : results)
       EXPECT_TRUE(r.pass) << r.name << " (seed " << seed << "): " << r.detail
                           << " worst " << r.worst << " bound " << r.bound;
@@ -294,6 +294,52 @@ TEST(VerifyGolden, SchemaDriftIsDrift) {
   t2.metrics.push_back({"card.level", 70.0, 1e-6});
   check = verify::check_against_baseline(t2, baseline);
   EXPECT_FALSE(check.pass);
+}
+
+TEST(VerifyGolden, BlockPpaBaselineMatchesAndPerturbedCopyFails) {
+  // The block-level PPA gate end to end: the measured suite must match the
+  // checked-in baseline, and a copy with one delay nudged past its rtol
+  // must fail naming exactly that metric — the must-fail self-test the CI
+  // blockppa job relies on.
+  verify::GoldenContext ctx;
+  const verify::GoldenSuiteResult measured =
+      verify::compute_golden_suite("blockppa", ctx);
+  ASSERT_FALSE(measured.metrics.empty());
+
+  const std::string path = std::string(MIVTX_GOLDEN_DIR) + "/blockppa.json";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << path << " missing — run mivtx_verify --golden "
+                            "--refresh-goldens --suites blockppa";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string baseline = ss.str();
+  const verify::GoldenCheck check =
+      verify::check_against_baseline(measured, baseline);
+  EXPECT_TRUE(check.pass) << check.summary();
+
+  verify::Json doc = verify::Json::parse(baseline);
+  verify::Json* metrics = const_cast<verify::Json*>(doc.find("metrics"));
+  ASSERT_NE(metrics, nullptr);
+  const std::string victim = "rca16.2d.delay_s";
+  const verify::Json* old = metrics->find(victim);
+  ASSERT_NE(old, nullptr);
+  verify::Json entry = verify::Json::object();
+  entry.set("value",
+            verify::Json::number(old->find("value")->as_number() * 1.10));
+  entry.set("rtol", verify::Json::number(old->find("rtol")->as_number()));
+  metrics->set(victim, std::move(entry));
+
+  const verify::GoldenCheck perturbed =
+      verify::check_against_baseline(measured, doc.dump(2));
+  EXPECT_FALSE(perturbed.pass);
+  EXPECT_EQ(perturbed.drifted, 1u);
+  bool found = false;
+  for (const verify::MetricCheck& mc : perturbed.checks)
+    if (mc.name == victim) {
+      found = true;
+      EXPECT_EQ(mc.status, verify::MetricStatus::kDrifted);
+    }
+  EXPECT_TRUE(found);
 }
 
 TEST(VerifyGolden, CheckedInBaselinesMatchCheapSuites) {

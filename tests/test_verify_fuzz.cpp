@@ -160,5 +160,95 @@ TEST_F(VerifyFuzz, DegenerateInputsAreDiagnosed) {
   }
 }
 
+// --- .mlib NLDM library fuzzing --------------------------------------------
+
+std::vector<fs::path> mlib_corpus_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(MIVTX_FUZZ_CORPUS_DIR))
+    if (entry.path().extension() == ".mlib") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<fs::path> gnl_corpus_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(MIVTX_FUZZ_CORPUS_DIR))
+    if (entry.path().extension() == ".gnl") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST_F(VerifyFuzz, EveryLibraryDeckIsRejectedOrSolved) {
+  const std::vector<fs::path> files = mlib_corpus_files();
+  ASSERT_GE(files.size(), 5u);
+  for (const fs::path& f : files) {
+    SCOPED_TRACE(f.filename().string());
+    verify::FuzzResult r;
+    ASSERT_NO_THROW(r = verify::exercise_library(slurp(f)));
+    // kNoConverge here means the parser accepted a library that fails its
+    // own invariants (non-finite interpolation or a lossy round-trip) — a
+    // bug, never acceptable from any input.
+    ASSERT_NE(r.outcome, verify::FuzzOutcome::kNoConverge) << r.detail;
+    const std::string stem = f.stem().string();
+    if (stem.rfind("mlib_valid_", 0) == 0) {
+      EXPECT_EQ(r.outcome, verify::FuzzOutcome::kSolved)
+          << verify::fuzz_outcome_name(r.outcome) << ": " << r.detail;
+    } else {
+      EXPECT_EQ(r.outcome, verify::FuzzOutcome::kParseRejected)
+          << verify::fuzz_outcome_name(r.outcome) << ": " << r.detail;
+    }
+  }
+}
+
+TEST_F(VerifyFuzz, LibraryMutantsNeverCrashOrBreakInvariants) {
+  for (const fs::path& f : mlib_corpus_files()) {
+    const std::string text = slurp(f);
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+      SCOPED_TRACE(f.filename().string() + " seed " + std::to_string(seed));
+      verify::FuzzResult r;
+      ASSERT_NO_THROW(r = verify::exercise_library(
+                          verify::mutate_netlist(text, seed)));
+      ASSERT_NE(r.outcome, verify::FuzzOutcome::kNoConverge) << r.detail;
+    }
+  }
+}
+
+TEST_F(VerifyFuzz, DesignsAgainstHoleyLibrariesAreDiagnosed) {
+  // The half adder needs XOR2X1/AND2X1: the mini library has neither
+  // (whole-cell holes), the holey library lacks three of the four XOR2X1
+  // arcs (pin-level holes).  Both must be structured missing-timing
+  // rejections, never crashes.
+  const std::string design =
+      slurp(fs::path(MIVTX_FUZZ_CORPUS_DIR) / "gnl_valid_half_adder.gnl");
+  for (const char* lib_name :
+       {"mlib_valid_mini.mlib", "mlib_valid_holey.mlib"}) {
+    SCOPED_TRACE(lib_name);
+    const std::string lib =
+        slurp(fs::path(MIVTX_FUZZ_CORPUS_DIR) / lib_name);
+    verify::FuzzResult r;
+    ASSERT_NO_THROW(r = verify::exercise_design(design, lib));
+    EXPECT_EQ(r.outcome, verify::FuzzOutcome::kLintRejected)
+        << verify::fuzz_outcome_name(r.outcome) << ": " << r.detail;
+    EXPECT_NE(r.detail.find("missing-timing"), std::string::npos) << r.detail;
+  }
+}
+
+TEST_F(VerifyFuzz, DesignLibraryPairMutantsNeverCrash) {
+  const std::string lib = slurp(fs::path(MIVTX_FUZZ_CORPUS_DIR) /
+                                "mlib_valid_holey.mlib");
+  for (const fs::path& f : gnl_corpus_files()) {
+    const std::string design = slurp(f);
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      SCOPED_TRACE(f.filename().string() + " seed " + std::to_string(seed));
+      // Mutate the two sides on different streams: design corruption with
+      // a clean library, then a clean design with library corruption.
+      ASSERT_NO_THROW(verify::exercise_design(
+          verify::mutate_netlist(design, seed), lib));
+      ASSERT_NO_THROW(verify::exercise_design(
+          design, verify::mutate_netlist(lib, seed + 1000)));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mivtx
